@@ -1,0 +1,67 @@
+//! Criterion benches of the individual engines (scaling behaviour).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::NetId;
+use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
+use macro3d_route::{route_design, RouteConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+use macro3d_tech::stack::{n28_stack, DieRole};
+
+fn bench_tile_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist_generation");
+    g.sample_size(10);
+    for scale in [64.0, 32.0, 16.0] {
+        g.bench_with_input(BenchmarkId::new("small_cache", scale as u64), &scale, |b, &s| {
+            b.iter(|| generate_tile(&TileConfig::small_cache().with_scale(s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_global_place(c: &mut Criterion) {
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(64.0));
+    let lib = tile.design.library().clone();
+    let fp = Floorplan::new(
+        Rect::from_um(0.0, 0.0, 1_000.0, 1_000.0),
+        lib.row_height(),
+        lib.site_width(),
+    );
+    let ports = PortPlan::assign(&tile.design, fp.die());
+    let mut g = c.benchmark_group("place");
+    g.sample_size(10);
+    g.bench_function("global_place_small48", |b| {
+        b.iter(|| global_place(&tile.design, &fp, &ports, &GlobalPlaceConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let stack = n28_stack(6, DieRole::Logic);
+    let die = Rect::from_um(0.0, 0.0, 500.0, 500.0);
+    // a synthetic net set: 2000 random two-pin nets
+    let mut nets = Vec::new();
+    let mut x = 7u64;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((x >> 33) % 500) as f64
+    };
+    for i in 0..2_000u32 {
+        nets.push((
+            NetId(i),
+            vec![
+                (Point::from_um(next(), next()), 0u16),
+                (Point::from_um(next(), next()), 0u16),
+            ],
+        ));
+    }
+    let mut g = c.benchmark_group("route");
+    g.sample_size(10);
+    g.bench_function("global_route_2k_nets", |b| {
+        b.iter(|| route_design(die, &stack, &[], &nets, 2_000, &RouteConfig::default()))
+    });
+    g.finish();
+    let _ = Dbu(0);
+}
+
+criterion_group!(benches, bench_tile_generation, bench_global_place, bench_router);
+criterion_main!(benches);

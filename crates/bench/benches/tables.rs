@@ -1,0 +1,69 @@
+//! Criterion benches of the table experiments (scaled down so a bench
+//! run finishes in minutes).
+use criterion::{criterion_group, criterion_main, Criterion};
+use macro3d::experiments::ExperimentConfig;
+use macro3d::s2d::S2dStyle;
+use macro3d::{flow2d, macro3d_flow, s2d, FlowConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn bench_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 64.0,
+        flow: FlowConfig::default(),
+    }
+}
+
+fn bench_table1_flows(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("flow_2d", |b| b.iter(|| flow2d::run(&tile, &cfg.flow)));
+    g.bench_function("flow_macro3d", |b| b.iter(|| macro3d_flow::run(&tile, &cfg.flow)));
+    g.bench_function("flow_s2d_mol", |b| {
+        b.iter(|| s2d::run(&tile, &cfg.flow, S2dStyle::MemoryOnLogic))
+    });
+    g.finish();
+}
+
+fn bench_figure_rendering(c: &mut Criterion) {
+    // Figs. 4-6 artefacts: time the layout export on an implemented
+    // design (the flow run happens once in setup).
+    let cfg = bench_cfg();
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    let imp = macro3d::macro3d_flow::run_impl(&tile, &cfg.flow);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_floorplan_svg", |b| {
+        b.iter(|| {
+            let macros: Vec<_> = imp
+                .fp
+                .macros
+                .iter()
+                .map(|mp| (mp.inst, mp.rect, mp.die))
+                .collect();
+            macro3d::layout::svg_floorplan(&imp.design, imp.fp.die(), &macros)
+        })
+    });
+    g.bench_function("fig6_die_separation_svg", |b| {
+        b.iter(|| {
+            let (logic, upper) = macro3d::layout::separate(&imp);
+            (macro3d::layout::svg_layout(&logic), macro3d::layout::svg_layout(&upper))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table3_variant(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    let mut f64_ = cfg.flow.clone();
+    f64_.macro_metals = 4;
+    g.bench_function("macro3d_m6m4", |b| b.iter(|| macro3d_flow::run(&tile, &f64_)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1_flows, bench_table3_variant, bench_figure_rendering);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Benchmark and experiment harness for the Macro-3D reproduction.
+//!
+//! Binaries (each regenerates one piece of the paper's evaluation):
+//!
+//! * `repro_table1` — Table I: max-performance PPA and cost for 2D,
+//!   MoL S2D, BF S2D and Macro-3D on the small-cache tile.
+//! * `repro_table2` — Table II: in-depth 2D vs Macro-3D for both
+//!   cache configurations, plus the iso-performance power comparison.
+//! * `repro_table3` — Table III: the heterogeneous-BEOL (M6–M6 vs
+//!   M6–M4) experiment.
+//! * `repro_figs` — Figures 4–6 as SVG files.
+//! * `ablations` — extensions beyond the paper: F2F pitch sweep,
+//!   partial-blockage resolution sweep, C2D comparison, scale sweep.
+//!
+//! Criterion benches (`cargo bench`) time the experiments and the
+//! individual engines; the binaries print the paper-style rows.
+//!
+//! All experiments accept `--scale <n>` (default 8): the
+//! instance-count compression documented in `DESIGN.md` §5. Lower
+//! scale = more instances = slower and closer to the paper's design
+//! size.
+
+use macro3d::experiments::ExperimentConfig;
+
+/// Parses `--scale <f64>` from argv, defaulting to 8.
+pub fn experiment_config_from_args() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--scale" {
+            if let Ok(s) = w[1].parse::<f64>() {
+                cfg.scale = s;
+            }
+        }
+    }
+    cfg
+}
+
+/// Writes figure SVGs into `out_dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_figures(
+    out_dir: &std::path::Path,
+    figs: &macro3d::experiments::Figures,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut written = Vec::new();
+    for (name, svg) in figs
+        .fig4
+        .iter()
+        .chain(figs.fig5.iter())
+        .chain(figs.fig6.iter())
+    {
+        let path = out_dir.join(name);
+        std::fs::write(&path, svg)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let cfg = experiment_config_from_args();
+        assert!(cfg.scale >= 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Dumps the critical path of the 2D flow for debugging.
+use macro3d::{flow2d, FlowConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn main() {
+    let cfg = FlowConfig::default();
+    let large = std::env::args().nth(1).as_deref() == Some("large");
+    let tc = if large { TileConfig::large_cache() } else { TileConfig::small_cache() };
+    let tile = generate_tile(&tc.with_scale(16.0));
+    let imp = flow2d::run_impl(&tile, &cfg);
+    println!(
+        "min period {:.0}ps, {} crit nets, overflow {:.0} ({} edges), insertion {:.0}ps skew {:.0}ps",
+        imp.timing.min_period_ps,
+        imp.timing.crit_path_nets.len(),
+        imp.routed.overflow,
+        imp.routed.overflowed_edges,
+        imp.clock.insertion_ps,
+        imp.clock.skew_ps,
+    );
+    println!(
+        "{}",
+        macro3d_sta::format_critical_path(&imp.design, &imp.parasitics, Some(&imp.routed), &imp.timing)
+    );
+    for &n in &imp.timing.crit_path_nets {
+        let net = imp.design.net(n);
+        let par = &imp.parasitics[n.index()];
+        let wl = imp.routed.net(n).map(|r| r.wirelength_um()).unwrap_or(0.0);
+        let emax = par.elmore_ps.iter().cloned().fold(0.0, f64::max);
+        let drv = imp.design.driver(n);
+        let drv_name = match drv {
+            Some(macro3d_netlist::PinRef::Inst { inst, .. }) => {
+                let i = imp.design.inst(inst);
+                let m = match i.master {
+                    macro3d_netlist::Master::Cell(c) => imp.design.library().cell(c).name.clone(),
+                    macro3d_netlist::Master::Macro(m) => imp.design.macro_master(m).name.clone(),
+                };
+                format!("{} ({})", i.name, m)
+            }
+            Some(macro3d_netlist::PinRef::Port(p)) => format!("port {}", imp.design.port(p).name),
+            None => "??".into(),
+        };
+        println!(
+            "  net {:<28} deg {:>3} wl {:>8.1}um elmore_max {:>8.1}ps load {:>8.1}fF drv {}",
+            net.name, net.pins.len(), wl, emax, par.driver_load_ff, drv_name
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quick end-to-end smoke run of the 2D and Macro-3D flows with
+//! diagnostics.
+use macro3d::report::PpaResult;
+use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d_netlist::DesignStats;
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let cfg = FlowConfig::default();
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
+    println!("tile: {} insts, {} nets", tile.design.num_insts(), tile.design.num_nets());
+
+    for (name, imp) in [
+        ("2D", {
+            let t0 = std::time::Instant::now();
+            let i = flow2d::run_impl(&tile, &cfg);
+            println!("2D done in {:?}", t0.elapsed());
+            i
+        }),
+        ("Macro-3D", {
+            let t0 = std::time::Instant::now();
+            let i = macro3d_flow::run_impl(&tile, &cfg);
+            println!("Macro-3D done in {:?}", t0.elapsed());
+            i
+        }),
+    ] {
+        let ppa = PpaResult::from_impl(name, &imp);
+        println!("{ppa}");
+        let s = DesignStats::compute(&imp.design);
+        println!(
+            "  insts {} | crit stages {} | skew {:.0}ps | route overflow {:.0} ({} edges, max util {:.2}) | min period {:.0}ps",
+            s.num_cells,
+            imp.timing.crit_path_stages,
+            imp.timing.clock_skew_ps,
+            imp.routed.overflow,
+            imp.routed.overflowed_edges,
+            imp.routed.max_utilization,
+            imp.timing.min_period_ps,
+        );
+    }
+}
+// (appended) — not used; path debug lives in smoke2

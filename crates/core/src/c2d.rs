@@ -1,0 +1,164 @@
+//! The Compact-2D (C2D) baseline flow \[Ku et al., ISPD'18\] as
+//! characterised in the paper's Sec. III.
+//!
+//! C2D avoids S2D's shrunk geometries (which need a next-node P&R
+//! engine) by *enlarging the floorplan* 2× instead: the unshrunk
+//! design is placed and routed on a footprint twice the F2F target,
+//! with macro blockages scaled up accordingly, while the estimated
+//! interconnect parasitics per unit length are scaled by 1/√2 to
+//! approximate the target stack. Cell locations are then mapped
+//! linearly (×1/√2) into the F2F footprint, followed by the same tier
+//! partitioning / overlap fixing / via planning / re-route tail as
+//! S2D — plus the post-tier-partitioning optimization C2D adds.
+
+use crate::flow::{
+    area_budget, assign_macros_mol, finish_design, macro_obstacles, route_pins, sta_constraints,
+    FlowConfig, ImplementedDesign,
+};
+use crate::s2d::{partition_and_finalize, S2dDiagnostics};
+use macro3d_geom::Dbu;
+use macro3d_netlist::InstId;
+use macro3d_place::floorplan::die_for_area;
+use macro3d_place::{BlockageKind, Floorplan, PortPlan};
+use macro3d_route::route_design;
+use macro3d_soc::TileNetlist;
+use macro3d_sta::{analyze, clock_arrivals, upsize_critical_path, StaInput};
+use macro3d_tech::stack::{n28_stack, DieRole};
+use macro3d_tech::{CombinedBeol, Corner, F2fSpec};
+
+/// Runs the C2D flow.
+///
+/// # Panics
+///
+/// Panics if macro packing fails.
+pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2dDiagnostics) {
+    let mut design = tile.design.clone();
+    let constraints = sta_constraints(tile);
+    let budget = area_budget(&design, cfg);
+    let lib = design.library().clone();
+
+    let die_3d = die_for_area(budget.a3d_um2, 1.0, lib.row_height(), lib.site_width());
+    let die_2x = die_for_area(2.0 * budget.a3d_um2, 1.0, lib.row_height(), lib.site_width());
+    let halo = Dbu::from_um(cfg.halo_um);
+    let up = (die_2x.width().0 as f64 / die_3d.width().0 as f64).max(1.0);
+
+    // macro floorplans in the target (3D) space, MoL assignment
+    let (top, bottom) = assign_macros_mol(&design, die_3d.area_um2(), cfg);
+    let (mut macro_placements, bottom_placed) =
+        crate::flow::pack_mol_floorplans(&design, die_3d, halo, top, bottom);
+    macro_placements.extend(bottom_placed);
+
+    // --- stage 1: enlarged pseudo-2D design --------------------------
+    // blockages scaled up by the enlargement factor
+    let mut fp_2x = Floorplan::new(die_2x, lib.row_height(), lib.site_width());
+    for mp in &macro_placements {
+        fp_2x.add_blockage(mp.rect.scale(up).inflate(halo), BlockageKind::Partial(0.5));
+        let mut scaled = *mp;
+        scaled.rect = mp.rect.scale(up);
+        fp_2x.macros.push(scaled);
+    }
+    fp_2x.quantize_partial_blockages(Dbu::from_um(cfg.partial_blockage_period_um));
+
+    let ports_2x = PortPlan::assign(&design, die_2x);
+    let (mut placement, tree) =
+        crate::flow::place_pipeline(&mut design, &fp_2x, &ports_2x, &constraints, cfg);
+
+    let stack_2d = n28_stack(cfg.logic_metals, DieRole::Logic);
+    let obstacles = macro_obstacles(&design, &fp_2x, cfg.logic_metals, stack_2d.num_layers(), false);
+    let nets = route_pins(&design, &placement, &ports_2x, cfg.logic_metals, stack_2d.num_layers(), false);
+    let routed_stage1 =
+        route_design(die_2x, &stack_2d, &obstacles, &nets, design.num_nets(), &cfg.route);
+    let mut parasitics = crate::flow::extract_all(
+        &design,
+        &placement,
+        &ports_2x,
+        &stack_2d,
+        &routed_stage1,
+        &constraints,
+        Corner::signoff(),
+    );
+    // C2D's per-unit-length parasitic scaling: 1/sqrt(2) on R and C
+    let s = 1.0 / 2.0_f64.sqrt();
+    for p in &mut parasitics {
+        let old_wire = p.wire_cap_ff;
+        p.wire_cap_ff *= s;
+        p.total_res_ohm *= s;
+        for e in &mut p.elmore_ps {
+            *e *= s * s;
+        }
+        p.driver_load_ff -= old_wire - p.wire_cap_ff;
+    }
+    let clock_stage1 = clock_arrivals(&design, &tree, &parasitics, Corner::signoff());
+    for _ in 0..cfg.sizing_rounds {
+        let t = analyze(&StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed_stage1),
+            constraints: &constraints,
+            clock: &clock_stage1,
+            corner: Corner::signoff(),
+        });
+        let changes = upsize_critical_path(&mut design, &t);
+        if changes.is_empty() {
+            break;
+        }
+        macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
+    }
+
+    // --- stage 2: linear mapping into the F2F footprint --------------
+    let down = 1.0 / up;
+    for i in design.inst_ids() {
+        if !design.is_macro(i) {
+            placement.pos[i.index()] = placement.pos[i.index()].scale(down);
+        }
+    }
+    let insts: Vec<InstId> = design.inst_ids().collect();
+    let _ = insts;
+
+    // --- stage 3: tier partition + overlap fix + via plan ------------
+    let diag = partition_and_finalize(
+        &mut design,
+        &mut placement,
+        &macro_placements,
+        die_3d,
+        halo,
+        &tree,
+        cfg,
+    );
+
+    // --- stage 4: re-route on the combined stack with C2D's
+    // post-tier-partitioning optimization enabled ----------------------
+    let combined = CombinedBeol::build(
+        &n28_stack(cfg.logic_metals, DieRole::Logic),
+        &n28_stack(cfg.macro_metals, DieRole::Macro),
+        &F2fSpec::hybrid_bond_n28(),
+    );
+    let mut fp_final = Floorplan::new(die_3d, lib.row_height(), lib.site_width());
+    for mp in &macro_placements {
+        fp_final.add_macro(*mp, DieRole::Logic, halo);
+    }
+    let ports = PortPlan::assign(&design, die_3d);
+
+    let imp = finish_design(
+        design,
+        placement,
+        ports,
+        fp_final,
+        combined.stack().clone(),
+        cfg.logic_metals,
+        tree,
+        constraints,
+        cfg,
+        true,
+        cfg.sizing_rounds, // post-partition optimization (C2D's addition)
+    );
+    (imp, diag)
+}
+
+/// Runs C2D and returns its PPA row.
+pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
+    let (imp, _) = run_impl(tile, cfg);
+    let mut ppa = crate::PpaResult::from_impl("C2D", &imp);
+    ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
+    ppa
+}

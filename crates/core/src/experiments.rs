@@ -1,0 +1,309 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation (Sec. V).
+//!
+//! Absolute numbers differ from the paper (this substrate is a
+//! simulator, not Innovus on a proprietary 28 nm PDK); the quantities
+//! that must reproduce are the *relative* results — who wins, by
+//! roughly what factor, and where crossovers sit. Each experiment
+//! carries the paper's reference rows for side-by-side printing.
+
+use crate::flow::FlowConfig;
+use crate::report::{comparison_table, PpaResult};
+use crate::s2d::S2dStyle;
+use crate::{c2d, flow2d, layout, macro3d_flow, s2d};
+use macro3d_soc::{generate_tile, TileConfig};
+use std::fmt::Write as _;
+
+/// Paper reference values for one flow/config (the rows of
+/// Tables I–III).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Flow label.
+    pub flow: &'static str,
+    /// fclk, MHz.
+    pub fclk_mhz: f64,
+    /// Emean, fJ/cycle.
+    pub emean_fj: f64,
+    /// Footprint, mm².
+    pub footprint_mm2: f64,
+    /// F2F bump count.
+    pub f2f_bumps: u64,
+}
+
+/// Table I reference (small-cache system, max performance).
+pub const TABLE1_PAPER: [PaperRow; 4] = [
+    PaperRow { flow: "2D", fclk_mhz: 390.0, emean_fj: 116.7, footprint_mm2: 1.20, f2f_bumps: 0 },
+    PaperRow { flow: "MoL S2D", fclk_mhz: 227.0, emean_fj: 123.1, footprint_mm2: 0.60, f2f_bumps: 5_405 },
+    PaperRow { flow: "BF S2D", fclk_mhz: 260.0, emean_fj: 112.9, footprint_mm2: 0.60, f2f_bumps: 8_703 },
+    PaperRow { flow: "Macro-3D", fclk_mhz: 470.0, emean_fj: 117.6, footprint_mm2: 0.60, f2f_bumps: 4_740 },
+];
+
+/// Experiment-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Netlist compression scale (see `TileConfig::scale`).
+    pub scale: f64,
+    /// Flow configuration (metal counts etc.).
+    pub flow: FlowConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 8.0,
+            flow: FlowConfig::default(),
+        }
+    }
+}
+
+/// Result of the Table I experiment.
+pub struct Table1 {
+    /// Measured rows: 2D, MoL S2D, BF S2D, Macro-3D.
+    pub rows: Vec<PpaResult>,
+}
+
+/// Runs Table I: max-performance PPA and cost comparison of all four
+/// flows on the small-cache system.
+pub fn table1(cfg: &ExperimentConfig) -> Table1 {
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    let rows = vec![
+        flow2d::run(&tile, &cfg.flow),
+        s2d::run(&tile, &cfg.flow, S2dStyle::MemoryOnLogic),
+        s2d::run(&tile, &cfg.flow, S2dStyle::Balanced),
+        macro3d_flow::run(&tile, &cfg.flow),
+    ];
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Formats measured-vs-paper rows.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "=== Table I: max-performance PPA & cost (small-cache) ===");
+        let refs: Vec<&PpaResult> = self.rows.iter().collect();
+        s.push_str(&comparison_table(&refs));
+        let _ = writeln!(s, "--- paper reference ---");
+        for p in TABLE1_PAPER {
+            let _ = writeln!(
+                s,
+                "{:<10} fclk {:>6.0} MHz  Emean {:>6.1} fJ  A {:>5.2} mm2  bumps {:>6}",
+                p.flow, p.fclk_mhz, p.emean_fj, p.footprint_mm2, p.f2f_bumps
+            );
+        }
+        s
+    }
+}
+
+/// Result of the Table II experiment for one cache configuration.
+pub struct Table2Config {
+    /// The 2D baseline.
+    pub r2d: PpaResult,
+    /// The Macro-3D result.
+    pub r3d: PpaResult,
+    /// Iso-performance power of the 2D design (at the 2D fclk), mW.
+    pub iso_power_2d_mw: f64,
+    /// Iso-performance power of the Macro-3D design at the same
+    /// frequency, mW.
+    pub iso_power_3d_mw: f64,
+}
+
+/// Result of the full Table II experiment.
+pub struct Table2 {
+    /// Small-cache configuration.
+    pub small: Table2Config,
+    /// Large-cache configuration.
+    pub large: Table2Config,
+}
+
+/// Runs Table II: in-depth 2D vs Macro-3D for both cache setups,
+/// including the iso-performance power comparison.
+pub fn table2(cfg: &ExperimentConfig) -> Table2 {
+    let run_one = |tc: TileConfig| -> Table2Config {
+        let tile = generate_tile(&tc.with_scale(cfg.scale));
+        let imp2d = flow2d::run_impl(&tile, &cfg.flow);
+        let imp3d = macro3d_flow::run_impl(&tile, &cfg.flow);
+        let r2d = PpaResult::from_impl("2D", &imp2d);
+        let mut r3d = PpaResult::from_impl("Macro-3D", &imp3d);
+        r3d.metal_area_mm2 =
+            r3d.footprint_mm2 * (cfg.flow.logic_metals + cfg.flow.macro_metals) as f64;
+        // iso-performance: both at the 2D max frequency
+        let f_iso = r2d.fclk_mhz;
+        let toggle = imp2d.constraints.toggle_rate;
+        let iso2d = imp2d.power_at(f_iso, toggle).total_mw;
+        let iso3d = imp3d.power_at(f_iso, toggle).total_mw;
+        Table2Config {
+            r2d,
+            r3d,
+            iso_power_2d_mw: iso2d,
+            iso_power_3d_mw: iso3d,
+        }
+    };
+    Table2 {
+        small: run_one(TileConfig::small_cache()),
+        large: run_one(TileConfig::large_cache()),
+    }
+}
+
+impl Table2 {
+    /// Formats the in-depth comparison with paper deltas.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "=== Table II: in-depth 2D vs Macro-3D ===");
+        for (name, c, paper) in [
+            ("small-cache", &self.small, PAPER_T2_SMALL),
+            ("large-cache", &self.large, PAPER_T2_LARGE),
+        ] {
+            let _ = writeln!(s, "--- {name} ---");
+            s.push_str(&comparison_table(&[&c.r2d, &c.r3d]));
+            let d = |ours: f64, base: f64| PpaResult::delta_pct(ours, base);
+            let _ = writeln!(
+                s,
+                "measured deltas: fclk {:+.1}% (paper {:+.1}%), Emean {:+.1}% (paper {:+.1}%), \
+                 WL {:+.1}% (paper {:+.1}%), crit-WL {:+.1}% (paper {:+.1}%)",
+                d(c.r3d.fclk_mhz, c.r2d.fclk_mhz),
+                paper.0,
+                d(c.r3d.emean_fj, c.r2d.emean_fj),
+                paper.1,
+                d(c.r3d.total_wirelength_m, c.r2d.total_wirelength_m),
+                paper.2,
+                d(c.r3d.crit_path_wl_mm, c.r2d.crit_path_wl_mm),
+                paper.3,
+            );
+            let iso = 100.0 * (c.iso_power_3d_mw - c.iso_power_2d_mw) / c.iso_power_2d_mw;
+            let _ = writeln!(
+                s,
+                "iso-performance power delta: {:+.1}% (paper {:+.1}%)",
+                iso, paper.4
+            );
+        }
+        s
+    }
+}
+
+/// Paper Table II deltas: (fclk %, Emean %, wirelength %, crit-path
+/// WL %, iso-perf power %).
+pub const PAPER_T2_SMALL: (f64, f64, f64, f64, f64) = (20.5, 0.8, -11.8, -63.0, -3.2);
+/// See [`PAPER_T2_SMALL`].
+pub const PAPER_T2_LARGE: (f64, f64, f64, f64, f64) = (28.2, -0.9, -14.8, -32.0, -3.8);
+
+/// Result of the Table III experiment for one cache configuration.
+pub struct Table3Config {
+    /// Macro-3D with symmetric M6–M6 stacks.
+    pub m6m6: PpaResult,
+    /// Macro-3D with the macro die trimmed to four metals (M6–M4).
+    pub m6m4: PpaResult,
+}
+
+/// Result of the full Table III experiment.
+pub struct Table3 {
+    /// Small-cache configuration.
+    pub small: Table3Config,
+    /// Large-cache configuration.
+    pub large: Table3Config,
+}
+
+/// Runs Table III: the heterogeneous-BEOL experiment (removing two
+/// macro-die metal layers).
+pub fn table3(cfg: &ExperimentConfig) -> Table3 {
+    let run_one = |tc: TileConfig| -> Table3Config {
+        let tile = generate_tile(&tc.with_scale(cfg.scale));
+        let mut f66 = cfg.flow.clone();
+        f66.macro_metals = 6;
+        let mut f64_ = cfg.flow.clone();
+        f64_.macro_metals = 4;
+        Table3Config {
+            m6m6: macro3d_flow::run(&tile, &f66),
+            m6m4: macro3d_flow::run(&tile, &f64_),
+        }
+    };
+    Table3 {
+        small: run_one(TileConfig::small_cache()),
+        large: run_one(TileConfig::large_cache()),
+    }
+}
+
+impl Table3 {
+    /// Formats the heterogeneous-stack comparison.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "=== Table III: heterogeneous BEOL (M6-M6 vs M6-M4) ===");
+        for (name, c, paper) in [
+            ("small-cache", &self.small, (-1.8, 1.3, -16.7, -18.4)),
+            ("large-cache", &self.large, (0.5, -1.0, -16.7, -24.1)),
+        ] {
+            let _ = writeln!(s, "--- {name} ---");
+            s.push_str(&comparison_table(&[&c.m6m6, &c.m6m4]));
+            let d = |ours: f64, base: f64| PpaResult::delta_pct(ours, base);
+            let _ = writeln!(
+                s,
+                "measured deltas: fclk {:+.1}% (paper {:+.1}%), Emean {:+.1}% (paper {:+.1}%), \
+                 Ametal {:+.1}% (paper {:+.1}%), bumps {:+.1}% (paper {:+.1}%)",
+                d(c.m6m4.fclk_mhz, c.m6m6.fclk_mhz),
+                paper.0,
+                d(c.m6m4.emean_fj, c.m6m6.emean_fj),
+                paper.1,
+                d(c.m6m4.metal_area_mm2, c.m6m6.metal_area_mm2),
+                paper.2,
+                d(c.m6m4.f2f_bumps as f64, c.m6m6.f2f_bumps as f64),
+                paper.3,
+            );
+        }
+        s
+    }
+}
+
+/// Figure outputs: SVG strings for Figs. 4–6.
+pub struct Figures {
+    /// Fig. 4: macro floorplans (2D and MoL, per config).
+    pub fig4: Vec<(String, String)>,
+    /// Fig. 5: final 2D layouts.
+    pub fig5: Vec<(String, String)>,
+    /// Fig. 6: final MoL layouts (macro die, logic die with red F2F
+    /// bumps).
+    pub fig6: Vec<(String, String)>,
+}
+
+/// Regenerates Figs. 4–6 for one cache configuration.
+pub fn figures(cfg: &ExperimentConfig, tc: TileConfig) -> Figures {
+    let name = tc.name.clone();
+    let tile = generate_tile(&tc.with_scale(cfg.scale));
+    let imp2d = flow2d::run_impl(&tile, &cfg.flow);
+    let imp3d = macro3d_flow::run_impl(&tile, &cfg.flow);
+
+    let macro_list = |imp: &crate::flow::ImplementedDesign| {
+        imp.fp
+            .macros
+            .iter()
+            .map(|mp| (mp.inst, mp.rect, mp.die))
+            .collect::<Vec<_>>()
+    };
+
+    let fig4 = vec![
+        (
+            format!("fig4_{name}_2d.svg"),
+            layout::svg_floorplan(&imp2d.design, imp2d.fp.die(), &macro_list(&imp2d)),
+        ),
+        (
+            format!("fig4_{name}_mol.svg"),
+            layout::svg_floorplan(&imp3d.design, imp3d.fp.die(), &macro_list(&imp3d)),
+        ),
+    ];
+    let fig5 = vec![(
+        format!("fig5_{name}_2d.svg"),
+        layout::svg_implemented(&imp2d),
+    )];
+    let (logic, upper) = layout::separate(&imp3d);
+    let fig6 = vec![
+        (format!("fig6_{name}_logic_die.svg"), layout::svg_layout(&logic)),
+        (format!("fig6_{name}_macro_die.svg"), layout::svg_layout(&upper)),
+    ];
+    Figures { fig4, fig5, fig6 }
+}
+
+/// Runs the C2D flow for the extension comparison (the paper measured
+/// it but dropped the numbers as strictly worse than S2D for
+/// macro-heavy designs).
+pub fn c2d_comparison(cfg: &ExperimentConfig) -> PpaResult {
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    c2d::run(&tile, &cfg.flow)
+}

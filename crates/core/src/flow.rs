@@ -1,0 +1,756 @@
+//! Shared flow infrastructure: configuration, floorplan sizing, the
+//! common place/route/extract/sign-off engine every flow drives.
+
+use macro3d_extract::{extract_net, NetParasitics};
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
+use macro3d_place::{
+    global_place, legalize, Floorplan, GlobalPlaceConfig, Placement, PortPlan,
+};
+use macro3d_route::{route_design, RouteConfig, RoutedDesign};
+use macro3d_soc::TileNetlist;
+use macro3d_sta::{
+    analyze, analyze_power, check_hold, clock_arrivals, insert_repeaters,
+    synthesize_clock_tree, upsize_critical_path, ClockArrivals, ClockTree, CtsConfig,
+    HoldReport, PowerInput, PowerReport, StaConstraints, StaInput, TimingReport,
+};
+use macro3d_tech::stack::{DieRole, MetalStack};
+use macro3d_tech::Corner;
+use std::collections::HashSet;
+
+/// Configuration shared by all flows.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Metal layers on the logic die.
+    pub logic_metals: usize,
+    /// Metal layers on the macro die (Table III trims this to 4).
+    pub macro_metals: usize,
+    /// Standard-cell region utilization target.
+    pub util_logic: f64,
+    /// Macro packing utilization target.
+    pub util_macro: f64,
+    /// Macro keep-out halo, µm.
+    pub halo_um: f64,
+    /// Repeater insertion threshold, µm of HPWL, for an
+    /// uncompressed (`area_scale = 1`) library. Flows scale it by
+    /// `sqrt(area_scale)`: compressed cells are proportionally
+    /// stronger, so each repeater drives a longer segment at the same
+    /// relative delay cost (keeps buffer area calibrated; see
+    /// DESIGN.md §5).
+    pub repeater_max_len_um: f64,
+    /// Router settings.
+    pub route: RouteConfig,
+    /// CTS settings.
+    pub cts: CtsConfig,
+    /// Post-route sizing iterations.
+    pub sizing_rounds: usize,
+    /// Quantization period for partial blockages in the S2D/C2D
+    /// pseudo-2D stages, µm (the commercial tools' coarse spatial
+    /// resolution the paper observes).
+    pub partial_blockage_period_um: f64,
+    /// Global placement settings.
+    pub place: GlobalPlaceConfig,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            logic_metals: 6,
+            macro_metals: 6,
+            util_logic: 0.60,
+            util_macro: 0.85,
+            halo_um: 2.0,
+            repeater_max_len_um: 150.0,
+            route: RouteConfig::default(),
+            cts: CtsConfig::default(),
+            sizing_rounds: 8,
+            partial_blockage_period_um: 8.0,
+            place: GlobalPlaceConfig::default(),
+        }
+    }
+}
+
+/// Area summary used for floorplan sizing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaBudget {
+    /// Total standard-cell area, µm².
+    pub cell_um2: f64,
+    /// Total macro area (with halos), µm².
+    pub macro_um2: f64,
+    /// Single-die footprint of the F2F stack, µm².
+    pub a3d_um2: f64,
+}
+
+/// Computes the fair footprints: the 3D footprint solves the
+/// two-die balance `A = cell/u_l + overflow_macros/u_m =
+/// macro_die_macros/u_m`, and the 2D footprint is exactly `2 × A`
+/// (the paper's equal-silicon-area rule).
+pub fn area_budget(design: &Design, cfg: &FlowConfig) -> AreaBudget {
+    let mut cell = 0.0;
+    let mut macros = 0.0;
+    for i in design.inst_ids() {
+        let halo_pad = if design.is_macro(i) {
+            let r = macro_rect_at_origin(design, i).inflate(Dbu::from_um(cfg.halo_um));
+            r.area_um2() - design.inst_area_um2(i)
+        } else {
+            0.0
+        };
+        if design.is_macro(i) {
+            macros += design.inst_area_um2(i) + halo_pad;
+        } else {
+            cell += design.inst_area_um2(i);
+        }
+    }
+    let a3d = 0.5 * (cell / cfg.util_logic + macros / cfg.util_macro);
+    AreaBudget {
+        cell_um2: cell,
+        macro_um2: macros,
+        a3d_um2: a3d,
+    }
+}
+
+fn macro_rect_at_origin(design: &Design, inst: InstId) -> Rect {
+    let Master::Macro(m) = design.inst(inst).master else {
+        panic!("not a macro");
+    };
+    Rect::from_origin_size(Point::ORIGIN, design.macro_master(m).size)
+}
+
+/// Splits the macros of a design into (macro-die, logic-die) sets for
+/// an MoL stack: largest first onto the macro die until its
+/// utilization target is reached.
+pub fn assign_macros_mol(design: &Design, die_area_um2: f64, cfg: &FlowConfig) -> (Vec<InstId>, Vec<InstId>) {
+    let mut macros: Vec<InstId> = design.inst_ids().filter(|&i| design.is_macro(i)).collect();
+    macros.sort_by(|&a, &b| {
+        design
+            .inst_area_um2(b)
+            .partial_cmp(&design.inst_area_um2(a))
+            .expect("finite areas")
+            .then(a.cmp(&b))
+    });
+    let budget = die_area_um2 * cfg.util_macro;
+    let mut used = 0.0;
+    let mut top = Vec::new();
+    let mut bottom = Vec::new();
+    for m in macros {
+        let r = macro_rect_at_origin(design, m).inflate(Dbu::from_um(cfg.halo_um));
+        if used + r.area_um2() <= budget {
+            used += r.area_um2();
+            top.push(m);
+        } else {
+            bottom.push(m);
+        }
+    }
+    (top, bottom)
+}
+
+/// Packs the MoL dual floorplans, retrying with fewer top-die macros
+/// until both dies pack geometrically (shelf packing wastes some area
+/// versus the pure area budget).
+///
+/// # Panics
+///
+/// Panics if even an empty macro die cannot host the logic-die
+/// macros (die far too small — not reachable from [`area_budget`]).
+pub fn pack_mol_floorplans(
+    design: &Design,
+    die: Rect,
+    halo: Dbu,
+    mut top: Vec<InstId>,
+    mut bottom: Vec<InstId>,
+) -> (
+    Vec<macro3d_place::MacroPlacement>,
+    Vec<macro3d_place::MacroPlacement>,
+) {
+    use macro3d_place::macro_place::{pack_ring, pack_shelves};
+    loop {
+        let top_packed = pack_shelves(design, &top, die, halo, DieRole::Macro);
+        if let Some(tp) = top_packed {
+            let bottom_packed = pack_ring(design, &bottom, die, halo)
+                .or_else(|| pack_shelves(design, &bottom, die, halo, DieRole::Logic));
+            if let Some(bp) = bottom_packed {
+                return (tp, bp);
+            }
+        }
+        // demote the smallest top-die macro and retry
+        match top.pop() {
+            Some(m) => bottom.push(m),
+            None => panic!("logic-die macros do not fit the die"),
+        }
+    }
+}
+
+/// A fully implemented design: everything needed for PPA reporting
+/// and layout export.
+pub struct ImplementedDesign {
+    /// The (flow-mutated: CTS, repeaters, sizing) netlist.
+    pub design: Design,
+    /// Final placement.
+    pub placement: Placement,
+    /// Port locations.
+    pub ports: PortPlan,
+    /// The floorplan used for the final placement.
+    pub fp: Floorplan,
+    /// The stack routing ran on (single-die or combined).
+    pub stack: MetalStack,
+    /// Routing result.
+    pub routed: RoutedDesign,
+    /// Extracted parasitics per net.
+    pub parasitics: Vec<NetParasitics>,
+    /// The synthesized clock tree.
+    pub clock_tree: ClockTree,
+    /// Clock arrivals.
+    pub clock: ClockArrivals,
+    /// Constraints.
+    pub constraints: StaConstraints,
+    /// Sign-off timing (SS).
+    pub timing: TimingReport,
+    /// Hold check (FF corner).
+    pub hold: HoldReport,
+    /// Power at max frequency (TT).
+    pub power: PowerReport,
+    /// Number of logic-die metal layers in `stack` (layers at or
+    /// above this index belong to the macro die).
+    pub logic_metals: usize,
+}
+
+impl ImplementedDesign {
+    /// Re-runs power analysis at an arbitrary frequency (the paper's
+    /// iso-performance comparison re-implements at 328 MHz).
+    pub fn power_at(&self, freq_mhz: f64, toggle: f64) -> PowerReport {
+        let clock_nets: HashSet<NetId> = self.clock_tree.nets.iter().copied().collect();
+        analyze_power(&PowerInput {
+            design: &self.design,
+            parasitics: &self.parasitics,
+            clock_nets: &clock_nets,
+            freq_mhz,
+            toggle,
+            corner: Corner::power_report(),
+        })
+    }
+}
+
+/// Converts the SoC constraints into the analyzer's view.
+pub fn sta_constraints(tile: &TileNetlist) -> StaConstraints {
+    let mut c = StaConstraints::new(tile.constraints.clock_net);
+    c.half_cycle_ports = tile.constraints.half_cycle_ports.iter().copied().collect();
+    c.input_slew_ps = tile.constraints.input_slew_ps;
+    c.port_load_ff = tile.constraints.port_load_ff;
+    c.toggle_rate = tile.constraints.toggle_rate;
+    c
+}
+
+/// Maps a pin to its routing-stack layer.
+///
+/// `logic_metals` is the logic die's layer count within `stack`;
+/// `macro_pins_projected` selects whether macro-die macro pins appear
+/// at their true combined-stack `_MD` layer (Macro-3D, and all final
+/// routes) or at their die-local layer (the S2D/C2D pseudo-2D stages'
+/// misassumption).
+pub fn pin_layer(
+    design: &Design,
+    placement: &Placement,
+    pin: PinRef,
+    logic_metals: usize,
+    stack_layers: usize,
+    macro_pins_projected: bool,
+) -> u16 {
+    let top_logic = (logic_metals - 1) as u16;
+    match pin {
+        PinRef::Port(_) => top_logic,
+        PinRef::Inst { inst, pin } => match design.inst(inst).master {
+            Master::Cell(_) => {
+                if placement.die_of[inst.index()] == DieRole::Macro
+                    && stack_layers > logic_metals
+                {
+                    // standard cell partitioned onto the top die
+                    logic_metals as u16
+                } else {
+                    0
+                }
+            }
+            Master::Macro(m) => {
+                let local = design.macro_master(m).pins[pin as usize].layer.0 as u16;
+                if macro_pins_projected
+                    && placement.die_of[inst.index()] == DieRole::Macro
+                    && stack_layers > logic_metals
+                {
+                    logic_metals as u16 + local
+                } else {
+                    local.min(top_logic)
+                }
+            }
+        },
+    }
+}
+
+/// Collects routing obstacles from placed macros' internal blockages.
+///
+/// Macro-die macros contribute obstacles on combined `_MD` layers when
+/// `project` is set (and the stack has them); logic-die macros always
+/// block their local layers.
+pub fn macro_obstacles(
+    design: &Design,
+    fp: &Floorplan,
+    logic_metals: usize,
+    stack_layers: usize,
+    project: bool,
+) -> Vec<(usize, Rect)> {
+    let mut out = Vec::new();
+    for mp in &fp.macros {
+        let Master::Macro(m) = design.inst(mp.inst).master else {
+            continue;
+        };
+        let def = design.macro_master(m).clone();
+        for (layer, rect) in &def.blockages {
+            let local = layer.0 as usize;
+            let placed = rect.translated(mp.rect.lo.x, mp.rect.lo.y);
+            let layer_ix = if mp.die == DieRole::Macro && project && stack_layers > logic_metals {
+                logic_metals + local
+            } else {
+                local.min(logic_metals - 1)
+            };
+            out.push((layer_ix, placed));
+        }
+    }
+    out
+}
+
+/// Builds the per-net pin list for routing.
+pub fn route_pins(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    logic_metals: usize,
+    stack_layers: usize,
+    macro_pins_projected: bool,
+) -> Vec<(NetId, Vec<(Point, u16)>)> {
+    design
+        .net_ids()
+        .map(|n| {
+            let pins = design
+                .net(n)
+                .pins
+                .iter()
+                .map(|&p| {
+                    (
+                        macro3d_place::pin_position(design, placement, ports, p),
+                        pin_layer(design, placement, p, logic_metals, stack_layers, macro_pins_projected),
+                    )
+                })
+                .collect();
+            (n, pins)
+        })
+        .collect()
+}
+
+/// Extracts every net of a routed design. Sink order matches
+/// `design.sinks(net)`; output ports contribute the constraint load.
+pub fn extract_all(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    stack: &MetalStack,
+    routed: &RoutedDesign,
+    constraints: &StaConstraints,
+    corner: Corner,
+) -> Vec<NetParasitics> {
+    let mut out = Vec::with_capacity(design.num_nets());
+    for n in design.net_ids() {
+        let Some(driver) = design.driver(n) else {
+            out.push(NetParasitics::default());
+            continue;
+        };
+        let drv_pos = macro3d_place::pin_position(design, placement, ports, driver);
+        let sinks: Vec<(Point, f64)> = design
+            .sinks(n)
+            .map(|s| {
+                let pos = macro3d_place::pin_position(design, placement, ports, s);
+                let cap = match s {
+                    PinRef::Port(_) => constraints.port_load_ff,
+                    _ => design.pin_cap(s),
+                };
+                (pos, cap)
+            })
+            .collect();
+        match routed.net(n) {
+            Some(r) => out.push(extract_net(stack, r, drv_pos, &sinks, corner)),
+            None => out.push(macro3d_extract::estimate_net(stack, drv_pos, &sinks, 1.0, corner)),
+        }
+    }
+    out
+}
+
+/// The placement pipeline shared by the direct flows: global place →
+/// repeater insertion → CTS → legalization. Returns the clock tree.
+pub fn place_pipeline(
+    design: &mut Design,
+    fp: &Floorplan,
+    ports: &PortPlan,
+    constraints: &StaConstraints,
+    cfg: &FlowConfig,
+) -> (Placement, ClockTree) {
+    let t0 = std::time::Instant::now();
+    let mut placement = global_place(design, fp, ports, &cfg.place);
+    stage_log("global_place", t0);
+    let t0 = std::time::Instant::now();
+
+    // legalize the base cells first so buffering sees real locations
+    let base_cells: Vec<InstId> = design
+        .inst_ids()
+        .filter(|&i| !design.is_macro(i))
+        .collect();
+    let base_rep = legalize(design, fp, &mut placement, &base_cells);
+    if std::env::var_os("MACRO3D_VERBOSE").is_some() {
+        eprintln!("  [legalize base] failed={} mean_disp={:.1}um", base_rep.failed, base_rep.mean_disp_um);
+    }
+
+    let mut skip: HashSet<NetId> = HashSet::new();
+    skip.insert(constraints.clock_net);
+    // compression-aware thresholds (see field docs)
+    let scale_len = design.library().area_scale().sqrt();
+    let threshold = cfg.repeater_max_len_um * scale_len;
+    // split until every net is below the repeater threshold
+    let mut new_cells: Vec<InstId> = Vec::new();
+    for _ in 0..8 {
+        let inserted = insert_repeaters(design, &mut placement, ports, threshold, &skip);
+        if inserted.is_empty() {
+            break;
+        }
+        new_cells.extend(inserted);
+    }
+    let mut cts_cfg = cfg.cts;
+    cts_cfg.repeater_spacing_um *= scale_len;
+    let tree = synthesize_clock_tree(design, &mut placement, constraints.clock_net, &cts_cfg);
+    new_cells.extend(tree.buffers.iter().copied());
+
+    stage_log("repeaters+cts", t0);
+    let t0 = std::time::Instant::now();
+    // ECO legalization: only the inserted buffers move
+    let eco_rep = macro3d_place::legalize::legalize_incremental(
+        design, fp, &mut placement, &new_cells, &base_cells,
+    );
+    if std::env::var_os("MACRO3D_VERBOSE").is_some() {
+        eprintln!("  [legalize eco] failed={} of {}", eco_rep.failed, new_cells.len());
+    }
+
+    // one greedy detailed-placement pass (same-row swaps) over every
+    // placed cell — buffers included, so repacking can't stomp them
+    let all_cells: Vec<InstId> = design
+        .inst_ids()
+        .filter(|&i| !design.is_macro(i))
+        .collect();
+    macro3d_place::detailed::swap_pass(design, &mut placement, ports, &all_cells);
+    stage_log("eco+detailed", t0);
+    (placement, tree)
+}
+
+/// Routes, extracts and signs a placed design off, including the
+/// post-route sizing loop. This is flow step 3 ("standard 2D P&R
+/// engine") plus sign-off.
+#[allow(clippy::too_many_arguments)]
+pub fn finish_design(
+    mut design: Design,
+    mut placement: Placement,
+    ports: PortPlan,
+    fp: Floorplan,
+    stack: MetalStack,
+    logic_metals: usize,
+    clock_tree: ClockTree,
+    constraints: StaConstraints,
+    cfg: &FlowConfig,
+    macro_pins_projected: bool,
+    sizing_rounds: usize,
+) -> ImplementedDesign {
+    let die = fp.die();
+    let t0 = std::time::Instant::now();
+    let obstacles = macro_obstacles(&design, &fp, logic_metals, stack.num_layers(), macro_pins_projected);
+    let nets = route_pins(
+        &design,
+        &placement,
+        &ports,
+        logic_metals,
+        stack.num_layers(),
+        macro_pins_projected,
+    );
+    let routed = route_design(die, &stack, &obstacles, &nets, design.num_nets(), &cfg.route);
+    stage_log("route", t0);
+    let t0 = std::time::Instant::now();
+    let mut parasitics = extract_all(
+        &design,
+        &placement,
+        &ports,
+        &stack,
+        &routed,
+        &constraints,
+        Corner::signoff(),
+    );
+    let clock = clock_arrivals(&design, &clock_tree, &parasitics, Corner::signoff());
+    stage_log("extract", t0);
+    let t0 = std::time::Instant::now();
+
+    let mut timing = analyze(&StaInput {
+        design: &design,
+        parasitics: &parasitics,
+        routed: Some(&routed),
+        constraints: &constraints,
+        clock: &clock,
+        corner: Corner::signoff(),
+    });
+    let mut resized: HashSet<InstId> = HashSet::new();
+    for _ in 0..sizing_rounds {
+        let changes = upsize_critical_path(&mut design, &timing);
+        if changes.is_empty() {
+            break;
+        }
+        resized.extend(changes.iter().map(|(i, _)| *i));
+        macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
+        let t2 = analyze(&StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed),
+            constraints: &constraints,
+            clock: &clock,
+            corner: Corner::signoff(),
+        });
+        if t2.min_period_ps >= timing.min_period_ps {
+            break;
+        }
+        timing = t2;
+    }
+    // sizing grew some footprints in place: ECO-legalize the resized
+    // cells so the final layout is overlap-free (their extracted
+    // parasitics keep the pre-ECO geometry — the usual engineering
+    // approximation for post-route sizing)
+    if !resized.is_empty() {
+        let resized_v: Vec<InstId> = resized.iter().copied().collect();
+        let others: Vec<InstId> = design
+            .inst_ids()
+            .filter(|i| !design.is_macro(*i) && !resized.contains(i))
+            .collect();
+        macro3d_place::legalize::legalize_incremental(
+            &design,
+            &fp,
+            &mut placement,
+            &resized_v,
+            &others,
+        );
+    }
+    stage_log("sta+sizing", t0);
+    let t0 = std::time::Instant::now();
+
+    let mut hold = check_hold(&StaInput {
+        design: &design,
+        parasitics: &parasitics,
+        routed: Some(&routed),
+        constraints: &constraints,
+        clock: &clock,
+        corner: macro3d_tech::Corner::Ff,
+    });
+    let mut clock = clock;
+    if hold.violations > 0 {
+        // standard post-CTS hold fixing: delay chains at violating
+        // register inputs, then re-check both hold and setup
+        let inserted =
+            macro3d_sta::opt::fix_hold(&mut design, &mut placement, &hold, 10_000);
+        if !inserted.is_empty() {
+            clock.arrival_ps.resize(design.num_insts(), 0.0);
+            parasitics.resize(design.num_nets(), NetParasitics::default());
+            // ECO-place the delay chains around their registers
+            let inserted_set: HashSet<InstId> = inserted.iter().copied().collect();
+            let others: Vec<InstId> = design
+                .inst_ids()
+                .filter(|i| !design.is_macro(*i) && !inserted_set.contains(i))
+                .collect();
+            macro3d_place::legalize::legalize_incremental(
+                &design,
+                &fp,
+                &mut placement,
+                &inserted,
+                &others,
+            );
+            hold = check_hold(&StaInput {
+                design: &design,
+                parasitics: &parasitics,
+                routed: Some(&routed),
+                constraints: &constraints,
+                clock: &clock,
+                corner: macro3d_tech::Corner::Ff,
+            });
+            timing = analyze(&StaInput {
+                design: &design,
+                parasitics: &parasitics,
+                routed: Some(&routed),
+                constraints: &constraints,
+                clock: &clock,
+                corner: Corner::signoff(),
+            });
+        }
+    }
+
+    // power at max frequency, TT corner
+    let tt_parasitics = extract_all(
+        &design,
+        &placement,
+        &ports,
+        &stack,
+        &routed,
+        &constraints,
+        Corner::power_report(),
+    );
+    let clock_nets: HashSet<NetId> = clock_tree.nets.iter().copied().collect();
+    let power = analyze_power(&PowerInput {
+        design: &design,
+        parasitics: &tt_parasitics,
+        clock_nets: &clock_nets,
+        freq_mhz: timing.fclk_mhz,
+        toggle: constraints.toggle_rate,
+        corner: Corner::power_report(),
+    });
+
+    stage_log("hold+power", t0);
+    ImplementedDesign {
+        design,
+        placement,
+        ports,
+        fp,
+        stack,
+        routed,
+        parasitics: tt_parasitics,
+        clock_tree,
+        clock,
+        constraints,
+        timing,
+        hold,
+        power,
+        logic_metals,
+    }
+}
+
+/// Prints a stage-timing line when `MACRO3D_VERBOSE` is set.
+pub fn stage_log(stage: &str, t0: std::time::Instant) {
+    if std::env::var_os("MACRO3D_VERBOSE").is_some() {
+        eprintln!("  [stage] {stage}: {:?}", t0.elapsed());
+    }
+}
+
+/// Total standard-cell area of a design, mm².
+pub fn logic_cell_area_mm2(design: &Design) -> f64 {
+    design
+        .inst_ids()
+        .filter(|&i| !design.is_macro(i))
+        .map(|i| design.inst_area_um2(i))
+        .sum::<f64>()
+        / 1e6
+}
+
+/// Instances that are standard cells.
+pub fn std_cells(design: &Design) -> Vec<InstId> {
+    design.inst_ids().filter(|&i| !design.is_macro(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_soc::{generate_tile, TileConfig};
+    use macro3d_tech::libgen::n28_library;
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_layer_projection() {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib.clone());
+        let inv = lib.smallest(macro3d_tech::CellClass::Inv).expect("inv");
+        let cell = d.add_cell("c", inv);
+        let mm = d.add_macro_master(macro3d_sram::MemoryCompiler::n28().sram("s", 256, 32));
+        let mac = d.add_macro_in("m", mm, 0);
+        let port = d.add_port("p", macro3d_tech::PinDir::Input, None);
+        let mut pl = Placement::new(&d);
+
+        // cell pins on M1; ports on the top logic metal
+        assert_eq!(pin_layer(&d, &pl, PinRef::inst(cell, 0), 6, 10, true), 0);
+        assert_eq!(pin_layer(&d, &pl, PinRef::Port(port), 6, 10, true), 5);
+
+        // macro pin on its local M4 when on the logic die
+        let m4_pin = d
+            .macro_master(macro3d_netlist::MacroMasterId(0))
+            .pins
+            .iter()
+            .position(|p| p.layer.0 == 3)
+            .expect("sram pins on M4") as u16;
+        assert_eq!(pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, true), 3);
+
+        // ... and projected to M4_MD (combined layer 9) on the macro die
+        pl.die_of[mac.index()] = DieRole::Macro;
+        assert_eq!(pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, true), 9);
+        // without projection (the S2D pseudo-2D misassumption): local
+        assert_eq!(pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, false), 3);
+
+        // a cell partitioned to the top die sits on M1_MD (layer 6)
+        pl.die_of[cell.index()] = DieRole::Macro;
+        assert_eq!(pin_layer(&d, &pl, PinRef::inst(cell, 0), 6, 10, true), 6);
+    }
+
+    #[test]
+    fn macro_obstacles_follow_die_and_projection() {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib.clone());
+        let mm = d.add_macro_master(macro3d_sram::MemoryCompiler::n28().sram("s", 256, 32));
+        let mac = d.add_macro_in("m", mm, 0);
+        let die = Rect::from_um(0.0, 0.0, 500.0, 500.0);
+        let mut fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+        let size = d.macro_master(macro3d_netlist::MacroMasterId(0)).size;
+        fp.add_macro(
+            macro3d_place::MacroPlacement {
+                inst: mac,
+                rect: Rect::from_origin_size(Point::from_um(10.0, 10.0), size),
+                die: DieRole::Macro,
+            },
+            DieRole::Logic,
+            Dbu::from_um(2.0),
+        );
+        // projected: all four SRAM blockage layers land on _MD layers
+        let obs = macro_obstacles(&d, &fp, 6, 10, true);
+        assert_eq!(obs.len(), 4);
+        assert!(obs.iter().all(|(l, _)| (6..10).contains(l)));
+        // unprojected: local layers 0..4
+        let obs2 = macro_obstacles(&d, &fp, 6, 6, false);
+        assert!(obs2.iter().all(|(l, _)| *l < 4));
+        // geometry is translated to the placed location
+        assert!(obs[0].1.lo.x >= Dbu::from_um(10.0));
+    }
+
+    #[test]
+    fn area_budget_matches_paper_regime() {
+        let tile = generate_tile(&TileConfig::small_cache().with_scale(16.0));
+        let cfg = FlowConfig::default();
+        let b = area_budget(&tile.design, &cfg);
+        // small-cache: ~0.3 mm2 cells, ~0.6 mm2 macros, A3d ~0.55-0.65
+        assert!(b.cell_um2 / 1e6 > 0.2 && b.cell_um2 / 1e6 < 0.45, "{}", b.cell_um2 / 1e6);
+        assert!(b.macro_um2 / 1e6 > 0.45 && b.macro_um2 / 1e6 < 0.8, "{}", b.macro_um2 / 1e6);
+        assert!(b.a3d_um2 / 1e6 > 0.4 && b.a3d_um2 / 1e6 < 0.8, "{}", b.a3d_um2 / 1e6);
+    }
+
+    #[test]
+    fn mol_assignment_fills_macro_die_first() {
+        let tile = generate_tile(&TileConfig::small_cache().with_scale(32.0));
+        let cfg = FlowConfig::default();
+        let b = area_budget(&tile.design, &cfg);
+        let (top, bottom) = assign_macros_mol(&tile.design, b.a3d_um2, &cfg);
+        assert!(!top.is_empty());
+        // top-die macros fit the utilization budget
+        let top_area: f64 = top.iter().map(|&m| tile.design.inst_area_um2(m)).sum();
+        assert!(top_area <= b.a3d_um2 * cfg.util_macro);
+        // every macro is somewhere
+        let total = tile
+            .design
+            .inst_ids()
+            .filter(|&i| tile.design.is_macro(i))
+            .count();
+        assert_eq!(top.len() + bottom.len(), total);
+        // largest macros go on top
+        if let (Some(&t), Some(&b0)) = (top.first(), bottom.first()) {
+            assert!(tile.design.inst_area_um2(t) >= tile.design.inst_area_um2(b0));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The conventional 2D flow (baseline of every table).
+//!
+//! Macros are packed around the die periphery (Fig. 4's 2D
+//! floorplans), standard cells fill the centre, everything is placed
+//! and routed with the six-metal single-die stack, and PPA is signed
+//! off at SS / reported at TT. The footprint is exactly twice the 3D
+//! footprint (equal total silicon, per the paper's fairness rule).
+
+use crate::flow::{
+    area_budget, finish_design, place_pipeline, sta_constraints, FlowConfig, ImplementedDesign,
+};
+use macro3d_geom::Dbu;
+use macro3d_place::floorplan::die_for_area;
+use macro3d_place::macro_place::{pack_bands, pack_ring, pack_shelves};
+use macro3d_place::{Floorplan, PortPlan};
+use macro3d_soc::TileNetlist;
+use macro3d_tech::stack::{n28_stack, DieRole};
+
+/// Runs the 2D baseline flow and returns the implemented design.
+///
+/// # Panics
+///
+/// Panics if the macros cannot be packed on the computed die (cannot
+/// happen for the paper's configurations with default utilization
+/// targets).
+pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+    let mut design = tile.design.clone();
+    let constraints = sta_constraints(tile);
+    let budget = area_budget(&design, cfg);
+    let lib = design.library().clone();
+
+    // 2x the 3D footprint: same silicon area in both styles.
+    let die = die_for_area(
+        2.0 * budget.a3d_um2,
+        1.0,
+        lib.row_height(),
+        lib.site_width(),
+    );
+    let mut fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+
+    let macros: Vec<_> = design.inst_ids().filter(|&i| design.is_macro(i)).collect();
+    let halo = Dbu::from_um(cfg.halo_um);
+    // macro-light dies use the periphery ring (small-cache Fig. 4);
+    // macro-heavy dies interleave macro bands with cell strips
+    // (large-cache Fig. 5), which keeps wire detours short
+    let macro_fraction = budget.macro_um2 / (budget.macro_um2 + budget.cell_um2);
+    let cell_fraction = (budget.cell_um2 / cfg.util_logic)
+        / (budget.cell_um2 / cfg.util_logic + budget.macro_um2 / cfg.util_macro);
+    let placements = if macro_fraction > 0.7 {
+        pack_bands(&design, &macros, die, halo, cell_fraction.min(0.9))
+            .or_else(|| pack_ring(&design, &macros, die, halo))
+    } else {
+        pack_ring(&design, &macros, die, halo)
+    }
+    .or_else(|| pack_shelves(&design, &macros, die, halo, DieRole::Logic))
+    .expect("macros fit the 2D die");
+    for mp in placements {
+        fp.add_macro(mp, DieRole::Logic, halo);
+    }
+
+    let ports = PortPlan::assign(&design, die);
+    let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg);
+
+    let stack = n28_stack(cfg.logic_metals, DieRole::Logic);
+    let logic_metals = cfg.logic_metals;
+    finish_design(
+        design,
+        placement,
+        ports,
+        fp,
+        stack,
+        logic_metals,
+        tree,
+        constraints,
+        cfg,
+        false,
+        cfg.sizing_rounds,
+    )
+}
+
+/// Runs the 2D baseline flow and returns its PPA.
+pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
+    crate::PpaResult::from_impl("2D", &run_impl(tile, cfg))
+}

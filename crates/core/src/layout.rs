@@ -1,0 +1,258 @@
+//! Layout export: SVG rendering (Figs. 4–6) and Macro-3D die
+//! separation (flow step 4).
+
+use crate::flow::ImplementedDesign;
+use macro3d_geom::{Point, Rect};
+use macro3d_netlist::{Design, InstId, Master};
+use macro3d_route::RouteSeg;
+use macro3d_tech::stack::DieRole;
+use std::fmt::Write as _;
+
+/// Everything that ends up on one die's GDS.
+#[derive(Clone, Debug, Default)]
+pub struct DieLayout {
+    /// Die outline.
+    pub die: Rect,
+    /// Standard cells (instance, footprint).
+    pub cells: Vec<(InstId, Rect)>,
+    /// Macros (instance, footprint) — rescaled to their original size
+    /// on the macro die.
+    pub macros: Vec<(InstId, Rect)>,
+    /// Wire segments with die-local layer indices.
+    pub segments: Vec<RouteSeg>,
+    /// F2F bump locations (present in both dies' layouts, as the
+    /// paper notes the F2F_VIA layer is included in both parts).
+    pub f2f_bumps: Vec<Point>,
+}
+
+/// Splits an implemented Macro-3D design back into per-die layouts.
+///
+/// Layers `0..logic_metals` (and the cells) stay on the logic die;
+/// higher layers map to the macro die with local indices; F2F-cut
+/// vias become bump markers in both layouts.
+pub fn separate(imp: &ImplementedDesign) -> (DieLayout, DieLayout) {
+    let design = &imp.design;
+    let die = imp.fp.die();
+    let logic_metals = imp.logic_metals as u16;
+
+    let mut logic = DieLayout {
+        die,
+        ..Default::default()
+    };
+    let mut upper = DieLayout {
+        die,
+        ..Default::default()
+    };
+
+    for i in design.inst_ids() {
+        let rect = imp.placement.rect(design, i);
+        match design.inst(i).master {
+            Master::Cell(_) => match imp.placement.die_of[i.index()] {
+                DieRole::Logic => logic.cells.push((i, rect)),
+                DieRole::Macro => upper.cells.push((i, rect)),
+            },
+            Master::Macro(_) => match imp.placement.die_of[i.index()] {
+                DieRole::Logic => logic.macros.push((i, rect)),
+                DieRole::Macro => upper.macros.push((i, rect)),
+            },
+        }
+    }
+
+    let f2f_cut = imp.stack.f2f_cut();
+    for routed in imp.routed.nets.iter().flatten() {
+        for s in &routed.segments {
+            if (s.layer as usize) < logic_metals as usize {
+                logic.segments.push(*s);
+            } else {
+                let mut local = *s;
+                local.layer = s.layer - logic_metals;
+                upper.segments.push(local);
+            }
+        }
+        for v in &routed.vias {
+            if Some(v.layer as usize) == f2f_cut {
+                logic.f2f_bumps.push(v.at);
+                upper.f2f_bumps.push(v.at);
+            }
+        }
+    }
+    (logic, upper)
+}
+
+/// Layer fill colours for SVG rendering (cycled).
+const LAYER_COLORS: [&str; 10] = [
+    "#4575b4", "#74add1", "#abd9e9", "#e0f3f8", "#fee090", "#fdae61", "#f46d43", "#d73027",
+    "#a50026", "#762a83",
+];
+
+/// Renders a floorplan (die, macros, optional cells) as SVG —
+/// regenerates the Fig. 4 macro floorplans.
+pub fn svg_floorplan(design: &Design, imp_die: Rect, macros: &[(InstId, Rect, DieRole)]) -> String {
+    let mut s = svg_header(imp_die);
+    for (inst, rect, die) in macros {
+        let color = match die {
+            DieRole::Logic => "#9ecae1",
+            DieRole::Macro => "#fdae6b",
+        };
+        svg_rect(&mut s, *rect, color, "#333", 0.9);
+        let c = rect.center();
+        let _ = write!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" font-size="8" text-anchor="middle">{}</text>"#,
+            c.x.to_um(),
+            c.y.to_um(),
+            design.inst(*inst).name
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders a placed-and-routed die layout as SVG (Figs. 5–6): cells
+/// in grey, macros tinted, wires per-layer coloured, F2F bumps as red
+/// dots.
+pub fn svg_layout(layout: &DieLayout) -> String {
+    let mut s = svg_header(layout.die);
+    for (_, r) in &layout.cells {
+        svg_rect(&mut s, *r, "#bbbbbb", "none", 0.7);
+    }
+    for (_, r) in &layout.macros {
+        svg_rect(&mut s, *r, "#fdae6b", "#333", 0.9);
+    }
+    for seg in &layout.segments {
+        let color = LAYER_COLORS[seg.layer as usize % LAYER_COLORS.len()];
+        let _ = write!(
+            s,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="0.3" opacity="0.5"/>"#,
+            seg.from.x.to_um(),
+            seg.from.y.to_um(),
+            seg.to.x.to_um(),
+            seg.to.y.to_um(),
+            color
+        );
+    }
+    for b in &layout.f2f_bumps {
+        let _ = write!(
+            s,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="0.8" fill="red"/>"#,
+            b.x.to_um(),
+            b.y.to_um()
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders the floorplan + cells of a full implemented design (one
+/// die for 2D designs).
+pub fn svg_implemented(imp: &ImplementedDesign) -> String {
+    let (logic, _) = separate(imp);
+    svg_layout(&logic)
+}
+
+fn svg_header(die: Rect) -> String {
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="{:.1} {:.1} {:.1} {:.1}">"#,
+        die.lo.x.to_um(),
+        die.lo.y.to_um(),
+        die.width().to_um(),
+        die.height().to_um()
+    ) + &format!(
+        r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="white" stroke="black" stroke-width="1"/>"#,
+        die.lo.x.to_um(),
+        die.lo.y.to_um(),
+        die.width().to_um(),
+        die.height().to_um()
+    )
+}
+
+fn svg_rect(s: &mut String, r: Rect, fill: &str, stroke: &str, opacity: f64) {
+    let _ = write!(
+        s,
+        r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" opacity="{}"/>"#,
+        r.lo.x.to_um(),
+        r.lo.y.to_um(),
+        r.width().to_um(),
+        r.height().to_um(),
+        fill,
+        stroke,
+        opacity
+    );
+}
+
+/// Writes a DEF-like placement dump (component section only) — a
+/// text interchange format for downstream tooling.
+pub fn write_def(design: &Design, imp: &ImplementedDesign) -> String {
+    let mut s = String::new();
+    let die = imp.fp.die();
+    let _ = writeln!(s, "VERSION 5.8 ;");
+    let _ = writeln!(s, "DESIGN {} ;", design.name());
+    let _ = writeln!(s, "UNITS DISTANCE MICRONS 1000 ;");
+    let _ = writeln!(
+        s,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        die.lo.x.nm(),
+        die.lo.y.nm(),
+        die.hi.x.nm(),
+        die.hi.y.nm()
+    );
+    let _ = writeln!(s, "COMPONENTS {} ;", design.num_insts());
+    for i in design.inst_ids() {
+        let master = match design.inst(i).master {
+            Master::Cell(c) => design.library().cell(c).name.clone(),
+            Master::Macro(m) => design.macro_master(m).name.clone(),
+        };
+        let p = imp.placement.pos[i.index()];
+        let die_tag = match imp.placement.die_of[i.index()] {
+            DieRole::Logic => "",
+            DieRole::Macro => " + PROPERTY TIER MACRO_DIE",
+        };
+        let _ = writeln!(
+            s,
+            "- {} {} + PLACED ( {} {} ) {}{} ;",
+            design.inst(i).name,
+            master,
+            p.x.nm(),
+            p.y.nm(),
+            imp.placement.orient[i.index()],
+            die_tag
+        );
+    }
+    let _ = writeln!(s, "END COMPONENTS");
+    let _ = writeln!(s, "END DESIGN");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_geom::Dbu;
+
+    #[test]
+    fn svg_header_is_well_formed() {
+        let die = Rect::from_um(0.0, 0.0, 100.0, 80.0);
+        let s = svg_header(die) + "</svg>";
+        assert!(s.starts_with("<svg"));
+        assert!(s.contains("viewBox=\"0.0 0.0 100.0 80.0\""));
+        assert!(s.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn floorplan_svg_lists_macros() {
+        use macro3d_tech::libgen::n28_library;
+        use std::sync::Arc;
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let mm = d.add_macro_master(macro3d_sram::MemoryCompiler::n28().sram("s", 512, 64));
+        let m = d.add_macro_in("mem0", mm, 0);
+        let die = Rect::from_um(0.0, 0.0, 500.0, 500.0);
+        let svg = svg_floorplan(
+            &d,
+            die,
+            &[(m, Rect::from_um(10.0, 10.0, 150.0, 200.0), DieRole::Macro)],
+        );
+        assert!(svg.contains("mem0"));
+        assert!(svg.contains("#fdae6b"));
+        let _ = Dbu(0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Macro-3D: physical design flows for face-to-face-stacked
+//! heterogeneous 3D ICs (DATE 2020 reproduction).
+//!
+//! This crate implements the paper's primary contribution — the
+//! **Macro-3D** flow ([`macro3d_flow`]) — together with the baselines
+//! it is evaluated against:
+//!
+//! * [`flow2d`] — the conventional single-die flow (the comparison
+//!   baseline of every table);
+//! * [`s2d`] — Shrunk-2D \[Panth et al.\]: a pseudo-2D stage with
+//!   shrunk cells and quantized partial blockages, followed by tier
+//!   partitioning, overlap fixing, F2F-via planning and a re-route,
+//!   in both memory-on-logic and balanced-floorplan (BF) variants;
+//! * [`c2d`] — Compact-2D \[Ku et al.\]: an enlarged-floorplan stage
+//!   with √2-scaled parasitics, linear position mapping and
+//!   post-partition optimization.
+//!
+//! All flows drive the *same* placement/routing/timing engines (the
+//! `macro3d-place`, `macro3d-route`, `macro3d-extract` and
+//! `macro3d-sta` crates) — mirroring the paper's setup where every
+//! flow drives the same commercial 2D tools — and return a uniform
+//! [`report::PpaResult`].
+//!
+//! The [`experiments`] module regenerates every table and figure of
+//! the paper's evaluation; [`layout`] renders floorplans and routed
+//! layouts (Figs. 4–6) as SVG and performs the Macro-3D die
+//! separation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use macro3d::{flow2d, macro3d_flow, FlowConfig};
+//! use macro3d_soc::{generate_tile, TileConfig};
+//!
+//! let cfg = FlowConfig::default();
+//! let tile = generate_tile(&TileConfig::small_cache().with_scale(32.0));
+//! let r2d = flow2d::run(&tile, &cfg);
+//! let r3d = macro3d_flow::run(&tile, &cfg);
+//! assert!(r3d.footprint_mm2 < r2d.footprint_mm2);
+//! ```
+
+pub mod c2d;
+pub mod check;
+pub mod experiments;
+pub mod flow;
+pub mod flow2d;
+pub mod layout;
+pub mod macro3d_flow;
+pub mod report;
+pub mod s2d;
+pub mod via_plan;
+
+pub use flow::{FlowConfig, ImplementedDesign};
+pub use report::PpaResult;

@@ -1,0 +1,108 @@
+//! The Macro-3D flow — the paper's contribution (Sec. IV).
+//!
+//! Four steps, exactly as Fig. 2:
+//!
+//! 1. **Dual floorplans.** Two floorplans with the final F2F
+//!    footprint: the macro die is shelf-packed with the largest
+//!    macros (up to its utilization target); the remaining macros go
+//!    on the logic die's periphery.
+//! 2. **Memory-on-logic projection.** The combined BEOL of the whole
+//!    stack is built (`M1…M6 → F2F_VIA → M1_MD…`); macro-die macros
+//!    are projected into the logic-die floorplan with their substrate
+//!    shrunk away (no placement blockage — the paper shrinks them to
+//!    filler-cell size) while their pins and internal routing
+//!    blockages live on the `_MD` layers at their true positions.
+//! 3. **Standard 2D P&R.** The unmodified engine places cells in the
+//!    blockage-free area, synthesizes the clock tree, and routes over
+//!    the *full* combined stack — crossings of the F2F cut become
+//!    bumps, macro pins are reached at their real layers, and routes
+//!    may traverse the macro die to dodge congestion. The resulting
+//!    parasitics (and therefore PPA) are directly valid for the 3D
+//!    stack; no tier partitioning or via planning follows.
+//! 4. **Die separation.** The layout splits back into per-die GDS
+//!    (see [`crate::layout`]); the F2F via layer appears in both.
+
+use crate::flow::{
+    area_budget, assign_macros_mol, finish_design, place_pipeline, sta_constraints, FlowConfig,
+    ImplementedDesign,
+};
+use macro3d_geom::Dbu;
+use macro3d_place::floorplan::die_for_area;
+use macro3d_place::{Floorplan, PortPlan};
+use macro3d_soc::TileNetlist;
+use macro3d_tech::stack::{n28_stack, DieRole};
+use macro3d_tech::{CombinedBeol, F2fSpec};
+
+/// Runs the Macro-3D flow and returns the implemented design.
+///
+/// `cfg.macro_metals` selects the macro-die BEOL depth (6 for the
+/// main results, 4 for Table III's heterogeneous-stack experiment).
+///
+/// # Panics
+///
+/// Panics if macro packing fails (cannot happen for the paper's
+/// configurations with default utilization targets).
+pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+    let mut design = tile.design.clone();
+    let constraints = sta_constraints(tile);
+    let budget = area_budget(&design, cfg);
+    let lib = design.library().clone();
+
+    let die = die_for_area(budget.a3d_um2, 1.0, lib.row_height(), lib.site_width());
+    let halo = Dbu::from_um(cfg.halo_um);
+
+    // Step 1: dual floorplans.
+    let (top_macros, bottom_macros) = assign_macros_mol(&design, die.area_um2(), cfg);
+    let (top_placements, bottom_placements) =
+        crate::flow::pack_mol_floorplans(&design, die, halo, top_macros, bottom_macros);
+
+    // Step 2: projection — macro-die macros add pins/obstacles but no
+    // placement blockage; logic-die macros block placement as usual.
+    let mut fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+    for mp in top_placements {
+        fp.add_macro(mp, DieRole::Logic, halo);
+    }
+    for mp in bottom_placements {
+        fp.add_macro(mp, DieRole::Logic, halo);
+    }
+
+    let combined = CombinedBeol::build(
+        &n28_stack(cfg.logic_metals, DieRole::Logic),
+        &n28_stack(cfg.macro_metals, DieRole::Macro),
+        &F2fSpec::hybrid_bond_n28(),
+    );
+
+    // Step 3: unmodified 2D P&R over the combined stack.
+    let ports = PortPlan::assign(&design, die);
+    let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg);
+
+    finish_design(
+        design,
+        placement,
+        ports,
+        fp,
+        combined.stack().clone(),
+        cfg.logic_metals,
+        tree,
+        constraints,
+        cfg,
+        true, // macro pins at their true _MD layers
+        cfg.sizing_rounds,
+    )
+    // Step 4 (die separation) is available via crate::layout on the
+    // returned ImplementedDesign.
+}
+
+/// Runs the Macro-3D flow and returns its PPA. The reported metal
+/// area accounts for both dies' (possibly asymmetric) stacks.
+pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
+    let imp = run_impl(tile, cfg);
+    let mut ppa = crate::PpaResult::from_impl(
+        format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
+        &imp,
+    );
+    // per-die footprint x per-die layer counts
+    ppa.metal_area_mm2 =
+        ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
+    ppa
+}

@@ -1,0 +1,137 @@
+//! Uniform PPA reporting across flows.
+
+use crate::flow::ImplementedDesign;
+use macro3d_sta::{PowerReport, TimingReport};
+use std::fmt;
+
+/// The metrics the paper's tables report, for one implemented design.
+#[derive(Clone, Debug)]
+pub struct PpaResult {
+    /// Flow label (e.g. `"2D"`, `"Macro-3D"`).
+    pub flow: String,
+    /// Max clock frequency, MHz (Tables I–III).
+    pub fclk_mhz: f64,
+    /// Energy per cycle at max frequency, fJ (Tables I–III).
+    pub emean_fj: f64,
+    /// Die footprint, mm² (per die for 3D designs).
+    pub footprint_mm2: f64,
+    /// Standard-cell area, mm² (Table II).
+    pub logic_cell_area_mm2: f64,
+    /// Total routed wirelength, m (Table II).
+    pub total_wirelength_m: f64,
+    /// F2F bump count (Tables I–III).
+    pub f2f_bumps: u64,
+    /// Total pin capacitance, nF (Table II).
+    pub cpin_nf: f64,
+    /// Total wire capacitance, nF (Table II).
+    pub cwire_nf: f64,
+    /// Max clock-tree depth (Table II).
+    pub clock_tree_depth: usize,
+    /// Critical-path wirelength, mm (Table II).
+    pub crit_path_wl_mm: f64,
+    /// Total metal area (footprint × layers, summed over dies), mm²
+    /// (Table III).
+    pub metal_area_mm2: f64,
+    /// Full timing report.
+    pub timing: TimingReport,
+    /// Full power report.
+    pub power: PowerReport,
+    /// Residual routing overflow (quality check).
+    pub route_overflow: f64,
+}
+
+impl PpaResult {
+    /// Assembles the result from an implemented design.
+    pub fn from_impl(flow: impl Into<String>, imp: &ImplementedDesign) -> Self {
+        let footprint_mm2 = imp.fp.die().size().area_mm2();
+        let metal_area_mm2 = footprint_mm2 * imp.stack.num_layers() as f64;
+        PpaResult {
+            flow: flow.into(),
+            fclk_mhz: imp.timing.fclk_mhz,
+            emean_fj: imp.power.emean_fj_per_cycle,
+            footprint_mm2,
+            logic_cell_area_mm2: crate::flow::logic_cell_area_mm2(&imp.design),
+            total_wirelength_m: imp.routed.total_wirelength_um * 1e-6,
+            f2f_bumps: imp.routed.f2f_bumps,
+            cpin_nf: imp.power.cpin_total_nf,
+            cwire_nf: imp.power.cwire_total_nf,
+            clock_tree_depth: imp.timing.clock_tree_depth,
+            crit_path_wl_mm: imp.timing.crit_path_wirelength_mm,
+            metal_area_mm2,
+            timing: imp.timing.clone(),
+            power: imp.power.clone(),
+            route_overflow: imp.routed.overflow,
+        }
+    }
+
+    /// Percentage delta of a metric versus a baseline value
+    /// (`+` = this result is larger).
+    pub fn delta_pct(ours: f64, baseline: f64) -> f64 {
+        if baseline == 0.0 {
+            0.0
+        } else {
+            100.0 * (ours - baseline) / baseline
+        }
+    }
+}
+
+impl fmt::Display for PpaResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.flow)?;
+        writeln!(f, "  fclk            {:8.1} MHz", self.fclk_mhz)?;
+        writeln!(f, "  Emean           {:8.1} fJ/cycle", self.emean_fj)?;
+        writeln!(f, "  footprint       {:8.3} mm^2", self.footprint_mm2)?;
+        writeln!(f, "  logic cells     {:8.3} mm^2", self.logic_cell_area_mm2)?;
+        writeln!(f, "  wirelength      {:8.3} m", self.total_wirelength_m)?;
+        writeln!(f, "  F2F bumps       {:8}", self.f2f_bumps)?;
+        writeln!(f, "  Cpin            {:8.4} nF", self.cpin_nf)?;
+        writeln!(f, "  Cwire           {:8.4} nF", self.cwire_nf)?;
+        writeln!(f, "  clk-tree depth  {:8}", self.clock_tree_depth)?;
+        write!(f, "  crit-path WL    {:8.3} mm", self.crit_path_wl_mm)
+    }
+}
+
+/// Renders a comparison table (rows = metrics, columns = flows) in
+/// the style of the paper's tables.
+pub fn comparison_table(results: &[&PpaResult]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "{:<22}", "metric");
+    for r in results {
+        let _ = write!(s, "{:>16}", r.flow);
+    }
+    let _ = writeln!(s);
+    let mut row = |label: &str, get: &dyn Fn(&PpaResult) -> String| {
+        let _ = write!(s, "{label:<22}");
+        for r in results {
+            let _ = write!(s, "{:>16}", get(r));
+        }
+        let _ = writeln!(s);
+    };
+    row("fclk [MHz]", &|r| format!("{:.0}", r.fclk_mhz));
+    row("Emean [fJ/cycle]", &|r| format!("{:.1}", r.emean_fj));
+    row("Afootprint [mm2]", &|r| format!("{:.2}", r.footprint_mm2));
+    row("Alogic-cells [mm2]", &|r| {
+        format!("{:.3}", r.logic_cell_area_mm2)
+    });
+    row("wirelength [m]", &|r| format!("{:.3}", r.total_wirelength_m));
+    row("F2F bumps", &|r| format!("{}", r.f2f_bumps));
+    row("Cpin [nF]", &|r| format!("{:.4}", r.cpin_nf));
+    row("Cwire [nF]", &|r| format!("{:.4}", r.cwire_nf));
+    row("clk-tree depth", &|r| format!("{}", r.clock_tree_depth));
+    row("crit-path WL [mm]", &|r| format!("{:.3}", r.crit_path_wl_mm));
+    row("Ametal [mm2]", &|r| format!("{:.2}", r.metal_area_mm2));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_pct() {
+        assert!((PpaResult::delta_pct(470.0, 390.0) - 20.5).abs() < 0.1);
+        assert_eq!(PpaResult::delta_pct(1.0, 0.0), 0.0);
+        assert!((PpaResult::delta_pct(0.60, 1.20) + 50.0).abs() < 1e-9);
+    }
+}

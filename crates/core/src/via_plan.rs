@@ -1,0 +1,144 @@
+//! F2F-via planning for the S2D/C2D baselines.
+//!
+//! After tier partitioning, every net spanning both dies needs an F2F
+//! bump. The planner snaps each crossing to the bump pitch grid and
+//! resolves collisions by spiralling outward to the nearest free
+//! site — the separate planning step the Macro-3D flow makes
+//! unnecessary (its router places bumps implicitly).
+
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::NetId;
+use macro3d_tech::F2fSpec;
+use std::collections::HashSet;
+
+/// A planned bump assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViaPlan {
+    /// One (net, site) pair per inter-die crossing.
+    pub bumps: Vec<(NetId, Point)>,
+    /// Crossings that could not be placed on the grid (die full).
+    pub failed: usize,
+    /// Mean displacement from the requested location, µm.
+    pub mean_displacement_um: f64,
+}
+
+impl ViaPlan {
+    /// Number of placed bumps.
+    pub fn count(&self) -> u64 {
+        self.bumps.len() as u64
+    }
+}
+
+/// Plans bump sites for the requested crossings (net, desired
+/// location).
+///
+/// Each bump lands on the pitch grid inside the die; occupied sites
+/// deflect the bump outward ring by ring.
+pub fn plan_bumps(die: Rect, f2f: &F2fSpec, requests: &[(NetId, Point)]) -> ViaPlan {
+    let pitch = f2f.pitch;
+    let mut occupied: HashSet<(i64, i64)> = HashSet::new();
+    let mut bumps = Vec::with_capacity(requests.len());
+    let mut failed = 0usize;
+    let mut total_disp = 0.0f64;
+
+    let nx = (die.width() / pitch).max(1);
+    let ny = (die.height() / pitch).max(1);
+
+    for &(net, want) in requests {
+        let gx = ((want.x - die.lo.x) / pitch).clamp(0, nx - 1);
+        let gy = ((want.y - die.lo.y) / pitch).clamp(0, ny - 1);
+        let mut placed = None;
+        'search: for ring in 0..64i64 {
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue;
+                    }
+                    let (x, y) = (gx + dx, gy + dy);
+                    if x < 0 || y < 0 || x >= nx || y >= ny {
+                        continue;
+                    }
+                    if occupied.insert((x, y)) {
+                        placed = Some((x, y));
+                        break 'search;
+                    }
+                }
+            }
+        }
+        match placed {
+            Some((x, y)) => {
+                let at = Point::new(
+                    die.lo.x + pitch * x + pitch / 2,
+                    die.lo.y + pitch * y + pitch / 2,
+                );
+                total_disp += want.manhattan(at).to_um();
+                bumps.push((net, at));
+            }
+            None => failed += 1,
+        }
+    }
+
+    let mean = if bumps.is_empty() {
+        0.0
+    } else {
+        total_disp / bumps.len() as f64
+    };
+    ViaPlan {
+        bumps,
+        failed,
+        mean_displacement_um: mean,
+    }
+}
+
+/// Convenience: the minimum spacing check used by tests.
+pub fn min_spacing(plan: &ViaPlan) -> Dbu {
+    let mut min = Dbu::MAX;
+    for (i, (_, a)) in plan.bumps.iter().enumerate() {
+        for (_, b) in &plan.bumps[i + 1..] {
+            min = min.min(a.manhattan(*b));
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_respect_pitch() {
+        let die = Rect::from_um(0.0, 0.0, 20.0, 20.0);
+        let f2f = F2fSpec::hybrid_bond_n28();
+        // 16 crossings all wanting the same spot
+        let reqs: Vec<(NetId, Point)> = (0..16)
+            .map(|i| (NetId(i), Point::from_um(10.0, 10.0)))
+            .collect();
+        let plan = plan_bumps(die, &f2f, &reqs);
+        assert_eq!(plan.count(), 16);
+        assert_eq!(plan.failed, 0);
+        assert!(min_spacing(&plan) >= f2f.pitch);
+        assert!(plan.mean_displacement_um > 0.0, "collisions displaced");
+    }
+
+    #[test]
+    fn overfull_die_reports_failures() {
+        let die = Rect::from_um(0.0, 0.0, 3.0, 1.0); // 3 sites
+        let f2f = F2fSpec::hybrid_bond_n28();
+        let reqs: Vec<(NetId, Point)> = (0..10)
+            .map(|i| (NetId(i), Point::from_um(1.0, 0.5)))
+            .collect();
+        let plan = plan_bumps(die, &f2f, &reqs);
+        assert_eq!(plan.count() as usize + plan.failed, 10);
+        assert!(plan.failed > 0);
+    }
+
+    #[test]
+    fn isolated_requests_land_exactly() {
+        let die = Rect::from_um(0.0, 0.0, 100.0, 100.0);
+        let f2f = F2fSpec::hybrid_bond_n28();
+        let reqs = vec![(NetId(0), Point::from_um(50.2, 50.2))];
+        let plan = plan_bumps(die, &f2f, &reqs);
+        assert_eq!(plan.count(), 1);
+        assert!(plan.mean_displacement_um < 1.5, "{}", plan.mean_displacement_um);
+    }
+}

@@ -1,0 +1,430 @@
+//! Parasitic extraction: RC trees and Elmore delays from routed nets.
+//!
+//! The original flow extracts parasitics with a commercial engine
+//! against the foundry `.tch` files; here, each routed net's segments
+//! and vias are turned into a distributed RC tree using the stack's
+//! per-layer resistance/capacitance and per-via parasitics (including
+//! the 44 mΩ / 1.0 fF F2F bumps in combined stacks), and sink delays
+//! are computed with the Elmore metric — the standard model for
+//! global-routing-stage timing.
+//!
+//! # Examples
+//!
+//! ```
+//! use macro3d_extract::extract_net;
+//! use macro3d_geom::Point;
+//! use macro3d_route::{RouteSeg, RoutedNet};
+//! use macro3d_tech::stack::{n28_stack, DieRole};
+//! use macro3d_tech::Corner;
+//!
+//! let stack = n28_stack(6, DieRole::Logic);
+//! let net = RoutedNet {
+//!     segments: vec![RouteSeg {
+//!         layer: 0,
+//!         from: Point::from_um(0.0, 0.0),
+//!         to: Point::from_um(100.0, 0.0),
+//!     }],
+//!     vias: vec![],
+//!     f2f_crossings: 0,
+//! };
+//! let p = extract_net(
+//!     &stack,
+//!     &net,
+//!     Point::from_um(0.0, 0.0),
+//!     &[(Point::from_um(100.0, 0.0), 1.0)],
+//!     Corner::Tt,
+//! );
+//! assert!(p.elmore_ps[0] > 0.0);
+//! assert!(p.wire_cap_ff > 15.0); // 100 um of M1 at 0.2 fF/um
+//! ```
+
+use macro3d_geom::Point;
+use macro3d_route::RoutedNet;
+use macro3d_tech::stack::MetalStack;
+use macro3d_tech::Corner;
+use std::collections::HashMap;
+
+/// Extracted parasitics of one net.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetParasitics {
+    /// Total wire + via capacitance, fF.
+    pub wire_cap_ff: f64,
+    /// Total wire + via resistance, Ω (sum over elements).
+    pub total_res_ohm: f64,
+    /// Elmore delay driver→sink, ps, in input sink order.
+    pub elmore_ps: Vec<f64>,
+    /// Capacitance seen by the driver (wire + sink pins), fF.
+    pub driver_load_ff: f64,
+}
+
+/// Extracts a routed net into Elmore sink delays.
+///
+/// `sinks` carries each sink's location and pin capacitance (fF).
+/// Driver and sink locations are matched to the nearest RC node
+/// (routing quantizes pins to GCell centres). Falls back to a lumped
+/// model for sinks disconnected from the driver's RC component
+/// (possible when a route was only partially recovered).
+pub fn extract_net(
+    stack: &MetalStack,
+    route: &RoutedNet,
+    driver: Point,
+    sinks: &[(Point, f64)],
+    corner: Corner,
+) -> NetParasitics {
+    let tree = RcTree::build(stack, route, corner);
+    if tree.nodes.is_empty() {
+        // zero-length route: purely pin-cap load
+        let load: f64 = sinks.iter().map(|s| s.1).sum();
+        return NetParasitics {
+            wire_cap_ff: 0.0,
+            total_res_ohm: 0.0,
+            elmore_ps: vec![0.0; sinks.len()],
+            driver_load_ff: load,
+        };
+    }
+
+    let root = tree.nearest(driver);
+    let mut node_cap = tree.cap.clone();
+    let mut sink_node = Vec::with_capacity(sinks.len());
+    for (p, c) in sinks {
+        let n = tree.nearest(*p);
+        node_cap[n] += c;
+        sink_node.push(n);
+    }
+
+    // BFS spanning tree from root
+    let n = tree.nodes.len();
+    let mut parent: Vec<Option<(usize, f64)>> = vec![None; n]; // (parent, r)
+    let mut order = vec![root];
+    let mut seen = vec![false; n];
+    seen[root] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        for &(v, r) in &tree.adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some((u, r));
+                order.push(v);
+            }
+        }
+    }
+
+    // subtree capacitance (reverse BFS order)
+    let mut subtree = node_cap.clone();
+    for &u in order.iter().rev() {
+        if let Some((p, _)) = parent[u] {
+            subtree[p] += subtree[u];
+        }
+    }
+    // Elmore: delay[u] = delay[parent] + r * subtree_cap[u]
+    let mut delay = vec![0.0f64; n];
+    for &u in &order {
+        if let Some((p, r)) = parent[u] {
+            delay[u] = delay[p] + r * subtree[u] * 1e-3; // ohm*fF -> ps
+        }
+    }
+
+    let wire_cap: f64 = tree.cap.iter().sum();
+    let pin_cap: f64 = sinks.iter().map(|s| s.1).sum();
+    let lumped = tree.total_res * 0.5 * (wire_cap + pin_cap) * 1e-3;
+
+    let elmore_ps = sink_node
+        .iter()
+        .map(|&s| if seen[s] { delay[s] } else { lumped })
+        .collect();
+
+    NetParasitics {
+        wire_cap_ff: wire_cap,
+        total_res_ohm: tree.total_res,
+        elmore_ps,
+        // subtree[root] covers the connected component; unconnected
+        // sink caps are still part of the electrical load, hence max
+        driver_load_ff: subtree[root].max(wire_cap + pin_cap),
+    }
+}
+
+/// HPWL-based pre-route estimate for nets without a route (used for
+/// the pseudo-2D stages of S2D/C2D, where the paper notes the tools
+/// must *guess* parasitics — optionally with a scale factor on RC per
+/// unit length, the C2D trick).
+pub fn estimate_net(
+    stack: &MetalStack,
+    driver: Point,
+    sinks: &[(Point, f64)],
+    rc_scale: f64,
+    corner: Corner,
+) -> NetParasitics {
+    // average mid-stack RC
+    let mid_ix = (stack.num_layers() / 2).saturating_sub(usize::from(stack.num_layers() > 1));
+    let mid = &stack.layers()[mid_ix];
+    let r_um = mid.r_per_um * corner.wire_r_derate() * rc_scale;
+    let c_um = mid.c_per_um * rc_scale;
+    let mut lo = driver;
+    let mut hi = driver;
+    for (p, _) in sinks {
+        lo = lo.min(*p);
+        hi = hi.max(*p);
+    }
+    let hpwl_um = lo.manhattan(hi).to_um();
+    let wire_cap = hpwl_um * c_um;
+    let total_res = hpwl_um * r_um;
+    let pin_cap: f64 = sinks.iter().map(|s| s.1).sum();
+    let elmore: Vec<f64> = sinks
+        .iter()
+        .map(|(p, c)| {
+            let d_um = driver.manhattan(*p).to_um();
+            let r = d_um * r_um;
+            let cw = d_um * c_um;
+            r * (cw * 0.5 + c) * 1e-3
+        })
+        .collect();
+    NetParasitics {
+        wire_cap_ff: wire_cap,
+        total_res_ohm: total_res,
+        elmore_ps: elmore,
+        driver_load_ff: wire_cap + pin_cap,
+    }
+}
+
+/// The RC tree of a routed net.
+struct RcTree {
+    nodes: Vec<(u16, Point)>,
+    cap: Vec<f64>,
+    adj: Vec<Vec<(usize, f64)>>,
+    total_res: f64,
+    index: HashMap<(u16, i64, i64), usize>,
+}
+
+impl RcTree {
+    fn build(stack: &MetalStack, route: &RoutedNet, corner: Corner) -> Self {
+        let mut tree = RcTree {
+            nodes: Vec::new(),
+            cap: Vec::new(),
+            adj: Vec::new(),
+            total_res: 0.0,
+            index: HashMap::new(),
+        };
+        let r_derate = corner.wire_r_derate();
+        for s in &route.segments {
+            let layer = &stack.layers()[s.layer as usize];
+            let len = s.length_um();
+            let r = len * layer.r_per_um * r_derate;
+            let c = len * layer.c_per_um;
+            let a = tree.node(s.layer, s.from);
+            let b = tree.node(s.layer, s.to);
+            tree.cap[a] += c / 2.0;
+            tree.cap[b] += c / 2.0;
+            tree.adj[a].push((b, r));
+            tree.adj[b].push((a, r));
+            tree.total_res += r;
+        }
+        for v in &route.vias {
+            let def = stack.via(v.layer as usize);
+            let a = tree.node(v.layer, v.at);
+            let b = tree.node(v.layer + 1, v.at);
+            tree.cap[a] += def.capacitance / 2.0;
+            tree.cap[b] += def.capacitance / 2.0;
+            let r = def.resistance * r_derate;
+            tree.adj[a].push((b, r));
+            tree.adj[b].push((a, r));
+            tree.total_res += r;
+        }
+        tree
+    }
+
+    fn node(&mut self, layer: u16, p: Point) -> usize {
+        let key = (layer, p.x.0, p.y.0);
+        if let Some(&n) = self.index.get(&key) {
+            return n;
+        }
+        let n = self.nodes.len();
+        self.nodes.push((layer, p));
+        self.cap.push(0.0);
+        self.adj.push(Vec::new());
+        self.index.insert(key, n);
+        n
+    }
+
+    fn nearest(&self, p: Point) -> usize {
+        let mut best = 0;
+        let mut best_d = i64::MAX;
+        for (i, (_, q)) in self.nodes.iter().enumerate() {
+            let d = p.manhattan(*q).0;
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_route::{RouteSeg, Via};
+    use macro3d_tech::stack::{n28_stack, DieRole};
+    use macro3d_tech::{CombinedBeol, F2fSpec};
+
+    fn seg(layer: u16, x0: f64, y0: f64, x1: f64, y1: f64) -> RouteSeg {
+        RouteSeg {
+            layer,
+            from: Point::from_um(x0, y0),
+            to: Point::from_um(x1, y1),
+        }
+    }
+
+    #[test]
+    fn single_wire_elmore_matches_hand_calc() {
+        let stack = n28_stack(6, DieRole::Logic);
+        // 100 um of M1: R = 400 ohm, C = 20 fF; sink cap 1 fF
+        let net = RoutedNet {
+            segments: vec![seg(0, 0.0, 0.0, 100.0, 0.0)],
+            vias: vec![],
+            f2f_crossings: 0,
+        };
+        let p = extract_net(
+            &stack,
+            &net,
+            Point::from_um(0.0, 0.0),
+            &[(Point::from_um(100.0, 0.0), 1.0)],
+            Corner::Tt,
+        );
+        // Elmore with half-cap at far node: 400 * (10 + 1) fF = 4.4 ps
+        assert!((p.elmore_ps[0] - 4.4).abs() < 0.2, "elmore {}", p.elmore_ps[0]);
+        assert!((p.wire_cap_ff - 20.0).abs() < 1e-9);
+        assert!((p.driver_load_ff - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_derates_resistance() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let net = RoutedNet {
+            segments: vec![seg(0, 0.0, 0.0, 100.0, 0.0)],
+            vias: vec![],
+            f2f_crossings: 0,
+        };
+        let sinks = [(Point::from_um(100.0, 0.0), 1.0)];
+        let tt = extract_net(&stack, &net, Point::from_um(0.0, 0.0), &sinks, Corner::Tt);
+        let ss = extract_net(&stack, &net, Point::from_um(0.0, 0.0), &sinks, Corner::Ss);
+        assert!(ss.elmore_ps[0] > tt.elmore_ps[0]);
+    }
+
+    #[test]
+    fn upper_metal_is_faster() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let sinks = [(Point::from_um(200.0, 0.0), 1.0)];
+        let mk = |layer: u16| RoutedNet {
+            segments: vec![seg(layer, 0.0, 0.0, 200.0, 0.0)],
+            vias: vec![],
+            f2f_crossings: 0,
+        };
+        let m1 = extract_net(&stack, &mk(0), Point::from_um(0.0, 0.0), &sinks, Corner::Tt);
+        let m6 = extract_net(&stack, &mk(5), Point::from_um(0.0, 0.0), &sinks, Corner::Tt);
+        assert!(m6.elmore_ps[0] < m1.elmore_ps[0] / 3.0);
+    }
+
+    #[test]
+    fn f2f_via_adds_its_parasitics() {
+        let combined = CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(4, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        );
+        let cut = combined.stack().f2f_cut().expect("cut") as u16;
+        let net = RoutedNet {
+            segments: vec![],
+            vias: vec![Via {
+                layer: cut,
+                at: Point::from_um(0.0, 0.0),
+            }],
+            f2f_crossings: 1,
+        };
+        let p = extract_net(
+            combined.stack(),
+            &net,
+            Point::from_um(0.0, 0.0),
+            &[],
+            Corner::Tt,
+        );
+        assert!((p.wire_cap_ff - 1.0).abs() < 1e-9, "1 fF per bump");
+        assert!(p.total_res_ohm > 0.0 && p.total_res_ohm < 0.1);
+    }
+
+    #[test]
+    fn branched_tree_orders_sinks() {
+        let stack = n28_stack(6, DieRole::Logic);
+        // driver at origin, T-junction at (50,0), branches to (50,30) and (100,0)
+        let net = RoutedNet {
+            segments: vec![
+                seg(0, 0.0, 0.0, 50.0, 0.0),
+                seg(1, 50.0, 0.0, 50.0, 30.0),
+                seg(0, 50.0, 0.0, 100.0, 0.0),
+            ],
+            vias: vec![Via {
+                layer: 0,
+                at: Point::from_um(50.0, 0.0),
+            }],
+            f2f_crossings: 0,
+        };
+        let p = extract_net(
+            &stack,
+            &net,
+            Point::from_um(0.0, 0.0),
+            &[
+                (Point::from_um(50.0, 30.0), 1.0),
+                (Point::from_um(100.0, 0.0), 1.0),
+            ],
+            Corner::Tt,
+        );
+        // the short M2 branch arrives earlier than 50um more of M1
+        assert!(p.elmore_ps[0] < p.elmore_ps[1]);
+        assert!(p.elmore_ps.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn estimate_tracks_distance() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let near = estimate_net(
+            &stack,
+            Point::ORIGIN,
+            &[(Point::from_um(50.0, 0.0), 1.0)],
+            1.0,
+            Corner::Tt,
+        );
+        let far = estimate_net(
+            &stack,
+            Point::ORIGIN,
+            &[(Point::from_um(500.0, 0.0), 1.0)],
+            1.0,
+            Corner::Tt,
+        );
+        assert!(far.elmore_ps[0] > near.elmore_ps[0] * 10.0);
+        // C2D-style scaling reduces estimated parasitics
+        let scaled = estimate_net(
+            &stack,
+            Point::ORIGIN,
+            &[(Point::from_um(500.0, 0.0), 1.0)],
+            1.0 / 2.0_f64.sqrt(),
+            Corner::Tt,
+        );
+        assert!(scaled.wire_cap_ff < far.wire_cap_ff);
+    }
+
+    #[test]
+    fn empty_route_is_pure_pin_load() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let net = RoutedNet::default();
+        let p = extract_net(
+            &stack,
+            &net,
+            Point::ORIGIN,
+            &[(Point::from_um(10.0, 0.0), 2.5)],
+            Corner::Tt,
+        );
+        assert_eq!(p.elmore_ps, vec![0.0]);
+        assert!((p.driver_load_ff - 2.5).abs() < 1e-9);
+    }
+}

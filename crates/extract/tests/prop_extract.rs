@@ -1,0 +1,107 @@
+//! Property-based tests for parasitic extraction.
+
+use macro3d_extract::extract_net;
+use macro3d_geom::Point;
+use macro3d_route::{RouteSeg, RoutedNet, Via};
+use macro3d_tech::stack::{n28_stack, DieRole};
+use macro3d_tech::Corner;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Elmore delay to any sink is bounded by total R × total C (the
+    /// lumped worst case) and is non-negative.
+    #[test]
+    fn elmore_bounded_by_lumped_rc(
+        segs in proptest::collection::vec(
+            (0u16..6, 0.0f64..300.0, 0.0f64..300.0, 1.0f64..200.0),
+            1..8,
+        ),
+        sink_cap in 0.1f64..20.0,
+    ) {
+        let stack = n28_stack(6, DieRole::Logic);
+        // build a chain of segments starting at the origin
+        let mut segments = Vec::new();
+        let mut cursor = Point::from_um(0.0, 0.0);
+        for &(layer, _, _, len) in &segs {
+            let next = Point::from_um(cursor.x.to_um() + len, cursor.y.to_um());
+            segments.push(RouteSeg {
+                layer,
+                from: cursor,
+                to: next,
+            });
+            cursor = next;
+        }
+        let net = RoutedNet {
+            segments,
+            vias: vec![],
+            f2f_crossings: 0,
+        };
+        let p = extract_net(&stack, &net, Point::from_um(0.0, 0.0), &[(cursor, sink_cap)], Corner::Tt);
+        prop_assert!(p.elmore_ps[0] >= 0.0);
+        let lumped_bound = p.total_res_ohm * (p.wire_cap_ff + sink_cap) * 1e-3;
+        prop_assert!(
+            p.elmore_ps[0] <= lumped_bound + 1e-9,
+            "elmore {} exceeds lumped bound {lumped_bound}",
+            p.elmore_ps[0]
+        );
+    }
+
+    /// Capacitance accounting: wire cap equals the sum of per-segment
+    /// and per-via contributions regardless of topology.
+    #[test]
+    fn cap_accounting_exact(
+        n_vias in 0usize..6,
+        len in 1.0f64..500.0,
+        layer in 0u16..5,
+    ) {
+        let stack = n28_stack(6, DieRole::Logic);
+        let seg = RouteSeg {
+            layer,
+            from: Point::from_um(0.0, 0.0),
+            to: Point::from_um(len, 0.0),
+        };
+        let vias: Vec<Via> = (0..n_vias)
+            .map(|i| Via {
+                layer: (i % 5) as u16,
+                at: Point::from_um(i as f64, 0.0),
+            })
+            .collect();
+        let net = RoutedNet {
+            segments: vec![seg],
+            vias,
+            f2f_crossings: 0,
+        };
+        let p = extract_net(&stack, &net, Point::from_um(0.0, 0.0), &[], Corner::Tt);
+        let expected = len * stack.layer(layer as usize).c_per_um
+            + n_vias as f64 * 0.05;
+        prop_assert!((p.wire_cap_ff - expected).abs() < 1e-3); // nm rounding
+    }
+
+    /// Driver load always covers wire plus all sink pin caps.
+    #[test]
+    fn driver_load_covers_everything(
+        sinks in proptest::collection::vec((1.0f64..400.0, 0.1f64..10.0), 1..6),
+    ) {
+        let stack = n28_stack(6, DieRole::Logic);
+        let mut segments = Vec::new();
+        let mut sink_list = Vec::new();
+        for &(x, cap) in &sinks {
+            segments.push(RouteSeg {
+                layer: 1,
+                from: Point::from_um(0.0, 0.0),
+                to: Point::from_um(0.0, x),
+            });
+            sink_list.push((Point::from_um(0.0, x), cap));
+        }
+        let net = RoutedNet {
+            segments,
+            vias: vec![],
+            f2f_crossings: 0,
+        };
+        let p = extract_net(&stack, &net, Point::from_um(0.0, 0.0), &sink_list, Corner::Tt);
+        let pin_total: f64 = sinks.iter().map(|s| s.1).sum();
+        prop_assert!(p.driver_load_ff >= p.wire_cap_ff + pin_total - 1e-6);
+    }
+}

@@ -1,0 +1,295 @@
+//! Database-unit coordinate type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A length or coordinate in database units (1 DBU = 1 nm).
+///
+/// `Dbu` is a transparent newtype over `i64` so all geometric
+/// computations stay exact. Conversions to physical units are provided
+/// by [`Dbu::to_um`] / [`Dbu::from_um`] and the nanometre accessors.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::Dbu;
+///
+/// let a = Dbu::from_um(1.5);
+/// let b = Dbu::from_nm(500);
+/// assert_eq!((a + b).to_um(), 2.0);
+/// assert_eq!((a - b).nm(), 1_000);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dbu(pub i64);
+
+impl Dbu {
+    /// Zero length.
+    pub const ZERO: Dbu = Dbu(0);
+    /// Largest representable coordinate.
+    pub const MAX: Dbu = Dbu(i64::MAX);
+    /// Smallest representable coordinate.
+    pub const MIN: Dbu = Dbu(i64::MIN);
+
+    /// Creates a coordinate from nanometres.
+    #[inline]
+    pub const fn from_nm(nm: i64) -> Self {
+        Dbu(nm)
+    }
+
+    /// Creates a coordinate from micrometres (rounded to the nearest
+    /// nanometre).
+    #[inline]
+    pub fn from_um(um: f64) -> Self {
+        Dbu((um * 1_000.0).round() as i64)
+    }
+
+    /// Returns the raw value in nanometres.
+    #[inline]
+    pub const fn nm(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value in micrometres.
+    #[inline]
+    pub fn to_um(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the value in millimetres.
+    #[inline]
+    pub fn to_mm(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub const fn abs(self) -> Self {
+        Dbu(self.0.abs())
+    }
+
+    /// The smaller of two coordinates.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Dbu(self.0.min(other.0))
+    }
+
+    /// The larger of two coordinates.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Dbu(self.0.max(other.0))
+    }
+
+    /// Clamps `self` into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Dbu(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Rounds down to the nearest multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or negative.
+    #[inline]
+    pub fn floor_to(self, step: Self) -> Self {
+        assert!(step.0 > 0, "step must be positive");
+        Dbu(self.0.div_euclid(step.0) * step.0)
+    }
+
+    /// Rounds up to the nearest multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or negative.
+    #[inline]
+    pub fn ceil_to(self, step: Self) -> Self {
+        assert!(step.0 > 0, "step must be positive");
+        Dbu((self.0 + step.0 - 1).div_euclid(step.0) * step.0)
+    }
+
+    /// Rounds to the nearest multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or negative.
+    #[inline]
+    pub fn round_to(self, step: Self) -> Self {
+        assert!(step.0 > 0, "step must be positive");
+        let half = step.0 / 2;
+        Dbu((self.0 + half).div_euclid(step.0) * step.0)
+    }
+
+    /// Multiplies by a floating-point factor, rounding to the nearest
+    /// DBU. Used for flow-level geometric scaling (e.g. the Shrunk-2D
+    /// 50 % cell shrink).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Self {
+        Dbu((self.0 as f64 * factor).round() as i64)
+    }
+}
+
+impl fmt::Debug for Dbu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.0)
+    }
+}
+
+impl fmt::Display for Dbu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}um", self.to_um())
+    }
+}
+
+impl Add for Dbu {
+    type Output = Dbu;
+    #[inline]
+    fn add(self, rhs: Dbu) -> Dbu {
+        Dbu(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dbu {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dbu) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dbu {
+    type Output = Dbu;
+    #[inline]
+    fn sub(self, rhs: Dbu) -> Dbu {
+        Dbu(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dbu {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dbu) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Dbu {
+    type Output = Dbu;
+    #[inline]
+    fn neg(self) -> Dbu {
+        Dbu(-self.0)
+    }
+}
+
+impl Mul<i64> for Dbu {
+    type Output = Dbu;
+    #[inline]
+    fn mul(self, rhs: i64) -> Dbu {
+        Dbu(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Dbu {
+    type Output = Dbu;
+    #[inline]
+    fn div(self, rhs: i64) -> Dbu {
+        Dbu(self.0 / rhs)
+    }
+}
+
+impl Div for Dbu {
+    type Output = i64;
+    #[inline]
+    fn div(self, rhs: Dbu) -> i64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem for Dbu {
+    type Output = Dbu;
+    #[inline]
+    fn rem(self, rhs: Dbu) -> Dbu {
+        Dbu(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Dbu {
+    fn sum<I: Iterator<Item = Dbu>>(iter: I) -> Dbu {
+        Dbu(iter.map(|d| d.0).sum())
+    }
+}
+
+impl From<i64> for Dbu {
+    fn from(nm: i64) -> Self {
+        Dbu(nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(Dbu::from_um(1.0).nm(), 1_000);
+        assert_eq!(Dbu::from_nm(2_500).to_um(), 2.5);
+        assert_eq!(Dbu::from_um(0.0005).nm(), 1); // rounds
+        assert_eq!(Dbu::from_nm(1_000_000).to_mm(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Dbu(100);
+        let b = Dbu(30);
+        assert_eq!(a + b, Dbu(130));
+        assert_eq!(a - b, Dbu(70));
+        assert_eq!(-a, Dbu(-100));
+        assert_eq!(a * 3, Dbu(300));
+        assert_eq!(a / 2, Dbu(50));
+        assert_eq!(a / b, 3);
+        assert_eq!(a % b, Dbu(10));
+        let s: Dbu = [a, b, Dbu(1)].into_iter().sum();
+        assert_eq!(s, Dbu(131));
+    }
+
+    #[test]
+    fn rounding_to_step() {
+        let step = Dbu(200);
+        assert_eq!(Dbu(450).floor_to(step), Dbu(400));
+        assert_eq!(Dbu(450).ceil_to(step), Dbu(600));
+        assert_eq!(Dbu(450).round_to(step), Dbu(400));
+        assert_eq!(Dbu(510).round_to(step), Dbu(600));
+        // negative coordinates floor/ceil consistently
+        assert_eq!(Dbu(-450).floor_to(step), Dbu(-600));
+        assert_eq!(Dbu(-450).ceil_to(step), Dbu(-400));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Dbu(100).scale(0.5), Dbu(50));
+        assert_eq!(Dbu(101).scale(0.5), Dbu(51)); // 50.5 rounds to 51
+        assert_eq!(Dbu(1_000).scale(1.0 / 2.0_f64.sqrt()), Dbu(707));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Dbu(3).min(Dbu(5)), Dbu(3));
+        assert_eq!(Dbu(3).max(Dbu(5)), Dbu(5));
+        assert_eq!(Dbu(10).clamp(Dbu(0), Dbu(5)), Dbu(5));
+        assert_eq!(Dbu(-10).clamp(Dbu(0), Dbu(5)), Dbu(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn floor_to_zero_step_panics() {
+        let _ = Dbu(1).floor_to(Dbu(0));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Dbu(1_500)), "1.500um");
+        assert_eq!(format!("{:?}", Dbu(1_500)), "1500nm");
+    }
+}

@@ -1,0 +1,244 @@
+//! Uniform bin grids over a die region.
+
+use crate::{Dbu, Point, Rect};
+
+/// Index of a bin in a [`BinGrid`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BinIx {
+    /// Column (x) index.
+    pub x: u32,
+    /// Row (y) index.
+    pub y: u32,
+}
+
+impl BinIx {
+    /// Creates a bin index.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        BinIx { x, y }
+    }
+}
+
+/// A uniform grid of rectangular bins covering a region.
+///
+/// The last row/column of bins absorbs any remainder so the grid
+/// always covers the full region exactly. Used for placement density
+/// maps, routing GCells and spatial hashing.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{BinGrid, Dbu, Point, Rect};
+///
+/// let region = Rect::from_um(0.0, 0.0, 100.0, 50.0);
+/// let grid = BinGrid::with_bin_size(region, Dbu::from_um(10.0));
+/// assert_eq!(grid.nx(), 10);
+/// assert_eq!(grid.ny(), 5);
+/// let ix = grid.bin_of(Point::from_um(25.0, 5.0));
+/// assert_eq!((ix.x, ix.y), (2, 0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinGrid {
+    region: Rect,
+    bin_w: Dbu,
+    bin_h: Dbu,
+    nx: u32,
+    ny: u32,
+}
+
+impl BinGrid {
+    /// Creates a grid with the given bin counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero, or the region is empty.
+    pub fn with_counts(region: Rect, nx: u32, ny: u32) -> Self {
+        assert!(nx > 0 && ny > 0, "bin counts must be positive");
+        assert!(!region.is_empty(), "grid region must be non-empty");
+        BinGrid {
+            region,
+            bin_w: Dbu(region.width().0 / nx as i64),
+            bin_h: Dbu(region.height().0 / ny as i64),
+            nx,
+            ny,
+        }
+    }
+
+    /// Creates a grid whose bins are approximately `bin` on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is not positive or the region is empty.
+    pub fn with_bin_size(region: Rect, bin: Dbu) -> Self {
+        assert!(bin.0 > 0, "bin size must be positive");
+        assert!(!region.is_empty(), "grid region must be non-empty");
+        let nx = ((region.width().0 + bin.0 - 1) / bin.0).max(1) as u32;
+        let ny = ((region.height().0 + bin.0 - 1) / bin.0).max(1) as u32;
+        BinGrid::with_counts(region, nx, ny)
+    }
+
+    /// Grid region.
+    #[inline]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Total number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// True if the grid contains no bins (never holds for a
+    /// successfully constructed grid).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nominal bin width (the rightmost column may be wider).
+    #[inline]
+    pub fn bin_w(&self) -> Dbu {
+        self.bin_w
+    }
+
+    /// Nominal bin height (the topmost row may be taller).
+    #[inline]
+    pub fn bin_h(&self) -> Dbu {
+        self.bin_h
+    }
+
+    /// Bin containing `p`, clamping out-of-region points to the edge
+    /// bins.
+    #[inline]
+    pub fn bin_of(&self, p: Point) -> BinIx {
+        let x = if self.bin_w.0 == 0 {
+            0
+        } else {
+            ((p.x - self.region.lo.x).0 / self.bin_w.0).clamp(0, self.nx as i64 - 1) as u32
+        };
+        let y = if self.bin_h.0 == 0 {
+            0
+        } else {
+            ((p.y - self.region.lo.y).0 / self.bin_h.0).clamp(0, self.ny as i64 - 1) as u32
+        };
+        BinIx { x, y }
+    }
+
+    /// Flat index of a bin (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn flat(&self, ix: BinIx) -> usize {
+        assert!(ix.x < self.nx && ix.y < self.ny, "bin index out of range");
+        ix.y as usize * self.nx as usize + ix.x as usize
+    }
+
+    /// Geometric extent of the bin at `ix`. The last row/column extend
+    /// to the region boundary.
+    pub fn bin_rect(&self, ix: BinIx) -> Rect {
+        let x0 = self.region.lo.x + self.bin_w * ix.x as i64;
+        let y0 = self.region.lo.y + self.bin_h * ix.y as i64;
+        let x1 = if ix.x + 1 == self.nx {
+            self.region.hi.x
+        } else {
+            x0 + self.bin_w
+        };
+        let y1 = if ix.y + 1 == self.ny {
+            self.region.hi.y
+        } else {
+            y0 + self.bin_h
+        };
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// Inclusive range of bins overlapped by `r` (clamped to the
+    /// grid). Returns `None` if `r` does not overlap the region.
+    pub fn bins_overlapping(&self, r: Rect) -> Option<(BinIx, BinIx)> {
+        let clipped = r.intersection(self.region)?;
+        let lo = self.bin_of(clipped.lo);
+        // hi is exclusive, so step one DBU back in.
+        let hi = self.bin_of(Point::new(clipped.hi.x - Dbu(1), clipped.hi.y - Dbu(1)));
+        Some((lo, hi))
+    }
+
+    /// Iterates over all bin indices row-major.
+    pub fn iter(&self) -> impl Iterator<Item = BinIx> + '_ {
+        let nx = self.nx;
+        (0..self.ny).flat_map(move |y| (0..nx).map(move |x| BinIx { x, y }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> BinGrid {
+        BinGrid::with_counts(Rect::from_um(0.0, 0.0, 100.0, 50.0), 10, 5)
+    }
+
+    #[test]
+    fn construction() {
+        let g = grid();
+        assert_eq!(g.len(), 50);
+        assert_eq!(g.bin_w(), Dbu::from_um(10.0));
+        assert_eq!(g.bin_h(), Dbu::from_um(10.0));
+    }
+
+    #[test]
+    fn bin_lookup_clamps() {
+        let g = grid();
+        assert_eq!(g.bin_of(Point::from_um(-5.0, -5.0)), BinIx::new(0, 0));
+        assert_eq!(g.bin_of(Point::from_um(500.0, 500.0)), BinIx::new(9, 4));
+        assert_eq!(g.bin_of(Point::from_um(10.0, 0.0)), BinIx::new(1, 0));
+    }
+
+    #[test]
+    fn bin_rects_tile_region() {
+        let g = grid();
+        let mut area = 0.0;
+        for ix in g.iter() {
+            area += g.bin_rect(ix).area_um2();
+        }
+        assert!((area - g.region().area_um2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_range() {
+        let g = grid();
+        let (lo, hi) = g
+            .bins_overlapping(Rect::from_um(15.0, 5.0, 35.0, 25.0))
+            .expect("overlaps");
+        assert_eq!(lo, BinIx::new(1, 0));
+        assert_eq!(hi, BinIx::new(3, 2));
+        assert!(g.bins_overlapping(Rect::from_um(200.0, 0.0, 300.0, 10.0)).is_none());
+    }
+
+    #[test]
+    fn flat_indexing_is_row_major() {
+        let g = grid();
+        assert_eq!(g.flat(BinIx::new(0, 0)), 0);
+        assert_eq!(g.flat(BinIx::new(9, 0)), 9);
+        assert_eq!(g.flat(BinIx::new(0, 1)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts must be positive")]
+    fn zero_bins_panics() {
+        let _ = BinGrid::with_counts(Rect::from_um(0.0, 0.0, 1.0, 1.0), 0, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Grid-bucketed spatial index over rectangles.
+
+use crate::{BinGrid, Rect};
+
+/// A spatial index mapping rectangles to user payloads, backed by a
+/// uniform bin grid.
+///
+/// Suited for the query patterns in placement and routing: many
+/// similarly sized obstacles (macros, blockages) queried by region.
+/// Insertion is `O(bins covered)`; queries return candidates from the
+/// covered bins and filter exactly.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Dbu, Rect, RectIndex};
+///
+/// let mut idx = RectIndex::new(Rect::from_um(0.0, 0.0, 100.0, 100.0), Dbu::from_um(10.0));
+/// idx.insert(Rect::from_um(5.0, 5.0, 15.0, 15.0), 42u32);
+/// let hits: Vec<_> = idx.query(Rect::from_um(0.0, 0.0, 10.0, 10.0)).collect();
+/// assert_eq!(hits, vec![(Rect::from_um(5.0, 5.0, 15.0, 15.0), &42)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RectIndex<T> {
+    grid: BinGrid,
+    entries: Vec<(Rect, T)>,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl<T> RectIndex<T> {
+    /// Creates an empty index over `region` with roughly square bins
+    /// of side `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is non-positive or `region` is empty.
+    pub fn new(region: Rect, bin: crate::Dbu) -> Self {
+        let grid = BinGrid::with_bin_size(region, bin);
+        let buckets = vec![Vec::new(); grid.len()];
+        RectIndex {
+            grid,
+            entries: Vec::new(),
+            buckets,
+        }
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a rectangle with its payload. Rectangles outside the
+    /// index region are stored but only found by [`Self::iter`].
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        let id = self.entries.len() as u32;
+        self.entries.push((rect, value));
+        if let Some((lo, hi)) = self.grid.bins_overlapping(rect) {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    let flat = self.grid.flat(crate::BinIx::new(x, y));
+                    self.buckets[flat].push(id);
+                }
+            }
+        }
+    }
+
+    /// All rectangles whose interiors overlap `area`.
+    pub fn query(&self, area: Rect) -> impl Iterator<Item = (Rect, &T)> + '_ {
+        let mut ids: Vec<u32> = Vec::new();
+        if let Some((lo, hi)) = self.grid.bins_overlapping(area) {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    let flat = self.grid.flat(crate::BinIx::new(x, y));
+                    ids.extend_from_slice(&self.buckets[flat]);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().filter_map(move |id| {
+            let (r, v) = &self.entries[id as usize];
+            if r.overlaps(area) {
+                Some((*r, v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// True if any stored rectangle overlaps `area`.
+    pub fn any_overlap(&self, area: Rect) -> bool {
+        self.query(area).next().is_some()
+    }
+
+    /// Iterates over every stored `(rect, payload)` in insertion
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rect, &T)> + '_ {
+        self.entries.iter().map(|(r, v)| (*r, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dbu;
+
+    fn idx() -> RectIndex<u32> {
+        let mut i = RectIndex::new(Rect::from_um(0.0, 0.0, 100.0, 100.0), Dbu::from_um(10.0));
+        i.insert(Rect::from_um(0.0, 0.0, 20.0, 20.0), 1);
+        i.insert(Rect::from_um(50.0, 50.0, 60.0, 60.0), 2);
+        i.insert(Rect::from_um(0.0, 0.0, 100.0, 100.0), 3);
+        i
+    }
+
+    #[test]
+    fn query_filters_exactly() {
+        let i = idx();
+        let mut hits: Vec<u32> = i
+            .query(Rect::from_um(55.0, 55.0, 58.0, 58.0))
+            .map(|(_, v)| *v)
+            .collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![2, 3]);
+    }
+
+    #[test]
+    fn query_deduplicates_multi_bin_rects() {
+        let i = idx();
+        // entry 3 covers every bin; it must appear exactly once.
+        let hits: Vec<u32> = i
+            .query(Rect::from_um(0.0, 0.0, 100.0, 100.0))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits.iter().filter(|&&v| v == 3).count(), 1);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn touching_is_not_overlap() {
+        let i = idx();
+        let hits: Vec<u32> = i
+            .query(Rect::from_um(20.0, 0.0, 30.0, 10.0))
+            .map(|(_, v)| *v)
+            .filter(|&v| v == 1)
+            .collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn any_overlap_and_len() {
+        let i = idx();
+        assert_eq!(i.len(), 3);
+        assert!(!i.is_empty());
+        assert!(i.any_overlap(Rect::from_um(1.0, 1.0, 2.0, 2.0)));
+    }
+}

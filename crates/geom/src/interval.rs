@@ -1,0 +1,138 @@
+//! Half-open 1-D intervals.
+
+use crate::Dbu;
+use std::fmt;
+
+/// A half-open interval `[lo, hi)` on one axis, in database units.
+///
+/// Used for row occupancy tracking during legalization and for layer
+/// track spans during routing.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Dbu, Interval};
+///
+/// let a = Interval::new(Dbu(0), Dbu(10));
+/// let b = Interval::new(Dbu(5), Dbu(20));
+/// assert_eq!(a.intersection(b), Some(Interval::new(Dbu(5), Dbu(10))));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: Dbu,
+    /// Exclusive upper bound.
+    pub hi: Dbu,
+}
+
+impl Interval {
+    /// Creates an interval, normalising so `lo <= hi`.
+    #[inline]
+    pub fn new(a: Dbu, b: Dbu) -> Self {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn len(self) -> Dbu {
+        self.hi - self.lo
+    }
+
+    /// True if the interval is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// True if `x` lies inside.
+    #[inline]
+    pub fn contains(self, x: Dbu) -> bool {
+        x >= self.lo && x < self.hi
+    }
+
+    /// True if the interiors overlap.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Overlapping region, if any.
+    #[inline]
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval covering both.
+    #[inline]
+    pub fn union(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Clamps `x` into the interval (treating `hi` as inclusive for
+    /// clamping purposes so the result is always representable).
+    #[inline]
+    pub fn clamp(self, x: Dbu) -> Dbu {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let a = Interval::new(Dbu(10), Dbu(0));
+        assert_eq!(a.lo, Dbu(0));
+        assert_eq!(a.len(), Dbu(10));
+        assert!(a.contains(Dbu(0)));
+        assert!(!a.contains(Dbu(10)));
+        assert!(!Interval::new(Dbu(5), Dbu(5)).contains(Dbu(5)));
+        assert!(Interval::new(Dbu(5), Dbu(5)).is_empty());
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = Interval::new(Dbu(0), Dbu(10));
+        let b = Interval::new(Dbu(5), Dbu(20));
+        let c = Interval::new(Dbu(10), Dbu(20));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c)); // touching is not overlapping
+        assert_eq!(a.intersection(b), Some(Interval::new(Dbu(5), Dbu(10))));
+        assert_eq!(a.intersection(c), None);
+        assert_eq!(a.union(c), Interval::new(Dbu(0), Dbu(20)));
+    }
+
+    #[test]
+    fn clamping() {
+        let a = Interval::new(Dbu(0), Dbu(10));
+        assert_eq!(a.clamp(Dbu(-5)), Dbu(0));
+        assert_eq!(a.clamp(Dbu(15)), Dbu(10));
+        assert_eq!(a.clamp(Dbu(5)), Dbu(5));
+    }
+}

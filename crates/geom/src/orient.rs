@@ -1,0 +1,122 @@
+//! Placement orientations.
+
+use std::fmt;
+
+/// Orientation of a placed instance, following the DEF convention.
+///
+/// Standard-cell rows alternate between `N` and `FS` so that power
+/// rails are shared; macros may additionally be rotated.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::Orientation;
+///
+/// assert!(Orientation::R90.swaps_extent());
+/// assert!(!Orientation::FS.swaps_extent());
+/// assert_eq!(Orientation::N.flipped_y(), Orientation::FS);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// North: no rotation.
+    #[default]
+    N,
+    /// South: 180° rotation.
+    S,
+    /// Rotated 90° counter-clockwise.
+    R90,
+    /// Rotated 270° counter-clockwise.
+    R270,
+    /// Flipped about the y axis.
+    FN,
+    /// Flipped about the x axis (mirrored rows).
+    FS,
+    /// Flipped and rotated 90°.
+    FW,
+    /// Flipped and rotated 270°.
+    FE,
+}
+
+impl Orientation {
+    /// All eight orientations.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::N,
+        Orientation::S,
+        Orientation::R90,
+        Orientation::R270,
+        Orientation::FN,
+        Orientation::FS,
+        Orientation::FW,
+        Orientation::FE,
+    ];
+
+    /// True if this orientation exchanges width and height.
+    #[inline]
+    pub fn swaps_extent(self) -> bool {
+        matches!(
+            self,
+            Orientation::R90 | Orientation::R270 | Orientation::FW | Orientation::FE
+        )
+    }
+
+    /// The orientation after an additional flip about the x axis.
+    #[inline]
+    pub fn flipped_y(self) -> Orientation {
+        match self {
+            Orientation::N => Orientation::FS,
+            Orientation::FS => Orientation::N,
+            Orientation::S => Orientation::FN,
+            Orientation::FN => Orientation::S,
+            Orientation::R90 => Orientation::FE,
+            Orientation::FE => Orientation::R90,
+            Orientation::R270 => Orientation::FW,
+            Orientation::FW => Orientation::R270,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::N => "N",
+            Orientation::S => "S",
+            Orientation::R90 => "R90",
+            Orientation::R270 => "R270",
+            Orientation::FN => "FN",
+            Orientation::FS => "FS",
+            Orientation::FW => "FW",
+            Orientation::FE => "FE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_swap() {
+        assert!(Orientation::R90.swaps_extent());
+        assert!(Orientation::R270.swaps_extent());
+        assert!(Orientation::FW.swaps_extent());
+        assert!(Orientation::FE.swaps_extent());
+        assert!(!Orientation::N.swaps_extent());
+        assert!(!Orientation::S.swaps_extent());
+        assert!(!Orientation::FN.swaps_extent());
+        assert!(!Orientation::FS.swaps_extent());
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for o in Orientation::ALL {
+            assert_eq!(o.flipped_y().flipped_y(), o);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Orientation::FS.to_string(), "FS");
+        assert_eq!(Orientation::R90.to_string(), "R90");
+    }
+}

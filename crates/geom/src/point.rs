@@ -1,0 +1,174 @@
+//! 2-D points.
+
+use crate::{Dbu, Size};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in the die plane, in database units.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Dbu, Point};
+///
+/// let a = Point::new(Dbu(0), Dbu(0));
+/// let b = Point::new(Dbu(300), Dbu(400));
+/// assert_eq!(a.manhattan(b), Dbu(700));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Dbu,
+    /// Vertical coordinate.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point {
+        x: Dbu(0),
+        y: Dbu(0),
+    };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: Dbu, y: Dbu) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point from micrometre coordinates.
+    #[inline]
+    pub fn from_um(x: f64, y: f64) -> Self {
+        Point {
+            x: Dbu::from_um(x),
+            y: Dbu::from_um(y),
+        }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub fn manhattan(self, other: Point) -> Dbu {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`, in DBU as `f64`.
+    #[inline]
+    pub fn euclidean(self, other: Point) -> f64 {
+        let dx = (self.x - other.x).0 as f64;
+        let dy = (self.y - other.y).0 as f64;
+        dx.hypot(dy)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Scales both coordinates by a floating-point factor (rounding to
+    /// the nearest DBU).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Point {
+        Point::new(self.x.scale(factor), self.y.scale(factor))
+    }
+
+    /// Scales x and y by independent factors.
+    #[inline]
+    pub fn scale_xy(self, fx: f64, fy: f64) -> Point {
+        Point::new(self.x.scale(fx), self.y.scale(fy))
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add<Size> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Size) -> Point {
+        Point::new(self.x + rhs.w, self.y + rhs.h)
+    }
+}
+
+impl AddAssign<Size> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Size) {
+        self.x += rhs.w;
+        self.y += rhs.h;
+    }
+}
+
+impl Sub<Size> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Size) -> Point {
+        Point::new(self.x - rhs.w, self.y - rhs.h)
+    }
+}
+
+impl SubAssign<Size> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Size) {
+        self.x -= rhs.w;
+        self.y -= rhs.h;
+    }
+}
+
+impl Sub for Point {
+    type Output = Size;
+    #[inline]
+    fn sub(self, rhs: Point) -> Size {
+        Size::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(Dbu(0), Dbu(0));
+        let b = Point::new(Dbu(3), Dbu(4));
+        assert_eq!(a.manhattan(b), Dbu(7));
+        assert_eq!(b.manhattan(a), Dbu(7));
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let p = Point::new(Dbu(10), Dbu(20));
+        let s = Size::new(Dbu(1), Dbu(2));
+        assert_eq!(p + s, Point::new(Dbu(11), Dbu(22)));
+        assert_eq!(p - s, Point::new(Dbu(9), Dbu(18)));
+        assert_eq!(p - Point::new(Dbu(4), Dbu(5)), Size::new(Dbu(6), Dbu(15)));
+    }
+
+    #[test]
+    fn min_max_scale() {
+        let a = Point::new(Dbu(1), Dbu(9));
+        let b = Point::new(Dbu(5), Dbu(3));
+        assert_eq!(a.min(b), Point::new(Dbu(1), Dbu(3)));
+        assert_eq!(a.max(b), Point::new(Dbu(5), Dbu(9)));
+        assert_eq!(Point::new(Dbu(100), Dbu(200)).scale(0.5), Point::new(Dbu(50), Dbu(100)));
+        assert_eq!(
+            Point::new(Dbu(100), Dbu(200)).scale_xy(2.0, 0.5),
+            Point::new(Dbu(200), Dbu(100))
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Axis-aligned rectangles.
+
+use crate::{Dbu, Point, Size};
+use std::fmt;
+
+/// An axis-aligned rectangle, stored as inclusive-low / exclusive-high
+/// corners (`lo.x <= hi.x`, `lo.y <= hi.y`).
+///
+/// Degenerate (zero-width or zero-height) rectangles are allowed; they
+/// have zero area and intersect nothing.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Dbu, Point, Rect};
+///
+/// let a = Rect::from_um(0.0, 0.0, 10.0, 10.0);
+/// let b = Rect::from_um(5.0, 5.0, 20.0, 20.0);
+/// let i = a.intersection(b).expect("rects overlap");
+/// assert_eq!(i, Rect::from_um(5.0, 5.0, 10.0, 10.0));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Lower-left corner (inclusive).
+    pub lo: Point,
+    /// Upper-right corner (exclusive).
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalising so that
+    /// `lo <= hi` component-wise.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle from micrometre corner coordinates.
+    #[inline]
+    pub fn from_um(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect::new(Point::from_um(x0, y0), Point::from_um(x1, y1))
+    }
+
+    /// Creates a rectangle from a lower-left origin and a size.
+    #[inline]
+    pub fn from_origin_size(origin: Point, size: Size) -> Self {
+        Rect::new(origin, origin + size)
+    }
+
+    /// The empty rectangle at the origin.
+    #[inline]
+    pub fn empty() -> Self {
+        Rect::default()
+    }
+
+    /// Width (x extent).
+    #[inline]
+    pub fn width(self) -> Dbu {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (y extent).
+    #[inline]
+    pub fn height(self) -> Dbu {
+        self.hi.y - self.lo.y
+    }
+
+    /// Extent as a [`Size`].
+    #[inline]
+    pub fn size(self) -> Size {
+        self.hi - self.lo
+    }
+
+    /// Area in square micrometres.
+    #[inline]
+    pub fn area_um2(self) -> f64 {
+        self.size().area_um2()
+    }
+
+    /// Centre point (rounded down on odd extents).
+    #[inline]
+    pub fn center(self) -> Point {
+        Point::new(
+            Dbu((self.lo.x.0 + self.hi.x.0) / 2),
+            Dbu((self.lo.y.0 + self.hi.y.0) / 2),
+        )
+    }
+
+    /// True if the rectangle has zero (or negative) area.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.size().is_degenerate()
+    }
+
+    /// True if `p` lies inside (lo-inclusive, hi-exclusive).
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x < self.hi.x && p.y >= self.lo.y && p.y < self.hi.y
+    }
+
+    /// True if `other` lies fully within `self` (boundaries may touch).
+    #[inline]
+    pub fn contains_rect(self, other: Rect) -> bool {
+        other.lo.x >= self.lo.x
+            && other.lo.y >= self.lo.y
+            && other.hi.x <= self.hi.x
+            && other.hi.y <= self.hi.y
+    }
+
+    /// True if the interiors of the rectangles overlap (touching
+    /// edges do not count).
+    #[inline]
+    pub fn overlaps(self, other: Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// The overlapping region, or `None` if the interiors are disjoint.
+    #[inline]
+    pub fn intersection(self, other: Rect) -> Option<Rect> {
+        if self.overlaps(other) {
+            Some(Rect {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle covering both inputs.
+    #[inline]
+    pub fn union(self, other: Rect) -> Rect {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Grows (or shrinks, for negative `margin`) the rectangle on all
+    /// sides.
+    #[inline]
+    pub fn inflate(self, margin: Dbu) -> Rect {
+        Rect::new(
+            Point::new(self.lo.x - margin, self.lo.y - margin),
+            Point::new(self.hi.x + margin, self.hi.y + margin),
+        )
+    }
+
+    /// Translates the rectangle so its lower-left corner is `origin`.
+    #[inline]
+    pub fn moved_to(self, origin: Point) -> Rect {
+        Rect::from_origin_size(origin, self.size())
+    }
+
+    /// Translates the rectangle by the given offset.
+    #[inline]
+    pub fn translated(self, dx: Dbu, dy: Dbu) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x + dx, self.lo.y + dy),
+            hi: Point::new(self.hi.x + dx, self.hi.y + dy),
+        }
+    }
+
+    /// Scales both corners about the origin by a factor.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Rect {
+        Rect::new(self.lo.scale(factor), self.hi.scale(factor))
+    }
+
+    /// Scales x and y about the origin by independent factors.
+    #[inline]
+    pub fn scale_xy(self, fx: f64, fy: f64) -> Rect {
+        Rect::new(self.lo.scale_xy(fx, fy), self.hi.scale_xy(fx, fy))
+    }
+
+    /// Manhattan distance from `p` to the closest point of the
+    /// rectangle (zero when `p` is inside).
+    #[inline]
+    pub fn manhattan_to_point(self, p: Point) -> Dbu {
+        let dx = if p.x < self.lo.x {
+            self.lo.x - p.x
+        } else if p.x >= self.hi.x {
+            p.x - self.hi.x
+        } else {
+            Dbu(0)
+        };
+        let dy = if p.y < self.lo.y {
+            self.lo.y - p.y
+        } else if p.y >= self.hi.y {
+            p.y - self.hi.y
+        } else {
+            Dbu(0)
+        };
+        dx + dy
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?} .. {:?}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(Dbu(x0), Dbu(y0)), Point::new(Dbu(x1), Dbu(y1)))
+    }
+
+    #[test]
+    fn construction_normalises() {
+        let a = Rect::new(Point::new(Dbu(10), Dbu(0)), Point::new(Dbu(0), Dbu(10)));
+        assert_eq!(a, r(0, 0, 10, 10));
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0, 0, 10, 10);
+        assert!(a.contains(Point::new(Dbu(0), Dbu(0))));
+        assert!(!a.contains(Point::new(Dbu(10), Dbu(10)))); // hi exclusive
+        assert!(a.contains_rect(r(2, 2, 8, 8)));
+        assert!(a.contains_rect(a));
+        assert!(!a.contains_rect(r(2, 2, 11, 8)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = r(0, 0, 10, 10);
+        assert!(a.overlaps(r(5, 5, 15, 15)));
+        assert_eq!(a.intersection(r(5, 5, 15, 15)), Some(r(5, 5, 10, 10)));
+        // touching edges do not overlap
+        assert!(!a.overlaps(r(10, 0, 20, 10)));
+        assert_eq!(a.intersection(r(10, 0, 20, 10)), None);
+        // disjoint
+        assert!(!a.overlaps(r(20, 20, 30, 30)));
+    }
+
+    #[test]
+    fn union_handles_empty() {
+        let a = r(0, 0, 10, 10);
+        assert_eq!(a.union(Rect::empty()), a);
+        assert_eq!(Rect::empty().union(a), a);
+        assert_eq!(a.union(r(20, 20, 30, 30)), r(0, 0, 30, 30));
+    }
+
+    #[test]
+    fn transforms() {
+        let a = r(2, 2, 6, 8);
+        assert_eq!(a.translated(Dbu(1), Dbu(-2)), r(3, 0, 7, 6));
+        assert_eq!(a.moved_to(Point::ORIGIN), r(0, 0, 4, 6));
+        assert_eq!(a.inflate(Dbu(1)), r(1, 1, 7, 9));
+        assert_eq!(a.scale(0.5), r(1, 1, 3, 4));
+        assert_eq!(a.scale_xy(2.0, 1.0), r(4, 2, 12, 8));
+        assert_eq!(a.center(), Point::new(Dbu(4), Dbu(5)));
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = r(10, 10, 20, 20);
+        assert_eq!(a.manhattan_to_point(Point::new(Dbu(15), Dbu(15))), Dbu(0));
+        assert_eq!(a.manhattan_to_point(Point::new(Dbu(0), Dbu(15))), Dbu(10));
+        assert_eq!(a.manhattan_to_point(Point::new(Dbu(0), Dbu(0))), Dbu(20));
+        assert_eq!(a.manhattan_to_point(Point::new(Dbu(25), Dbu(25))), Dbu(10));
+    }
+}

@@ -1,0 +1,148 @@
+//! 2-D extents.
+
+use crate::Dbu;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A width/height pair in database units.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Dbu, Size};
+///
+/// let s = Size::from_um(2.0, 1.5);
+/// assert_eq!(s.area_um2(), 3.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Size {
+    /// Width (x extent).
+    pub w: Dbu,
+    /// Height (y extent).
+    pub h: Dbu,
+}
+
+impl Size {
+    /// Zero-area size.
+    pub const ZERO: Size = Size {
+        w: Dbu(0),
+        h: Dbu(0),
+    };
+
+    /// Creates a size from extents.
+    #[inline]
+    pub const fn new(w: Dbu, h: Dbu) -> Self {
+        Size { w, h }
+    }
+
+    /// Creates a size from micrometre extents.
+    #[inline]
+    pub fn from_um(w: f64, h: f64) -> Self {
+        Size {
+            w: Dbu::from_um(w),
+            h: Dbu::from_um(h),
+        }
+    }
+
+    /// Area in square micrometres.
+    #[inline]
+    pub fn area_um2(self) -> f64 {
+        self.w.to_um() * self.h.to_um()
+    }
+
+    /// Area in square millimetres.
+    #[inline]
+    pub fn area_mm2(self) -> f64 {
+        self.w.to_mm() * self.h.to_mm()
+    }
+
+    /// Half-perimeter (w + h), the HPWL contribution of a bounding box.
+    #[inline]
+    pub fn half_perimeter(self) -> Dbu {
+        self.w + self.h
+    }
+
+    /// Swaps width and height (a 90° rotation of the extent).
+    #[inline]
+    pub fn transposed(self) -> Size {
+        Size::new(self.h, self.w)
+    }
+
+    /// Scales both extents by a factor, rounding to the nearest DBU.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Size {
+        Size::new(self.w.scale(factor), self.h.scale(factor))
+    }
+
+    /// True if either extent is zero or negative.
+    #[inline]
+    pub fn is_degenerate(self) -> bool {
+        self.w.0 <= 0 || self.h.0 <= 0
+    }
+}
+
+impl fmt::Debug for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}x{:?}", self.w, self.h)
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x {}", self.w, self.h)
+    }
+}
+
+impl Add for Size {
+    type Output = Size;
+    #[inline]
+    fn add(self, rhs: Size) -> Size {
+        Size::new(self.w + rhs.w, self.h + rhs.h)
+    }
+}
+
+impl Sub for Size {
+    type Output = Size;
+    #[inline]
+    fn sub(self, rhs: Size) -> Size {
+        Size::new(self.w - rhs.w, self.h - rhs.h)
+    }
+}
+
+impl Mul<i64> for Size {
+    type Output = Size;
+    #[inline]
+    fn mul(self, rhs: i64) -> Size {
+        Size::new(self.w * rhs, self.h * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas() {
+        let s = Size::from_um(1_000.0, 600.0);
+        assert!((s.area_mm2() - 0.6).abs() < 1e-12);
+        assert_eq!(s.half_perimeter(), Dbu::from_um(1_600.0));
+    }
+
+    #[test]
+    fn transforms() {
+        let s = Size::new(Dbu(10), Dbu(20));
+        assert_eq!(s.transposed(), Size::new(Dbu(20), Dbu(10)));
+        assert_eq!(s.scale(0.5), Size::new(Dbu(5), Dbu(10)));
+        assert!(!s.is_degenerate());
+        assert!(Size::new(Dbu(0), Dbu(5)).is_degenerate());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Size::new(Dbu(3), Dbu(4));
+        let b = Size::new(Dbu(1), Dbu(1));
+        assert_eq!(a + b, Size::new(Dbu(4), Dbu(5)));
+        assert_eq!(a - b, Size::new(Dbu(2), Dbu(3)));
+        assert_eq!(a * 2, Size::new(Dbu(6), Dbu(8)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the geometry substrate.
+
+use macro3d_geom::{Dbu, Interval, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_dbu() -> impl Strategy<Value = Dbu> {
+    (-1_000_000i64..1_000_000).prop_map(Dbu)
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (arb_dbu(), arb_dbu()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), Dbu(0));
+        // triangle inequality
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn rect_intersection_is_contained(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(b) {
+            prop_assert!(a.contains_rect(i));
+            prop_assert!(b.contains_rect(i));
+            prop_assert!(a.overlaps(b));
+        } else {
+            prop_assert!(!a.overlaps(b));
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        if !a.is_empty() {
+            prop_assert!(u.contains_rect(a));
+        }
+        if !b.is_empty() {
+            prop_assert!(u.contains_rect(b));
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+
+    #[test]
+    fn intersection_area_bounded(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(b) {
+            prop_assert!(i.area_um2() <= a.area_um2() + 1e-9);
+            prop_assert!(i.area_um2() <= b.area_um2() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn interval_ops_consistent(a in (arb_dbu(), arb_dbu()), b in (arb_dbu(), arb_dbu())) {
+        let ia = Interval::new(a.0, a.1);
+        let ib = Interval::new(b.0, b.1);
+        prop_assert_eq!(ia.overlaps(ib), ib.overlaps(ia));
+        if let Some(i) = ia.intersection(ib) {
+            prop_assert!(i.len() <= ia.len());
+            prop_assert!(i.len() <= ib.len());
+        }
+        let u = ia.union(ib);
+        prop_assert!(u.len() >= ia.len().max(ib.len()) || ia.is_empty() || ib.is_empty());
+    }
+
+    #[test]
+    fn floor_ceil_bracket(x in -1_000_000i64..1_000_000, step in 1i64..10_000) {
+        let v = Dbu(x);
+        let s = Dbu(step);
+        let f = v.floor_to(s);
+        let c = v.ceil_to(s);
+        prop_assert!(f <= v);
+        prop_assert!(c >= v);
+        prop_assert!(c - f == Dbu(0) || c - f == s);
+        prop_assert_eq!(f.nm() % step, 0);
+        prop_assert_eq!(c.nm() % step, 0);
+    }
+
+    #[test]
+    fn rect_manhattan_zero_iff_inside(r in arb_rect(), p in arb_point()) {
+        prop_assume!(!r.is_empty());
+        let d = r.manhattan_to_point(p);
+        if r.contains(p) {
+            prop_assert_eq!(d, Dbu(0));
+        } else {
+            prop_assert!(d > Dbu(0));
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! The flat netlist container.
+
+use crate::ids::{InstId, MacroMasterId, NetId, PinRef, PortId};
+use macro3d_sram::MacroDef;
+use macro3d_tech::{CellLibrary, LibCellId, PinDir};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// The master definition an instance refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Master {
+    /// A standard cell from the design's library.
+    Cell(LibCellId),
+    /// A macro master registered with the design.
+    Macro(MacroMasterId),
+}
+
+/// Die edge a top-level port is constrained to — the paper aligns
+/// NoC output/input pin pairs on opposite tile edges so tiles abut
+/// without extra routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Top edge.
+    North,
+    /// Bottom edge.
+    South,
+    /// Right edge.
+    East,
+    /// Left edge.
+    West,
+}
+
+impl Side {
+    /// The opposite edge (where the abutting tile's matching pin
+    /// sits).
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::North => Side::South,
+            Side::South => Side::North,
+            Side::East => Side::West,
+            Side::West => Side::East,
+        }
+    }
+}
+
+/// An instance of a standard cell or macro.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Hierarchical instance name.
+    pub name: String,
+    /// Master definition.
+    pub master: Master,
+    /// Net connected to each master pin (`None` = unconnected).
+    pub conns: Vec<Option<NetId>>,
+    /// Logical group (module) tag, an index into
+    /// [`Design::groups`]. Used for floorplan seeding and statistics.
+    pub group: u32,
+}
+
+/// A single-driver net.
+#[derive(Clone, Debug, Default)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// All connected pins (driver and sinks, in connection order).
+    pub pins: Vec<PinRef>,
+}
+
+/// A top-level port.
+#[derive(Clone, Debug)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction as seen from outside (an `Input` port drives
+    /// internal logic).
+    pub dir: PinDir,
+    /// Optional edge constraint.
+    pub side: Option<Side>,
+    /// Connected net.
+    pub net: Option<NetId>,
+    /// Pairing key: ports with the same key on opposite edges must be
+    /// coordinate-aligned (the paper's inter-tile pin alignment).
+    pub align_key: Option<u32>,
+}
+
+/// Netlist consistency violations reported by [`Design::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net has no driving pin.
+    UndrivenNet(NetId),
+    /// A net has more than one driving pin.
+    MultiplyDrivenNet(NetId),
+    /// An instance input pin is unconnected.
+    DanglingInput(InstId, u16),
+    /// A port is not connected to any net.
+    DanglingPort(PortId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndrivenNet(n) => write!(f, "net {n} has no driver"),
+            NetlistError::MultiplyDrivenNet(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::DanglingInput(i, p) => {
+                write!(f, "input pin {p} of instance {i} is unconnected")
+            }
+            NetlistError::DanglingPort(p) => write!(f, "port {p} is unconnected"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A flat gate-level netlist.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Design {
+    name: String,
+    library: Arc<CellLibrary>,
+    macro_masters: Vec<MacroDef>,
+    insts: Vec<Instance>,
+    nets: Vec<Net>,
+    ports: Vec<Port>,
+    /// Group (module) names; `insts[i].group` indexes into this.
+    groups: Vec<String>,
+}
+
+impl Design {
+    /// Creates an empty design over a cell library.
+    pub fn new(name: impl Into<String>, library: Arc<CellLibrary>) -> Self {
+        Design {
+            name: name.into(),
+            library,
+            macro_masters: Vec::new(),
+            insts: Vec::new(),
+            nets: Vec::new(),
+            ports: Vec::new(),
+            groups: vec!["top".to_string()],
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The standard-cell library.
+    pub fn library(&self) -> &Arc<CellLibrary> {
+        &self.library
+    }
+
+    /// Swaps the library for a structurally identical one (same cell
+    /// list, different sizing) — used by the Shrunk-2D flow, which
+    /// runs its pseudo-2D stage with a 50 %-area library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new library has a different cell count (cell ids
+    /// would be invalidated).
+    pub fn set_library(&mut self, library: Arc<CellLibrary>) {
+        assert_eq!(
+            self.library.len(),
+            library.len(),
+            "replacement library must be structurally identical"
+        );
+        self.library = library;
+    }
+
+    /// Registers a module/group name and returns its tag.
+    pub fn add_group(&mut self, name: impl Into<String>) -> u32 {
+        self.groups.push(name.into());
+        (self.groups.len() - 1) as u32
+    }
+
+    /// Group names.
+    pub fn groups(&self) -> &[String] {
+        &self.groups
+    }
+
+    /// Registers a macro master.
+    pub fn add_macro_master(&mut self, def: MacroDef) -> MacroMasterId {
+        self.macro_masters.push(def);
+        MacroMasterId((self.macro_masters.len() - 1) as u32)
+    }
+
+    /// Macro master by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn macro_master(&self, id: MacroMasterId) -> &MacroDef {
+        &self.macro_masters[id.index()]
+    }
+
+    /// All macro masters.
+    pub fn macro_masters(&self) -> &[MacroDef] {
+        &self.macro_masters
+    }
+
+    /// Adds a standard-cell instance (in the current default group).
+    pub fn add_cell(&mut self, name: impl Into<String>, cell: LibCellId) -> InstId {
+        self.add_cell_in(name, cell, 0)
+    }
+
+    /// Adds a standard-cell instance in a group.
+    pub fn add_cell_in(&mut self, name: impl Into<String>, cell: LibCellId, group: u32) -> InstId {
+        let pins = self.library.cell(cell).pins.len();
+        self.insts.push(Instance {
+            name: name.into(),
+            master: Master::Cell(cell),
+            conns: vec![None; pins],
+            group,
+        });
+        InstId((self.insts.len() - 1) as u32)
+    }
+
+    /// Adds a macro instance in a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` is out of range.
+    pub fn add_macro_in(
+        &mut self,
+        name: impl Into<String>,
+        master: MacroMasterId,
+        group: u32,
+    ) -> InstId {
+        let pins = self.macro_masters[master.index()].pins.len();
+        self.insts.push(Instance {
+            name: name.into(),
+            master: Master::Macro(master),
+            conns: vec![None; pins],
+            group,
+        });
+        InstId((self.insts.len() - 1) as u32)
+    }
+
+    /// Adds a top-level port.
+    pub fn add_port(&mut self, name: impl Into<String>, dir: PinDir, side: Option<Side>) -> PortId {
+        self.ports.push(Port {
+            name: name.into(),
+            dir,
+            side,
+            net: None,
+            align_key: None,
+        });
+        PortId((self.ports.len() - 1) as u32)
+    }
+
+    /// Marks two ports as an aligned pair (same coordinate on
+    /// opposite edges). Assigns and returns the pairing key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port id is out of range.
+    pub fn align_ports(&mut self, a: PortId, b: PortId) -> u32 {
+        let key = a.0;
+        self.ports[a.index()].align_key = Some(key);
+        self.ports[b.index()].align_key = Some(key);
+        key
+    }
+
+    /// Adds an (initially empty) net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        self.nets.push(Net {
+            name: name.into(),
+            pins: Vec::new(),
+        });
+        NetId((self.nets.len() - 1) as u32)
+    }
+
+    /// Connects a pin to a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range, or the pin is already
+    /// connected to a different net.
+    pub fn connect(&mut self, net: NetId, pin: PinRef) {
+        match pin {
+            PinRef::Inst { inst, pin: p } => {
+                let slot = &mut self.insts[inst.index()].conns[p as usize];
+                assert!(
+                    slot.is_none() || *slot == Some(net),
+                    "pin {pin} already connected"
+                );
+                *slot = Some(net);
+            }
+            PinRef::Port(port) => {
+                let slot = &mut self.ports[port.index()].net;
+                assert!(
+                    slot.is_none() || *slot == Some(net),
+                    "port {port} already connected"
+                );
+                *slot = Some(net);
+            }
+        }
+        self.nets[net.index()].pins.push(pin);
+    }
+
+    /// Disconnects a pin from its net (used by clock-tree synthesis
+    /// and repeater insertion to re-home sinks onto new subnets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin is not connected to `net`.
+    pub fn disconnect(&mut self, net: NetId, pin: PinRef) {
+        match pin {
+            PinRef::Inst { inst, pin: p } => {
+                let slot = &mut self.insts[inst.index()].conns[p as usize];
+                assert_eq!(*slot, Some(net), "pin {pin} not on net {net}");
+                *slot = None;
+            }
+            PinRef::Port(port) => {
+                let slot = &mut self.ports[port.index()].net;
+                assert_eq!(*slot, Some(net), "port {port} not on net {net}");
+                *slot = None;
+            }
+        }
+        let pins = &mut self.nets[net.index()].pins;
+        let pos = pins
+            .iter()
+            .position(|&q| q == pin)
+            .expect("pin listed on net");
+        pins.swap_remove(pos);
+    }
+
+    /// Number of instances.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Instance by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn inst(&self, id: InstId) -> &Instance {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable instance access (used by optimization for cell
+    /// resizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Instance {
+        &mut self.insts[id.index()]
+    }
+
+    /// Net by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Port by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// Iterates over instance ids.
+    pub fn inst_ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.insts.len() as u32).map(InstId)
+    }
+
+    /// Iterates over net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Iterates over port ids.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> {
+        (0..self.ports.len() as u32).map(PortId)
+    }
+
+    /// Direction of a pin, as seen by the net: a top-level *input*
+    /// port behaves as a driver (output) inside the design.
+    pub fn pin_is_driver(&self, pin: PinRef) -> bool {
+        match pin {
+            PinRef::Inst { inst, pin: p } => self.pin_dir(inst, p) == PinDir::Output,
+            PinRef::Port(port) => self.ports[port.index()].dir == PinDir::Input,
+        }
+    }
+
+    /// Direction of an instance pin per its master definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin index is out of range.
+    pub fn pin_dir(&self, inst: InstId, pin: u16) -> PinDir {
+        match self.insts[inst.index()].master {
+            Master::Cell(c) => self.library.cell(c).pins[pin as usize].dir,
+            Master::Macro(m) => self.macro_masters[m.index()].pins[pin as usize].dir,
+        }
+    }
+
+    /// Input capacitance of a pin, fF (zero for outputs and ports).
+    pub fn pin_cap(&self, pin: PinRef) -> f64 {
+        match pin {
+            PinRef::Inst { inst, pin: p } => match self.insts[inst.index()].master {
+                Master::Cell(c) => self.library.cell(c).pins[p as usize].cap_ff,
+                Master::Macro(m) => self.macro_masters[m.index()].pins[p as usize].cap_ff,
+            },
+            PinRef::Port(_) => 0.0,
+        }
+    }
+
+    /// The driving pin of a net, if it has exactly one.
+    pub fn driver(&self, net: NetId) -> Option<PinRef> {
+        let mut found = None;
+        for &p in &self.nets[net.index()].pins {
+            if self.pin_is_driver(p) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(p);
+            }
+        }
+        found
+    }
+
+    /// The sink pins of a net (everything that is not a driver).
+    pub fn sinks(&self, net: NetId) -> impl Iterator<Item = PinRef> + '_ {
+        self.nets[net.index()]
+            .pins
+            .iter()
+            .copied()
+            .filter(move |&p| !self.pin_is_driver(p))
+    }
+
+    /// True if the instance is a macro.
+    pub fn is_macro(&self, id: InstId) -> bool {
+        matches!(self.insts[id.index()].master, Master::Macro(_))
+    }
+
+    /// Footprint area of an instance, µm².
+    pub fn inst_area_um2(&self, id: InstId) -> f64 {
+        match self.insts[id.index()].master {
+            Master::Cell(c) => self.library.cell(c).area_um2(),
+            Master::Macro(m) => self.macro_masters[m.index()].area_um2(),
+        }
+    }
+
+    /// Checks netlist consistency; returns the first violation.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistError`] for the reported conditions.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for id in self.net_ids() {
+            let mut drivers = 0usize;
+            for &p in &self.nets[id.index()].pins {
+                if self.pin_is_driver(p) {
+                    drivers += 1;
+                }
+            }
+            match drivers {
+                0 => return Err(NetlistError::UndrivenNet(id)),
+                1 => {}
+                _ => return Err(NetlistError::MultiplyDrivenNet(id)),
+            }
+        }
+        for id in self.inst_ids() {
+            let inst = &self.insts[id.index()];
+            for (p, conn) in inst.conns.iter().enumerate() {
+                if conn.is_none() && self.pin_dir(id, p as u16) == PinDir::Input {
+                    return Err(NetlistError::DanglingInput(id, p as u16));
+                }
+            }
+        }
+        for id in self.port_ids() {
+            if self.ports[id.index()].net.is_none() {
+                return Err(NetlistError::DanglingPort(id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_sram::MemoryCompiler;
+    use macro3d_tech::libgen::n28_library;
+    use macro3d_tech::CellClass;
+
+    fn lib() -> Arc<CellLibrary> {
+        Arc::new(n28_library(1.0))
+    }
+
+    /// Builds `port_in -> INV -> port_out` plus a DFF on the same net.
+    fn small_design() -> Design {
+        let lib = lib();
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let dff = lib.smallest(CellClass::Dff).expect("dff");
+        let mut d = Design::new("t", lib);
+        let pi = d.add_port("in", PinDir::Input, Some(Side::West));
+        let po = d.add_port("out", PinDir::Output, Some(Side::East));
+        let pc = d.add_port("clk", PinDir::Input, None);
+        let u1 = d.add_cell("u1", inv);
+        let f1 = d.add_cell("f1", dff);
+        let n_in = d.add_net("n_in");
+        let n_mid = d.add_net("n_mid");
+        let n_clk = d.add_net("n_clk");
+        d.connect(n_in, PinRef::Port(pi));
+        d.connect(n_in, PinRef::inst(u1, 0));
+        d.connect(n_mid, PinRef::inst(u1, 1));
+        d.connect(n_mid, PinRef::inst(f1, 0)); // D
+        d.connect(n_clk, PinRef::Port(pc));
+        d.connect(n_clk, PinRef::inst(f1, 1)); // CK
+        let n_out = d.add_net("n_out");
+        d.connect(n_out, PinRef::inst(f1, 2)); // Q
+        d.connect(n_out, PinRef::Port(po));
+        d
+    }
+
+    #[test]
+    fn valid_design_passes() {
+        let d = small_design();
+        assert_eq!(d.validate(), Ok(()));
+        assert_eq!(d.num_insts(), 2);
+        assert_eq!(d.num_nets(), 4);
+    }
+
+    #[test]
+    fn driver_resolution() {
+        let d = small_design();
+        // n_in driven by the input port
+        assert_eq!(d.driver(NetId(0)), Some(PinRef::Port(PortId(0))));
+        // n_mid driven by the inverter output
+        assert_eq!(d.driver(NetId(1)), Some(PinRef::inst(InstId(0), 1)));
+        assert_eq!(d.sinks(NetId(1)).count(), 1);
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut d = small_design();
+        let lib = d.library().clone();
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let u2 = d.add_cell("u2", inv);
+        let dead = d.add_net("dead");
+        d.connect(dead, PinRef::inst(u2, 0));
+        // u2 input is connected but the net has no driver
+        assert!(matches!(d.validate(), Err(NetlistError::UndrivenNet(_))));
+    }
+
+    #[test]
+    fn multiply_driven_net_detected() {
+        let mut d = small_design();
+        let lib = d.library().clone();
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        // a fresh inverter whose output also drives n_in
+        let u2 = d.add_cell("u2", inv);
+        d.connect(NetId(0), PinRef::inst(u2, 0)); // input ties to n_in too
+        d.connect(NetId(0), PinRef::inst(u2, 1)); // output contends with the port
+        assert!(matches!(
+            d.validate(),
+            Err(NetlistError::MultiplyDrivenNet(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_input_detected() {
+        let mut d = small_design();
+        let lib = d.library().clone();
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let u2 = d.add_cell("u2", inv);
+        // connect only the output
+        d.connect(NetId(0), PinRef::inst(u2, 1));
+        let e = d.validate();
+        assert!(
+            matches!(e, Err(NetlistError::MultiplyDrivenNet(_)))
+                || matches!(e, Err(NetlistError::DanglingInput(_, _)))
+        );
+    }
+
+    #[test]
+    fn macro_instances() {
+        let lib = lib();
+        let mut d = Design::new("t", lib);
+        let def = MemoryCompiler::n28().sram("s", 256, 32);
+        let pins = def.pins.len();
+        let mm = d.add_macro_master(def);
+        let g = d.add_group("cache");
+        let mi = d.add_macro_in("mem0", mm, g);
+        assert!(d.is_macro(mi));
+        assert_eq!(d.inst(mi).conns.len(), pins);
+        assert!(d.inst_area_um2(mi) > 1_000.0);
+        assert_eq!(d.inst(mi).group, g);
+        assert_eq!(d.groups()[g as usize], "cache");
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut d = small_design();
+        let other = d.add_net("other");
+        d.connect(other, PinRef::inst(InstId(0), 0));
+    }
+
+    #[test]
+    fn side_opposite() {
+        assert_eq!(Side::North.opposite(), Side::South);
+        assert_eq!(Side::East.opposite(), Side::West);
+    }
+
+    #[test]
+    fn port_alignment() {
+        let mut d = small_design();
+        let a = d.add_port("noc_n", PinDir::Output, Some(Side::North));
+        let b = d.add_port("noc_s", PinDir::Input, Some(Side::South));
+        let key = d.align_ports(a, b);
+        assert_eq!(d.port(a).align_key, Some(key));
+        assert_eq!(d.port(b).align_key, Some(key));
+    }
+}

@@ -1,0 +1,108 @@
+//! Typed identifiers into a [`crate::Design`].
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Flat index for slice access.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an instance (standard cell or macro).
+    InstId,
+    "i"
+);
+id_type!(
+    /// Identifier of a net.
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a top-level port.
+    PortId,
+    "p"
+);
+id_type!(
+    /// Identifier of a macro master (a [`macro3d_sram::MacroDef`]
+    /// registered with the design).
+    MacroMasterId,
+    "m"
+);
+
+/// A reference to a connectable pin: either pin `pin` of an instance's
+/// master, or a top-level port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PinRef {
+    /// Pin `pin` (index into the master's pin list) of instance
+    /// `inst`.
+    Inst {
+        /// The instance.
+        inst: InstId,
+        /// Pin index within the master definition.
+        pin: u16,
+    },
+    /// A top-level port.
+    Port(PortId),
+}
+
+impl PinRef {
+    /// Convenience constructor for an instance pin.
+    #[inline]
+    pub fn inst(inst: InstId, pin: u16) -> PinRef {
+        PinRef::Inst { inst, pin }
+    }
+
+    /// The instance, if this is an instance pin.
+    #[inline]
+    pub fn instance(self) -> Option<InstId> {
+        match self {
+            PinRef::Inst { inst, .. } => Some(inst),
+            PinRef::Port(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinRef::Inst { inst, pin } => write!(f, "{inst}.{pin}"),
+            PinRef::Port(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(InstId(3).to_string(), "i3");
+        assert_eq!(NetId(7).to_string(), "n7");
+        assert_eq!(PinRef::inst(InstId(1), 2).to_string(), "i1.2");
+        assert_eq!(PinRef::Port(PortId(4)).to_string(), "p4");
+    }
+
+    #[test]
+    fn pinref_instance() {
+        assert_eq!(PinRef::inst(InstId(1), 0).instance(), Some(InstId(1)));
+        assert_eq!(PinRef::Port(PortId(0)).instance(), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Gate-level netlist substrate for the Macro-3D reproduction.
+//!
+//! A [`Design`] is a flat gate-level netlist: standard-cell and macro
+//! instances, single-driver nets, and top-level ports with optional
+//! edge (side) constraints — everything the placement, routing and
+//! timing engines need, with physical data (coordinates, tiers) kept
+//! in the downstream crates.
+//!
+//! The [`rent`] module generates synthetic random logic with
+//! Rent's-rule-like locality, which the `macro3d-soc` crate composes
+//! into OpenPiton-style tile netlists.
+//!
+//! # Examples
+//!
+//! ```
+//! use macro3d_netlist::{Design, PinRef};
+//! use macro3d_tech::libgen::n28_library;
+//! use macro3d_tech::CellClass;
+//! use std::sync::Arc;
+//!
+//! let lib = Arc::new(n28_library(1.0));
+//! let mut d = Design::new("example", lib.clone());
+//! let inv = lib.smallest(CellClass::Inv).expect("INV exists");
+//! let a = d.add_cell("u1", inv);
+//! let b = d.add_cell("u2", inv);
+//! let n = d.add_net("w1");
+//! d.connect(n, PinRef::inst(a, 1)); // INV output pin
+//! d.connect(n, PinRef::inst(b, 0)); // INV input pin
+//! assert!(d.validate().is_err()); // u1 input & u2 output still dangle
+//! ```
+
+pub mod design;
+pub mod ids;
+pub mod rent;
+pub mod stats;
+pub mod traverse;
+pub mod verilog;
+
+pub use design::{Design, Instance, Master, Net, NetlistError, Port, Side};
+pub use ids::{InstId, MacroMasterId, NetId, PinRef, PortId};
+pub use rent::{LogicIo, LogicSpec, ModuleNets};
+pub use stats::DesignStats;

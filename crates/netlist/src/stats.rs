@@ -1,0 +1,150 @@
+//! Design statistics.
+
+use crate::design::{Design, Master};
+use std::fmt;
+
+/// Aggregate statistics of a design, as reported by synthesis logs.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_netlist::{Design, DesignStats};
+/// use macro3d_tech::libgen::n28_library;
+/// use std::sync::Arc;
+///
+/// let d = Design::new("empty", Arc::new(n28_library(1.0)));
+/// let s = DesignStats::compute(&d);
+/// assert_eq!(s.num_cells, 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DesignStats {
+    /// Standard-cell instance count.
+    pub num_cells: usize,
+    /// Macro instance count.
+    pub num_macros: usize,
+    /// Sequential cell count.
+    pub num_ffs: usize,
+    /// Net count.
+    pub num_nets: usize,
+    /// Top-level port count.
+    pub num_ports: usize,
+    /// Total standard-cell area, µm².
+    pub cell_area_um2: f64,
+    /// Total macro area, µm².
+    pub macro_area_um2: f64,
+    /// Mean pins per net (degree), over nets with ≥ 2 pins.
+    pub avg_net_degree: f64,
+    /// Largest net degree.
+    pub max_net_degree: usize,
+    /// Total connected pin count.
+    pub num_pins: usize,
+}
+
+impl DesignStats {
+    /// Computes statistics for a design.
+    pub fn compute(design: &Design) -> Self {
+        let mut s = DesignStats::default();
+        s.num_nets = design.num_nets();
+        s.num_ports = design.num_ports();
+        for id in design.inst_ids() {
+            match design.inst(id).master {
+                Master::Cell(c) => {
+                    s.num_cells += 1;
+                    s.cell_area_um2 += design.library().cell(c).area_um2();
+                    if design.library().cell(c).is_sequential() {
+                        s.num_ffs += 1;
+                    }
+                }
+                Master::Macro(_) => {
+                    s.num_macros += 1;
+                    s.macro_area_um2 += design.inst_area_um2(id);
+                }
+            }
+        }
+        let mut degree_sum = 0usize;
+        let mut multi = 0usize;
+        for n in design.net_ids() {
+            let deg = design.net(n).pins.len();
+            s.num_pins += deg;
+            s.max_net_degree = s.max_net_degree.max(deg);
+            if deg >= 2 {
+                degree_sum += deg;
+                multi += 1;
+            }
+        }
+        s.avg_net_degree = if multi > 0 {
+            degree_sum as f64 / multi as f64
+        } else {
+            0.0
+        };
+        s
+    }
+
+    /// Fraction of total instance area occupied by macros. The paper
+    /// motivates MoL stacking with this exceeding 50 % even for small
+    /// caches.
+    pub fn macro_area_fraction(&self) -> f64 {
+        let total = self.cell_area_um2 + self.macro_area_um2;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.macro_area_um2 / total
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells: {} (ffs: {}), macros: {}, nets: {}, ports: {}",
+            self.num_cells, self.num_ffs, self.num_macros, self.num_nets, self.num_ports
+        )?;
+        writeln!(
+            f,
+            "cell area: {:.1} um2, macro area: {:.1} um2 ({:.1}% macro)",
+            self.cell_area_um2,
+            self.macro_area_um2,
+            100.0 * self.macro_area_fraction()
+        )?;
+        write!(
+            f,
+            "avg net degree: {:.2}, max: {}, pins: {}",
+            self.avg_net_degree, self.max_net_degree, self.num_pins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PinRef;
+    use macro3d_sram::MemoryCompiler;
+    use macro3d_tech::{libgen::n28_library, CellClass};
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_and_areas() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let dff = lib.smallest(CellClass::Dff).expect("dff");
+        let mut d = Design::new("t", lib.clone());
+        let a = d.add_cell("a", inv);
+        let f = d.add_cell("f", dff);
+        let mm = d.add_macro_master(MemoryCompiler::n28().sram("s", 512, 64));
+        let _ = d.add_macro_in("m0", mm, 0);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::inst(a, 1));
+        d.connect(n, PinRef::inst(f, 0));
+
+        let s = DesignStats::compute(&d);
+        assert_eq!(s.num_cells, 2);
+        assert_eq!(s.num_ffs, 1);
+        assert_eq!(s.num_macros, 1);
+        assert_eq!(s.max_net_degree, 2);
+        assert!((s.avg_net_degree - 2.0).abs() < 1e-12);
+        assert!(s.macro_area_fraction() > 0.9); // one SRAM dwarfs two gates
+        let shown = s.to_string();
+        assert!(shown.contains("cells: 2"));
+    }
+}

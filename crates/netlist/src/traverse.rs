@@ -1,0 +1,199 @@
+//! Combinational-graph traversal helpers.
+
+use crate::design::{Design, Master};
+use crate::ids::{InstId, NetId, PinRef};
+use std::error::Error;
+use std::fmt;
+
+/// Reported when the combinational part of a design contains a cycle
+/// (which would make static timing analysis impossible).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CombinationalCycle {
+    /// An instance on the cycle.
+    pub witness: InstId,
+}
+
+impl fmt::Display for CombinationalCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "combinational cycle through instance {}", self.witness)
+    }
+}
+
+impl Error for CombinationalCycle {}
+
+/// True if an instance breaks combinational paths (flip-flop or
+/// macro — both launch/capture at clock edges).
+pub fn is_timing_endpoint(design: &Design, inst: InstId) -> bool {
+    match design.inst(inst).master {
+        Master::Cell(c) => design.library().cell(c).is_sequential(),
+        Master::Macro(_) => true,
+    }
+}
+
+/// Topological order of the *combinational* instances (flip-flops and
+/// macros excluded): every combinational instance appears after all
+/// combinational instances that drive it.
+///
+/// # Errors
+///
+/// Returns [`CombinationalCycle`] if the combinational graph is
+/// cyclic.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_netlist::{Design, PinRef};
+/// use macro3d_netlist::traverse::topo_order;
+/// use macro3d_tech::{libgen::n28_library, CellClass};
+/// use std::sync::Arc;
+///
+/// let lib = Arc::new(n28_library(1.0));
+/// let inv = lib.smallest(CellClass::Inv).expect("inv");
+/// let mut d = Design::new("chain", lib);
+/// let a = d.add_cell("a", inv);
+/// let b = d.add_cell("b", inv);
+/// let n = d.add_net("w");
+/// d.connect(n, PinRef::inst(a, 1));
+/// d.connect(n, PinRef::inst(b, 0));
+/// let order = topo_order(&d)?;
+/// assert_eq!(order.len(), 2);
+/// assert!(order.iter().position(|&i| i == a) < order.iter().position(|&i| i == b));
+/// # Ok::<(), macro3d_netlist::traverse::CombinationalCycle>(())
+/// ```
+pub fn topo_order(design: &Design) -> Result<Vec<InstId>, CombinationalCycle> {
+    let n = design.num_insts();
+    let mut indegree = vec![0u32; n];
+    let mut is_comb = vec![false; n];
+    for id in design.inst_ids() {
+        is_comb[id.index()] = !is_timing_endpoint(design, id);
+    }
+
+    // indegree = number of combinational fanin instances
+    for net in design.net_ids() {
+        let Some(driver) = design.driver(net) else {
+            continue;
+        };
+        let Some(drv_inst) = driver.instance() else {
+            continue;
+        };
+        if !is_comb[drv_inst.index()] {
+            continue;
+        }
+        for sink in design.sinks(net) {
+            if let Some(s) = sink.instance() {
+                if is_comb[s.index()] {
+                    indegree[s.index()] += 1;
+                }
+            }
+        }
+    }
+
+    let mut queue: Vec<InstId> = design
+        .inst_ids()
+        .filter(|id| is_comb[id.index()] && indegree[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for net in output_nets(design, u) {
+            for sink in design.sinks(net) {
+                if let Some(s) = sink.instance() {
+                    if is_comb[s.index()] {
+                        indegree[s.index()] -= 1;
+                        if indegree[s.index()] == 0 {
+                            queue.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        queue.truncate(queue.len());
+    }
+
+    let comb_total = is_comb.iter().filter(|&&c| c).count();
+    if order.len() != comb_total {
+        let witness = design
+            .inst_ids()
+            .find(|id| is_comb[id.index()] && indegree[id.index()] > 0)
+            .unwrap_or(InstId(0));
+        return Err(CombinationalCycle { witness });
+    }
+    Ok(order)
+}
+
+/// Nets driven by an instance's output pins.
+pub fn output_nets(design: &Design, inst: InstId) -> impl Iterator<Item = NetId> + '_ {
+    let conns = design.inst(inst).conns.clone();
+    conns
+        .into_iter()
+        .enumerate()
+        .filter_map(move |(p, net)| {
+            let net = net?;
+            if design.pin_is_driver(PinRef::inst(inst, p as u16)) {
+                Some(net)
+            } else {
+                None
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Design;
+    use macro3d_tech::{libgen::n28_library, CellClass};
+    use std::sync::Arc;
+
+    #[test]
+    fn cycle_is_detected() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("loop", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let n1 = d.add_net("n1");
+        let n2 = d.add_net("n2");
+        d.connect(n1, PinRef::inst(a, 1));
+        d.connect(n1, PinRef::inst(b, 0));
+        d.connect(n2, PinRef::inst(b, 1));
+        d.connect(n2, PinRef::inst(a, 0));
+        assert!(topo_order(&d).is_err());
+    }
+
+    #[test]
+    fn ff_breaks_cycle() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let dff = lib.smallest(CellClass::Dff).expect("dff");
+        let mut d = Design::new("reg_loop", lib);
+        let a = d.add_cell("a", inv);
+        let f = d.add_cell("f", dff);
+        let n1 = d.add_net("n1"); // a.Y -> f.D
+        let n2 = d.add_net("n2"); // f.Q -> a.A
+        d.connect(n1, PinRef::inst(a, 1));
+        d.connect(n1, PinRef::inst(f, 0));
+        d.connect(n2, PinRef::inst(f, 2));
+        d.connect(n2, PinRef::inst(a, 0));
+        let order = topo_order(&d).expect("registered loop is fine");
+        assert_eq!(order, vec![a]);
+        assert!(is_timing_endpoint(&d, f));
+        assert!(!is_timing_endpoint(&d, a));
+    }
+
+    #[test]
+    fn output_nets_skips_inputs() {
+        let lib = Arc::new(n28_library(1.0));
+        let nand = lib.smallest(CellClass::Nand2).expect("nand");
+        let mut d = Design::new("t", lib);
+        let g = d.add_cell("g", nand);
+        let ni = d.add_net("ni");
+        let no = d.add_net("no");
+        d.connect(ni, PinRef::inst(g, 0));
+        d.connect(no, PinRef::inst(g, 2));
+        let outs: Vec<_> = output_nets(&d, g).collect();
+        assert_eq!(outs, vec![no]);
+    }
+}

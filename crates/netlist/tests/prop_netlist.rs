@@ -1,0 +1,118 @@
+//! Property-based tests for the netlist substrate.
+
+use macro3d_netlist::rent::{generate_logic, LogicIo, LogicSpec};
+use macro3d_netlist::traverse::topo_order;
+use macro3d_netlist::{Design, NetId, PinRef};
+use macro3d_tech::{libgen::n28_library, PinDir};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn module(gates: usize, seed: u64, ff: f64, max_depth: u32) -> Design {
+    let lib = Arc::new(n28_library(1.0));
+    let mut d = Design::new("m", lib);
+    let clk_p = d.add_port("clk", PinDir::Input, None);
+    let clk = d.add_net("clk");
+    d.connect(clk, PinRef::Port(clk_p));
+    let ext: Vec<NetId> = (0..8)
+        .map(|i| {
+            let p = d.add_port(format!("in{i}"), PinDir::Input, None);
+            let n = d.add_net(format!("ext{i}"));
+            d.connect(n, PinRef::Port(p));
+            n
+        })
+        .collect();
+    let drive: Vec<NetId> = (0..8).map(|i| d.add_net(format!("out{i}"))).collect();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut spec = LogicSpec::new("m", gates, 0);
+    spec.ff_fraction = ff;
+    spec.max_depth = max_depth;
+    generate_logic(
+        &mut d,
+        &mut rng,
+        &spec,
+        clk,
+        LogicIo {
+            ext_in: &ext,
+            drive: &drive,
+        },
+    );
+    d
+}
+
+/// Longest combinational path length (in cells) over the design.
+fn comb_depth(d: &Design) -> usize {
+    let order = topo_order(d).expect("acyclic");
+    let mut depth: std::collections::HashMap<NetId, usize> = std::collections::HashMap::new();
+    let mut max_depth = 0;
+    for inst in order {
+        let mut input_depth = 0;
+        for (p, conn) in d.inst(inst).conns.iter().enumerate() {
+            let Some(net) = conn else { continue };
+            if d.pin_dir(inst, p as u16) == macro3d_tech::PinDir::Input {
+                input_depth = input_depth.max(*depth.get(net).unwrap_or(&0));
+            }
+        }
+        for (p, conn) in d.inst(inst).conns.iter().enumerate() {
+            let Some(net) = conn else { continue };
+            if d.pin_dir(inst, p as u16) == macro3d_tech::PinDir::Output {
+                depth.insert(*net, input_depth + 1);
+                max_depth = max_depth.max(input_depth + 1);
+            }
+        }
+    }
+    max_depth
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated modules always validate, stay acyclic, and respect
+    /// the combinational depth bound.
+    #[test]
+    fn generated_modules_well_formed(
+        gates in 50usize..1_500,
+        seed in 0u64..1_000,
+        ff in 0.05f64..0.5,
+        max_depth in 4u32..24,
+    ) {
+        let d = module(gates, seed, ff, max_depth);
+        prop_assert_eq!(d.validate(), Ok(()));
+        prop_assert!(topo_order(&d).is_ok());
+        let depth = comb_depth(&d);
+        prop_assert!(
+            depth <= max_depth as usize,
+            "comb depth {depth} exceeds bound {max_depth}"
+        );
+    }
+
+    /// Disconnect followed by reconnect restores net membership.
+    #[test]
+    fn disconnect_reconnect_roundtrip(gates in 20usize..200, seed in 0u64..100) {
+        let mut d = module(gates, seed, 0.2, 16);
+        // pick a net with sinks
+        let net = d
+            .net_ids()
+            .find(|&n| d.sinks(n).count() > 0)
+            .expect("some net has sinks");
+        let sink = d.sinks(net).next().expect("sink exists");
+        let before = d.net(net).pins.len();
+        d.disconnect(net, sink);
+        prop_assert_eq!(d.net(net).pins.len(), before - 1);
+        d.connect(net, sink);
+        prop_assert_eq!(d.net(net).pins.len(), before);
+        prop_assert_eq!(d.validate(), Ok(()));
+    }
+
+    /// Generation is deterministic in (gates, seed).
+    #[test]
+    fn generation_deterministic(gates in 20usize..300, seed in 0u64..100) {
+        let a = module(gates, seed, 0.2, 16);
+        let b = module(gates, seed, 0.2, 16);
+        prop_assert_eq!(a.num_insts(), b.num_insts());
+        prop_assert_eq!(a.num_nets(), b.num_nets());
+        for (x, y) in a.inst_ids().zip(b.inst_ids()) {
+            prop_assert_eq!(a.inst(x).master, b.inst(y).master);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Utilization maps and overlap checking.
+
+use crate::floorplan::Floorplan;
+use crate::placement::Placement;
+use macro3d_geom::{BinGrid, Dbu, Rect, RectIndex};
+use macro3d_netlist::{Design, InstId};
+
+/// Per-bin standard-cell utilization (cell area / usable bin area).
+///
+/// Bins with zero usable area report a utilization of `f64::INFINITY`
+/// when occupied, `0.0` otherwise.
+pub fn utilization_map(
+    design: &Design,
+    fp: &Floorplan,
+    placement: &Placement,
+    insts: &[InstId],
+    grid: &BinGrid,
+) -> Vec<f64> {
+    let mut used = vec![0.0f64; grid.len()];
+    for &i in insts {
+        let r = placement.rect(design, i);
+        if let Some((lo, hi)) = grid.bins_overlapping(r) {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    let ix = macro3d_geom::BinIx::new(x, y);
+                    let bin = grid.bin_rect(ix);
+                    if let Some(ov) = bin.intersection(r) {
+                        used[grid.flat(ix)] += ov.area_um2();
+                    }
+                }
+            }
+        }
+    }
+    grid.iter()
+        .map(|ix| {
+            let usable = fp.usable_area_um2(grid.bin_rect(ix));
+            let u = used[grid.flat(ix)];
+            if usable <= 0.0 {
+                if u > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            } else {
+                u / usable
+            }
+        })
+        .collect()
+}
+
+/// Counts overlapping instance pairs among `insts` (zero after a
+/// correct legalization).
+pub fn count_overlaps(design: &Design, placement: &Placement, insts: &[InstId]) -> usize {
+    if insts.is_empty() {
+        return 0;
+    }
+    let mut bounds = Rect::empty();
+    for &i in insts {
+        bounds = bounds.union(placement.rect(design, i));
+    }
+    if bounds.is_empty() {
+        return 0;
+    }
+    let bin = Dbu((bounds.width().0 / 64).max(1_000));
+    let mut index: RectIndex<InstId> = RectIndex::new(bounds, bin);
+    let mut overlaps = 0;
+    for &i in insts {
+        let r = placement.rect(design, i);
+        overlaps += index.query(r).count();
+        index.insert(r, i);
+    }
+    overlaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_geom::Point;
+    use macro3d_tech::{libgen::n28_library, CellClass};
+    use std::sync::Arc;
+
+    fn three_cells() -> (Design, Vec<InstId>, Placement) {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let insts: Vec<InstId> = (0..3).map(|i| d.add_cell(format!("c{i}"), inv)).collect();
+        let p = Placement::new(&d);
+        (d, insts, p)
+    }
+
+    #[test]
+    fn overlap_counting() {
+        let (d, insts, mut p) = three_cells();
+        // all at origin: 3 pairwise overlaps
+        assert_eq!(count_overlaps(&d, &p, &insts), 3);
+        p.pos[insts[1].index()] = Point::from_um(10.0, 0.0);
+        p.pos[insts[2].index()] = Point::from_um(20.0, 0.0);
+        assert_eq!(count_overlaps(&d, &p, &insts), 0);
+    }
+
+    #[test]
+    fn utilization_reflects_area() {
+        let (d, insts, mut p) = three_cells();
+        let fp = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 20.0, 20.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        for (k, &i) in insts.iter().enumerate() {
+            p.pos[i.index()] = Point::from_um(1.0 + k as f64, 1.0);
+        }
+        let grid = BinGrid::with_counts(fp.die(), 2, 2);
+        let map = utilization_map(&d, &fp, &p, &insts, &grid);
+        assert!(map[0] > 0.0, "cells occupy the lower-left bin");
+        assert_eq!(map[3], 0.0, "upper-right bin is empty");
+    }
+}

@@ -1,0 +1,155 @@
+//! Greedy detailed-placement refinement.
+
+use crate::hpwl::net_hpwl;
+use crate::placement::Placement;
+use crate::ports::PortPlan;
+use macro3d_geom::Dbu;
+use macro3d_netlist::{Design, InstId, NetId};
+
+/// One pass of same-row neighbour swapping: adjacent cells in a row
+/// are swapped when that reduces the summed HPWL of their incident
+/// nets. Returns the number of swaps applied.
+///
+/// Swapping preserves legality when both cells have equal width; for
+/// unequal widths the pair is repacked left-to-right within their
+/// combined span, which also preserves legality.
+pub fn swap_pass(
+    design: &Design,
+    placement: &mut Placement,
+    ports: &PortPlan,
+    movable: &[InstId],
+) -> usize {
+    // bucket by row (y coordinate)
+    let mut rows: std::collections::BTreeMap<Dbu, Vec<InstId>> = std::collections::BTreeMap::new();
+    for &i in movable {
+        rows.entry(placement.pos[i.index()].y).or_default().push(i);
+    }
+    // inst -> incident small nets
+    let mut inst_nets: Vec<Vec<NetId>> = vec![Vec::new(); design.num_insts()];
+    for n in design.net_ids() {
+        let pins = &design.net(n).pins;
+        if pins.len() < 2 || pins.len() > 32 {
+            continue;
+        }
+        for p in pins {
+            if let Some(i) = p.instance() {
+                inst_nets[i.index()].push(n);
+            }
+        }
+    }
+
+    let mut swaps = 0;
+    for cells in rows.values_mut() {
+        cells.sort_by_key(|i| placement.pos[i.index()].x);
+        for k in 0..cells.len().saturating_sub(1) {
+            let (a, b) = (cells[k], cells[k + 1]);
+            let cost_before = pair_cost(design, placement, ports, &inst_nets, a, b);
+            let (pa, pb) = (placement.pos[a.index()], placement.pos[b.index()]);
+            let wa = placement.rect(design, a).width();
+            let wb = placement.rect(design, b).width();
+            let fits;
+            if wa == wb {
+                // true position exchange — always legal
+                placement.pos[a.index()] = pb;
+                placement.pos[b.index()] = pa;
+                fits = true;
+            } else {
+                // repack the pair left-to-right within its span
+                placement.pos[b.index()] = pa;
+                placement.pos[a.index()] = macro3d_geom::Point::new(pa.x + wb, pa.y);
+                fits = placement.pos[a.index()].x + wa <= pb.x + wb;
+            }
+            let cost_after = pair_cost(design, placement, ports, &inst_nets, a, b);
+            if !fits || cost_after >= cost_before {
+                placement.pos[a.index()] = pa;
+                placement.pos[b.index()] = pb;
+            } else {
+                cells.swap(k, k + 1);
+                swaps += 1;
+            }
+        }
+    }
+    swaps
+}
+
+fn pair_cost(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    inst_nets: &[Vec<NetId>],
+    a: InstId,
+    b: InstId,
+) -> Dbu {
+    let mut seen = std::collections::HashSet::new();
+    let mut cost = Dbu(0);
+    for &n in inst_nets[a.index()].iter().chain(&inst_nets[b.index()]) {
+        if seen.insert(n) {
+            cost += net_hpwl(design, placement, ports, n);
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpwl::total_hpwl;
+    use macro3d_geom::Point;
+    use macro3d_netlist::PinRef;
+    use macro3d_tech::{libgen::n28_library, CellClass, PinDir};
+    use std::sync::Arc;
+
+    #[test]
+    fn swap_untangles_crossed_pair() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let pw = d.add_port("w", PinDir::Input, Some(macro3d_netlist::Side::West));
+        let pe = d.add_port("e", PinDir::Input, Some(macro3d_netlist::Side::East));
+        let a = d.add_cell("a", inv); // wants to be near west
+        let b = d.add_cell("b", inv); // wants to be near east
+        let nw = d.add_net("nw");
+        d.connect(nw, PinRef::Port(pw));
+        d.connect(nw, PinRef::inst(a, 0));
+        let ne = d.add_net("ne");
+        d.connect(ne, PinRef::Port(pe));
+        d.connect(ne, PinRef::inst(b, 0));
+        // outputs dangle (fine for this test): give them nets
+        let oa = d.add_net("oa");
+        d.connect(oa, PinRef::inst(a, 1));
+        let ob = d.add_net("ob");
+        d.connect(ob, PinRef::inst(b, 1));
+
+        let ports = PortPlan {
+            pos: vec![Point::from_um(0.0, 0.0), Point::from_um(100.0, 0.0)],
+        };
+        let mut p = Placement::new(&d);
+        // crossed: a sits east, b sits west, same row
+        p.pos[a.index()] = Point::from_um(60.0, 0.0);
+        p.pos[b.index()] = Point::from_um(59.0, 0.0);
+
+        let before = total_hpwl(&d, &p, &ports);
+        let swaps = swap_pass(&d, &mut p, &ports, &[a, b]);
+        let after = total_hpwl(&d, &p, &ports);
+        assert_eq!(swaps, 1);
+        assert!(after < before);
+        assert!(p.pos[a.index()].x < p.pos[b.index()].x);
+    }
+
+    #[test]
+    fn no_swap_when_already_good() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::inst(a, 1));
+        d.connect(n, PinRef::inst(b, 0));
+        let ports = PortPlan { pos: vec![] };
+        let mut p = Placement::new(&d);
+        p.pos[a.index()] = Point::from_um(0.0, 0.0);
+        p.pos[b.index()] = Point::from_um(10.0, 0.0);
+        assert_eq!(swap_pass(&d, &mut p, &ports, &[a, b]), 0);
+    }
+}

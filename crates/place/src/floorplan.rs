@@ -1,0 +1,328 @@
+//! Floorplans: die area, rows, macro placements and blockages.
+
+use macro3d_geom::{Dbu, Point, Rect, Size};
+use macro3d_netlist::InstId;
+use macro3d_tech::stack::DieRole;
+
+/// Kind of a placement blockage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BlockageKind {
+    /// No standard cell may be placed inside.
+    Full,
+    /// Only the given fraction of the area is usable (the S2D/C2D
+    /// representation of "a macro occupies the other die here").
+    Partial(f64),
+}
+
+/// A placement blockage over a region of the die.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Blockage {
+    /// Blocked region.
+    pub rect: Rect,
+    /// Blockage kind.
+    pub kind: BlockageKind,
+}
+
+/// A macro fixed at a location on one die.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MacroPlacement {
+    /// The macro instance.
+    pub inst: InstId,
+    /// Placed footprint.
+    pub rect: Rect,
+    /// Die the macro physically occupies.
+    pub die: DieRole,
+}
+
+/// A floorplan: the core area as seen by one placement run.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Dbu, Rect};
+/// use macro3d_place::Floorplan;
+///
+/// let fp = Floorplan::new(
+///     Rect::from_um(0.0, 0.0, 500.0, 480.0),
+///     Dbu::from_um(1.2),
+///     Dbu::from_um(0.2),
+/// );
+/// assert_eq!(fp.num_rows(), 400);
+/// assert!((fp.usable_area_um2(fp.die()) - 500.0 * 480.0).abs() < 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Floorplan {
+    die: Rect,
+    row_height: Dbu,
+    site_width: Dbu,
+    /// Macros placed in this floorplan (possibly on either die).
+    pub macros: Vec<MacroPlacement>,
+    /// Placement blockages for standard cells.
+    pub blockages: Vec<Blockage>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan over a die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die is empty or the row geometry non-positive.
+    pub fn new(die: Rect, row_height: Dbu, site_width: Dbu) -> Self {
+        assert!(!die.is_empty(), "die must be non-empty");
+        assert!(
+            row_height.0 > 0 && site_width.0 > 0,
+            "row geometry must be positive"
+        );
+        Floorplan {
+            die,
+            row_height,
+            site_width,
+            macros: Vec::new(),
+            blockages: Vec::new(),
+        }
+    }
+
+    /// The core placement area.
+    #[inline]
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Standard-cell row height.
+    #[inline]
+    pub fn row_height(&self) -> Dbu {
+        self.row_height
+    }
+
+    /// Placement site width.
+    #[inline]
+    pub fn site_width(&self) -> Dbu {
+        self.site_width
+    }
+
+    /// Number of complete standard-cell rows.
+    pub fn num_rows(&self) -> usize {
+        (self.die.height() / self.row_height) as usize
+    }
+
+    /// The rectangle of row `i` (0 = bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_rect(&self, i: usize) -> Rect {
+        assert!(i < self.num_rows(), "row index out of range");
+        let y0 = self.die.lo.y + self.row_height * i as i64;
+        Rect::new(
+            Point::new(self.die.lo.x, y0),
+            Point::new(self.die.hi.x, y0 + self.row_height),
+        )
+    }
+
+    /// Registers a placed macro and adds its placement blockage (with
+    /// halo) if it occupies *this* floorplan's standard-cell die.
+    ///
+    /// `this_die` identifies which die the floorplan's standard cells
+    /// live on; macros on the other die contribute no blockage here
+    /// (the Macro-3D projection) unless explicitly added by the flow
+    /// (the S2D/C2D partial blockages).
+    pub fn add_macro(&mut self, mp: MacroPlacement, this_die: DieRole, halo: Dbu) {
+        if mp.die == this_die {
+            self.blockages.push(Blockage {
+                rect: mp.rect.inflate(halo),
+                kind: BlockageKind::Full,
+            });
+        }
+        self.macros.push(mp);
+    }
+
+    /// Adds an explicit blockage.
+    pub fn add_blockage(&mut self, rect: Rect, kind: BlockageKind) {
+        self.blockages.push(Blockage { rect, kind });
+    }
+
+    /// Usable placement area inside `region`, µm² (area minus full
+    /// blockages, partial blockages discounted by their factor).
+    /// Overlapping blockages are handled conservatively (the most
+    /// restrictive discount wins per blockage; overlaps may
+    /// double-count, which only errs toward spreading cells out).
+    pub fn usable_area_um2(&self, region: Rect) -> f64 {
+        let Some(clipped) = region.intersection(self.die) else {
+            return 0.0;
+        };
+        let mut area = clipped.area_um2();
+        for b in &self.blockages {
+            if let Some(i) = b.rect.intersection(clipped) {
+                let lost = match b.kind {
+                    BlockageKind::Full => i.area_um2(),
+                    BlockageKind::Partial(f) => i.area_um2() * (1.0 - f),
+                };
+                area -= lost;
+            }
+        }
+        area.max(0.0)
+    }
+
+    /// True if the rectangle is fully blocked at `p` (used by
+    /// legality checks; partial blockages are handled via stripes).
+    pub fn is_fully_blocked(&self, rect: Rect) -> bool {
+        self.blockages
+            .iter()
+            .any(|b| matches!(b.kind, BlockageKind::Full) && b.rect.overlaps(rect))
+    }
+
+    /// Converts every partial blockage into full-blockage *stripes*
+    /// with the given quantization period, replacing them in place.
+    ///
+    /// This models the coarse spatial resolution with which commercial
+    /// 2D engines honour partial blockages — the paper's Sec. III
+    /// observes that this quantization is what produces overlaps after
+    /// S2D tier partitioning. A `period` of a few micrometres (many
+    /// sites) is realistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn quantize_partial_blockages(&mut self, period: Dbu) {
+        assert!(period.0 > 0, "stripe period must be positive");
+        let mut stripes = Vec::new();
+        self.blockages.retain(|b| match b.kind {
+            BlockageKind::Full => true,
+            BlockageKind::Partial(f) => {
+                stripes.extend(stripe_rects(b.rect, f, period));
+                false
+            }
+        });
+        for rect in stripes {
+            self.blockages.push(Blockage {
+                rect,
+                kind: BlockageKind::Full,
+            });
+        }
+    }
+}
+
+/// Splits `rect` into vertical stripes of period `period`, blocking
+/// the trailing `(1 - usable)` fraction of each stripe.
+pub fn stripe_rects(rect: Rect, usable: f64, period: Dbu) -> Vec<Rect> {
+    let mut out = Vec::new();
+    let blocked_frac = (1.0 - usable).clamp(0.0, 1.0);
+    if blocked_frac <= 0.0 {
+        return out;
+    }
+    let blocked_w = Dbu((period.0 as f64 * blocked_frac).round() as i64);
+    let mut x = rect.lo.x;
+    while x < rect.hi.x {
+        let stripe_end = (x + period).min(rect.hi.x);
+        let block_start = (stripe_end - blocked_w).max(x);
+        if block_start < stripe_end {
+            out.push(Rect::new(
+                Point::new(block_start, rect.lo.y),
+                Point::new(stripe_end, rect.hi.y),
+            ));
+        }
+        x = stripe_end;
+    }
+    out
+}
+
+/// Computes a near-square die rectangle of the given area with the
+/// given aspect ratio (width / height), snapped to whole rows and
+/// sites.
+pub fn die_for_area(area_um2: f64, aspect: f64, row_height: Dbu, site_width: Dbu) -> Rect {
+    let h_um = (area_um2 / aspect).sqrt();
+    let w_um = area_um2 / h_um;
+    let h = Dbu::from_um(h_um).ceil_to(row_height);
+    let w = Dbu::from_um(w_um).ceil_to(site_width);
+    Rect::from_origin_size(Point::ORIGIN, Size::new(w, h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Floorplan {
+        Floorplan::new(
+            Rect::from_um(0.0, 0.0, 100.0, 120.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        )
+    }
+
+    #[test]
+    fn rows() {
+        let f = fp();
+        assert_eq!(f.num_rows(), 100);
+        assert_eq!(f.row_rect(0).lo, Point::ORIGIN);
+        assert_eq!(f.row_rect(99).hi.y, Dbu::from_um(120.0));
+    }
+
+    #[test]
+    fn usable_area_subtracts_blockages() {
+        let mut f = fp();
+        f.add_blockage(Rect::from_um(0.0, 0.0, 10.0, 10.0), BlockageKind::Full);
+        f.add_blockage(Rect::from_um(50.0, 50.0, 60.0, 60.0), BlockageKind::Partial(0.5));
+        let total = f.usable_area_um2(f.die());
+        assert!((total - (12_000.0 - 100.0 - 50.0)).abs() < 1.0);
+        // region query clips
+        let left = f.usable_area_um2(Rect::from_um(0.0, 0.0, 10.0, 10.0));
+        assert!(left.abs() < 1e-9);
+    }
+
+    #[test]
+    fn macro_blockage_only_on_same_die() {
+        let mut f = fp();
+        let mp = MacroPlacement {
+            inst: InstId(0),
+            rect: Rect::from_um(10.0, 10.0, 30.0, 30.0),
+            die: DieRole::Macro,
+        };
+        f.add_macro(mp, DieRole::Logic, Dbu::from_um(1.0));
+        assert!(f.blockages.is_empty(), "other-die macro adds no blockage");
+        f.add_macro(
+            MacroPlacement {
+                inst: InstId(1),
+                rect: Rect::from_um(40.0, 40.0, 50.0, 50.0),
+                die: DieRole::Logic,
+            },
+            DieRole::Logic,
+            Dbu::from_um(1.0),
+        );
+        assert_eq!(f.blockages.len(), 1);
+        assert_eq!(f.blockages[0].rect, Rect::from_um(39.0, 39.0, 51.0, 51.0));
+    }
+
+    #[test]
+    fn stripes_preserve_blocked_fraction() {
+        let rect = Rect::from_um(0.0, 0.0, 40.0, 10.0);
+        let stripes = stripe_rects(rect, 0.5, Dbu::from_um(4.0));
+        let blocked: f64 = stripes.iter().map(|r| r.area_um2()).sum();
+        assert!((blocked - 200.0).abs() < 1.0, "blocked {blocked}");
+        // all stripes inside
+        for s in &stripes {
+            assert!(rect.contains_rect(*s));
+        }
+    }
+
+    #[test]
+    fn quantization_replaces_partials() {
+        let mut f = fp();
+        f.add_blockage(Rect::from_um(0.0, 0.0, 40.0, 10.0), BlockageKind::Partial(0.5));
+        let before = f.usable_area_um2(f.die());
+        f.quantize_partial_blockages(Dbu::from_um(4.0));
+        assert!(f
+            .blockages
+            .iter()
+            .all(|b| matches!(b.kind, BlockageKind::Full)));
+        let after = f.usable_area_um2(f.die());
+        assert!((before - after).abs() < 2.0, "{before} vs {after}");
+    }
+
+    #[test]
+    fn die_for_area_snaps() {
+        let d = die_for_area(560_000.0, 1.0, Dbu::from_um(1.2), Dbu::from_um(0.2));
+        assert!(d.area_um2() >= 560_000.0);
+        assert_eq!(d.height().0 % Dbu::from_um(1.2).0, 0);
+        assert_eq!(d.width().0 % Dbu::from_um(0.2).0, 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Recursive min-cut bisection global placement.
+//!
+//! The placer recursively splits the core area into two sub-regions of
+//! equal *usable* capacity (full/partial blockages discounted), FM-
+//! partitions the region's cells to minimise cut with terminal
+//! propagation (external pins — ports, macro pins, already-assigned
+//! cells — anchor nets to the side nearer their projection), and
+//! recurses until a handful of cells per region remain, which are then
+//! spread over the region.
+
+use crate::floorplan::Floorplan;
+use crate::hpwl::pin_position;
+use crate::partition::{bipartition, FmConfig, Hypergraph};
+use crate::placement::Placement;
+use crate::ports::PortPlan;
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
+
+/// Global-placement configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GlobalPlaceConfig {
+    /// Stop recursing below this many cells per region.
+    pub min_cells: usize,
+    /// FM passes per bisection.
+    pub fm_passes: usize,
+    /// Nets larger than this are ignored during partitioning (clock
+    /// and other global nets carry no placement information).
+    pub max_net_degree: usize,
+}
+
+impl Default for GlobalPlaceConfig {
+    fn default() -> Self {
+        GlobalPlaceConfig {
+            min_cells: 8,
+            fm_passes: 2,
+            max_net_degree: 64,
+        }
+    }
+}
+
+/// Runs global placement of all standard cells of `design` inside the
+/// floorplan. Macros take their positions from `fp.macros`; cells end
+/// up spread over the usable area (overlapping; run
+/// [`crate::legalize::legalize`] next).
+///
+/// # Panics
+///
+/// Panics if a macro in `fp.macros` references an out-of-range
+/// instance.
+pub fn global_place(
+    design: &Design,
+    fp: &Floorplan,
+    ports: &PortPlan,
+    cfg: &GlobalPlaceConfig,
+) -> Placement {
+    let mut placement = Placement::new(design);
+
+    // Fix macros.
+    for mp in &fp.macros {
+        placement.pos[mp.inst.index()] = mp.rect.lo;
+        placement.die_of[mp.inst.index()] = mp.die;
+    }
+
+    let movable: Vec<InstId> = design
+        .inst_ids()
+        .filter(|&i| !design.is_macro(i))
+        .collect();
+    if movable.is_empty() {
+        return placement;
+    }
+
+    // Current position estimate per instance (region centres, refined
+    // as regions split).
+    for &i in &movable {
+        placement.pos[i.index()] = fp.die().center();
+    }
+
+    // inst -> incident nets (small nets only)
+    let mut inst_nets: Vec<Vec<NetId>> = vec![Vec::new(); design.num_insts()];
+    for n in design.net_ids() {
+        let pins = &design.net(n).pins;
+        if pins.len() < 2 || pins.len() > cfg.max_net_degree {
+            continue;
+        }
+        for p in pins {
+            if let Some(i) = p.instance() {
+                inst_nets[i.index()].push(n);
+            }
+        }
+    }
+
+    let mut stack: Vec<(Rect, Vec<InstId>)> = vec![(fp.die(), movable)];
+    while let Some((region, cells)) = stack.pop() {
+        if cells.len() <= cfg.min_cells {
+            spread(design, fp, &mut placement, region, &cells);
+            continue;
+        }
+        let horizontal_split = region.width() >= region.height();
+        let Some((rect_a, rect_b, frac_a)) = split_region(fp, region, horizontal_split) else {
+            spread(design, fp, &mut placement, region, &cells);
+            continue;
+        };
+
+        // degenerate capacity: push everything to the usable side
+        let side = if frac_a < 0.02 {
+            vec![1u8; cells.len()]
+        } else if frac_a > 0.98 {
+            vec![0u8; cells.len()]
+        } else {
+            partition_cells(
+                design,
+                &placement,
+                ports,
+                &inst_nets,
+                &cells,
+                region,
+                horizontal_split,
+                rect_a,
+                frac_a,
+                cfg,
+            )
+        };
+
+        let mut cells_a = Vec::new();
+        let mut cells_b = Vec::new();
+        for (k, &c) in cells.iter().enumerate() {
+            if side[k] == 0 {
+                placement.pos[c.index()] = rect_a.center();
+                cells_a.push(c);
+            } else {
+                placement.pos[c.index()] = rect_b.center();
+                cells_b.push(c);
+            }
+        }
+        if !cells_a.is_empty() {
+            stack.push((rect_a, cells_a));
+        }
+        if !cells_b.is_empty() {
+            stack.push((rect_b, cells_b));
+        }
+    }
+
+    placement
+}
+
+/// Splits a region so both halves have (approximately) equal usable
+/// capacity. Returns `None` when the region is degenerate or one side
+/// would have no capacity.
+fn split_region(fp: &Floorplan, region: Rect, horizontal: bool) -> Option<(Rect, Rect, f64)> {
+    let total = fp.usable_area_um2(region);
+    if total <= 0.0 {
+        return None;
+    }
+    let (mut lo, mut hi) = if horizontal {
+        (region.lo.x.0, region.hi.x.0)
+    } else {
+        (region.lo.y.0, region.hi.y.0)
+    };
+    if hi - lo < 2 {
+        return None;
+    }
+    // binary search for the halving coordinate
+    for _ in 0..20 {
+        let mid = (lo + hi) / 2;
+        let a = left_rect(region, horizontal, Dbu(mid));
+        if fp.usable_area_um2(a) < total / 2.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let cut = Dbu((lo + hi) / 2);
+    let rect_a = left_rect(region, horizontal, cut);
+    let rect_b = right_rect(region, horizontal, cut);
+    let cap_a = fp.usable_area_um2(rect_a);
+    let cap_b = fp.usable_area_um2(rect_b);
+    if cap_a <= 0.0 || cap_b <= 0.0 || rect_a.is_empty() || rect_b.is_empty() {
+        return None;
+    }
+    Some((rect_a, rect_b, cap_a / (cap_a + cap_b)))
+}
+
+fn left_rect(region: Rect, horizontal: bool, cut: Dbu) -> Rect {
+    if horizontal {
+        Rect::new(region.lo, Point::new(cut, region.hi.y))
+    } else {
+        Rect::new(region.lo, Point::new(region.hi.x, cut))
+    }
+}
+
+fn right_rect(region: Rect, horizontal: bool, cut: Dbu) -> Rect {
+    if horizontal {
+        Rect::new(Point::new(cut, region.lo.y), region.hi)
+    } else {
+        Rect::new(Point::new(region.lo.x, cut), region.hi)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn partition_cells(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    inst_nets: &[Vec<NetId>],
+    cells: &[InstId],
+    region: Rect,
+    horizontal: bool,
+    rect_a: Rect,
+    frac_a: f64,
+    cfg: &GlobalPlaceConfig,
+) -> Vec<u8> {
+    // local indexing
+    let mut local_of = std::collections::HashMap::with_capacity(cells.len());
+    let mut areas = Vec::with_capacity(cells.len());
+    for (k, &c) in cells.iter().enumerate() {
+        local_of.insert(c, k as u32);
+        areas.push(design.inst_area_um2(c).max(1e-6));
+    }
+    let mut builder = Hypergraph::new(areas);
+
+    // collect incident nets once
+    let mut seen = std::collections::HashSet::new();
+    for &c in cells {
+        for &n in &inst_nets[c.index()] {
+            if !seen.insert(n) {
+                continue;
+            }
+            let mut local = Vec::new();
+            let mut ext_sum = 0.0f64;
+            let mut ext_cnt = 0usize;
+            for &p in &design.net(n).pins {
+                match p.instance().and_then(|i| local_of.get(&i)) {
+                    Some(&l) => local.push(l),
+                    None => {
+                        let pt = external_pin_pos(design, placement, ports, p);
+                        let coord = if horizontal { pt.x } else { pt.y };
+                        ext_sum += coord.0 as f64;
+                        ext_cnt += 1;
+                    }
+                }
+            }
+            if local.is_empty() {
+                continue;
+            }
+            let anchor = if ext_cnt > 0 {
+                let mean = ext_sum / ext_cnt as f64;
+                let cut = if horizontal {
+                    rect_a.hi.x.0
+                } else {
+                    rect_a.hi.y.0
+                } as f64;
+                Some(if mean < cut { 0 } else { 1 })
+            } else {
+                None
+            };
+            builder.add_net(&local, anchor);
+        }
+    }
+    let _ = region;
+    let hg = builder.build();
+    bipartition(
+        &hg,
+        frac_a,
+        None,
+        &FmConfig {
+            passes: cfg.fm_passes,
+            balance_tol: 0.08,
+        },
+    )
+}
+
+/// Position of a pin outside the current region: instance pins use
+/// the running placement estimate; port pins their planned edge
+/// location.
+fn external_pin_pos(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    pin: PinRef,
+) -> Point {
+    match pin {
+        PinRef::Port(_) => pin_position(design, placement, ports, pin),
+        PinRef::Inst { inst, .. } => match design.inst(inst).master {
+            Master::Cell(_) => placement.pos[inst.index()],
+            Master::Macro(_) => pin_position(design, placement, ports, pin),
+        },
+    }
+}
+
+/// Distributes a handful of cells over a region's usable area on a
+/// small grid.
+fn spread(
+    design: &Design,
+    fp: &Floorplan,
+    placement: &mut Placement,
+    region: Rect,
+    cells: &[InstId],
+) {
+    if cells.is_empty() {
+        return;
+    }
+    let n = cells.len();
+    let cols = (n as f64).sqrt().ceil() as i64;
+    let rows = ((n as i64) + cols - 1) / cols;
+    let dx = region.width().0 / (cols + 1);
+    let dy = region.height().0 / (rows + 1);
+    for (k, &c) in cells.iter().enumerate() {
+        let col = k as i64 % cols;
+        let row = k as i64 / cols;
+        let mut p = Point::new(
+            region.lo.x + Dbu(dx * (col + 1)),
+            region.lo.y + Dbu(dy * (row + 1)),
+        );
+        // nudge out of fully blocked spots to the nearest open point
+        let foot = placement.rect(design, c).moved_to(p);
+        if fp.is_fully_blocked(foot) {
+            p = nearest_unblocked(design, fp, placement, c, region, p).unwrap_or(p);
+        }
+        placement.pos[c.index()] = p;
+    }
+}
+
+/// Scans a coarse grid over `region` (falling back to the whole die)
+/// for the unblocked point nearest `target`.
+fn nearest_unblocked(
+    design: &Design,
+    fp: &Floorplan,
+    placement: &Placement,
+    inst: InstId,
+    region: Rect,
+    target: Point,
+) -> Option<Point> {
+    let mut best: Option<(Dbu, Point)> = None;
+    for area in [region, fp.die()] {
+        let steps = 12i64;
+        let sx = (area.width().0 / (steps + 1)).max(1);
+        let sy = (area.height().0 / (steps + 1)).max(1);
+        for iy in 1..=steps {
+            for ix in 1..=steps {
+                let p = Point::new(area.lo.x + Dbu(sx * ix), area.lo.y + Dbu(sy * iy));
+                let foot = placement.rect(design, inst).moved_to(p);
+                if !fp.is_fully_blocked(foot) && fp.die().contains_rect(foot) {
+                    let d = p.manhattan(target);
+                    if best.map_or(true, |(bd, _)| d < bd) {
+                        best = Some((d, p));
+                    }
+                }
+            }
+        }
+        if best.is_some() {
+            break;
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::BlockageKind;
+    use crate::hpwl::total_hpwl;
+    use macro3d_tech::{libgen::n28_library, CellClass, PinDir};
+    use std::sync::Arc;
+
+    /// A chain of cells between a west port and an east port: global
+    /// placement should order the chain roughly left-to-right.
+    fn chain_design(n: usize) -> (Design, Vec<InstId>) {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("chain", lib);
+        let pi = d.add_port("in", PinDir::Input, Some(macro3d_netlist::Side::West));
+        let po = d.add_port("out", PinDir::Output, Some(macro3d_netlist::Side::East));
+        let mut insts = Vec::new();
+        let mut prev = d.add_net("n_in");
+        d.connect(prev, PinRef::Port(pi));
+        for i in 0..n {
+            let c = d.add_cell(format!("c{i}"), inv);
+            d.connect(prev, PinRef::inst(c, 0));
+            prev = d.add_net(format!("w{i}"));
+            d.connect(prev, PinRef::inst(c, 1));
+            insts.push(c);
+        }
+        d.connect(prev, PinRef::Port(po));
+        (d, insts)
+    }
+
+    fn fp(w: f64, h: f64) -> Floorplan {
+        Floorplan::new(
+            Rect::from_um(0.0, 0.0, w, h),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        )
+    }
+
+    #[test]
+    fn chain_is_ordered_toward_ports() {
+        let (d, insts) = chain_design(64);
+        let f = fp(100.0, 24.0);
+        let ports = PortPlan::assign(&d, f.die());
+        let p = global_place(&d, &f, &ports, &GlobalPlaceConfig::default());
+        // first quarter should be left of last quarter on average
+        let avg = |slice: &[InstId]| -> f64 {
+            slice.iter().map(|i| p.pos[i.index()].x.0 as f64).sum::<f64>() / slice.len() as f64
+        };
+        let head = avg(&insts[..16]);
+        let tail = avg(&insts[48..]);
+        assert!(
+            head < tail,
+            "chain head at {head} should precede tail at {tail}"
+        );
+    }
+
+    #[test]
+    fn all_cells_inside_die() {
+        let (d, _) = chain_design(200);
+        let f = fp(60.0, 60.0);
+        let ports = PortPlan::assign(&d, f.die());
+        let p = global_place(&d, &f, &ports, &GlobalPlaceConfig::default());
+        for i in d.inst_ids() {
+            assert!(
+                f.die().inflate(Dbu::from_um(1.0)).contains(p.pos[i.index()]),
+                "cell {} at {:?} escapes die",
+                i,
+                p.pos[i.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn blockage_keeps_cells_out() {
+        let (d, _) = chain_design(128);
+        let mut f = fp(80.0, 80.0);
+        // block the left half fully
+        f.add_blockage(Rect::from_um(0.0, 0.0, 40.0, 80.0), BlockageKind::Full);
+        let ports = PortPlan::assign(&d, f.die());
+        let p = global_place(&d, &f, &ports, &GlobalPlaceConfig::default());
+        let inside_blockage = d
+            .inst_ids()
+            .filter(|i| p.pos[i.index()].x < Dbu::from_um(38.0))
+            .count();
+        // capacity-driven splitting pushes nearly everything right
+        assert!(
+            inside_blockage < 16,
+            "{inside_blockage} cells placed in blocked half"
+        );
+    }
+
+    #[test]
+    fn placement_beats_random_hpwl() {
+        use rand::{Rng, SeedableRng};
+        let (d, _) = chain_design(100);
+        let f = fp(100.0, 40.0);
+        let ports = PortPlan::assign(&d, f.die());
+        let placed = global_place(&d, &f, &ports, &GlobalPlaceConfig::default());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let mut random = Placement::new(&d);
+        for i in d.inst_ids() {
+            random.pos[i.index()] =
+                Point::from_um(rng.gen_range(0.0..100.0), rng.gen_range(0.0..40.0));
+        }
+        // min-cut bisection keeps connected cells together
+        assert!(
+            total_hpwl(&d, &placed, &ports).0 * 2 < total_hpwl(&d, &random, &ports).0,
+            "placed {} vs random {}",
+            total_hpwl(&d, &placed, &ports),
+            total_hpwl(&d, &random, &ports)
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Pin positions and half-perimeter wirelength.
+
+use crate::placement::Placement;
+use crate::ports::PortPlan;
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::{Design, Master, NetId, PinRef};
+
+/// Physical location of a pin.
+///
+/// Standard-cell pins are approximated at the cell centre (adequate at
+/// this abstraction level — cells are micrometres across while nets
+/// span tens to hundreds); macro pins use their exact LEF offsets;
+/// ports use the port plan.
+///
+/// # Panics
+///
+/// Panics if ids are out of range.
+pub fn pin_position(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    pin: PinRef,
+) -> Point {
+    match pin {
+        PinRef::Port(p) => ports.position(p),
+        PinRef::Inst { inst, pin } => match design.inst(inst).master {
+            Master::Cell(_) => placement.center(design, inst),
+            Master::Macro(m) => {
+                let def = design.macro_master(m);
+                let base = placement.pos[inst.index()];
+                base + (def.pins[pin as usize].offset - Point::ORIGIN)
+            }
+        },
+    }
+}
+
+/// Bounding box of a net's pins, or `None` for degenerate nets
+/// (fewer than one pin).
+pub fn net_bbox(
+    design: &Design,
+    placement: &Placement,
+    ports: &PortPlan,
+    net: NetId,
+) -> Option<Rect> {
+    let pins = &design.net(net).pins;
+    let first = pins.first()?;
+    let p0 = pin_position(design, placement, ports, *first);
+    let mut lo = p0;
+    let mut hi = p0;
+    for &p in &pins[1..] {
+        let pt = pin_position(design, placement, ports, p);
+        lo = lo.min(pt);
+        hi = hi.max(pt);
+    }
+    Some(Rect { lo, hi })
+}
+
+/// Half-perimeter wirelength of one net.
+pub fn net_hpwl(design: &Design, placement: &Placement, ports: &PortPlan, net: NetId) -> Dbu {
+    match net_bbox(design, placement, ports, net) {
+        Some(b) => b.size().half_perimeter(),
+        None => Dbu(0),
+    }
+}
+
+/// Total HPWL over all nets with at least two pins.
+pub fn total_hpwl(design: &Design, placement: &Placement, ports: &PortPlan) -> Dbu {
+    design
+        .net_ids()
+        .filter(|&n| design.net(n).pins.len() >= 2)
+        .map(|n| net_hpwl(design, placement, ports, n))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::{libgen::n28_library, CellClass, PinDir};
+    use std::sync::Arc;
+
+    #[test]
+    fn hpwl_of_two_cells() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::inst(a, 1));
+        d.connect(n, PinRef::inst(b, 0));
+        let mut p = Placement::new(&d);
+        p.pos[a.index()] = Point::from_um(0.0, 0.0);
+        p.pos[b.index()] = Point::from_um(100.0, 50.0);
+        let ports = PortPlan { pos: vec![] };
+        let w = net_hpwl(&d, &p, &ports, n);
+        // centers are offset by the same cell size, so distance is exact
+        assert_eq!(w, Dbu::from_um(150.0));
+        assert_eq!(total_hpwl(&d, &p, &ports), w);
+    }
+
+    #[test]
+    fn macro_pins_use_offsets() {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let def = macro3d_sram::MemoryCompiler::n28().sram("s", 256, 32);
+        let pin0_off = def.pins[0].offset;
+        let mm = d.add_macro_master(def);
+        let m = d.add_macro_in("m", mm, 0);
+        let mut p = Placement::new(&d);
+        p.pos[m.index()] = Point::from_um(10.0, 20.0);
+        let ports = PortPlan { pos: vec![] };
+        let pt = pin_position(&d, &p, &ports, PinRef::inst(m, 0));
+        assert_eq!(pt.x, Point::from_um(10.0, 20.0).x + pin0_off.x);
+        assert_eq!(pt.y, Point::from_um(10.0, 20.0).y + pin0_off.y);
+    }
+
+    #[test]
+    fn port_pins_use_plan() {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let p0 = d.add_port("p", PinDir::Input, None);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::Port(p0));
+        let p = Placement::new(&d);
+        let ports = PortPlan {
+            pos: vec![Point::from_um(5.0, 7.0)],
+        };
+        assert_eq!(
+            pin_position(&d, &p, &ports, PinRef::Port(p0)),
+            Point::from_um(5.0, 7.0)
+        );
+        // single-pin nets contribute zero HPWL
+        assert_eq!(total_hpwl(&d, &p, &ports), Dbu(0));
+    }
+}

@@ -1,0 +1,363 @@
+//! Tetris-style row legalization.
+
+use crate::floorplan::{BlockageKind, Floorplan};
+use crate::placement::Placement;
+use macro3d_geom::{Dbu, Interval, Point};
+use macro3d_netlist::{Design, InstId};
+
+/// Result of a legalization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LegalizeReport {
+    /// Sum of cell displacements.
+    pub total_disp: Dbu,
+    /// Largest single displacement.
+    pub max_disp: Dbu,
+    /// Mean displacement, µm.
+    pub mean_disp_um: f64,
+    /// Cells that could not be placed (die overfull).
+    pub failed: usize,
+}
+
+/// A row's free space as a sorted list of disjoint intervals.
+/// Interval splitting (rather than a monotone fill cursor) keeps
+/// placement order-insensitive: a cell landing mid-row leaves both
+/// sides usable.
+#[derive(Clone, Debug)]
+struct RowSpace {
+    free: Vec<Interval>,
+}
+
+impl RowSpace {
+    /// Widest remaining gap.
+    fn widest(&self) -> Dbu {
+        self.free.iter().map(|iv| iv.len()).max().unwrap_or(Dbu(0))
+    }
+
+    /// Best x for a cell of `width` near `target_x` (site-aligned),
+    /// with its displacement.
+    fn best_fit(&self, target_x: Dbu, width: Dbu, site: Dbu) -> Option<(Dbu, Dbu)> {
+        let mut best: Option<(Dbu, Dbu)> = None;
+        for iv in &self.free {
+            if iv.len() < width {
+                continue;
+            }
+            let lo = iv.lo.ceil_to(site);
+            if lo + width > iv.hi {
+                continue;
+            }
+            let hi = (iv.hi - width).floor_to(site).max(lo);
+            // lo/hi are site-aligned, so flooring keeps x in [lo, hi]
+            let x = target_x.clamp(lo, hi).floor_to(site).clamp(lo, hi);
+            let dx = (x - target_x).abs();
+            if best.map_or(true, |(_, d)| dx < d) {
+                best = Some((x, dx));
+            }
+        }
+        best
+    }
+
+    /// Carves `[x, x + width)` out of the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not currently free.
+    fn occupy(&mut self, x: Dbu, width: Dbu) {
+        let pos = self
+            .free
+            .iter()
+            .position(|iv| x >= iv.lo && x + width <= iv.hi)
+            .expect("span is free");
+        let iv = self.free[pos];
+        let mut repl = Vec::with_capacity(2);
+        if x > iv.lo {
+            repl.push(Interval::new(iv.lo, x));
+        }
+        if x + width < iv.hi {
+            repl.push(Interval::new(x + width, iv.hi));
+        }
+        self.free.splice(pos..=pos, repl);
+    }
+}
+
+/// Legalizes the given movable cells onto the floorplan's rows:
+/// no overlaps, on-site x positions, outside full blockages.
+///
+/// Cells are processed in order of target x (the classic Tetris
+/// scheme); each picks the row/segment position minimising
+/// displacement. Macros and fixed cells must be reflected in the
+/// floorplan's blockages before calling.
+///
+/// Partial blockages are **ignored** here (real legalizers see only
+/// hard geometry) — quantize them into stripes first via
+/// [`Floorplan::quantize_partial_blockages`] if they must constrain
+/// legal positions.
+pub fn legalize(
+    design: &Design,
+    fp: &Floorplan,
+    placement: &mut Placement,
+    movable: &[InstId],
+) -> LegalizeReport {
+    let num_rows = fp.num_rows();
+    let site = fp.site_width();
+    let mut rows: Vec<RowSpace> = (0..num_rows)
+        .map(|r| RowSpace {
+            free: build_row_segments(fp, r),
+        })
+        .collect();
+    // widest remaining free span per row: lets the scan skip full rows
+    // in O(1), which keeps overfull-die legalization (the S2D overlap
+    // fixing) from degenerating
+    let mut row_free: Vec<Dbu> = rows.iter().map(|r| r.widest()).collect();
+
+    // Wide cells first (they fragment worst when placed late), then
+    // left-to-right within each class.
+    let wide = site * 24;
+    let mut order: Vec<InstId> = movable.to_vec();
+    order.sort_by_key(|i| {
+        let w = placement.rect(design, *i).width();
+        (w <= wide, placement.pos[i.index()].x, placement.pos[i.index()].y)
+    });
+
+    let mut report = LegalizeReport::default();
+    let row_h = fp.row_height();
+    let die = fp.die();
+
+    for inst in order {
+        let target = placement.pos[inst.index()];
+        let width = placement.rect(design, inst).width();
+        let target_row = (((target.y - die.lo.y).0 / row_h.0).max(0) as usize).min(num_rows.saturating_sub(1));
+
+        let mut best: Option<(Dbu, usize, Dbu)> = None; // (cost, row, x)
+        // scan rows outward from the target row; stop when row distance
+        // alone exceeds the best cost
+        for delta in 0..num_rows {
+            let candidates = [
+                target_row.checked_sub(delta),
+                if delta > 0 {
+                    Some(target_row + delta)
+                } else {
+                    None
+                },
+            ];
+            let dy = row_h * delta as i64;
+            if let Some((cost, ..)) = best {
+                if dy >= cost {
+                    break;
+                }
+            }
+            for row in candidates.into_iter().flatten() {
+                if row >= num_rows || row_free[row] < width {
+                    continue;
+                }
+                if let Some((x, dx)) = rows[row].best_fit(target.x, width, site) {
+                    let cost = dx + dy;
+                    if best.map_or(true, |(c, ..)| cost < c) {
+                        best = Some((cost, row, x));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((cost, row, x)) => {
+                rows[row].occupy(x, width);
+                row_free[row] = rows[row].widest();
+                let y = die.lo.y + row_h * row as i64;
+                placement.pos[inst.index()] = Point::new(x, y);
+                placement.orient[inst.index()] = if row % 2 == 0 {
+                    macro3d_geom::Orientation::N
+                } else {
+                    macro3d_geom::Orientation::FS
+                };
+                report.total_disp += cost;
+                report.max_disp = report.max_disp.max(cost);
+            }
+            None => {
+                report.failed += 1;
+                if std::env::var_os("MACRO3D_LEGAL_DEBUG").is_some() {
+                    let widest = row_free.iter().max().copied().unwrap_or(Dbu(0));
+                    eprintln!(
+                        "  [legalize-fail] {} w={:?} target={:?} widest_free={:?}",
+                        design.inst(inst).name,
+                        width,
+                        target,
+                        widest
+                    );
+                }
+                // keep the cell inside the die even when no legal slot
+                // exists (an overfull die is reported, not hidden)
+                let r = placement.rect(design, inst);
+                let mut p = placement.pos[inst.index()];
+                p.x = p.x.clamp(die.lo.x, die.hi.x - r.width());
+                p.y = p.y.clamp(die.lo.y, die.hi.y - r.height());
+                placement.pos[inst.index()] = p;
+            }
+        }
+    }
+    if !movable.is_empty() {
+        report.mean_disp_um = report.total_disp.to_um() / movable.len() as f64;
+    }
+    report
+}
+
+/// Legalizes `movable` while treating the already-placed `fixed`
+/// instances as hard obstacles (incremental / ECO legalization for
+/// cells inserted after the main pass).
+pub fn legalize_incremental(
+    design: &Design,
+    fp: &Floorplan,
+    placement: &mut Placement,
+    movable: &[InstId],
+    fixed: &[InstId],
+) -> LegalizeReport {
+    let mut fp2 = fp.clone();
+    for &i in fixed {
+        fp2.add_blockage(placement.rect(design, i), crate::floorplan::BlockageKind::Full);
+    }
+    legalize(design, &fp2, placement, movable)
+}
+
+/// Free intervals of row `r`: the row minus all full blockages.
+fn build_row_segments(fp: &Floorplan, r: usize) -> Vec<Interval> {
+    let row = fp.row_rect(r);
+    let mut cuts: Vec<Interval> = fp
+        .blockages
+        .iter()
+        .filter(|b| matches!(b.kind, BlockageKind::Full))
+        .filter(|b| b.rect.overlaps(row))
+        .map(|b| Interval::new(b.rect.lo.x.max(row.lo.x), b.rect.hi.x.min(row.hi.x)))
+        .collect();
+    cuts.sort();
+    let mut free = Vec::new();
+    let mut x = row.lo.x;
+    for c in cuts {
+        if c.lo > x {
+            free.push(Interval::new(x, c.lo));
+        }
+        x = x.max(c.hi);
+    }
+    if x < row.hi.x {
+        free.push(Interval::new(x, row.hi.x));
+    }
+    free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::count_overlaps;
+    use crate::floorplan::BlockageKind;
+    use macro3d_geom::Rect;
+    use macro3d_tech::{libgen::n28_library, CellClass};
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn random_design(n: usize, seed: u64) -> (Design, Vec<InstId>, Placement) {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let nand = lib.smallest(CellClass::Nand2).expect("nand");
+        let mut d = Design::new("t", lib);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut insts = Vec::new();
+        for i in 0..n {
+            let c = d.add_cell(format!("c{i}"), if i % 2 == 0 { inv } else { nand });
+            insts.push(c);
+        }
+        let mut p = Placement::new(&d);
+        for &c in &insts {
+            p.pos[c.index()] = Point::from_um(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0));
+        }
+        (d, insts, p)
+    }
+
+    fn fp() -> Floorplan {
+        Floorplan::new(
+            Rect::from_um(0.0, 0.0, 50.0, 48.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        )
+    }
+
+    #[test]
+    fn legal_result_has_no_overlaps() {
+        let (d, insts, mut p) = random_design(800, 1);
+        let f = fp();
+        let rep = legalize(&d, &f, &mut p, &insts);
+        assert_eq!(rep.failed, 0);
+        assert_eq!(count_overlaps(&d, &p, &insts), 0);
+    }
+
+    #[test]
+    fn cells_sit_on_rows_and_sites() {
+        let (d, insts, mut p) = random_design(200, 2);
+        let f = fp();
+        legalize(&d, &f, &mut p, &insts);
+        for &i in &insts {
+            let pos = p.pos[i.index()];
+            assert_eq!((pos.y - f.die().lo.y).0 % f.row_height().0, 0);
+            assert_eq!((pos.x - f.die().lo.x).0 % f.site_width().0, 0);
+            assert!(f.die().contains_rect(p.rect(&d, i)));
+        }
+    }
+
+    #[test]
+    fn blockages_are_respected() {
+        let (d, insts, mut p) = random_design(400, 3);
+        let mut f = fp();
+        let blocked = Rect::from_um(10.0, 10.0, 30.0, 30.0);
+        f.add_blockage(blocked, BlockageKind::Full);
+        legalize(&d, &f, &mut p, &insts);
+        for &i in &insts {
+            assert!(
+                !p.rect(&d, i).overlaps(blocked),
+                "cell {i} inside blockage at {:?}",
+                p.pos[i.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn displacement_grows_with_congestion() {
+        // the same cells in a half-size die displace further
+        let (d, insts, p0) = random_design(600, 4);
+        let mut p1 = p0.clone();
+        let mut p2 = p0.clone();
+        let loose = fp();
+        let tight = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 50.0, 12.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        let r1 = legalize(&d, &loose, &mut p1, &insts);
+        let r2 = legalize(&d, &tight, &mut p2, &insts);
+        assert!(r2.total_disp > r1.total_disp);
+    }
+
+    #[test]
+    fn overfull_die_reports_failures() {
+        let (d, insts, mut p) = random_design(4000, 5);
+        let tiny = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 10.0, 6.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        let rep = legalize(&d, &tiny, &mut p, &insts);
+        assert!(rep.failed > 0);
+    }
+
+    #[test]
+    fn rows_alternate_orientation() {
+        let (d, insts, mut p) = random_design(100, 6);
+        let f = fp();
+        legalize(&d, &f, &mut p, &insts);
+        for &i in &insts {
+            let row = ((p.pos[i.index()].y - f.die().lo.y).0 / f.row_height().0) as usize;
+            let expect = if row % 2 == 0 {
+                macro3d_geom::Orientation::N
+            } else {
+                macro3d_geom::Orientation::FS
+            };
+            assert_eq!(p.orient[i.index()], expect);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Floorplanning and standard-cell placement engine.
+//!
+//! This crate is the "2D P&R engine" front half that every flow in the
+//! reproduction shares (the paper's flows all drive the *same*
+//! commercial placer; here they all drive this one):
+//!
+//! * [`floorplan`] — die/core area, standard-cell rows, and placement
+//!   blockages, including *partial* blockages with the coarse spatial
+//!   quantization that commercial tools exhibit (the S2D failure
+//!   mechanism from the paper's Sec. III);
+//! * [`macro_place`] — deterministic shelf/ring macro packing for the
+//!   2D periphery floorplan, the macro-die grid, and the
+//!   balanced-overlap (BF) variant;
+//! * [`ports`] — port location assignment on die edges honouring the
+//!   inter-tile alignment pairs;
+//! * [`partition`] — Fiduccia–Mattheyses bipartitioning, used both by
+//!   recursive-bisection global placement and by the S2D/C2D tier
+//!   partitioning step;
+//! * [`global`] — recursive min-cut bisection global placement with
+//!   terminal propagation and blockage-aware capacity;
+//! * [`legalize`] — Tetris-style row legalization (reports
+//!   displacement, the quantity that blows up when S2D unshrinks);
+//! * [`detailed`] — greedy swap refinement;
+//! * [`density`] / [`hpwl`] — utilization and wirelength metrics.
+
+pub mod density;
+pub mod detailed;
+pub mod floorplan;
+pub mod global;
+pub mod hpwl;
+pub mod legalize;
+pub mod macro_anneal;
+pub mod macro_place;
+pub mod partition;
+pub mod placement;
+pub mod ports;
+
+pub use floorplan::{Blockage, BlockageKind, Floorplan, MacroPlacement};
+pub use global::{global_place, GlobalPlaceConfig};
+pub use hpwl::{net_hpwl, pin_position, total_hpwl};
+pub use legalize::{legalize, LegalizeReport};
+pub use placement::Placement;
+pub use ports::PortPlan;

@@ -1,0 +1,251 @@
+//! Simulated-annealing refinement of macro placements.
+//!
+//! The deterministic packers ([`crate::macro_place`]) produce valid
+//! floorplans; this pass models the paper's "highly optimized
+//! floorplans … considering multiple floorplan alternatives" by
+//! annealing over position swaps and nudges under a caller-supplied
+//! cost (typically macro-net HPWL).
+
+use crate::floorplan::MacroPlacement;
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Annealing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealConfig {
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the initial cost.
+    pub t0_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 2_000,
+            t0_frac: 0.05,
+            seed: 0x5a,
+        }
+    }
+}
+
+/// HPWL of all nets touching at least one of the placed macros, with
+/// non-macro pins collapsed to the die centre (logic is not placed
+/// yet at floorplanning time). The standard macro-floorplanning cost.
+pub fn macro_net_hpwl(design: &Design, placements: &[MacroPlacement], die: Rect) -> f64 {
+    let pos: HashMap<InstId, Point> = placements
+        .iter()
+        .map(|mp| (mp.inst, mp.rect.lo))
+        .collect();
+    let center = die.center();
+
+    let mut seen = std::collections::HashSet::new();
+    let mut total = 0.0f64;
+    for mp in placements {
+        for conn in &design.inst(mp.inst).conns {
+            let Some(net) = conn else { continue };
+            if !seen.insert(*net) {
+                continue;
+            }
+            total += net_span(design, *net, &pos, center);
+        }
+    }
+    total
+}
+
+fn net_span(
+    design: &Design,
+    net: NetId,
+    pos: &HashMap<InstId, Point>,
+    center: Point,
+) -> f64 {
+    let mut lo: Option<Point> = None;
+    let mut hi: Option<Point> = None;
+    let add = |p: Point, lo: &mut Option<Point>, hi: &mut Option<Point>| {
+        *lo = Some(lo.map_or(p, |q| q.min(p)));
+        *hi = Some(hi.map_or(p, |q| q.max(p)));
+    };
+    for &pin in &design.net(net).pins {
+        let p = match pin {
+            PinRef::Inst { inst, pin } => match (design.inst(inst).master, pos.get(&inst)) {
+                (Master::Macro(m), Some(&base)) => {
+                    base + (design.macro_master(m).pins[pin as usize].offset - Point::ORIGIN)
+                }
+                _ => center,
+            },
+            PinRef::Port(_) => center,
+        };
+        add(p, &mut lo, &mut hi);
+    }
+    match (lo, hi) {
+        (Some(l), Some(h)) => l.manhattan(h).to_um(),
+        _ => 0.0,
+    }
+}
+
+/// Anneals the placements in place, proposing same-die position swaps
+/// of equally sized macros and small nudges, and returns the final
+/// cost. Every accepted state is legal (within `die`, same-die
+/// overlap-free with halo).
+pub fn refine_macros_sa(
+    design: &Design,
+    placements: &mut [MacroPlacement],
+    die: Rect,
+    halo: Dbu,
+    cfg: &AnnealConfig,
+) -> f64 {
+    if placements.len() < 2 {
+        return macro_net_hpwl(design, placements, die);
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut cost = macro_net_hpwl(design, placements, die);
+    let t0 = (cost * cfg.t0_frac).max(1.0);
+
+    for it in 0..cfg.iterations {
+        let t = t0 * (1.0 - it as f64 / cfg.iterations as f64).max(1e-3);
+        let a = rng.gen_range(0..placements.len());
+        let b = rng.gen_range(0..placements.len());
+
+        enum Move {
+            Swap(usize, usize),
+            Nudge(usize, Point),
+        }
+        let proposal = if a != b
+            && placements[a].die == placements[b].die
+            && placements[a].rect.size() == placements[b].rect.size()
+            && rng.gen_bool(0.6)
+        {
+            Move::Swap(a, b)
+        } else {
+            let step = Dbu::from_um(rng.gen_range(5.0..60.0));
+            let dir = rng.gen_range(0..4);
+            let (dx, dy) = match dir {
+                0 => (step, Dbu(0)),
+                1 => (-step, Dbu(0)),
+                2 => (Dbu(0), step),
+                _ => (Dbu(0), -step),
+            };
+            Move::Nudge(a, Point::new(placements[a].rect.lo.x + dx, placements[a].rect.lo.y + dy))
+        };
+
+        // apply tentatively
+        let saved_a = placements[a];
+        let saved_b = placements[b];
+        match proposal {
+            Move::Swap(i, j) => {
+                let (pi, pj) = (placements[i].rect.lo, placements[j].rect.lo);
+                placements[i].rect = placements[i].rect.moved_to(pj);
+                placements[j].rect = placements[j].rect.moved_to(pi);
+            }
+            Move::Nudge(i, to) => {
+                placements[i].rect = placements[i].rect.moved_to(to);
+            }
+        }
+
+        let legal = legal_with_halo(placements, die, halo);
+        let new_cost = if legal {
+            macro_net_hpwl(design, placements, die)
+        } else {
+            f64::INFINITY
+        };
+        let accept = legal
+            && (new_cost <= cost
+                || rng.gen_bool(((cost - new_cost) / t).exp().clamp(0.0, 1.0)));
+        if accept {
+            cost = new_cost;
+        } else {
+            placements[a] = saved_a;
+            placements[b] = saved_b;
+        }
+    }
+    cost
+}
+
+fn legal_with_halo(placements: &[MacroPlacement], die: Rect, halo: Dbu) -> bool {
+    for (i, a) in placements.iter().enumerate() {
+        if !die.contains_rect(a.rect) {
+            return false;
+        }
+        let ar = a.rect.inflate(halo);
+        for b in &placements[i + 1..] {
+            if a.die == b.die && ar.overlaps(b.rect) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macro_place::pack_shelves;
+    use macro3d_sram::MemoryCompiler;
+    use macro3d_tech::libgen::n28_library;
+    use macro3d_tech::stack::DieRole;
+    use macro3d_tech::PinDir;
+    use std::sync::Arc;
+
+    /// Eight identical banks whose address bus ties them to the die
+    /// centre — annealing should not increase the bus HPWL.
+    fn banked_design() -> (Design, Vec<InstId>) {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let def = MemoryCompiler::n28().sram("bank", 2048, 128);
+        let clk_pin = def.clock_pin().expect("clk");
+        let mm = d.add_macro_master(def);
+        let clk_port = d.add_port("clk", PinDir::Input, None);
+        let clk = d.add_net("clk");
+        d.connect(clk, PinRef::Port(clk_port));
+        let mut insts = Vec::new();
+        for b in 0..8 {
+            let i = d.add_macro_in(format!("bank{b}"), mm, 0);
+            d.connect(clk, PinRef::inst(i, clk_pin as u16));
+            insts.push(i);
+        }
+        (d, insts)
+    }
+
+    #[test]
+    fn anneal_never_worsens_and_stays_legal() {
+        let (d, insts) = banked_design();
+        let die = Rect::from_um(0.0, 0.0, 900.0, 900.0);
+        let halo = Dbu::from_um(2.0);
+        let mut p = pack_shelves(&d, &insts, die, halo, DieRole::Macro).expect("fits");
+        let before = macro_net_hpwl(&d, &p, die);
+        let after = refine_macros_sa(
+            &d,
+            &mut p,
+            die,
+            halo,
+            &AnnealConfig {
+                iterations: 800,
+                ..Default::default()
+            },
+        );
+        assert!(after <= before * 1.001, "{after} vs {before}");
+        assert!(crate::macro_place::is_legal(&p, die));
+        // halo preserved between any pair
+        for (i, a) in p.iter().enumerate() {
+            for b in &p[i + 1..] {
+                assert!(!a.rect.inflate(halo).overlaps(b.rect));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_deterministic() {
+        let (d, insts) = banked_design();
+        let die = Rect::from_um(0.0, 0.0, 900.0, 900.0);
+        let p = pack_shelves(&d, &insts, die, Dbu::from_um(2.0), DieRole::Macro).expect("fits");
+        assert_eq!(
+            macro_net_hpwl(&d, &p, die).to_bits(),
+            macro_net_hpwl(&d, &p, die).to_bits()
+        );
+    }
+}

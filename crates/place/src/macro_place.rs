@@ -1,0 +1,413 @@
+//! Macro placement strategies.
+//!
+//! Three deterministic packers cover the floorplans in the paper's
+//! Fig. 4:
+//!
+//! * [`pack_ring`] — the 2D style: macros in columns along the west
+//!   and east die edges, leaving the centre for standard cells;
+//! * [`pack_shelves`] — the MoL macro-die style: macros shelf-packed
+//!   over the (nearly full) macro die, and also used for the subset of
+//!   macros that stays on the logic die;
+//! * [`pack_balanced`] — the "balanced floorplan" (BF) S2D variant:
+//!   macros paired across the two dies with maximal overlap, which
+//!   converts partial blockages into full ones.
+
+use crate::floorplan::MacroPlacement;
+use macro3d_geom::{Dbu, Point, Rect, Size};
+use macro3d_netlist::{Design, InstId};
+use macro3d_tech::stack::DieRole;
+
+/// Footprint of a macro including its halo.
+fn padded_size(design: &Design, inst: InstId, halo: Dbu) -> Size {
+    let macro3d_netlist::Master::Macro(m) = design.inst(inst).master else {
+        panic!("instance {inst} is not a macro");
+    };
+    let s = design.macro_master(m).size;
+    Size::new(s.w + halo * 2, s.h + halo * 2)
+}
+
+fn placement_at(design: &Design, inst: InstId, padded_lo: Point, halo: Dbu, die: DieRole) -> MacroPlacement {
+    let macro3d_netlist::Master::Macro(m) = design.inst(inst).master else {
+        panic!("instance {inst} is not a macro");
+    };
+    let s = design.macro_master(m).size;
+    MacroPlacement {
+        inst,
+        rect: Rect::from_origin_size(Point::new(padded_lo.x + halo, padded_lo.y + halo), s),
+        die,
+    }
+}
+
+/// Shelf-packs macros bottom-up inside `region`, assigning them to
+/// `die`. Returns `None` if they do not fit.
+///
+/// # Panics
+///
+/// Panics if any instance is not a macro.
+pub fn pack_shelves(
+    design: &Design,
+    macros: &[InstId],
+    region: Rect,
+    halo: Dbu,
+    die: DieRole,
+) -> Option<Vec<MacroPlacement>> {
+    let mut order: Vec<InstId> = macros.to_vec();
+    order.sort_by(|&a, &b| {
+        let ha = padded_size(design, a, halo).h;
+        let hb = padded_size(design, b, halo).h;
+        hb.cmp(&ha).then(a.cmp(&b))
+    });
+
+    let mut out = Vec::with_capacity(order.len());
+    let mut shelf_y = region.lo.y;
+    let mut shelf_h = Dbu(0);
+    let mut cursor_x = region.lo.x;
+    for inst in order {
+        let s = padded_size(design, inst, halo);
+        if cursor_x + s.w > region.hi.x {
+            // new shelf
+            shelf_y += shelf_h;
+            shelf_h = Dbu(0);
+            cursor_x = region.lo.x;
+        }
+        if cursor_x + s.w > region.hi.x || shelf_y + s.h > region.hi.y {
+            return None;
+        }
+        out.push(placement_at(design, inst, Point::new(cursor_x, shelf_y), halo, die));
+        cursor_x += s.w;
+        shelf_h = shelf_h.max(s.h);
+    }
+    Some(out)
+}
+
+/// Packs macros around the die periphery (the 2D floorplans of
+/// Fig. 4): shelves are laid along the west, east, north and south
+/// edges in turn, spiralling inward and keeping a contiguous centre
+/// region free for standard cells. Returns `None` if the centre
+/// would vanish.
+///
+/// # Panics
+///
+/// Panics if any instance is not a macro.
+pub fn pack_ring(
+    design: &Design,
+    macros: &[InstId],
+    die_rect: Rect,
+    halo: Dbu,
+) -> Option<Vec<MacroPlacement>> {
+    let mut order: Vec<InstId> = macros.to_vec();
+    order.sort_by(|&a, &b| {
+        let aa = padded_size(design, a, halo);
+        let bb = padded_size(design, b, halo);
+        (bb.w.0 * bb.h.0).cmp(&(aa.w.0 * aa.h.0)).then(a.cmp(&b))
+    });
+
+    let mut out = Vec::with_capacity(order.len());
+    let mut inner = die_rect; // macro-free core, shrinks as shelves close
+    let mut queue: std::collections::VecDeque<InstId> = order.into();
+    let sides = [0usize, 1, 2, 3]; // W, E, N, S
+    let mut side_ix = 0;
+
+    while let Some(&first) = queue.front() {
+        let first_size = padded_size(design, first, halo);
+        // shelf thickness from the largest remaining item on this side
+        let side = sides[side_ix % 4];
+        side_ix += 1;
+        let vertical = side < 2; // W/E shelves run vertically
+        let thickness = if vertical { first_size.w } else { first_size.h };
+        let span = if vertical { inner.height() } else { inner.width() };
+        if thickness.0 <= 0 || span.0 <= 0 {
+            return None;
+        }
+        // the centre must survive: demand at least 25% of the die side
+        let min_core = if vertical {
+            die_rect.width() / 4
+        } else {
+            die_rect.height() / 4
+        };
+        if (vertical && inner.width() - thickness < min_core)
+            || (!vertical && inner.height() - thickness < min_core)
+        {
+            // cannot close another shelf on this axis; try the other
+            // axis once, else fail
+            let other_ok = if vertical {
+                inner.height() - thickness >= die_rect.height() / 4
+            } else {
+                inner.width() - thickness >= die_rect.width() / 4
+            };
+            if !other_ok && side_ix > 8 {
+                return None;
+            }
+            continue;
+        }
+
+        // fill the shelf
+        let mut cursor = if vertical { inner.lo.y } else { inner.lo.x };
+        let limit = if vertical { inner.hi.y } else { inner.hi.x };
+        let mut placed_any = false;
+        while let Some(&inst) = queue.front() {
+            let size = padded_size(design, inst, halo);
+            let (extent, fits_thickness) = if vertical {
+                (size.h, size.w <= thickness)
+            } else {
+                (size.w, size.h <= thickness)
+            };
+            if !fits_thickness || cursor + extent > limit {
+                break;
+            }
+            let lo = match side {
+                0 => Point::new(inner.lo.x, cursor),                     // west
+                1 => Point::new(inner.hi.x - size.w, cursor),            // east
+                2 => Point::new(cursor, inner.hi.y - size.h),            // north
+                _ => Point::new(cursor, inner.lo.y),                     // south
+            };
+            out.push(placement_at(design, inst, lo, halo, DieRole::Logic));
+            queue.pop_front();
+            cursor += extent;
+            placed_any = true;
+        }
+        if !placed_any {
+            // the head item does not fit anywhere on this shelf; give
+            // other sides a chance, then give up
+            if side_ix > 12 {
+                return None;
+            }
+            continue;
+        }
+        // close the shelf: shrink the inner region
+        inner = match side {
+            0 => Rect::new(Point::new(inner.lo.x + thickness, inner.lo.y), inner.hi),
+            1 => Rect::new(inner.lo, Point::new(inner.hi.x - thickness, inner.hi.y)),
+            2 => Rect::new(inner.lo, Point::new(inner.hi.x, inner.hi.y - thickness)),
+            _ => Rect::new(Point::new(inner.lo.x, inner.lo.y + thickness), inner.hi),
+        };
+    }
+    Some(out)
+}
+
+/// Packs macros as horizontal bands interleaved with standard-cell
+/// strips (the style of the paper's Fig. 5 large-cache 2D layout):
+/// after each macro shelf, a cell strip of height proportional to
+/// `cell_fraction` is left free. Preferred over [`pack_ring`] when
+/// macros dominate the die, since it keeps every cell close to the
+/// macros it talks to and leaves routing/feedthrough room.
+///
+/// Returns `None` if the bands overflow the die.
+///
+/// # Panics
+///
+/// Panics if any instance is not a macro, or `cell_fraction` is not
+/// in `[0, 0.9]`.
+pub fn pack_bands(
+    design: &Design,
+    macros: &[InstId],
+    die_rect: Rect,
+    halo: Dbu,
+    cell_fraction: f64,
+) -> Option<Vec<MacroPlacement>> {
+    assert!(
+        (0.0..=0.9).contains(&cell_fraction),
+        "cell fraction out of range"
+    );
+    let mut order: Vec<InstId> = macros.to_vec();
+    order.sort_by(|&a, &b| {
+        let ha = padded_size(design, a, halo).h;
+        let hb = padded_size(design, b, halo).h;
+        hb.cmp(&ha).then(a.cmp(&b))
+    });
+
+    let gap_ratio = cell_fraction / (1.0 - cell_fraction).max(0.1);
+    let mut out = Vec::with_capacity(order.len());
+    let mut shelf_y = die_rect.lo.y;
+    let mut shelf_h = Dbu(0);
+    let mut cursor_x = die_rect.lo.x;
+    for inst in order {
+        let s = padded_size(design, inst, halo);
+        if cursor_x + s.w > die_rect.hi.x {
+            // close the band: skip a proportional cell strip
+            shelf_y += shelf_h + shelf_h.scale(gap_ratio);
+            shelf_h = Dbu(0);
+            cursor_x = die_rect.lo.x;
+        }
+        if cursor_x + s.w > die_rect.hi.x || shelf_y + s.h > die_rect.hi.y {
+            return None;
+        }
+        out.push(placement_at(design, inst, Point::new(cursor_x, shelf_y), halo, DieRole::Logic));
+        cursor_x += s.w;
+        shelf_h = shelf_h.max(s.h);
+    }
+    Some(out)
+}
+
+/// Packs macros in overlapping pairs across the two dies (the BF S2D
+/// floorplan): macros are sorted by size and placed two-per-site, one
+/// on each die, so partial blockages become full blockages. Returns
+/// `None` if the pair boxes do not fit.
+///
+/// # Panics
+///
+/// Panics if any instance is not a macro.
+pub fn pack_balanced(
+    design: &Design,
+    macros: &[InstId],
+    die_rect: Rect,
+    halo: Dbu,
+) -> Option<Vec<MacroPlacement>> {
+    let mut order: Vec<InstId> = macros.to_vec();
+    order.sort_by(|&a, &b| {
+        let aa = padded_size(design, a, halo);
+        let bb = padded_size(design, b, halo);
+        (bb.w.0 * bb.h.0).cmp(&(aa.w.0 * aa.h.0)).then(a.cmp(&b))
+    });
+
+    let mut out = Vec::with_capacity(order.len());
+    let mut shelf_y = die_rect.lo.y;
+    let mut shelf_h = Dbu(0);
+    let mut cursor_x = die_rect.lo.x;
+    let mut k = 0;
+    while k < order.len() {
+        let pair: Vec<InstId> = order[k..(k + 2).min(order.len())].to_vec();
+        let mut box_w = Dbu(0);
+        let mut box_h = Dbu(0);
+        for &i in &pair {
+            let s = padded_size(design, i, halo);
+            box_w = box_w.max(s.w);
+            box_h = box_h.max(s.h);
+        }
+        if cursor_x + box_w > die_rect.hi.x {
+            shelf_y += shelf_h;
+            shelf_h = Dbu(0);
+            cursor_x = die_rect.lo.x;
+        }
+        if cursor_x + box_w > die_rect.hi.x || shelf_y + box_h > die_rect.hi.y {
+            return None;
+        }
+        for (j, &inst) in pair.iter().enumerate() {
+            let die = if j == 0 { DieRole::Logic } else { DieRole::Macro };
+            out.push(placement_at(design, inst, Point::new(cursor_x, shelf_y), halo, die));
+        }
+        cursor_x += box_w;
+        shelf_h = shelf_h.max(box_h);
+        k += 2;
+    }
+    Some(out)
+}
+
+/// True if no two placements *on the same die* overlap and all lie
+/// within `die_rect` (used by floorplan sanity tests).
+pub fn is_legal(placements: &[MacroPlacement], die_rect: Rect) -> bool {
+    for (i, a) in placements.iter().enumerate() {
+        if !die_rect.contains_rect(a.rect) {
+            return false;
+        }
+        for b in &placements[i + 1..] {
+            if a.die == b.die && a.rect.overlaps(b.rect) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_sram::MemoryCompiler;
+    use macro3d_tech::libgen::n28_library;
+    use std::sync::Arc;
+
+    fn design_with_macros(shapes: &[(u32, u32)]) -> (Design, Vec<InstId>) {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let c = MemoryCompiler::n28();
+        let mut insts = Vec::new();
+        for (k, &(w, b)) in shapes.iter().enumerate() {
+            let mm = d.add_macro_master(c.sram(&format!("s{k}"), w, b));
+            insts.push(d.add_macro_in(format!("m{k}"), mm, 0));
+        }
+        (d, insts)
+    }
+
+    #[test]
+    fn shelves_fit_and_are_legal() {
+        let (d, insts) = design_with_macros(&[(2048, 128); 8]);
+        let die = Rect::from_um(0.0, 0.0, 800.0, 800.0);
+        let p = pack_shelves(&d, &insts, die, Dbu::from_um(2.0), DieRole::Macro)
+            .expect("8 x 32KB fits in 0.64 mm2");
+        assert_eq!(p.len(), 8);
+        assert!(is_legal(&p, die));
+        assert!(p.iter().all(|m| m.die == DieRole::Macro));
+    }
+
+    #[test]
+    fn shelves_overflow_returns_none() {
+        let (d, insts) = design_with_macros(&[(2048, 128); 8]);
+        let die = Rect::from_um(0.0, 0.0, 300.0, 300.0);
+        assert!(pack_shelves(&d, &insts, die, Dbu::from_um(2.0), DieRole::Macro).is_none());
+    }
+
+    #[test]
+    fn ring_leaves_center_free() {
+        let (d, insts) = design_with_macros(&[(2048, 128), (2048, 128), (1024, 128), (512, 128)]);
+        let die = Rect::from_um(0.0, 0.0, 1000.0, 1000.0);
+        let p = pack_ring(&d, &insts, die, Dbu::from_um(2.0)).expect("fits");
+        assert!(is_legal(&p, die));
+        // the die centre is macro-free
+        let center = Rect::from_um(450.0, 450.0, 550.0, 550.0);
+        assert!(p.iter().all(|m| !m.rect.overlaps(center)));
+        // macros hug the edges: each touches the left or right third
+        for m in &p {
+            let cx = m.rect.center().x.to_um();
+            assert!(cx < 450.0 || cx > 550.0, "macro at centre x {cx}");
+        }
+    }
+
+    #[test]
+    fn bands_interleave_cell_strips() {
+        let (d, insts) = design_with_macros(&[(2048, 128); 6]);
+        let die = Rect::from_um(0.0, 0.0, 900.0, 1_200.0);
+        let p = pack_bands(&d, &insts, die, Dbu::from_um(2.0), 0.3).expect("fits");
+        assert!(is_legal(&p, die));
+        assert_eq!(p.len(), 6);
+        // two bands with a gap between them: the y extents of shelf 1
+        // and shelf 2 macros must not be adjacent
+        let mut ys: Vec<i64> = p.iter().map(|m| m.rect.lo.y.nm()).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        assert!(ys.len() >= 2, "multiple bands");
+        let first_top = p
+            .iter()
+            .filter(|m| m.rect.lo.y.nm() == ys[0])
+            .map(|m| m.rect.hi.y.nm())
+            .max()
+            .expect("band 1");
+        assert!(ys[1] > first_top, "cell strip between bands");
+    }
+
+    #[test]
+    fn bands_overflow_returns_none() {
+        let (d, insts) = design_with_macros(&[(2048, 128); 8]);
+        let die = Rect::from_um(0.0, 0.0, 400.0, 400.0);
+        assert!(pack_bands(&d, &insts, die, Dbu::from_um(2.0), 0.3).is_none());
+    }
+
+    #[test]
+    fn balanced_overlaps_pairs_across_dies() {
+        let (d, insts) = design_with_macros(&[(2048, 128); 4]);
+        let die = Rect::from_um(0.0, 0.0, 600.0, 600.0);
+        let p = pack_balanced(&d, &insts, die, Dbu::from_um(2.0)).expect("fits");
+        assert_eq!(p.len(), 4);
+        assert!(is_legal(&p, die));
+        let logic: Vec<_> = p.iter().filter(|m| m.die == DieRole::Logic).collect();
+        let upper: Vec<_> = p.iter().filter(|m| m.die == DieRole::Macro).collect();
+        assert_eq!(logic.len(), 2);
+        assert_eq!(upper.len(), 2);
+        // pairs coincide
+        for l in &logic {
+            assert!(
+                upper.iter().any(|u| u.rect == l.rect),
+                "logic-die macro unpaired"
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Fiduccia–Mattheyses hypergraph bipartitioning.
+//!
+//! Used twice in the reproduction: by recursive-bisection global
+//! placement (this crate) and by the Shrunk-2D/Compact-2D *tier
+//! partitioning* step (the `macro3d` flows crate), which splits placed
+//! cells across the two dies of the F2F stack.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A hypergraph with vertex areas and optional per-net anchors.
+///
+/// An anchor acts as an immovable pin on side 0 or 1 (terminal
+/// propagation: the projection of pins outside the current placement
+/// region, or pre-assigned cells in tier partitioning).
+#[derive(Clone, Debug, Default)]
+pub struct Hypergraph {
+    vertex_area: Vec<f64>,
+    /// CSR nets → vertices.
+    net_offsets: Vec<u32>,
+    pins: Vec<u32>,
+    net_anchor: Vec<i8>,
+    /// CSR vertices → nets.
+    vert_offsets: Vec<u32>,
+    vert_nets: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Starts building a hypergraph with the given vertex areas.
+    pub fn new(vertex_area: Vec<f64>) -> HypergraphBuilder {
+        HypergraphBuilder {
+            vertex_area,
+            nets: Vec::new(),
+            anchors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_area.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.net_anchor.len()
+    }
+
+    fn net_pins(&self, net: usize) -> &[u32] {
+        &self.pins[self.net_offsets[net] as usize..self.net_offsets[net + 1] as usize]
+    }
+
+    fn vertex_nets(&self, v: usize) -> &[u32] {
+        &self.vert_nets[self.vert_offsets[v] as usize..self.vert_offsets[v + 1] as usize]
+    }
+
+    /// Number of nets cut by an assignment (anchors count as pins on
+    /// their side).
+    pub fn cut_size(&self, side: &[u8]) -> usize {
+        (0..self.num_nets())
+            .filter(|&n| {
+                let mut seen = [false, false];
+                if self.net_anchor[n] >= 0 {
+                    seen[self.net_anchor[n] as usize] = true;
+                }
+                for &p in self.net_pins(n) {
+                    seen[side[p as usize] as usize] = true;
+                }
+                seen[0] && seen[1]
+            })
+            .count()
+    }
+}
+
+/// Builder for [`Hypergraph`].
+#[derive(Clone, Debug)]
+pub struct HypergraphBuilder {
+    vertex_area: Vec<f64>,
+    nets: Vec<Vec<u32>>,
+    anchors: Vec<i8>,
+}
+
+impl HypergraphBuilder {
+    /// Adds a net over the given vertices with an optional anchor side
+    /// (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range or the anchor is not in
+    /// {0, 1}.
+    pub fn add_net(&mut self, vertices: &[u32], anchor: Option<u8>) {
+        for &v in vertices {
+            assert!((v as usize) < self.vertex_area.len(), "vertex out of range");
+        }
+        if let Some(a) = anchor {
+            assert!(a < 2, "anchor side must be 0 or 1");
+        }
+        self.nets.push(vertices.to_vec());
+        self.anchors.push(anchor.map(|a| a as i8).unwrap_or(-1));
+    }
+
+    /// Finalises the CSR representation.
+    pub fn build(self) -> Hypergraph {
+        let nv = self.vertex_area.len();
+        let mut net_offsets = Vec::with_capacity(self.nets.len() + 1);
+        let mut pins = Vec::new();
+        net_offsets.push(0u32);
+        for net in &self.nets {
+            pins.extend_from_slice(net);
+            net_offsets.push(pins.len() as u32);
+        }
+        // vertex -> nets CSR
+        let mut counts = vec![0u32; nv];
+        for net in &self.nets {
+            for &v in net {
+                counts[v as usize] += 1;
+            }
+        }
+        let mut vert_offsets = vec![0u32; nv + 1];
+        for i in 0..nv {
+            vert_offsets[i + 1] = vert_offsets[i] + counts[i];
+        }
+        let mut vert_nets = vec![0u32; *vert_offsets.last().expect("nv+1 offsets") as usize];
+        let mut cursor = vert_offsets.clone();
+        for (n, net) in self.nets.iter().enumerate() {
+            for &v in net {
+                vert_nets[cursor[v as usize] as usize] = n as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        Hypergraph {
+            vertex_area: self.vertex_area,
+            net_offsets,
+            pins,
+            net_anchor: self.anchors,
+            vert_offsets,
+            vert_nets,
+        }
+    }
+}
+
+/// FM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FmConfig {
+    /// Number of full FM passes.
+    pub passes: usize,
+    /// Allowed deviation of side areas from their targets, as a
+    /// fraction of total area.
+    pub balance_tol: f64,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig {
+            passes: 2,
+            balance_tol: 0.05,
+        }
+    }
+}
+
+/// Bipartitions a hypergraph minimising the cut, with side-0 area
+/// targeted at `target_frac_a` of the total.
+///
+/// Returns the side (0/1) per vertex. Deterministic for a given
+/// input: the initial assignment (when `init` is `None`) fills side 0
+/// in vertex order until the target area is reached.
+///
+/// # Panics
+///
+/// Panics if `init` is provided with the wrong length, or
+/// `target_frac_a` is outside `(0, 1)`.
+pub fn bipartition(
+    hg: &Hypergraph,
+    target_frac_a: f64,
+    init: Option<Vec<u8>>,
+    cfg: &FmConfig,
+) -> Vec<u8> {
+    assert!(
+        target_frac_a > 0.0 && target_frac_a < 1.0,
+        "target fraction must be in (0,1)"
+    );
+    let nv = hg.num_vertices();
+    let total_area: f64 = hg.vertex_area.iter().sum();
+    let target_a = total_area * target_frac_a;
+    let tol = total_area * cfg.balance_tol;
+
+    let mut side: Vec<u8> = match init {
+        Some(s) => {
+            assert_eq!(s.len(), nv, "init length mismatch");
+            s
+        }
+        None => {
+            let mut s = vec![1u8; nv];
+            let mut acc = 0.0;
+            for v in 0..nv {
+                if acc < target_a {
+                    s[v] = 0;
+                    acc += hg.vertex_area[v];
+                }
+            }
+            s
+        }
+    };
+    if nv == 0 {
+        return side;
+    }
+
+    for _ in 0..cfg.passes {
+        let improved = fm_pass(hg, &mut side, target_a, tol);
+        if !improved {
+            break;
+        }
+    }
+    side
+}
+
+/// One FM pass: every vertex moved at most once; rolls back to the
+/// best prefix. Returns whether the cut improved.
+fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
+    let nv = hg.num_vertices();
+    let nn = hg.num_nets();
+
+    // pin counts per net per side (anchors are permanent pins)
+    let mut cnt = vec![[0i32; 2]; nn];
+    for n in 0..nn {
+        if hg.net_anchor[n] >= 0 {
+            cnt[n][hg.net_anchor[n] as usize] += 1;
+        }
+        for &p in hg.net_pins(n) {
+            cnt[n][side[p as usize] as usize] += 1;
+        }
+    }
+    let mut area = [0.0f64; 2];
+    for v in 0..nv {
+        area[side[v] as usize] += hg.vertex_area[v];
+    }
+
+    let gain_of = |v: usize, side: &[u8], cnt: &[[i32; 2]]| -> i32 {
+        let from = side[v] as usize;
+        let to = 1 - from;
+        let mut g = 0;
+        for &n in hg.vertex_nets(v) {
+            let c = cnt[n as usize];
+            if c[from] == 1 {
+                g += 1;
+            }
+            if c[to] == 0 {
+                g -= 1;
+            }
+        }
+        g
+    };
+
+    // max-heap with lazy invalidation
+    let mut heap: BinaryHeap<(i32, Reverse<usize>)> = BinaryHeap::new();
+    let mut gain = vec![0i32; nv];
+    for v in 0..nv {
+        gain[v] = gain_of(v, side, &cnt);
+        heap.push((gain[v], Reverse(v)));
+    }
+    let mut locked = vec![false; nv];
+
+    let mut moves: Vec<usize> = Vec::with_capacity(nv);
+    let mut cum_gain = 0i32;
+    let mut best_gain = 0i32;
+    let mut best_len = 0usize;
+
+    while let Some((g, Reverse(v))) = heap.pop() {
+        if locked[v] || g != gain[v] {
+            continue; // stale entry
+        }
+        let from = side[v] as usize;
+        let to = 1 - from;
+        // balance check: side-0 area must stay within target ± tol
+        let new_a0 = match (from, to) {
+            (0, 1) => area[0] - hg.vertex_area[v],
+            _ => area[0] + hg.vertex_area[v],
+        };
+        // accept if within tolerance, or if it improves an
+        // already-out-of-balance state
+        let cur_dev = (area[0] - target_a).abs();
+        let new_dev = (new_a0 - target_a).abs();
+        if new_dev > tol && new_dev >= cur_dev {
+            locked[v] = true;
+            continue;
+        }
+
+        // apply move
+        locked[v] = true;
+        area[from] -= hg.vertex_area[v];
+        area[to] += hg.vertex_area[v];
+        side[v] = to as u8;
+        cum_gain += g;
+        moves.push(v);
+        if cum_gain > best_gain {
+            best_gain = cum_gain;
+            best_len = moves.len();
+        }
+
+        // update neighbour gains
+        for &n in hg.vertex_nets(v) {
+            let n = n as usize;
+            cnt[n][from] -= 1;
+            cnt[n][to] += 1;
+            for &p in hg.net_pins(n) {
+                let p = p as usize;
+                if !locked[p] {
+                    let g2 = gain_of(p, side, &cnt);
+                    if g2 != gain[p] {
+                        gain[p] = g2;
+                        heap.push((g2, Reverse(p)));
+                    }
+                }
+            }
+        }
+    }
+
+    // roll back past the best prefix
+    for &v in &moves[best_len..] {
+        side[v] ^= 1;
+    }
+    best_gain > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single net: the optimal cut is 1.
+    fn two_clusters() -> Hypergraph {
+        let mut b = Hypergraph::new(vec![1.0; 8]);
+        for c in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_net(&[c + i, c + j], None);
+                }
+            }
+        }
+        b.add_net(&[0, 4], None); // bridge
+        b.build()
+    }
+
+    #[test]
+    fn finds_natural_clusters() {
+        let hg = two_clusters();
+        let side = bipartition(&hg, 0.5, None, &FmConfig::default());
+        assert_eq!(hg.cut_size(&side), 1);
+        // clusters stay together
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[1], side[2]);
+        assert_eq!(side[2], side[3]);
+        assert_eq!(side[4], side[5]);
+        assert_ne!(side[0], side[4]);
+    }
+
+    #[test]
+    fn respects_balance() {
+        let hg = two_clusters();
+        let side = bipartition(&hg, 0.5, None, &FmConfig::default());
+        let a: f64 = side.iter().filter(|&&s| s == 0).count() as f64;
+        assert!((a - 4.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn anchors_pull_vertices() {
+        // a path 0-1-2; anchor net on 0 to side 1
+        let mut b = Hypergraph::new(vec![1.0; 4]);
+        b.add_net(&[0, 1], None);
+        b.add_net(&[1, 2], None);
+        b.add_net(&[2, 3], None);
+        b.add_net(&[0], Some(1)); // pull vertex 0 to side 1
+        b.add_net(&[3], Some(0)); // pull vertex 3 to side 0
+        let hg = b.build();
+        let side = bipartition(&hg, 0.5, None, &FmConfig { passes: 4, balance_tol: 0.3 });
+        assert_eq!(side[0], 1, "anchored to side 1");
+        assert_eq!(side[3], 0, "anchored to side 0");
+    }
+
+    #[test]
+    fn initial_assignment_honours_target() {
+        let mut b = Hypergraph::new(vec![1.0; 10]);
+        b.add_net(&[0, 9], None);
+        let hg = b.build();
+        let side = bipartition(&hg, 0.3, None, &FmConfig { passes: 0, balance_tol: 0.05 });
+        let a = side.iter().filter(|&&s| s == 0).count();
+        assert_eq!(a, 3);
+    }
+
+    #[test]
+    fn cut_size_counts_anchored_nets() {
+        let mut b = Hypergraph::new(vec![1.0; 2]);
+        b.add_net(&[0], Some(1));
+        b.add_net(&[0, 1], None);
+        let hg = b.build();
+        // both vertices on side 0 => anchored net is cut, pair net is not
+        assert_eq!(hg.cut_size(&[0, 0]), 1);
+        // both on the anchor's side => nothing is cut
+        assert_eq!(hg.cut_size(&[1, 1]), 0);
+        // split pair: the pair net is cut, the anchored net is not
+        assert_eq!(hg.cut_size(&[1, 0]), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let hg = Hypergraph::new(vec![]).build();
+        let side = bipartition(&hg, 0.5, None, &FmConfig::default());
+        assert!(side.is_empty());
+    }
+}

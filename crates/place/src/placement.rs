@@ -1,0 +1,119 @@
+//! Placement state.
+
+use macro3d_geom::{Orientation, Point, Rect};
+use macro3d_netlist::{Design, InstId};
+use macro3d_tech::stack::DieRole;
+
+/// Physical placement of every instance of a design.
+///
+/// Positions are lower-left corners. `die_of` records the tier an
+/// instance is assigned to — always [`DieRole::Logic`] for 2D designs
+/// and for all standard cells in Macro-3D MoL designs; the S2D/C2D
+/// baselines partition cells across both dies.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// Lower-left corner per instance.
+    pub pos: Vec<Point>,
+    /// Orientation per instance.
+    pub orient: Vec<Orientation>,
+    /// Tier per instance.
+    pub die_of: Vec<DieRole>,
+}
+
+impl Placement {
+    /// All instances at the origin on the logic die.
+    pub fn new(design: &Design) -> Self {
+        let n = design.num_insts();
+        Placement {
+            pos: vec![Point::ORIGIN; n],
+            orient: vec![Orientation::N; n],
+            die_of: vec![DieRole::Logic; n],
+        }
+    }
+
+    /// Footprint rectangle of an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is out of range for the placement or design.
+    pub fn rect(&self, design: &Design, inst: InstId) -> Rect {
+        let size = match design.inst(inst).master {
+            macro3d_netlist::Master::Cell(c) => design.library().cell(c).size,
+            macro3d_netlist::Master::Macro(m) => design.macro_master(m).size,
+        };
+        let size = if self.orient[inst.index()].swaps_extent() {
+            size.transposed()
+        } else {
+            size
+        };
+        Rect::from_origin_size(self.pos[inst.index()], size)
+    }
+
+    /// Center of an instance.
+    pub fn center(&self, design: &Design, inst: InstId) -> Point {
+        self.rect(design, inst).center()
+    }
+
+    /// Instances on a given die.
+    pub fn insts_on<'a>(
+        &'a self,
+        design: &'a Design,
+        die: DieRole,
+    ) -> impl Iterator<Item = InstId> + 'a {
+        design
+            .inst_ids()
+            .filter(move |i| self.die_of[i.index()] == die)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_geom::Dbu;
+    use macro3d_tech::{libgen::n28_library, CellClass};
+    use std::sync::Arc;
+
+    #[test]
+    fn rect_and_center() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib.clone());
+        let a = d.add_cell("a", inv);
+        let mut p = Placement::new(&d);
+        p.pos[a.index()] = Point::from_um(10.0, 12.0);
+        let r = p.rect(&d, a);
+        assert_eq!(r.lo, Point::from_um(10.0, 12.0));
+        assert_eq!(r.size(), lib.cell(inv).size);
+        assert!(r.contains(p.center(&d, a)));
+    }
+
+    #[test]
+    fn orientation_swaps_macro_extent() {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let mm = d.add_macro_master(macro3d_sram::MemoryCompiler::n28().sram("s", 512, 64));
+        let m = d.add_macro_in("m", mm, 0);
+        let mut p = Placement::new(&d);
+        let r_n = p.rect(&d, m);
+        p.orient[m.index()] = macro3d_geom::Orientation::R90;
+        let r_r = p.rect(&d, m);
+        assert_eq!(r_n.width(), r_r.height());
+        assert_eq!(r_n.height(), r_r.width());
+        assert!(r_n.width() > Dbu(0));
+    }
+
+    #[test]
+    fn die_filter() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let mut p = Placement::new(&d);
+        p.die_of[b.index()] = DieRole::Macro;
+        let logic: Vec<_> = p.insts_on(&d, DieRole::Logic).collect();
+        assert_eq!(logic, vec![a]);
+        let upper: Vec<_> = p.insts_on(&d, DieRole::Macro).collect();
+        assert_eq!(upper, vec![b]);
+    }
+}

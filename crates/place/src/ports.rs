@@ -1,0 +1,149 @@
+//! Port location assignment on die edges.
+
+use macro3d_geom::{Dbu, Point, Rect};
+use macro3d_netlist::{Design, PortId, Side};
+
+/// Physical locations of every top-level port.
+///
+/// Per the paper's design setup, all tile pins sit on the die
+/// boundary (in the top metal), and aligned pairs — a NoC output and
+/// the matching input on the opposite edge — share the same x (for
+/// north/south) or y (for east/west) coordinate so tile instances
+/// abut without extra routing.
+#[derive(Clone, Debug)]
+pub struct PortPlan {
+    /// Location per port.
+    pub pos: Vec<Point>,
+}
+
+impl PortPlan {
+    /// Assigns port locations along the die edges.
+    ///
+    /// Side-constrained ports are distributed uniformly along their
+    /// edge in port-id order; aligned pairs are placed at the same
+    /// offset on opposite edges. Unconstrained ports land on the west
+    /// edge.
+    pub fn assign(design: &Design, die: Rect) -> Self {
+        let mut pos = vec![die.lo; design.num_ports()];
+        // group by effective side
+        let mut by_side: [Vec<PortId>; 4] = Default::default();
+        let mut align_offset: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+
+        for id in design.port_ids() {
+            let side = design.port(id).side.unwrap_or(Side::West);
+            by_side[side_ix(side)].push(id);
+        }
+
+        for (six, ports) in by_side.iter().enumerate() {
+            let side = IX_SIDE[six];
+            let n = ports.len() as i64;
+            if n == 0 {
+                continue;
+            }
+            let span = match side {
+                Side::North | Side::South => die.width(),
+                Side::East | Side::West => die.height(),
+            };
+            let step = span.0 / (n + 1);
+            for (k, &id) in ports.iter().enumerate() {
+                // aligned pairs reuse the first member's offset
+                let offset = if let Some(key) = design.port(id).align_key {
+                    *align_offset
+                        .entry(key)
+                        .or_insert((k as i64 + 1) * step)
+                } else {
+                    (k as i64 + 1) * step
+                };
+                pos[id.index()] = place_on(die, side, Dbu(offset));
+            }
+        }
+        PortPlan { pos }
+    }
+
+    /// Location of a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn position(&self, id: PortId) -> Point {
+        self.pos[id.index()]
+    }
+
+    /// Returns a copy with every location scaled about the origin
+    /// (used by the C2D enlarged-floorplan mapping).
+    pub fn scaled(&self, factor: f64) -> PortPlan {
+        PortPlan {
+            pos: self.pos.iter().map(|p| p.scale(factor)).collect(),
+        }
+    }
+}
+
+const IX_SIDE: [Side; 4] = [Side::North, Side::South, Side::East, Side::West];
+
+fn side_ix(side: Side) -> usize {
+    match side {
+        Side::North => 0,
+        Side::South => 1,
+        Side::East => 2,
+        Side::West => 3,
+    }
+}
+
+fn place_on(die: Rect, side: Side, offset: Dbu) -> Point {
+    match side {
+        Side::North => Point::new(die.lo.x + offset, die.hi.y),
+        Side::South => Point::new(die.lo.x + offset, die.lo.y),
+        Side::East => Point::new(die.hi.x, die.lo.y + offset),
+        Side::West => Point::new(die.lo.x, die.lo.y + offset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::{libgen::n28_library, PinDir};
+    use std::sync::Arc;
+
+    fn design_with_ports() -> Design {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let a = d.add_port("n_out", PinDir::Output, Some(Side::North));
+        let b = d.add_port("s_in", PinDir::Input, Some(Side::South));
+        d.align_ports(a, b);
+        d.add_port("w0", PinDir::Input, Some(Side::West));
+        d.add_port("free", PinDir::Input, None);
+        d
+    }
+
+    #[test]
+    fn ports_land_on_their_edges() {
+        let d = design_with_ports();
+        let die = Rect::from_um(0.0, 0.0, 100.0, 80.0);
+        let plan = PortPlan::assign(&d, die);
+        let n = plan.position(PortId(0));
+        assert_eq!(n.y, die.hi.y);
+        let s = plan.position(PortId(1));
+        assert_eq!(s.y, die.lo.y);
+        let w = plan.position(PortId(2));
+        assert_eq!(w.x, die.lo.x);
+        // unconstrained defaults to west
+        assert_eq!(plan.position(PortId(3)).x, die.lo.x);
+    }
+
+    #[test]
+    fn aligned_pairs_share_coordinate() {
+        let d = design_with_ports();
+        let die = Rect::from_um(0.0, 0.0, 100.0, 80.0);
+        let plan = PortPlan::assign(&d, die);
+        assert_eq!(plan.position(PortId(0)).x, plan.position(PortId(1)).x);
+    }
+
+    #[test]
+    fn scaled_plan() {
+        let d = design_with_ports();
+        let plan = PortPlan::assign(&d, Rect::from_um(0.0, 0.0, 100.0, 80.0));
+        let s = plan.scaled(0.5);
+        assert_eq!(s.position(PortId(0)).x, plan.position(PortId(0)).x.scale(0.5));
+    }
+}

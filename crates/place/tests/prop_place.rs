@@ -1,0 +1,135 @@
+//! Property-based tests for the placement engine.
+
+use macro3d_geom::{Dbu, Rect};
+use macro3d_netlist::{Design, InstId, PinRef};
+use macro3d_place::macro_place::{is_legal, pack_balanced, pack_ring, pack_shelves};
+use macro3d_place::partition::{bipartition, FmConfig, Hypergraph};
+use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
+use macro3d_sram::MemoryCompiler;
+use macro3d_tech::libgen::n28_library;
+use macro3d_tech::stack::DieRole;
+use macro3d_tech::CellClass;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn macro_design(shapes: &[(u32, u32)]) -> (Design, Vec<InstId>) {
+    let lib = Arc::new(n28_library(1.0));
+    let mut d = Design::new("t", lib);
+    let c = MemoryCompiler::n28();
+    let mut insts = Vec::new();
+    for (k, &(w, b)) in shapes.iter().enumerate() {
+        let mm = d.add_macro_master(c.sram(&format!("s{k}"), w, b));
+        insts.push(d.add_macro_in(format!("m{k}"), mm, 0));
+    }
+    (d, insts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every packer either fails or produces a legal placement.
+    #[test]
+    fn packers_produce_legal_placements(
+        shapes in proptest::collection::vec(
+            (64u32..4096, proptest::sample::select(vec![32u32, 64, 128])),
+            1..10,
+        ),
+        die_um in 400.0f64..1_200.0,
+    ) {
+        let (d, insts) = macro_design(&shapes);
+        let die = Rect::from_um(0.0, 0.0, die_um, die_um);
+        let halo = Dbu::from_um(2.0);
+        if let Some(p) = pack_shelves(&d, &insts, die, halo, DieRole::Macro) {
+            prop_assert!(is_legal(&p, die));
+            prop_assert_eq!(p.len(), insts.len());
+        }
+        if let Some(p) = pack_ring(&d, &insts, die, halo) {
+            prop_assert!(is_legal(&p, die));
+            prop_assert_eq!(p.len(), insts.len());
+        }
+        if let Some(p) = pack_balanced(&d, &insts, die, halo) {
+            prop_assert!(is_legal(&p, die));
+            prop_assert_eq!(p.len(), insts.len());
+        }
+    }
+
+    /// FM always returns a side per vertex, preserves determinism and
+    /// never worsens the trivial cut of the initial assignment by
+    /// more than the rollback guarantee (cut <= initial cut).
+    #[test]
+    fn fm_never_worse_than_initial(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 10..120),
+        frac in 0.3f64..0.7,
+    ) {
+        let mut b = Hypergraph::new(vec![1.0; 40]);
+        for &(u, v) in &edges {
+            if u != v {
+                b.add_net(&[u, v], None);
+            }
+        }
+        let hg = b.build();
+        // initial assignment replicated from the implementation
+        let mut init = vec![1u8; 40];
+        let target = 40.0 * frac;
+        let mut acc = 0.0;
+        for v in 0..40 {
+            if acc < target {
+                init[v] = 0;
+                acc += 1.0;
+            }
+        }
+        let initial_cut = hg.cut_size(&init);
+        let side = bipartition(&hg, frac, Some(init), &FmConfig::default());
+        prop_assert_eq!(side.len(), 40);
+        prop_assert!(hg.cut_size(&side) <= initial_cut);
+        // determinism
+        let mut init2 = vec![1u8; 40];
+        let mut acc2 = 0.0;
+        for v in 0..40 {
+            if acc2 < target {
+                init2[v] = 0;
+                acc2 += 1.0;
+            }
+        }
+        let side2 = bipartition(&hg, frac, Some(init2), &FmConfig::default());
+        prop_assert_eq!(side, side2);
+    }
+
+    /// Global placement always keeps cells inside the die, for
+    /// arbitrary connected designs.
+    #[test]
+    fn global_place_stays_in_die(n in 20usize..200, seed in 0u64..50) {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let mut prev: Option<InstId> = None;
+        let mut rng = seed;
+        for i in 0..n {
+            let c = d.add_cell(format!("c{i}"), inv);
+            if let Some(p) = prev {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if rng % 3 != 0 {
+                    let net = d.add_net(format!("n{i}"));
+                    d.connect(net, PinRef::inst(p, 1));
+                    d.connect(net, PinRef::inst(c, 0));
+                }
+            }
+            prev = Some(c);
+        }
+        let fp = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 60.0, 60.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        let ports = PortPlan::assign(&d, fp.die());
+        let placement = global_place(&d, &fp, &ports, &GlobalPlaceConfig::default());
+        for i in d.inst_ids() {
+            prop_assert!(
+                fp.die().inflate(Dbu::from_um(2.0)).contains(placement.pos[i.index()]),
+                "cell {} escaped to {:?}",
+                i,
+                placement.pos[i.index()]
+            );
+        }
+    }
+}

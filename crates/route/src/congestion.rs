@@ -1,0 +1,84 @@
+//! Congestion reporting.
+
+use crate::gcell::RouteGrid;
+
+/// Per-layer congestion summary of a routing grid after routing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CongestionReport {
+    /// Per-layer: (overflowed edges, total overflow, peak utilization).
+    pub layers: Vec<LayerCongestion>,
+    /// Total overflow across layers.
+    pub total_overflow: f64,
+}
+
+/// Congestion of one routing layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LayerCongestion {
+    /// Layer index within the routing stack.
+    pub layer: usize,
+    /// Edges whose usage exceeds capacity.
+    pub overflowed_edges: usize,
+    /// Sum of usage beyond capacity.
+    pub overflow: f64,
+    /// Peak usage / capacity over edges with capacity.
+    pub peak_utilization: f64,
+}
+
+impl CongestionReport {
+    /// Builds the per-layer report from a routed grid.
+    pub fn from_grid(grid: &RouteGrid) -> Self {
+        let mut layers = Vec::with_capacity(grid.layers());
+        let mut total = 0.0;
+        for l in 0..grid.layers() {
+            let mut lc = LayerCongestion {
+                layer: l,
+                ..Default::default()
+            };
+            for (u, c) in grid.layer_edges(l) {
+                if c > 0.0 {
+                    lc.peak_utilization = lc.peak_utilization.max((u / c) as f64);
+                    if u > c {
+                        lc.overflowed_edges += 1;
+                        lc.overflow += (u - c) as f64;
+                    }
+                }
+            }
+            total += lc.overflow;
+            layers.push(lc);
+        }
+        CongestionReport {
+            layers,
+            total_overflow: total,
+        }
+    }
+
+    /// The most congested layer, if any overflow exists.
+    pub fn hotspot_layer(&self) -> Option<usize> {
+        self.layers
+            .iter()
+            .filter(|l| l.overflow > 0.0)
+            .max_by(|a, b| a.overflow.partial_cmp(&b.overflow).expect("finite"))
+            .map(|l| l.layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_geom::{Dbu, Rect};
+    use macro3d_tech::stack::{n28_stack, DieRole};
+
+    #[test]
+    fn empty_grid_reports_clean() {
+        let grid = RouteGrid::new(
+            Rect::from_um(0.0, 0.0, 100.0, 100.0),
+            &n28_stack(6, DieRole::Logic),
+            Dbu::from_um(10.0),
+            0.5,
+        );
+        let r = CongestionReport::from_grid(&grid);
+        assert_eq!(r.layers.len(), 6);
+        assert_eq!(r.total_overflow, 0.0);
+        assert_eq!(r.hotspot_layer(), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! The GCell routing grid: per-layer capacities and usage.
+
+use macro3d_geom::{BinGrid, BinIx, Dbu, Point, Rect};
+use macro3d_tech::stack::{Direction, MetalStack};
+
+/// Index of an undirected routing-graph edge (for usage/capacity
+/// bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeIx(pub u32);
+
+/// The global-routing grid over one stack (single-die or combined).
+///
+/// Wire edges connect adjacent GCells along each layer's preferred
+/// direction with a capacity of `tracks × utilization`; via edges
+/// connect vertically adjacent layers (uncapacitated but costed).
+/// Macro internal-routing obstacles reduce wire capacity in
+/// proportion to their overlap with each GCell.
+#[derive(Clone, Debug)]
+pub struct RouteGrid {
+    grid: BinGrid,
+    layers: usize,
+    /// capacity per wire edge (see `edge_ix`).
+    cap: Vec<f32>,
+    /// current usage per wire edge.
+    pub(crate) usage: Vec<f32>,
+    /// congestion history per wire edge (negotiated congestion).
+    pub(crate) history: Vec<f32>,
+    h_edges_per_layer: usize,
+    v_edges_per_layer: usize,
+}
+
+impl RouteGrid {
+    /// Builds the grid for a die area and stack.
+    ///
+    /// `gcell` is the GCell pitch; `utilization` the fraction of raw
+    /// tracks available for global routing (the rest is reserved for
+    /// local/pin-access wiring, as real global routers do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gcell` is non-positive or the die is empty.
+    pub fn new(die: Rect, stack: &MetalStack, gcell: Dbu, utilization: f64) -> Self {
+        let grid = BinGrid::with_bin_size(die, gcell);
+        let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
+        let layers = stack.num_layers();
+        let h_edges_per_layer = (nx - 1).max(0) * ny;
+        let v_edges_per_layer = nx * (ny - 1).max(0);
+        let per_layer = h_edges_per_layer + v_edges_per_layer;
+        let mut cap = vec![0.0f32; per_layer * layers];
+
+        for (l, layer) in stack.layers().iter().enumerate() {
+            // tracks crossing a gcell boundary
+            let tracks = (gcell.to_um() / layer.pitch.to_um() * utilization).max(0.0) as f32;
+            match layer.direction {
+                Direction::Horizontal => {
+                    for e in 0..h_edges_per_layer {
+                        cap[l * per_layer + e] = tracks;
+                    }
+                }
+                Direction::Vertical => {
+                    for e in 0..v_edges_per_layer {
+                        cap[l * per_layer + h_edges_per_layer + e] = tracks;
+                    }
+                }
+            }
+        }
+
+        RouteGrid {
+            grid,
+            layers,
+            usage: vec![0.0; per_layer * layers],
+            history: vec![0.0; per_layer * layers],
+            cap,
+            h_edges_per_layer,
+            v_edges_per_layer,
+        }
+    }
+
+    /// The underlying bin grid.
+    pub fn bins(&self) -> &BinGrid {
+        &self.grid
+    }
+
+    /// Number of routing layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// GCell containing a point.
+    pub fn gcell_of(&self, p: Point) -> BinIx {
+        self.grid.bin_of(p)
+    }
+
+    /// Center of a GCell.
+    pub fn gcell_center(&self, ix: BinIx) -> Point {
+        self.grid.bin_rect(ix).center()
+    }
+
+    fn per_layer(&self) -> usize {
+        self.h_edges_per_layer + self.v_edges_per_layer
+    }
+
+    /// Edge between `(x,y)` and the next GCell in +x (horizontal) or
+    /// +y (vertical) on `layer`; `None` at the grid boundary.
+    pub(crate) fn edge_ix(&self, layer: usize, x: usize, y: usize, horizontal: bool) -> Option<usize> {
+        let nx = self.grid.nx() as usize;
+        let ny = self.grid.ny() as usize;
+        if horizontal {
+            if x + 1 >= nx || y >= ny {
+                return None;
+            }
+            Some(layer * self.per_layer() + y * (nx - 1) + x)
+        } else {
+            if y + 1 >= ny || x >= nx {
+                return None;
+            }
+            Some(layer * self.per_layer() + self.h_edges_per_layer + y * nx + x)
+        }
+    }
+
+    /// Capacity of a wire edge.
+    pub(crate) fn capacity(&self, e: usize) -> f32 {
+        self.cap[e]
+    }
+
+    /// Reduces capacity under an obstacle on `layer` (macro internal
+    /// routing): every wire edge whose GCell span overlaps the rect
+    /// loses capacity in proportion to the overlap fraction.
+    pub fn add_obstacle(&mut self, layer: usize, rect: Rect) {
+        if layer >= self.layers {
+            return;
+        }
+        let Some((lo, hi)) = self.grid.bins_overlapping(rect) else {
+            return;
+        };
+        for y in lo.y..=hi.y {
+            for x in lo.x..=hi.x {
+                let bin = self.grid.bin_rect(BinIx::new(x, y));
+                let frac = rect
+                    .intersection(bin)
+                    .map(|i| i.area_um2() / bin.area_um2())
+                    .unwrap_or(0.0) as f32;
+                for horiz in [true, false] {
+                    if let Some(e) = self.edge_ix(layer, x as usize, y as usize, horiz) {
+                        self.cap[e] = (self.cap[e] * (1.0 - frac)).max(0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total overflow (usage beyond capacity) over all wire edges.
+    pub fn total_overflow(&self) -> f64 {
+        self.usage
+            .iter()
+            .zip(&self.cap)
+            .map(|(&u, &c)| (u - c).max(0.0) as f64)
+            .sum()
+    }
+
+    /// Number of overflowed edges.
+    pub fn overflowed_edges(&self) -> usize {
+        self.usage
+            .iter()
+            .zip(&self.cap)
+            .filter(|&(&u, &c)| u > c)
+            .count()
+    }
+
+    /// Maximum edge utilization (usage / capacity) over edges with
+    /// non-zero capacity.
+    pub fn max_utilization(&self) -> f64 {
+        self.usage
+            .iter()
+            .zip(&self.cap)
+            .filter(|&(_, &c)| c > 0.0)
+            .map(|(&u, &c)| (u / c) as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterates (usage, capacity) over all wire edges of one layer.
+    pub fn layer_edges(&self, layer: usize) -> impl Iterator<Item = (f32, f32)> + '_ {
+        let per = self.per_layer();
+        let start = layer * per;
+        self.usage[start..start + per]
+            .iter()
+            .zip(&self.cap[start..start + per])
+            .map(|(&u, &c)| (u, c))
+    }
+
+    /// Accumulates congestion history from current overflow.
+    pub(crate) fn accumulate_history(&mut self, weight: f32) {
+        for ((h, &u), &c) in self.history.iter_mut().zip(&self.usage).zip(&self.cap) {
+            if u > c {
+                *h += weight * (u - c + 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::stack::{n28_stack, DieRole};
+
+    fn grid() -> RouteGrid {
+        RouteGrid::new(
+            Rect::from_um(0.0, 0.0, 100.0, 100.0),
+            &n28_stack(6, DieRole::Logic),
+            Dbu::from_um(10.0),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn capacities_follow_layer_direction() {
+        let g = grid();
+        // M1 horizontal: pitch 0.1um, gcell 10um, util 0.5 -> 50 tracks
+        let e = g.edge_ix(0, 0, 0, true).expect("edge");
+        assert!((g.capacity(e) - 50.0).abs() < 1e-3);
+        // M1 has no vertical capacity
+        let ev = g.edge_ix(0, 0, 0, false).expect("edge");
+        assert_eq!(g.capacity(ev), 0.0);
+        // M2 vertical has capacity
+        let e2 = g.edge_ix(1, 0, 0, false).expect("edge");
+        assert!(g.capacity(e2) > 0.0);
+        // M5 has fewer tracks than M1 (bigger pitch)
+        let e5 = g.edge_ix(4, 0, 0, true).expect("edge");
+        assert!(g.capacity(e5) < g.capacity(e));
+    }
+
+    #[test]
+    fn boundary_edges_do_not_exist() {
+        let g = grid();
+        assert!(g.edge_ix(0, 9, 0, true).is_none());
+        assert!(g.edge_ix(0, 0, 9, false).is_none());
+        assert!(g.edge_ix(0, 8, 0, true).is_some());
+    }
+
+    #[test]
+    fn obstacles_reduce_capacity() {
+        let mut g = grid();
+        let e = g.edge_ix(0, 2, 2, true).expect("edge");
+        let before = g.capacity(e);
+        g.add_obstacle(0, Rect::from_um(20.0, 20.0, 30.0, 30.0));
+        let after = g.capacity(e);
+        assert!(after < before * 0.2, "full overlap nearly zeroes capacity");
+        // different layer untouched
+        let e2 = g.edge_ix(2, 2, 2, true).expect("edge");
+        assert!((g.capacity(e2) - before).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overflow_accounting() {
+        let mut g = grid();
+        assert_eq!(g.total_overflow(), 0.0);
+        let e = g.edge_ix(0, 0, 0, true).expect("edge");
+        g.usage[e] = g.capacity(e) + 3.0;
+        assert!((g.total_overflow() - 3.0).abs() < 1e-3);
+        assert_eq!(g.overflowed_edges(), 1);
+        assert!(g.max_utilization() > 1.0);
+        g.accumulate_history(1.0);
+        assert!(g.history[e] > 0.0);
+    }
+}

@@ -1,0 +1,687 @@
+//! Negotiated-congestion global routing (PathFinder-style).
+
+use crate::gcell::RouteGrid;
+use crate::routed::{RouteSeg, RoutedDesign, RoutedNet, Via};
+use crate::steiner::steiner_edges;
+use macro3d_geom::{BinIx, Dbu, Point, Rect};
+use macro3d_netlist::NetId;
+use macro3d_tech::stack::{Direction, MetalStack};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Router configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteConfig {
+    /// GCell pitch, µm.
+    pub gcell_um: f64,
+    /// Fraction of raw tracks available to global routing.
+    pub utilization: f64,
+    /// Rip-up and re-route iterations.
+    pub iterations: usize,
+    /// Cost of one via transition (in GCell-step units).
+    pub via_cost: f64,
+    /// Nets with more pins than this are skipped (pre-CTS clock nets
+    /// are routed by CTS instead).
+    pub max_net_degree: usize,
+    /// F2F bond pitch, µm — bounds how many bumps fit per GCell; the
+    /// result reports GCells exceeding it. `None` disables the check.
+    pub f2f_pitch_um: Option<f64>,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            gcell_um: 10.0,
+            utilization: 0.5,
+            iterations: 3,
+            via_cost: 2.0,
+            max_net_degree: 512,
+            f2f_pitch_um: Some(1.0),
+        }
+    }
+}
+
+/// A pin handed to the router: location plus routing-stack layer.
+pub type RoutePin = (Point, u16);
+
+/// Routes a set of nets over a die and stack.
+///
+/// `nets` carries, per net, its pins with their layer in the given
+/// stack (the flows map macro-die pins to `_MD` layers here).
+/// `obstacles` are (layer, rect) capacity reductions (macro internal
+/// routing). `num_nets` sizes the result's per-net table.
+///
+/// Every net is guaranteed a route (possibly through overflowed
+/// edges, reported in the result); the negotiated-congestion loop
+/// spreads overflow across iterations.
+pub fn route_design(
+    die: Rect,
+    stack: &MetalStack,
+    obstacles: &[(usize, Rect)],
+    nets: &[(NetId, Vec<RoutePin>)],
+    num_nets: usize,
+    cfg: &RouteConfig,
+) -> RoutedDesign {
+    let mut grid = RouteGrid::new(die, stack, Dbu::from_um(cfg.gcell_um), cfg.utilization);
+    for &(layer, rect) in obstacles {
+        grid.add_obstacle(layer, rect);
+    }
+    let f2f_cut = stack.f2f_cut();
+    let dirs: Vec<Direction> = stack.layers().iter().map(|l| l.direction).collect();
+    // upper (thicker, lower-R) metals are cheaper per GCell, so long
+    // nets are pulled up the stack as real global routers do
+    let r_max = stack
+        .layers()
+        .iter()
+        .map(|l| l.r_per_um)
+        .fold(f64::MIN, f64::max);
+    let layer_cost: Vec<f64> = stack
+        .layers()
+        .iter()
+        .map(|l| 0.55 + 0.45 * (l.r_per_um / r_max))
+        .collect();
+
+    // per-cut via costs: the F2F hybrid bond is electrically trivial
+    // (44 mOhm / 1 fF), so crossing it costs far less than a regular
+    // via stack — this is what lets the router use the macro die's
+    // thick metals for logic-die nets (paper Sec. III: "routing paths
+    // starting and ending in the same die but still traversing the
+    // other die to avoid congestions")
+    let via_costs: Vec<f64> = stack
+        .vias()
+        .iter()
+        .map(|v| if v.is_f2f { 0.6 } else { cfg.via_cost })
+        .collect();
+    let mut router = AStar::new(&grid, dirs, layer_cost, via_costs, cfg.via_cost);
+
+    // order: short nets first (they have the least flexibility)
+    let mut order: Vec<usize> = (0..nets.len())
+        .filter(|&i| nets[i].1.len() >= 2 && nets[i].1.len() <= cfg.max_net_degree)
+        .collect();
+    order.sort_by_key(|&i| {
+        let pins = &nets[i].1;
+        let mut lo = pins[0].0;
+        let mut hi = pins[0].0;
+        for p in pins {
+            lo = lo.min(p.0);
+            hi = hi.max(p.0);
+        }
+        lo.manhattan(hi)
+    });
+
+    let mut routes: Vec<Option<RoutedNet>> = vec![None; nets.len()];
+    let mut net_edges: Vec<Vec<u32>> = vec![Vec::new(); nets.len()];
+
+    for iter in 0..cfg.iterations.max(1) {
+        let reroute: Vec<usize> = if iter == 0 {
+            order.clone()
+        } else {
+            // rip up nets crossing overflowed edges
+            let over: std::collections::HashSet<u32> = grid
+                .usage
+                .iter()
+                .enumerate()
+                .filter(|&(e, &u)| u > grid.capacity(e))
+                .map(|(e, _)| e as u32)
+                .collect();
+            if over.is_empty() {
+                break;
+            }
+            let victims: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| net_edges[i].iter().any(|e| over.contains(e)))
+                .collect();
+            grid.accumulate_history(1.0);
+            for &i in &victims {
+                for &e in &net_edges[i] {
+                    grid.usage[e as usize] -= 1.0;
+                }
+                net_edges[i].clear();
+                routes[i] = None;
+            }
+            victims
+        };
+
+        for i in reroute {
+            let (_, pins) = &nets[i];
+            let (net_route, edges) = route_net(&mut router, &mut grid, pins, f2f_cut);
+            for &e in &edges {
+                grid.usage[e as usize] += 1.0;
+            }
+            net_edges[i] = edges;
+            routes[i] = Some(net_route);
+        }
+    }
+
+    // assemble result indexed by NetId
+    let mut result = RoutedDesign {
+        nets: vec![None; num_nets],
+        ..Default::default()
+    };
+    for (k, (net_id, _)) in nets.iter().enumerate() {
+        if let Some(r) = routes[k].take() {
+            result.total_wirelength_um += r.wirelength_um();
+            result.f2f_bumps += r.f2f_crossings as u64;
+            result.nets[net_id.index()] = Some(r);
+        }
+    }
+    result.overflow = grid.total_overflow();
+    result.overflowed_edges = grid.overflowed_edges();
+    result.max_utilization = grid.max_utilization();
+    // bump-density check: crossings per GCell vs the pitch budget
+    if let (Some(pitch), Some(cut)) = (cfg.f2f_pitch_um, f2f_cut) {
+        let per_gcell = (cfg.gcell_um / pitch).max(1.0).powi(2) as u32;
+        let mut counts: std::collections::HashMap<(i64, i64), u32> =
+            std::collections::HashMap::new();
+        for r in result.nets.iter().flatten() {
+            for v in &r.vias {
+                if v.layer as usize == cut {
+                    let b = grid.gcell_of(v.at);
+                    *counts.entry((b.x as i64, b.y as i64)).or_insert(0) += 1;
+                }
+            }
+        }
+        result.f2f_overcrowded_gcells =
+            counts.values().filter(|&&c| c > per_gcell).count();
+    }
+    result
+}
+
+/// Routes one net: Steiner decomposition into 2-pin edges, each A*-
+/// routed; returns the merged route and the wire-edge indices used.
+fn route_net(
+    router: &mut AStar,
+    grid: &RouteGrid,
+    pins: &[RoutePin],
+    f2f_cut: Option<usize>,
+) -> (RoutedNet, Vec<u32>) {
+    let points: Vec<Point> = pins.iter().map(|p| p.0).collect();
+    let layer_of = |pt: Point| -> u16 {
+        pins.iter()
+            .find(|p| p.0 == pt)
+            .map(|p| p.1)
+            .unwrap_or(0)
+    };
+    let mut net = RoutedNet::default();
+    let mut edges = Vec::new();
+    for (a, b) in steiner_edges(&points) {
+        let src = (grid.gcell_of(a), layer_of(a));
+        let dst = (grid.gcell_of(b), layer_of(b));
+        let path = router.search(grid, src, dst);
+        append_path(grid, &path, &mut net, &mut edges, f2f_cut);
+    }
+    (net, edges)
+}
+
+/// Converts a node path into merged segments, vias and edge usage.
+fn append_path(
+    grid: &RouteGrid,
+    path: &[(u16, u16, u16)], // (layer, x, y)
+    net: &mut RoutedNet,
+    edges: &mut Vec<u32>,
+    f2f_cut: Option<usize>,
+) {
+    if path.len() < 2 {
+        return;
+    }
+    let mut seg_start = 0usize;
+    for k in 1..path.len() {
+        let (pl, px, py) = path[k - 1];
+        let (cl, cx, cy) = path[k];
+        if cl != pl {
+            // via step: flush any open segment
+            flush_segment(grid, path, seg_start, k - 1, net);
+            seg_start = k;
+            let lo = cl.min(pl) as usize;
+            net.vias.push(Via {
+                layer: lo as u16,
+                at: grid.gcell_center(BinIx::new(cx as u32, cy as u32)),
+            });
+            if f2f_cut == Some(lo) {
+                net.f2f_crossings += 1;
+            }
+        } else {
+            // wire step: record edge usage
+            let horizontal = cy == py;
+            let (ex, ey) = (cx.min(px) as usize, cy.min(py) as usize);
+            if let Some(e) = grid.edge_ix(cl as usize, ex, ey, horizontal) {
+                edges.push(e as u32);
+            }
+            // direction change on same layer: split segment
+            if k >= 2 {
+                let (ql, _qx, qy) = path[k - 2];
+                if ql == pl {
+                    let prev_horiz = py == qy;
+                    if prev_horiz != horizontal {
+                        flush_segment(grid, path, seg_start, k - 1, net);
+                        seg_start = k - 1;
+                    }
+                }
+            }
+        }
+    }
+    flush_segment(grid, path, seg_start, path.len() - 1, net);
+}
+
+fn flush_segment(
+    grid: &RouteGrid,
+    path: &[(u16, u16, u16)],
+    from: usize,
+    to: usize,
+    net: &mut RoutedNet,
+) {
+    if to <= from {
+        return;
+    }
+    let (l, x0, y0) = path[from];
+    let (_, x1, y1) = path[to];
+    if x0 == x1 && y0 == y1 {
+        return;
+    }
+    net.segments.push(RouteSeg {
+        layer: l,
+        from: grid.gcell_center(BinIx::new(x0 as u32, y0 as u32)),
+        to: grid.gcell_center(BinIx::new(x1 as u32, y1 as u32)),
+    });
+}
+
+/// Reusable A* state over the (layer, x, y) graph.
+struct AStar {
+    nx: usize,
+    ny: usize,
+    layers: usize,
+    dirs: Vec<Direction>,
+    layer_cost: Vec<f64>,
+    /// cost of crossing cut `i` (between layers i and i+1)
+    via_costs: Vec<f64>,
+    /// minimum via cost (admissible heuristic term)
+    via_cost: f64,
+    dist: Vec<f32>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl AStar {
+    fn new(
+        grid: &RouteGrid,
+        dirs: Vec<Direction>,
+        layer_cost: Vec<f64>,
+        via_costs: Vec<f64>,
+        default_via_cost: f64,
+    ) -> Self {
+        let nx = grid.bins().nx() as usize;
+        let ny = grid.bins().ny() as usize;
+        let n = nx * ny * grid.layers();
+        let min_via = via_costs
+            .iter()
+            .fold(default_via_cost, |a, &b| a.min(b));
+        AStar {
+            nx,
+            ny,
+            layers: grid.layers(),
+            dirs,
+            layer_cost,
+            via_costs,
+            via_cost: min_via,
+            dist: vec![0.0; n],
+            parent: vec![u32::MAX; n],
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    #[inline]
+    fn node(&self, l: usize, x: usize, y: usize) -> usize {
+        (l * self.ny + y) * self.nx + x
+    }
+
+    #[inline]
+    fn unpack(&self, n: usize) -> (u16, u16, u16) {
+        let x = n % self.nx;
+        let y = (n / self.nx) % self.ny;
+        let l = n / (self.nx * self.ny);
+        (l as u16, x as u16, y as u16)
+    }
+
+    /// Wire-step congestion cost multiplier for an edge.
+    #[inline]
+    fn edge_cost(&self, grid: &RouteGrid, e: usize) -> f64 {
+        let u = grid.usage[e];
+        let c = grid.capacity(e);
+        let h = grid.history[e];
+        debug_assert!(c > 0.0, "blocked edges are filtered before costing");
+        let base = if u + 1.0 > c {
+            (4.0 + 4.0 * (u + 1.0 - c) as f64).min(16.0)
+        } else {
+            1.0 + 0.3 * (u / c) as f64
+        };
+        (base + h as f64).min(24.0)
+    }
+
+    /// A* from `(gcell, layer)` to `(gcell, layer)`. Returns the node
+    /// path (start to goal inclusive).
+    fn search(
+        &mut self,
+        grid: &RouteGrid,
+        src: (BinIx, u16),
+        dst: (BinIx, u16),
+    ) -> Vec<(u16, u16, u16)> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let start = self.node(
+            (src.1 as usize).min(self.layers - 1),
+            src.0.x as usize,
+            src.0.y as usize,
+        );
+        let goal = self.node(
+            (dst.1 as usize).min(self.layers - 1),
+            dst.0.x as usize,
+            dst.0.y as usize,
+        );
+        let (gl, gx, gy) = self.unpack(goal);
+
+        let min_layer_cost = self
+            .layer_cost
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        // Weighted A* (epsilon = 1.25): bounded suboptimality for a
+        // large reduction in explored nodes under congestion — the
+        // standard engineering trade in global routers.
+        const EPSILON: f64 = 1.25;
+        let h = move |s: &Self, n: usize| -> f64 {
+            let (l, x, y) = s.unpack(n);
+            let dx = (x as i64 - gx as i64).abs() as f64;
+            let dy = (y as i64 - gy as i64).abs() as f64;
+            let dl = (l as i64 - gl as i64).abs() as f64;
+            ((dx + dy) * min_layer_cost + dl * s.via_cost) * EPSILON
+        };
+
+        let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
+        self.dist[start] = 0.0;
+        self.stamp[start] = epoch;
+        self.parent[start] = u32::MAX;
+        heap.push((Reverse(to_millis(h(self, start))), start as u32));
+
+        let mut explored = 0usize;
+        // exploration budget proportional to the path length: stuck
+        // searches fall back to an L-route whose overflow is reported
+        let (sl, sx, sy) = self.unpack(start);
+        let span = (sx as i64 - gx as i64).abs()
+            + (sy as i64 - gy as i64).abs()
+            + (sl as i64 - gl as i64).abs();
+        let explore_cap = ((span as usize + 24) * 512).min(self.nx * self.ny * self.layers);
+        while let Some((Reverse(f), n)) = heap.pop() {
+            let n = n as usize;
+            if self.stamp[n] != epoch {
+                continue;
+            }
+            let g = self.dist[n];
+            let _ = f;
+            let _ = g;
+            if n == goal {
+                return self.reconstruct(goal);
+            }
+            explored += 1;
+            if explored > explore_cap {
+                break;
+            }
+            let (l, x, y) = self.unpack(n);
+            let (l, x, y) = (l as usize, x as usize, y as usize);
+
+            // wire steps along the preferred direction
+            let steps: [(i64, i64); 2] = match self.dirs[l] {
+                Direction::Horizontal => [(-1, 0), (1, 0)],
+                Direction::Vertical => [(0, -1), (0, 1)],
+            };
+            for (dx, dy) in steps {
+                let nx2 = x as i64 + dx;
+                let ny2 = y as i64 + dy;
+                if nx2 < 0 || ny2 < 0 || nx2 >= self.nx as i64 || ny2 >= self.ny as i64 {
+                    continue;
+                }
+                let horizontal = dy == 0;
+                let (ex, ey) = ((x as i64).min(nx2) as usize, (y as i64).min(ny2) as usize);
+                let Some(e) = grid.edge_ix(l, ex, ey, horizontal) else {
+                    continue;
+                };
+                if grid.capacity(e) <= 0.0 {
+                    // fully blocked (macro internal routing): climb the
+                    // stack or detour; vias remain available
+                    continue;
+                }
+                let cost = self.edge_cost(grid, e) * self.layer_cost[l];
+                self.relax(n, self.node(l, nx2 as usize, ny2 as usize), g as f64 + cost, epoch, &mut heap, &h);
+            }
+            // via steps (per-cut costs; the F2F bond is cheap)
+            if l + 1 < self.layers {
+                let c = self.via_costs.get(l).copied().unwrap_or(self.via_cost);
+                self.relax(n, self.node(l + 1, x, y), g as f64 + c, epoch, &mut heap, &h);
+            }
+            if l > 0 {
+                let c = self.via_costs.get(l - 1).copied().unwrap_or(self.via_cost);
+                self.relax(n, self.node(l - 1, x, y), g as f64 + c, epoch, &mut heap, &h);
+            }
+        }
+        // fallback: direct L path on the src layer pair (router always
+        // produces a connection)
+        self.l_fallback(src, dst)
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn relax(
+        &mut self,
+        from: usize,
+        to: usize,
+        g: f64,
+        epoch: u32,
+        heap: &mut BinaryHeap<(Reverse<u64>, u32)>,
+        h: &impl Fn(&Self, usize) -> f64,
+    ) {
+        if self.stamp[to] != epoch || (g as f32) < self.dist[to] {
+            self.stamp[to] = epoch;
+            self.dist[to] = g as f32;
+            self.parent[to] = from as u32;
+            heap.push((Reverse(to_millis(g + h(self, to))), to as u32));
+        }
+    }
+
+    fn reconstruct(&self, goal: usize) -> Vec<(u16, u16, u16)> {
+        let mut path = Vec::new();
+        let mut n = goal;
+        loop {
+            path.push(self.unpack(n));
+            let p = self.parent[n];
+            if p == u32::MAX {
+                break;
+            }
+            n = p as usize;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Degenerate L-shaped fallback path (x then y on the source
+    /// layer, then via stack to the goal layer).
+    fn l_fallback(&self, src: (BinIx, u16), dst: (BinIx, u16)) -> Vec<(u16, u16, u16)> {
+        let mut path = Vec::new();
+        let l0 = src.1;
+        let (x0, y0) = (src.0.x as i64, src.0.y as i64);
+        let (x1, y1) = (dst.0.x as i64, dst.0.y as i64);
+        let mut x = x0;
+        let mut y = y0;
+        path.push((l0, x as u16, y as u16));
+        while x != x1 {
+            x += (x1 - x).signum();
+            path.push((l0, x as u16, y as u16));
+        }
+        while y != y1 {
+            y += (y1 - y).signum();
+            path.push((l0, x as u16, y as u16));
+        }
+        let mut l = l0 as i64;
+        while l != dst.1 as i64 {
+            l += (dst.1 as i64 - l).signum();
+            path.push((l as u16, x as u16, y as u16));
+        }
+        path
+    }
+}
+
+#[inline]
+fn to_millis(c: f64) -> u64 {
+    (c * 1024.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::stack::{n28_stack, DieRole};
+    use macro3d_tech::{CombinedBeol, F2fSpec};
+
+    fn die() -> Rect {
+        Rect::from_um(0.0, 0.0, 200.0, 200.0)
+    }
+
+    fn two_pin_net(a: (f64, f64, u16), b: (f64, f64, u16)) -> Vec<(NetId, Vec<RoutePin>)> {
+        vec![(
+            NetId(0),
+            vec![
+                (Point::from_um(a.0, a.1), a.2),
+                (Point::from_um(b.0, b.1), b.2),
+            ],
+        )]
+    }
+
+    #[test]
+    fn routes_simple_net() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let nets = two_pin_net((10.0, 10.0, 0), (150.0, 150.0, 0));
+        let r = route_design(die(), &stack, &[], &nets, 1, &RouteConfig::default());
+        let net = r.net(NetId(0)).expect("routed");
+        // manhattan distance is 280um; routed length must be at least
+        // that (minus one gcell of quantization) and not wildly more
+        assert!(net.wirelength_um() >= 260.0, "wl {}", net.wirelength_um());
+        assert!(net.wirelength_um() <= 400.0, "wl {}", net.wirelength_um());
+        assert!(!net.vias.is_empty(), "needs layer changes to go diagonal");
+        assert_eq!(net.f2f_crossings, 0);
+        assert_eq!(r.f2f_bumps, 0);
+    }
+
+    #[test]
+    fn f2f_crossings_counted_in_combined_stack() {
+        let combined = CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(4, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        );
+        // pin on logic M1 to pin on macro-die M4_MD (layer 9)
+        let nets = two_pin_net((10.0, 10.0, 0), (100.0, 100.0, 9));
+        let r = route_design(die(), combined.stack(), &[], &nets, 1, &RouteConfig::default());
+        let net = r.net(NetId(0)).expect("routed");
+        assert!(net.f2f_crossings >= 1, "must cross the F2F cut");
+        assert_eq!(r.f2f_bumps as u32, net.f2f_crossings);
+    }
+
+    #[test]
+    fn congestion_spreads_nets() {
+        let stack = n28_stack(2, DieRole::Logic);
+        // many parallel nets through a narrow channel
+        let mut nets = Vec::new();
+        for i in 0..40 {
+            nets.push((
+                NetId(i),
+                vec![
+                    (Point::from_um(5.0, 100.0), 0u16),
+                    (Point::from_um(195.0, 100.0), 0u16),
+                ],
+            ));
+        }
+        let mut cfg = RouteConfig::default();
+        cfg.utilization = 0.02; // tiny capacity: forces spreading
+        let r = route_design(die(), &stack, &[], &nets, 40, &cfg);
+        // all nets routed
+        assert!(r.nets.iter().filter(|n| n.is_some()).count() == 40);
+        assert!(r.total_wirelength_um >= 40.0 * 180.0);
+    }
+
+    #[test]
+    fn obstacle_forces_detour_or_layer_change() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let wall = Rect::from_um(90.0, 0.0, 110.0, 200.0);
+        // wall blocks M1..M4 fully
+        let obstacles: Vec<(usize, Rect)> = (0..4).map(|l| (l, wall)).collect();
+        let nets = two_pin_net((10.0, 100.0, 0), (190.0, 100.0, 0));
+        let r = route_design(die(), &stack, &obstacles, &nets, 1, &RouteConfig::default());
+        let net = r.net(NetId(0)).expect("routed");
+        // must hop to M5/M6 to cross the wall
+        let by_layer = net.wirelength_by_layer(6);
+        assert!(
+            by_layer[4] + by_layer[5] > 0.0,
+            "crossing uses upper metals: {by_layer:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_and_oversize_nets_skipped() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let nets = vec![
+            (NetId(0), vec![(Point::from_um(1.0, 1.0), 0u16)]), // single pin
+            (
+                NetId(1),
+                (0..600)
+                    .map(|i| (Point::from_um(i as f64 % 100.0, 1.0), 0u16))
+                    .collect(),
+            ), // oversized
+        ];
+        let r = route_design(die(), &stack, &[], &nets, 2, &RouteConfig::default());
+        assert!(r.net(NetId(0)).is_none());
+        assert!(r.net(NetId(1)).is_none());
+    }
+
+    #[test]
+    fn bump_density_check_counts_hotspots() {
+        let combined = CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(4, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        );
+        // many nets forced through the same area to the macro die
+        let mut nets = Vec::new();
+        for i in 0..300u32 {
+            nets.push((
+                NetId(i),
+                vec![
+                    (Point::from_um(100.0, 100.0), 0u16),
+                    (Point::from_um(105.0, 105.0), 9u16),
+                ],
+            ));
+        }
+        let mut cfg = RouteConfig::default();
+        // a coarse bond pitch makes per-gcell capacity tiny
+        cfg.f2f_pitch_um = Some(5.0);
+        let r = route_design(die(), combined.stack(), &[], &nets, 300, &cfg);
+        assert!(r.f2f_bumps >= 300);
+        assert!(r.f2f_overcrowded_gcells > 0, "300 bumps in one spot overflow a 4-bump gcell");
+        // with the real 1um pitch the same pattern fits
+        cfg.f2f_pitch_um = Some(1.0);
+        let r2 = route_design(die(), combined.stack(), &[], &nets, 300, &cfg);
+        assert!(r2.f2f_overcrowded_gcells <= r.f2f_overcrowded_gcells);
+    }
+
+    #[test]
+    fn multi_pin_net_connects_all_pins() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let pins: Vec<RoutePin> = [(10.0, 10.0), (190.0, 10.0), (10.0, 190.0), (100.0, 100.0)]
+            .iter()
+            .map(|&(x, y)| (Point::from_um(x, y), 0u16))
+            .collect();
+        let nets = vec![(NetId(0), pins)];
+        let r = route_design(die(), &stack, &[], &nets, 1, &RouteConfig::default());
+        let net = r.net(NetId(0)).expect("routed");
+        // spanning 3 edges worth of wire
+        assert!(net.wirelength_um() > 300.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Routing results.
+
+use macro3d_geom::Point;
+
+/// One routed wire segment on a single layer, between GCell centres.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteSeg {
+    /// Layer index within the routing stack.
+    pub layer: u16,
+    /// Segment start.
+    pub from: Point,
+    /// Segment end.
+    pub to: Point,
+}
+
+impl RouteSeg {
+    /// Manhattan length of the segment, µm.
+    pub fn length_um(&self) -> f64 {
+        self.from.manhattan(self.to).to_um()
+    }
+}
+
+/// A via between adjacent layers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Via {
+    /// Lower layer of the cut (`layer` → `layer + 1`).
+    pub layer: u16,
+    /// Location.
+    pub at: Point,
+}
+
+/// One routed net.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoutedNet {
+    /// Wire segments.
+    pub segments: Vec<RouteSeg>,
+    /// Vias (including F2F crossings).
+    pub vias: Vec<Via>,
+    /// Number of vias crossing the F2F cut (bumps used by this net).
+    pub f2f_crossings: u32,
+}
+
+impl RoutedNet {
+    /// Total wire length, µm.
+    pub fn wirelength_um(&self) -> f64 {
+        self.segments.iter().map(RouteSeg::length_um).sum()
+    }
+
+    /// Wire length per layer, µm (indexed by layer).
+    pub fn wirelength_by_layer(&self, layers: usize) -> Vec<f64> {
+        let mut out = vec![0.0; layers];
+        for s in &self.segments {
+            out[s.layer as usize] += s.length_um();
+        }
+        out
+    }
+}
+
+/// The routing result for a whole design.
+#[derive(Clone, Debug, Default)]
+pub struct RoutedDesign {
+    /// Per-net routes, indexed by `NetId` (None for skipped or
+    /// degenerate nets).
+    pub nets: Vec<Option<RoutedNet>>,
+    /// Total wire length, µm.
+    pub total_wirelength_um: f64,
+    /// Total F2F bumps used.
+    pub f2f_bumps: u64,
+    /// Residual overflow after the final iteration.
+    pub overflow: f64,
+    /// GCells whose F2F crossing count exceeds the bond-pitch bump
+    /// capacity (0 when no F2F layer or no pitch given).
+    pub f2f_overcrowded_gcells: usize,
+    /// Overflowed edge count after the final iteration.
+    pub overflowed_edges: usize,
+    /// Peak edge utilization.
+    pub max_utilization: f64,
+}
+
+impl RoutedDesign {
+    /// The route of a net, if any.
+    pub fn net(&self, id: macro3d_netlist::NetId) -> Option<&RoutedNet> {
+        self.nets.get(id.index()).and_then(|n| n.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wirelength_sums_segments() {
+        let net = RoutedNet {
+            segments: vec![
+                RouteSeg {
+                    layer: 0,
+                    from: Point::from_um(0.0, 0.0),
+                    to: Point::from_um(10.0, 0.0),
+                },
+                RouteSeg {
+                    layer: 1,
+                    from: Point::from_um(10.0, 0.0),
+                    to: Point::from_um(10.0, 5.0),
+                },
+            ],
+            vias: vec![Via {
+                layer: 0,
+                at: Point::from_um(10.0, 0.0),
+            }],
+            f2f_crossings: 0,
+        };
+        assert!((net.wirelength_um() - 15.0).abs() < 1e-9);
+        let by_layer = net.wirelength_by_layer(3);
+        assert_eq!(by_layer, vec![10.0, 5.0, 0.0]);
+    }
+}

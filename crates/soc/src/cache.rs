@@ -1,0 +1,409 @@
+//! Cache subsystem generation: controller logic + SRAM macro banks.
+
+use macro3d_netlist::rent::{generate_logic, LogicIo, LogicSpec};
+use macro3d_netlist::{Design, InstId, NetId, PinRef};
+use macro3d_sram::{MemoryCompiler, PinClass};
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// Maximum SRAM bank capacity in kB; larger caches are banked.
+pub const MAX_BANK_KB: u32 = 32;
+/// Cache line size in bytes.
+pub const LINE_BYTES: u32 = 64;
+/// Data bus width of one bank access, bits.
+pub const BANK_BITS: u32 = 128;
+/// Tag entry width, bits.
+pub const TAG_BITS: u32 = 28;
+/// Width of a bank's local read bus after the per-bank read mux.
+pub const BANK_OUT_BITS: u32 = 16;
+
+/// Deduplicating catalogue of SRAM macro masters.
+#[derive(Default)]
+pub struct MacroCatalog {
+    by_shape: HashMap<(u32, u32), macro3d_netlist::MacroMasterId>,
+    compiler: MemoryCompiler,
+}
+
+impl MacroCatalog {
+    /// Creates a catalogue using the N28 memory compiler.
+    pub fn new() -> Self {
+        MacroCatalog::with_compiler(MemoryCompiler::n28())
+    }
+
+    /// Creates a catalogue over an explicit compiler (e.g.
+    /// [`MemoryCompiler::n40`] for a heterogeneous-node memory die).
+    pub fn with_compiler(compiler: MemoryCompiler) -> Self {
+        MacroCatalog {
+            by_shape: HashMap::new(),
+            compiler,
+        }
+    }
+
+    /// Master for a `words × bits` SRAM, compiling it on first use.
+    pub fn master(
+        &mut self,
+        design: &mut Design,
+        words: u32,
+        bits: u32,
+    ) -> macro3d_netlist::MacroMasterId {
+        if let Some(&m) = self.by_shape.get(&(words, bits)) {
+            return m;
+        }
+        let def = self.compiler.sram(&format!("sram_{words}x{bits}"), words, bits);
+        let id = design.add_macro_master(def);
+        self.by_shape.insert((words, bits), id);
+        id
+    }
+}
+
+/// The instances and nets created for one cache level.
+#[derive(Clone, Debug)]
+pub struct CacheInsts {
+    /// Controller standard cells.
+    pub ctrl: Vec<InstId>,
+    /// Data-array macro instances.
+    pub data_macros: Vec<InstId>,
+    /// Tag-array macro instances.
+    pub tag_macros: Vec<InstId>,
+}
+
+/// Parameters for one cache level.
+pub struct CacheSpec<'a> {
+    /// Name prefix, e.g. `"l2"`.
+    pub name: &'a str,
+    /// Capacity in kB.
+    pub capacity_kb: u32,
+    /// Controller gate count (already scale-compressed).
+    pub ctrl_gates: usize,
+    /// Group tag for all created instances.
+    pub group: u32,
+    /// Nets the controller samples (client requests, lower-level
+    /// responses).
+    pub ext_in: &'a [NetId],
+    /// Nets the controller must drive (client responses, lower-level
+    /// requests).
+    pub drive: &'a [NetId],
+}
+
+/// Data bank shapes (words, bits, count) for a capacity.
+pub fn data_banks(capacity_kb: u32) -> (u32, u32, u32) {
+    let bank_kb = capacity_kb.min(MAX_BANK_KB);
+    let count = (capacity_kb / bank_kb).max(1);
+    let words = bank_kb * 1024 * 8 / BANK_BITS;
+    (words, BANK_BITS, count)
+}
+
+/// Tag array shapes (words, bits, count) for a capacity.
+pub fn tag_banks(capacity_kb: u32) -> (u32, u32, u32) {
+    let sets = (capacity_kb * 1024 / LINE_BYTES).max(64);
+    if sets > 8192 {
+        (sets / 2, TAG_BITS, 2)
+    } else {
+        (sets, TAG_BITS, 1)
+    }
+}
+
+/// Builds one cache level: banked data arrays, a tag array, and a
+/// controller module wired to every macro pin.
+///
+/// Macro input pins (address/data/control) are driven by controller
+/// boundary registers through shared buses (address and write data
+/// broadcast to all banks, per-bank chip enables); every macro data
+/// output drives a net sampled by the controller. Macro clock pins
+/// join the tile clock net, so CTS sees them as sinks.
+///
+/// # Panics
+///
+/// Panics if `capacity_kb` is zero.
+pub fn build_cache(
+    design: &mut Design,
+    rng: &mut SmallRng,
+    catalog: &mut MacroCatalog,
+    clock: NetId,
+    spec: &CacheSpec<'_>,
+) -> CacheInsts {
+    assert!(spec.capacity_kb > 0, "cache capacity must be positive");
+    let name = spec.name;
+
+    let (dw, db, dn) = data_banks(spec.capacity_kb);
+    let (tw, tb, tn) = tag_banks(spec.capacity_kb);
+    let data_master = catalog.master(design, dw, db);
+    let tag_master = catalog.master(design, tw, tb);
+
+    let mut data_macros = Vec::new();
+    for b in 0..dn {
+        data_macros.push(design.add_macro_in(format!("{name}_data{b}"), data_master, spec.group));
+    }
+    let mut tag_macros = Vec::new();
+    for b in 0..tn {
+        tag_macros.push(design.add_macro_in(format!("{name}_tag{b}"), tag_master, spec.group));
+    }
+
+    // Shared buses the controller drives.
+    let mut drive_nets: Vec<NetId> = spec.drive.to_vec();
+    let bus = |design: &mut Design, label: &str, n: u32| -> Vec<NetId> {
+        (0..n)
+            .map(|i| design.add_net(format!("{name}_{label}{i}")))
+            .collect()
+    };
+    let data_addr = bus(design, "daddr", addr_width(dw));
+    let data_din = bus(design, "ddin", db);
+    let data_ce = bus(design, "dce", dn);
+    let data_we = bus(design, "dwe", 1);
+    let tag_addr = bus(design, "taddr", addr_width(tw));
+    let tag_din = bus(design, "tdin", tb);
+    let tag_ce = bus(design, "tce", tn);
+    let tag_we = bus(design, "twe", 1);
+    for b in [
+        &data_addr, &data_din, &data_ce, &data_we, &tag_addr, &tag_din, &tag_ce, &tag_we,
+    ] {
+        drive_nets.extend_from_slice(b);
+    }
+
+    // Macro outputs. Multi-bank caches mux each bank's wide data
+    // output down to a narrow local bus next to the bank (as real
+    // banked arrays do) — min-cut placement pulls each mux to its
+    // bank, so only the narrow buses cross the die.
+    let mut ext_in: Vec<NetId> = spec.ext_in.to_vec();
+    let mut dout_nets = Vec::new();
+
+    // Wire the macros.
+    let wire_bank = |design: &mut Design,
+                         inst: InstId,
+                         master: macro3d_netlist::MacroMasterId,
+                         addr: &[NetId],
+                         din: &[NetId],
+                         ce: NetId,
+                         we: NetId,
+                         dout_nets: &mut Vec<NetId>| {
+        let def = design.macro_master(master).clone();
+        for (pin_ix, pin) in def.pins.iter().enumerate() {
+            let pr = PinRef::inst(inst, pin_ix as u16);
+            match pin.class {
+                PinClass::Clock => design.connect(clock, pr),
+                PinClass::Address => {
+                    let bit = bus_bit(&pin.name);
+                    design.connect(addr[bit.min(addr.len() - 1)], pr);
+                }
+                PinClass::DataIn => {
+                    let bit = bus_bit(&pin.name);
+                    design.connect(din[bit.min(din.len() - 1)], pr);
+                }
+                PinClass::Control => {
+                    if pin.name == "we" {
+                        design.connect(we, pr);
+                    } else {
+                        design.connect(ce, pr);
+                    }
+                }
+                PinClass::DataOut | PinClass::Sensor => {
+                    let n = design.add_net(format!("{}_q{}", design.inst(inst).name, pin_ix));
+                    design.connect(n, pr);
+                    dout_nets.push(n);
+                }
+            }
+        }
+    };
+
+    let mut ctrl_extra = Vec::new();
+    let use_bank_mux = data_macros.len() > 2;
+    for (b, &inst) in data_macros.iter().enumerate() {
+        let mut bank_douts = Vec::new();
+        wire_bank(
+            design,
+            inst,
+            data_master,
+            &data_addr,
+            &data_din,
+            data_ce[b],
+            data_we[0],
+            &mut bank_douts,
+        );
+        if use_bank_mux {
+            // per-bank read mux: samples the bank's wide output,
+            // drives a narrow local bus toward the controller
+            let bus: Vec<NetId> = (0..BANK_OUT_BITS)
+                .map(|i| design.add_net(format!("{name}_b{b}_rd{i}")))
+                .collect();
+            let mux_spec = LogicSpec::new(
+                format!("{name}_rdmux{b}"),
+                (bank_douts.len() / 2).max(32),
+                spec.group,
+            );
+            let m = generate_logic(
+                design,
+                rng,
+                &mux_spec,
+                clock,
+                LogicIo {
+                    ext_in: &bank_douts,
+                    drive: &bus,
+                },
+            );
+            ctrl_extra.extend(m.insts);
+            dout_nets.extend(bus);
+        } else {
+            dout_nets.extend(bank_douts);
+        }
+    }
+    for (b, &inst) in tag_macros.iter().enumerate() {
+        wire_bank(
+            design,
+            inst,
+            tag_master,
+            &tag_addr,
+            &tag_din,
+            tag_ce[b],
+            tag_we[0],
+            &mut dout_nets,
+        );
+    }
+    ext_in.extend_from_slice(&dout_nets);
+
+    // The controller.
+    let logic_spec = LogicSpec::new(format!("{name}_ctrl"), spec.ctrl_gates, spec.group);
+    let module = generate_logic(
+        design,
+        rng,
+        &logic_spec,
+        clock,
+        LogicIo {
+            ext_in: &ext_in,
+            drive: &drive_nets,
+        },
+    );
+
+    let mut ctrl = module.insts;
+    ctrl.extend(ctrl_extra);
+    CacheInsts {
+        ctrl,
+        data_macros,
+        tag_macros,
+    }
+}
+
+/// Address bus width for a word count.
+pub fn addr_width(words: u32) -> u32 {
+    (32 - (words - 1).leading_zeros()).max(1)
+}
+
+/// Extracts the bit index from a bus pin name like `din[17]`.
+fn bus_bit(name: &str) -> usize {
+    name.split('[')
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(']').parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::libgen::n28_library;
+    use macro3d_tech::PinDir;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn bank_shapes() {
+        // 256 kB -> 8 x 32 kB banks of 2048x128
+        assert_eq!(data_banks(256), (2048, 128, 8));
+        // 8 kB -> single 512x128 bank
+        assert_eq!(data_banks(8), (512, 128, 1));
+        // 1 MB tag: 16384 sets split into 2 arrays
+        assert_eq!(tag_banks(1024), (8192, TAG_BITS, 2));
+        assert_eq!(tag_banks(16), (256, TAG_BITS, 1));
+    }
+
+    #[test]
+    fn cache_wiring_validates() {
+        let lib = Arc::new(n28_library(8.0));
+        let mut d = Design::new("cache_test", lib);
+        let clk_p = d.add_port("clk", PinDir::Input, None);
+        let clk = d.add_net("clk");
+        d.connect(clk, PinRef::Port(clk_p));
+        // request nets driven by ports; response nets sink-free (legal)
+        let req: Vec<NetId> = (0..8)
+            .map(|i| {
+                let p = d.add_port(format!("req{i}"), PinDir::Input, None);
+                let n = d.add_net(format!("req{i}"));
+                d.connect(n, PinRef::Port(p));
+                n
+            })
+            .collect();
+        let resp: Vec<NetId> = (0..8).map(|i| d.add_net(format!("resp{i}"))).collect();
+
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut catalog = MacroCatalog::new();
+        let g = d.add_group("l2");
+        let insts = build_cache(
+            &mut d,
+            &mut rng,
+            &mut catalog,
+            clk,
+            &CacheSpec {
+                name: "l2",
+                capacity_kb: 64,
+                ctrl_gates: 2_000,
+                group: g,
+                ext_in: &req,
+                drive: &resp,
+            },
+        );
+        assert_eq!(insts.data_macros.len(), 2);
+        assert_eq!(insts.tag_macros.len(), 1);
+        assert!(insts.ctrl.len() >= 2_000);
+        assert_eq!(d.validate(), Ok(()));
+    }
+
+    #[test]
+    fn catalog_deduplicates_masters() {
+        let lib = Arc::new(n28_library(1.0));
+        let mut d = Design::new("t", lib);
+        let mut c = MacroCatalog::new();
+        let a = c.master(&mut d, 2048, 128);
+        let b = c.master(&mut d, 2048, 128);
+        let other = c.master(&mut d, 512, 128);
+        assert_eq!(a, b);
+        assert_ne!(a, other);
+        assert_eq!(d.macro_masters().len(), 2);
+    }
+
+    #[test]
+    fn macro_clock_pins_on_clock_net() {
+        let lib = Arc::new(n28_library(8.0));
+        let mut d = Design::new("t", lib);
+        let clk_p = d.add_port("clk", PinDir::Input, None);
+        let clk = d.add_net("clk");
+        d.connect(clk, PinRef::Port(clk_p));
+        let req: Vec<NetId> = (0..2)
+            .map(|i| {
+                let p = d.add_port(format!("r{i}"), PinDir::Input, None);
+                let n = d.add_net(format!("r{i}"));
+                d.connect(n, PinRef::Port(p));
+                n
+            })
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut cat = MacroCatalog::new();
+        let insts = build_cache(
+            &mut d,
+            &mut rng,
+            &mut cat,
+            clk,
+            &CacheSpec {
+                name: "l1",
+                capacity_kb: 8,
+                ctrl_gates: 600,
+                group: 0,
+                ext_in: &req,
+                drive: &[],
+            },
+        );
+        // clock net reaches the macro
+        let clock_sinks: Vec<_> = d
+            .sinks(clk)
+            .filter(|p| p.instance() == Some(insts.data_macros[0]))
+            .collect();
+        assert_eq!(clock_sinks.len(), 1);
+    }
+}

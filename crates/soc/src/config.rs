@@ -1,0 +1,197 @@
+//! Tile configurations (the paper's two cache setups).
+
+/// Configuration of one OpenPiton-like tile.
+///
+/// The two presets reproduce the paper's Sec. V setups:
+///
+/// * [`TileConfig::small_cache`] — 8 kB L1I, 16 kB L1D, 16 kB L2,
+///   256 kB L3 slice;
+/// * [`TileConfig::large_cache`] — 16 kB L1I/L1D, 128 kB L2, 1 MB L3
+///   slice.
+///
+/// Gate budgets are calibrated so the full-scale (`scale = 1`) logic
+/// areas land at the paper's 0.29 mm² (small) / 0.47 mm² (large); see
+/// `DESIGN.md` §5 for the `scale` knob.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileConfig {
+    /// Configuration name, used as the design name.
+    pub name: String,
+    /// L1 instruction cache capacity, kB.
+    pub l1i_kb: u32,
+    /// L1 data cache capacity, kB.
+    pub l1d_kb: u32,
+    /// Private L2 capacity, kB.
+    pub l2_kb: u32,
+    /// Shared L3 slice capacity, kB.
+    pub l3_kb: u32,
+    /// Instance-count compression factor (≥ 1): gate counts are
+    /// divided and cell sizes/drives multiplied by this, keeping total
+    /// area, pin capacitance and drive-vs-wire balance calibrated.
+    pub scale: f64,
+    /// Bits per direction per NoC (inter-tile links).
+    pub noc_width: u32,
+    /// Number of parallel NoCs (OpenPiton uses 3).
+    pub num_nocs: u32,
+    /// RNG seed for netlist generation.
+    pub seed: u64,
+    /// Compile the cache macros in the older N40 memory node instead
+    /// of N28 (heterogeneous integration, the paper's future work).
+    pub n40_memory_die: bool,
+    /// Core gate budget at scale 1, thousands of gates.
+    pub core_kgates: f64,
+    /// L1I controller budget, kgates.
+    pub l1i_ctrl_kgates: f64,
+    /// L1D controller budget, kgates.
+    pub l1d_ctrl_kgates: f64,
+    /// L2 controller budget, kgates.
+    pub l2_ctrl_kgates: f64,
+    /// L3 slice controller budget, kgates.
+    pub l3_ctrl_kgates: f64,
+    /// Per-router NoC budget, kgates.
+    pub noc_kgates: f64,
+}
+
+impl TileConfig {
+    /// The paper's small-cache tile.
+    pub fn small_cache() -> Self {
+        TileConfig {
+            name: "openpiton_tile_small".to_string(),
+            l1i_kb: 8,
+            l1d_kb: 16,
+            l2_kb: 16,
+            l3_kb: 256,
+            scale: 8.0,
+            noc_width: 16,
+            num_nocs: 3,
+            seed: 0x3d_1c5,
+            n40_memory_die: false,
+            core_kgates: 128.0,
+            l1i_ctrl_kgates: 10.0,
+            l1d_ctrl_kgates: 11.0,
+            l2_ctrl_kgates: 18.0,
+            l3_ctrl_kgates: 26.0,
+            noc_kgates: 7.0,
+        }
+    }
+
+    /// The paper's modern/large-cache tile.
+    pub fn large_cache() -> Self {
+        TileConfig {
+            name: "openpiton_tile_large".to_string(),
+            l1i_kb: 16,
+            l1d_kb: 16,
+            l2_kb: 128,
+            l3_kb: 1024,
+            scale: 8.0,
+            noc_width: 16,
+            num_nocs: 3,
+            seed: 0x3d_1c5,
+            n40_memory_die: false,
+            core_kgates: 150.0,
+            l1i_ctrl_kgates: 16.0,
+            l1d_ctrl_kgates: 17.0,
+            l2_ctrl_kgates: 43.0,
+            l3_ctrl_kgates: 75.0,
+            noc_kgates: 15.0,
+        }
+    }
+
+    /// Returns the configuration with a different compression scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale < 1.0`.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 1.0, "scale must be >= 1");
+        self.scale = scale;
+        self
+    }
+
+    /// Returns the configuration with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with the memory die retargeted to
+    /// the N40 node.
+    pub fn with_n40_memory(mut self) -> Self {
+        self.n40_memory_die = true;
+        self
+    }
+
+    /// Gate count for a budget of `kgates` thousand gates after scale
+    /// compression (at least 16 gates so tiny test scales stay
+    /// well-formed).
+    pub fn gates(&self, kgates: f64) -> usize {
+        ((kgates * 1_000.0 / self.scale) as usize).max(16)
+    }
+
+    /// Core submodule budgets as (name, kgates) — an Ariane-like
+    /// split.
+    pub fn core_submodules(&self) -> Vec<(&'static str, f64)> {
+        let c = self.core_kgates;
+        vec![
+            ("frontend", 0.18 * c),
+            ("decode", 0.08 * c),
+            ("issue", 0.15 * c),
+            ("exu", 0.16 * c),
+            ("lsu", 0.20 * c),
+            ("fpu", 0.23 * c),
+        ]
+    }
+
+    /// Total logic gate budget, kgates (core + cache controllers +
+    /// NoCs), before scaling.
+    pub fn total_kgates(&self) -> f64 {
+        self.core_kgates
+            + self.l1i_ctrl_kgates
+            + self.l1d_ctrl_kgates
+            + self.l2_ctrl_kgates
+            + self.l3_ctrl_kgates
+            + self.noc_kgates * self.num_nocs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_cache_sizes() {
+        let s = TileConfig::small_cache();
+        assert_eq!((s.l1i_kb, s.l1d_kb, s.l2_kb, s.l3_kb), (8, 16, 16, 256));
+        let l = TileConfig::large_cache();
+        assert_eq!((l.l1i_kb, l.l1d_kb, l.l2_kb, l.l3_kb), (16, 16, 128, 1024));
+    }
+
+    #[test]
+    fn gate_budgets_calibrated_to_paper_areas() {
+        // ~1.36 um^2 mean effective cell area (measured over the
+        // generated mix) => 0.29 mm^2 needs ~214 kgates, 0.47 ~346.
+        let s = TileConfig::small_cache();
+        assert!((200.0..230.0).contains(&s.total_kgates()), "{}", s.total_kgates());
+        let l = TileConfig::large_cache();
+        assert!((330.0..360.0).contains(&l.total_kgates()), "{}", l.total_kgates());
+    }
+
+    #[test]
+    fn scaling_divides_counts() {
+        let cfg = TileConfig::small_cache().with_scale(8.0);
+        assert_eq!(cfg.gates(80.0), 10_000);
+        assert_eq!(cfg.gates(0.001), 16); // floor
+    }
+
+    #[test]
+    fn core_split_sums_to_core() {
+        let cfg = TileConfig::small_cache();
+        let sum: f64 = cfg.core_submodules().iter().map(|(_, g)| g).sum();
+        assert!((sum - cfg.core_kgates).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be >= 1")]
+    fn sub_unit_scale_panics() {
+        let _ = TileConfig::small_cache().with_scale(0.5);
+    }
+}

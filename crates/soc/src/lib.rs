@@ -1,0 +1,34 @@
+//! OpenPiton-like tile netlist generator.
+//!
+//! The paper's benchmark is an OpenPiton tile: a 64-bit out-of-order
+//! RISC-V Ariane core, three cache levels (L1 split I/D, private L2,
+//! shared L3 slice) and three parallel NoC routers, with inter-tile
+//! paths cut at registered boundaries and constrained to half a clock
+//! cycle. OpenPiton's RTL plus a commercial synthesis flow are not
+//! available here, so this crate generates a *structural statistical
+//! equivalent*: per-module gate budgets calibrated to the paper's
+//! logic areas, Rent's-rule-like local connectivity inside modules
+//! ([`macro3d_netlist::rent`]), registered module boundaries,
+//! memory-compiler macros for every cache array, and NoC ports with
+//! the paper's edge-alignment and half-cycle constraints.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use macro3d_soc::{generate_tile, TileConfig};
+//!
+//! let cfg = TileConfig::small_cache().with_scale(32.0);
+//! let tile = generate_tile(&cfg);
+//! assert!(tile.design.validate().is_ok());
+//! assert!(!tile.constraints.half_cycle_ports.is_empty());
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod noc;
+pub mod sdc;
+pub mod tile;
+
+pub use config::TileConfig;
+pub use sdc::TimingConstraints;
+pub use tile::{generate_tile, TileNetlist};

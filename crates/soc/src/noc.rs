@@ -1,0 +1,205 @@
+//! NoC router generation with inter-tile port constraints.
+//!
+//! Each router owns four direction links. Outgoing bits are driven by
+//! the router's boundary registers and exported on edge-constrained
+//! output ports; incoming bits arrive on input ports on the opposite
+//! edge. An outgoing pin and the same-index incoming pin on the
+//! opposite edge are marked as an *aligned pair*: when tile instances
+//! abut, the neighbour's output lands exactly on this tile's input
+//! (the paper's Sec. V-1 pin-alignment constraint). Both carry the
+//! half-cycle timing budget.
+
+use macro3d_netlist::rent::{generate_logic, LogicIo, LogicSpec};
+use macro3d_netlist::{Design, InstId, NetId, PinRef, PortId, Side};
+use macro3d_tech::PinDir;
+use rand::rngs::SmallRng;
+
+/// Everything created for one router.
+#[derive(Clone, Debug)]
+pub struct RouterInsts {
+    /// Router standard cells.
+    pub insts: Vec<InstId>,
+    /// Inter-tile ports (both directions, all sides) — these carry
+    /// the half-cycle IO constraint.
+    pub inter_tile_ports: Vec<PortId>,
+}
+
+/// Parameters for one router.
+pub struct RouterSpec<'a> {
+    /// Name prefix, e.g. `"noc1"`.
+    pub name: &'a str,
+    /// Gate count (already scale-compressed).
+    pub gates: usize,
+    /// Link width per direction, bits.
+    pub width: u32,
+    /// Group tag.
+    pub group: u32,
+    /// Local input nets (e.g. from the L3 slice).
+    pub local_in: &'a [NetId],
+    /// Local output nets the router must drive (e.g. to the L3
+    /// slice).
+    pub local_out: &'a [NetId],
+}
+
+/// Builds one router: logic module + the four direction links.
+pub fn build_router(
+    design: &mut Design,
+    rng: &mut SmallRng,
+    clock: NetId,
+    spec: &RouterSpec<'_>,
+) -> RouterInsts {
+    let name = spec.name;
+    let sides = [Side::North, Side::South, Side::East, Side::West];
+
+    // Output nets (driven by router boundary registers) and their ports.
+    let mut drive: Vec<NetId> = spec.local_out.to_vec();
+    let mut ext_in: Vec<NetId> = spec.local_in.to_vec();
+    let mut inter_tile_ports = Vec::new();
+    let mut out_ports: Vec<Vec<PortId>> = Vec::new();
+    let mut in_ports: Vec<Vec<PortId>> = Vec::new();
+
+    for side in sides {
+        let mut outs = Vec::new();
+        let mut ins = Vec::new();
+        for b in 0..spec.width {
+            let side_tag = side_tag(side);
+            // outgoing bit: net driven by boundary register, exported
+            let out_net = design.add_net(format!("{name}_{side_tag}_o{b}"));
+            let out_port =
+                design.add_port(format!("{name}_{side_tag}_out[{b}]"), PinDir::Output, Some(side));
+            design.connect(out_net, PinRef::Port(out_port));
+            drive.push(out_net);
+            outs.push(out_port);
+            inter_tile_ports.push(out_port);
+
+            // incoming bit: port drives net, router samples
+            let in_net = design.add_net(format!("{name}_{side_tag}_i{b}"));
+            let in_port =
+                design.add_port(format!("{name}_{side_tag}_in[{b}]"), PinDir::Input, Some(side));
+            design.connect(in_net, PinRef::Port(in_port));
+            ext_in.push(in_net);
+            ins.push(in_port);
+            inter_tile_ports.push(in_port);
+        }
+        out_ports.push(outs);
+        in_ports.push(ins);
+    }
+
+    // Align out[N] with in[S], out[S] with in[N], out[E] with in[W],
+    // out[W] with in[E] — abutting tiles connect without routing.
+    for (a, b) in [(0usize, 1usize), (1, 0), (2, 3), (3, 2)] {
+        for bit in 0..spec.width as usize {
+            design.align_ports(out_ports[a][bit], in_ports[b][bit]);
+        }
+    }
+
+    let mut logic_spec = LogicSpec::new(format!("{name}_rtr"), spec.gates, spec.group);
+    // NoC routers are shallow 1–2-stage pipelines; their inter-tile
+    // paths must close in half a cycle (paper Sec. V-1)
+    logic_spec.max_depth = 7;
+    let module = generate_logic(
+        design,
+        rng,
+        &logic_spec,
+        clock,
+        LogicIo {
+            ext_in: &ext_in,
+            drive: &drive,
+        },
+    );
+
+    RouterInsts {
+        insts: module.insts,
+        inter_tile_ports,
+    }
+}
+
+fn side_tag(side: Side) -> &'static str {
+    match side {
+        Side::North => "n",
+        Side::South => "s",
+        Side::East => "e",
+        Side::West => "w",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::libgen::n28_library;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn build() -> (Design, RouterInsts) {
+        let lib = Arc::new(n28_library(8.0));
+        let mut d = Design::new("noc_test", lib);
+        let clk_p = d.add_port("clk", PinDir::Input, None);
+        let clk = d.add_net("clk");
+        d.connect(clk, PinRef::Port(clk_p));
+        let local_in: Vec<NetId> = (0..4)
+            .map(|i| {
+                let p = d.add_port(format!("li{i}"), PinDir::Input, None);
+                let n = d.add_net(format!("li{i}"));
+                d.connect(n, PinRef::Port(p));
+                n
+            })
+            .collect();
+        let local_out: Vec<NetId> = (0..4).map(|i| d.add_net(format!("lo{i}"))).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let r = build_router(
+            &mut d,
+            &mut rng,
+            clk,
+            &RouterSpec {
+                name: "noc0",
+                gates: 800,
+                width: 8,
+                group: 0,
+                local_in: &local_in,
+                local_out: &local_out,
+            },
+        );
+        (d, r)
+    }
+
+    #[test]
+    fn router_validates() {
+        let (d, r) = build();
+        assert_eq!(d.validate(), Ok(()));
+        // 4 sides x 8 bits x (in + out)
+        assert_eq!(r.inter_tile_ports.len(), 64);
+    }
+
+    #[test]
+    fn ports_are_edge_constrained_and_aligned() {
+        let (d, r) = build();
+        let mut aligned = 0;
+        for &p in &r.inter_tile_ports {
+            let port = d.port(p);
+            assert!(port.side.is_some(), "inter-tile port lacks side");
+            if port.align_key.is_some() {
+                aligned += 1;
+            }
+        }
+        assert_eq!(aligned, 64); // every inter-tile pin participates in a pair
+    }
+
+    #[test]
+    fn north_out_pairs_with_south_in() {
+        let (d, _) = build();
+        // find noc0_n_out[0] and noc0_s_in[0]; they must share a key
+        let mut north_key = None;
+        let mut south_key = None;
+        for pid in d.port_ids() {
+            let p = d.port(pid);
+            if p.name == "noc0_n_out[0]" {
+                north_key = p.align_key;
+            }
+            if p.name == "noc0_s_in[0]" {
+                south_key = p.align_key;
+            }
+        }
+        assert!(north_key.is_some());
+        assert_eq!(north_key, south_key);
+    }
+}

@@ -1,0 +1,64 @@
+//! Timing constraints (the SDC of the flow).
+
+use macro3d_netlist::{NetId, PortId};
+
+/// Timing constraints for a tile design, mirroring the paper's design
+/// setup (Sec. V-1/V-2):
+///
+/// * one clock;
+/// * inter-tile NoC input/output ports carry a *half-cycle* budget
+///   (the path continues in the abutting tile instance);
+/// * the register/input toggle ratio used for power is 0.2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingConstraints {
+    /// The clock distribution net.
+    pub clock_net: NetId,
+    /// The clock entry port.
+    pub clock_port: PortId,
+    /// Ports whose paths must close in half a clock period.
+    pub half_cycle_ports: Vec<PortId>,
+    /// Input slew assumed at input ports, ps.
+    pub input_slew_ps: f64,
+    /// Load assumed on output ports, fF.
+    pub port_load_ff: f64,
+    /// Toggle ratio per clock cycle for power analysis.
+    pub toggle_rate: f64,
+}
+
+impl TimingConstraints {
+    /// Constraints with the paper's defaults for the given clock.
+    pub fn new(clock_net: NetId, clock_port: PortId) -> Self {
+        TimingConstraints {
+            clock_net,
+            clock_port,
+            half_cycle_ports: Vec::new(),
+            input_slew_ps: 50.0,
+            port_load_ff: 5.0,
+            toggle_rate: 0.2,
+        }
+    }
+
+    /// Timing budget fraction for a port: 0.5 for half-cycle
+    /// (inter-tile) ports, 1.0 otherwise.
+    pub fn port_budget(&self, port: PortId) -> f64 {
+        if self.half_cycle_ports.contains(&port) {
+            0.5
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets() {
+        let mut c = TimingConstraints::new(NetId(0), PortId(0));
+        c.half_cycle_ports.push(PortId(3));
+        assert_eq!(c.port_budget(PortId(3)), 0.5);
+        assert_eq!(c.port_budget(PortId(4)), 1.0);
+        assert_eq!(c.toggle_rate, 0.2);
+    }
+}

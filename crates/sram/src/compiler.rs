@@ -1,0 +1,245 @@
+//! The macro compiler: turns analytic models into abstract macros.
+
+use crate::macrodef::{MacroDef, MacroPin, PinClass};
+use crate::model::SramModel;
+use macro3d_geom::{Dbu, Point, Rect, Size};
+use macro3d_tech::stack::LayerId;
+use macro3d_tech::PinDir;
+
+/// Number of internal metal layers an SRAM macro occupies (M1–M4, per
+/// the paper's Sec. V-A-1).
+pub const SRAM_INTERNAL_LAYERS: u32 = 4;
+
+/// Generates abstract macros for the synthetic N28 technology.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_sram::MemoryCompiler;
+///
+/// let c = MemoryCompiler::n28();
+/// let sram = c.sram("l1d_data", 512, 256);
+/// assert!(sram.validate().is_ok());
+/// let sensor = c.sensor_array("imager", 16);
+/// assert!(sensor.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryCompiler {
+    pin_pitch: Dbu,
+    pin_layer: LayerId,
+    node: crate::model::MemoryNode,
+}
+
+impl MemoryCompiler {
+    /// Compiler configured for the synthetic N28 technology: pins on
+    /// the macro's M4, 0.4 µm minimum pin pitch.
+    pub fn n28() -> Self {
+        MemoryCompiler {
+            pin_pitch: Dbu::from_um(0.4),
+            pin_layer: LayerId(SRAM_INTERNAL_LAYERS - 1),
+            node: crate::model::MemoryNode::N28,
+        }
+    }
+
+    /// Compiler targeting an older 40 nm-class memory node — the
+    /// heterogeneous-integration option the paper leaves as future
+    /// work (interfaces stay compatible; only macro geometry/timing/
+    /// energy change).
+    pub fn n40() -> Self {
+        MemoryCompiler {
+            pin_pitch: Dbu::from_um(0.4),
+            pin_layer: LayerId(SRAM_INTERNAL_LAYERS - 1),
+            node: crate::model::MemoryNode::N40,
+        }
+    }
+
+    /// Compiles a `words × bits` single-port synchronous SRAM.
+    ///
+    /// Pins are distributed along the bottom edge (clock, control,
+    /// address) and top edge (data in/out), mimicking compiler macros
+    /// whose IO ring sits on two edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `bits` is zero (see [`SramModel::new`]).
+    pub fn sram(&self, name: &str, words: u32, bits: u32) -> MacroDef {
+        let model = SramModel::with_node(words, bits, self.node);
+        let area = model.area_um2();
+        let aspect = model.aspect();
+        let w_um = (area * aspect).sqrt();
+        let h_um = area / w_um;
+        let size = Size::from_um(w_um, h_um);
+
+        let mut pins = Vec::new();
+        // Bottom edge: clk, ce, we, addr
+        let mut bottom: Vec<(String, PinClass)> = vec![
+            ("clk".to_string(), PinClass::Clock),
+            ("ce".to_string(), PinClass::Control),
+            ("we".to_string(), PinClass::Control),
+        ];
+        for a in 0..model.addr_bits() {
+            bottom.push((format!("addr[{a}]"), PinClass::Address));
+        }
+        // Top edge: din, dout interleaved
+        let mut top: Vec<(String, PinClass)> = Vec::new();
+        for b in 0..bits {
+            top.push((format!("din[{b}]"), PinClass::DataIn));
+            top.push((format!("dout[{b}]"), PinClass::DataOut));
+        }
+
+        self.place_edge_pins(&mut pins, &bottom, size, Dbu(0), &model);
+        self.place_edge_pins(&mut pins, &top, size, size.h, &model);
+
+        let footprint = Rect::from_origin_size(Point::ORIGIN, size);
+        let blockages = (0..SRAM_INTERNAL_LAYERS)
+            .map(|l| (LayerId(l), footprint))
+            .collect();
+
+        MacroDef {
+            name: name.to_string(),
+            size,
+            pins,
+            blockages,
+            access_ps: model.access_time_ps(),
+            setup_ps: model.setup_ps(),
+            access_energy_fj: 0.5 * (model.read_energy_fj() + model.write_energy_fj()),
+            leakage_nw: model.leakage_nw(),
+            capacity_bits: model.capacity_bits(),
+        }
+    }
+
+    fn place_edge_pins(
+        &self,
+        pins: &mut Vec<MacroPin>,
+        names: &[(String, PinClass)],
+        size: Size,
+        y: Dbu,
+        model: &SramModel,
+    ) {
+        let n = names.len() as i64;
+        if n == 0 {
+            return;
+        }
+        // Spread pins across the edge, but never tighter than pin_pitch.
+        let spread = (size.w.0 / (n + 1)).max(self.pin_pitch.0);
+        for (i, (name, class)) in names.iter().enumerate() {
+            let x = Dbu(((i as i64 + 1) * spread).min(size.w.0));
+            let (dir, cap) = match class {
+                PinClass::DataOut | PinClass::Sensor => (PinDir::Output, 0.0),
+                PinClass::Clock => (PinDir::Input, model.clock_cap_ff()),
+                _ => (PinDir::Input, model.input_cap_ff()),
+            };
+            pins.push(MacroPin {
+                name: name.clone(),
+                dir,
+                class: *class,
+                offset: Point::new(x, y),
+                layer: self.pin_layer,
+                cap_ff: cap,
+            });
+        }
+    }
+
+    /// Compiles a sensor-array macro (`channels` analog channels with
+    /// digital readout), for the sensor-on-logic design style.
+    ///
+    /// Sensor arrays are pad-limited, not bitcell-limited: area scales
+    /// with channel count at ~900 µm² per channel, internal routing
+    /// uses only M1–M2 (the paper's observation that full-custom
+    /// blocks need fewer metals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn sensor_array(&self, name: &str, channels: u32) -> MacroDef {
+        assert!(channels > 0, "sensor array needs at least one channel");
+        let area = 900.0 * channels as f64;
+        let w_um = (area * 1.6).sqrt();
+        let h_um = area / w_um;
+        let size = Size::from_um(w_um, h_um);
+        let model = SramModel::new(64.max(channels), 8);
+
+        let mut pins = Vec::new();
+        let mut names: Vec<(String, PinClass)> = vec![
+            ("clk".to_string(), PinClass::Clock),
+            ("en".to_string(), PinClass::Control),
+        ];
+        for c in 0..channels {
+            for b in 0..10 {
+                names.push((format!("ch{c}_d[{b}]"), PinClass::Sensor));
+            }
+        }
+        self.place_edge_pins(&mut pins, &names, size, Dbu(0), &model);
+
+        let footprint = Rect::from_origin_size(Point::ORIGIN, size);
+        MacroDef {
+            name: name.to_string(),
+            size,
+            pins,
+            blockages: (0..2).map(|l| (LayerId(l), footprint)).collect(),
+            access_ps: 800.0,
+            setup_ps: 50.0,
+            access_energy_fj: 1_500.0,
+            leakage_nw: 40.0 * channels as f64,
+            capacity_bits: 0,
+        }
+    }
+}
+
+impl Default for MemoryCompiler {
+    fn default() -> Self {
+        MemoryCompiler::n28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_pins_on_two_edges() {
+        let m = MemoryCompiler::n28().sram("t", 1024, 64);
+        let bottom = m.pins.iter().filter(|p| p.offset.y == Dbu(0)).count();
+        let top = m.pins.iter().filter(|p| p.offset.y == m.size.h).count();
+        assert_eq!(bottom + top, m.pins.len());
+        assert!(bottom >= 13); // clk + ce + we + 10 addr
+        assert_eq!(top, 128); // 64 din + 64 dout
+    }
+
+    #[test]
+    fn sram_blocks_m1_to_m4_fully() {
+        let m = MemoryCompiler::n28().sram("t", 1024, 64);
+        assert_eq!(m.blockages.len(), 4);
+        let footprint = Rect::from_origin_size(Point::ORIGIN, m.size);
+        for (l, r) in &m.blockages {
+            assert!(l.0 < 4);
+            assert_eq!(*r, footprint);
+        }
+    }
+
+    #[test]
+    fn area_matches_model() {
+        let m = MemoryCompiler::n28().sram("t", 2048, 128);
+        let model = SramModel::new(2048, 128);
+        let rel = (m.area_um2() - model.area_um2()).abs() / model.area_um2();
+        assert!(rel < 0.01, "compiled area deviates {rel}");
+    }
+
+    #[test]
+    fn sensor_array_uses_fewer_layers() {
+        let s = MemoryCompiler::n28().sensor_array("img", 8);
+        assert_eq!(s.blockages.len(), 2);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.pins_of(PinClass::Sensor).count(), 80);
+        assert_eq!(s.capacity_bits(), 0);
+    }
+
+    #[test]
+    fn all_compiled_macros_validate() {
+        let c = MemoryCompiler::n28();
+        for (w, b) in [(256u32, 32u32), (512, 64), (2048, 128), (8192, 64), (16384, 128)] {
+            let m = c.sram(&format!("s{w}x{b}"), w, b);
+            assert!(m.validate().is_ok(), "{w}x{b} fails validation");
+        }
+    }
+}

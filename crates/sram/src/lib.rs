@@ -1,0 +1,39 @@
+//! Analytic SRAM/sensor macro compiler for the Macro-3D reproduction.
+//!
+//! The original flow consumes memory-compiler macros (LEF abstract +
+//! Liberty timing). This crate replaces the proprietary compiler with
+//! an analytic, CACTI-style model: given a capacity and word width it
+//! produces a [`MacroDef`] with
+//!
+//! * footprint and aspect ratio (6T bitcell array + periphery
+//!   overhead),
+//! * a pin list (clock, address, data in/out, control) with positions
+//!   on the macro's top internal routing layer,
+//! * full-footprint routing blockages on the macro's internal metal
+//!   layers M1–M4 (the paper: "the internal routing of a memory block
+//!   fully occupies the first four layers"),
+//! * timing (clock-to-dout access time, input setup) and energy
+//!   (per-access read/write, leakage).
+//!
+//! A small sensor-array generator supports the sensor-on-logic example
+//! from the paper's abstract.
+//!
+//! # Examples
+//!
+//! ```
+//! use macro3d_sram::MemoryCompiler;
+//!
+//! let compiler = MemoryCompiler::n28();
+//! let m = compiler.sram("l2_data", 2048, 128); // 2048 x 128 = 32 KiB
+//! assert_eq!(m.capacity_bits(), 2048 * 128);
+//! assert!(m.size.area_um2() > 10_000.0);
+//! assert_eq!(m.blockages.len(), 4); // M1..M4 fully blocked
+//! ```
+
+pub mod compiler;
+pub mod macrodef;
+pub mod model;
+
+pub use compiler::MemoryCompiler;
+pub use macrodef::{MacroDef, MacroPin, PinClass};
+pub use model::{MemoryNode, SramModel};

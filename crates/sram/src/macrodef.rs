@@ -1,0 +1,198 @@
+//! Abstract (LEF-like) macro definitions.
+
+use macro3d_geom::{Dbu, Point, Rect, Size};
+use macro3d_tech::stack::LayerId;
+use macro3d_tech::PinDir;
+
+/// Functional class of a macro pin, used by the netlist generator to
+/// hook macros up and by timing analysis to pick constraint types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PinClass {
+    /// Clock input.
+    Clock,
+    /// Address input.
+    Address,
+    /// Data input.
+    DataIn,
+    /// Data output.
+    DataOut,
+    /// Control input (write/chip enable).
+    Control,
+    /// Analog/sensor channel output.
+    Sensor,
+}
+
+/// A pin of a macro, with geometry local to the macro's origin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MacroPin {
+    /// Pin name, e.g. `dout[17]`.
+    pub name: String,
+    /// Direction.
+    pub dir: PinDir,
+    /// Functional class.
+    pub class: PinClass,
+    /// Position relative to the macro's lower-left corner.
+    pub offset: Point,
+    /// Metal layer *local to the macro's die* — `LayerId(3)` means the
+    /// macro's own M4. The Macro-3D projection maps this to the
+    /// combined stack (`M4_MD`).
+    pub layer: LayerId,
+    /// Pin capacitance, fF (inputs) — zero for outputs.
+    pub cap_ff: f64,
+}
+
+/// An abstract macro: the black box the P&R flows see.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_sram::MemoryCompiler;
+///
+/// let m = MemoryCompiler::n28().sram("tag", 256, 32);
+/// assert!(m.pins.iter().any(|p| p.name == "clk"));
+/// // every pin is inside the footprint
+/// for p in &m.pins {
+///     assert!(p.offset.x <= m.size.w && p.offset.y <= m.size.h);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MacroDef {
+    /// Macro name, e.g. `sram_2048x128`.
+    pub name: String,
+    /// Footprint.
+    pub size: Size,
+    /// Pins, positioned locally.
+    pub pins: Vec<MacroPin>,
+    /// Internal routing blockages: (local layer, rect local to
+    /// origin). For SRAMs these cover the footprint on M1–M4.
+    pub blockages: Vec<(LayerId, Rect)>,
+    /// Clock-to-output access time, ps at TT (zero for combinational
+    /// macros).
+    pub access_ps: f64,
+    /// Input setup requirement, ps at TT.
+    pub setup_ps: f64,
+    /// Energy per access, fJ at TT (averaged read/write).
+    pub access_energy_fj: f64,
+    /// Leakage, nW at TT.
+    pub leakage_nw: f64,
+    /// Total capacity in bits (zero for non-memory macros).
+    pub capacity_bits: u64,
+}
+
+impl MacroDef {
+    /// Footprint area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.size.area_um2()
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Index of the clock pin, if any.
+    pub fn clock_pin(&self) -> Option<usize> {
+        self.pins.iter().position(|p| p.class == PinClass::Clock)
+    }
+
+    /// Pins of a given class.
+    pub fn pins_of(&self, class: PinClass) -> impl Iterator<Item = (usize, &MacroPin)> + '_ {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.class == class)
+    }
+
+    /// The highest internal metal layer used by pins or blockages
+    /// (local numbering).
+    pub fn top_layer(&self) -> LayerId {
+        let pin_top = self.pins.iter().map(|p| p.layer).max().unwrap_or(LayerId(0));
+        let blk_top = self
+            .blockages
+            .iter()
+            .map(|(l, _)| *l)
+            .max()
+            .unwrap_or(LayerId(0));
+        pin_top.max(blk_top)
+    }
+
+    /// Returns a copy whose footprint (and pin positions) are scaled
+    /// about the origin — used by the Shrunk-2D flow.
+    pub fn scaled(&self, factor: f64) -> MacroDef {
+        let mut m = self.clone();
+        m.size = m.size.scale(factor);
+        for p in &mut m.pins {
+            p.offset = p.offset.scale(factor);
+        }
+        for (_, r) in &mut m.blockages {
+            *r = r.scale(factor);
+        }
+        m
+    }
+
+    /// Validates internal consistency (pins and blockages inside the
+    /// footprint). Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size.is_degenerate() {
+            return Err(format!("macro {} has degenerate size", self.name));
+        }
+        let bounds = Rect::from_origin_size(Point::ORIGIN, self.size);
+        for p in &self.pins {
+            if p.offset.x < Dbu(0)
+                || p.offset.y < Dbu(0)
+                || p.offset.x > self.size.w
+                || p.offset.y > self.size.h
+            {
+                return Err(format!("pin {} of {} outside footprint", p.name, self.name));
+            }
+        }
+        for (l, r) in &self.blockages {
+            if !bounds.contains_rect(*r) {
+                return Err(format!(
+                    "blockage on layer {l} of {} outside footprint",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryCompiler;
+
+    #[test]
+    fn validate_catches_out_of_bounds_pin() {
+        let mut m = MemoryCompiler::n28().sram("t", 256, 32);
+        assert!(m.validate().is_ok());
+        m.pins[0].offset = Point::new(m.size.w + Dbu(1), Dbu(0));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_halves_geometry() {
+        let m = MemoryCompiler::n28().sram("t", 1024, 64);
+        let s = m.scaled(0.5);
+        assert_eq!(s.size, m.size.scale(0.5));
+        assert!(s.validate().is_ok());
+        assert_eq!(s.pins.len(), m.pins.len());
+    }
+
+    #[test]
+    fn top_layer_is_m4() {
+        let m = MemoryCompiler::n28().sram("t", 512, 64);
+        assert_eq!(m.top_layer(), LayerId(3));
+    }
+
+    #[test]
+    fn pin_classes_complete() {
+        let m = MemoryCompiler::n28().sram("t", 512, 64);
+        assert!(m.clock_pin().is_some());
+        assert!(m.pins_of(PinClass::Address).count() >= 9);
+        assert_eq!(m.pins_of(PinClass::DataIn).count(), 64);
+        assert_eq!(m.pins_of(PinClass::DataOut).count(), 64);
+        assert!(m.pins_of(PinClass::Control).count() >= 2);
+    }
+}

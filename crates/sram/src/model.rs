@@ -1,0 +1,252 @@
+//! CACTI-style analytic SRAM model.
+
+/// Analytic area/timing/energy model of a single-port synchronous
+/// SRAM macro in the synthetic N28 technology.
+///
+/// The constants are chosen to give 28 nm-class figures: ~0.127 µm²
+/// per 6T bitcell, ~55 % array efficiency, a 32 KiB macro of roughly
+/// 0.06 mm² with ~330 ps access time.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_sram::SramModel;
+///
+/// let m = SramModel::new(2048, 128); // 32 KiB
+/// assert!(m.area_um2() > 40_000.0 && m.area_um2() < 90_000.0);
+/// assert!(m.access_time_ps() > 200.0 && m.access_time_ps() < 500.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramModel {
+    words: u32,
+    bits: u32,
+    node: MemoryNode,
+}
+
+/// Process node the memory die is fabricated in. Heterogeneous
+/// integration (the paper's motivation, and its stated future work)
+/// lets the macro die use an older, cheaper node than the logic die —
+/// only the interface must stay compatible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryNode {
+    /// Node label.
+    pub name: &'static str,
+    /// 6T bitcell area, µm².
+    pub bitcell_area_um2: f64,
+    /// Fraction of macro area used by the bitcell array.
+    pub array_efficiency: f64,
+    /// Access-time multiplier relative to the N28 baseline.
+    pub access_scale: f64,
+    /// Per-access energy multiplier relative to the N28 baseline.
+    pub energy_scale: f64,
+    /// Leakage multiplier relative to the N28 baseline (older nodes
+    /// leak less).
+    pub leakage_scale: f64,
+    /// Relative wafer cost per mm² (1.0 = N28).
+    pub cost_scale: f64,
+}
+
+impl MemoryNode {
+    /// The logic-compatible 28 nm-class node (baseline).
+    pub const N28: MemoryNode = MemoryNode {
+        name: "N28",
+        bitcell_area_um2: 0.127,
+        array_efficiency: 0.55,
+        access_scale: 1.0,
+        energy_scale: 1.0,
+        leakage_scale: 1.0,
+        cost_scale: 1.0,
+    };
+
+    /// A 40 nm-class memory-optimised node: larger but cheaper and
+    /// lower-leakage — attractive for the macro die of an MoL stack.
+    pub const N40: MemoryNode = MemoryNode {
+        name: "N40",
+        bitcell_area_um2: 0.242,
+        array_efficiency: 0.62,
+        access_scale: 1.25,
+        energy_scale: 1.15,
+        leakage_scale: 0.4,
+        cost_scale: 0.55,
+    };
+}
+
+/// 6T bitcell area in the N28-class node, µm².
+pub const BITCELL_AREA_UM2: f64 = MemoryNode::N28.bitcell_area_um2;
+/// Fraction of the macro area occupied by the bitcell array (the rest
+/// is decoders, sense amps, IO).
+pub const ARRAY_EFFICIENCY: f64 = MemoryNode::N28.array_efficiency;
+
+impl SramModel {
+    /// Creates a model for a `words × bits` macro in the N28 node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(words: u32, bits: u32) -> Self {
+        SramModel::with_node(words, bits, MemoryNode::N28)
+    }
+
+    /// Creates a model in an explicit memory node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_node(words: u32, bits: u32, node: MemoryNode) -> Self {
+        assert!(words > 0 && bits > 0, "SRAM dimensions must be positive");
+        SramModel { words, bits, node }
+    }
+
+    /// The node this model is evaluated in.
+    pub fn node(&self) -> MemoryNode {
+        self.node
+    }
+
+    /// Number of words.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.words as u64 * self.bits as u64
+    }
+
+    /// Address bus width.
+    pub fn addr_bits(&self) -> u32 {
+        (32 - (self.words - 1).leading_zeros()).max(1)
+    }
+
+    /// Macro area, µm² (array + periphery).
+    pub fn area_um2(&self) -> f64 {
+        self.capacity_bits() as f64 * self.node.bitcell_area_um2 / self.node.array_efficiency
+    }
+
+    /// Aspect ratio (width / height) of the macro. Wide words give
+    /// wide macros; tall word counts are folded into banks to keep the
+    /// aspect ratio civilised.
+    pub fn aspect(&self) -> f64 {
+        let raw = (self.bits as f64 * 2.0) / (self.words as f64 * 0.5);
+        raw.clamp(0.5, 2.0)
+    }
+
+    /// Access time (clock edge to data-out valid), ps at TT.
+    ///
+    /// Grows logarithmically with depth (decoder) and with word line
+    /// length (word width).
+    pub fn access_time_ps(&self) -> f64 {
+        let depth_term = 32.0 * (self.words as f64).log2();
+        let width_term = 0.12 * self.bits as f64;
+        (120.0 + depth_term + width_term) * self.node.access_scale
+    }
+
+    /// Input setup requirement (address/data before clock), ps at TT.
+    pub fn setup_ps(&self) -> f64 {
+        60.0 + 6.0 * (self.words as f64).log2()
+    }
+
+    /// Energy of one read access, fJ at TT.
+    pub fn read_energy_fj(&self) -> f64 {
+        let bitline = 0.9 * self.bits as f64 * (self.words as f64).sqrt() * 0.12;
+        let decode = 14.0 * (self.words as f64).log2();
+        (200.0 + bitline + decode) * self.node.energy_scale
+    }
+
+    /// Energy of one write access, fJ at TT.
+    pub fn write_energy_fj(&self) -> f64 {
+        self.read_energy_fj() * 1.15
+    }
+
+    /// Leakage power, nW at TT.
+    pub fn leakage_nw(&self) -> f64 {
+        0.015 * self.capacity_bits() as f64 * self.node.leakage_scale
+    }
+
+    /// Input pin capacitance (address/data/control), fF.
+    pub fn input_cap_ff(&self) -> f64 {
+        2.5
+    }
+
+    /// Clock pin capacitance, fF (clock spine is heavier).
+    pub fn clock_cap_ff(&self) -> f64 {
+        8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_linearly_with_bits() {
+        let small = SramModel::new(1024, 64);
+        let large = SramModel::new(4096, 64);
+        let ratio = large.area_um2() / small.area_um2();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_time_grows_with_depth() {
+        let shallow = SramModel::new(512, 64);
+        let deep = SramModel::new(8192, 64);
+        assert!(deep.access_time_ps() > shallow.access_time_ps());
+        // sub-linear: 16x depth should cost much less than 16x time
+        assert!(deep.access_time_ps() < 2.0 * shallow.access_time_ps());
+    }
+
+    #[test]
+    fn addr_bits() {
+        assert_eq!(SramModel::new(1024, 8).addr_bits(), 10);
+        assert_eq!(SramModel::new(1025, 8).addr_bits(), 11);
+        assert_eq!(SramModel::new(2, 8).addr_bits(), 1);
+        assert_eq!(SramModel::new(1, 8).addr_bits(), 1);
+    }
+
+    #[test]
+    fn energy_ordering() {
+        let m = SramModel::new(2048, 128);
+        assert!(m.write_energy_fj() > m.read_energy_fj());
+        assert!(m.read_energy_fj() > 0.0);
+        assert!(m.leakage_nw() > 0.0);
+    }
+
+    #[test]
+    fn aspect_is_bounded() {
+        for (w, b) in [(64u32, 256u32), (65536, 8), (2048, 128)] {
+            let a = SramModel::new(w, b).aspect();
+            assert!((0.5..=2.0).contains(&a), "aspect {a} for {w}x{b}");
+        }
+    }
+
+    #[test]
+    fn kib_32_macro_is_28nm_class() {
+        let m = SramModel::new(2048, 128);
+        // ~0.06 mm^2 and ~450ps in a 28nm-class node
+        assert!(m.area_um2() > 40_000.0 && m.area_um2() < 90_000.0);
+        assert!(m.access_time_ps() > 250.0 && m.access_time_ps() < 600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_panic() {
+        let _ = SramModel::new(0, 8);
+    }
+
+    #[test]
+    fn n40_node_trades_area_for_cost_and_leakage() {
+        let n28 = SramModel::new(2048, 128);
+        let n40 = SramModel::with_node(2048, 128, MemoryNode::N40);
+        assert!(n40.area_um2() > 1.5 * n28.area_um2(), "older node is bigger");
+        assert!(n40.access_time_ps() > n28.access_time_ps());
+        assert!(n40.leakage_nw() < n28.leakage_nw(), "older node leaks less");
+        let cost28 = n28.area_um2() * n28.node().cost_scale;
+        let cost40 = n40.area_um2() * n40.node().cost_scale;
+        // bigger but cheaper silicon: costs end up comparable (within ~20%)
+        assert!((cost40 / cost28) < 1.25, "cost ratio {}", cost40 / cost28);
+    }
+}

@@ -1,0 +1,67 @@
+//! Timing constraints as seen by the analyzer.
+
+use macro3d_netlist::{NetId, PortId};
+use std::collections::HashSet;
+
+/// Constraints for one analysis run (the paper's design setup:
+/// single clock, half-cycle budgets on inter-tile ports, fixed input
+/// slew and output load).
+#[derive(Clone, Debug)]
+pub struct StaConstraints {
+    /// The clock net (at the clock port; CTS subnets hang below it).
+    pub clock_net: NetId,
+    /// Ports with a half-cycle timing budget.
+    pub half_cycle_ports: HashSet<PortId>,
+    /// Slew assumed at input ports, ps.
+    pub input_slew_ps: f64,
+    /// Load assumed at output ports, fF.
+    pub port_load_ff: f64,
+    /// Toggle ratio per cycle (power).
+    pub toggle_rate: f64,
+}
+
+impl StaConstraints {
+    /// Constraints with the paper's defaults.
+    pub fn new(clock_net: NetId) -> Self {
+        StaConstraints {
+            clock_net,
+            half_cycle_ports: HashSet::new(),
+            input_slew_ps: 50.0,
+            port_load_ff: 5.0,
+            toggle_rate: 0.2,
+        }
+    }
+
+    /// Launch offset of an input port as a fraction of the period.
+    pub fn launch_frac(&self, port: PortId) -> f64 {
+        if self.half_cycle_ports.contains(&port) {
+            0.5
+        } else {
+            0.0
+        }
+    }
+
+    /// Required-time fraction of the period for an output port.
+    pub fn required_frac(&self, port: PortId) -> f64 {
+        if self.half_cycle_ports.contains(&port) {
+            0.5
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_fractions() {
+        let mut c = StaConstraints::new(NetId(0));
+        c.half_cycle_ports.insert(PortId(2));
+        assert_eq!(c.launch_frac(PortId(2)), 0.5);
+        assert_eq!(c.launch_frac(PortId(3)), 0.0);
+        assert_eq!(c.required_frac(PortId(2)), 0.5);
+        assert_eq!(c.required_frac(PortId(3)), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Stage delay calculation: NLDM cell delays + Elmore wire delays.
+
+use macro3d_tech::{Corner, LibCell};
+
+/// Cell arc delay and output slew at a corner, ps.
+///
+/// # Panics
+///
+/// Panics if `arc_ix` is out of range.
+pub fn cell_arc_delay(
+    cell: &LibCell,
+    arc_ix: usize,
+    in_slew_ps: f64,
+    load_ff: f64,
+    corner: Corner,
+) -> (f64, f64) {
+    let arc = &cell.arcs[arc_ix];
+    let d = arc.delay.eval(in_slew_ps, load_ff) * corner.delay_derate();
+    let s = arc.out_slew.eval(in_slew_ps, load_ff) * corner.delay_derate();
+    (d.max(0.0), s.max(1.0))
+}
+
+/// Slew at a wire's far end given the driver output slew and the
+/// Elmore delay to that sink (PERI-style degradation:
+/// `s_out² = s_in² + (ln 9 · elmore)²`).
+pub fn wire_slew(drv_slew_ps: f64, elmore_ps: f64) -> f64 {
+    let k = 2.2 * elmore_ps;
+    (drv_slew_ps * drv_slew_ps + k * k).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macro3d_tech::{libgen::n28_library, CellClass};
+
+    #[test]
+    fn delay_grows_with_load_and_corner() {
+        let lib = n28_library(1.0);
+        let inv = lib.cell(lib.smallest(CellClass::Inv).expect("inv"));
+        let (d1, s1) = cell_arc_delay(inv, 0, 30.0, 2.0, Corner::Tt);
+        let (d2, _) = cell_arc_delay(inv, 0, 30.0, 50.0, Corner::Tt);
+        let (d3, _) = cell_arc_delay(inv, 0, 30.0, 2.0, Corner::Ss);
+        assert!(d2 > d1);
+        assert!(d3 > d1);
+        assert!(s1 >= 1.0);
+    }
+
+    #[test]
+    fn wire_slew_degrades_quadratically() {
+        assert!((wire_slew(30.0, 0.0) - 30.0).abs() < 1e-9);
+        let s = wire_slew(30.0, 100.0);
+        assert!(s > 220.0 && s < 223.0, "slew {s}");
+    }
+}

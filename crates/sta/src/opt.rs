@@ -1,0 +1,284 @@
+//! Timing optimization: repeater insertion and gate sizing.
+
+use crate::analysis::TimingReport;
+use macro3d_geom::Point;
+use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
+
+use macro3d_place::{pin_position, Placement, PortPlan};
+use macro3d_tech::CellClass;
+use std::collections::HashSet;
+
+/// Inserts a repeater (strongest `BUF`) on every net whose HPWL
+/// exceeds `max_len_um`, splitting driver from sinks at the bounding-
+/// box centre. Returns the inserted buffers. Call before
+/// legalization; repeat to split very long nets further.
+///
+/// Nets in `skip` (e.g. the clock, which CTS owns) and high-fanout
+/// nets are left alone.
+pub fn insert_repeaters(
+    design: &mut Design,
+    placement: &mut Placement,
+    ports: &PortPlan,
+    max_len_um: f64,
+    skip: &HashSet<NetId>,
+) -> Vec<InstId> {
+    let lib = design.library().clone();
+    let buffers = lib.buffers();
+    let buf_cell = buffers[1.min(buffers.len() - 1)]; // X2: repeater strength without the area blow-up
+    let buf = lib.cell(buf_cell);
+    let buf_in = buf.data_input_pins().next().expect("buffer input") as u16;
+    let buf_out = buf.output_pin() as u16;
+
+    let mut inserted = Vec::new();
+    let original_nets: Vec<NetId> = design.net_ids().collect();
+    for net in original_nets {
+        if skip.contains(&net) {
+            continue;
+        }
+        let pins = design.net(net).pins.clone();
+        if pins.len() < 2 || pins.len() > 64 {
+            continue;
+        }
+        // Multi-sink nets driven by a repeater are not split again:
+        // the buffer already sits at the sink centroid, and another
+        // level cannot shrink the sink spread. Two-pin segments keep
+        // splitting until they fit the threshold.
+        if pins.len() > 2 {
+            if let Some(PinRef::Inst { inst, .. }) = design.driver(net) {
+                if design.inst(inst).name.starts_with("rep_") {
+                    continue;
+                }
+            }
+        }
+        // bounding box over the pins
+        let mut lo = pin_position(design, placement, ports, pins[0]);
+        let mut hi = lo;
+        for &p in &pins[1..] {
+            let pt = pin_position(design, placement, ports, p);
+            lo = lo.min(pt);
+            hi = hi.max(pt);
+        }
+        if lo.manhattan(hi).to_um() <= max_len_um {
+            continue;
+        }
+        let sinks: Vec<PinRef> = design.sinks(net).collect();
+        if sinks.is_empty() {
+            continue;
+        }
+        // the buffer sits at the sink centroid (for a 2-pin net that
+        // is the midpoint side of the sink), so each split makes
+        // real progress
+        let mut sx = 0i64;
+        let mut sy = 0i64;
+        for &p in &sinks {
+            let pt = pin_position(design, placement, ports, p);
+            sx += pt.x.0;
+            sy += pt.y.0;
+        }
+        let n_sinks = sinks.len() as i64;
+        let drv_pos = design
+            .driver(net)
+            .map(|d| pin_position(design, placement, ports, d))
+            .unwrap_or(lo);
+        let sink_c = Point::new(
+            macro3d_geom::Dbu(sx / n_sinks),
+            macro3d_geom::Dbu(sy / n_sinks),
+        );
+        let center = Point::new(
+            macro3d_geom::Dbu((drv_pos.x.0 + sink_c.x.0) / 2),
+            macro3d_geom::Dbu((drv_pos.y.0 + sink_c.y.0) / 2),
+        );
+        let inst = design.add_cell(format!("rep_{}", design.num_insts()), buf_cell);
+        placement.pos.push(center);
+        placement.orient.push(macro3d_geom::Orientation::N);
+        placement.die_of.push(macro3d_tech::stack::DieRole::Logic);
+        let new_net = design.add_net(format!("rep_n{}", design.num_nets()));
+        for &s in &sinks {
+            design.disconnect(net, s);
+            design.connect(new_net, s);
+        }
+        design.connect(net, PinRef::inst(inst, buf_in));
+        design.connect(new_net, PinRef::inst(inst, buf_out));
+        inserted.push(inst);
+    }
+    inserted
+}
+
+/// Upsizes the cells driving the critical path's nets by one drive
+/// step. Returns `(inst, input-cap delta in fF per input pin)` for the
+/// caller to fold into its parasitics (`driver_load_ff` of fanin
+/// nets). No geometric update is performed (in-place sizing).
+pub fn upsize_critical_path(design: &mut Design, report: &TimingReport) -> Vec<(InstId, f64)> {
+    let lib = design.library().clone();
+    let mut changed = Vec::new();
+    for &net in &report.crit_path_nets {
+        let Some(PinRef::Inst { inst, .. }) = design.driver(net) else {
+            continue;
+        };
+        let Master::Cell(c) = design.inst(inst).master else {
+            continue;
+        };
+        // never resize CTS clock buffers
+        if lib.cell(c).class == CellClass::ClkBuf {
+            continue;
+        }
+        let Some(up) = lib.resize(c, 1) else { continue };
+        let delta = lib.cell(up).pins[0].cap_ff - lib.cell(c).pins[0].cap_ff;
+        design.inst_mut(inst).master = Master::Cell(up);
+        changed.push((inst, delta));
+    }
+    changed
+}
+
+/// Fixes hold violations by splicing delay-buffer chains in front of
+/// the violating register data pins (the standard post-CTS hold-fix
+/// step). Returns the inserted buffers; the caller re-extracts or
+/// accepts the (conservative) zero-parasitic model for the new nets.
+///
+/// Each weakest-drive buffer contributes its FF-corner intrinsic
+/// delay; the chain length covers the shortfall with one buffer of
+/// margin.
+pub fn fix_hold(
+    design: &mut Design,
+    placement: &mut Placement,
+    report: &crate::analysis::HoldReport,
+    max_endpoints: usize,
+) -> Vec<InstId> {
+    let lib = design.library().clone();
+    let buf_cell = lib.buffers()[0]; // weakest buffer = most delay per area
+    let buf = lib.cell(buf_cell);
+    let buf_in = buf.data_input_pins().next().expect("buffer input") as u16;
+    let buf_out = buf.output_pin() as u16;
+    let (d_min, _) = crate::dcalc::cell_arc_delay(buf, 0, 30.0, 2.0, macro3d_tech::Corner::Ff);
+
+    let mut inserted = Vec::new();
+    for &(inst, pin, shortfall) in report.endpoints.iter().take(max_endpoints) {
+        let Some(net) = design.inst(inst).conns[pin as usize] else {
+            continue;
+        };
+        let chain = (shortfall / d_min).ceil() as usize + 1;
+        let at = placement.pos[inst.index()];
+        design.disconnect(net, PinRef::inst(inst, pin));
+        let mut prev = net;
+        for k in 0..chain {
+            let b = design.add_cell(format!("hold_{}_{k}", inst.index()), buf_cell);
+            placement.pos.push(at);
+            placement.orient.push(macro3d_geom::Orientation::N);
+            placement.die_of.push(placement.die_of[inst.index()]);
+            design.connect(prev, PinRef::inst(b, buf_in));
+            let out = design.add_net(format!("hold_n{}", design.num_nets()));
+            design.connect(out, PinRef::inst(b, buf_out));
+            prev = out;
+            inserted.push(b);
+        }
+        design.connect(prev, PinRef::inst(inst, pin));
+    }
+    inserted
+}
+
+/// Applies pin-capacitance deltas from sizing to the parasitics
+/// table: every net driving a resized instance's input sees its
+/// driver load grow.
+pub fn apply_sizing_to_parasitics(
+    design: &Design,
+    changes: &[(InstId, f64)],
+    parasitics: &mut [macro3d_extract::NetParasitics],
+) {
+    for &(inst, delta) in changes {
+        let Master::Cell(c) = design.inst(inst).master else {
+            continue;
+        };
+        let cell = design.library().cell(c);
+        for p in cell.data_input_pins().collect::<Vec<_>>() {
+            if let Some(net) = design.inst(inst).conns[p] {
+                if let Some(par) = parasitics.get_mut(net.index()) {
+                    par.driver_load_ff += delta;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TimingReport;
+    use macro3d_tech::{libgen::n28_library, PinDir};
+    use std::sync::Arc;
+
+    fn long_net_design() -> (Design, Placement, PortPlan, NetId) {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::inst(a, 1));
+        d.connect(n, PinRef::inst(b, 0));
+        // feed a's input from a port so the design stays valid
+        let p = d.add_port("in", PinDir::Input, None);
+        let pn = d.add_net("pn");
+        d.connect(pn, PinRef::Port(p));
+        d.connect(pn, PinRef::inst(a, 0));
+        let mut pl = Placement::new(&d);
+        pl.pos[b.index()] = Point::from_um(500.0, 0.0);
+        (d, pl, PortPlan { pos: vec![Point::ORIGIN] }, n)
+    }
+
+    #[test]
+    fn repeater_splits_long_net() {
+        let (mut d, mut pl, ports, n) = long_net_design();
+        let before_nets = d.num_nets();
+        let ins = insert_repeaters(&mut d, &mut pl, &ports, 200.0, &HashSet::new());
+        assert_eq!(ins.len(), 1, "only the 500um net splits: {ins:?}");
+        assert!(d.num_nets() > before_nets);
+        assert!(d.validate().is_ok());
+        // original net now has exactly one sink: the repeater input
+        assert_eq!(d.sinks(n).count(), 1);
+        // repeater sits mid-span
+        let x = pl.pos[ins[0].index()].x.to_um();
+        assert!(x > 100.0 && x < 400.0);
+    }
+
+    #[test]
+    fn short_nets_untouched() {
+        let (mut d, mut pl, ports, _) = long_net_design();
+        pl.pos = vec![Point::ORIGIN; pl.pos.len()];
+        let ins = insert_repeaters(&mut d, &mut pl, &ports, 200.0, &HashSet::new());
+        assert!(ins.is_empty());
+    }
+
+    #[test]
+    fn skip_list_respected() {
+        let (mut d, mut pl, ports, n) = long_net_design();
+        let skip: HashSet<NetId> = [n].into_iter().collect();
+        let ins = insert_repeaters(&mut d, &mut pl, &ports, 200.0, &skip);
+        assert!(ins.len() <= 1); // only the port net may split
+        assert!(d.sinks(n).count() == 1);
+    }
+
+    #[test]
+    fn upsize_walks_crit_path() {
+        let (mut d, _, _, n) = long_net_design();
+        let report = TimingReport {
+            min_period_ps: 1000.0,
+            fclk_mhz: 1000.0,
+            crit_path_nets: vec![n],
+            crit_path_wirelength_mm: 0.5,
+            crit_path_stages: 1,
+            clock_tree_depth: 0,
+            clock_skew_ps: 0.0,
+        };
+        let changes = upsize_critical_path(&mut d, &report);
+        assert_eq!(changes.len(), 1);
+        let (inst, delta) = changes[0];
+        assert_eq!(d.inst(inst).name, "a");
+        assert!(delta > 0.0);
+        // applying to parasitics bumps the fanin net's load
+        let mut parasitics = vec![macro3d_extract::NetParasitics::default(); d.num_nets()];
+        apply_sizing_to_parasitics(&d, &changes, &mut parasitics);
+        // net "pn" (a's input) grew
+        let pn = d.net_ids().find(|&x| d.net(x).name == "pn").expect("pn");
+        assert!(parasitics[pn.index()].driver_load_ff > 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-readable timing reports (`report_timing`-style).
+
+use crate::analysis::TimingReport;
+use macro3d_extract::NetParasitics;
+use macro3d_netlist::{Design, Master, PinRef};
+use macro3d_route::RoutedDesign;
+use std::fmt::Write as _;
+
+/// Formats the critical path of a timing report as a stage-by-stage
+/// table: driver cell, net, routed length, worst Elmore, load.
+///
+/// The path is printed launch-to-capture (the report stores it
+/// endpoint-first).
+///
+/// Typical use: after `analyze`, print
+/// `format_critical_path(&design, &parasitics, Some(&routed), &timing)`.
+pub fn format_critical_path(
+    design: &Design,
+    parasitics: &[NetParasitics],
+    routed: Option<&RoutedDesign>,
+    report: &TimingReport,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "critical path: min period {:.0} ps (fclk {:.1} MHz), {} stages, {:.3} mm routed",
+        report.min_period_ps,
+        report.fclk_mhz,
+        report.crit_path_stages,
+        report.crit_path_wirelength_mm
+    );
+    let _ = writeln!(
+        s,
+        "{:<4} {:<28} {:<14} {:>9} {:>10} {:>9}",
+        "#", "net", "driver", "wl[um]", "elmore[ps]", "load[fF]"
+    );
+    for (k, &net) in report.crit_path_nets.iter().rev().enumerate() {
+        let n = design.net(net);
+        let par = parasitics.get(net.index());
+        let wl = routed
+            .and_then(|r| r.net(net))
+            .map(|r| r.wirelength_um())
+            .unwrap_or(0.0);
+        let elmore = par
+            .map(|p| p.elmore_ps.iter().cloned().fold(0.0, f64::max))
+            .unwrap_or(0.0);
+        let load = par.map(|p| p.driver_load_ff).unwrap_or(0.0);
+        let driver = match design.driver(net) {
+            Some(PinRef::Inst { inst, .. }) => {
+                let i = design.inst(inst);
+                match i.master {
+                    Master::Cell(c) => design.library().cell(c).name.clone(),
+                    Master::Macro(m) => design.macro_master(m).name.clone(),
+                }
+            }
+            Some(PinRef::Port(p)) => format!("port {}", design.port(p).name),
+            None => "?".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "{:<4} {:<28} {:<14} {:>9.1} {:>10.1} {:>9.1}",
+            k,
+            truncate(&n.name, 28),
+            truncate(&driver, 14),
+            wl,
+            elmore,
+            load
+        );
+    }
+    let _ = writeln!(
+        s,
+        "clock: tree depth {}, skew {:.0} ps",
+        report.clock_tree_depth, report.clock_skew_ps
+    );
+    s
+}
+
+fn truncate(raw: &str, n: usize) -> String {
+    if raw.len() <= n {
+        raw.to_string()
+    } else {
+        format!("{}…", &raw[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, StaInput};
+    use crate::constraints::StaConstraints;
+    use crate::cts::ClockArrivals;
+    use macro3d_netlist::{Design, PinRef};
+    use macro3d_tech::{libgen::n28_library, CellClass, Corner, PinDir};
+    use std::sync::Arc;
+
+    #[test]
+    fn formats_a_real_path() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let dff = lib.smallest(CellClass::Dff).expect("dff");
+        let mut d = Design::new("t", lib);
+        let clk_p = d.add_port("clk", PinDir::Input, None);
+        let clk = d.add_net("clk");
+        d.connect(clk, PinRef::Port(clk_p));
+        let f0 = d.add_cell("f0", dff);
+        let f1 = d.add_cell("f1", dff);
+        d.connect(clk, PinRef::inst(f0, 1));
+        d.connect(clk, PinRef::inst(f1, 1));
+        let dp = d.add_port("d", PinDir::Input, None);
+        let dn = d.add_net("dn");
+        d.connect(dn, PinRef::Port(dp));
+        d.connect(dn, PinRef::inst(f0, 0));
+        let q = d.add_net("q0");
+        d.connect(q, PinRef::inst(f0, 2));
+        let g = d.add_cell("g", inv);
+        d.connect(q, PinRef::inst(g, 0));
+        let w = d.add_net("w0");
+        d.connect(w, PinRef::inst(g, 1));
+        d.connect(w, PinRef::inst(f1, 0));
+
+        let parasitics = vec![NetParasitics::default(); d.num_nets()];
+        let clock = ClockArrivals::ideal(&d);
+        let constraints = StaConstraints::new(clk);
+        let timing = analyze(&StaInput {
+            design: &d,
+            parasitics: &parasitics,
+            routed: None,
+            constraints: &constraints,
+            clock: &clock,
+            corner: Corner::Tt,
+        });
+        let text = format_critical_path(&d, &parasitics, None, &timing);
+        assert!(text.contains("critical path: min period"));
+        assert!(text.contains("DFF_X1"), "launch register shown");
+        assert!(text.contains("w0"), "path net shown");
+        assert!(text.contains("clock: tree depth"));
+    }
+
+    #[test]
+    fn truncation_is_safe() {
+        assert_eq!(truncate("short", 10), "short");
+        let t = truncate("a_very_long_net_name_indeed", 10);
+        assert!(t.chars().count() <= 10);
+    }
+}

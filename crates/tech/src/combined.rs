@@ -1,0 +1,250 @@
+//! The combined two-die BEOL — the core mechanism of Macro-3D.
+//!
+//! Section IV of the paper: to let an unmodified 2D P&R engine produce
+//! a placement and routing that is *directly valid* for the F2F stack,
+//! the two dies' BEOLs are merged into one metal stack. If the logic
+//! die has M1–M6 and the macro die M1–M4, the combined layer order is
+//!
+//! `M1 → VIA12 → … → M6 → F2F_VIA → M1_MD → VIA12_MD → … → M4_MD`
+//!
+//! with macro-die layer names suffixed `_MD` so all names stay unique.
+//! Any route crossing the `F2F_VIA` cut becomes an F2F bump. After
+//! P&R, die separation maps every layer back to its die of origin.
+
+use crate::f2f::F2fSpec;
+use crate::stack::{DieRole, LayerId, MetalStack, ViaDef};
+
+/// Where a combined-stack layer came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LayerOrigin {
+    /// Die of origin.
+    pub die: DieRole,
+    /// Index of the layer within its original single-die stack.
+    pub original: LayerId,
+}
+
+/// A combined BEOL plus the bookkeeping needed for die separation.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::{stack, CombinedBeol, F2fSpec};
+/// use macro3d_tech::stack::{DieRole, LayerId};
+///
+/// let logic = stack::n28_stack(6, DieRole::Logic);
+/// let md = stack::n28_stack(4, DieRole::Macro);
+/// let combined = CombinedBeol::build(&logic, &md, &F2fSpec::hybrid_bond_n28());
+///
+/// // M1_MD sits right above the F2F via, as in the paper.
+/// assert_eq!(combined.stack().f2f_cut(), Some(5));
+/// let origin = combined.origin(LayerId(6));
+/// assert_eq!(origin.die, DieRole::Macro);
+/// assert_eq!(origin.original, LayerId(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CombinedBeol {
+    stack: MetalStack,
+    origins: Vec<LayerOrigin>,
+    logic_layers: usize,
+}
+
+impl CombinedBeol {
+    /// Merges a logic-die and a macro-die stack across an F2F bond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logic` layers are not [`DieRole::Logic`] or `macro_die`
+    /// layers are not [`DieRole::Macro`] (names must already carry the
+    /// `_MD` suffix, i.e. come from
+    /// [`n28_stack`](crate::stack::n28_stack) with the right role).
+    pub fn build(logic: &MetalStack, macro_die: &MetalStack, f2f: &F2fSpec) -> Self {
+        assert!(
+            logic.layers().iter().all(|l| l.die == DieRole::Logic),
+            "logic stack must contain only logic-die layers"
+        );
+        assert!(
+            macro_die.layers().iter().all(|l| l.die == DieRole::Macro),
+            "macro stack must contain only macro-die layers"
+        );
+        let mut layers = logic.layers().to_vec();
+        layers.extend_from_slice(macro_die.layers());
+
+        let mut vias = logic.vias().to_vec();
+        vias.push(ViaDef {
+            name: "F2F_VIA".to_string(),
+            resistance: f2f.resistance,
+            capacitance: f2f.capacitance,
+            is_f2f: true,
+        });
+        vias.extend_from_slice(macro_die.vias());
+
+        let mut origins: Vec<LayerOrigin> = (0..logic.num_layers())
+            .map(|i| LayerOrigin {
+                die: DieRole::Logic,
+                original: LayerId(i as u32),
+            })
+            .collect();
+        origins.extend((0..macro_die.num_layers()).map(|i| LayerOrigin {
+            die: DieRole::Macro,
+            original: LayerId(i as u32),
+        }));
+
+        CombinedBeol {
+            stack: MetalStack::new(layers, vias),
+            origins,
+            logic_layers: logic.num_layers(),
+        }
+    }
+
+    /// The merged stack handed to the 2D router.
+    #[inline]
+    pub fn stack(&self) -> &MetalStack {
+        &self.stack
+    }
+
+    /// Number of logic-die layers (layers `0..logic_layers` belong to
+    /// the logic die).
+    #[inline]
+    pub fn logic_layers(&self) -> usize {
+        self.logic_layers
+    }
+
+    /// Number of macro-die layers.
+    #[inline]
+    pub fn macro_layers(&self) -> usize {
+        self.stack.num_layers() - self.logic_layers
+    }
+
+    /// Maps a combined-stack layer back to its die of origin (die
+    /// separation, flow step 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn origin(&self, id: LayerId) -> LayerOrigin {
+        self.origins[id.index()]
+    }
+
+    /// Maps a macro-die-local layer id to its combined-stack id.
+    ///
+    /// Used when importing macro pin geometry: a pin on the macro
+    /// die's `M3_MD` must land on combined layer `logic_layers + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` exceeds the macro die's layer count.
+    #[inline]
+    pub fn macro_layer(&self, local: LayerId) -> LayerId {
+        assert!(
+            (local.index()) < self.macro_layers(),
+            "macro-die layer out of range"
+        );
+        LayerId((self.logic_layers + local.index()) as u32)
+    }
+
+    /// Maps a logic-die-local layer id to its combined-stack id
+    /// (identity, provided for symmetry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` exceeds the logic die's layer count.
+    #[inline]
+    pub fn logic_layer(&self, local: LayerId) -> LayerId {
+        assert!(local.index() < self.logic_layers, "logic-die layer out of range");
+        local
+    }
+
+    /// True if a vertical transition from `from` to `from + 1` crosses
+    /// the F2F bond (i.e. instantiates a bump).
+    #[inline]
+    pub fn crossing_is_f2f(&self, from: LayerId) -> bool {
+        self.stack.f2f_cut() == Some(from.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::n28_stack;
+
+    fn combined() -> CombinedBeol {
+        CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(4, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        )
+    }
+
+    #[test]
+    fn paper_layer_order() {
+        let c = combined();
+        let names: Vec<&str> = c.stack().layers().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["M1", "M2", "M3", "M4", "M5", "M6", "M1_MD", "M2_MD", "M3_MD", "M4_MD"]
+        );
+        let via_names: Vec<&str> = c.stack().vias().iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            via_names,
+            vec![
+                "VIA12", "VIA23", "VIA34", "VIA45", "VIA56", "F2F_VIA", "VIA12_MD", "VIA23_MD",
+                "VIA34_MD"
+            ]
+        );
+    }
+
+    #[test]
+    fn f2f_cut_position_and_parasitics() {
+        let c = combined();
+        let cut = c.stack().f2f_cut().expect("combined stack has F2F via");
+        assert_eq!(cut, 5);
+        let via = c.stack().via(cut);
+        assert!(via.is_f2f);
+        assert!((via.resistance - 0.044).abs() < 1e-12);
+        assert!((via.capacitance - 1.0).abs() < 1e-12);
+        assert!(c.crossing_is_f2f(LayerId(5)));
+        assert!(!c.crossing_is_f2f(LayerId(4)));
+    }
+
+    #[test]
+    fn origins_round_trip() {
+        let c = combined();
+        for i in 0..6u32 {
+            let o = c.origin(LayerId(i));
+            assert_eq!(o.die, DieRole::Logic);
+            assert_eq!(o.original, LayerId(i));
+            assert_eq!(c.logic_layer(LayerId(i)), LayerId(i));
+        }
+        for i in 0..4u32 {
+            let o = c.origin(LayerId(6 + i));
+            assert_eq!(o.die, DieRole::Macro);
+            assert_eq!(o.original, LayerId(i));
+            assert_eq!(c.macro_layer(LayerId(i)), LayerId(6 + i));
+        }
+        assert_eq!(c.logic_layers(), 6);
+        assert_eq!(c.macro_layers(), 4);
+    }
+
+    #[test]
+    fn asymmetric_m6_m4_stack() {
+        // The Table III heterogeneous-BEOL experiment: trimming the
+        // macro die from 6 to 4 metals.
+        let c66 = CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(6, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        );
+        let c64 = combined();
+        assert_eq!(c66.stack().num_layers(), 12);
+        assert_eq!(c64.stack().num_layers(), 10);
+        assert_eq!(c66.stack().f2f_cut(), c64.stack().f2f_cut());
+    }
+
+    #[test]
+    #[should_panic(expected = "macro stack must contain only macro-die layers")]
+    fn wrong_role_panics() {
+        let logic = n28_stack(6, DieRole::Logic);
+        let _ = CombinedBeol::build(&logic, &logic, &F2fSpec::hybrid_bond_n28());
+    }
+}

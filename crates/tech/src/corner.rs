@@ -1,0 +1,93 @@
+//! Process corners.
+//!
+//! As in the paper's setup (Sec. V-2): timing closure is performed at
+//! the slowest corner, power is reported at the typical corner.
+
+use std::fmt;
+
+/// A process/voltage/temperature corner with derating factors applied
+/// on top of the typical-corner characterisation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Slow-slow: sign-off timing corner.
+    Ss,
+    /// Typical-typical: power-report corner.
+    #[default]
+    Tt,
+    /// Fast-fast: hold-check corner.
+    Ff,
+}
+
+impl Corner {
+    /// Multiplier applied to all cell delays and slews.
+    pub fn delay_derate(self) -> f64 {
+        match self {
+            Corner::Ss => 1.25,
+            Corner::Tt => 1.0,
+            Corner::Ff => 0.85,
+        }
+    }
+
+    /// Multiplier applied to wire resistance (metal is slower when
+    /// hot/thin).
+    pub fn wire_r_derate(self) -> f64 {
+        match self {
+            Corner::Ss => 1.10,
+            Corner::Tt => 1.0,
+            Corner::Ff => 0.95,
+        }
+    }
+
+    /// Multiplier applied to leakage power.
+    pub fn leakage_derate(self) -> f64 {
+        match self {
+            Corner::Ss => 0.6,
+            Corner::Tt => 1.0,
+            Corner::Ff => 2.5,
+        }
+    }
+
+    /// The corner used for max-frequency sign-off.
+    pub fn signoff() -> Corner {
+        Corner::Ss
+    }
+
+    /// The corner used for power reporting.
+    pub fn power_report() -> Corner {
+        Corner::Tt
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corner::Ss => f.write_str("SS"),
+            Corner::Tt => f.write_str("TT"),
+            Corner::Ff => f.write_str("FF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_ordering() {
+        assert!(Corner::Ss.delay_derate() > Corner::Tt.delay_derate());
+        assert!(Corner::Tt.delay_derate() > Corner::Ff.delay_derate());
+        assert_eq!(Corner::Tt.delay_derate(), 1.0);
+        assert_eq!(Corner::Tt.wire_r_derate(), 1.0);
+    }
+
+    #[test]
+    fn paper_corner_usage() {
+        assert_eq!(Corner::signoff(), Corner::Ss);
+        assert_eq!(Corner::power_report(), Corner::Tt);
+    }
+
+    #[test]
+    fn leakage_rises_at_ff() {
+        assert!(Corner::Ff.leakage_derate() > Corner::Tt.leakage_derate());
+    }
+}

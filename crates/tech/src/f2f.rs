@@ -1,0 +1,95 @@
+//! Face-to-face bond (hybrid wafer-to-wafer bonding) specification.
+
+use macro3d_geom::{Dbu, Size};
+
+/// Geometry and parasitics of one F2F bump / hybrid-bond via.
+///
+/// Defaults follow the paper's Sec. V-2 setup: minimum pitch 1 µm,
+/// bump size 0.5 × 0.5 µm, height 0.17 µm; extraction at the typical
+/// corner gives a mean resistance of 44 mΩ and capacitance of 1.0 fF
+/// per via.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::F2fSpec;
+///
+/// let f2f = F2fSpec::hybrid_bond_n28();
+/// assert_eq!(f2f.pitch.to_um(), 1.0);
+/// assert!((f2f.resistance - 0.044).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct F2fSpec {
+    /// Minimum bump pitch.
+    pub pitch: Dbu,
+    /// Bump extent.
+    pub size: Size,
+    /// Bond height (distance between the two topmost metals).
+    pub height: Dbu,
+    /// Resistance per bump, Ω.
+    pub resistance: f64,
+    /// Capacitance per bump, fF.
+    pub capacitance: f64,
+}
+
+impl F2fSpec {
+    /// The paper's hybrid wafer-to-wafer bond in the 28 nm flow.
+    pub fn hybrid_bond_n28() -> Self {
+        F2fSpec {
+            pitch: Dbu::from_um(1.0),
+            size: Size::from_um(0.5, 0.5),
+            height: Dbu::from_um(0.17),
+            resistance: 0.044,
+            capacitance: 1.0,
+        }
+    }
+
+    /// A custom-pitch variant of the hybrid bond (used by the F2F
+    /// pitch-sweep ablation). Parasitics are held at the measured
+    /// per-bump values; pitch only constrains bump density.
+    pub fn with_pitch(mut self, pitch: Dbu) -> Self {
+        self.pitch = pitch;
+        self
+    }
+
+    /// Maximum number of bumps available on a die of the given
+    /// footprint (one bump per pitch × pitch site).
+    pub fn max_bumps(&self, footprint: Size) -> u64 {
+        let per_row = (footprint.w.0 / self.pitch.0).max(0) as u64;
+        let rows = (footprint.h.0 / self.pitch.0).max(0) as u64;
+        per_row * rows
+    }
+}
+
+impl Default for F2fSpec {
+    fn default() -> Self {
+        F2fSpec::hybrid_bond_n28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let f = F2fSpec::hybrid_bond_n28();
+        assert_eq!(f.size, Size::from_um(0.5, 0.5));
+        assert_eq!(f.height, Dbu::from_um(0.17));
+        assert!((f.capacitance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bump_budget() {
+        let f = F2fSpec::hybrid_bond_n28();
+        // 0.6 mm² die at 1 um pitch: ~600k sites (1000 x 600 um)
+        assert_eq!(f.max_bumps(Size::from_um(1_000.0, 600.0)), 600_000);
+        let coarse = f.clone().with_pitch(Dbu::from_um(10.0));
+        assert_eq!(coarse.max_bumps(Size::from_um(1_000.0, 600.0)), 6_000);
+    }
+
+    #[test]
+    fn default_is_hybrid_bond() {
+        assert_eq!(F2fSpec::default(), F2fSpec::hybrid_bond_n28());
+    }
+}

@@ -1,0 +1,146 @@
+//! Technology-file writers: techlef (abstract layer view) and tch
+//! (parasitic extraction rules).
+//!
+//! The Macro-3D flow's second step generates exactly these two files
+//! for the combined two-die BEOL — "tch files for parasitic
+//! extraction (one for each corner) and a techlef file for the
+//! abstract view of the layers" (paper Sec. IV). The writers here
+//! emit the same information in the same spirit: layer order,
+//! directions, pitches, and per-unit-length RC for each corner.
+
+use crate::corner::Corner;
+use crate::stack::{Direction, MetalStack};
+use std::fmt::Write as _;
+
+/// Renders a techlef-style abstract view of a stack (layers bottom-up
+/// with direction/pitch/width, cut layers between them).
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::{lef, stack};
+///
+/// let s = stack::n28_stack(6, stack::DieRole::Logic);
+/// let lef = lef::write_techlef(&s);
+/// assert!(lef.contains("LAYER M1"));
+/// assert!(lef.contains("DIRECTION HORIZONTAL"));
+/// ```
+pub fn write_techlef(stack: &MetalStack) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "VERSION 5.8 ;");
+    let _ = writeln!(s, "BUSBITCHARS \"[]\" ;");
+    let _ = writeln!(s, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n");
+    for (i, layer) in stack.layers().iter().enumerate() {
+        let dir = match layer.direction {
+            Direction::Horizontal => "HORIZONTAL",
+            Direction::Vertical => "VERTICAL",
+        };
+        let _ = writeln!(s, "LAYER {}", layer.name);
+        let _ = writeln!(s, "  TYPE ROUTING ;");
+        let _ = writeln!(s, "  DIRECTION {dir} ;");
+        let _ = writeln!(s, "  PITCH {:.3} ;", layer.pitch.to_um());
+        let _ = writeln!(s, "  WIDTH {:.3} ;", layer.width.to_um());
+        let _ = writeln!(s, "END {}\n", layer.name);
+        if i < stack.vias().len() {
+            let via = stack.via(i);
+            let _ = writeln!(s, "LAYER {}", via.name);
+            let _ = writeln!(s, "  TYPE CUT ;");
+            if via.is_f2f {
+                let _ = writeln!(s, "  PROPERTY F2F_BOND TRUE ;");
+            }
+            let _ = writeln!(s, "END {}\n", via.name);
+        }
+    }
+    let _ = writeln!(s, "END LIBRARY");
+    s
+}
+
+/// Renders a tch-style extraction rule file for one corner:
+/// per-unit-length resistance/capacitance per layer and per-cut via
+/// parasitics, with the corner's derating applied.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::{lef, stack, Corner};
+///
+/// let s = stack::n28_stack(4, stack::DieRole::Macro);
+/// let tch = lef::write_tch(&s, Corner::Ss);
+/// assert!(tch.contains("CORNER SS"));
+/// assert!(tch.contains("M1_MD"));
+/// ```
+pub fn write_tch(stack: &MetalStack, corner: Corner) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# extraction rules (tch), generated");
+    let _ = writeln!(s, "CORNER {corner}");
+    let _ = writeln!(s, "# layer  R[ohm/um]  C[fF/um]");
+    for layer in stack.layers() {
+        let _ = writeln!(
+            s,
+            "WIRE {:<8} {:>8.4} {:>8.4}",
+            layer.name,
+            layer.r_per_um * corner.wire_r_derate(),
+            layer.c_per_um
+        );
+    }
+    let _ = writeln!(s, "# via    R[ohm]  C[fF]");
+    for via in stack.vias() {
+        let _ = writeln!(
+            s,
+            "VIA  {:<8} {:>8.4} {:>8.4}{}",
+            via.name,
+            via.resistance * corner.wire_r_derate(),
+            via.capacitance,
+            if via.is_f2f { "  # F2F bond" } else { "" }
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::CombinedBeol;
+    use crate::f2f::F2fSpec;
+    use crate::stack::{n28_stack, DieRole};
+
+    #[test]
+    fn techlef_lists_all_layers_in_order() {
+        let c = CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(4, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        );
+        let lef = write_techlef(c.stack());
+        // paper's layer order: ... M6 -> F2F_VIA -> M1_MD ...
+        let m6 = lef.find("LAYER M6\n").expect("M6 present");
+        let f2f = lef.find("LAYER F2F_VIA").expect("F2F_VIA present");
+        let m1md = lef.find("LAYER M1_MD").expect("M1_MD present");
+        assert!(m6 < f2f && f2f < m1md, "combined order preserved");
+        assert!(lef.contains("PROPERTY F2F_BOND TRUE"));
+    }
+
+    #[test]
+    fn tch_per_corner_derates() {
+        let s = n28_stack(6, DieRole::Logic);
+        let tt = write_tch(&s, Corner::Tt);
+        let ss = write_tch(&s, Corner::Ss);
+        assert!(tt.contains("CORNER TT"));
+        assert!(ss.contains("CORNER SS"));
+        // SS resistance strictly larger than TT for M1 (4.0 vs 4.4)
+        assert!(tt.contains("4.0000"));
+        assert!(ss.contains("4.4000"));
+    }
+
+    #[test]
+    fn tch_marks_f2f_via() {
+        let c = CombinedBeol::build(
+            &n28_stack(6, DieRole::Logic),
+            &n28_stack(6, DieRole::Macro),
+            &F2fSpec::hybrid_bond_n28(),
+        );
+        let tch = write_tch(c.stack(), Corner::Tt);
+        assert!(tch.contains("F2F bond"));
+        assert!(tch.contains("0.0440"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Synthetic 28 nm-class technology substrate for the Macro-3D
+//! reproduction.
+//!
+//! The original paper uses a commercial 28 nm high-κ metal-gate planar
+//! technology with Cadence tools. That PDK is proprietary, so this
+//! crate re-creates the pieces the physical-design flows actually
+//! consume:
+//!
+//! * [`stack`] — back-end-of-line (BEOL) metal stacks: per-layer
+//!   preferred direction, track pitch and RC, plus inter-layer vias.
+//! * [`f2f`] — the face-to-face bond spec (1 µm minimum pitch,
+//!   0.5 × 0.5 µm bump, 0.17 µm height, 44 mΩ / 1.0 fF per bump —
+//!   the paper's Sec. V-2 numbers).
+//! * [`combined`] — the paper's core trick: a *combined* BEOL that
+//!   presents both dies' metal stacks (macro-die layers suffixed
+//!   `_MD`) plus the F2F via layer to an unmodified 2D router, and the
+//!   inverse mapping used for die separation.
+//! * [`nldm`] — non-linear delay model lookup tables (input slew ×
+//!   output load), the format commercial libraries use.
+//! * [`cell`] / [`libgen`] — a synthetic standard-cell library with
+//!   NLDM arcs, pin capacitances, leakage and internal energy,
+//!   generated from analytic 28 nm-class scaling rules.
+//! * [`corner`] — process corners (timing signed off at SS, power
+//!   reported at TT, as in the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use macro3d_tech::{libgen, stack, CombinedBeol, F2fSpec};
+//!
+//! let logic = stack::n28_stack(6, stack::DieRole::Logic);
+//! let macro_die = stack::n28_stack(4, stack::DieRole::Macro);
+//! let combined = CombinedBeol::build(&logic, &macro_die, &F2fSpec::hybrid_bond_n28());
+//! assert_eq!(combined.stack().num_layers(), 10);
+//! assert_eq!(combined.stack().layer(6).name, "M1_MD");
+//!
+//! let lib = libgen::n28_library(1.0);
+//! assert!(lib.cell_by_name("INV_X1").is_some());
+//! ```
+
+pub mod cell;
+pub mod combined;
+pub mod corner;
+pub mod f2f;
+pub mod lef;
+pub mod libgen;
+pub mod liberty;
+pub mod nldm;
+pub mod stack;
+
+pub use cell::{CellClass, CellLibrary, CellPin, LibCell, LibCellId, PinDir, TimingArc};
+pub use combined::{CombinedBeol, LayerOrigin};
+pub use corner::Corner;
+pub use f2f::F2fSpec;
+pub use nldm::Lut2;
+pub use stack::{Direction, DieRole, LayerId, MetalStack, RoutingLayer, ViaDef};

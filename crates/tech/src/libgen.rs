@@ -1,0 +1,274 @@
+//! Synthetic N28 standard-cell library generator.
+//!
+//! The delay/slew tables are characterised from an analytic switch
+//! model: `delay = intrinsic + k_slew·slew + (Rd/drive)·load`, with
+//! per-class intrinsic delays, drive resistances and input
+//! capacitances chosen to give 28 nm-class figures (FO4 ≈ 25 ps,
+//! X1 inverter input cap ≈ 0.9 fF, row height 1.2 µm).
+//!
+//! ## Area scaling
+//!
+//! `n28_library(area_scale)` inflates every cell's *width*, input
+//! capacitance and drive strength (lower Rd) by `area_scale`, and its
+//! leakage/internal energy likewise. Generating a netlist with
+//! `1/area_scale` as many instances then reproduces the paper's total
+//! cell area, total pin capacitance and drive-vs-wire balance at a
+//! fraction of the instance count — the knob the evaluation uses to
+//! keep full-flow runs fast (see `DESIGN.md` §5).
+
+use crate::cell::{CellClass, CellLibrary, CellPin, LibCell, PinDir, TimingArc};
+use crate::nldm::Lut2;
+use macro3d_geom::{Dbu, Size};
+
+/// Row height of the synthetic N28 library.
+pub const ROW_HEIGHT_UM: f64 = 1.2;
+/// Placement site width of the synthetic N28 library.
+pub const SITE_WIDTH_UM: f64 = 0.2;
+/// Nominal supply voltage.
+pub const VDD: f64 = 1.0;
+
+/// NLDM characterisation axes used for every generated cell.
+const SLEW_AXIS: [f64; 5] = [10.0, 30.0, 80.0, 200.0, 500.0];
+const LOAD_AXIS: [f64; 6] = [0.5, 2.0, 8.0, 32.0, 128.0, 512.0];
+
+/// Slew-dependence coefficient of cell delay (ps of delay per ps of
+/// input slew).
+const K_SLEW: f64 = 0.12;
+/// Output slew model: `out_slew = 1.2·intrinsic + K_SLEW_OUT·(Rd/n)·load`.
+const K_SLEW_OUT: f64 = 1.8;
+
+struct ClassSpec {
+    class: CellClass,
+    /// X1 intrinsic delay, ps.
+    intrinsic_ps: f64,
+    /// X1 drive resistance, kΩ (delay contribution: kΩ × fF = ps).
+    rd_kohm: f64,
+    /// X1 input capacitance per data pin, fF.
+    cin_ff: f64,
+    /// X1 width in sites.
+    width_sites: u32,
+    /// Number of data inputs.
+    inputs: u32,
+    /// X1 internal energy per output toggle, fJ.
+    e_int_fj: f64,
+    /// Drive strengths generated.
+    drives: &'static [u32],
+}
+
+const DRIVES_STD: &[u32] = &[1, 2, 4, 8];
+const DRIVES_CLK: &[u32] = &[4, 8, 16];
+
+fn class_specs() -> Vec<ClassSpec> {
+    use CellClass::*;
+    vec![
+        ClassSpec { class: Inv, intrinsic_ps: 10.0, rd_kohm: 5.2, cin_ff: 0.9, width_sites: 2, inputs: 1, e_int_fj: 0.35, drives: DRIVES_STD },
+        ClassSpec { class: Buf, intrinsic_ps: 18.0, rd_kohm: 4.8, cin_ff: 0.9, width_sites: 3, inputs: 1, e_int_fj: 0.60, drives: DRIVES_STD },
+        ClassSpec { class: ClkBuf, intrinsic_ps: 17.0, rd_kohm: 4.2, cin_ff: 1.0, width_sites: 4, inputs: 1, e_int_fj: 0.70, drives: DRIVES_CLK },
+        ClassSpec { class: Nand2, intrinsic_ps: 14.0, rd_kohm: 6.0, cin_ff: 1.0, width_sites: 3, inputs: 2, e_int_fj: 0.50, drives: DRIVES_STD },
+        ClassSpec { class: Nor2, intrinsic_ps: 16.0, rd_kohm: 7.0, cin_ff: 1.0, width_sites: 3, inputs: 2, e_int_fj: 0.52, drives: DRIVES_STD },
+        ClassSpec { class: And2, intrinsic_ps: 20.0, rd_kohm: 5.0, cin_ff: 1.0, width_sites: 4, inputs: 2, e_int_fj: 0.65, drives: DRIVES_STD },
+        ClassSpec { class: Or2, intrinsic_ps: 22.0, rd_kohm: 5.5, cin_ff: 1.0, width_sites: 4, inputs: 2, e_int_fj: 0.68, drives: DRIVES_STD },
+        ClassSpec { class: Xor2, intrinsic_ps: 26.0, rd_kohm: 6.5, cin_ff: 1.4, width_sites: 5, inputs: 2, e_int_fj: 0.95, drives: DRIVES_STD },
+        ClassSpec { class: Aoi21, intrinsic_ps: 20.0, rd_kohm: 7.0, cin_ff: 1.1, width_sites: 4, inputs: 3, e_int_fj: 0.70, drives: DRIVES_STD },
+        ClassSpec { class: Oai21, intrinsic_ps: 20.0, rd_kohm: 7.0, cin_ff: 1.1, width_sites: 4, inputs: 3, e_int_fj: 0.70, drives: DRIVES_STD },
+        ClassSpec { class: Mux2, intrinsic_ps: 24.0, rd_kohm: 6.0, cin_ff: 1.2, width_sites: 5, inputs: 3, e_int_fj: 0.85, drives: DRIVES_STD },
+        ClassSpec { class: Dff, intrinsic_ps: 60.0, rd_kohm: 6.0, cin_ff: 0.8, width_sites: 9, inputs: 1, e_int_fj: 1.60, drives: DRIVES_STD },
+    ]
+}
+
+/// Generates the synthetic N28 library.
+///
+/// `area_scale ≥ 1.0` is the instance-count compression factor
+/// described in the module docs; `1.0` generates the nominal library.
+///
+/// # Panics
+///
+/// Panics if `area_scale` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::libgen::n28_library;
+///
+/// let lib = n28_library(1.0);
+/// assert!(lib.len() > 40);
+/// // FO4 of the X1 inverter is in the 28nm ballpark.
+/// let inv = lib.cell(lib.cell_by_name("INV_X1").expect("INV_X1 exists"));
+/// let fo4 = inv.arcs[0].delay.eval(30.0, 4.0 * 0.9);
+/// assert!(fo4 > 15.0 && fo4 < 40.0, "FO4 = {fo4}");
+/// ```
+pub fn n28_library(area_scale: f64) -> CellLibrary {
+    assert!(
+        area_scale.is_finite() && area_scale > 0.0,
+        "area_scale must be positive and finite"
+    );
+    let mut cells = Vec::new();
+    for spec in class_specs() {
+        for &drive in spec.drives {
+            cells.push(build_cell(&spec, drive, area_scale));
+        }
+    }
+    CellLibrary::new(
+        format!("n28_synth_x{area_scale}"),
+        cells,
+        Dbu::from_um(ROW_HEIGHT_UM),
+        Dbu::from_um(SITE_WIDTH_UM),
+        VDD,
+    )
+    .with_area_scale(area_scale)
+}
+
+fn build_cell(spec: &ClassSpec, drive: u32, area_scale: f64) -> LibCell {
+    let n = drive as f64 * area_scale;
+    // Width grows sub-linearly with drive (shared diffusion), then the
+    // whole cell is stretched by area_scale.
+    let width_sites =
+        ((spec.width_sites as f64 * (1.0 + 0.55 * (drive as f64 - 1.0))) * area_scale).ceil();
+    let size = Size::new(
+        Dbu::from_um(width_sites * SITE_WIDTH_UM),
+        Dbu::from_um(ROW_HEIGHT_UM),
+    );
+
+    let mut pins = Vec::new();
+    let is_seq = spec.class.is_sequential();
+    let cin = spec.cin_ff * n;
+    if is_seq {
+        pins.push(CellPin { name: "D".into(), dir: PinDir::Input, cap_ff: spec.cin_ff * area_scale, is_clock: false });
+        pins.push(CellPin { name: "CK".into(), dir: PinDir::Input, cap_ff: 0.6 * area_scale, is_clock: true });
+        pins.push(CellPin { name: "Q".into(), dir: PinDir::Output, cap_ff: 0.0, is_clock: false });
+    } else {
+        const NAMES: [&str; 3] = ["A", "B", "C"];
+        for i in 0..spec.inputs {
+            pins.push(CellPin {
+                name: NAMES[i as usize].into(),
+                dir: PinDir::Input,
+                cap_ff: cin,
+                is_clock: false,
+            });
+        }
+        pins.push(CellPin { name: "Y".into(), dir: PinDir::Output, cap_ff: 0.0, is_clock: false });
+    }
+
+    let out_pin = pins.len() - 1;
+    let rd = spec.rd_kohm / n;
+    let intrinsic = spec.intrinsic_ps;
+    let mut arcs = Vec::new();
+    if is_seq {
+        // CK -> Q arc only; D is captured by setup/hold.
+        arcs.push(make_arc(1, out_pin, intrinsic, rd));
+    } else {
+        for i in 0..spec.inputs as usize {
+            // later inputs are slightly slower (stack position)
+            arcs.push(make_arc(i, out_pin, intrinsic * (1.0 + 0.1 * i as f64), rd));
+        }
+    }
+
+    LibCell {
+        name: format!("{}_X{}", spec.class.prefix(), drive),
+        class: spec.class,
+        drive,
+        size,
+        pins,
+        arcs,
+        leakage_nw: 2.0 * width_sites,
+        internal_energy_fj: spec.e_int_fj * (0.5 + 0.5 * n),
+        setup_ps: if is_seq { 35.0 } else { 0.0 },
+        hold_ps: if is_seq { 5.0 } else { 0.0 },
+    }
+}
+
+fn make_arc(from: usize, to: usize, intrinsic: f64, rd: f64) -> TimingArc {
+    TimingArc {
+        from_pin: from,
+        to_pin: to,
+        delay: Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), move |s, l| {
+            intrinsic + K_SLEW * s + rd * l
+        }),
+        out_slew: Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), move |s, l| {
+            1.2 * intrinsic + 0.05 * s + K_SLEW_OUT * rd * l
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_complete() {
+        let lib = n28_library(1.0);
+        for class in CellClass::ALL {
+            assert!(
+                lib.smallest(class).is_some(),
+                "class {class} missing from library"
+            );
+        }
+        // 11 classes x 4 drives + clkbuf x 3
+        assert_eq!(lib.len(), 11 * 4 + 3);
+    }
+
+    #[test]
+    fn drive_scaling_monotonic() {
+        let lib = n28_library(1.0);
+        let variants = lib.variants(CellClass::Inv);
+        // stronger drive => lower delay at fixed load, more input cap,
+        // more area, more leakage
+        for w in variants.windows(2) {
+            let weak = lib.cell(w[0]);
+            let strong = lib.cell(w[1]);
+            let load = 20.0;
+            assert!(strong.arcs[0].delay.eval(30.0, load) < weak.arcs[0].delay.eval(30.0, load));
+            assert!(strong.pins[0].cap_ff > weak.pins[0].cap_ff);
+            assert!(strong.area_um2() > weak.area_um2());
+            assert!(strong.leakage_nw > weak.leakage_nw);
+        }
+    }
+
+    #[test]
+    fn area_scale_compresses_instances() {
+        let nominal = n28_library(1.0);
+        let scaled = n28_library(8.0);
+        let a = nominal.cell(nominal.cell_by_name("NAND2_X1").expect("exists"));
+        let b = scaled.cell(scaled.cell_by_name("NAND2_X1").expect("exists"));
+        // ~8x wider, ~8x input cap, ~8x lower drive resistance
+        let ratio = b.area_um2() / a.area_um2();
+        assert!(ratio > 7.0 && ratio < 9.5, "area ratio {ratio}");
+        let cap_ratio = b.pins[0].cap_ff / a.pins[0].cap_ff;
+        assert!((cap_ratio - 8.0).abs() < 0.2, "cap ratio {cap_ratio}");
+        let d_a = a.arcs[0].delay.eval(30.0, 80.0);
+        let d_b = b.arcs[0].delay.eval(30.0, 80.0);
+        assert!(d_b < d_a, "scaled cell must drive harder");
+    }
+
+    #[test]
+    fn fo4_is_28nm_class() {
+        let lib = n28_library(1.0);
+        let inv = lib.cell(lib.cell_by_name("INV_X1").expect("exists"));
+        let fo4_load = 4.0 * inv.pins[0].cap_ff;
+        let fo4 = inv.arcs[0].delay.eval(20.0, fo4_load);
+        assert!(fo4 > 12.0 && fo4 < 40.0, "FO4 {fo4} out of range");
+    }
+
+    #[test]
+    fn dff_arc_is_ck_to_q() {
+        let lib = n28_library(1.0);
+        let dff = lib.cell(lib.smallest(CellClass::Dff).expect("exists"));
+        assert_eq!(dff.arcs.len(), 1);
+        assert!(dff.pins[dff.arcs[0].from_pin].is_clock);
+        assert_eq!(dff.pins[dff.arcs[0].to_pin].name, "Q");
+    }
+
+    #[test]
+    fn clock_buffers_have_high_drive() {
+        let lib = n28_library(1.0);
+        let cb = lib.clock_buffers();
+        assert_eq!(cb.len(), 3);
+        assert!(lib.cell(cb[0]).drive >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "area_scale must be positive")]
+    fn bad_scale_panics() {
+        let _ = n28_library(0.0);
+    }
+}

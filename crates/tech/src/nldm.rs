@@ -1,0 +1,216 @@
+//! Non-linear delay model (NLDM) lookup tables.
+//!
+//! Commercial `.lib` files characterise cell delay and output slew as
+//! 2-D tables indexed by input slew and output load. This module
+//! implements the table format with bilinear interpolation inside the
+//! characterised region and linear extrapolation outside it — the same
+//! behaviour sign-off timers use.
+
+use std::fmt;
+
+/// A 2-D lookup table over (input slew in ps, output load in fF).
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::Lut2;
+///
+/// let lut = Lut2::from_fn(
+///     vec![10.0, 100.0],
+///     vec![1.0, 10.0],
+///     |slew, load| 5.0 + 0.1 * slew + 2.0 * load,
+/// );
+/// // Exact at the grid points, interpolated in between.
+/// assert!((lut.eval(10.0, 1.0) - 8.0).abs() < 1e-9);
+/// assert!((lut.eval(55.0, 5.5) - (5.0 + 5.5 + 11.0)).abs() < 1e-9);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Lut2 {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    /// Row-major: `values[slew_ix * load_axis.len() + load_ix]`.
+    values: Vec<f64>,
+}
+
+impl Lut2 {
+    /// Creates a table from explicit axes and row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or not strictly increasing, or
+    /// if `values.len() != slew_axis.len() * load_axis.len()`.
+    pub fn new(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<f64>) -> Self {
+        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "axes must be non-empty");
+        assert!(
+            slew_axis.windows(2).all(|w| w[0] < w[1]),
+            "slew axis must be strictly increasing"
+        );
+        assert!(
+            load_axis.windows(2).all(|w| w[0] < w[1]),
+            "load axis must be strictly increasing"
+        );
+        assert_eq!(
+            values.len(),
+            slew_axis.len() * load_axis.len(),
+            "value count must match axis product"
+        );
+        Lut2 {
+            slew_axis,
+            load_axis,
+            values,
+        }
+    }
+
+    /// Characterises a table by sampling `f(slew, load)` at the grid
+    /// points — how [`crate::libgen`] builds the synthetic library.
+    pub fn from_fn(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Self {
+        let mut values = Vec::with_capacity(slew_axis.len() * load_axis.len());
+        for &s in &slew_axis {
+            for &l in &load_axis {
+                values.push(f(s, l));
+            }
+        }
+        Lut2::new(slew_axis, load_axis, values)
+    }
+
+    /// A constant (load/slew-independent) table.
+    pub fn constant(value: f64) -> Self {
+        Lut2::new(vec![0.0], vec![0.0], vec![value])
+    }
+
+    /// Interpolated value at (`slew`, `load`), extrapolating linearly
+    /// outside the characterised region.
+    pub fn eval(&self, slew: f64, load: f64) -> f64 {
+        let (si, st) = segment(&self.slew_axis, slew);
+        let (li, lt) = segment(&self.load_axis, load);
+        let nl = self.load_axis.len();
+        let v = |s: usize, l: usize| self.values[s * nl + l];
+        if self.slew_axis.len() == 1 && nl == 1 {
+            return v(0, 0);
+        }
+        if self.slew_axis.len() == 1 {
+            return lerp(v(0, li), v(0, li + 1), lt);
+        }
+        if nl == 1 {
+            return lerp(v(si, 0), v(si + 1, 0), st);
+        }
+        let lo = lerp(v(si, li), v(si, li + 1), lt);
+        let hi = lerp(v(si + 1, li), v(si + 1, li + 1), lt);
+        lerp(lo, hi, st)
+    }
+
+    /// The slew axis.
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The load axis.
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+}
+
+impl fmt::Debug for Lut2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Lut2({}x{} [{:.1}..{:.1}]ps x [{:.1}..{:.1}]fF)",
+            self.slew_axis.len(),
+            self.load_axis.len(),
+            self.slew_axis.first().copied().unwrap_or(0.0),
+            self.slew_axis.last().copied().unwrap_or(0.0),
+            self.load_axis.first().copied().unwrap_or(0.0),
+            self.load_axis.last().copied().unwrap_or(0.0),
+        )
+    }
+}
+
+#[inline]
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Finds the segment index and (possibly out-of-[0,1]) parameter for
+/// interpolation/extrapolation along an axis.
+fn segment(axis: &[f64], x: f64) -> (usize, f64) {
+    if axis.len() == 1 {
+        return (0, 0.0);
+    }
+    // clamp to the outermost segments; t may exceed [0,1] => extrapolate
+    let mut i = match axis.partition_point(|&a| a <= x) {
+        0 => 0,
+        p => p - 1,
+    };
+    if i >= axis.len() - 1 {
+        i = axis.len() - 2;
+    }
+    let t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_lut() -> Lut2 {
+        Lut2::from_fn(
+            vec![10.0, 50.0, 200.0],
+            vec![1.0, 4.0, 16.0, 64.0],
+            |s, l| 3.0 + 0.05 * s + 1.5 * l,
+        )
+    }
+
+    #[test]
+    fn exact_at_grid_points() {
+        let lut = linear_lut();
+        for &s in lut.slew_axis().to_vec().iter() {
+            for &l in lut.load_axis().to_vec().iter() {
+                assert!((lut.eval(s, l) - (3.0 + 0.05 * s + 1.5 * l)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bilinear_reproduces_linear_function() {
+        let lut = linear_lut();
+        // interior, off-grid
+        assert!((lut.eval(30.0, 10.0) - (3.0 + 1.5 + 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let lut = linear_lut();
+        assert!((lut.eval(400.0, 128.0) - (3.0 + 20.0 + 192.0)).abs() < 1e-9);
+        assert!((lut.eval(0.0, 0.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_table() {
+        let lut = Lut2::constant(7.5);
+        assert_eq!(lut.eval(123.0, 456.0), 7.5);
+    }
+
+    #[test]
+    fn degenerate_axes() {
+        let lut = Lut2::from_fn(vec![10.0], vec![1.0, 2.0], |_, l| l * 2.0);
+        assert!((lut.eval(99.0, 1.5) - 3.0).abs() < 1e-9);
+        let lut = Lut2::from_fn(vec![10.0, 20.0], vec![1.0], |s, _| s);
+        assert!((lut.eval(15.0, 99.0) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_axis_panics() {
+        let _ = Lut2::new(vec![10.0, 5.0], vec![1.0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn wrong_value_count_panics() {
+        let _ = Lut2::new(vec![1.0, 2.0], vec![1.0], vec![0.0]);
+    }
+}

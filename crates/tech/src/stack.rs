@@ -1,0 +1,338 @@
+//! BEOL metal stacks: routing layers and inter-layer vias.
+
+use macro3d_geom::Dbu;
+use std::fmt;
+
+/// Preferred routing direction of a metal layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Wires run left–right.
+    Horizontal,
+    /// Wires run bottom–top.
+    Vertical,
+}
+
+impl Direction {
+    /// The perpendicular direction.
+    #[inline]
+    pub fn orthogonal(self) -> Direction {
+        match self {
+            Direction::Horizontal => Direction::Vertical,
+            Direction::Vertical => Direction::Horizontal,
+        }
+    }
+}
+
+/// Which die a layer belongs to in a combined two-die stack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DieRole {
+    /// The bottom die carrying standard cells.
+    #[default]
+    Logic,
+    /// The top die carrying only macros (memory/sensor die).
+    Macro,
+}
+
+impl fmt::Display for DieRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DieRole::Logic => f.write_str("logic"),
+            DieRole::Macro => f.write_str("macro"),
+        }
+    }
+}
+
+/// Index of a routing layer within a [`MetalStack`], bottom-up
+/// (`LayerId(0)` is M1 of the logic die).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub u32);
+
+impl LayerId {
+    /// Flat index for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One routing (metal) layer of a BEOL stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingLayer {
+    /// Layer name as it would appear in a techlef (e.g. `"M3"`,
+    /// `"M2_MD"`).
+    pub name: String,
+    /// Preferred direction.
+    pub direction: Direction,
+    /// Routing track pitch.
+    pub pitch: Dbu,
+    /// Default wire width.
+    pub width: Dbu,
+    /// Sheet resistance per unit length, Ω/µm at the typical corner.
+    pub r_per_um: f64,
+    /// Total capacitance per unit length, fF/µm at default spacing.
+    pub c_per_um: f64,
+    /// Die this layer physically belongs to.
+    pub die: DieRole,
+}
+
+/// A via cut between two adjacent routing layers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViaDef {
+    /// Via name (e.g. `"VIA12"`, `"F2F_VIA"`, `"VIA23_MD"`).
+    pub name: String,
+    /// Resistance per cut, Ω.
+    pub resistance: f64,
+    /// Capacitance per cut, fF.
+    pub capacitance: f64,
+    /// True for the face-to-face bond via layer.
+    pub is_f2f: bool,
+}
+
+/// An ordered BEOL stack: `layers[i]` and `layers[i+1]` are connected
+/// by `vias[i]`.
+///
+/// A plain 2D die has a single-die stack; the Macro-3D combined BEOL
+/// (see [`crate::CombinedBeol`]) is also a `MetalStack`, with the F2F
+/// via marked by [`MetalStack::f2f_cut`].
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_tech::stack::{n28_stack, DieRole};
+///
+/// let s = n28_stack(6, DieRole::Logic);
+/// assert_eq!(s.num_layers(), 6);
+/// assert_eq!(s.layer(0).name, "M1");
+/// assert!(s.f2f_cut().is_none());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetalStack {
+    layers: Vec<RoutingLayer>,
+    vias: Vec<ViaDef>,
+}
+
+impl MetalStack {
+    /// Assembles a stack from layers and the vias between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vias.len() + 1 == layers.len()` and at least one
+    /// layer is present.
+    pub fn new(layers: Vec<RoutingLayer>, vias: Vec<ViaDef>) -> Self {
+        assert!(!layers.is_empty(), "a stack needs at least one layer");
+        assert_eq!(
+            vias.len() + 1,
+            layers.len(),
+            "need exactly one via between each adjacent layer pair"
+        );
+        MetalStack { layers, vias }
+    }
+
+    /// Number of routing layers.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer by index (bottom-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of range.
+    #[inline]
+    pub fn layer(&self, ix: usize) -> &RoutingLayer {
+        &self.layers[ix]
+    }
+
+    /// All layers, bottom-up.
+    #[inline]
+    pub fn layers(&self) -> &[RoutingLayer] {
+        &self.layers
+    }
+
+    /// Via connecting layer `ix` and `ix + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of range.
+    #[inline]
+    pub fn via(&self, ix: usize) -> &ViaDef {
+        &self.vias[ix]
+    }
+
+    /// All vias, bottom-up.
+    #[inline]
+    pub fn vias(&self) -> &[ViaDef] {
+        &self.vias
+    }
+
+    /// Looks a layer up by name.
+    pub fn layer_by_name(&self, name: &str) -> Option<LayerId> {
+        self.layers
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| LayerId(i as u32))
+    }
+
+    /// The via index of the F2F bond layer, if this is a combined
+    /// stack: crossing from layer `i` to `i + 1` with `i == f2f_cut`
+    /// creates an F2F bump.
+    pub fn f2f_cut(&self) -> Option<usize> {
+        self.vias.iter().position(|v| v.is_f2f)
+    }
+
+    /// Total routing track capacity per micrometre of cross-section,
+    /// summed over all layers of the given direction. Used for
+    /// fair-metal-capacity comparisons between 2D and 3D designs.
+    pub fn track_density(&self, dir: Direction) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.direction == dir)
+            .map(|l| 1.0 / l.pitch.to_um())
+            .sum()
+    }
+
+    /// Sum of per-layer metal area available over a die of the given
+    /// footprint, in mm² (footprint × number of layers). The paper's
+    /// Table III reports this as `Ametal`.
+    pub fn metal_area_mm2(&self, footprint_mm2: f64) -> f64 {
+        footprint_mm2 * self.num_layers() as f64
+    }
+}
+
+/// Builds an `n`-metal synthetic 28 nm-class stack for one die.
+///
+/// Layer parameters follow published 28 nm-class numbers: tight-pitch
+/// lower metals (100 nm pitch, ~3 Ω/µm), a mid layer, and semi-global
+/// upper layers (280 nm pitch, ~0.6 Ω/µm). M1 is horizontal and
+/// directions alternate upward. Via resistance falls with height.
+///
+/// For [`DieRole::Macro`], names get the `_MD` suffix the paper uses
+/// in the combined BEOL.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than 8.
+pub fn n28_stack(n: usize, die: DieRole) -> MetalStack {
+    assert!(n >= 1 && n <= 8, "supported stacks have 1..=8 layers");
+    // (pitch um, width um, r ohm/um, c fF/um) bottom-up for 8 layers.
+    const PARAMS: [(f64, f64, f64, f64); 8] = [
+        (0.10, 0.05, 4.0, 0.20),
+        (0.10, 0.05, 3.0, 0.20),
+        (0.10, 0.05, 3.0, 0.20),
+        (0.14, 0.07, 1.5, 0.21),
+        (0.28, 0.14, 0.6, 0.22),
+        (0.28, 0.14, 0.6, 0.22),
+        (0.56, 0.28, 0.25, 0.24),
+        (0.56, 0.28, 0.25, 0.24),
+    ];
+    const VIA_R: [f64; 7] = [8.0, 6.0, 5.0, 3.0, 2.0, 1.5, 1.0];
+    let suffix = match die {
+        DieRole::Logic => "",
+        DieRole::Macro => "_MD",
+    };
+    let layers = (0..n)
+        .map(|i| {
+            let (pitch, width, r, c) = PARAMS[i];
+            RoutingLayer {
+                name: format!("M{}{}", i + 1, suffix),
+                direction: if i % 2 == 0 {
+                    Direction::Horizontal
+                } else {
+                    Direction::Vertical
+                },
+                pitch: Dbu::from_um(pitch),
+                width: Dbu::from_um(width),
+                r_per_um: r,
+                c_per_um: c,
+                die,
+            }
+        })
+        .collect();
+    let vias = (0..n.saturating_sub(1))
+        .map(|i| ViaDef {
+            name: format!("VIA{}{}{}", i + 1, i + 2, suffix),
+            resistance: VIA_R[i],
+            capacitance: 0.05,
+            is_f2f: false,
+        })
+        .collect();
+    MetalStack::new(layers, vias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n28_logic_stack_layout() {
+        let s = n28_stack(6, DieRole::Logic);
+        assert_eq!(s.num_layers(), 6);
+        assert_eq!(s.vias().len(), 5);
+        assert_eq!(s.layer(0).name, "M1");
+        assert_eq!(s.layer(5).name, "M6");
+        assert_eq!(s.via(0).name, "VIA12");
+        assert_eq!(s.layer(0).direction, Direction::Horizontal);
+        assert_eq!(s.layer(1).direction, Direction::Vertical);
+        // upper layers are thicker/less resistive
+        assert!(s.layer(5).r_per_um < s.layer(0).r_per_um);
+        assert!(s.layer(5).pitch > s.layer(0).pitch);
+    }
+
+    #[test]
+    fn macro_stack_is_suffixed() {
+        let s = n28_stack(4, DieRole::Macro);
+        assert_eq!(s.layer(0).name, "M1_MD");
+        assert_eq!(s.via(2).name, "VIA34_MD");
+        assert!(s.layers().iter().all(|l| l.die == DieRole::Macro));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = n28_stack(6, DieRole::Logic);
+        assert_eq!(s.layer_by_name("M3"), Some(LayerId(2)));
+        assert_eq!(s.layer_by_name("M9"), None);
+    }
+
+    #[test]
+    fn track_density_counts_directions() {
+        let s = n28_stack(6, DieRole::Logic);
+        let h = s.track_density(Direction::Horizontal);
+        let v = s.track_density(Direction::Vertical);
+        // M1, M3, M5 horizontal; M2, M4, M6 vertical
+        assert!((h - (10.0 + 10.0 + 1.0 / 0.28)).abs() < 1e-6);
+        assert!((v - (10.0 + 1.0 / 0.14 + 1.0 / 0.28)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metal_area_scales_with_layers() {
+        let s6 = n28_stack(6, DieRole::Logic);
+        let s4 = n28_stack(4, DieRole::Logic);
+        assert!((s6.metal_area_mm2(0.6) - 3.6).abs() < 1e-12);
+        assert!((s4.metal_area_mm2(0.6) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one via between each adjacent layer pair")]
+    fn mismatched_vias_panic() {
+        let s = n28_stack(3, DieRole::Logic);
+        let _ = MetalStack::new(s.layers().to_vec(), vec![]);
+    }
+
+    #[test]
+    fn direction_orthogonal() {
+        assert_eq!(Direction::Horizontal.orthogonal(), Direction::Vertical);
+        assert_eq!(Direction::Vertical.orthogonal(), Direction::Horizontal);
+    }
+
+    #[test]
+    fn plain_stack_has_no_f2f() {
+        assert!(n28_stack(6, DieRole::Logic).f2f_cut().is_none());
+    }
+}

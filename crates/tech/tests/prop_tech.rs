@@ -1,0 +1,88 @@
+//! Property-based tests for the technology substrate.
+
+use macro3d_tech::libgen::n28_library;
+use macro3d_tech::stack::{n28_stack, DieRole};
+use macro3d_tech::{CombinedBeol, Corner, F2fSpec, Lut2};
+use proptest::prelude::*;
+
+proptest! {
+    /// NLDM interpolation is monotone for tables characterised from a
+    /// monotone function, everywhere in (and beyond) the grid.
+    #[test]
+    fn lut_monotone_inputs_give_monotone_outputs(
+        s1 in 5.0f64..600.0,
+        s2 in 5.0f64..600.0,
+        l1 in 0.1f64..600.0,
+        l2 in 0.1f64..600.0,
+    ) {
+        let lut = Lut2::from_fn(
+            vec![10.0, 30.0, 80.0, 200.0, 500.0],
+            vec![0.5, 2.0, 8.0, 32.0, 128.0],
+            |s, l| 12.0 + 0.1 * s + 3.0 * l,
+        );
+        let (slo, shi) = (s1.min(s2), s1.max(s2));
+        let (llo, lhi) = (l1.min(l2), l1.max(l2));
+        prop_assert!(lut.eval(shi, llo) >= lut.eval(slo, llo) - 1e-9);
+        prop_assert!(lut.eval(slo, lhi) >= lut.eval(slo, llo) - 1e-9);
+    }
+
+    /// Every library cell's delay grows with load and every input cap
+    /// is positive, at any generation scale.
+    #[test]
+    fn library_is_physical_at_any_scale(scale in 1.0f64..64.0) {
+        let lib = n28_library(scale);
+        for cell in lib.cells() {
+            for arc in &cell.arcs {
+                let d_small = arc.delay.eval(30.0, 1.0);
+                let d_big = arc.delay.eval(30.0, 200.0);
+                prop_assert!(d_big > d_small, "{} delay not load-monotone", cell.name);
+            }
+            for pin in &cell.pins {
+                if pin.dir == macro3d_tech::PinDir::Input {
+                    prop_assert!(pin.cap_ff > 0.0, "{} pin {} capless", cell.name, pin.name);
+                }
+            }
+            prop_assert!(cell.area_um2() > 0.0);
+            prop_assert!(cell.leakage_nw > 0.0);
+        }
+    }
+
+    /// Combined stacks preserve both dies' layers and map origins
+    /// bijectively for any layer-count combination.
+    #[test]
+    fn combined_stack_origin_bijection(nl in 2usize..=8, nm in 1usize..=8) {
+        let logic = n28_stack(nl, DieRole::Logic);
+        let md = n28_stack(nm, DieRole::Macro);
+        let c = CombinedBeol::build(&logic, &md, &F2fSpec::hybrid_bond_n28());
+        prop_assert_eq!(c.stack().num_layers(), nl + nm);
+        prop_assert_eq!(c.stack().f2f_cut(), Some(nl - 1));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..(nl + nm) as u32 {
+            let o = c.origin(macro3d_tech::stack::LayerId(i));
+            prop_assert!(seen.insert((o.die, o.original)));
+        }
+    }
+
+    /// Corner derates order consistently: SS slowest, FF fastest.
+    #[test]
+    fn corner_ordering_everywhere(load in 0.5f64..500.0, slew in 5.0f64..500.0) {
+        let lib = n28_library(1.0);
+        let inv = lib.cell(lib.cell_by_name("INV_X1").expect("exists"));
+        let d = |c: Corner| inv.arcs[0].delay.eval(slew, load) * c.delay_derate();
+        prop_assert!(d(Corner::Ss) > d(Corner::Tt));
+        prop_assert!(d(Corner::Tt) > d(Corner::Ff));
+    }
+
+    /// F2F bump budget scales with area and inversely with pitch².
+    #[test]
+    fn bump_budget_scaling(w in 10.0f64..2_000.0, h in 10.0f64..2_000.0) {
+        use macro3d_geom::{Dbu, Size};
+        let fine = F2fSpec::hybrid_bond_n28();
+        let coarse = fine.clone().with_pitch(Dbu::from_um(2.0));
+        let s = Size::from_um(w, h);
+        let nf = fine.max_bumps(s);
+        let nc = coarse.max_bumps(s);
+        // 2x pitch => ~4x fewer sites (integer truncation tolerance)
+        prop_assert!(nf >= nc * 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Heterogeneous BEOL study (the paper's Table III / Sec. V-A-1):
+//! because SRAM internal routing only occupies M1–M4, the macro die's
+//! metal stack can be trimmed from six to four layers — cutting metal
+//! mask cost — with negligible performance impact, since most signal
+//! routing stays in the logic die and the top BEOL mainly serves
+//! macro pin access.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_beol [-- <scale>]
+//! ```
+
+use macro3d::report::{comparison_table, PpaResult};
+use macro3d::{macro3d_flow, FlowConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24.0);
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
+
+    let mut m6m6 = FlowConfig::default();
+    m6m6.macro_metals = 6;
+    let mut m6m4 = FlowConfig::default();
+    m6m4.macro_metals = 4;
+
+    let r66 = macro3d_flow::run(&tile, &m6m6);
+    let r64 = macro3d_flow::run(&tile, &m6m4);
+    println!("{}", comparison_table(&[&r66, &r64]));
+
+    let d = |a: f64, b: f64| PpaResult::delta_pct(a, b);
+    println!(
+        "removing two macro-die metals: fclk {:+.1}% (paper -1.8%), \
+         metal area {:+.1}% (paper -16.7%), F2F bumps {:+.1}% (paper -18.4%)",
+        d(r64.fclk_mhz, r66.fclk_mhz),
+        d(r64.metal_area_mm2, r66.metal_area_mm2),
+        d(r64.f2f_bumps as f64, r66.f2f_bumps as f64),
+    );
+}

@@ -1,0 +1,65 @@
+//! Heterogeneous memory-node study — the paper's stated *future
+//! work*: "The considered design style enables to design memory or
+//! sensor blocks of an SoC without the need to be process compatible
+//! with standard logic. Exploiting this feature to boost the
+//! 3D-integration gains further is left for future work."
+//!
+//! Here the macro die is re-targeted from the logic-compatible N28
+//! node to an older, memory-optimised N40-class node: bitcells are
+//! ~1.9x larger but the wafer is ~45 % cheaper per area and leaks
+//! ~60 % less. The Macro-3D flow absorbs the change transparently —
+//! macros are black boxes — so the comparison quantifies the
+//! system-level cost of the heterogeneity (slower macros, bigger
+//! macro die) against its benefits (silicon cost, leakage).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_node [-- <scale>]
+//! ```
+
+use macro3d::report::{comparison_table, PpaResult};
+use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+use macro3d_sram::MemoryNode;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24.0);
+    let cfg = FlowConfig::default();
+
+    let tile_n28 = generate_tile(&TileConfig::small_cache().with_scale(scale));
+    let tile_n40 = generate_tile(&TileConfig::small_cache().with_scale(scale).with_n40_memory());
+
+    let r28 = {
+        let mut r = macro3d_flow::run(&tile_n28, &cfg);
+        r.flow = "MoL N28 mem".to_string();
+        r
+    };
+    let r40 = {
+        let mut r = macro3d_flow::run(&tile_n40, &cfg);
+        r.flow = "MoL N40 mem".to_string();
+        r
+    };
+    let r2d = flow2d::run(&tile_n28, &cfg);
+    println!("{}", comparison_table(&[&r2d, &r28, &r40]));
+
+    // silicon-cost model: logic die at N28 cost, macro die at its node
+    let cost = |r: &PpaResult, node: MemoryNode| {
+        r.footprint_mm2 * (1.0 + node.cost_scale)
+    };
+    let cost2d = r2d.footprint_mm2 * 1.0;
+    println!(
+        "relative silicon cost (N28-mm2 equivalents): 2D {:.2}, MoL/N28 {:.2}, MoL/N40 {:.2}",
+        cost2d,
+        cost(&r28, MemoryNode::N28),
+        cost(&r40, MemoryNode::N40),
+    );
+    println!(
+        "fclk: MoL/N40 vs MoL/N28 {:+.1}% (slower macros), leakage {:+.1}%",
+        PpaResult::delta_pct(r40.fclk_mhz, r28.fclk_mhz),
+        PpaResult::delta_pct(r40.power.leakage_mw + r40.power.macro_mw, r28.power.leakage_mw + r28.power.macro_mw),
+    );
+}

@@ -1,0 +1,55 @@
+//! Memory-on-logic case study: the paper's headline experiment at a
+//! reduced scale — 2D baseline vs Macro-3D on the small-cache tile,
+//! with the Table II metrics and the iso-performance power check.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example memory_on_logic [-- <scale>]
+//! ```
+
+use macro3d::report::{comparison_table, PpaResult};
+use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24.0);
+    let cfg = FlowConfig::default();
+    let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
+    println!(
+        "small-cache tile at scale {scale}: {} instances",
+        tile.design.num_insts()
+    );
+
+    let imp2d = flow2d::run_impl(&tile, &cfg);
+    let imp3d = macro3d_flow::run_impl(&tile, &cfg);
+    let r2d = PpaResult::from_impl("2D", &imp2d);
+    let r3d = PpaResult::from_impl("Macro-3D", &imp3d);
+
+    println!("{}", comparison_table(&[&r2d, &r3d]));
+
+    let d = |a: f64, b: f64| 100.0 * (a - b) / b;
+    println!(
+        "fclk {:+.1}% (paper +20.5%), footprint {:+.1}% (paper -50.0%), \
+         wirelength {:+.1}% (paper -11.8%), crit-path WL {:+.1}% (paper -63.0%)",
+        d(r3d.fclk_mhz, r2d.fclk_mhz),
+        d(r3d.footprint_mm2, r2d.footprint_mm2),
+        d(r3d.total_wirelength_m, r2d.total_wirelength_m),
+        d(r3d.crit_path_wl_mm, r2d.crit_path_wl_mm),
+    );
+
+    // iso-performance: both designs at the 2D max frequency
+    let toggle = imp2d.constraints.toggle_rate;
+    let p2d = imp2d.power_at(r2d.fclk_mhz, toggle).total_mw;
+    let p3d = imp3d.power_at(r2d.fclk_mhz, toggle).total_mw;
+    println!(
+        "iso-performance power at {:.0} MHz: 2D {:.2} mW vs Macro-3D {:.2} mW ({:+.1}%, paper -3.2%)",
+        r2d.fclk_mhz,
+        p2d,
+        p3d,
+        d(p3d, p2d)
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: generate an OpenPiton-like tile, run the Macro-3D flow
+//! on it, and print the resulting PPA.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use macro3d::{macro3d_flow, FlowConfig, PpaResult};
+use macro3d_netlist::DesignStats;
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn main() {
+    // 1. Generate the benchmark netlist: the paper's small-cache tile
+    //    (8 kB L1I, 16 kB L1D, 16 kB L2, 256 kB L3). `scale`
+    //    compresses the instance count while keeping areas calibrated
+    //    (see DESIGN.md §5); 32 runs in a few seconds.
+    let config = TileConfig::small_cache().with_scale(32.0);
+    let tile = generate_tile(&config);
+    let stats = DesignStats::compute(&tile.design);
+    println!("generated {}:\n{stats}\n", tile.design.name());
+
+    // 2. Run the Macro-3D flow: dual floorplans, memory-on-logic
+    //    projection, one P&R pass over the combined two-die BEOL.
+    let flow_cfg = FlowConfig::default();
+    let imp = macro3d_flow::run_impl(&tile, &flow_cfg);
+
+    // 3. Report PPA — these are the quantities of the paper's tables.
+    let ppa = PpaResult::from_impl("Macro-3D", &imp);
+    println!("{ppa}");
+    println!(
+        "\ncritical path: {} stages, {} F2F bumps used, routing overflow {:.0}",
+        imp.timing.crit_path_stages, imp.routed.f2f_bumps, imp.routed.overflow
+    );
+
+    // 4. Die separation (flow step 4): split the result back into the
+    //    two dies and write their layouts as SVG.
+    let (logic_die, macro_die) = macro3d::layout::separate(&imp);
+    std::fs::write("quickstart_logic_die.svg", macro3d::layout::svg_layout(&logic_die))
+        .expect("write logic-die SVG");
+    std::fs::write("quickstart_macro_die.svg", macro3d::layout::svg_layout(&macro_die))
+        .expect("write macro-die SVG");
+    println!("\nwrote quickstart_logic_die.svg and quickstart_macro_die.svg");
+}

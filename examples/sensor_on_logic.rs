@@ -1,0 +1,155 @@
+//! Sensor-on-logic: the paper's second heterogeneous design style
+//! (abstract/Sec. II) — an imaging SoC whose sensor arrays occupy the
+//! top die while the readout/DSP logic sits below. The sensor die
+//! needs only two metal layers, so this example also exercises the
+//! heterogeneous-BEOL support (M6–M2 combined stack would be possible;
+//! we use M6–M4 here since the combined stack builder takes whole
+//! n28 stacks).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example sensor_on_logic
+//! ```
+
+use macro3d::report::{comparison_table, PpaResult};
+use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d_netlist::rent::{generate_logic, LogicIo, LogicSpec};
+use macro3d_netlist::{Design, NetId, PinRef, Side};
+use macro3d_soc::{TileNetlist, TimingConstraints};
+use macro3d_sram::{MemoryCompiler, PinClass};
+use macro3d_tech::libgen::n28_library;
+use macro3d_tech::PinDir;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Builds a sensor-hub SoC: four 32-channel sensor arrays + readout
+/// logic + a small line buffer SRAM.
+fn sensor_hub(scale: f64, seed: u64) -> TileNetlist {
+    let lib = Arc::new(n28_library(scale));
+    let mut d = Design::new("sensor_hub", lib);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let compiler = MemoryCompiler::n28();
+
+    let clk_port = d.add_port("clk", PinDir::Input, Some(Side::West));
+    let clk = d.add_net("clk");
+    d.connect(clk, PinRef::Port(clk_port));
+
+    // sensor arrays: full-custom macros, destined for the top die
+    let mut sensor_outputs: Vec<NetId> = Vec::new();
+    let mut sensor_controls: Vec<NetId> = Vec::new();
+    for k in 0..4 {
+        let def = compiler.sensor_array(&format!("imager{k}"), 32);
+        let mm = d.add_macro_master(def);
+        let g = d.add_group(format!("imager{k}"));
+        let inst = d.add_macro_in(format!("imager{k}"), mm, g);
+        let def = match d.inst(inst).master {
+            macro3d_netlist::Master::Macro(m) => d.macro_master(m).clone(),
+            _ => unreachable!("just added a macro"),
+        };
+        for (p, pin) in def.pins.iter().enumerate() {
+            let pr = PinRef::inst(inst, p as u16);
+            match pin.class {
+                PinClass::Clock => d.connect(clk, pr),
+                PinClass::Sensor => {
+                    let n = d.add_net(format!("imager{k}_d{p}"));
+                    d.connect(n, pr);
+                    sensor_outputs.push(n);
+                }
+                _ => {
+                    let n = d.add_net(format!("imager{k}_c{p}"));
+                    d.connect(n, pr);
+                    sensor_controls.push(n);
+                }
+            }
+        }
+    }
+
+    // line-buffer SRAM (stays with the sensors on the top die)
+    let buf = d.add_macro_master(compiler.sram("linebuf", 1024, 64));
+    let gb = d.add_group("linebuf");
+    let buf_inst = d.add_macro_in("linebuf0", buf, gb);
+    let buf_def = match d.inst(buf_inst).master {
+        macro3d_netlist::Master::Macro(m) => d.macro_master(m).clone(),
+        _ => unreachable!("just added a macro"),
+    };
+    let mut buf_inputs = Vec::new();
+    let mut buf_outputs = Vec::new();
+    for (p, pin) in buf_def.pins.iter().enumerate() {
+        let pr = PinRef::inst(buf_inst, p as u16);
+        match pin.class {
+            PinClass::Clock => d.connect(clk, pr),
+            PinClass::DataOut => {
+                let n = d.add_net(format!("lb_q{p}"));
+                d.connect(n, pr);
+                buf_outputs.push(n);
+            }
+            _ => {
+                let n = d.add_net(format!("lb_i{p}"));
+                d.connect(n, pr);
+                buf_inputs.push(n);
+            }
+        }
+    }
+
+    // chip outputs (processed pixel stream)
+    let mut out_nets = Vec::new();
+    let mut half_cycle = Vec::new();
+    for b in 0..16 {
+        let port = d.add_port(format!("pix[{b}]"), PinDir::Output, Some(Side::East));
+        let n = d.add_net(format!("pix{b}"));
+        d.connect(n, PinRef::Port(port));
+        out_nets.push(n);
+        half_cycle.push(port);
+    }
+
+    // readout + DSP logic
+    let g = d.add_group("dsp");
+    let mut spec = LogicSpec::new("dsp", (40_000.0 / scale) as usize, g);
+    spec.max_depth = 14;
+    let ext: Vec<NetId> = sensor_outputs
+        .iter()
+        .chain(buf_outputs.iter())
+        .copied()
+        .collect();
+    let drive: Vec<NetId> = sensor_controls
+        .iter()
+        .chain(buf_inputs.iter())
+        .chain(out_nets.iter())
+        .copied()
+        .collect();
+    generate_logic(
+        &mut d,
+        &mut rng,
+        &spec,
+        clk,
+        LogicIo {
+            ext_in: &ext,
+            drive: &drive,
+        },
+    );
+
+    d.validate().expect("sensor hub netlist is consistent");
+    let mut constraints = TimingConstraints::new(clk, clk_port);
+    constraints.half_cycle_ports = half_cycle;
+    TileNetlist {
+        design: d,
+        constraints,
+    }
+}
+
+fn main() {
+    let tile = sensor_hub(16.0, 0xde5);
+    println!("sensor hub: {} instances", tile.design.num_insts());
+
+    let mut cfg = FlowConfig::default();
+    cfg.macro_metals = 4; // the sensor die is routing-sparse
+    let r2d = flow2d::run(&tile, &cfg);
+    let r3d = macro3d_flow::run(&tile, &cfg);
+    println!("{}", comparison_table(&[&r2d, &r3d]));
+    println!(
+        "sensor-on-logic gain: fclk {:+.1}%, footprint {:+.1}%",
+        PpaResult::delta_pct(r3d.fclk_mhz, r2d.fclk_mhz),
+        PpaResult::delta_pct(r3d.footprint_mm2, r2d.footprint_mm2),
+    );
+}

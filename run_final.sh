@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -3
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -3
+echo FINAL-TEE-DONE

@@ -1,0 +1,19 @@
+//! Workspace umbrella crate for the Macro-3D reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). It re-exports the
+//! member crates so examples can use one coherent namespace.
+//!
+//! See the [`macro3d`] crate for the flows themselves, and `DESIGN.md`
+//! at the repository root for the system inventory.
+
+pub use macro3d;
+pub use macro3d_extract as extract;
+pub use macro3d_geom as geom;
+pub use macro3d_netlist as netlist;
+pub use macro3d_place as place;
+pub use macro3d_route as route;
+pub use macro3d_soc as soc;
+pub use macro3d_sram as sram;
+pub use macro3d_sta as sta;
+pub use macro3d_tech as tech;

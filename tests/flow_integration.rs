@@ -1,0 +1,182 @@
+//! Workspace integration tests: every flow runs end-to-end on a tiny
+//! tile and produces consistent, physically sensible results.
+
+use macro3d::report::PpaResult;
+use macro3d::s2d::S2dStyle;
+use macro3d::{c2d, flow2d, macro3d_flow, s2d, FlowConfig};
+use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
+
+/// A miniature tile that keeps debug-mode tests fast.
+fn tiny_tile() -> TileNetlist {
+    let mut cfg = TileConfig::small_cache().with_scale(32.0);
+    cfg.l3_kb = 64;
+    cfg.l2_kb = 8;
+    cfg.l1i_kb = 8;
+    cfg.l1d_kb = 8;
+    cfg.noc_width = 4;
+    cfg.core_kgates = 26.0;
+    cfg.l3_ctrl_kgates = 5.0;
+    cfg.l2_ctrl_kgates = 4.0;
+    cfg.l1i_ctrl_kgates = 3.0;
+    cfg.l1d_ctrl_kgates = 3.0;
+    cfg.noc_kgates = 2.0;
+    generate_tile(&cfg)
+}
+
+fn fast_flow_cfg() -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.sizing_rounds = 2;
+    cfg.route.iterations = 2;
+    cfg
+}
+
+#[test]
+fn flow_2d_completes_with_sane_ppa() {
+    let tile = tiny_tile();
+    let imp = flow2d::run_impl(&tile, &fast_flow_cfg());
+    let check = macro3d::check::verify(&imp);
+    assert_eq!(check.cell_overlaps, 0, "{check}");
+    assert_eq!(check.out_of_die, 0, "{check}");
+    assert!(check.netlist_error.is_none(), "{check}");
+    let ppa = PpaResult::from_impl("2D", &imp);
+    assert!(ppa.fclk_mhz > 50.0 && ppa.fclk_mhz < 5_000.0, "fclk {}", ppa.fclk_mhz);
+    assert!(ppa.footprint_mm2 > 0.01);
+    assert_eq!(ppa.f2f_bumps, 0, "2D designs use no bumps");
+    assert!(ppa.total_wirelength_m > 0.0);
+    assert!(imp.design.validate().is_ok(), "flow mutations keep netlist valid");
+}
+
+#[test]
+fn macro3d_halves_footprint_and_uses_bumps() {
+    let tile = tiny_tile();
+    let cfg = fast_flow_cfg();
+    let r2d = PpaResult::from_impl("2D", &flow2d::run_impl(&tile, &cfg));
+    let imp3d = macro3d_flow::run_impl(&tile, &cfg);
+    let check = macro3d::check::verify(&imp3d);
+    assert!(check.is_clean(), "{check}");
+    let r3d = PpaResult::from_impl("Macro-3D", &imp3d);
+
+    let ratio = r3d.footprint_mm2 / r2d.footprint_mm2;
+    assert!((0.45..0.55).contains(&ratio), "footprint ratio {ratio}");
+    assert!(r3d.f2f_bumps > 0, "MoL stacking needs F2F bumps");
+    assert!(
+        r3d.total_wirelength_m < r2d.total_wirelength_m,
+        "half footprint shortens wires: {} vs {}",
+        r3d.total_wirelength_m,
+        r2d.total_wirelength_m
+    );
+    // standard cells stay on the logic die in MoL designs
+    for i in imp3d.design.inst_ids() {
+        if !imp3d.design.is_macro(i) {
+            assert_eq!(
+                imp3d.placement.die_of[i.index()],
+                macro3d_tech::stack::DieRole::Logic
+            );
+        }
+    }
+}
+
+#[test]
+fn s2d_completes_in_both_styles() {
+    let tile = tiny_tile();
+    let cfg = fast_flow_cfg();
+    for style in [S2dStyle::MemoryOnLogic, S2dStyle::Balanced] {
+        let (imp, diag) = s2d::run_impl(&tile, &cfg, style);
+        assert!(imp.timing.fclk_mhz > 10.0, "{style:?} fclk {}", imp.timing.fclk_mhz);
+        assert!(imp.design.validate().is_ok());
+        assert!(diag.planned_bumps > 0, "{style:?} plans bumps");
+    }
+}
+
+#[test]
+fn c2d_completes() {
+    let tile = tiny_tile();
+    let (imp, diag) = c2d::run_impl(&tile, &fast_flow_cfg());
+    assert!(imp.timing.fclk_mhz > 10.0);
+    assert!(imp.design.validate().is_ok());
+    assert!(diag.planned_bumps > 0);
+}
+
+#[test]
+fn table3_variant_reduces_metal_area() {
+    let tile = tiny_tile();
+    let mut c66 = fast_flow_cfg();
+    c66.macro_metals = 6;
+    let mut c64 = fast_flow_cfg();
+    c64.macro_metals = 4;
+    let r66 = macro3d_flow::run(&tile, &c66);
+    let r64 = macro3d_flow::run(&tile, &c64);
+    assert!(r64.metal_area_mm2 < r66.metal_area_mm2);
+    // performance must not collapse (paper: within ~2%)
+    assert!(r64.fclk_mhz > 0.6 * r66.fclk_mhz);
+}
+
+#[test]
+fn die_separation_partitions_everything() {
+    let tile = tiny_tile();
+    let imp = macro3d_flow::run_impl(&tile, &fast_flow_cfg());
+    let (logic, upper) = macro3d::layout::separate(&imp);
+    let total_insts = imp.design.num_insts();
+    assert_eq!(
+        logic.cells.len() + logic.macros.len() + upper.cells.len() + upper.macros.len(),
+        total_insts
+    );
+    // the F2F via layer is present in both parts (paper Sec. IV)
+    assert_eq!(logic.f2f_bumps.len(), upper.f2f_bumps.len());
+    assert!(!logic.f2f_bumps.is_empty());
+    // SVG rendering works for both dies
+    let svg = macro3d::layout::svg_layout(&upper);
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("circle"), "bumps rendered as red dots");
+}
+
+#[test]
+fn def_export_lists_all_components() {
+    let tile = tiny_tile();
+    let imp = flow2d::run_impl(&tile, &fast_flow_cfg());
+    let def = macro3d::layout::write_def(&imp.design, &imp);
+    assert!(def.contains("DIEAREA"));
+    assert!(def.contains(&format!("COMPONENTS {}", imp.design.num_insts())));
+    assert!(def.ends_with("END DESIGN\n"));
+}
+
+#[test]
+fn hold_is_clean_after_cts() {
+    let tile = tiny_tile();
+    let imp = macro3d_flow::run_impl(&tile, &fast_flow_cfg());
+    // delay-pad CTS balancing plus the hold-fix pass must leave no
+    // (meaningful) violation
+    assert!(
+        imp.hold.worst_slack_ps > -10.0,
+        "hold slack {}",
+        imp.hold.worst_slack_ps
+    );
+}
+
+#[test]
+fn svg_figures_render_for_tiny_tile() {
+    let tile = tiny_tile();
+    let cfg = fast_flow_cfg();
+    let imp2d = flow2d::run_impl(&tile, &cfg);
+    let macros: Vec<_> = imp2d
+        .fp
+        .macros
+        .iter()
+        .map(|mp| (mp.inst, mp.rect, mp.die))
+        .collect();
+    let fig4 = macro3d::layout::svg_floorplan(&imp2d.design, imp2d.fp.die(), &macros);
+    assert!(fig4.contains("</svg>"));
+    let fig5 = macro3d::layout::svg_implemented(&imp2d);
+    assert!(fig5.matches("<line").count() > 100, "routed wires rendered");
+}
+
+#[test]
+fn iso_performance_power_is_computable() {
+    let tile = tiny_tile();
+    let cfg = fast_flow_cfg();
+    let imp = macro3d_flow::run_impl(&tile, &cfg);
+    let p1 = imp.power_at(100.0, 0.2);
+    let p2 = imp.power_at(200.0, 0.2);
+    assert!(p2.total_mw > p1.total_mw);
+    assert!(p1.total_mw > 0.0);
+}
