@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, release build, full test
+# suite. Run from the workspace root; everything must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -1,9 +1,13 @@
-//! Criterion benches of the individual engines (scaling behaviour).
+//! Criterion benches of the individual engines (scaling behaviour),
+//! including the serial-vs-parallel router comparison. The router
+//! comparison also writes `BENCH_route.json` (measurements plus the
+//! Macro-3D flow's per-stage wall-clock) for offline tracking.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macro3d::flows::{Flow, Macro3d};
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::NetId;
 use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
-use macro3d_route::{route_design, RouteConfig};
+use macro3d_route::{route_design, Parallelism, RouteConfig};
 use macro3d_soc::{generate_tile, TileConfig};
 use macro3d_tech::stack::{n28_stack, DieRole};
 
@@ -11,9 +15,11 @@ fn bench_tile_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("netlist_generation");
     g.sample_size(10);
     for scale in [64.0, 32.0, 16.0] {
-        g.bench_with_input(BenchmarkId::new("small_cache", scale as u64), &scale, |b, &s| {
-            b.iter(|| generate_tile(&TileConfig::small_cache().with_scale(s)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("small_cache", scale as u64),
+            &scale,
+            |b, &s| b.iter(|| generate_tile(&TileConfig::small_cache().with_scale(s))),
+        );
     }
     g.finish();
 }
@@ -63,5 +69,103 @@ fn bench_router(c: &mut Criterion) {
     let _ = Dbu(0);
 }
 
-criterion_group!(benches, bench_tile_generation, bench_global_place, bench_router);
+/// Serial vs batched-parallel `route_design` on the large-cache tile
+/// (the macro-heavy configuration with the most routing work), plus a
+/// JSON dump for offline comparison.
+fn bench_route_parallelism(c: &mut Criterion) {
+    let cfg = macro3d::FlowConfig::default();
+    let tile = generate_tile(&TileConfig::large_cache().with_scale(64.0));
+    let lib = tile.design.library().clone();
+
+    // a quick standalone floorplan + global placement supplies
+    // realistic pin locations without the full flow
+    let budget = macro3d::flow::area_budget(&tile.design, &cfg);
+    let die = macro3d_place::floorplan::die_for_area(
+        2.0 * budget.a3d_um2,
+        1.0,
+        lib.row_height(),
+        lib.site_width(),
+    );
+    let fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+    let ports = PortPlan::assign(&tile.design, die);
+    let placement = global_place(&tile.design, &fp, &ports, &GlobalPlaceConfig::default());
+    let stack = n28_stack(cfg.logic_metals, DieRole::Logic);
+    let nets = macro3d::flow::route_pins(
+        &tile.design,
+        &placement,
+        &ports,
+        cfg.logic_metals,
+        stack.num_layers(),
+        false,
+    );
+
+    let mut g = c.benchmark_group("route_parallelism");
+    g.sample_size(5);
+    for (name, par) in [
+        ("serial", Parallelism::serial()),
+        ("parallel", Parallelism::default()),
+    ] {
+        let mut rc = cfg.route;
+        rc.parallelism = par;
+        g.bench_function(name, |b| {
+            b.iter(|| route_design(die, &stack, &[], &nets, tile.design.num_nets(), &rc))
+        });
+    }
+    g.finish();
+
+    // per-stage wall-clock of one full Macro-3D run on the same tile
+    let stage_times = Macro3d.run(&tile, &cfg).implemented.stage_times;
+    write_route_json(c, &stage_times);
+}
+
+/// Writes `BENCH_route.json`: the route_parallelism measurements and
+/// the flow's per-stage seconds.
+fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes) {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"effective_threads\": {},",
+        Parallelism::default().effective_threads()
+    );
+    s.push_str("  \"route\": [\n");
+    let route: Vec<_> = c
+        .measurements()
+        .iter()
+        .filter(|m| m.id.starts_with("route_parallelism/"))
+        .collect();
+    for (k, m) in route.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"id\": \"{}\", \"samples\": {}, \"min_s\": {:.6}, \"mean_s\": {:.6}, \"max_s\": {:.6}}}{}",
+            m.id,
+            m.samples,
+            m.min.as_secs_f64(),
+            m.mean.as_secs_f64(),
+            m.max.as_secs_f64(),
+            if k + 1 < route.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"macro3d_stage_seconds\": [\n");
+    for (k, (stage, secs)) in stages.stages.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    [\"{stage}\", {secs:.6}]{}",
+            if k + 1 < stages.stages.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_route.json", &s) {
+        Ok(()) => eprintln!("wrote BENCH_route.json"),
+        Err(e) => eprintln!("could not write BENCH_route.json: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_tile_generation,
+    bench_global_place,
+    bench_router,
+    bench_route_parallelism
+);
 criterion_main!(benches);

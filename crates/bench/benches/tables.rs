@@ -2,8 +2,8 @@
 //! run finishes in minutes).
 use criterion::{criterion_group, criterion_main, Criterion};
 use macro3d::experiments::ExperimentConfig;
-use macro3d::s2d::S2dStyle;
-use macro3d::{flow2d, macro3d_flow, s2d, FlowConfig};
+use macro3d::flows::{standard_flows, Flow, Macro3d};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn bench_cfg() -> ExperimentConfig {
@@ -18,11 +18,13 @@ fn bench_table1_flows(c: &mut Criterion) {
     let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
-    g.bench_function("flow_2d", |b| b.iter(|| flow2d::run(&tile, &cfg.flow)));
-    g.bench_function("flow_macro3d", |b| b.iter(|| macro3d_flow::run(&tile, &cfg.flow)));
-    g.bench_function("flow_s2d_mol", |b| {
-        b.iter(|| s2d::run(&tile, &cfg.flow, S2dStyle::MemoryOnLogic))
-    });
+    // 2D, MoL S2D and Macro-3D columns through the unified Flow trait
+    for flow in standard_flows() {
+        if flow.name() == "BF S2D" {
+            continue; // near-identical cost to MoL S2D
+        }
+        g.bench_function(flow.name(), |b| b.iter(|| flow.run(&tile, &cfg.flow)));
+    }
     g.finish();
 }
 
@@ -31,7 +33,7 @@ fn bench_figure_rendering(c: &mut Criterion) {
     // design (the flow run happens once in setup).
     let cfg = bench_cfg();
     let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
-    let imp = macro3d::macro3d_flow::run_impl(&tile, &cfg.flow);
+    let imp = Macro3d.run(&tile, &cfg.flow).implemented;
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g.bench_function("fig4_floorplan_svg", |b| {
@@ -48,7 +50,10 @@ fn bench_figure_rendering(c: &mut Criterion) {
     g.bench_function("fig6_die_separation_svg", |b| {
         b.iter(|| {
             let (logic, upper) = macro3d::layout::separate(&imp);
-            (macro3d::layout::svg_layout(&logic), macro3d::layout::svg_layout(&upper))
+            (
+                macro3d::layout::svg_layout(&logic),
+                macro3d::layout::svg_layout(&upper),
+            )
         })
     });
     g.finish();
@@ -61,9 +66,14 @@ fn bench_table3_variant(c: &mut Criterion) {
     g.sample_size(10);
     let mut f64_ = cfg.flow.clone();
     f64_.macro_metals = 4;
-    g.bench_function("macro3d_m6m4", |b| b.iter(|| macro3d_flow::run(&tile, &f64_)));
+    g.bench_function("macro3d_m6m4", |b| b.iter(|| Macro3d.run(&tile, &f64_)));
     g.finish();
 }
 
-criterion_group!(benches, bench_table1_flows, bench_table3_variant, bench_figure_rendering);
+criterion_group!(
+    benches,
+    bench_table1_flows,
+    bench_table3_variant,
+    bench_figure_rendering
+);
 criterion_main!(benches);

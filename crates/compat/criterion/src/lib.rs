@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so the workspace
+//! vendors the API subset its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`] and [`black_box`]. Instead of
+//! criterion's statistical engine it runs a fixed warm-up plus
+//! `sample_size` timed iterations and prints min / mean / max
+//! wall-clock per benchmark — enough to compare engine variants and
+//! track regressions. Measurements are also collected on the
+//! [`Criterion`] value so harness code can post-process them (the
+//! route bench writes them to JSON).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Number of timed iterations.
+    pub samples: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+/// Benchmark identifier: function name plus a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` with a displayed parameter, e.g. `route/nets=2000`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(usize, Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `f` once warm-up plus `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.result = Some((self.sample_size, min, total / self.sample_size as u32, max));
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(id, sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.name);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(id, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; measurements are
+    /// reported as they complete).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (default sample size).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(name.to_string(), 10, f);
+        self
+    }
+
+    /// Completed measurements, in run order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut b = Bencher {
+            sample_size,
+            result: None,
+        };
+        f(&mut b);
+        let Some((samples, min, mean, max)) = b.result else {
+            eprintln!("bench {id:<44} (no iter() call)");
+            return;
+        };
+        println!(
+            "bench {id:<44} min {min:>12.3?}  mean {mean:>12.3?}  max {max:>12.3?}  ({samples} samples)"
+        );
+        self.measurements.push(Measurement {
+            id,
+            samples,
+            min,
+            mean,
+            max,
+        });
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "g/noop");
+        assert_eq!(c.measurements()[0].samples, 3);
+        assert_eq!(c.measurements()[1].id, "g/param/42");
+    }
+}

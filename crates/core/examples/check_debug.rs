@@ -1,22 +1,32 @@
 //! Debugs checker findings on the tiny integration tile.
-use macro3d::{flow2d, FlowConfig};
+use macro3d::flows::{Flow, Flow2d, Macro3d};
+use macro3d::FlowConfig;
 
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
     let mut cfg = TileConfig::small_cache().with_scale(32.0);
-    cfg.l3_kb = 64; cfg.l2_kb = 8; cfg.l1i_kb = 8; cfg.l1d_kb = 8;
-    cfg.noc_width = 4; cfg.core_kgates = 26.0; cfg.l3_ctrl_kgates = 5.0;
-    cfg.l2_ctrl_kgates = 4.0; cfg.l1i_ctrl_kgates = 3.0; cfg.l1d_ctrl_kgates = 3.0;
+    cfg.l3_kb = 64;
+    cfg.l2_kb = 8;
+    cfg.l1i_kb = 8;
+    cfg.l1d_kb = 8;
+    cfg.noc_width = 4;
+    cfg.core_kgates = 26.0;
+    cfg.l3_ctrl_kgates = 5.0;
+    cfg.l2_ctrl_kgates = 4.0;
+    cfg.l1i_ctrl_kgates = 3.0;
+    cfg.l1d_ctrl_kgates = 3.0;
     cfg.noc_kgates = 2.0;
     let tile = generate_tile(&cfg);
-    let mut fc = FlowConfig::default();
-    fc.sizing_rounds = 2;
+    let mut fc = FlowConfig::builder()
+        .sizing_rounds(2)
+        .build()
+        .expect("valid config");
     fc.route.iterations = 2;
     let imp = if std::env::args().nth(1).as_deref() == Some("3d") {
-        macro3d::macro3d_flow::run_impl(&tile, &fc)
+        Macro3d.run(&tile, &fc).implemented
     } else {
-        flow2d::run_impl(&tile, &fc)
+        Flow2d.run(&tile, &fc).implemented
     };
     let die = imp.fp.die();
     println!("die {:?}", die);
@@ -25,15 +35,29 @@ fn main() {
         imp.fp.blockages.len(),
         imp.fp.usable_area_um2(die),
         die.area_um2(),
-        imp.fp.macros.iter().filter(|m| m.die == macro3d_tech::stack::DieRole::Logic).count()
+        imp.fp
+            .macros
+            .iter()
+            .filter(|m| m.die == macro3d_tech::stack::DieRole::Logic)
+            .count()
     );
-    let cell_area: f64 = imp.design.inst_ids().filter(|&i| !imp.design.is_macro(i)).map(|i| imp.design.inst_area_um2(i)).sum();
+    let cell_area: f64 = imp
+        .design
+        .inst_ids()
+        .filter(|&i| !imp.design.is_macro(i))
+        .map(|i| imp.design.inst_area_um2(i))
+        .sum();
     println!("cell area {:.0}um2", cell_area);
     let mut shown = 0;
     for i in imp.design.inst_ids() {
         let r = imp.placement.rect(&imp.design, i);
         if !die.contains_rect(r) && shown < 12 {
-            println!("OUT {} {:?} master {:?}", imp.design.inst(i).name, r, imp.design.inst(i).master);
+            println!(
+                "OUT {} {:?} master {:?}",
+                imp.design.inst(i).name,
+                r,
+                imp.design.inst(i).master
+            );
             shown += 1;
         }
     }
@@ -44,7 +68,8 @@ fn main() {
         .inst_ids()
         .filter(|&i| !imp.design.is_macro(i))
         .collect();
-    let mut idx: RectIndex<macro3d_netlist::InstId> = RectIndex::new(die.inflate(Dbu::from_um(50.0)), Dbu::from_um(20.0));
+    let mut idx: RectIndex<macro3d_netlist::InstId> =
+        RectIndex::new(die.inflate(Dbu::from_um(50.0)), Dbu::from_um(20.0));
     let mut pairs = 0;
     for &i in &cells {
         let r = imp.placement.rect(&imp.design, i);

@@ -1,20 +1,21 @@
 //! Large-cache config smoke: 2D vs Macro-3D.
-use macro3d::report::PpaResult;
-use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d::flows::{Flow, Flow2d, Macro3d};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
     let cfg = FlowConfig::default();
     let tile = generate_tile(&TileConfig::large_cache().with_scale(scale));
     println!("large tile: {} insts", tile.design.num_insts());
     let t = std::time::Instant::now();
-    let i2 = flow2d::run_impl(&tile, &cfg);
+    let r2 = Flow2d.run(&tile, &cfg).ppa;
     println!("2D in {:?}", t.elapsed());
     let t = std::time::Instant::now();
-    let i3 = macro3d_flow::run_impl(&tile, &cfg);
+    let r3 = Macro3d.run(&tile, &cfg).ppa;
     println!("M3D in {:?}", t.elapsed());
-    let r2 = PpaResult::from_impl("2D", &i2);
-    let r3 = PpaResult::from_impl("Macro-3D", &i3);
     println!("{}", macro3d::report::comparison_table(&[&r2, &r3]));
 }

@@ -1,13 +1,18 @@
 //! Dumps the critical path of the 2D flow for debugging.
-use macro3d::{flow2d, FlowConfig};
+use macro3d::flows::{Flow, Flow2d};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
     let cfg = FlowConfig::default();
     let large = std::env::args().nth(1).as_deref() == Some("large");
-    let tc = if large { TileConfig::large_cache() } else { TileConfig::small_cache() };
+    let tc = if large {
+        TileConfig::large_cache()
+    } else {
+        TileConfig::small_cache()
+    };
     let tile = generate_tile(&tc.with_scale(16.0));
-    let imp = flow2d::run_impl(&tile, &cfg);
+    let imp = Flow2d.run(&tile, &cfg).implemented;
     println!(
         "min period {:.0}ps, {} crit nets, overflow {:.0} ({} edges), insertion {:.0}ps skew {:.0}ps",
         imp.timing.min_period_ps,
@@ -19,7 +24,12 @@ fn main() {
     );
     println!(
         "{}",
-        macro3d_sta::format_critical_path(&imp.design, &imp.parasitics, Some(&imp.routed), &imp.timing)
+        macro3d_sta::format_critical_path(
+            &imp.design,
+            &imp.parasitics,
+            Some(&imp.routed),
+            &imp.timing
+        )
     );
     for &n in &imp.timing.crit_path_nets {
         let net = imp.design.net(n);
@@ -41,7 +51,12 @@ fn main() {
         };
         println!(
             "  net {:<28} deg {:>3} wl {:>8.1}um elmore_max {:>8.1}ps load {:>8.1}fF drv {}",
-            net.name, net.pins.len(), wl, emax, par.driver_load_ff, drv_name
+            net.name,
+            net.pins.len(),
+            wl,
+            emax,
+            par.driver_load_ff,
+            drv_name
         );
     }
 }

@@ -1,13 +1,27 @@
-//! Profiles one MoL S2D run with stage timing (MACRO3D_VERBOSE).
-use macro3d::s2d::{run_impl, S2dStyle};
+//! Profiles one MoL S2D run with per-stage wall-clock.
+use macro3d::flows::{Flow, S2d};
+use macro3d::s2d::S2dStyle;
 use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
     let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
     let t = std::time::Instant::now();
-    let (imp, diag) = run_impl(&tile, &FlowConfig::default(), S2dStyle::MemoryOnLogic);
-    eprintln!("total {:?}; fclk {:.1} MHz; disp {:.1}um; bumps {}",
-        t.elapsed(), imp.timing.fclk_mhz, diag.overlap_fix_mean_disp_um, diag.planned_bumps);
+    let out = S2d {
+        style: S2dStyle::MemoryOnLogic,
+    }
+    .run(&tile, &FlowConfig::default());
+    let diag = out.diagnostics.expect("S2D diagnostics");
+    eprintln!(
+        "total {:?}; fclk {:.1} MHz; disp {:.1}um; bumps {}",
+        t.elapsed(),
+        out.implemented.timing.fclk_mhz,
+        diag.overlap_fix_mean_disp_um,
+        diag.planned_bumps
+    );
+    eprintln!("{}", out.implemented.stage_times);
 }

@@ -1,32 +1,31 @@
 //! Quick end-to-end smoke run of the 2D and Macro-3D flows with
 //! diagnostics.
-use macro3d::report::PpaResult;
-use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d::flows::{Flow, Flow2d, Macro3d};
+use macro3d::FlowConfig;
 use macro3d_netlist::DesignStats;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
     let cfg = FlowConfig::default();
     let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
-    println!("tile: {} insts, {} nets", tile.design.num_insts(), tile.design.num_nets());
+    println!(
+        "tile: {} insts, {} nets",
+        tile.design.num_insts(),
+        tile.design.num_nets()
+    );
 
-    for (name, imp) in [
-        ("2D", {
-            let t0 = std::time::Instant::now();
-            let i = flow2d::run_impl(&tile, &cfg);
-            println!("2D done in {:?}", t0.elapsed());
-            i
-        }),
-        ("Macro-3D", {
-            let t0 = std::time::Instant::now();
-            let i = macro3d_flow::run_impl(&tile, &cfg);
-            println!("Macro-3D done in {:?}", t0.elapsed());
-            i
-        }),
-    ] {
-        let ppa = PpaResult::from_impl(name, &imp);
-        println!("{ppa}");
+    let flows: [&dyn Flow; 2] = [&Flow2d, &Macro3d];
+    for flow in flows {
+        let t0 = std::time::Instant::now();
+        let out = flow.run(&tile, &cfg);
+        println!("{} done in {:?}", flow.name(), t0.elapsed());
+        let imp = out.implemented;
+        println!("{}", out.ppa);
+        println!("{}", imp.stage_times);
         let s = DesignStats::compute(&imp.design);
         println!(
             "  insts {} | crit stages {} | skew {:.0}ps | route overflow {:.0} ({} edges, max util {:.2}) | min period {:.0}ps",

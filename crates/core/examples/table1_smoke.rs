@@ -1,28 +1,35 @@
-//! Smoke run of all Table I flows.
-use macro3d::s2d::S2dStyle;
-use macro3d::{c2d, flow2d, macro3d_flow, s2d, FlowConfig};
+//! Smoke run of all Table I flows (plus C2D) through the `Flow` trait.
+use macro3d::flows::all_flows;
+
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16.0);
     let cfg = FlowConfig::default();
     let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
-    let t = std::time::Instant::now();
-    let r2d = flow2d::run(&tile, &cfg);
-    eprintln!("2D: {:?}", t.elapsed());
-    let t = std::time::Instant::now();
-    let (smol, d1) = s2d::run_impl(&tile, &cfg, S2dStyle::MemoryOnLogic);
-    eprintln!("MoL S2D: {:?} (disp {:.1}um, {} cells on top, {} planned bumps)", t.elapsed(), d1.overlap_fix_mean_disp_um, d1.cells_on_macro_die, d1.planned_bumps);
-    let rmol = macro3d::PpaResult::from_impl("MoL S2D", &smol);
-    let t = std::time::Instant::now();
-    let (sbf, d2) = s2d::run_impl(&tile, &cfg, S2dStyle::Balanced);
-    eprintln!("BF S2D: {:?} (disp {:.1}um, {} cells on top, {} planned bumps)", t.elapsed(), d2.overlap_fix_mean_disp_um, d2.cells_on_macro_die, d2.planned_bumps);
-    let rbf = macro3d::PpaResult::from_impl("BF S2D", &sbf);
-    let t = std::time::Instant::now();
-    let r3d = macro3d_flow::run(&tile, &cfg);
-    eprintln!("Macro-3D: {:?}", t.elapsed());
-    let t = std::time::Instant::now();
-    let rc2d = c2d::run(&tile, &cfg);
-    eprintln!("C2D: {:?}", t.elapsed());
-    println!("{}", macro3d::report::comparison_table(&[&r2d, &rmol, &rbf, &rc2d, &r3d]));
+    let mut rows = Vec::new();
+    for flow in all_flows() {
+        let t = std::time::Instant::now();
+        let out = flow.run(&tile, &cfg);
+        match out.diagnostics {
+            Some(d) => eprintln!(
+                "{}: {:?} (disp {:.1}um, {} cells on top, {} planned bumps)",
+                flow.name(),
+                t.elapsed(),
+                d.overlap_fix_mean_disp_um,
+                d.cells_on_macro_die,
+                d.planned_bumps
+            ),
+            None => eprintln!("{}: {:?}", flow.name(), t.elapsed()),
+        }
+        let mut ppa = out.ppa;
+        ppa.flow = flow.name().to_string();
+        rows.push(ppa);
+    }
+    let refs: Vec<&macro3d::PpaResult> = rows.iter().collect();
+    println!("{}", macro3d::report::comparison_table(&refs));
 }

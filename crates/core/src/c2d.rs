@@ -13,7 +13,7 @@
 
 use crate::flow::{
     area_budget, assign_macros_mol, finish_design, macro_obstacles, route_pins, sta_constraints,
-    FlowConfig, ImplementedDesign,
+    FlowConfig, ImplementedDesign, StageTimer,
 };
 use crate::s2d::{partition_and_finalize, S2dDiagnostics};
 use macro3d_geom::Dbu;
@@ -22,7 +22,7 @@ use macro3d_place::floorplan::die_for_area;
 use macro3d_place::{BlockageKind, Floorplan, PortPlan};
 use macro3d_route::route_design;
 use macro3d_soc::TileNetlist;
-use macro3d_sta::{analyze, clock_arrivals, upsize_critical_path, StaInput};
+use macro3d_sta::{analyze_par, clock_arrivals, upsize_critical_path, StaInput};
 use macro3d_tech::stack::{n28_stack, DieRole};
 use macro3d_tech::{CombinedBeol, Corner, F2fSpec};
 
@@ -31,14 +31,23 @@ use macro3d_tech::{CombinedBeol, Corner, F2fSpec};
 /// # Panics
 ///
 /// Panics if macro packing fails.
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2dDiagnostics) {
+pub(crate) fn implement(
+    tile: &TileNetlist,
+    cfg: &FlowConfig,
+) -> (ImplementedDesign, S2dDiagnostics) {
+    let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
     let budget = area_budget(&design, cfg);
     let lib = design.library().clone();
 
     let die_3d = die_for_area(budget.a3d_um2, 1.0, lib.row_height(), lib.site_width());
-    let die_2x = die_for_area(2.0 * budget.a3d_um2, 1.0, lib.row_height(), lib.site_width());
+    let die_2x = die_for_area(
+        2.0 * budget.a3d_um2,
+        1.0,
+        lib.row_height(),
+        lib.site_width(),
+    );
     let halo = Dbu::from_um(cfg.halo_um);
     let up = (die_2x.width().0 as f64 / die_3d.width().0 as f64).max(1.0);
 
@@ -60,14 +69,41 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2d
     fp_2x.quantize_partial_blockages(Dbu::from_um(cfg.partial_blockage_period_um));
 
     let ports_2x = PortPlan::assign(&design, die_2x);
-    let (mut placement, tree) =
-        crate::flow::place_pipeline(&mut design, &fp_2x, &ports_2x, &constraints, cfg);
+    timer.mark("floorplan");
+    let (mut placement, tree) = crate::flow::place_pipeline(
+        &mut design,
+        &fp_2x,
+        &ports_2x,
+        &constraints,
+        cfg,
+        &mut timer,
+    );
 
     let stack_2d = n28_stack(cfg.logic_metals, DieRole::Logic);
-    let obstacles = macro_obstacles(&design, &fp_2x, cfg.logic_metals, stack_2d.num_layers(), false);
-    let nets = route_pins(&design, &placement, &ports_2x, cfg.logic_metals, stack_2d.num_layers(), false);
-    let routed_stage1 =
-        route_design(die_2x, &stack_2d, &obstacles, &nets, design.num_nets(), &cfg.route);
+    let obstacles = macro_obstacles(
+        &design,
+        &fp_2x,
+        cfg.logic_metals,
+        stack_2d.num_layers(),
+        false,
+    );
+    let nets = route_pins(
+        &design,
+        &placement,
+        &ports_2x,
+        cfg.logic_metals,
+        stack_2d.num_layers(),
+        false,
+    );
+    let routed_stage1 = route_design(
+        die_2x,
+        &stack_2d,
+        &obstacles,
+        &nets,
+        design.num_nets(),
+        &cfg.route,
+    );
+    timer.mark("c2d_stage1_route");
     let mut parasitics = crate::flow::extract_all(
         &design,
         &placement,
@@ -76,6 +112,7 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2d
         &routed_stage1,
         &constraints,
         Corner::signoff(),
+        &cfg.parallelism,
     );
     // C2D's per-unit-length parasitic scaling: 1/sqrt(2) on R and C
     let s = 1.0 / 2.0_f64.sqrt();
@@ -90,20 +127,24 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2d
     }
     let clock_stage1 = clock_arrivals(&design, &tree, &parasitics, Corner::signoff());
     for _ in 0..cfg.sizing_rounds {
-        let t = analyze(&StaInput {
-            design: &design,
-            parasitics: &parasitics,
-            routed: Some(&routed_stage1),
-            constraints: &constraints,
-            clock: &clock_stage1,
-            corner: Corner::signoff(),
-        });
+        let t = analyze_par(
+            &StaInput {
+                design: &design,
+                parasitics: &parasitics,
+                routed: Some(&routed_stage1),
+                constraints: &constraints,
+                clock: &clock_stage1,
+                corner: Corner::signoff(),
+            },
+            &cfg.parallelism,
+        );
         let changes = upsize_critical_path(&mut design, &t);
         if changes.is_empty() {
             break;
         }
         macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
     }
+    timer.mark("c2d_stage1_sizing");
 
     // --- stage 2: linear mapping into the F2F footprint --------------
     let down = 1.0 / up;
@@ -125,6 +166,7 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2d
         &tree,
         cfg,
     );
+    timer.mark("c2d_partition_fix");
 
     // --- stage 4: re-route on the combined stack with C2D's
     // post-tier-partitioning optimization enabled ----------------------
@@ -151,13 +193,21 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2d
         cfg,
         true,
         cfg.sizing_rounds, // post-partition optimization (C2D's addition)
+        timer,
     );
     (imp, diag)
 }
 
+/// Runs the C2D flow.
+#[deprecated(note = "use `flows::C2d` via the `Flow` trait instead")]
+pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2dDiagnostics) {
+    implement(tile, cfg)
+}
+
 /// Runs C2D and returns its PPA row.
+#[deprecated(note = "use `flows::C2d` via the `Flow` trait instead")]
 pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
-    let (imp, _) = run_impl(tile, cfg);
+    let (imp, _) = implement(tile, cfg);
     let mut ppa = crate::PpaResult::from_impl("C2D", &imp);
     ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
     ppa

@@ -68,9 +68,7 @@ pub fn verify(imp: &ImplementedDesign) -> CheckReport {
     for die_role in [DieRole::Logic, DieRole::Macro] {
         let cells: Vec<_> = design
             .inst_ids()
-            .filter(|&i| {
-                !design.is_macro(i) && imp.placement.die_of[i.index()] == die_role
-            })
+            .filter(|&i| !design.is_macro(i) && imp.placement.die_of[i.index()] == die_role)
             .collect();
         report.cell_overlaps += count_overlaps(design, &imp.placement, &cells);
     }
@@ -128,11 +126,15 @@ mod tests {
 
     #[test]
     fn any_flag_marks_dirty() {
-        let mut r = CheckReport::default();
-        r.unrouted_nets = 1;
+        let r = CheckReport {
+            unrouted_nets: 1,
+            ..CheckReport::default()
+        };
         assert!(!r.is_clean());
-        r = CheckReport::default();
-        r.netlist_error = Some("boom".into());
+        let r = CheckReport {
+            netlist_error: Some("boom".into()),
+            ..CheckReport::default()
+        };
         assert!(!r.is_clean());
     }
 }

@@ -8,9 +8,9 @@
 //! carries the paper's reference rows for side-by-side printing.
 
 use crate::flow::FlowConfig;
+use crate::flows::{standard_flows, C2d, Flow, Flow2d, Macro3d};
+use crate::layout;
 use crate::report::{comparison_table, PpaResult};
-use crate::s2d::S2dStyle;
-use crate::{c2d, flow2d, layout, macro3d_flow, s2d};
 use macro3d_soc::{generate_tile, TileConfig};
 use std::fmt::Write as _;
 
@@ -32,10 +32,34 @@ pub struct PaperRow {
 
 /// Table I reference (small-cache system, max performance).
 pub const TABLE1_PAPER: [PaperRow; 4] = [
-    PaperRow { flow: "2D", fclk_mhz: 390.0, emean_fj: 116.7, footprint_mm2: 1.20, f2f_bumps: 0 },
-    PaperRow { flow: "MoL S2D", fclk_mhz: 227.0, emean_fj: 123.1, footprint_mm2: 0.60, f2f_bumps: 5_405 },
-    PaperRow { flow: "BF S2D", fclk_mhz: 260.0, emean_fj: 112.9, footprint_mm2: 0.60, f2f_bumps: 8_703 },
-    PaperRow { flow: "Macro-3D", fclk_mhz: 470.0, emean_fj: 117.6, footprint_mm2: 0.60, f2f_bumps: 4_740 },
+    PaperRow {
+        flow: "2D",
+        fclk_mhz: 390.0,
+        emean_fj: 116.7,
+        footprint_mm2: 1.20,
+        f2f_bumps: 0,
+    },
+    PaperRow {
+        flow: "MoL S2D",
+        fclk_mhz: 227.0,
+        emean_fj: 123.1,
+        footprint_mm2: 0.60,
+        f2f_bumps: 5_405,
+    },
+    PaperRow {
+        flow: "BF S2D",
+        fclk_mhz: 260.0,
+        emean_fj: 112.9,
+        footprint_mm2: 0.60,
+        f2f_bumps: 8_703,
+    },
+    PaperRow {
+        flow: "Macro-3D",
+        fclk_mhz: 470.0,
+        emean_fj: 117.6,
+        footprint_mm2: 0.60,
+        f2f_bumps: 4_740,
+    },
 ];
 
 /// Experiment-wide configuration.
@@ -66,12 +90,15 @@ pub struct Table1 {
 /// flows on the small-cache system.
 pub fn table1(cfg: &ExperimentConfig) -> Table1 {
     let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
-    let rows = vec![
-        flow2d::run(&tile, &cfg.flow),
-        s2d::run(&tile, &cfg.flow, S2dStyle::MemoryOnLogic),
-        s2d::run(&tile, &cfg.flow, S2dStyle::Balanced),
-        macro3d_flow::run(&tile, &cfg.flow),
-    ];
+    let rows = standard_flows()
+        .iter()
+        .map(|flow| {
+            let mut ppa = flow.run(&tile, &cfg.flow).ppa;
+            // Table I labels Macro-3D without the metal-depth suffix.
+            ppa.flow = flow.name().to_string();
+            ppa
+        })
+        .collect();
     Table1 { rows }
 }
 
@@ -79,7 +106,10 @@ impl Table1 {
     /// Formats measured-vs-paper rows.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "=== Table I: max-performance PPA & cost (small-cache) ===");
+        let _ = writeln!(
+            s,
+            "=== Table I: max-performance PPA & cost (small-cache) ==="
+        );
         let refs: Vec<&PpaResult> = self.rows.iter().collect();
         s.push_str(&comparison_table(&refs));
         let _ = writeln!(s, "--- paper reference ---");
@@ -120,17 +150,16 @@ pub struct Table2 {
 pub fn table2(cfg: &ExperimentConfig) -> Table2 {
     let run_one = |tc: TileConfig| -> Table2Config {
         let tile = generate_tile(&tc.with_scale(cfg.scale));
-        let imp2d = flow2d::run_impl(&tile, &cfg.flow);
-        let imp3d = macro3d_flow::run_impl(&tile, &cfg.flow);
-        let r2d = PpaResult::from_impl("2D", &imp2d);
-        let mut r3d = PpaResult::from_impl("Macro-3D", &imp3d);
-        r3d.metal_area_mm2 =
-            r3d.footprint_mm2 * (cfg.flow.logic_metals + cfg.flow.macro_metals) as f64;
+        let out2d = Flow2d.run(&tile, &cfg.flow);
+        let out3d = Macro3d.run(&tile, &cfg.flow);
+        let r2d = out2d.ppa;
+        let mut r3d = out3d.ppa;
+        r3d.flow = "Macro-3D".to_string();
         // iso-performance: both at the 2D max frequency
         let f_iso = r2d.fclk_mhz;
-        let toggle = imp2d.constraints.toggle_rate;
-        let iso2d = imp2d.power_at(f_iso, toggle).total_mw;
-        let iso3d = imp3d.power_at(f_iso, toggle).total_mw;
+        let toggle = out2d.implemented.constraints.toggle_rate;
+        let iso2d = out2d.implemented.power_at(f_iso, toggle).total_mw;
+        let iso3d = out3d.implemented.power_at(f_iso, toggle).total_mw;
         Table2Config {
             r2d,
             r3d,
@@ -212,8 +241,8 @@ pub fn table3(cfg: &ExperimentConfig) -> Table3 {
         let mut f64_ = cfg.flow.clone();
         f64_.macro_metals = 4;
         Table3Config {
-            m6m6: macro3d_flow::run(&tile, &f66),
-            m6m4: macro3d_flow::run(&tile, &f64_),
+            m6m6: Macro3d.run(&tile, &f66).ppa,
+            m6m4: Macro3d.run(&tile, &f64_).ppa,
         }
     };
     Table3 {
@@ -267,8 +296,8 @@ pub struct Figures {
 pub fn figures(cfg: &ExperimentConfig, tc: TileConfig) -> Figures {
     let name = tc.name.clone();
     let tile = generate_tile(&tc.with_scale(cfg.scale));
-    let imp2d = flow2d::run_impl(&tile, &cfg.flow);
-    let imp3d = macro3d_flow::run_impl(&tile, &cfg.flow);
+    let imp2d = Flow2d.run(&tile, &cfg.flow).implemented;
+    let imp3d = Macro3d.run(&tile, &cfg.flow).implemented;
 
     let macro_list = |imp: &crate::flow::ImplementedDesign| {
         imp.fp
@@ -294,8 +323,14 @@ pub fn figures(cfg: &ExperimentConfig, tc: TileConfig) -> Figures {
     )];
     let (logic, upper) = layout::separate(&imp3d);
     let fig6 = vec![
-        (format!("fig6_{name}_logic_die.svg"), layout::svg_layout(&logic)),
-        (format!("fig6_{name}_macro_die.svg"), layout::svg_layout(&upper)),
+        (
+            format!("fig6_{name}_logic_die.svg"),
+            layout::svg_layout(&logic),
+        ),
+        (
+            format!("fig6_{name}_macro_die.svg"),
+            layout::svg_layout(&upper),
+        ),
     ];
     Figures { fig4, fig5, fig6 }
 }
@@ -305,5 +340,5 @@ pub fn figures(cfg: &ExperimentConfig, tc: TileConfig) -> Figures {
 /// macro-heavy designs).
 pub fn c2d_comparison(cfg: &ExperimentConfig) -> PpaResult {
     let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
-    c2d::run(&tile, &cfg.flow)
+    C2d.run(&tile, &cfg.flow).ppa
 }

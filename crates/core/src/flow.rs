@@ -4,21 +4,24 @@
 use macro3d_extract::{extract_net, NetParasitics};
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
-use macro3d_place::{
-    global_place, legalize, Floorplan, GlobalPlaceConfig, Placement, PortPlan,
-};
+use macro3d_par::{parallel_map, Parallelism};
+use macro3d_place::{global_place, legalize, Floorplan, GlobalPlaceConfig, Placement, PortPlan};
 use macro3d_route::{route_design, RouteConfig, RoutedDesign};
 use macro3d_soc::TileNetlist;
 use macro3d_sta::{
-    analyze, analyze_power, check_hold, clock_arrivals, insert_repeaters,
-    synthesize_clock_tree, upsize_critical_path, ClockArrivals, ClockTree, CtsConfig,
-    HoldReport, PowerInput, PowerReport, StaConstraints, StaInput, TimingReport,
+    analyze_par, analyze_power, check_hold, clock_arrivals, insert_repeaters,
+    synthesize_clock_tree, upsize_critical_path, ClockArrivals, ClockTree, CtsConfig, HoldReport,
+    PowerInput, PowerReport, StaConstraints, StaInput, TimingReport,
 };
 use macro3d_tech::stack::{DieRole, MetalStack};
 use macro3d_tech::Corner;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Configuration shared by all flows.
+///
+/// Build one with [`FlowConfig::builder`] to get range validation, or
+/// use [`FlowConfig::default`] and mutate fields directly.
 #[derive(Clone, Debug)]
 pub struct FlowConfig {
     /// Metal layers on the logic die.
@@ -38,7 +41,7 @@ pub struct FlowConfig {
     /// relative delay cost (keeps buffer area calibrated; see
     /// DESIGN.md §5).
     pub repeater_max_len_um: f64,
-    /// Router settings.
+    /// Router settings (including the router's own parallelism knob).
     pub route: RouteConfig,
     /// CTS settings.
     pub cts: CtsConfig,
@@ -50,6 +53,12 @@ pub struct FlowConfig {
     pub partial_blockage_period_um: f64,
     /// Global placement settings.
     pub place: GlobalPlaceConfig,
+    /// Worker threads for the per-net extraction fan-out and the STA
+    /// endpoint checks. The router reads `route.parallelism` instead
+    /// (so routing batch granularity can be tuned independently);
+    /// [`crate::config::FlowConfigBuilder::parallelism`] sets both.
+    /// Results are identical for any thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FlowConfig {
@@ -66,7 +75,15 @@ impl Default for FlowConfig {
             sizing_rounds: 8,
             partial_blockage_period_um: 8.0,
             place: GlobalPlaceConfig::default(),
+            parallelism: Parallelism::default(),
         }
+    }
+}
+
+impl FlowConfig {
+    /// Starts a validated builder seeded with the defaults.
+    pub fn builder() -> crate::config::FlowConfigBuilder {
+        crate::config::FlowConfigBuilder::new()
     }
 }
 
@@ -119,7 +136,11 @@ fn macro_rect_at_origin(design: &Design, inst: InstId) -> Rect {
 /// Splits the macros of a design into (macro-die, logic-die) sets for
 /// an MoL stack: largest first onto the macro die until its
 /// utilization target is reached.
-pub fn assign_macros_mol(design: &Design, die_area_um2: f64, cfg: &FlowConfig) -> (Vec<InstId>, Vec<InstId>) {
+pub fn assign_macros_mol(
+    design: &Design,
+    die_area_um2: f64,
+    cfg: &FlowConfig,
+) -> (Vec<InstId>, Vec<InstId>) {
     let mut macros: Vec<InstId> = design.inst_ids().filter(|&i| design.is_macro(i)).collect();
     macros.sort_by(|&a, &b| {
         design
@@ -212,6 +233,8 @@ pub struct ImplementedDesign {
     /// Number of logic-die metal layers in `stack` (layers at or
     /// above this index belong to the macro die).
     pub logic_metals: usize,
+    /// Wall-clock per flow stage, in execution order.
+    pub stage_times: StageTimes,
 }
 
 impl ImplementedDesign {
@@ -260,9 +283,7 @@ pub fn pin_layer(
         PinRef::Port(_) => top_logic,
         PinRef::Inst { inst, pin } => match design.inst(inst).master {
             Master::Cell(_) => {
-                if placement.die_of[inst.index()] == DieRole::Macro
-                    && stack_layers > logic_metals
-                {
+                if placement.die_of[inst.index()] == DieRole::Macro && stack_layers > logic_metals {
                     // standard cell partitioned onto the top die
                     logic_metals as u16
                 } else {
@@ -335,7 +356,14 @@ pub fn route_pins(
                 .map(|&p| {
                     (
                         macro3d_place::pin_position(design, placement, ports, p),
-                        pin_layer(design, placement, p, logic_metals, stack_layers, macro_pins_projected),
+                        pin_layer(
+                            design,
+                            placement,
+                            p,
+                            logic_metals,
+                            stack_layers,
+                            macro_pins_projected,
+                        ),
                     )
                 })
                 .collect();
@@ -346,6 +374,11 @@ pub fn route_pins(
 
 /// Extracts every net of a routed design. Sink order matches
 /// `design.sinks(net)`; output ports contribute the constraint load.
+///
+/// Nets are independent, so the per-net work fans out over `par`
+/// worker threads; results land in `NetId` order regardless of the
+/// thread count.
+#[allow(clippy::too_many_arguments)]
 pub fn extract_all(
     design: &Design,
     placement: &Placement,
@@ -354,12 +387,12 @@ pub fn extract_all(
     routed: &RoutedDesign,
     constraints: &StaConstraints,
     corner: Corner,
+    par: &Parallelism,
 ) -> Vec<NetParasitics> {
-    let mut out = Vec::with_capacity(design.num_nets());
-    for n in design.net_ids() {
+    let nets: Vec<NetId> = design.net_ids().collect();
+    parallel_map(&nets, par, |_, &n| {
         let Some(driver) = design.driver(n) else {
-            out.push(NetParasitics::default());
-            continue;
+            return NetParasitics::default();
         };
         let drv_pos = macro3d_place::pin_position(design, placement, ports, driver);
         let sinks: Vec<(Point, f64)> = design
@@ -374,35 +407,115 @@ pub fn extract_all(
             })
             .collect();
         match routed.net(n) {
-            Some(r) => out.push(extract_net(stack, r, drv_pos, &sinks, corner)),
-            None => out.push(macro3d_extract::estimate_net(stack, drv_pos, &sinks, 1.0, corner)),
+            Some(r) => extract_net(stack, r, drv_pos, &sinks, corner),
+            None => macro3d_extract::estimate_net(stack, drv_pos, &sinks, 1.0, corner),
+        }
+    })
+}
+
+/// Wall-clock per flow stage, in the order the stages ran.
+///
+/// Recorded by [`StageTimer`] as each flow executes and carried into
+/// [`ImplementedDesign`] / [`crate::PpaResult`], so runtime is a
+/// first-class reported metric next to PPA.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    /// `(stage name, seconds)` in execution order.
+    pub stages: Vec<(String, f64)>,
+}
+
+impl StageTimes {
+    /// Records a stage duration.
+    pub fn push(&mut self, stage: impl Into<String>, seconds: f64) {
+        self.stages.push((stage.into(), seconds));
+    }
+
+    /// Duration of a named stage (first occurrence), seconds.
+    pub fn seconds(&self, stage: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|&(_, t)| t)
+    }
+
+    /// Sum of all recorded stages, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|&(_, t)| t).sum()
+    }
+}
+
+impl std::fmt::Display for StageTimes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (stage, secs) in &self.stages {
+            writeln!(f, "  {stage:<20} {:9.1} ms", secs * 1e3)?;
+        }
+        write!(f, "  {:<20} {:9.1} ms", "total", self.total_seconds() * 1e3)
+    }
+}
+
+/// Records wall-clock per flow stage. [`StageTimer::mark`] closes the
+/// stage that ran since the previous mark (or construction); under
+/// `MACRO3D_VERBOSE` each mark also prints a progress line.
+#[derive(Debug)]
+pub struct StageTimer {
+    last: Instant,
+    times: StageTimes,
+}
+
+impl StageTimer {
+    /// Starts timing; the first [`mark`](Self::mark) closes the first
+    /// stage.
+    pub fn new() -> Self {
+        StageTimer {
+            last: Instant::now(),
+            times: StageTimes::default(),
         }
     }
-    out
+
+    /// Ends the current stage under `stage` and starts the next one.
+    pub fn mark(&mut self, stage: &str) {
+        let dt = self.last.elapsed();
+        self.last = Instant::now();
+        if std::env::var_os("MACRO3D_VERBOSE").is_some() {
+            eprintln!("  [stage] {stage}: {dt:?}");
+        }
+        self.times.push(stage, dt.as_secs_f64());
+    }
+
+    /// Finishes and returns the recorded stage times.
+    pub fn into_times(self) -> StageTimes {
+        self.times
+    }
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// The placement pipeline shared by the direct flows: global place →
 /// repeater insertion → CTS → legalization. Returns the clock tree.
+/// Stage wall-clock lands in `timer`.
 pub fn place_pipeline(
     design: &mut Design,
     fp: &Floorplan,
     ports: &PortPlan,
     constraints: &StaConstraints,
     cfg: &FlowConfig,
+    timer: &mut StageTimer,
 ) -> (Placement, ClockTree) {
-    let t0 = std::time::Instant::now();
     let mut placement = global_place(design, fp, ports, &cfg.place);
-    stage_log("global_place", t0);
-    let t0 = std::time::Instant::now();
+    timer.mark("global_place");
 
     // legalize the base cells first so buffering sees real locations
-    let base_cells: Vec<InstId> = design
-        .inst_ids()
-        .filter(|&i| !design.is_macro(i))
-        .collect();
+    let base_cells: Vec<InstId> = design.inst_ids().filter(|&i| !design.is_macro(i)).collect();
     let base_rep = legalize(design, fp, &mut placement, &base_cells);
     if std::env::var_os("MACRO3D_VERBOSE").is_some() {
-        eprintln!("  [legalize base] failed={} mean_disp={:.1}um", base_rep.failed, base_rep.mean_disp_um);
+        eprintln!(
+            "  [legalize base] failed={} mean_disp={:.1}um",
+            base_rep.failed, base_rep.mean_disp_um
+        );
     }
 
     let mut skip: HashSet<NetId> = HashSet::new();
@@ -424,30 +537,35 @@ pub fn place_pipeline(
     let tree = synthesize_clock_tree(design, &mut placement, constraints.clock_net, &cts_cfg);
     new_cells.extend(tree.buffers.iter().copied());
 
-    stage_log("repeaters+cts", t0);
-    let t0 = std::time::Instant::now();
+    timer.mark("repeaters+cts");
     // ECO legalization: only the inserted buffers move
     let eco_rep = macro3d_place::legalize::legalize_incremental(
-        design, fp, &mut placement, &new_cells, &base_cells,
+        design,
+        fp,
+        &mut placement,
+        &new_cells,
+        &base_cells,
     );
     if std::env::var_os("MACRO3D_VERBOSE").is_some() {
-        eprintln!("  [legalize eco] failed={} of {}", eco_rep.failed, new_cells.len());
+        eprintln!(
+            "  [legalize eco] failed={} of {}",
+            eco_rep.failed,
+            new_cells.len()
+        );
     }
 
     // one greedy detailed-placement pass (same-row swaps) over every
     // placed cell — buffers included, so repacking can't stomp them
-    let all_cells: Vec<InstId> = design
-        .inst_ids()
-        .filter(|&i| !design.is_macro(i))
-        .collect();
+    let all_cells: Vec<InstId> = design.inst_ids().filter(|&i| !design.is_macro(i)).collect();
     macro3d_place::detailed::swap_pass(design, &mut placement, ports, &all_cells);
-    stage_log("eco+detailed", t0);
+    timer.mark("eco+detailed");
     (placement, tree)
 }
 
 /// Routes, extracts and signs a placed design off, including the
 /// post-route sizing loop. This is flow step 3 ("standard 2D P&R
-/// engine") plus sign-off.
+/// engine") plus sign-off. `timer` continues the flow's stage clock
+/// and ends up in the returned design's `stage_times`.
 #[allow(clippy::too_many_arguments)]
 pub fn finish_design(
     mut design: Design,
@@ -461,10 +579,17 @@ pub fn finish_design(
     cfg: &FlowConfig,
     macro_pins_projected: bool,
     sizing_rounds: usize,
+    mut timer: StageTimer,
 ) -> ImplementedDesign {
+    let par = cfg.parallelism;
     let die = fp.die();
-    let t0 = std::time::Instant::now();
-    let obstacles = macro_obstacles(&design, &fp, logic_metals, stack.num_layers(), macro_pins_projected);
+    let obstacles = macro_obstacles(
+        &design,
+        &fp,
+        logic_metals,
+        stack.num_layers(),
+        macro_pins_projected,
+    );
     let nets = route_pins(
         &design,
         &placement,
@@ -473,9 +598,15 @@ pub fn finish_design(
         stack.num_layers(),
         macro_pins_projected,
     );
-    let routed = route_design(die, &stack, &obstacles, &nets, design.num_nets(), &cfg.route);
-    stage_log("route", t0);
-    let t0 = std::time::Instant::now();
+    let routed = route_design(
+        die,
+        &stack,
+        &obstacles,
+        &nets,
+        design.num_nets(),
+        &cfg.route,
+    );
+    timer.mark("route");
     let mut parasitics = extract_all(
         &design,
         &placement,
@@ -484,19 +615,22 @@ pub fn finish_design(
         &routed,
         &constraints,
         Corner::signoff(),
+        &par,
     );
     let clock = clock_arrivals(&design, &clock_tree, &parasitics, Corner::signoff());
-    stage_log("extract", t0);
-    let t0 = std::time::Instant::now();
+    timer.mark("extract");
 
-    let mut timing = analyze(&StaInput {
-        design: &design,
-        parasitics: &parasitics,
-        routed: Some(&routed),
-        constraints: &constraints,
-        clock: &clock,
-        corner: Corner::signoff(),
-    });
+    let mut timing = analyze_par(
+        &StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed),
+            constraints: &constraints,
+            clock: &clock,
+            corner: Corner::signoff(),
+        },
+        &par,
+    );
     let mut resized: HashSet<InstId> = HashSet::new();
     for _ in 0..sizing_rounds {
         let changes = upsize_critical_path(&mut design, &timing);
@@ -505,14 +639,17 @@ pub fn finish_design(
         }
         resized.extend(changes.iter().map(|(i, _)| *i));
         macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
-        let t2 = analyze(&StaInput {
-            design: &design,
-            parasitics: &parasitics,
-            routed: Some(&routed),
-            constraints: &constraints,
-            clock: &clock,
-            corner: Corner::signoff(),
-        });
+        let t2 = analyze_par(
+            &StaInput {
+                design: &design,
+                parasitics: &parasitics,
+                routed: Some(&routed),
+                constraints: &constraints,
+                clock: &clock,
+                corner: Corner::signoff(),
+            },
+            &par,
+        );
         if t2.min_period_ps >= timing.min_period_ps {
             break;
         }
@@ -536,8 +673,7 @@ pub fn finish_design(
             &others,
         );
     }
-    stage_log("sta+sizing", t0);
-    let t0 = std::time::Instant::now();
+    timer.mark("sta+sizing");
 
     let mut hold = check_hold(&StaInput {
         design: &design,
@@ -551,8 +687,7 @@ pub fn finish_design(
     if hold.violations > 0 {
         // standard post-CTS hold fixing: delay chains at violating
         // register inputs, then re-check both hold and setup
-        let inserted =
-            macro3d_sta::opt::fix_hold(&mut design, &mut placement, &hold, 10_000);
+        let inserted = macro3d_sta::opt::fix_hold(&mut design, &mut placement, &hold, 10_000);
         if !inserted.is_empty() {
             clock.arrival_ps.resize(design.num_insts(), 0.0);
             parasitics.resize(design.num_nets(), NetParasitics::default());
@@ -577,14 +712,17 @@ pub fn finish_design(
                 clock: &clock,
                 corner: macro3d_tech::Corner::Ff,
             });
-            timing = analyze(&StaInput {
-                design: &design,
-                parasitics: &parasitics,
-                routed: Some(&routed),
-                constraints: &constraints,
-                clock: &clock,
-                corner: Corner::signoff(),
-            });
+            timing = analyze_par(
+                &StaInput {
+                    design: &design,
+                    parasitics: &parasitics,
+                    routed: Some(&routed),
+                    constraints: &constraints,
+                    clock: &clock,
+                    corner: Corner::signoff(),
+                },
+                &par,
+            );
         }
     }
 
@@ -597,6 +735,7 @@ pub fn finish_design(
         &routed,
         &constraints,
         Corner::power_report(),
+        &par,
     );
     let clock_nets: HashSet<NetId> = clock_tree.nets.iter().copied().collect();
     let power = analyze_power(&PowerInput {
@@ -608,7 +747,7 @@ pub fn finish_design(
         corner: Corner::power_report(),
     });
 
-    stage_log("hold+power", t0);
+    timer.mark("hold+power");
     ImplementedDesign {
         design,
         placement,
@@ -624,13 +763,7 @@ pub fn finish_design(
         hold,
         power,
         logic_metals,
-    }
-}
-
-/// Prints a stage-timing line when `MACRO3D_VERBOSE` is set.
-pub fn stage_log(stage: &str, t0: std::time::Instant) {
-    if std::env::var_os("MACRO3D_VERBOSE").is_some() {
-        eprintln!("  [stage] {stage}: {:?}", t0.elapsed());
+        stage_times: timer.into_times(),
     }
 }
 
@@ -678,13 +811,22 @@ mod tests {
             .iter()
             .position(|p| p.layer.0 == 3)
             .expect("sram pins on M4") as u16;
-        assert_eq!(pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, true), 3);
+        assert_eq!(
+            pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, true),
+            3
+        );
 
         // ... and projected to M4_MD (combined layer 9) on the macro die
         pl.die_of[mac.index()] = DieRole::Macro;
-        assert_eq!(pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, true), 9);
+        assert_eq!(
+            pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, true),
+            9
+        );
         // without projection (the S2D pseudo-2D misassumption): local
-        assert_eq!(pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, false), 3);
+        assert_eq!(
+            pin_layer(&d, &pl, PinRef::inst(mac, m4_pin), 6, 10, false),
+            3
+        );
 
         // a cell partitioned to the top die sits on M1_MD (layer 6)
         pl.die_of[cell.index()] = DieRole::Macro;
@@ -726,9 +868,21 @@ mod tests {
         let cfg = FlowConfig::default();
         let b = area_budget(&tile.design, &cfg);
         // small-cache: ~0.3 mm2 cells, ~0.6 mm2 macros, A3d ~0.55-0.65
-        assert!(b.cell_um2 / 1e6 > 0.2 && b.cell_um2 / 1e6 < 0.45, "{}", b.cell_um2 / 1e6);
-        assert!(b.macro_um2 / 1e6 > 0.45 && b.macro_um2 / 1e6 < 0.8, "{}", b.macro_um2 / 1e6);
-        assert!(b.a3d_um2 / 1e6 > 0.4 && b.a3d_um2 / 1e6 < 0.8, "{}", b.a3d_um2 / 1e6);
+        assert!(
+            b.cell_um2 / 1e6 > 0.2 && b.cell_um2 / 1e6 < 0.45,
+            "{}",
+            b.cell_um2 / 1e6
+        );
+        assert!(
+            b.macro_um2 / 1e6 > 0.45 && b.macro_um2 / 1e6 < 0.8,
+            "{}",
+            b.macro_um2 / 1e6
+        );
+        assert!(
+            b.a3d_um2 / 1e6 > 0.4 && b.a3d_um2 / 1e6 < 0.8,
+            "{}",
+            b.a3d_um2 / 1e6
+        );
     }
 
     #[test]

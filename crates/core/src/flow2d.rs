@@ -8,6 +8,7 @@
 
 use crate::flow::{
     area_budget, finish_design, place_pipeline, sta_constraints, FlowConfig, ImplementedDesign,
+    StageTimer,
 };
 use macro3d_geom::Dbu;
 use macro3d_place::floorplan::die_for_area;
@@ -23,7 +24,8 @@ use macro3d_tech::stack::{n28_stack, DieRole};
 /// Panics if the macros cannot be packed on the computed die (cannot
 /// happen for the paper's configurations with default utilization
 /// targets).
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+    let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
     let budget = area_budget(&design, cfg);
@@ -59,7 +61,8 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
     }
 
     let ports = PortPlan::assign(&design, die);
-    let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg);
+    timer.mark("floorplan");
+    let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg, &mut timer);
 
     let stack = n28_stack(cfg.logic_metals, DieRole::Logic);
     let logic_metals = cfg.logic_metals;
@@ -75,10 +78,18 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
         cfg,
         false,
         cfg.sizing_rounds,
+        timer,
     )
 }
 
+/// Runs the 2D baseline flow and returns the implemented design.
+#[deprecated(note = "use `flows::Flow2d` via the `Flow` trait instead")]
+pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+    implement(tile, cfg)
+}
+
 /// Runs the 2D baseline flow and returns its PPA.
+#[deprecated(note = "use `flows::Flow2d` via the `Flow` trait instead")]
 pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
-    crate::PpaResult::from_impl("2D", &run_impl(tile, cfg))
+    crate::PpaResult::from_impl("2D", &implement(tile, cfg))
 }

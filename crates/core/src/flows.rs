@@ -1,0 +1,193 @@
+//! The unified [`Flow`] API.
+//!
+//! Every physical-design methodology the paper compares — the 2D
+//! baseline, both Shrunk-2D styles, Compact-2D, and Macro-3D itself —
+//! implements the same trait, so experiment drivers and benches can
+//! iterate a `&[&dyn Flow]` instead of hard-coding one free function
+//! per flow:
+//!
+//! ```no_run
+//! use macro3d::flows::{standard_flows, Flow};
+//! use macro3d::FlowConfig;
+//! use macro3d_soc::{generate_tile, TileConfig};
+//!
+//! let tile = generate_tile(&TileConfig::small_cache().with_scale(32.0));
+//! let cfg = FlowConfig::builder().sizing_rounds(0).build().unwrap();
+//! for flow in standard_flows() {
+//!     let outcome = flow.run(&tile, &cfg);
+//!     println!("{}: {:.0} MHz", flow.name(), outcome.ppa.fclk_mhz);
+//! }
+//! ```
+//!
+//! [`Flow::run`] returns a [`FlowOutcome`] carrying the PPA row, the
+//! full implemented design (for layout export and figure extraction),
+//! and — for the S2D/C2D baselines — the partitioning diagnostics the
+//! paper blames for their quality loss.
+
+use crate::flow::{FlowConfig, ImplementedDesign};
+use crate::report::PpaResult;
+use crate::s2d::{S2dDiagnostics, S2dStyle};
+use macro3d_soc::TileNetlist;
+
+/// Everything a flow produces in one run.
+pub struct FlowOutcome {
+    /// The PPA table row (flow label included).
+    pub ppa: PpaResult,
+    /// The full implemented design (placement, routes, reports).
+    pub implemented: ImplementedDesign,
+    /// Partitioning diagnostics — `Some` only for the S2D/C2D
+    /// baselines, which split cells across dies after the fact.
+    pub diagnostics: Option<S2dDiagnostics>,
+}
+
+/// A complete physical-design methodology, from tile netlist to
+/// signed-off PPA.
+pub trait Flow {
+    /// Stable flow label (used as the PPA column header).
+    fn name(&self) -> &str;
+
+    /// Implements the tile under `cfg` and signs it off.
+    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome;
+}
+
+/// The conventional 2D flow (see [`crate::flow2d`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Flow2d;
+
+impl Flow for Flow2d {
+    fn name(&self) -> &str {
+        "2D"
+    }
+
+    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
+        let implemented = crate::flow2d::implement(tile, cfg);
+        FlowOutcome {
+            ppa: PpaResult::from_impl(self.name(), &implemented),
+            implemented,
+            diagnostics: None,
+        }
+    }
+}
+
+/// The Shrunk-2D baseline in either floorplan style (see
+/// [`crate::s2d`]).
+#[derive(Clone, Copy, Debug)]
+pub struct S2d {
+    /// Macro floorplan style (memory-on-logic or balanced).
+    pub style: S2dStyle,
+}
+
+impl Flow for S2d {
+    fn name(&self) -> &str {
+        match self.style {
+            S2dStyle::MemoryOnLogic => "MoL S2D",
+            S2dStyle::Balanced => "BF S2D",
+        }
+    }
+
+    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
+        let (implemented, diag) = crate::s2d::implement(tile, cfg, self.style);
+        let mut ppa = PpaResult::from_impl(self.name(), &implemented);
+        ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
+        FlowOutcome {
+            ppa,
+            implemented,
+            diagnostics: Some(diag),
+        }
+    }
+}
+
+/// The Compact-2D baseline (see [`crate::c2d`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct C2d;
+
+impl Flow for C2d {
+    fn name(&self) -> &str {
+        "C2D"
+    }
+
+    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
+        let (implemented, diag) = crate::c2d::implement(tile, cfg);
+        let mut ppa = PpaResult::from_impl(self.name(), &implemented);
+        ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
+        FlowOutcome {
+            ppa,
+            implemented,
+            diagnostics: Some(diag),
+        }
+    }
+}
+
+/// The Macro-3D flow — the paper's contribution (see
+/// [`crate::macro3d_flow`]). The PPA label records the per-die metal
+/// depths (e.g. `"Macro-3D M6-M4"`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Macro3d;
+
+impl Flow for Macro3d {
+    fn name(&self) -> &str {
+        "Macro-3D"
+    }
+
+    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
+        let implemented = crate::macro3d_flow::implement(tile, cfg);
+        let mut ppa = PpaResult::from_impl(
+            format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
+            &implemented,
+        );
+        // per-die footprint x per-die layer counts
+        ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
+        FlowOutcome {
+            ppa,
+            implemented,
+            diagnostics: None,
+        }
+    }
+}
+
+/// The four flows of the paper's Table I, in column order: 2D,
+/// MoL S2D, BF S2D, Macro-3D.
+pub fn standard_flows() -> [&'static dyn Flow; 4] {
+    [
+        &Flow2d,
+        &S2d {
+            style: S2dStyle::MemoryOnLogic,
+        },
+        &S2d {
+            style: S2dStyle::Balanced,
+        },
+        &Macro3d,
+    ]
+}
+
+/// Every flow in the repo (Table I's four plus C2D).
+pub fn all_flows() -> [&'static dyn Flow; 5] {
+    [
+        &Flow2d,
+        &S2d {
+            style: S2dStyle::MemoryOnLogic,
+        },
+        &S2d {
+            style: S2dStyle::Balanced,
+        },
+        &C2d,
+        &Macro3d,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = all_flows().iter().map(|f| f.name()).collect();
+        assert_eq!(names, ["2D", "MoL S2D", "BF S2D", "C2D", "Macro-3D"]);
+    }
+
+    #[test]
+    fn table1_order() {
+        let names: Vec<&str> = standard_flows().iter().map(|f| f.name()).collect();
+        assert_eq!(names, ["2D", "MoL S2D", "BF S2D", "Macro-3D"]);
+    }
+}

@@ -28,27 +28,36 @@
 //!
 //! # Examples
 //!
+//! Every flow implements the [`flows::Flow`] trait; configs are
+//! validated by [`config::FlowConfigBuilder`]:
+//!
 //! ```no_run
-//! use macro3d::{flow2d, macro3d_flow, FlowConfig};
+//! use macro3d::flows::{Flow, Flow2d, Macro3d};
+//! use macro3d::FlowConfig;
 //! use macro3d_soc::{generate_tile, TileConfig};
 //!
-//! let cfg = FlowConfig::default();
+//! let cfg = FlowConfig::builder().build().expect("valid config");
 //! let tile = generate_tile(&TileConfig::small_cache().with_scale(32.0));
-//! let r2d = flow2d::run(&tile, &cfg);
-//! let r3d = macro3d_flow::run(&tile, &cfg);
+//! let r2d = Flow2d.run(&tile, &cfg).ppa;
+//! let r3d = Macro3d.run(&tile, &cfg).ppa;
 //! assert!(r3d.footprint_mm2 < r2d.footprint_mm2);
 //! ```
 
 pub mod c2d;
 pub mod check;
+pub mod config;
 pub mod experiments;
 pub mod flow;
 pub mod flow2d;
+pub mod flows;
 pub mod layout;
 pub mod macro3d_flow;
 pub mod report;
 pub mod s2d;
 pub mod via_plan;
 
-pub use flow::{FlowConfig, ImplementedDesign};
+pub use config::{ConfigError, FlowConfigBuilder};
+pub use flow::{FlowConfig, ImplementedDesign, StageTimer, StageTimes};
+pub use flows::{Flow, FlowOutcome};
+pub use macro3d_par::Parallelism;
 pub use report::PpaResult;

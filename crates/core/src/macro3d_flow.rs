@@ -24,7 +24,7 @@
 
 use crate::flow::{
     area_budget, assign_macros_mol, finish_design, place_pipeline, sta_constraints, FlowConfig,
-    ImplementedDesign,
+    ImplementedDesign, StageTimer,
 };
 use macro3d_geom::Dbu;
 use macro3d_place::floorplan::die_for_area;
@@ -42,7 +42,8 @@ use macro3d_tech::{CombinedBeol, F2fSpec};
 ///
 /// Panics if macro packing fails (cannot happen for the paper's
 /// configurations with default utilization targets).
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+    let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
     let budget = area_budget(&design, cfg);
@@ -74,7 +75,8 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
 
     // Step 3: unmodified 2D P&R over the combined stack.
     let ports = PortPlan::assign(&design, die);
-    let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg);
+    timer.mark("floorplan");
+    let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg, &mut timer);
 
     finish_design(
         design,
@@ -88,21 +90,28 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
         cfg,
         true, // macro pins at their true _MD layers
         cfg.sizing_rounds,
+        timer,
     )
     // Step 4 (die separation) is available via crate::layout on the
     // returned ImplementedDesign.
 }
 
+/// Runs the Macro-3D flow and returns the implemented design.
+#[deprecated(note = "use `flows::Macro3d` via the `Flow` trait instead")]
+pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+    implement(tile, cfg)
+}
+
 /// Runs the Macro-3D flow and returns its PPA. The reported metal
 /// area accounts for both dies' (possibly asymmetric) stacks.
+#[deprecated(note = "use `flows::Macro3d` via the `Flow` trait instead")]
 pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
-    let imp = run_impl(tile, cfg);
+    let imp = implement(tile, cfg);
     let mut ppa = crate::PpaResult::from_impl(
         format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
         &imp,
     );
     // per-die footprint x per-die layer counts
-    ppa.metal_area_mm2 =
-        ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
+    ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
     ppa
 }

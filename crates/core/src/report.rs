@@ -38,6 +38,8 @@ pub struct PpaResult {
     pub power: PowerReport,
     /// Residual routing overflow (quality check).
     pub route_overflow: f64,
+    /// Wall-clock per flow stage, in execution order.
+    pub stage_times: crate::flow::StageTimes,
 }
 
 impl PpaResult {
@@ -61,6 +63,7 @@ impl PpaResult {
             timing: imp.timing.clone(),
             power: imp.power.clone(),
             route_overflow: imp.routed.overflow,
+            stage_times: imp.stage_times.clone(),
         }
     }
 
@@ -114,12 +117,16 @@ pub fn comparison_table(results: &[&PpaResult]) -> String {
     row("Alogic-cells [mm2]", &|r| {
         format!("{:.3}", r.logic_cell_area_mm2)
     });
-    row("wirelength [m]", &|r| format!("{:.3}", r.total_wirelength_m));
+    row("wirelength [m]", &|r| {
+        format!("{:.3}", r.total_wirelength_m)
+    });
     row("F2F bumps", &|r| format!("{}", r.f2f_bumps));
     row("Cpin [nF]", &|r| format!("{:.4}", r.cpin_nf));
     row("Cwire [nF]", &|r| format!("{:.4}", r.cwire_nf));
     row("clk-tree depth", &|r| format!("{}", r.clock_tree_depth));
-    row("crit-path WL [mm]", &|r| format!("{:.3}", r.crit_path_wl_mm));
+    row("crit-path WL [mm]", &|r| {
+        format!("{:.3}", r.crit_path_wl_mm)
+    });
     row("Ametal [mm2]", &|r| format!("{:.2}", r.metal_area_mm2));
     s
 }

@@ -27,7 +27,7 @@
 
 use crate::flow::{
     area_budget, assign_macros_mol, finish_design, macro_obstacles, route_pins, sta_constraints,
-    FlowConfig, ImplementedDesign,
+    FlowConfig, ImplementedDesign, StageTimer,
 };
 use crate::via_plan::plan_bumps;
 use macro3d_geom::{Dbu, Point, Rect};
@@ -35,14 +35,10 @@ use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
 use macro3d_place::floorplan::die_for_area;
 use macro3d_place::macro_place::pack_balanced;
 use macro3d_place::partition::{bipartition, FmConfig, Hypergraph};
-use macro3d_place::{
-    legalize, BlockageKind, Floorplan, Placement, PortPlan,
-};
+use macro3d_place::{legalize, BlockageKind, Floorplan, Placement, PortPlan};
 use macro3d_route::route_design;
 use macro3d_soc::TileNetlist;
-use macro3d_sta::{
-    analyze, clock_arrivals, upsize_critical_path, ClockTree, StaInput,
-};
+use macro3d_sta::{analyze_par, clock_arrivals, upsize_critical_path, ClockTree, StaInput};
 use macro3d_tech::libgen::n28_library;
 use macro3d_tech::stack::{n28_stack, DieRole, MetalStack};
 use macro3d_tech::{CellClass, CombinedBeol, Corner, F2fSpec};
@@ -75,13 +71,23 @@ pub struct S2dDiagnostics {
 /// # Panics
 ///
 /// Panics if macro packing fails for the chosen style.
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (ImplementedDesign, S2dDiagnostics) {
+pub(crate) fn implement(
+    tile: &TileNetlist,
+    cfg: &FlowConfig,
+    style: S2dStyle,
+) -> (ImplementedDesign, S2dDiagnostics) {
+    let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
     let budget = area_budget(&design, cfg);
     let orig_lib = design.library().clone();
 
-    let die = die_for_area(budget.a3d_um2, 1.0, orig_lib.row_height(), orig_lib.site_width());
+    let die = die_for_area(
+        budget.a3d_um2,
+        1.0,
+        orig_lib.row_height(),
+        orig_lib.site_width(),
+    );
     let halo = Dbu::from_um(cfg.halo_um);
 
     // --- macro floorplans on both dies --------------------------------
@@ -94,8 +100,7 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (Imple
             v
         }
         S2dStyle::Balanced => {
-            let macros: Vec<InstId> =
-                design.inst_ids().filter(|&i| design.is_macro(i)).collect();
+            let macros: Vec<InstId> = design.inst_ids().filter(|&i| design.is_macro(i)).collect();
             pack_balanced(&design, &macros, die, halo).expect("balanced packing fits")
         }
     };
@@ -114,17 +119,36 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (Imple
     fp_s2d.quantize_partial_blockages(Dbu::from_um(cfg.partial_blockage_period_um));
 
     let ports = PortPlan::assign(&design, die);
+    timer.mark("floorplan");
     let (mut placement, tree) =
-        crate::flow::place_pipeline(&mut design, &fp_s2d, &ports, &constraints, cfg);
+        crate::flow::place_pipeline(&mut design, &fp_s2d, &ports, &constraints, cfg, &mut timer);
 
     // pseudo-2D routing on a single-die stack, macro pins assumed local
     let stack_2d = n28_stack(cfg.logic_metals, DieRole::Logic);
-    let obstacles = macro_obstacles(&design, &fp_s2d, cfg.logic_metals, stack_2d.num_layers(), false);
-    let nets = route_pins(&design, &placement, &ports, cfg.logic_metals, stack_2d.num_layers(), false);
-    let t0 = std::time::Instant::now();
-    let routed_stage1 = route_design(die, &stack_2d, &obstacles, &nets, design.num_nets(), &cfg.route);
-    crate::flow::stage_log("s2d_stage1_route", t0);
-    let t0 = std::time::Instant::now();
+    let obstacles = macro_obstacles(
+        &design,
+        &fp_s2d,
+        cfg.logic_metals,
+        stack_2d.num_layers(),
+        false,
+    );
+    let nets = route_pins(
+        &design,
+        &placement,
+        &ports,
+        cfg.logic_metals,
+        stack_2d.num_layers(),
+        false,
+    );
+    let routed_stage1 = route_design(
+        die,
+        &stack_2d,
+        &obstacles,
+        &nets,
+        design.num_nets(),
+        &cfg.route,
+    );
+    timer.mark("s2d_stage1_route");
     let mut parasitics = crate::flow::extract_all(
         &design,
         &placement,
@@ -133,21 +157,24 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (Imple
         &routed_stage1,
         &constraints,
         Corner::signoff(),
+        &cfg.parallelism,
     );
     let clock_stage1 = clock_arrivals(&design, &tree, &parasitics, Corner::signoff());
-    crate::flow::stage_log("s2d_stage1_extract", t0);
-    let t0 = std::time::Instant::now();
+    timer.mark("s2d_stage1_extract");
 
     // sizing against the stage-1 (mispredicted) parasitics
     for _ in 0..cfg.sizing_rounds {
-        let t = analyze(&StaInput {
-            design: &design,
-            parasitics: &parasitics,
-            routed: Some(&routed_stage1),
-            constraints: &constraints,
-            clock: &clock_stage1,
-            corner: Corner::signoff(),
-        });
+        let t = analyze_par(
+            &StaInput {
+                design: &design,
+                parasitics: &parasitics,
+                routed: Some(&routed_stage1),
+                constraints: &constraints,
+                clock: &clock_stage1,
+                corner: Corner::signoff(),
+            },
+            &cfg.parallelism,
+        );
         let changes = upsize_critical_path(&mut design, &t);
         if changes.is_empty() {
             break;
@@ -155,8 +182,7 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (Imple
         macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
     }
 
-    crate::flow::stage_log("s2d_stage1_sizing", t0);
-    let t0 = std::time::Instant::now();
+    timer.mark("s2d_stage1_sizing");
 
     // --- stage 2: unshrink + tier partitioning -------------------------
     design.set_library(orig_lib.clone());
@@ -170,7 +196,7 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (Imple
         cfg,
     );
 
-    crate::flow::stage_log("s2d_partition_fix", t0);
+    timer.mark("s2d_partition_fix");
 
     // --- stage 3: F2F via planning + re-route on the true stack --------
     let combined = CombinedBeol::build(
@@ -193,17 +219,29 @@ pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> (Imple
         cfg,
         true,
         0,
+        timer,
     );
     (imp, diag)
 }
 
+/// Runs the S2D flow.
+#[deprecated(note = "use `flows::S2d` via the `Flow` trait instead")]
+pub fn run_impl(
+    tile: &TileNetlist,
+    cfg: &FlowConfig,
+    style: S2dStyle,
+) -> (ImplementedDesign, S2dDiagnostics) {
+    implement(tile, cfg, style)
+}
+
 /// Runs S2D and returns its PPA row.
+#[deprecated(note = "use `flows::S2d` via the `Flow` trait instead")]
 pub fn run(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> crate::PpaResult {
     let label = match style {
         S2dStyle::MemoryOnLogic => "MoL S2D",
         S2dStyle::Balanced => "BF S2D",
     };
-    let (imp, _) = run_impl(tile, cfg, style);
+    let (imp, _) = implement(tile, cfg, style);
     let mut ppa = crate::PpaResult::from_impl(label, &imp);
     ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
     ppa
@@ -257,17 +295,14 @@ pub(crate) fn partition_and_finalize(
     }
 
     // FM tier partitioning of all standard cells
-    let cells: Vec<InstId> = design
-        .inst_ids()
-        .filter(|&i| !design.is_macro(i))
-        .collect();
+    let cells: Vec<InstId> = design.inst_ids().filter(|&i| !design.is_macro(i)).collect();
     let mut local_of = std::collections::HashMap::new();
     let mut areas = Vec::with_capacity(cells.len());
     for (k, &c) in cells.iter().enumerate() {
         local_of.insert(c, k as u32);
         areas.push(design.inst_area_um2(c).max(1e-6));
     }
-    let mut builder = Hypergraph::new(areas);
+    let mut builder = Hypergraph::builder(areas);
     let macro_die_of: std::collections::HashMap<InstId, DieRole> = macro_placements
         .iter()
         .map(|mp| (mp.inst, mp.die))
@@ -295,7 +330,7 @@ pub(crate) fn partition_and_finalize(
                 PinRef::Port(_) => anchor = Some(0), // IO on the logic die
             }
         }
-        if local.len() >= 1 {
+        if !local.is_empty() {
             builder.add_net(&local, anchor);
         }
     }
@@ -318,9 +353,8 @@ pub(crate) fn partition_and_finalize(
     let clock_buffers: HashSet<InstId> = tree.buffers.iter().copied().collect();
     let mut on_macro = 0usize;
     for (k, &c) in cells.iter().enumerate() {
-        let die_of = if clock_buffers.contains(&c) {
-            DieRole::Logic // the clock tree stays on the logic die
-        } else if side[k] == 0 {
+        // the clock tree always stays on the logic die
+        let die_of = if clock_buffers.contains(&c) || side[k] == 0 {
             DieRole::Logic
         } else {
             DieRole::Macro
@@ -345,8 +379,7 @@ pub(crate) fn partition_and_finalize(
     let rep_l = legalize(design, &fp_logic, placement, &logic_cells);
     let rep_m = legalize(design, &fp_macro, placement, &macro_cells);
     let total_cells = (logic_cells.len() + macro_cells.len()).max(1);
-    let mean_disp =
-        (rep_l.total_disp + rep_m.total_disp).to_um() / total_cells as f64;
+    let mean_disp = (rep_l.total_disp + rep_m.total_disp).to_um() / total_cells as f64;
 
     // F2F via planning for every net spanning the dies
     let mut requests: Vec<(NetId, Point)> = Vec::new();
@@ -471,8 +504,10 @@ mod tests {
 
     #[test]
     fn stage1_stack_matches_logic_metals() {
-        let mut cfg = FlowConfig::default();
-        cfg.logic_metals = 5;
+        let cfg = FlowConfig {
+            logic_metals: 5,
+            ..FlowConfig::default()
+        };
         let s = stage1_stack(&cfg);
         assert_eq!(s.num_layers(), 5);
         assert!(s.f2f_cut().is_none());

@@ -139,6 +139,10 @@ mod tests {
         let reqs = vec![(NetId(0), Point::from_um(50.2, 50.2))];
         let plan = plan_bumps(die, &f2f, &reqs);
         assert_eq!(plan.count(), 1);
-        assert!(plan.mean_displacement_um < 1.5, "{}", plan.mean_displacement_um);
+        assert!(
+            plan.mean_displacement_um < 1.5,
+            "{}",
+            plan.mean_displacement_um
+        );
     }
 }

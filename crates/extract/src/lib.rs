@@ -293,7 +293,11 @@ mod tests {
             Corner::Tt,
         );
         // Elmore with half-cap at far node: 400 * (10 + 1) fF = 4.4 ps
-        assert!((p.elmore_ps[0] - 4.4).abs() < 0.2, "elmore {}", p.elmore_ps[0]);
+        assert!(
+            (p.elmore_ps[0] - 4.4).abs() < 0.2,
+            "elmore {}",
+            p.elmore_ps[0]
+        );
         assert!((p.wire_cap_ff - 20.0).abs() < 1e-9);
         assert!((p.driver_load_ff - 21.0).abs() < 1e-9);
     }

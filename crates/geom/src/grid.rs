@@ -225,7 +225,9 @@ mod tests {
             .expect("overlaps");
         assert_eq!(lo, BinIx::new(1, 0));
         assert_eq!(hi, BinIx::new(3, 2));
-        assert!(g.bins_overlapping(Rect::from_um(200.0, 0.0, 300.0, 10.0)).is_none());
+        assert!(g
+            .bins_overlapping(Rect::from_um(200.0, 0.0, 300.0, 10.0))
+            .is_none());
     }
 
     #[test]

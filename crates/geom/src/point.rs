@@ -165,7 +165,10 @@ mod tests {
         let b = Point::new(Dbu(5), Dbu(3));
         assert_eq!(a.min(b), Point::new(Dbu(1), Dbu(3)));
         assert_eq!(a.max(b), Point::new(Dbu(5), Dbu(9)));
-        assert_eq!(Point::new(Dbu(100), Dbu(200)).scale(0.5), Point::new(Dbu(50), Dbu(100)));
+        assert_eq!(
+            Point::new(Dbu(100), Dbu(200)).scale(0.5),
+            Point::new(Dbu(50), Dbu(100))
+        );
         assert_eq!(
             Point::new(Dbu(100), Dbu(200)).scale_xy(2.0, 0.5),
             Point::new(Dbu(200), Dbu(100))

@@ -131,7 +131,11 @@ pub fn generate_logic(
 
     for i in 0..spec.gates {
         let is_ff = rng.gen_bool(spec.ff_fraction.clamp(0.0, 1.0));
-        let class = if is_ff { CellClass::Dff } else { pick_class(rng) };
+        let class = if is_ff {
+            CellClass::Dff
+        } else {
+            pick_class(rng)
+        };
         let drive_step = match rng.gen_range(0..100) {
             0..=79 => 0,
             80..=94 => 1,
@@ -196,11 +200,7 @@ pub fn generate_logic(
         dff_cell.output_pin() as u16,
     );
     while forced_ext < io.ext_in.len() {
-        let inst = design.add_cell_in(
-            format!("{}_cap{}", spec.name, forced_ext),
-            dff,
-            spec.group,
-        );
+        let inst = design.add_cell_in(format!("{}_cap{}", spec.name, forced_ext), dff, spec.group);
         design.connect(io.ext_in[forced_ext], PinRef::inst(inst, d_pin));
         design.connect(clock, PinRef::inst(inst, ck_pin));
         let q = design.add_net(format!("{}_capq{}", spec.name, forced_ext));
@@ -345,10 +345,7 @@ mod tests {
         for n in d.net_ids() {
             let name = &d.net(n).name;
             if name.starts_with("ext") {
-                assert!(
-                    d.sinks(n).count() >= 1,
-                    "external net {name} has no sink"
-                );
+                assert!(d.sinks(n).count() >= 1, "external net {name} has no sink");
             }
         }
     }

@@ -43,9 +43,11 @@ pub struct DesignStats {
 impl DesignStats {
     /// Computes statistics for a design.
     pub fn compute(design: &Design) -> Self {
-        let mut s = DesignStats::default();
-        s.num_nets = design.num_nets();
-        s.num_ports = design.num_ports();
+        let mut s = DesignStats {
+            num_nets: design.num_nets(),
+            num_ports: design.num_ports(),
+            ..DesignStats::default()
+        };
         for id in design.inst_ids() {
             match design.inst(id).master {
                 Master::Cell(c) => {

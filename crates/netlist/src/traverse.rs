@@ -127,17 +127,14 @@ pub fn topo_order(design: &Design) -> Result<Vec<InstId>, CombinationalCycle> {
 /// Nets driven by an instance's output pins.
 pub fn output_nets(design: &Design, inst: InstId) -> impl Iterator<Item = NetId> + '_ {
     let conns = design.inst(inst).conns.clone();
-    conns
-        .into_iter()
-        .enumerate()
-        .filter_map(move |(p, net)| {
-            let net = net?;
-            if design.pin_is_driver(PinRef::inst(inst, p as u16)) {
-                Some(net)
-            } else {
-                None
-            }
-        })
+    conns.into_iter().enumerate().filter_map(move |(p, net)| {
+        let net = net?;
+        if design.pin_is_driver(PinRef::inst(inst, p as u16)) {
+            Some(net)
+        } else {
+            None
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,288 @@
+//! Deterministic data-parallel kernels for the Macro-3D engines.
+//!
+//! The hot engine loops (batched global routing, per-net extraction,
+//! STA endpoint checks) are embarrassingly parallel over independent
+//! items. This crate provides the rayon-style primitives they share —
+//! an order-preserving parallel map with per-worker scratch state and
+//! a parallel fold — built directly on [`std::thread::scope`] because
+//! this build environment cannot fetch rayon itself. The API mirrors
+//! rayon's `par_iter().map_with(..)` idiom so a future swap to rayon
+//! is mechanical.
+//!
+//! **Determinism contract:** every function here returns results
+//! identical to its serial equivalent, bit for bit, regardless of the
+//! thread count. Work is handed out as contiguous index chunks from a
+//! shared cursor and results are stitched back in input order, so the
+//! only thing threads change is wall-clock time.
+//!
+//! # Examples
+//!
+//! ```
+//! use macro3d_par::{parallel_map_with, Parallelism};
+//!
+//! let par = Parallelism::default();
+//! let squares = parallel_map_with(
+//!     &[1u64, 2, 3, 4],
+//!     &par,
+//!     Vec::<u64>::new,             // per-worker scratch
+//!     |scratch, _ix, &x| {
+//!         scratch.push(x);         // scratch survives across items
+//!         x * x
+//!     },
+//! );
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Degree-of-parallelism knob threaded through the engine configs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads. `1` = serial (no threads spawned). `0` is
+    /// normalized to the machine's available parallelism.
+    pub threads: usize,
+    /// Items handed to a worker per grab (and, for the batched
+    /// router, nets routed against one congestion snapshot before a
+    /// serial commit).
+    pub chunk_size: usize,
+}
+
+impl Parallelism {
+    /// Serial execution (the deterministic reference configuration).
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            chunk_size: 32,
+        }
+    }
+
+    /// Uses up to `threads` workers.
+    pub fn threads(threads: usize) -> Self {
+        Parallelism {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Returns self with a different chunk size (builder-style).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// The worker count after normalizing `0` to the hardware.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            available_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for Parallelism {
+    /// All hardware threads, moderate chunks.
+    fn default() -> Self {
+        Parallelism {
+            threads: 0,
+            chunk_size: 32,
+        }
+    }
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, in parallel, preserving input order, with a
+/// per-worker scratch value built by `init` (rayon's `map_with`).
+///
+/// `f` receives the scratch, the item's index, and the item. Results
+/// are returned in input order and are identical to a serial run for
+/// any thread count (see the crate-level determinism contract).
+pub fn parallel_map_with<T, S, R, I, F>(items: &[T], par: &Parallelism, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = par.effective_threads().min(items.len().max(1));
+    if threads <= 1 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(ix, item)| f(&mut scratch, ix, item))
+            .collect();
+    }
+
+    let grab = par.chunk_size.max(1);
+    let cursor = AtomicUsize::new(0);
+    // (start index, results) per grabbed chunk; stitched afterwards
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let start = cursor.fetch_add(grab, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + grab).min(items.len());
+                    let chunk: Vec<R> = (start..end)
+                        .map(|ix| f(&mut scratch, ix, &items[ix]))
+                        .collect();
+                    parts
+                        .lock()
+                        .expect(
+                            "result mutex never poisoned: workers do not panic while holding it",
+                        )
+                        .push((start, chunk));
+                }
+            });
+        }
+    });
+
+    let mut parts = parts.into_inner().expect("workers joined");
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, chunk) in parts {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Maps `f` over `items` in parallel, preserving input order
+/// (stateless convenience wrapper over [`parallel_map_with`]).
+pub fn parallel_map<T, R, F>(items: &[T], par: &Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(items, par, || (), |(), ix, item| f(ix, item))
+}
+
+/// Folds `map` over all items and reduces the per-worker partials
+/// with `reduce`. `reduce` must be associative and commutative (the
+/// partial order is unspecified); use [`parallel_map`] when exact
+/// serial reduction order matters.
+pub fn parallel_fold<T, A, M, RD>(
+    items: &[T],
+    par: &Parallelism,
+    identity: A,
+    map: M,
+    reduce: RD,
+) -> A
+where
+    T: Sync,
+    A: Send + Sync + Clone,
+    M: Fn(A, usize, &T) -> A + Sync,
+    RD: Fn(A, A) -> A,
+{
+    let partials = {
+        let threads = par.effective_threads().min(items.len().max(1));
+        if threads <= 1 {
+            vec![items
+                .iter()
+                .enumerate()
+                .fold(identity.clone(), |acc, (ix, item)| map(acc, ix, item))]
+        } else {
+            let grab = par.chunk_size.max(1);
+            let cursor = AtomicUsize::new(0);
+            let parts: Mutex<Vec<A>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut acc = identity.clone();
+                        loop {
+                            let start = cursor.fetch_add(grab, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + grab).min(items.len());
+                            for (off, item) in items[start..end].iter().enumerate() {
+                                acc = map(acc, start + off, item);
+                            }
+                        }
+                        parts
+                            .lock()
+                            .expect("result mutex never poisoned: workers do not panic while holding it")
+                            .push(acc);
+                    });
+                }
+            });
+            parts.into_inner().expect("workers joined")
+        }
+    };
+    partials.into_iter().fold(identity, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = parallel_map(&items, &Parallelism::serial(), |ix, &x| x * 3 + ix as u64);
+        for threads in [2, 4, 8] {
+            let par = Parallelism::threads(threads).with_chunk_size(7);
+            let got = parallel_map(&items, &par, |ix, &x| x * 3 + ix as u64);
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_scratch() {
+        let items: Vec<u32> = (0..257).collect();
+        let par = Parallelism::threads(4).with_chunk_size(16);
+        // scratch counts items seen by one worker; result ignores it,
+        // so output is still deterministic
+        let out = parallel_map_with(
+            &items,
+            &par,
+            || 0usize,
+            |seen, _ix, &x| {
+                *seen += 1;
+                assert!(*seen <= items.len());
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_matches_serial_sum() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: u64 = items.iter().sum();
+        for threads in [1, 3, 8] {
+            let par = Parallelism::threads(threads);
+            let got = parallel_fold(&items, &par, 0u64, |acc, _ix, &x| acc + x, |a, b| a + b);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let par = Parallelism::default();
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, &par, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u8], &par, |_, &x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn zero_threads_normalizes_to_hardware() {
+        let par = Parallelism::default();
+        assert!(par.effective_threads() >= 1);
+        assert_eq!(Parallelism::serial().effective_threads(), 1);
+    }
+}

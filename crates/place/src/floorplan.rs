@@ -261,7 +261,10 @@ mod tests {
     fn usable_area_subtracts_blockages() {
         let mut f = fp();
         f.add_blockage(Rect::from_um(0.0, 0.0, 10.0, 10.0), BlockageKind::Full);
-        f.add_blockage(Rect::from_um(50.0, 50.0, 60.0, 60.0), BlockageKind::Partial(0.5));
+        f.add_blockage(
+            Rect::from_um(50.0, 50.0, 60.0, 60.0),
+            BlockageKind::Partial(0.5),
+        );
         let total = f.usable_area_um2(f.die());
         assert!((total - (12_000.0 - 100.0 - 50.0)).abs() < 1.0);
         // region query clips
@@ -307,7 +310,10 @@ mod tests {
     #[test]
     fn quantization_replaces_partials() {
         let mut f = fp();
-        f.add_blockage(Rect::from_um(0.0, 0.0, 40.0, 10.0), BlockageKind::Partial(0.5));
+        f.add_blockage(
+            Rect::from_um(0.0, 0.0, 40.0, 10.0),
+            BlockageKind::Partial(0.5),
+        );
         let before = f.usable_area_um2(f.die());
         f.quantize_partial_blockages(Dbu::from_um(4.0));
         assert!(f

@@ -61,10 +61,7 @@ pub fn global_place(
         placement.die_of[mp.inst.index()] = mp.die;
     }
 
-    let movable: Vec<InstId> = design
-        .inst_ids()
-        .filter(|&i| !design.is_macro(i))
-        .collect();
+    let movable: Vec<InstId> = design.inst_ids().filter(|&i| !design.is_macro(i)).collect();
     if movable.is_empty() {
         return placement;
     }
@@ -216,7 +213,7 @@ fn partition_cells(
         local_of.insert(c, k as u32);
         areas.push(design.inst_area_um2(c).max(1e-6));
     }
-    let mut builder = Hypergraph::new(areas);
+    let mut builder = Hypergraph::builder(areas);
 
     // collect incident nets once
     let mut seen = std::collections::HashSet::new();
@@ -341,7 +338,7 @@ fn nearest_unblocked(
                 let foot = placement.rect(design, inst).moved_to(p);
                 if !fp.is_fully_blocked(foot) && fp.die().contains_rect(foot) {
                     let d = p.manhattan(target);
-                    if best.map_or(true, |(bd, _)| d < bd) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, p));
                     }
                 }
@@ -400,7 +397,11 @@ mod tests {
         let p = global_place(&d, &f, &ports, &GlobalPlaceConfig::default());
         // first quarter should be left of last quarter on average
         let avg = |slice: &[InstId]| -> f64 {
-            slice.iter().map(|i| p.pos[i.index()].x.0 as f64).sum::<f64>() / slice.len() as f64
+            slice
+                .iter()
+                .map(|i| p.pos[i.index()].x.0 as f64)
+                .sum::<f64>()
+                / slice.len() as f64
         };
         let head = avg(&insts[..16]);
         let tail = avg(&insts[48..]);
@@ -418,7 +419,9 @@ mod tests {
         let p = global_place(&d, &f, &ports, &GlobalPlaceConfig::default());
         for i in d.inst_ids() {
             assert!(
-                f.die().inflate(Dbu::from_um(1.0)).contains(p.pos[i.index()]),
+                f.die()
+                    .inflate(Dbu::from_um(1.0))
+                    .contains(p.pos[i.index()]),
                 "cell {} at {:?} escapes die",
                 i,
                 p.pos[i.index()]

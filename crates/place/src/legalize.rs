@@ -49,7 +49,7 @@ impl RowSpace {
             // lo/hi are site-aligned, so flooring keeps x in [lo, hi]
             let x = target_x.clamp(lo, hi).floor_to(site).clamp(lo, hi);
             let dx = (x - target_x).abs();
-            if best.map_or(true, |(_, d)| dx < d) {
+            if best.is_none_or(|(_, d)| dx < d) {
                 best = Some((x, dx));
             }
         }
@@ -115,7 +115,11 @@ pub fn legalize(
     let mut order: Vec<InstId> = movable.to_vec();
     order.sort_by_key(|i| {
         let w = placement.rect(design, *i).width();
-        (w <= wide, placement.pos[i.index()].x, placement.pos[i.index()].y)
+        (
+            w <= wide,
+            placement.pos[i.index()].x,
+            placement.pos[i.index()].y,
+        )
     });
 
     let mut report = LegalizeReport::default();
@@ -125,11 +129,12 @@ pub fn legalize(
     for inst in order {
         let target = placement.pos[inst.index()];
         let width = placement.rect(design, inst).width();
-        let target_row = (((target.y - die.lo.y).0 / row_h.0).max(0) as usize).min(num_rows.saturating_sub(1));
+        let target_row =
+            (((target.y - die.lo.y).0 / row_h.0).max(0) as usize).min(num_rows.saturating_sub(1));
 
         let mut best: Option<(Dbu, usize, Dbu)> = None; // (cost, row, x)
-        // scan rows outward from the target row; stop when row distance
-        // alone exceeds the best cost
+                                                        // scan rows outward from the target row; stop when row distance
+                                                        // alone exceeds the best cost
         for delta in 0..num_rows {
             let candidates = [
                 target_row.checked_sub(delta),
@@ -151,7 +156,7 @@ pub fn legalize(
                 }
                 if let Some((x, dx)) = rows[row].best_fit(target.x, width, site) {
                     let cost = dx + dy;
-                    if best.map_or(true, |(c, ..)| cost < c) {
+                    if best.is_none_or(|(c, ..)| cost < c) {
                         best = Some((cost, row, x));
                     }
                 }
@@ -212,7 +217,10 @@ pub fn legalize_incremental(
 ) -> LegalizeReport {
     let mut fp2 = fp.clone();
     for &i in fixed {
-        fp2.add_blockage(placement.rect(design, i), crate::floorplan::BlockageKind::Full);
+        fp2.add_blockage(
+            placement.rect(design, i),
+            crate::floorplan::BlockageKind::Full,
+        );
     }
     legalize(design, &fp2, placement, movable)
 }
@@ -352,7 +360,7 @@ mod tests {
         legalize(&d, &f, &mut p, &insts);
         for &i in &insts {
             let row = ((p.pos[i.index()].y - f.die().lo.y).0 / f.row_height().0) as usize;
-            let expect = if row % 2 == 0 {
+            let expect = if row.is_multiple_of(2) {
                 macro3d_geom::Orientation::N
             } else {
                 macro3d_geom::Orientation::FS

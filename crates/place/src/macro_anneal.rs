@@ -38,10 +38,7 @@ impl Default for AnnealConfig {
 /// non-macro pins collapsed to the die centre (logic is not placed
 /// yet at floorplanning time). The standard macro-floorplanning cost.
 pub fn macro_net_hpwl(design: &Design, placements: &[MacroPlacement], die: Rect) -> f64 {
-    let pos: HashMap<InstId, Point> = placements
-        .iter()
-        .map(|mp| (mp.inst, mp.rect.lo))
-        .collect();
+    let pos: HashMap<InstId, Point> = placements.iter().map(|mp| (mp.inst, mp.rect.lo)).collect();
     let center = die.center();
 
     let mut seen = std::collections::HashSet::new();
@@ -58,12 +55,7 @@ pub fn macro_net_hpwl(design: &Design, placements: &[MacroPlacement], die: Rect)
     total
 }
 
-fn net_span(
-    design: &Design,
-    net: NetId,
-    pos: &HashMap<InstId, Point>,
-    center: Point,
-) -> f64 {
+fn net_span(design: &Design, net: NetId, pos: &HashMap<InstId, Point>, center: Point) -> f64 {
     let mut lo: Option<Point> = None;
     let mut hi: Option<Point> = None;
     let add = |p: Point, lo: &mut Option<Point>, hi: &mut Option<Point>| {
@@ -130,7 +122,10 @@ pub fn refine_macros_sa(
                 2 => (Dbu(0), step),
                 _ => (Dbu(0), -step),
             };
-            Move::Nudge(a, Point::new(placements[a].rect.lo.x + dx, placements[a].rect.lo.y + dy))
+            Move::Nudge(
+                a,
+                Point::new(placements[a].rect.lo.x + dx, placements[a].rect.lo.y + dy),
+            )
         };
 
         // apply tentatively
@@ -154,8 +149,7 @@ pub fn refine_macros_sa(
             f64::INFINITY
         };
         let accept = legal
-            && (new_cost <= cost
-                || rng.gen_bool(((cost - new_cost) / t).exp().clamp(0.0, 1.0)));
+            && (new_cost <= cost || rng.gen_bool(((cost - new_cost) / t).exp().clamp(0.0, 1.0)));
         if accept {
             cost = new_cost;
         } else {

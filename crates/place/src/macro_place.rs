@@ -26,7 +26,13 @@ fn padded_size(design: &Design, inst: InstId, halo: Dbu) -> Size {
     Size::new(s.w + halo * 2, s.h + halo * 2)
 }
 
-fn placement_at(design: &Design, inst: InstId, padded_lo: Point, halo: Dbu, die: DieRole) -> MacroPlacement {
+fn placement_at(
+    design: &Design,
+    inst: InstId,
+    padded_lo: Point,
+    halo: Dbu,
+    die: DieRole,
+) -> MacroPlacement {
     let macro3d_netlist::Master::Macro(m) = design.inst(inst).master else {
         panic!("instance {inst} is not a macro");
     };
@@ -73,7 +79,13 @@ pub fn pack_shelves(
         if cursor_x + s.w > region.hi.x || shelf_y + s.h > region.hi.y {
             return None;
         }
-        out.push(placement_at(design, inst, Point::new(cursor_x, shelf_y), halo, die));
+        out.push(placement_at(
+            design,
+            inst,
+            Point::new(cursor_x, shelf_y),
+            halo,
+            die,
+        ));
         cursor_x += s.w;
         shelf_h = shelf_h.max(s.h);
     }
@@ -115,7 +127,11 @@ pub fn pack_ring(
         side_ix += 1;
         let vertical = side < 2; // W/E shelves run vertically
         let thickness = if vertical { first_size.w } else { first_size.h };
-        let span = if vertical { inner.height() } else { inner.width() };
+        let span = if vertical {
+            inner.height()
+        } else {
+            inner.width()
+        };
         if thickness.0 <= 0 || span.0 <= 0 {
             return None;
         }
@@ -156,10 +172,10 @@ pub fn pack_ring(
                 break;
             }
             let lo = match side {
-                0 => Point::new(inner.lo.x, cursor),                     // west
-                1 => Point::new(inner.hi.x - size.w, cursor),            // east
-                2 => Point::new(cursor, inner.hi.y - size.h),            // north
-                _ => Point::new(cursor, inner.lo.y),                     // south
+                0 => Point::new(inner.lo.x, cursor),          // west
+                1 => Point::new(inner.hi.x - size.w, cursor), // east
+                2 => Point::new(cursor, inner.hi.y - size.h), // north
+                _ => Point::new(cursor, inner.lo.y),          // south
             };
             out.push(placement_at(design, inst, lo, halo, DieRole::Logic));
             queue.pop_front();
@@ -232,7 +248,13 @@ pub fn pack_bands(
         if cursor_x + s.w > die_rect.hi.x || shelf_y + s.h > die_rect.hi.y {
             return None;
         }
-        out.push(placement_at(design, inst, Point::new(cursor_x, shelf_y), halo, DieRole::Logic));
+        out.push(placement_at(
+            design,
+            inst,
+            Point::new(cursor_x, shelf_y),
+            halo,
+            DieRole::Logic,
+        ));
         cursor_x += s.w;
         shelf_h = shelf_h.max(s.h);
     }
@@ -283,8 +305,18 @@ pub fn pack_balanced(
             return None;
         }
         for (j, &inst) in pair.iter().enumerate() {
-            let die = if j == 0 { DieRole::Logic } else { DieRole::Macro };
-            out.push(placement_at(design, inst, Point::new(cursor_x, shelf_y), halo, die));
+            let die = if j == 0 {
+                DieRole::Logic
+            } else {
+                DieRole::Macro
+            };
+            out.push(placement_at(
+                design,
+                inst,
+                Point::new(cursor_x, shelf_y),
+                halo,
+                die,
+            ));
         }
         cursor_x += box_w;
         shelf_h = shelf_h.max(box_h);
@@ -358,7 +390,7 @@ mod tests {
         // macros hug the edges: each touches the left or right third
         for m in &p {
             let cx = m.rect.center().x.to_um();
-            assert!(cx < 450.0 || cx > 550.0, "macro at centre x {cx}");
+            assert!(!(450.0..=550.0).contains(&cx), "macro at centre x {cx}");
         }
     }
 

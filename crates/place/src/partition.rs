@@ -27,7 +27,7 @@ pub struct Hypergraph {
 
 impl Hypergraph {
     /// Starts building a hypergraph with the given vertex areas.
-    pub fn new(vertex_area: Vec<f64>) -> HypergraphBuilder {
+    pub fn builder(vertex_area: Vec<f64>) -> HypergraphBuilder {
         HypergraphBuilder {
             vertex_area,
             nets: Vec::new(),
@@ -191,9 +191,9 @@ pub fn bipartition(
         None => {
             let mut s = vec![1u8; nv];
             let mut acc = 0.0;
-            for v in 0..nv {
+            for (v, sv) in s.iter_mut().enumerate() {
                 if acc < target_a {
-                    s[v] = 0;
+                    *sv = 0;
                     acc += hg.vertex_area[v];
                 }
             }
@@ -253,9 +253,9 @@ fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
     // max-heap with lazy invalidation
     let mut heap: BinaryHeap<(i32, Reverse<usize>)> = BinaryHeap::new();
     let mut gain = vec![0i32; nv];
-    for v in 0..nv {
-        gain[v] = gain_of(v, side, &cnt);
-        heap.push((gain[v], Reverse(v)));
+    for (v, g) in gain.iter_mut().enumerate() {
+        *g = gain_of(v, side, &cnt);
+        heap.push((*g, Reverse(v)));
     }
     let mut locked = vec![false; nv];
 
@@ -327,7 +327,7 @@ mod tests {
 
     /// Two 4-cliques joined by a single net: the optimal cut is 1.
     fn two_clusters() -> Hypergraph {
-        let mut b = Hypergraph::new(vec![1.0; 8]);
+        let mut b = Hypergraph::builder(vec![1.0; 8]);
         for c in [0u32, 4] {
             for i in 0..4 {
                 for j in (i + 1)..4 {
@@ -363,31 +363,47 @@ mod tests {
     #[test]
     fn anchors_pull_vertices() {
         // a path 0-1-2; anchor net on 0 to side 1
-        let mut b = Hypergraph::new(vec![1.0; 4]);
+        let mut b = Hypergraph::builder(vec![1.0; 4]);
         b.add_net(&[0, 1], None);
         b.add_net(&[1, 2], None);
         b.add_net(&[2, 3], None);
         b.add_net(&[0], Some(1)); // pull vertex 0 to side 1
         b.add_net(&[3], Some(0)); // pull vertex 3 to side 0
         let hg = b.build();
-        let side = bipartition(&hg, 0.5, None, &FmConfig { passes: 4, balance_tol: 0.3 });
+        let side = bipartition(
+            &hg,
+            0.5,
+            None,
+            &FmConfig {
+                passes: 4,
+                balance_tol: 0.3,
+            },
+        );
         assert_eq!(side[0], 1, "anchored to side 1");
         assert_eq!(side[3], 0, "anchored to side 0");
     }
 
     #[test]
     fn initial_assignment_honours_target() {
-        let mut b = Hypergraph::new(vec![1.0; 10]);
+        let mut b = Hypergraph::builder(vec![1.0; 10]);
         b.add_net(&[0, 9], None);
         let hg = b.build();
-        let side = bipartition(&hg, 0.3, None, &FmConfig { passes: 0, balance_tol: 0.05 });
+        let side = bipartition(
+            &hg,
+            0.3,
+            None,
+            &FmConfig {
+                passes: 0,
+                balance_tol: 0.05,
+            },
+        );
         let a = side.iter().filter(|&&s| s == 0).count();
         assert_eq!(a, 3);
     }
 
     #[test]
     fn cut_size_counts_anchored_nets() {
-        let mut b = Hypergraph::new(vec![1.0; 2]);
+        let mut b = Hypergraph::builder(vec![1.0; 2]);
         b.add_net(&[0], Some(1));
         b.add_net(&[0, 1], None);
         let hg = b.build();
@@ -401,7 +417,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let hg = Hypergraph::new(vec![]).build();
+        let hg = Hypergraph::builder(vec![]).build();
         let side = bipartition(&hg, 0.5, None, &FmConfig::default());
         assert!(side.is_empty());
     }

@@ -27,7 +27,8 @@ impl PortPlan {
         let mut pos = vec![die.lo; design.num_ports()];
         // group by effective side
         let mut by_side: [Vec<PortId>; 4] = Default::default();
-        let mut align_offset: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+        let mut align_offset: std::collections::HashMap<u32, i64> =
+            std::collections::HashMap::new();
 
         for id in design.port_ids() {
             let side = design.port(id).side.unwrap_or(Side::West);
@@ -48,9 +49,7 @@ impl PortPlan {
             for (k, &id) in ports.iter().enumerate() {
                 // aligned pairs reuse the first member's offset
                 let offset = if let Some(key) = design.port(id).align_key {
-                    *align_offset
-                        .entry(key)
-                        .or_insert((k as i64 + 1) * step)
+                    *align_offset.entry(key).or_insert((k as i64 + 1) * step)
                 } else {
                     (k as i64 + 1) * step
                 };
@@ -144,6 +143,9 @@ mod tests {
         let d = design_with_ports();
         let plan = PortPlan::assign(&d, Rect::from_um(0.0, 0.0, 100.0, 80.0));
         let s = plan.scaled(0.5);
-        assert_eq!(s.position(PortId(0)).x, plan.position(PortId(0)).x.scale(0.5));
+        assert_eq!(
+            s.position(PortId(0)).x,
+            plan.position(PortId(0)).x.scale(0.5)
+        );
     }
 }

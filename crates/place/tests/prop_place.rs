@@ -61,7 +61,7 @@ proptest! {
         edges in proptest::collection::vec((0u32..40, 0u32..40), 10..120),
         frac in 0.3f64..0.7,
     ) {
-        let mut b = Hypergraph::new(vec![1.0; 40]);
+        let mut b = Hypergraph::builder(vec![1.0; 40]);
         for &(u, v) in &edges {
             if u != v {
                 b.add_net(&[u, v], None);
@@ -72,9 +72,9 @@ proptest! {
         let mut init = vec![1u8; 40];
         let target = 40.0 * frac;
         let mut acc = 0.0;
-        for v in 0..40 {
+        for slot in init.iter_mut() {
             if acc < target {
-                init[v] = 0;
+                *slot = 0;
                 acc += 1.0;
             }
         }
@@ -85,9 +85,9 @@ proptest! {
         // determinism
         let mut init2 = vec![1u8; 40];
         let mut acc2 = 0.0;
-        for v in 0..40 {
+        for slot in init2.iter_mut() {
             if acc2 < target {
-                init2[v] = 0;
+                *slot = 0;
                 acc2 += 1.0;
             }
         }

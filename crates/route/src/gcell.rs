@@ -43,8 +43,8 @@ impl RouteGrid {
         let grid = BinGrid::with_bin_size(die, gcell);
         let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
         let layers = stack.num_layers();
-        let h_edges_per_layer = (nx - 1).max(0) * ny;
-        let v_edges_per_layer = nx * (ny - 1).max(0);
+        let h_edges_per_layer = nx.saturating_sub(1) * ny;
+        let v_edges_per_layer = nx * ny.saturating_sub(1);
         let per_layer = h_edges_per_layer + v_edges_per_layer;
         let mut cap = vec![0.0f32; per_layer * layers];
 
@@ -102,7 +102,13 @@ impl RouteGrid {
 
     /// Edge between `(x,y)` and the next GCell in +x (horizontal) or
     /// +y (vertical) on `layer`; `None` at the grid boundary.
-    pub(crate) fn edge_ix(&self, layer: usize, x: usize, y: usize, horizontal: bool) -> Option<usize> {
+    pub(crate) fn edge_ix(
+        &self,
+        layer: usize,
+        x: usize,
+        y: usize,
+        horizontal: bool,
+    ) -> Option<usize> {
         let nx = self.grid.nx() as usize;
         let ny = self.grid.ny() as usize;
         if horizontal {

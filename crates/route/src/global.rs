@@ -1,10 +1,20 @@
-//! Negotiated-congestion global routing (PathFinder-style).
+//! Negotiated-congestion global routing (PathFinder-style), with a
+//! batched-commit parallel inner loop.
+//!
+//! Each rip-up iteration partitions its nets into fixed-size chunks.
+//! A chunk is routed against a *frozen* congestion snapshot — workers
+//! search in parallel, each reusing its own A* scratch buffers — and
+//! then usage is committed serially in chunk order before the next
+//! chunk starts. Because the chunk partition and commit order depend
+//! only on [`RouteConfig`] (never on the thread count), the routed
+//! result is bit-identical for any `parallelism.threads`.
 
 use crate::gcell::RouteGrid;
 use crate::routed::{RouteSeg, RoutedDesign, RoutedNet, Via};
 use crate::steiner::steiner_edges;
 use macro3d_geom::{BinIx, Dbu, Point, Rect};
 use macro3d_netlist::NetId;
+use macro3d_par::{parallel_map_with, Parallelism};
 use macro3d_tech::stack::{Direction, MetalStack};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -26,6 +36,10 @@ pub struct RouteConfig {
     /// F2F bond pitch, µm — bounds how many bumps fit per GCell; the
     /// result reports GCells exceeding it. `None` disables the check.
     pub f2f_pitch_um: Option<f64>,
+    /// Worker threads and batch size for the chunked inner loop. The
+    /// chunk size changes routing results (it sets the commit
+    /// granularity); the thread count never does.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RouteConfig {
@@ -37,6 +51,7 @@ impl Default for RouteConfig {
             via_cost: 2.0,
             max_net_degree: 512,
             f2f_pitch_um: Some(1.0),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -92,7 +107,19 @@ pub fn route_design(
         .iter()
         .map(|v| if v.is_f2f { 0.6 } else { cfg.via_cost })
         .collect();
-    let mut router = AStar::new(&grid, dirs, layer_cost, via_costs, cfg.via_cost);
+    let par = cfg.parallelism;
+    let new_router = |g: &RouteGrid| {
+        AStar::new(
+            g,
+            dirs.clone(),
+            layer_cost.clone(),
+            via_costs.clone(),
+            cfg.via_cost,
+        )
+    };
+    // Serial runs keep one router for the whole design (scratch reuse
+    // across chunks); parallel runs build one per worker per chunk.
+    let mut serial_router = (par.effective_threads() <= 1).then(|| new_router(&grid));
 
     // order: short nets first (they have the least flexibility)
     let mut order: Vec<usize> = (0..nets.len())
@@ -143,14 +170,29 @@ pub fn route_design(
             victims
         };
 
-        for i in reroute {
-            let (_, pins) = &nets[i];
-            let (net_route, edges) = route_net(&mut router, &mut grid, pins, f2f_cut);
-            for &e in &edges {
-                grid.usage[e as usize] += 1.0;
+        // Batched commit: each chunk routes against the congestion
+        // state frozen at its start, then usage lands serially in
+        // chunk order. Identical results for any thread count.
+        for chunk in reroute.chunks(par.chunk_size.max(1)) {
+            let results: Vec<(RoutedNet, Vec<u32>)> = match serial_router.as_mut() {
+                Some(router) => chunk
+                    .iter()
+                    .map(|&i| route_net(router, &grid, &nets[i].1, f2f_cut))
+                    .collect(),
+                None => parallel_map_with(
+                    chunk,
+                    &par,
+                    || new_router(&grid),
+                    |router, _k, &i| route_net(router, &grid, &nets[i].1, f2f_cut),
+                ),
+            };
+            for (&i, (net_route, edges)) in chunk.iter().zip(results) {
+                for &e in &edges {
+                    grid.usage[e as usize] += 1.0;
+                }
+                net_edges[i] = edges;
+                routes[i] = Some(net_route);
             }
-            net_edges[i] = edges;
-            routes[i] = Some(net_route);
         }
     }
 
@@ -182,8 +224,7 @@ pub fn route_design(
                 }
             }
         }
-        result.f2f_overcrowded_gcells =
-            counts.values().filter(|&&c| c > per_gcell).count();
+        result.f2f_overcrowded_gcells = counts.values().filter(|&&c| c > per_gcell).count();
     }
     result
 }
@@ -197,12 +238,7 @@ fn route_net(
     f2f_cut: Option<usize>,
 ) -> (RoutedNet, Vec<u32>) {
     let points: Vec<Point> = pins.iter().map(|p| p.0).collect();
-    let layer_of = |pt: Point| -> u16 {
-        pins.iter()
-            .find(|p| p.0 == pt)
-            .map(|p| p.1)
-            .unwrap_or(0)
-    };
+    let layer_of = |pt: Point| -> u16 { pins.iter().find(|p| p.0 == pt).map(|p| p.1).unwrap_or(0) };
     let mut net = RoutedNet::default();
     let mut edges = Vec::new();
     for (a, b) in steiner_edges(&points) {
@@ -314,9 +350,7 @@ impl AStar {
         let nx = grid.bins().nx() as usize;
         let ny = grid.bins().ny() as usize;
         let n = nx * ny * grid.layers();
-        let min_via = via_costs
-            .iter()
-            .fold(default_via_cost, |a, &b| a.min(b));
+        let min_via = via_costs.iter().fold(default_via_cost, |a, &b| a.min(b));
         AStar {
             nx,
             ny,
@@ -382,10 +416,7 @@ impl AStar {
         );
         let (gl, gx, gy) = self.unpack(goal);
 
-        let min_layer_cost = self
-            .layer_cost
-            .iter()
-            .fold(f64::INFINITY, |a, &b| a.min(b));
+        let min_layer_cost = self.layer_cost.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         // Weighted A* (epsilon = 1.25): bounded suboptimality for a
         // large reduction in explored nodes under congestion — the
         // standard engineering trade in global routers.
@@ -452,16 +483,37 @@ impl AStar {
                     continue;
                 }
                 let cost = self.edge_cost(grid, e) * self.layer_cost[l];
-                self.relax(n, self.node(l, nx2 as usize, ny2 as usize), g as f64 + cost, epoch, &mut heap, &h);
+                self.relax(
+                    n,
+                    self.node(l, nx2 as usize, ny2 as usize),
+                    g as f64 + cost,
+                    epoch,
+                    &mut heap,
+                    &h,
+                );
             }
             // via steps (per-cut costs; the F2F bond is cheap)
             if l + 1 < self.layers {
                 let c = self.via_costs.get(l).copied().unwrap_or(self.via_cost);
-                self.relax(n, self.node(l + 1, x, y), g as f64 + c, epoch, &mut heap, &h);
+                self.relax(
+                    n,
+                    self.node(l + 1, x, y),
+                    g as f64 + c,
+                    epoch,
+                    &mut heap,
+                    &h,
+                );
             }
             if l > 0 {
                 let c = self.via_costs.get(l - 1).copied().unwrap_or(self.via_cost);
-                self.relax(n, self.node(l - 1, x, y), g as f64 + c, epoch, &mut heap, &h);
+                self.relax(
+                    n,
+                    self.node(l - 1, x, y),
+                    g as f64 + c,
+                    epoch,
+                    &mut heap,
+                    &h,
+                );
             }
         }
         // fallback: direct L path on the src layer pair (router always
@@ -579,7 +631,14 @@ mod tests {
         );
         // pin on logic M1 to pin on macro-die M4_MD (layer 9)
         let nets = two_pin_net((10.0, 10.0, 0), (100.0, 100.0, 9));
-        let r = route_design(die(), combined.stack(), &[], &nets, 1, &RouteConfig::default());
+        let r = route_design(
+            die(),
+            combined.stack(),
+            &[],
+            &nets,
+            1,
+            &RouteConfig::default(),
+        );
         let net = r.net(NetId(0)).expect("routed");
         assert!(net.f2f_crossings >= 1, "must cross the F2F cut");
         assert_eq!(r.f2f_bumps as u32, net.f2f_crossings);
@@ -599,8 +658,11 @@ mod tests {
                 ],
             ));
         }
-        let mut cfg = RouteConfig::default();
-        cfg.utilization = 0.02; // tiny capacity: forces spreading
+        // tiny capacity: forces spreading
+        let cfg = RouteConfig {
+            utilization: 0.02,
+            ..RouteConfig::default()
+        };
         let r = route_design(die(), &stack, &[], &nets, 40, &cfg);
         // all nets routed
         assert!(r.nets.iter().filter(|n| n.is_some()).count() == 40);
@@ -659,16 +721,57 @@ mod tests {
                 ],
             ));
         }
-        let mut cfg = RouteConfig::default();
         // a coarse bond pitch makes per-gcell capacity tiny
-        cfg.f2f_pitch_um = Some(5.0);
+        let mut cfg = RouteConfig {
+            f2f_pitch_um: Some(5.0),
+            ..RouteConfig::default()
+        };
         let r = route_design(die(), combined.stack(), &[], &nets, 300, &cfg);
         assert!(r.f2f_bumps >= 300);
-        assert!(r.f2f_overcrowded_gcells > 0, "300 bumps in one spot overflow a 4-bump gcell");
+        assert!(
+            r.f2f_overcrowded_gcells > 0,
+            "300 bumps in one spot overflow a 4-bump gcell"
+        );
         // with the real 1um pitch the same pattern fits
         cfg.f2f_pitch_um = Some(1.0);
         let r2 = route_design(die(), combined.stack(), &[], &nets, 300, &cfg);
         assert!(r2.f2f_overcrowded_gcells <= r.f2f_overcrowded_gcells);
+    }
+
+    #[test]
+    fn thread_count_never_changes_routes() {
+        let stack = n28_stack(4, DieRole::Logic);
+        // congested fan pattern: enough contention that history and
+        // batching actually matter
+        let mut nets = Vec::new();
+        for i in 0..120u32 {
+            let x = 5.0 + (i % 12) as f64 * 16.0;
+            let y = 5.0 + (i / 12) as f64 * 19.0;
+            nets.push((
+                NetId(i),
+                vec![
+                    (Point::from_um(x, y), 0u16),
+                    (Point::from_um(100.0, 100.0), 0u16),
+                ],
+            ));
+        }
+        let mut cfg = RouteConfig {
+            utilization: 0.05,
+            parallelism: Parallelism::serial().with_chunk_size(8),
+            ..RouteConfig::default()
+        };
+        let reference = route_design(die(), &stack, &[], &nets, 120, &cfg);
+        for threads in [2, 4, 8] {
+            cfg.parallelism = Parallelism::threads(threads).with_chunk_size(8);
+            let got = route_design(die(), &stack, &[], &nets, 120, &cfg);
+            assert_eq!(got.total_wirelength_um, reference.total_wirelength_um);
+            assert_eq!(got.overflow, reference.overflow);
+            for (a, b) in got.nets.iter().zip(reference.nets.iter()) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.segments, b.segments, "threads={threads}");
+                assert_eq!(a.vias, b.vias);
+            }
+        }
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub mod steiner;
 pub use congestion::{CongestionReport, LayerCongestion};
 pub use gcell::RouteGrid;
 pub use global::{route_design, RouteConfig};
+pub use macro3d_par::Parallelism;
 pub use routed::{RouteSeg, RoutedDesign, RoutedNet, Via};
 pub use steiner::{steiner_edges, steiner_length};

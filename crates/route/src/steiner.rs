@@ -33,10 +33,7 @@ pub fn steiner_edges(pins: &[Point]) -> Vec<(Point, Point)> {
         2 => vec![(pins[0], pins[1])],
         3 => {
             let m = median_point(pins);
-            pins.iter()
-                .filter(|&&p| p != m)
-                .map(|&p| (p, m))
-                .collect()
+            pins.iter().filter(|&&p| p != m).map(|&p| (p, m)).collect()
         }
         _ => prim_mst(pins),
     }
@@ -128,7 +125,9 @@ mod tests {
 
     #[test]
     fn mst_spans_all_pins() {
-        let pins: Vec<Point> = (0..17).map(|i| p((i * 7 % 13) as f64, (i * 5 % 11) as f64)).collect();
+        let pins: Vec<Point> = (0..17)
+            .map(|i| p((i * 7 % 13) as f64, (i * 5 % 11) as f64))
+            .collect();
         let edges = steiner_edges(&pins);
         assert_eq!(edges.len(), pins.len() - 1);
         // connectivity: union-find over edges
@@ -156,7 +155,9 @@ mod tests {
 
     #[test]
     fn mst_length_bounded_by_star() {
-        let pins: Vec<Point> = (0..20).map(|i| p((i * 13 % 29) as f64, (i * 17 % 23) as f64)).collect();
+        let pins: Vec<Point> = (0..20)
+            .map(|i| p((i * 13 % 29) as f64, (i * 17 % 23) as f64))
+            .collect();
         let mst = steiner_length(&pins);
         let star: Dbu = pins[1..].iter().map(|q| pins[0].manhattan(*q)).sum();
         assert!(mst <= star);

@@ -1,9 +1,15 @@
 fn main() {
     for scale in [8.0, 16.0, 32.0] {
         let t0 = std::time::Instant::now();
-        let tile = macro3d_soc::generate_tile(&macro3d_soc::TileConfig::small_cache().with_scale(scale));
+        let tile =
+            macro3d_soc::generate_tile(&macro3d_soc::TileConfig::small_cache().with_scale(scale));
         let s = macro3d_netlist::DesignStats::compute(&tile.design);
-        println!("scale {scale}: {} insts, {:.3} mm2 logic, {:.3} macro frac, {:?}",
-            s.num_cells, s.cell_area_um2/1e6, s.macro_area_fraction(), t0.elapsed());
+        println!(
+            "scale {scale}: {} insts, {:.3} mm2 logic, {:.3} macro frac, {:?}",
+            s.num_cells,
+            s.cell_area_um2 / 1e6,
+            s.macro_area_fraction(),
+            t0.elapsed()
+        );
     }
 }

@@ -49,7 +49,9 @@ impl MacroCatalog {
         if let Some(&m) = self.by_shape.get(&(words, bits)) {
             return m;
         }
-        let def = self.compiler.sram(&format!("sram_{words}x{bits}"), words, bits);
+        let def = self
+            .compiler
+            .sram(&format!("sram_{words}x{bits}"), words, bits);
         let id = design.add_macro_master(def);
         self.by_shape.insert((words, bits), id);
         id
@@ -169,13 +171,13 @@ pub fn build_cache(
 
     // Wire the macros.
     let wire_bank = |design: &mut Design,
-                         inst: InstId,
-                         master: macro3d_netlist::MacroMasterId,
-                         addr: &[NetId],
-                         din: &[NetId],
-                         ce: NetId,
-                         we: NetId,
-                         dout_nets: &mut Vec<NetId>| {
+                     inst: InstId,
+                     master: macro3d_netlist::MacroMasterId,
+                     addr: &[NetId],
+                     din: &[NetId],
+                     ce: NetId,
+                     we: NetId,
+                     dout_nets: &mut Vec<NetId>| {
         let def = design.macro_master(master).clone();
         for (pin_ix, pin) in def.pins.iter().enumerate() {
             let pr = PinRef::inst(inst, pin_ix as u16);

@@ -170,9 +170,17 @@ mod tests {
         // ~1.36 um^2 mean effective cell area (measured over the
         // generated mix) => 0.29 mm^2 needs ~214 kgates, 0.47 ~346.
         let s = TileConfig::small_cache();
-        assert!((200.0..230.0).contains(&s.total_kgates()), "{}", s.total_kgates());
+        assert!(
+            (200.0..230.0).contains(&s.total_kgates()),
+            "{}",
+            s.total_kgates()
+        );
         let l = TileConfig::large_cache();
-        assert!((330.0..360.0).contains(&l.total_kgates()), "{}", l.total_kgates());
+        assert!(
+            (330.0..360.0).contains(&l.total_kgates()),
+            "{}",
+            l.total_kgates()
+        );
     }
 
     #[test]

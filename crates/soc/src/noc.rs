@@ -65,8 +65,11 @@ pub fn build_router(
             let side_tag = side_tag(side);
             // outgoing bit: net driven by boundary register, exported
             let out_net = design.add_net(format!("{name}_{side_tag}_o{b}"));
-            let out_port =
-                design.add_port(format!("{name}_{side_tag}_out[{b}]"), PinDir::Output, Some(side));
+            let out_port = design.add_port(
+                format!("{name}_{side_tag}_out[{b}]"),
+                PinDir::Output,
+                Some(side),
+            );
             design.connect(out_net, PinRef::Port(out_port));
             drive.push(out_net);
             outs.push(out_port);
@@ -74,8 +77,11 @@ pub fn build_router(
 
             // incoming bit: port drives net, router samples
             let in_net = design.add_net(format!("{name}_{side_tag}_i{b}"));
-            let in_port =
-                design.add_port(format!("{name}_{side_tag}_in[{b}]"), PinDir::Input, Some(side));
+            let in_port = design.add_port(
+                format!("{name}_{side_tag}_in[{b}]"),
+                PinDir::Input,
+                Some(side),
+            );
             design.connect(in_net, PinRef::Port(in_port));
             ext_in.push(in_net);
             ins.push(in_port);

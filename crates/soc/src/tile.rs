@@ -97,21 +97,25 @@ pub fn generate_tile(config: &TileConfig) -> TileNetlist {
         .collect();
 
     // Core submodules.
-    let gen_module =
-        |d: &mut Design, rng: &mut SmallRng, name: &str, kgates: f64, ext: Vec<NetId>, drv: Vec<NetId>| {
-            let group = d.add_group(name.to_string());
-            let spec = LogicSpec::new(name.to_string(), config.gates(kgates), group);
-            generate_logic(
-                d,
-                rng,
-                &spec,
-                clk,
-                LogicIo {
-                    ext_in: &ext,
-                    drive: &drv,
-                },
-            )
-        };
+    let gen_module = |d: &mut Design,
+                      rng: &mut SmallRng,
+                      name: &str,
+                      kgates: f64,
+                      ext: Vec<NetId>,
+                      drv: Vec<NetId>| {
+        let group = d.add_group(name.to_string());
+        let spec = LogicSpec::new(name.to_string(), config.gates(kgates), group);
+        generate_logic(
+            d,
+            rng,
+            &spec,
+            clk,
+            LogicIo {
+                ext_in: &ext,
+                drive: &drv,
+            },
+        )
+    };
 
     let subs = config.core_submodules();
     let budget = |name: &str| -> f64 {
@@ -142,8 +146,20 @@ pub fn generate_tile(config: &TileConfig) -> TileNetlist {
         &mut rng,
         "core.issue",
         budget("issue"),
-        [de_is.clone(), exu_is.clone(), fpu_is.clone(), lsu_is.clone()].concat(),
-        [is_exu.clone(), is_fpu.clone(), is_lsu.clone(), is_fe.clone()].concat(),
+        [
+            de_is.clone(),
+            exu_is.clone(),
+            fpu_is.clone(),
+            lsu_is.clone(),
+        ]
+        .concat(),
+        [
+            is_exu.clone(),
+            is_fpu.clone(),
+            is_lsu.clone(),
+            is_fe.clone(),
+        ]
+        .concat(),
     );
     gen_module(
         &mut d,

@@ -237,7 +237,13 @@ mod tests {
     #[test]
     fn all_compiled_macros_validate() {
         let c = MemoryCompiler::n28();
-        for (w, b) in [(256u32, 32u32), (512, 64), (2048, 128), (8192, 64), (16384, 128)] {
+        for (w, b) in [
+            (256u32, 32u32),
+            (512, 64),
+            (2048, 128),
+            (8192, 64),
+            (16384, 128),
+        ] {
             let m = c.sram(&format!("s{w}x{b}"), w, b);
             assert!(m.validate().is_ok(), "{w}x{b} fails validation");
         }

@@ -106,7 +106,12 @@ impl MacroDef {
     /// The highest internal metal layer used by pins or blockages
     /// (local numbering).
     pub fn top_layer(&self) -> LayerId {
-        let pin_top = self.pins.iter().map(|p| p.layer).max().unwrap_or(LayerId(0));
+        let pin_top = self
+            .pins
+            .iter()
+            .map(|p| p.layer)
+            .max()
+            .unwrap_or(LayerId(0));
         let blk_top = self
             .blockages
             .iter()

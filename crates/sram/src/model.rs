@@ -241,7 +241,10 @@ mod tests {
     fn n40_node_trades_area_for_cost_and_leakage() {
         let n28 = SramModel::new(2048, 128);
         let n40 = SramModel::with_node(2048, 128, MemoryNode::N40);
-        assert!(n40.area_um2() > 1.5 * n28.area_um2(), "older node is bigger");
+        assert!(
+            n40.area_um2() > 1.5 * n28.area_um2(),
+            "older node is bigger"
+        );
         assert!(n40.access_time_ps() > n28.access_time_ps());
         assert!(n40.leakage_nw() < n28.leakage_nw(), "older node leaks less");
         let cost28 = n28.area_um2() * n28.node().cost_scale;

@@ -6,7 +6,8 @@ use crate::cts::ClockArrivals;
 use crate::dcalc::{cell_arc_delay, wire_slew};
 use macro3d_extract::NetParasitics;
 use macro3d_netlist::traverse::{is_timing_endpoint, topo_order};
-use macro3d_netlist::{Design, Master, NetId, PinRef};
+use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
+use macro3d_par::{parallel_fold, Parallelism};
 use macro3d_route::RoutedDesign;
 use macro3d_tech::{Corner, PinDir};
 
@@ -52,19 +53,39 @@ pub struct TimingReport {
 
 /// Computes the worst slack at a given period, ps.
 pub fn worst_slack(input: &StaInput<'_>, period_ps: f64) -> f64 {
-    let ctx = StaContext::build(input.design);
-    Propagation::run(input, &ctx, period_ps).worst_slack
+    worst_slack_par(input, period_ps, &Parallelism::serial())
 }
 
-/// Period-independent analysis context (combinational order and the
-/// pin→(net, sink index) map), built once per design revision.
+/// [`worst_slack`] with endpoint checks fanned out over `par`
+/// (identical result for any thread count).
+pub fn worst_slack_par(input: &StaInput<'_>, period_ps: f64, par: &Parallelism) -> f64 {
+    let ctx = StaContext::build(input.design, input.constraints.clock_net);
+    Propagation::run(input, &ctx, period_ps, par).worst_slack
+}
+
+/// One precomputed setup check: a register/macro data pin, the net
+/// sink feeding it, and its period-independent requirement pieces.
+struct EndpointCheck {
+    net: NetId,
+    six: u32,
+    /// Capturing instance (indexes the clock-arrival table).
+    clk_inst: InstId,
+    /// Setup requirement before corner derating.
+    setup_ps: f64,
+}
+
+/// Period-independent analysis context (combinational order, the
+/// pin→(net, sink index) map and the flattened endpoint-check list),
+/// built once per design revision and reused by every propagation
+/// pass of the binary search.
 struct StaContext {
-    order: Vec<macro3d_netlist::InstId>,
+    order: Vec<InstId>,
     pin_net_six: std::collections::HashMap<(u32, u16), (NetId, u32)>,
+    endpoint_checks: Vec<EndpointCheck>,
 }
 
 impl StaContext {
-    fn build(design: &Design) -> StaContext {
+    fn build(design: &Design, clock_net: NetId) -> StaContext {
         let order = match topo_order(design) {
             Ok(o) => o,
             Err(_) => design
@@ -80,7 +101,57 @@ impl StaContext {
                 }
             }
         }
-        StaContext { order, pin_net_six }
+
+        // flatten the per-endpoint setup checks once: the propagation
+        // passes (34 per analyze) then scan a plain slice instead of
+        // re-walking cells, macro defs and pin maps every time
+        let lib = design.library().clone();
+        let mut endpoint_checks = Vec::new();
+        for inst in design.inst_ids() {
+            match design.inst(inst).master {
+                Master::Cell(c) => {
+                    let cell = lib.cell(c);
+                    if !cell.is_sequential() {
+                        continue;
+                    }
+                    for pin in cell.data_input_pins() {
+                        if let Some(&(net, six)) = pin_net_six.get(&(inst.0, pin as u16)) {
+                            endpoint_checks.push(EndpointCheck {
+                                net,
+                                six,
+                                clk_inst: inst,
+                                setup_ps: cell.setup_ps,
+                            });
+                        }
+                    }
+                }
+                Master::Macro(m) => {
+                    let def = design.macro_master(m);
+                    for (p, pin) in def.pins.iter().enumerate() {
+                        if pin.dir != PinDir::Input || pin.class == macro3d_sram::PinClass::Clock {
+                            continue;
+                        }
+                        let Some(&(net, six)) = pin_net_six.get(&(inst.0, p as u16)) else {
+                            continue;
+                        };
+                        if net == clock_net {
+                            continue;
+                        }
+                        endpoint_checks.push(EndpointCheck {
+                            net,
+                            six,
+                            clk_inst: inst,
+                            setup_ps: def.setup_ps,
+                        });
+                    }
+                }
+            }
+        }
+        StaContext {
+            order,
+            pin_net_six,
+            endpoint_checks,
+        }
     }
 }
 
@@ -91,17 +162,29 @@ impl StaContext {
 /// Panics if the design has no timing endpoints (no registers, macros
 /// or output ports).
 pub fn analyze(input: &StaInput<'_>) -> TimingReport {
+    analyze_par(input, &Parallelism::serial())
+}
+
+/// [`analyze`] with the per-endpoint setup checks of every
+/// propagation pass fanned out over `par` worker threads. The report
+/// is identical to the serial one for any thread count.
+///
+/// # Panics
+///
+/// Panics if the design has no timing endpoints (no registers, macros
+/// or output ports).
+pub fn analyze_par(input: &StaInput<'_>, par: &Parallelism) -> TimingReport {
     // binary search the minimum feasible period
     let mut lo = 10.0f64;
     let mut hi = 20.0e6;
-    let ctx = StaContext::build(input.design);
+    let ctx = StaContext::build(input.design, input.constraints.clock_net);
     assert!(
-        Propagation::run(input, &ctx, hi).has_endpoints,
+        Propagation::run(input, &ctx, hi, par).has_endpoints,
         "design has no timing endpoints"
     );
     for _ in 0..32 {
         let mid = 0.5 * (lo + hi);
-        if Propagation::run(input, &ctx, mid).worst_slack >= 0.0 {
+        if Propagation::run(input, &ctx, mid, par).worst_slack >= 0.0 {
             hi = mid;
         } else {
             lo = mid;
@@ -110,7 +193,7 @@ pub fn analyze(input: &StaInput<'_>) -> TimingReport {
     let min_period = hi;
 
     // trace the critical path at the feasibility boundary
-    let prop = Propagation::run(input, &ctx, lo.max(10.0));
+    let prop = Propagation::run(input, &ctx, lo.max(10.0), par);
     let mut crit_nets = Vec::new();
     let mut stages = 0usize;
     let mut wl_um = 0.0;
@@ -162,7 +245,7 @@ pub fn check_hold(input: &StaInput<'_>) -> HoldReport {
     let design = input.design;
     let lib = design.library().clone();
     let corner = Corner::Ff;
-    let ctx = StaContext::build(design);
+    let ctx = StaContext::build(design, input.constraints.clock_net);
     let nn = design.num_nets();
     let mut net_min = vec![f64::NAN; nn];
 
@@ -308,7 +391,7 @@ struct Propagation {
 }
 
 impl Propagation {
-    fn run(input: &StaInput<'_>, ctx: &StaContext, period: f64) -> Propagation {
+    fn run(input: &StaInput<'_>, ctx: &StaContext, period: f64, par: &Parallelism) -> Propagation {
         let design = input.design;
         let lib = design.library().clone();
         let corner = input.corner;
@@ -337,10 +420,14 @@ impl Propagation {
 
         // (net, sink_ix) for every instance input pin
         // arrival at a sink pin of a net
-        let sink_arrival = |net: NetId, six: usize, net_arr: &[f64], net_slew: &[f64]| -> (f64, f64) {
-            let e = elmore(net, six);
-            (net_arr[net.index()] + e, wire_slew(net_slew[net.index()], e))
-        };
+        let sink_arrival =
+            |net: NetId, six: usize, net_arr: &[f64], net_slew: &[f64]| -> (f64, f64) {
+                let e = elmore(net, six);
+                (
+                    net_arr[net.index()] + e,
+                    wire_slew(net_slew[net.index()], e),
+                )
+            };
 
         // --- launch sources -------------------------------------------------
         for pid in design.port_ids() {
@@ -356,8 +443,7 @@ impl Propagation {
             }
             // IO paths reference the virtual clock at the common
             // insertion delay (the abutting tile has the same tree)
-            let launch =
-                input.constraints.launch_frac(pid) * period + input.clock.insertion_ps;
+            let launch = input.constraints.launch_frac(pid) * period + input.clock.insertion_ps;
             let e = net_arr[net.index()];
             if e.is_nan() || launch > e {
                 net_arr[net.index()] = launch;
@@ -448,12 +534,60 @@ impl Propagation {
         }
 
         // --- endpoint checks --------------------------------------------------
-        let mut worst = f64::INFINITY;
-        let mut worst_net = None;
-        let mut has_endpoints = false;
         let derate = corner.delay_derate();
 
-        let check = |arr: f64, required: f64, via_net: NetId, worst: &mut f64, worst_net: &mut Option<NetId>| {
+        // Every register/macro setup check is independent given the
+        // frozen arrival tables, so they fan out over the workers.
+        // The reduction tracks (slack, check index) and breaks slack
+        // ties toward the lower index — exactly the element a serial
+        // first-strictly-worse scan would keep — so the result is
+        // bit-identical for any thread count.
+        #[derive(Clone, Copy)]
+        struct WorstAcc {
+            slack: f64,
+            ix: usize,
+            any: bool,
+        }
+        let better = |slack: f64, ix: usize, than: &WorstAcc| {
+            slack < than.slack || (slack == than.slack && ix < than.ix)
+        };
+        let acc = parallel_fold(
+            &ctx.endpoint_checks,
+            par,
+            WorstAcc {
+                slack: f64::INFINITY,
+                ix: usize::MAX,
+                any: false,
+            },
+            |mut acc, ix, chk| {
+                if net_arr[chk.net.index()].is_nan() {
+                    return acc;
+                }
+                acc.any = true;
+                let (arr, _) = sink_arrival(chk.net, chk.six as usize, &net_arr, &net_slew);
+                let clk = input.clock.arrival_ps[chk.clk_inst.index()];
+                let slack = (period + clk - chk.setup_ps * derate) - arr;
+                if better(slack, ix, &acc) {
+                    acc.slack = slack;
+                    acc.ix = ix;
+                }
+                acc
+            },
+            |a, b| {
+                let mut out = if better(b.slack, b.ix, &a) { b } else { a };
+                out.any = a.any || b.any;
+                out
+            },
+        );
+        let mut worst = acc.slack;
+        let mut worst_net = (acc.ix != usize::MAX).then(|| ctx.endpoint_checks[acc.ix].net);
+        let mut has_endpoints = acc.any;
+
+        let check = |arr: f64,
+                     required: f64,
+                     via_net: NetId,
+                     worst: &mut f64,
+                     worst_net: &mut Option<NetId>| {
             let slack = required - arr;
             if slack < *worst {
                 *worst = slack;
@@ -461,47 +595,8 @@ impl Propagation {
             }
         };
 
-        for inst in design.inst_ids() {
-            let clk = input.clock.arrival_ps[inst.index()];
-            match design.inst(inst).master {
-                Master::Cell(c) => {
-                    let cell = lib.cell(c);
-                    if !cell.is_sequential() {
-                        continue;
-                    }
-                    for pin in cell.data_input_pins().collect::<Vec<_>>() {
-                        let Some(&(net, six)) = pin_net_six.get(&(inst.0, pin as u16)) else {
-                            continue;
-                        };
-                        if net_arr[net.index()].is_nan() {
-                            continue;
-                        }
-                        has_endpoints = true;
-                        let (arr, _) = sink_arrival(net, six as usize, &net_arr, &net_slew);
-                        let required = period + clk - cell.setup_ps * derate;
-                        check(arr, required, net, &mut worst, &mut worst_net);
-                    }
-                }
-                Master::Macro(m) => {
-                    let def = design.macro_master(m).clone();
-                    for (p, pin) in def.pins.iter().enumerate() {
-                        if pin.dir != PinDir::Input || pin.class == macro3d_sram::PinClass::Clock {
-                            continue;
-                        }
-                        let Some(&(net, six)) = pin_net_six.get(&(inst.0, p as u16)) else {
-                            continue;
-                        };
-                        if net_arr[net.index()].is_nan() || net == input.constraints.clock_net {
-                            continue;
-                        }
-                        has_endpoints = true;
-                        let (arr, _) = sink_arrival(net, six as usize, &net_arr, &net_slew);
-                        let required = period + clk - def.setup_ps * derate;
-                        check(arr, required, net, &mut worst, &mut worst_net);
-                    }
-                }
-            }
-        }
+        // output-port checks are few and need per-port required-time
+        // fractions; they stay serial after the fan-out
         for pid in design.port_ids() {
             let port = design.port(pid);
             if port.dir != PinDir::Output {
@@ -518,8 +613,7 @@ impl Propagation {
                 .position(|s| s == PinRef::Port(pid))
                 .unwrap_or(0);
             let (arr, _) = sink_arrival(net, six, &net_arr, &net_slew);
-            let required =
-                input.constraints.required_frac(pid) * period + input.clock.insertion_ps;
+            let required = input.constraints.required_frac(pid) * period + input.clock.insertion_ps;
             check(arr, required, net, &mut worst, &mut worst_net);
         }
 
@@ -777,6 +871,31 @@ mod tests {
         let h = check_hold(&input);
         assert!(h.violations >= 1);
         assert!(h.worst_slack_ps < 0.0);
+    }
+
+    #[test]
+    fn parallel_endpoint_checks_match_serial() {
+        let (d, p, c) = reg2reg(8, 25.0);
+        let clock = ClockArrivals::ideal(&d);
+        let input = StaInput {
+            design: &d,
+            parasitics: &p,
+            routed: None,
+            constraints: &c,
+            clock: &clock,
+            corner: Corner::Ss,
+        };
+        let serial = analyze(&input);
+        for threads in [2, 4] {
+            let par = Parallelism::threads(threads).with_chunk_size(1);
+            let got = analyze_par(&input, &par);
+            assert_eq!(got.min_period_ps, serial.min_period_ps, "threads={threads}");
+            assert_eq!(got.crit_path_nets, serial.crit_path_nets);
+            assert_eq!(
+                worst_slack_par(&input, 500.0, &par),
+                worst_slack(&input, 500.0)
+            );
+        }
     }
 
     #[test]

@@ -94,16 +94,7 @@ pub fn synthesize_clock_tree(
 
     let root_pos = centroid(&items);
     build(
-        design,
-        placement,
-        &mut tree,
-        &mut items,
-        clock_net,
-        root_pos,
-        0,
-        cfg,
-        buf_cell,
-        buf_in,
+        design, placement, &mut tree, &mut items, clock_net, root_pos, 0, cfg, buf_cell, buf_in,
         buf_out,
     );
     tree
@@ -184,9 +175,7 @@ fn add_buffer(
     let inst = design.add_cell(format!("cts_buf{}", design.num_insts()), cell);
     placement.pos.push(at);
     placement.orient.push(macro3d_geom::Orientation::N);
-    placement
-        .die_of
-        .push(macro3d_tech::stack::DieRole::Logic);
+    placement.die_of.push(macro3d_tech::stack::DieRole::Logic);
     debug_assert_eq!(placement.pos.len(), design.num_insts());
     inst
 }
@@ -210,10 +199,7 @@ fn centroid(items: &[(PinRef, Point)]) -> Point {
     }
     let sx: i64 = items.iter().map(|(_, p)| p.x.0).sum();
     let sy: i64 = items.iter().map(|(_, p)| p.y.0).sum();
-    Point::new(
-        Dbu(sx / items.len() as i64),
-        Dbu(sy / items.len() as i64),
-    )
+    Point::new(Dbu(sx / items.len() as i64), Dbu(sy / items.len() as i64))
 }
 
 fn bbox(items: &[(PinRef, Point)]) -> (Point, Point) {
@@ -341,7 +327,11 @@ pub fn clock_arrivals(
         depth: tree.depth,
         skew_ps: skew,
         wire_cap_ff: wire_cap,
-        insertion_ps: if max_sink.is_finite() { max_sink.max(0.0) } else { 0.0 },
+        insertion_ps: if max_sink.is_finite() {
+            max_sink.max(0.0)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -392,7 +382,11 @@ mod tests {
         for &n in &tree.nets {
             covered += d
                 .sinks(n)
-                .filter(|s| s.instance().map(|i| !tree.buffers.contains(&i)).unwrap_or(false))
+                .filter(|s| {
+                    s.instance()
+                        .map(|i| !tree.buffers.contains(&i))
+                        .unwrap_or(false)
+                })
                 .count();
             assert!(tree_nets.contains(&n));
         }
@@ -441,7 +435,7 @@ mod tests {
         assert_eq!(arr.depth, tree.depth);
         // every FF has a positive insertion delay (at least one buffer)
         for i in d.inst_ids() {
-            if !tree.buffers.contains(&i) && d.is_macro(i) == false {
+            if !tree.buffers.contains(&i) && !d.is_macro(i) {
                 let name = &d.inst(i).name;
                 if name.starts_with('f') {
                     assert!(arr.arrival_ps[i.index()] > 0.0, "{name} has no arrival");

@@ -26,9 +26,10 @@ pub mod opt;
 pub mod power;
 pub mod report;
 
-pub use analysis::{analyze, check_hold, HoldReport, StaInput, TimingReport};
+pub use analysis::{analyze, analyze_par, check_hold, HoldReport, StaInput, TimingReport};
 pub use constraints::StaConstraints;
 pub use cts::{clock_arrivals, synthesize_clock_tree, ClockArrivals, ClockTree, CtsConfig};
+pub use macro3d_par::Parallelism;
 pub use opt::{fix_hold, insert_repeaters, upsize_critical_path};
 pub use power::{analyze_power, PowerInput, PowerReport};
 pub use report::format_critical_path;

@@ -222,7 +222,14 @@ mod tests {
         d.connect(pn, PinRef::inst(a, 0));
         let mut pl = Placement::new(&d);
         pl.pos[b.index()] = Point::from_um(500.0, 0.0);
-        (d, pl, PortPlan { pos: vec![Point::ORIGIN] }, n)
+        (
+            d,
+            pl,
+            PortPlan {
+                pos: vec![Point::ORIGIN],
+            },
+            n,
+        )
     }
 
     #[test]

@@ -186,8 +186,8 @@ mod tests {
         assert!(p800.switching_mw / p400.switching_mw > 1.99);
         assert!((p800.leakage_mw - p400.leakage_mw).abs() < 1e-12);
         // Emean nearly frequency-independent (dominated by dynamic)
-        let rel = (p800.emean_fj_per_cycle - p400.emean_fj_per_cycle).abs()
-            / p400.emean_fj_per_cycle;
+        let rel =
+            (p800.emean_fj_per_cycle - p400.emean_fj_per_cycle).abs() / p400.emean_fj_per_cycle;
         assert!(rel < 0.5);
     }
 

@@ -237,7 +237,10 @@ impl CellLibrary {
         voltage: f64,
     ) -> Self {
         assert!(!cells.is_empty(), "library must contain cells");
-        assert!(row_height.0 > 0 && site_width.0 > 0, "geometry must be positive");
+        assert!(
+            row_height.0 > 0 && site_width.0 > 0,
+            "geometry must be positive"
+        );
         assert!(voltage > 0.0, "supply voltage must be positive");
         CellLibrary {
             name: name.into(),

@@ -151,7 +151,10 @@ impl CombinedBeol {
     /// Panics if `local` exceeds the logic die's layer count.
     #[inline]
     pub fn logic_layer(&self, local: LayerId) -> LayerId {
-        assert!(local.index() < self.logic_layers, "logic-die layer out of range");
+        assert!(
+            local.index() < self.logic_layers,
+            "logic-die layer out of range"
+        );
         local
     }
 

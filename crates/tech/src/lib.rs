@@ -43,8 +43,8 @@ pub mod combined;
 pub mod corner;
 pub mod f2f;
 pub mod lef;
-pub mod libgen;
 pub mod liberty;
+pub mod libgen;
 pub mod nldm;
 pub mod stack;
 
@@ -53,4 +53,4 @@ pub use combined::{CombinedBeol, LayerOrigin};
 pub use corner::Corner;
 pub use f2f::F2fSpec;
 pub use nldm::Lut2;
-pub use stack::{Direction, DieRole, LayerId, MetalStack, RoutingLayer, ViaDef};
+pub use stack::{DieRole, Direction, LayerId, MetalStack, RoutingLayer, ViaDef};

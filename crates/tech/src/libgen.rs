@@ -61,18 +61,126 @@ const DRIVES_CLK: &[u32] = &[4, 8, 16];
 fn class_specs() -> Vec<ClassSpec> {
     use CellClass::*;
     vec![
-        ClassSpec { class: Inv, intrinsic_ps: 10.0, rd_kohm: 5.2, cin_ff: 0.9, width_sites: 2, inputs: 1, e_int_fj: 0.35, drives: DRIVES_STD },
-        ClassSpec { class: Buf, intrinsic_ps: 18.0, rd_kohm: 4.8, cin_ff: 0.9, width_sites: 3, inputs: 1, e_int_fj: 0.60, drives: DRIVES_STD },
-        ClassSpec { class: ClkBuf, intrinsic_ps: 17.0, rd_kohm: 4.2, cin_ff: 1.0, width_sites: 4, inputs: 1, e_int_fj: 0.70, drives: DRIVES_CLK },
-        ClassSpec { class: Nand2, intrinsic_ps: 14.0, rd_kohm: 6.0, cin_ff: 1.0, width_sites: 3, inputs: 2, e_int_fj: 0.50, drives: DRIVES_STD },
-        ClassSpec { class: Nor2, intrinsic_ps: 16.0, rd_kohm: 7.0, cin_ff: 1.0, width_sites: 3, inputs: 2, e_int_fj: 0.52, drives: DRIVES_STD },
-        ClassSpec { class: And2, intrinsic_ps: 20.0, rd_kohm: 5.0, cin_ff: 1.0, width_sites: 4, inputs: 2, e_int_fj: 0.65, drives: DRIVES_STD },
-        ClassSpec { class: Or2, intrinsic_ps: 22.0, rd_kohm: 5.5, cin_ff: 1.0, width_sites: 4, inputs: 2, e_int_fj: 0.68, drives: DRIVES_STD },
-        ClassSpec { class: Xor2, intrinsic_ps: 26.0, rd_kohm: 6.5, cin_ff: 1.4, width_sites: 5, inputs: 2, e_int_fj: 0.95, drives: DRIVES_STD },
-        ClassSpec { class: Aoi21, intrinsic_ps: 20.0, rd_kohm: 7.0, cin_ff: 1.1, width_sites: 4, inputs: 3, e_int_fj: 0.70, drives: DRIVES_STD },
-        ClassSpec { class: Oai21, intrinsic_ps: 20.0, rd_kohm: 7.0, cin_ff: 1.1, width_sites: 4, inputs: 3, e_int_fj: 0.70, drives: DRIVES_STD },
-        ClassSpec { class: Mux2, intrinsic_ps: 24.0, rd_kohm: 6.0, cin_ff: 1.2, width_sites: 5, inputs: 3, e_int_fj: 0.85, drives: DRIVES_STD },
-        ClassSpec { class: Dff, intrinsic_ps: 60.0, rd_kohm: 6.0, cin_ff: 0.8, width_sites: 9, inputs: 1, e_int_fj: 1.60, drives: DRIVES_STD },
+        ClassSpec {
+            class: Inv,
+            intrinsic_ps: 10.0,
+            rd_kohm: 5.2,
+            cin_ff: 0.9,
+            width_sites: 2,
+            inputs: 1,
+            e_int_fj: 0.35,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Buf,
+            intrinsic_ps: 18.0,
+            rd_kohm: 4.8,
+            cin_ff: 0.9,
+            width_sites: 3,
+            inputs: 1,
+            e_int_fj: 0.60,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: ClkBuf,
+            intrinsic_ps: 17.0,
+            rd_kohm: 4.2,
+            cin_ff: 1.0,
+            width_sites: 4,
+            inputs: 1,
+            e_int_fj: 0.70,
+            drives: DRIVES_CLK,
+        },
+        ClassSpec {
+            class: Nand2,
+            intrinsic_ps: 14.0,
+            rd_kohm: 6.0,
+            cin_ff: 1.0,
+            width_sites: 3,
+            inputs: 2,
+            e_int_fj: 0.50,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Nor2,
+            intrinsic_ps: 16.0,
+            rd_kohm: 7.0,
+            cin_ff: 1.0,
+            width_sites: 3,
+            inputs: 2,
+            e_int_fj: 0.52,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: And2,
+            intrinsic_ps: 20.0,
+            rd_kohm: 5.0,
+            cin_ff: 1.0,
+            width_sites: 4,
+            inputs: 2,
+            e_int_fj: 0.65,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Or2,
+            intrinsic_ps: 22.0,
+            rd_kohm: 5.5,
+            cin_ff: 1.0,
+            width_sites: 4,
+            inputs: 2,
+            e_int_fj: 0.68,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Xor2,
+            intrinsic_ps: 26.0,
+            rd_kohm: 6.5,
+            cin_ff: 1.4,
+            width_sites: 5,
+            inputs: 2,
+            e_int_fj: 0.95,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Aoi21,
+            intrinsic_ps: 20.0,
+            rd_kohm: 7.0,
+            cin_ff: 1.1,
+            width_sites: 4,
+            inputs: 3,
+            e_int_fj: 0.70,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Oai21,
+            intrinsic_ps: 20.0,
+            rd_kohm: 7.0,
+            cin_ff: 1.1,
+            width_sites: 4,
+            inputs: 3,
+            e_int_fj: 0.70,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Mux2,
+            intrinsic_ps: 24.0,
+            rd_kohm: 6.0,
+            cin_ff: 1.2,
+            width_sites: 5,
+            inputs: 3,
+            e_int_fj: 0.85,
+            drives: DRIVES_STD,
+        },
+        ClassSpec {
+            class: Dff,
+            intrinsic_ps: 60.0,
+            rd_kohm: 6.0,
+            cin_ff: 0.8,
+            width_sites: 9,
+            inputs: 1,
+            e_int_fj: 1.60,
+            drives: DRIVES_STD,
+        },
     ]
 }
 
@@ -133,9 +241,24 @@ fn build_cell(spec: &ClassSpec, drive: u32, area_scale: f64) -> LibCell {
     let is_seq = spec.class.is_sequential();
     let cin = spec.cin_ff * n;
     if is_seq {
-        pins.push(CellPin { name: "D".into(), dir: PinDir::Input, cap_ff: spec.cin_ff * area_scale, is_clock: false });
-        pins.push(CellPin { name: "CK".into(), dir: PinDir::Input, cap_ff: 0.6 * area_scale, is_clock: true });
-        pins.push(CellPin { name: "Q".into(), dir: PinDir::Output, cap_ff: 0.0, is_clock: false });
+        pins.push(CellPin {
+            name: "D".into(),
+            dir: PinDir::Input,
+            cap_ff: spec.cin_ff * area_scale,
+            is_clock: false,
+        });
+        pins.push(CellPin {
+            name: "CK".into(),
+            dir: PinDir::Input,
+            cap_ff: 0.6 * area_scale,
+            is_clock: true,
+        });
+        pins.push(CellPin {
+            name: "Q".into(),
+            dir: PinDir::Output,
+            cap_ff: 0.0,
+            is_clock: false,
+        });
     } else {
         const NAMES: [&str; 3] = ["A", "B", "C"];
         for i in 0..spec.inputs {
@@ -146,7 +269,12 @@ fn build_cell(spec: &ClassSpec, drive: u32, area_scale: f64) -> LibCell {
                 is_clock: false,
             });
         }
-        pins.push(CellPin { name: "Y".into(), dir: PinDir::Output, cap_ff: 0.0, is_clock: false });
+        pins.push(CellPin {
+            name: "Y".into(),
+            dir: PinDir::Output,
+            cap_ff: 0.0,
+            is_clock: false,
+        });
     }
 
     let out_pin = pins.len() - 1;

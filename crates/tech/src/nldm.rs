@@ -40,7 +40,10 @@ impl Lut2 {
     /// Panics if either axis is empty or not strictly increasing, or
     /// if `values.len() != slew_axis.len() * load_axis.len()`.
     pub fn new(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<f64>) -> Self {
-        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "axes must be non-empty");
+        assert!(
+            !slew_axis.is_empty() && !load_axis.is_empty(),
+            "axes must be non-empty"
+        );
         assert!(
             slew_axis.windows(2).all(|w| w[0] < w[1]),
             "slew axis must be strictly increasing"
@@ -63,11 +66,7 @@ impl Lut2 {
 
     /// Characterises a table by sampling `f(slew, load)` at the grid
     /// points — how [`crate::libgen`] builds the synthetic library.
-    pub fn from_fn(
-        slew_axis: Vec<f64>,
-        load_axis: Vec<f64>,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Self {
+    pub fn from_fn(slew_axis: Vec<f64>, load_axis: Vec<f64>, f: impl Fn(f64, f64) -> f64) -> Self {
         let mut values = Vec::with_capacity(slew_axis.len() * load_axis.len());
         for &s in &slew_axis {
             for &l in &load_axis {

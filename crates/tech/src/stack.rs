@@ -220,7 +220,7 @@ impl MetalStack {
 ///
 /// Panics if `n` is zero or greater than 8.
 pub fn n28_stack(n: usize, die: DieRole) -> MetalStack {
-    assert!(n >= 1 && n <= 8, "supported stacks have 1..=8 layers");
+    assert!((1..=8).contains(&n), "supported stacks have 1..=8 layers");
     // (pitch um, width um, r ohm/um, c fF/um) bottom-up for 8 layers.
     const PARAMS: [(f64, f64, f64, f64); 8] = [
         (0.10, 0.05, 4.0, 0.20),

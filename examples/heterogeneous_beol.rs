@@ -11,8 +11,9 @@
 //! cargo run --release --example heterogeneous_beol [-- <scale>]
 //! ```
 
+use macro3d::flows::{Flow, Macro3d};
 use macro3d::report::{comparison_table, PpaResult};
-use macro3d::{macro3d_flow, FlowConfig};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
@@ -22,13 +23,17 @@ fn main() {
         .unwrap_or(24.0);
     let tile = generate_tile(&TileConfig::small_cache().with_scale(scale));
 
-    let mut m6m6 = FlowConfig::default();
-    m6m6.macro_metals = 6;
-    let mut m6m4 = FlowConfig::default();
-    m6m4.macro_metals = 4;
+    let m6m6 = FlowConfig::builder()
+        .macro_metals(6)
+        .build()
+        .expect("valid config");
+    let m6m4 = FlowConfig::builder()
+        .macro_metals(4)
+        .build()
+        .expect("valid config");
 
-    let r66 = macro3d_flow::run(&tile, &m6m6);
-    let r64 = macro3d_flow::run(&tile, &m6m4);
+    let r66 = Macro3d.run(&tile, &m6m6).ppa;
+    let r64 = Macro3d.run(&tile, &m6m4).ppa;
     println!("{}", comparison_table(&[&r66, &r64]));
 
     let d = |a: f64, b: f64| PpaResult::delta_pct(a, b);

@@ -18,8 +18,9 @@
 //! cargo run --release --example heterogeneous_node [-- <scale>]
 //! ```
 
+use macro3d::flows::{Flow, Flow2d, Macro3d};
 use macro3d::report::{comparison_table, PpaResult};
-use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 use macro3d_sram::MemoryNode;
 
@@ -31,25 +32,27 @@ fn main() {
     let cfg = FlowConfig::default();
 
     let tile_n28 = generate_tile(&TileConfig::small_cache().with_scale(scale));
-    let tile_n40 = generate_tile(&TileConfig::small_cache().with_scale(scale).with_n40_memory());
+    let tile_n40 = generate_tile(
+        &TileConfig::small_cache()
+            .with_scale(scale)
+            .with_n40_memory(),
+    );
 
     let r28 = {
-        let mut r = macro3d_flow::run(&tile_n28, &cfg);
+        let mut r = Macro3d.run(&tile_n28, &cfg).ppa;
         r.flow = "MoL N28 mem".to_string();
         r
     };
     let r40 = {
-        let mut r = macro3d_flow::run(&tile_n40, &cfg);
+        let mut r = Macro3d.run(&tile_n40, &cfg).ppa;
         r.flow = "MoL N40 mem".to_string();
         r
     };
-    let r2d = flow2d::run(&tile_n28, &cfg);
+    let r2d = Flow2d.run(&tile_n28, &cfg).ppa;
     println!("{}", comparison_table(&[&r2d, &r28, &r40]));
 
     // silicon-cost model: logic die at N28 cost, macro die at its node
-    let cost = |r: &PpaResult, node: MemoryNode| {
-        r.footprint_mm2 * (1.0 + node.cost_scale)
-    };
+    let cost = |r: &PpaResult, node: MemoryNode| r.footprint_mm2 * (1.0 + node.cost_scale);
     let cost2d = r2d.footprint_mm2 * 1.0;
     println!(
         "relative silicon cost (N28-mm2 equivalents): 2D {:.2}, MoL/N28 {:.2}, MoL/N40 {:.2}",
@@ -60,6 +63,9 @@ fn main() {
     println!(
         "fclk: MoL/N40 vs MoL/N28 {:+.1}% (slower macros), leakage {:+.1}%",
         PpaResult::delta_pct(r40.fclk_mhz, r28.fclk_mhz),
-        PpaResult::delta_pct(r40.power.leakage_mw + r40.power.macro_mw, r28.power.leakage_mw + r28.power.macro_mw),
+        PpaResult::delta_pct(
+            r40.power.leakage_mw + r40.power.macro_mw,
+            r28.power.leakage_mw + r28.power.macro_mw
+        ),
     );
 }

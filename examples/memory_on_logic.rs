@@ -8,8 +8,9 @@
 //! cargo run --release --example memory_on_logic [-- <scale>]
 //! ```
 
+use macro3d::flows::{Flow, Flow2d, Macro3d};
 use macro3d::report::{comparison_table, PpaResult};
-use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
@@ -24,8 +25,8 @@ fn main() {
         tile.design.num_insts()
     );
 
-    let imp2d = flow2d::run_impl(&tile, &cfg);
-    let imp3d = macro3d_flow::run_impl(&tile, &cfg);
+    let imp2d = Flow2d.run(&tile, &cfg).implemented;
+    let imp3d = Macro3d.run(&tile, &cfg).implemented;
     let r2d = PpaResult::from_impl("2D", &imp2d);
     let r3d = PpaResult::from_impl("Macro-3D", &imp3d);
 

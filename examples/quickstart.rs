@@ -7,7 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use macro3d::{macro3d_flow, FlowConfig, PpaResult};
+use macro3d::flows::{Flow, Macro3d};
+use macro3d::{FlowConfig, PpaResult};
 use macro3d_netlist::DesignStats;
 use macro3d_soc::{generate_tile, TileConfig};
 
@@ -23,8 +24,9 @@ fn main() {
 
     // 2. Run the Macro-3D flow: dual floorplans, memory-on-logic
     //    projection, one P&R pass over the combined two-die BEOL.
-    let flow_cfg = FlowConfig::default();
-    let imp = macro3d_flow::run_impl(&tile, &flow_cfg);
+    //    `FlowConfig::builder()` validates the knobs up front.
+    let flow_cfg = FlowConfig::builder().build().expect("valid config");
+    let imp = Macro3d.run(&tile, &flow_cfg).implemented;
 
     // 3. Report PPA — these are the quantities of the paper's tables.
     let ppa = PpaResult::from_impl("Macro-3D", &imp);
@@ -37,9 +39,15 @@ fn main() {
     // 4. Die separation (flow step 4): split the result back into the
     //    two dies and write their layouts as SVG.
     let (logic_die, macro_die) = macro3d::layout::separate(&imp);
-    std::fs::write("quickstart_logic_die.svg", macro3d::layout::svg_layout(&logic_die))
-        .expect("write logic-die SVG");
-    std::fs::write("quickstart_macro_die.svg", macro3d::layout::svg_layout(&macro_die))
-        .expect("write macro-die SVG");
+    std::fs::write(
+        "quickstart_logic_die.svg",
+        macro3d::layout::svg_layout(&logic_die),
+    )
+    .expect("write logic-die SVG");
+    std::fs::write(
+        "quickstart_macro_die.svg",
+        macro3d::layout::svg_layout(&macro_die),
+    )
+    .expect("write macro-die SVG");
     println!("\nwrote quickstart_logic_die.svg and quickstart_macro_die.svg");
 }

@@ -12,8 +12,9 @@
 //! cargo run --release --example sensor_on_logic
 //! ```
 
+use macro3d::flows::{Flow, Flow2d, Macro3d};
 use macro3d::report::{comparison_table, PpaResult};
-use macro3d::{flow2d, macro3d_flow, FlowConfig};
+use macro3d::FlowConfig;
 use macro3d_netlist::rent::{generate_logic, LogicIo, LogicSpec};
 use macro3d_netlist::{Design, NetId, PinRef, Side};
 use macro3d_soc::{TileNetlist, TimingConstraints};
@@ -142,10 +143,13 @@ fn main() {
     let tile = sensor_hub(16.0, 0xde5);
     println!("sensor hub: {} instances", tile.design.num_insts());
 
-    let mut cfg = FlowConfig::default();
-    cfg.macro_metals = 4; // the sensor die is routing-sparse
-    let r2d = flow2d::run(&tile, &cfg);
-    let r3d = macro3d_flow::run(&tile, &cfg);
+    // the sensor die is routing-sparse
+    let cfg = FlowConfig::builder()
+        .macro_metals(4)
+        .build()
+        .expect("valid config");
+    let r2d = Flow2d.run(&tile, &cfg).ppa;
+    let r3d = Macro3d.run(&tile, &cfg).ppa;
     println!("{}", comparison_table(&[&r2d, &r3d]));
     println!(
         "sensor-on-logic gain: fclk {:+.1}%, footprint {:+.1}%",

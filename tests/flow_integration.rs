@@ -1,9 +1,10 @@
 //! Workspace integration tests: every flow runs end-to-end on a tiny
 //! tile and produces consistent, physically sensible results.
 
+use macro3d::flows::{C2d, Flow, Flow2d, Macro3d, S2d};
 use macro3d::report::PpaResult;
 use macro3d::s2d::S2dStyle;
-use macro3d::{c2d, flow2d, macro3d_flow, s2d, FlowConfig};
+use macro3d::FlowConfig;
 use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
 
 /// A miniature tile that keeps debug-mode tests fast.
@@ -24,8 +25,10 @@ fn tiny_tile() -> TileNetlist {
 }
 
 fn fast_flow_cfg() -> FlowConfig {
-    let mut cfg = FlowConfig::default();
-    cfg.sizing_rounds = 2;
+    let mut cfg = FlowConfig::builder()
+        .sizing_rounds(2)
+        .build()
+        .expect("valid config");
     cfg.route.iterations = 2;
     cfg
 }
@@ -33,25 +36,32 @@ fn fast_flow_cfg() -> FlowConfig {
 #[test]
 fn flow_2d_completes_with_sane_ppa() {
     let tile = tiny_tile();
-    let imp = flow2d::run_impl(&tile, &fast_flow_cfg());
+    let imp = Flow2d.run(&tile, &fast_flow_cfg()).implemented;
     let check = macro3d::check::verify(&imp);
     assert_eq!(check.cell_overlaps, 0, "{check}");
     assert_eq!(check.out_of_die, 0, "{check}");
     assert!(check.netlist_error.is_none(), "{check}");
     let ppa = PpaResult::from_impl("2D", &imp);
-    assert!(ppa.fclk_mhz > 50.0 && ppa.fclk_mhz < 5_000.0, "fclk {}", ppa.fclk_mhz);
+    assert!(
+        ppa.fclk_mhz > 50.0 && ppa.fclk_mhz < 5_000.0,
+        "fclk {}",
+        ppa.fclk_mhz
+    );
     assert!(ppa.footprint_mm2 > 0.01);
     assert_eq!(ppa.f2f_bumps, 0, "2D designs use no bumps");
     assert!(ppa.total_wirelength_m > 0.0);
-    assert!(imp.design.validate().is_ok(), "flow mutations keep netlist valid");
+    assert!(
+        imp.design.validate().is_ok(),
+        "flow mutations keep netlist valid"
+    );
 }
 
 #[test]
 fn macro3d_halves_footprint_and_uses_bumps() {
     let tile = tiny_tile();
     let cfg = fast_flow_cfg();
-    let r2d = PpaResult::from_impl("2D", &flow2d::run_impl(&tile, &cfg));
-    let imp3d = macro3d_flow::run_impl(&tile, &cfg);
+    let r2d = PpaResult::from_impl("2D", &Flow2d.run(&tile, &cfg).implemented);
+    let imp3d = Macro3d.run(&tile, &cfg).implemented;
     let check = macro3d::check::verify(&imp3d);
     assert!(check.is_clean(), "{check}");
     let r3d = PpaResult::from_impl("Macro-3D", &imp3d);
@@ -81,8 +91,13 @@ fn s2d_completes_in_both_styles() {
     let tile = tiny_tile();
     let cfg = fast_flow_cfg();
     for style in [S2dStyle::MemoryOnLogic, S2dStyle::Balanced] {
-        let (imp, diag) = s2d::run_impl(&tile, &cfg, style);
-        assert!(imp.timing.fclk_mhz > 10.0, "{style:?} fclk {}", imp.timing.fclk_mhz);
+        let out = S2d { style }.run(&tile, &cfg);
+        let (imp, diag) = (out.implemented, out.diagnostics.expect("S2D diagnostics"));
+        assert!(
+            imp.timing.fclk_mhz > 10.0,
+            "{style:?} fclk {}",
+            imp.timing.fclk_mhz
+        );
         assert!(imp.design.validate().is_ok());
         assert!(diag.planned_bumps > 0, "{style:?} plans bumps");
     }
@@ -91,7 +106,8 @@ fn s2d_completes_in_both_styles() {
 #[test]
 fn c2d_completes() {
     let tile = tiny_tile();
-    let (imp, diag) = c2d::run_impl(&tile, &fast_flow_cfg());
+    let out = C2d.run(&tile, &fast_flow_cfg());
+    let (imp, diag) = (out.implemented, out.diagnostics.expect("C2D diagnostics"));
     assert!(imp.timing.fclk_mhz > 10.0);
     assert!(imp.design.validate().is_ok());
     assert!(diag.planned_bumps > 0);
@@ -104,8 +120,8 @@ fn table3_variant_reduces_metal_area() {
     c66.macro_metals = 6;
     let mut c64 = fast_flow_cfg();
     c64.macro_metals = 4;
-    let r66 = macro3d_flow::run(&tile, &c66);
-    let r64 = macro3d_flow::run(&tile, &c64);
+    let r66 = Macro3d.run(&tile, &c66).ppa;
+    let r64 = Macro3d.run(&tile, &c64).ppa;
     assert!(r64.metal_area_mm2 < r66.metal_area_mm2);
     // performance must not collapse (paper: within ~2%)
     assert!(r64.fclk_mhz > 0.6 * r66.fclk_mhz);
@@ -114,7 +130,7 @@ fn table3_variant_reduces_metal_area() {
 #[test]
 fn die_separation_partitions_everything() {
     let tile = tiny_tile();
-    let imp = macro3d_flow::run_impl(&tile, &fast_flow_cfg());
+    let imp = Macro3d.run(&tile, &fast_flow_cfg()).implemented;
     let (logic, upper) = macro3d::layout::separate(&imp);
     let total_insts = imp.design.num_insts();
     assert_eq!(
@@ -133,7 +149,7 @@ fn die_separation_partitions_everything() {
 #[test]
 fn def_export_lists_all_components() {
     let tile = tiny_tile();
-    let imp = flow2d::run_impl(&tile, &fast_flow_cfg());
+    let imp = Flow2d.run(&tile, &fast_flow_cfg()).implemented;
     let def = macro3d::layout::write_def(&imp.design, &imp);
     assert!(def.contains("DIEAREA"));
     assert!(def.contains(&format!("COMPONENTS {}", imp.design.num_insts())));
@@ -143,7 +159,7 @@ fn def_export_lists_all_components() {
 #[test]
 fn hold_is_clean_after_cts() {
     let tile = tiny_tile();
-    let imp = macro3d_flow::run_impl(&tile, &fast_flow_cfg());
+    let imp = Macro3d.run(&tile, &fast_flow_cfg()).implemented;
     // delay-pad CTS balancing plus the hold-fix pass must leave no
     // (meaningful) violation
     assert!(
@@ -157,7 +173,7 @@ fn hold_is_clean_after_cts() {
 fn svg_figures_render_for_tiny_tile() {
     let tile = tiny_tile();
     let cfg = fast_flow_cfg();
-    let imp2d = flow2d::run_impl(&tile, &cfg);
+    let imp2d = Flow2d.run(&tile, &cfg).implemented;
     let macros: Vec<_> = imp2d
         .fp
         .macros
@@ -174,7 +190,7 @@ fn svg_figures_render_for_tiny_tile() {
 fn iso_performance_power_is_computable() {
     let tile = tiny_tile();
     let cfg = fast_flow_cfg();
-    let imp = macro3d_flow::run_impl(&tile, &cfg);
+    let imp = Macro3d.run(&tile, &cfg).implemented;
     let p1 = imp.power_at(100.0, 0.2);
     let p2 = imp.power_at(200.0, 0.2);
     assert!(p2.total_mw > p1.total_mw);

@@ -152,7 +152,10 @@ fn flow_preserves_netlist_validity() {
     cfg.noc_width = 4;
     let tile = macro3d_soc::generate_tile(&cfg);
     assert!(tile.design.validate().is_ok());
-    let imp = macro3d::macro3d_flow::run_impl(&tile, &macro3d::FlowConfig::default());
+    use macro3d::flows::Flow as _;
+    let imp = macro3d::flows::Macro3d
+        .run(&tile, &macro3d::FlowConfig::default())
+        .implemented;
     assert!(imp.design.validate().is_ok());
     // pin refs in nets stay within bounds after CTS/repeaters/sizing
     for n in imp.design.net_ids() {

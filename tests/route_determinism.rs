@@ -1,0 +1,82 @@
+//! Thread-count invariance of the parallel engines.
+//!
+//! The batched router commits chunk results in chunk order against a
+//! congestion snapshot, extraction is a pure per-net map, and the STA
+//! endpoint reduction breaks slack ties by check index — so the
+//! *entire flow* must produce bit-identical results for any worker
+//! count. Only `chunk_size` (commit granularity) is allowed to change
+//! outcomes, and it is held fixed here.
+
+use macro3d::flows::{Flow, Macro3d};
+use macro3d::{FlowConfig, ImplementedDesign, Parallelism};
+use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
+
+/// The miniature tile used by the integration tests.
+fn tiny_tile() -> TileNetlist {
+    let mut cfg = TileConfig::small_cache().with_scale(32.0);
+    cfg.l3_kb = 64;
+    cfg.l2_kb = 8;
+    cfg.l1i_kb = 8;
+    cfg.l1d_kb = 8;
+    cfg.noc_width = 4;
+    cfg.core_kgates = 26.0;
+    cfg.l3_ctrl_kgates = 5.0;
+    cfg.l2_ctrl_kgates = 4.0;
+    cfg.l1i_ctrl_kgates = 3.0;
+    cfg.l1d_ctrl_kgates = 3.0;
+    cfg.noc_kgates = 2.0;
+    generate_tile(&cfg)
+}
+
+fn run_with_threads(tile: &TileNetlist, threads: usize) -> ImplementedDesign {
+    let mut cfg = FlowConfig::builder()
+        .sizing_rounds(2)
+        .parallelism(Parallelism::threads(threads).with_chunk_size(8))
+        .build()
+        .expect("valid config");
+    cfg.route.iterations = 2;
+    Macro3d.run(tile, &cfg).implemented
+}
+
+#[test]
+fn flow_is_invariant_to_thread_count() {
+    let tile = tiny_tile();
+    let base = run_with_threads(&tile, 1);
+    assert!(base.routed.total_wirelength_um > 0.0);
+
+    for threads in [2, 4] {
+        let imp = run_with_threads(&tile, threads);
+        assert_eq!(
+            imp.routed.total_wirelength_um.to_bits(),
+            base.routed.total_wirelength_um.to_bits(),
+            "wirelength differs at {threads} threads"
+        );
+        assert_eq!(
+            imp.routed.overflow.to_bits(),
+            base.routed.overflow.to_bits(),
+            "overflow differs at {threads} threads"
+        );
+        assert_eq!(
+            imp.routed.f2f_bumps, base.routed.f2f_bumps,
+            "bump count differs at {threads} threads"
+        );
+        let vias = |d: &ImplementedDesign| -> usize {
+            d.routed.nets.iter().flatten().map(|n| n.vias.len()).sum()
+        };
+        assert_eq!(
+            vias(&imp),
+            vias(&base),
+            "via totals differ at {threads} threads"
+        );
+        // extraction + STA parallelism must not shift sign-off either
+        assert_eq!(
+            imp.timing.min_period_ps.to_bits(),
+            base.timing.min_period_ps.to_bits(),
+            "min period differs at {threads} threads"
+        );
+        assert_eq!(
+            imp.timing.crit_path_nets, base.timing.crit_path_nets,
+            "critical path differs at {threads} threads"
+        );
+    }
+}
