@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> bench smoke (MACRO3D_BENCH_SMOKE=1)"
+MACRO3D_BENCH_SMOKE=1 cargo bench -p macro3d-bench --bench engines
+
 echo "CI OK"

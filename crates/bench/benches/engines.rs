@@ -1,17 +1,41 @@
 //! Criterion benches of the individual engines (scaling behaviour),
-//! including the serial-vs-parallel router comparison. The router
-//! comparison also writes `BENCH_route.json` (measurements plus the
-//! Macro-3D flow's per-stage wall-clock) for offline tracking.
+//! including the serial-vs-parallel router and placer comparisons.
+//! The router comparison writes `BENCH_route.json` (measurements plus
+//! the Macro-3D flow's per-stage wall-clock) and the placer
+//! comparison writes `BENCH_place.json` (serial-vs-parallel seconds,
+//! speedup, and cold-vs-warm build-cache setup time) for offline
+//! tracking.
+//!
+//! Set `MACRO3D_BENCH_SMOKE=1` to run a down-scaled few-sample
+//! variant (the CI smoke run; it does not overwrite the JSON dumps),
+//! and `MACRO3D_BENCH_ONLY=<name>[,<name>...]` to run a subset of
+//! the bench functions (e.g. `place_parallelism`).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use macro3d::flows::{Flow, Macro3d};
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::NetId;
 use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
 use macro3d_route::{route_design, Parallelism, RouteConfig};
-use macro3d_soc::{generate_tile, TileConfig};
+use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
 use macro3d_tech::stack::{n28_stack, DieRole};
 
+/// `MACRO3D_BENCH_SMOKE=1`: quick CI variant.
+fn smoke() -> bool {
+    std::env::var_os("MACRO3D_BENCH_SMOKE").is_some()
+}
+
+/// `MACRO3D_BENCH_ONLY=a,b`: run only the named bench functions.
+fn bench_enabled(name: &str) -> bool {
+    match std::env::var("MACRO3D_BENCH_ONLY") {
+        Ok(only) if !only.is_empty() => only.split(',').any(|p| p.trim() == name),
+        _ => true,
+    }
+}
+
 fn bench_tile_generation(c: &mut Criterion) {
+    if !bench_enabled("tile_generation") {
+        return;
+    }
     let mut g = c.benchmark_group("netlist_generation");
     g.sample_size(10);
     for scale in [64.0, 32.0, 16.0] {
@@ -25,6 +49,9 @@ fn bench_tile_generation(c: &mut Criterion) {
 }
 
 fn bench_global_place(c: &mut Criterion) {
+    if !bench_enabled("global_place") {
+        return;
+    }
     let tile = generate_tile(&TileConfig::small_cache().with_scale(64.0));
     let lib = tile.design.library().clone();
     let fp = Floorplan::new(
@@ -42,6 +69,9 @@ fn bench_global_place(c: &mut Criterion) {
 }
 
 fn bench_router(c: &mut Criterion) {
+    if !bench_enabled("router") {
+        return;
+    }
     let stack = n28_stack(6, DieRole::Logic);
     let die = Rect::from_um(0.0, 0.0, 500.0, 500.0);
     // a synthetic net set: 2000 random two-pin nets
@@ -69,25 +99,53 @@ fn bench_router(c: &mut Criterion) {
     let _ = Dbu(0);
 }
 
-/// Serial vs batched-parallel `route_design` on the large-cache tile
-/// (the macro-heavy configuration with the most routing work), plus a
-/// JSON dump for offline comparison.
-fn bench_route_parallelism(c: &mut Criterion) {
-    let cfg = macro3d::FlowConfig::default();
-    let tile = generate_tile(&TileConfig::large_cache().with_scale(64.0));
+/// Standalone MoL floorplan for the parallelism benches: die sized
+/// from `area_factor * a3d`, macros packed by the cached MoL seed
+/// (leaving macros unplaced piles every macro pin at the origin and
+/// the router then thrashes on fictitious congestion).
+fn mol_bench_floorplan(
+    tile: &TileNetlist,
+    cfg: &macro3d::FlowConfig,
+    area_factor: f64,
+) -> (Floorplan, PortPlan) {
     let lib = tile.design.library().clone();
-
-    // a quick standalone floorplan + global placement supplies
-    // realistic pin locations without the full flow
-    let budget = macro3d::flow::area_budget(&tile.design, &cfg);
+    let budget = macro3d::flow::area_budget(&tile.design, cfg);
     let die = macro3d_place::floorplan::die_for_area(
-        2.0 * budget.a3d_um2,
+        area_factor * budget.a3d_um2,
         1.0,
         lib.row_height(),
         lib.site_width(),
     );
-    let fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+    let mut fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+    let halo = Dbu::from_um(cfg.halo_um);
+    let mol = macro3d::build_cache::cached_mol_floorplan(
+        &tile.design,
+        die,
+        halo,
+        cfg.util_macro,
+        cfg.halo_um,
+    );
+    for &mp in mol.0.iter().chain(mol.1.iter()) {
+        fp.add_macro(mp, DieRole::Logic, halo);
+    }
     let ports = PortPlan::assign(&tile.design, die);
+    (fp, ports)
+}
+
+/// Serial vs batched-parallel `route_design` on the large-cache tile
+/// (the macro-heavy configuration with the most routing work), plus a
+/// JSON dump for offline comparison.
+fn bench_route_parallelism(c: &mut Criterion) {
+    if !bench_enabled("route_parallelism") {
+        return;
+    }
+    let cfg = macro3d::FlowConfig::default();
+    let tile = generate_tile(&TileConfig::large_cache().with_scale(64.0));
+
+    // a quick standalone floorplan + global placement supplies
+    // realistic pin locations without the full flow
+    let (fp, ports) = mol_bench_floorplan(&tile, &cfg, 2.0);
+    let die = fp.die();
     let placement = global_place(&tile.design, &fp, &ports, &GlobalPlaceConfig::default());
     let stack = n28_stack(cfg.logic_metals, DieRole::Logic);
     let nets = macro3d::flow::route_pins(
@@ -100,7 +158,7 @@ fn bench_route_parallelism(c: &mut Criterion) {
     );
 
     let mut g = c.benchmark_group("route_parallelism");
-    g.sample_size(5);
+    g.sample_size(if smoke() { 1 } else { 5 });
     for (name, par) in [
         ("serial", Parallelism::serial()),
         ("parallel", Parallelism::default()),
@@ -115,7 +173,19 @@ fn bench_route_parallelism(c: &mut Criterion) {
 
     // per-stage wall-clock of one full Macro-3D run on the same tile
     let stage_times = Macro3d.run(&tile, &cfg).implemented.stage_times;
-    write_route_json(c, &stage_times);
+    if smoke() {
+        eprintln!("smoke mode: not overwriting BENCH_route.json");
+    } else {
+        write_route_json(c, &stage_times);
+    }
+}
+
+/// The JSON dumps live at the workspace root regardless of the bench
+/// binary's working directory.
+fn bench_json_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
 }
 
 /// Writes `BENCH_route.json`: the route_parallelism measurements and
@@ -155,9 +225,136 @@ fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes) {
         );
     }
     s.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_route.json", &s) {
+    match std::fs::write(bench_json_path("BENCH_route.json"), &s) {
         Ok(()) => eprintln!("wrote BENCH_route.json"),
         Err(e) => eprintln!("could not write BENCH_route.json: {e}"),
+    }
+}
+
+/// Serial vs fork-join `global_place` on the large-cache tile, plus
+/// the build-cache cold/warm setup comparison, dumped to
+/// `BENCH_place.json`.
+fn bench_place_parallelism(c: &mut Criterion) {
+    if !bench_enabled("place_parallelism") {
+        return;
+    }
+    let cfg = macro3d::FlowConfig::default();
+    let tile_cfg = TileConfig::large_cache().with_scale(if smoke() { 64.0 } else { 12.0 });
+    let tile = generate_tile(&tile_cfg);
+    let (fp, ports) = mol_bench_floorplan(&tile, &cfg, 2.0);
+
+    let mut g = c.benchmark_group("place_parallelism");
+    g.sample_size(if smoke() { 2 } else { 5 });
+    for (name, threads) in [("serial", 1), ("parallel8", 8)] {
+        let pcfg = GlobalPlaceConfig {
+            parallelism: Parallelism::threads(threads),
+            ..GlobalPlaceConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| global_place(&tile.design, &fp, &ports, &pcfg))
+        });
+    }
+    g.finish();
+
+    let (cold_s, warm_s) = time_flow_setup(&tile_cfg, &cfg);
+    if smoke() {
+        eprintln!(
+            "smoke mode: not overwriting BENCH_place.json \
+             (setup cold {cold_s:.3}s / warm {warm_s:.6}s)"
+        );
+    } else {
+        write_place_json(c, cold_s, warm_s);
+    }
+}
+
+/// Times the shared `standard_flows()` setup artifacts (tile netlist,
+/// stacks, combined BEOL, MoL floorplan seed) built cold (empty
+/// cache) and then warm (all hits).
+fn time_flow_setup(tile_cfg: &TileConfig, cfg: &macro3d::FlowConfig) -> (f64, f64) {
+    use macro3d::build_cache::{
+        cached_combined_beol, cached_mol_floorplan, cached_stack, cached_tile, global,
+    };
+    let build_all = |tile_cfg: &TileConfig| {
+        let tile = cached_tile(tile_cfg);
+        let _ = cached_stack(cfg.logic_metals, DieRole::Logic);
+        let _ = cached_stack(cfg.macro_metals, DieRole::Macro);
+        let _ = cached_combined_beol(cfg.logic_metals, cfg.macro_metals);
+        let budget = macro3d::flow::area_budget(&tile.design, cfg);
+        let lib = tile.design.library().clone();
+        let die = macro3d_place::floorplan::die_for_area(
+            budget.a3d_um2,
+            1.0,
+            lib.row_height(),
+            lib.site_width(),
+        );
+        let _ = cached_mol_floorplan(
+            &tile.design,
+            die,
+            Dbu::from_um(cfg.halo_um),
+            cfg.util_macro,
+            cfg.halo_um,
+        );
+    };
+    global().clear();
+    let t0 = std::time::Instant::now();
+    build_all(tile_cfg);
+    let cold = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    build_all(tile_cfg);
+    let warm = t1.elapsed().as_secs_f64();
+    (cold, warm)
+}
+
+/// Writes `BENCH_place.json`: serial/parallel global_place seconds,
+/// the measured speedup, and the build-cache setup comparison.
+fn write_place_json(c: &Criterion, cold_s: f64, warm_s: f64) {
+    use std::fmt::Write as _;
+    let place: Vec<_> = c
+        .measurements()
+        .iter()
+        .filter(|m| m.id.starts_with("place_parallelism/"))
+        .collect();
+    let mean_of = |suffix: &str| {
+        place
+            .iter()
+            .find(|m| m.id.ends_with(suffix))
+            .map(|m| m.mean.as_secs_f64())
+    };
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        s,
+        "  \"effective_threads\": {},",
+        Parallelism::default().effective_threads()
+    );
+    s.push_str("  \"place\": [\n");
+    for (k, m) in place.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"id\": \"{}\", \"samples\": {}, \"min_s\": {:.6}, \"mean_s\": {:.6}, \"max_s\": {:.6}}}{}",
+            m.id,
+            m.samples,
+            m.min.as_secs_f64(),
+            m.mean.as_secs_f64(),
+            m.max.as_secs_f64(),
+            if k + 1 < place.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    if let (Some(serial), Some(par)) = (mean_of("/serial"), mean_of("/parallel8")) {
+        let _ = writeln!(s, "  \"speedup_8t\": {:.3},", serial / par.max(1e-12));
+    }
+    let _ = writeln!(s, "  \"setup_cold_s\": {cold_s:.6},");
+    let _ = writeln!(s, "  \"setup_warm_s\": {warm_s:.6},");
+    let _ = writeln!(s, "  \"setup_speedup\": {:.1}", cold_s / warm_s.max(1e-12));
+    s.push_str("}\n");
+    match std::fs::write(bench_json_path("BENCH_place.json"), &s) {
+        Ok(()) => eprintln!("wrote BENCH_place.json"),
+        Err(e) => eprintln!("could not write BENCH_place.json: {e}"),
     }
 }
 
@@ -166,6 +363,7 @@ criterion_group!(
     bench_tile_generation,
     bench_global_place,
     bench_router,
-    bench_route_parallelism
+    bench_route_parallelism,
+    bench_place_parallelism
 );
 criterion_main!(benches);

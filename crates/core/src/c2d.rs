@@ -11,9 +11,10 @@
 //! partitioning / overlap fixing / via planning / re-route tail as
 //! S2D — plus the post-tier-partitioning optimization C2D adds.
 
+use crate::build_cache::{cached_combined_beol, cached_mol_floorplan, cached_stack};
 use crate::flow::{
-    area_budget, assign_macros_mol, finish_design, macro_obstacles, route_pins, sta_constraints,
-    FlowConfig, ImplementedDesign, StageTimer,
+    area_budget, finish_design, macro_obstacles, route_pins, sta_constraints, FlowConfig,
+    ImplementedDesign, StageTimer,
 };
 use crate::s2d::{partition_and_finalize, S2dDiagnostics};
 use macro3d_geom::Dbu;
@@ -23,8 +24,8 @@ use macro3d_place::{BlockageKind, Floorplan, PortPlan};
 use macro3d_route::route_design;
 use macro3d_soc::TileNetlist;
 use macro3d_sta::{analyze_par, clock_arrivals, upsize_critical_path, StaInput};
-use macro3d_tech::stack::{n28_stack, DieRole};
-use macro3d_tech::{CombinedBeol, Corner, F2fSpec};
+use macro3d_tech::stack::DieRole;
+use macro3d_tech::Corner;
 
 /// Runs the C2D flow.
 ///
@@ -52,10 +53,10 @@ pub(crate) fn implement(
     let up = (die_2x.width().0 as f64 / die_3d.width().0 as f64).max(1.0);
 
     // macro floorplans in the target (3D) space, MoL assignment
-    let (top, bottom) = assign_macros_mol(&design, die_3d.area_um2(), cfg);
-    let (mut macro_placements, bottom_placed) =
-        crate::flow::pack_mol_floorplans(&design, die_3d, halo, top, bottom);
-    macro_placements.extend(bottom_placed);
+    // (shared with Macro-3D and MoL S2D through the build cache)
+    let mol = cached_mol_floorplan(&design, die_3d, halo, cfg.util_macro, cfg.halo_um);
+    let mut macro_placements = mol.0.clone();
+    macro_placements.extend_from_slice(&mol.1);
 
     // --- stage 1: enlarged pseudo-2D design --------------------------
     // blockages scaled up by the enlargement factor
@@ -79,7 +80,7 @@ pub(crate) fn implement(
         &mut timer,
     );
 
-    let stack_2d = n28_stack(cfg.logic_metals, DieRole::Logic);
+    let stack_2d = cached_stack(cfg.logic_metals, DieRole::Logic);
     let obstacles = macro_obstacles(
         &design,
         &fp_2x,
@@ -170,11 +171,7 @@ pub(crate) fn implement(
 
     // --- stage 4: re-route on the combined stack with C2D's
     // post-tier-partitioning optimization enabled ----------------------
-    let combined = CombinedBeol::build(
-        &n28_stack(cfg.logic_metals, DieRole::Logic),
-        &n28_stack(cfg.macro_metals, DieRole::Macro),
-        &F2fSpec::hybrid_bond_n28(),
-    );
+    let combined = cached_combined_beol(cfg.logic_metals, cfg.macro_metals);
     let mut fp_final = Floorplan::new(die_3d, lib.row_height(), lib.site_width());
     for mp in &macro_placements {
         fp_final.add_macro(*mp, DieRole::Logic, halo);

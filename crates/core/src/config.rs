@@ -170,11 +170,13 @@ impl FlowConfigBuilder {
     }
 
     /// Sets the parallelism knob for *every* engine: extraction and
-    /// STA (`FlowConfig::parallelism`) and the batched router
-    /// (`RouteConfig::parallelism`).
+    /// STA (`FlowConfig::parallelism`), the batched router
+    /// (`RouteConfig::parallelism`), and the fork-join placer
+    /// (`GlobalPlaceConfig::parallelism`).
     pub fn parallelism(mut self, par: Parallelism) -> Self {
         self.cfg.parallelism = par;
         self.cfg.route.parallelism = par;
+        self.cfg.place.parallelism = par;
         self
     }
 
@@ -183,6 +185,7 @@ impl FlowConfigBuilder {
     pub fn threads(mut self, threads: usize) -> Self {
         self.cfg.parallelism.threads = threads;
         self.cfg.route.parallelism.threads = threads;
+        self.cfg.place.parallelism.threads = threads;
         self
     }
 
@@ -331,10 +334,12 @@ mod tests {
             .expect("valid");
         assert_eq!(cfg.parallelism, par);
         assert_eq!(cfg.route.parallelism, par);
+        assert_eq!(cfg.place.parallelism, par);
 
         let cfg = FlowConfig::builder().threads(7).build().expect("valid");
         assert_eq!(cfg.parallelism.threads, 7);
         assert_eq!(cfg.route.parallelism.threads, 7);
+        assert_eq!(cfg.place.parallelism.threads, 7);
         // chunk sizes keep their defaults
         assert_eq!(
             cfg.parallelism.chunk_size,

@@ -7,11 +7,12 @@
 //! roughly what factor, and where crossovers sit. Each experiment
 //! carries the paper's reference rows for side-by-side printing.
 
+use crate::build_cache::cached_tile;
 use crate::flow::FlowConfig;
 use crate::flows::{standard_flows, C2d, Flow, Flow2d, Macro3d};
 use crate::layout;
 use crate::report::{comparison_table, PpaResult};
-use macro3d_soc::{generate_tile, TileConfig};
+use macro3d_soc::TileConfig;
 use std::fmt::Write as _;
 
 /// Paper reference values for one flow/config (the rows of
@@ -89,7 +90,7 @@ pub struct Table1 {
 /// Runs Table I: max-performance PPA and cost comparison of all four
 /// flows on the small-cache system.
 pub fn table1(cfg: &ExperimentConfig) -> Table1 {
-    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    let tile = cached_tile(&TileConfig::small_cache().with_scale(cfg.scale));
     let rows = standard_flows()
         .iter()
         .map(|flow| {
@@ -149,7 +150,7 @@ pub struct Table2 {
 /// including the iso-performance power comparison.
 pub fn table2(cfg: &ExperimentConfig) -> Table2 {
     let run_one = |tc: TileConfig| -> Table2Config {
-        let tile = generate_tile(&tc.with_scale(cfg.scale));
+        let tile = cached_tile(&tc.with_scale(cfg.scale));
         let out2d = Flow2d.run(&tile, &cfg.flow);
         let out3d = Macro3d.run(&tile, &cfg.flow);
         let r2d = out2d.ppa;
@@ -235,7 +236,7 @@ pub struct Table3 {
 /// macro-die metal layers).
 pub fn table3(cfg: &ExperimentConfig) -> Table3 {
     let run_one = |tc: TileConfig| -> Table3Config {
-        let tile = generate_tile(&tc.with_scale(cfg.scale));
+        let tile = cached_tile(&tc.with_scale(cfg.scale));
         let mut f66 = cfg.flow.clone();
         f66.macro_metals = 6;
         let mut f64_ = cfg.flow.clone();
@@ -295,7 +296,7 @@ pub struct Figures {
 /// Regenerates Figs. 4–6 for one cache configuration.
 pub fn figures(cfg: &ExperimentConfig, tc: TileConfig) -> Figures {
     let name = tc.name.clone();
-    let tile = generate_tile(&tc.with_scale(cfg.scale));
+    let tile = cached_tile(&tc.with_scale(cfg.scale));
     let imp2d = Flow2d.run(&tile, &cfg.flow).implemented;
     let imp3d = Macro3d.run(&tile, &cfg.flow).implemented;
 
@@ -339,6 +340,6 @@ pub fn figures(cfg: &ExperimentConfig, tc: TileConfig) -> Figures {
 /// it but dropped the numbers as strictly worse than S2D for
 /// macro-heavy designs).
 pub fn c2d_comparison(cfg: &ExperimentConfig) -> PpaResult {
-    let tile = generate_tile(&TileConfig::small_cache().with_scale(cfg.scale));
+    let tile = cached_tile(&TileConfig::small_cache().with_scale(cfg.scale));
     C2d.run(&tile, &cfg.flow).ppa
 }

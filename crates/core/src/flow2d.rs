@@ -6,6 +6,7 @@
 //! off at SS / reported at TT. The footprint is exactly twice the 3D
 //! footprint (equal total silicon, per the paper's fairness rule).
 
+use crate::build_cache::{cached_stack, design_fingerprint};
 use crate::flow::{
     area_budget, finish_design, place_pipeline, sta_constraints, FlowConfig, ImplementedDesign,
     StageTimer,
@@ -15,7 +16,7 @@ use macro3d_place::floorplan::die_for_area;
 use macro3d_place::macro_place::{pack_bands, pack_ring, pack_shelves};
 use macro3d_place::{Floorplan, PortPlan};
 use macro3d_soc::TileNetlist;
-use macro3d_tech::stack::{n28_stack, DieRole};
+use macro3d_tech::stack::DieRole;
 
 /// Runs the 2D baseline flow and returns the implemented design.
 ///
@@ -48,15 +49,23 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
     let macro_fraction = budget.macro_um2 / (budget.macro_um2 + budget.cell_um2);
     let cell_fraction = (budget.cell_um2 / cfg.util_logic)
         / (budget.cell_um2 / cfg.util_logic + budget.macro_um2 / cfg.util_macro);
-    let placements = if macro_fraction > 0.7 {
-        pack_bands(&design, &macros, die, halo, cell_fraction.min(0.9))
-            .or_else(|| pack_ring(&design, &macros, die, halo))
-    } else {
-        pack_ring(&design, &macros, die, halo)
-    }
-    .or_else(|| pack_shelves(&design, &macros, die, halo, DieRole::Logic))
-    .expect("macros fit the 2D die");
-    for mp in placements {
+    let fp_key = format!(
+        "fp-2d/{:016x}/{die:?}/{halo:?}/{:.6}/{:.6}",
+        design_fingerprint(&design),
+        macro_fraction,
+        cell_fraction
+    );
+    let placements = crate::build_cache::global().get_or_build(&fp_key, || {
+        if macro_fraction > 0.7 {
+            pack_bands(&design, &macros, die, halo, cell_fraction.min(0.9))
+                .or_else(|| pack_ring(&design, &macros, die, halo))
+        } else {
+            pack_ring(&design, &macros, die, halo)
+        }
+        .or_else(|| pack_shelves(&design, &macros, die, halo, DieRole::Logic))
+        .expect("macros fit the 2D die")
+    });
+    for &mp in placements.iter() {
         fp.add_macro(mp, DieRole::Logic, halo);
     }
 
@@ -64,7 +73,7 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
     timer.mark("floorplan");
     let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg, &mut timer);
 
-    let stack = n28_stack(cfg.logic_metals, DieRole::Logic);
+    let stack = (*cached_stack(cfg.logic_metals, DieRole::Logic)).clone();
     let logic_metals = cfg.logic_metals;
     finish_design(
         design,

@@ -43,6 +43,7 @@
 //! assert!(r3d.footprint_mm2 < r2d.footprint_mm2);
 //! ```
 
+pub mod build_cache;
 pub mod c2d;
 pub mod check;
 pub mod config;
@@ -56,6 +57,7 @@ pub mod report;
 pub mod s2d;
 pub mod via_plan;
 
+pub use build_cache::{BuildCache, CacheStats};
 pub use config::{ConfigError, FlowConfigBuilder};
 pub use flow::{FlowConfig, ImplementedDesign, StageTimer, StageTimes};
 pub use flows::{Flow, FlowOutcome};

@@ -22,16 +22,16 @@
 //! 4. **Die separation.** The layout splits back into per-die GDS
 //!    (see [`crate::layout`]); the F2F via layer appears in both.
 
+use crate::build_cache::{cached_combined_beol, cached_mol_floorplan};
 use crate::flow::{
-    area_budget, assign_macros_mol, finish_design, place_pipeline, sta_constraints, FlowConfig,
-    ImplementedDesign, StageTimer,
+    area_budget, finish_design, place_pipeline, sta_constraints, FlowConfig, ImplementedDesign,
+    StageTimer,
 };
 use macro3d_geom::Dbu;
 use macro3d_place::floorplan::die_for_area;
 use macro3d_place::{Floorplan, PortPlan};
 use macro3d_soc::TileNetlist;
-use macro3d_tech::stack::{n28_stack, DieRole};
-use macro3d_tech::{CombinedBeol, F2fSpec};
+use macro3d_tech::stack::DieRole;
 
 /// Runs the Macro-3D flow and returns the implemented design.
 ///
@@ -52,26 +52,22 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
     let die = die_for_area(budget.a3d_um2, 1.0, lib.row_height(), lib.site_width());
     let halo = Dbu::from_um(cfg.halo_um);
 
-    // Step 1: dual floorplans.
-    let (top_macros, bottom_macros) = assign_macros_mol(&design, die.area_um2(), cfg);
-    let (top_placements, bottom_placements) =
-        crate::flow::pack_mol_floorplans(&design, die, halo, top_macros, bottom_macros);
+    // Step 1: dual floorplans (the MoL seed is shared with the S2D
+    // and C2D flows through the build cache).
+    let mol = cached_mol_floorplan(&design, die, halo, cfg.util_macro, cfg.halo_um);
+    let (top_placements, bottom_placements) = (&mol.0, &mol.1);
 
     // Step 2: projection — macro-die macros add pins/obstacles but no
     // placement blockage; logic-die macros block placement as usual.
     let mut fp = Floorplan::new(die, lib.row_height(), lib.site_width());
-    for mp in top_placements {
+    for &mp in top_placements {
         fp.add_macro(mp, DieRole::Logic, halo);
     }
-    for mp in bottom_placements {
+    for &mp in bottom_placements {
         fp.add_macro(mp, DieRole::Logic, halo);
     }
 
-    let combined = CombinedBeol::build(
-        &n28_stack(cfg.logic_metals, DieRole::Logic),
-        &n28_stack(cfg.macro_metals, DieRole::Macro),
-        &F2fSpec::hybrid_bond_n28(),
-    );
+    let combined = cached_combined_beol(cfg.logic_metals, cfg.macro_metals);
 
     // Step 3: unmodified 2D P&R over the combined stack.
     let ports = PortPlan::assign(&design, die);

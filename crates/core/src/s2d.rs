@@ -25,9 +25,10 @@
 //! Table I's "BF S2D", which trades away the manufacturing advantages
 //! of MoL stacking).
 
+use crate::build_cache::{cached_combined_beol, cached_mol_floorplan, cached_stack};
 use crate::flow::{
-    area_budget, assign_macros_mol, finish_design, macro_obstacles, route_pins, sta_constraints,
-    FlowConfig, ImplementedDesign, StageTimer,
+    area_budget, finish_design, macro_obstacles, route_pins, sta_constraints, FlowConfig,
+    ImplementedDesign, StageTimer,
 };
 use crate::via_plan::plan_bumps;
 use macro3d_geom::{Dbu, Point, Rect};
@@ -41,7 +42,7 @@ use macro3d_soc::TileNetlist;
 use macro3d_sta::{analyze_par, clock_arrivals, upsize_critical_path, ClockTree, StaInput};
 use macro3d_tech::libgen::n28_library;
 use macro3d_tech::stack::{n28_stack, DieRole, MetalStack};
-use macro3d_tech::{CellClass, CombinedBeol, Corner, F2fSpec};
+use macro3d_tech::{CellClass, Corner, F2fSpec};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -93,10 +94,10 @@ pub(crate) fn implement(
     // --- macro floorplans on both dies --------------------------------
     let macro_placements = match style {
         S2dStyle::MemoryOnLogic => {
-            let (top, bottom) = assign_macros_mol(&design, die.area_um2(), cfg);
-            let (mut v, bottom_placed) =
-                crate::flow::pack_mol_floorplans(&design, die, halo, top, bottom);
-            v.extend(bottom_placed);
+            // same MoL seed as Macro-3D and C2D, via the build cache
+            let mol = cached_mol_floorplan(&design, die, halo, cfg.util_macro, cfg.halo_um);
+            let mut v = mol.0.clone();
+            v.extend_from_slice(&mol.1);
             v
         }
         S2dStyle::Balanced => {
@@ -124,7 +125,7 @@ pub(crate) fn implement(
         crate::flow::place_pipeline(&mut design, &fp_s2d, &ports, &constraints, cfg, &mut timer);
 
     // pseudo-2D routing on a single-die stack, macro pins assumed local
-    let stack_2d = n28_stack(cfg.logic_metals, DieRole::Logic);
+    let stack_2d = cached_stack(cfg.logic_metals, DieRole::Logic);
     let obstacles = macro_obstacles(
         &design,
         &fp_s2d,
@@ -199,11 +200,7 @@ pub(crate) fn implement(
     timer.mark("s2d_partition_fix");
 
     // --- stage 3: F2F via planning + re-route on the true stack --------
-    let combined = CombinedBeol::build(
-        &n28_stack(cfg.logic_metals, DieRole::Logic),
-        &n28_stack(cfg.macro_metals, DieRole::Macro),
-        &F2fSpec::hybrid_bond_n28(),
-    );
+    let combined = cached_combined_beol(cfg.logic_metals, cfg.macro_metals);
     let fp_final = final_floorplan(&design, die, &macro_placements, halo, &orig_lib);
 
     // S2D has no post-partition optimization: sizing_rounds = 0.

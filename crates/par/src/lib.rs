@@ -99,6 +99,57 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Runs two closures as a fork-join pair and returns both results.
+///
+/// `budget` is the worker-thread budget for the task subtree rooted at
+/// this join. With `budget >= 2` the second closure runs on a freshly
+/// scoped thread while the first runs on the current one, and the
+/// budget is split between them (the first keeps the odd thread) so
+/// nested joins form a task tree that never exceeds the budget. With
+/// `budget <= 1` both closures run serially on the current thread.
+///
+/// Each closure receives its own sub-budget to pass to nested joins.
+/// Per the crate determinism contract, the results are identical for
+/// any budget — scheduling only changes wall-clock time. This is the
+/// primitive behind fork-join recursive-bisection placement, where
+/// the two halves of a cut are placed concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_par::parallel_join;
+///
+/// let (a, b) = parallel_join(8, |_| 2 + 2, |sub| sub);
+/// assert_eq!(a, 4);
+/// assert_eq!(b, 4); // the second task got half the budget
+/// ```
+///
+/// # Panics
+///
+/// Propagates a panic from either closure.
+pub fn parallel_join<RA, RB, FA, FB>(budget: usize, a: FA, b: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce(usize) -> RA + Send,
+    FB: FnOnce(usize) -> RB + Send,
+{
+    if budget < 2 {
+        return (a(1), b(1));
+    }
+    let budget_b = budget / 2;
+    let budget_a = budget - budget_b;
+    std::thread::scope(|scope| {
+        let handle_b = scope.spawn(move || b(budget_b));
+        let ra = a(budget_a);
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
 /// Maps `f` over `items`, in parallel, preserving input order, with a
 /// per-worker scratch value built by `init` (rayon's `map_with`).
 ///
@@ -277,6 +328,44 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(parallel_map(&empty, &par, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[5u8], &par, |_, &x| x * 2), vec![10]);
+    }
+
+    /// A task-tree sum over a range: fork while the budget allows,
+    /// serial below. The result must not depend on the budget.
+    fn tree_sum(lo: u64, hi: u64, budget: usize) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = parallel_join(
+            budget,
+            |sub| tree_sum(lo, mid, sub),
+            |sub| tree_sum(mid, hi, sub),
+        );
+        a + b
+    }
+
+    #[test]
+    fn join_is_budget_invariant() {
+        let expect: u64 = (0..10_000).sum();
+        for budget in [0, 1, 2, 3, 4, 8, 13] {
+            assert_eq!(tree_sum(0, 10_000, budget), expect, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn join_splits_budget() {
+        let (a, b) = parallel_join(5, |sub| sub, |sub| sub);
+        assert_eq!((a, b), (3, 2), "first task keeps the odd thread");
+        let (a, b) = parallel_join(1, |sub| sub, |sub| sub);
+        assert_eq!((a, b), (1, 1), "serial tasks still get a unit budget");
+    }
+
+    #[test]
+    fn join_borrows_from_the_caller() {
+        let data = [1u32, 2, 3];
+        let (s, l) = parallel_join(2, |_| data.iter().sum::<u32>(), |_| data.len());
+        assert_eq!((s, l), (6, 3));
     }
 
     #[test]

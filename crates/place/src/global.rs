@@ -7,6 +7,14 @@
 //! cells — anchor nets to the side nearer their projection), and
 //! recurses until a handful of cells per region remain, which are then
 //! spread over the region.
+//!
+//! After a cut, the two sub-problems never interact: each child sees
+//! the rest of the design only through an immutable snapshot of
+//! external cell estimates taken at fork time (sibling cells at the
+//! sibling region's centre). Both halves therefore recurse through
+//! [`parallel_join`] concurrently, and per the `macro3d-par`
+//! determinism contract the result is bit-identical for any thread
+//! count.
 
 use crate::floorplan::Floorplan;
 use crate::hpwl::pin_position;
@@ -15,6 +23,8 @@ use crate::placement::Placement;
 use crate::ports::PortPlan;
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
+use macro3d_par::{parallel_join, Parallelism};
+use std::collections::HashMap;
 
 /// Global-placement configuration.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +36,9 @@ pub struct GlobalPlaceConfig {
     /// Nets larger than this are ignored during partitioning (clock
     /// and other global nets carry no placement information).
     pub max_net_degree: usize,
+    /// Thread budget for the fork-join bisection tree. Output is
+    /// bit-identical for any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GlobalPlaceConfig {
@@ -34,6 +47,7 @@ impl Default for GlobalPlaceConfig {
             min_cells: 8,
             fm_passes: 2,
             max_net_degree: 64,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -65,9 +79,6 @@ pub fn global_place(
     if movable.is_empty() {
         return placement;
     }
-
-    // Current position estimate per instance (region centres, refined
-    // as regions split).
     for &i in &movable {
         placement.pos[i.index()] = fp.die().center();
     }
@@ -86,58 +97,138 @@ pub fn global_place(
         }
     }
 
-    let mut stack: Vec<(Rect, Vec<InstId>)> = vec![(fp.die(), movable)];
-    while let Some((region, cells)) = stack.pop() {
-        if cells.len() <= cfg.min_cells {
-            spread(design, fp, &mut placement, region, &cells);
-            continue;
-        }
-        let horizontal_split = region.width() >= region.height();
-        let Some((rect_a, rect_b, frac_a)) = split_region(fp, region, horizontal_split) else {
-            spread(design, fp, &mut placement, region, &cells);
-            continue;
-        };
+    let ctx = PlaceCtx {
+        design,
+        fp,
+        ports,
+        cfg,
+        inst_nets,
+        base: placement.clone(),
+    };
+    // Root has no external cells, so its estimate snapshot is empty;
+    // every deeper snapshot derives from the fork-time invariant that
+    // a child's external cells are its sibling's cells plus its
+    // parent's externals.
+    let placed = place_region(
+        &ctx,
+        fp.die(),
+        movable,
+        HashMap::new(),
+        cfg.parallelism.effective_threads(),
+    );
+    for (i, p) in placed {
+        placement.pos[i.index()] = p;
+    }
+    placement
+}
 
-        // degenerate capacity: push everything to the usable side
-        let side = if frac_a < 0.02 {
-            vec![1u8; cells.len()]
-        } else if frac_a > 0.98 {
-            vec![0u8; cells.len()]
+/// Read-only state shared by every node of the bisection tree.
+struct PlaceCtx<'a> {
+    design: &'a Design,
+    fp: &'a Floorplan,
+    ports: &'a PortPlan,
+    cfg: &'a GlobalPlaceConfig,
+    /// inst -> incident small nets.
+    inst_nets: Vec<Vec<NetId>>,
+    /// Macro positions and instance footprints for pin lookups. Cell
+    /// positions here stay at the die centre — their region estimates
+    /// travel through the per-node `ext` snapshots instead.
+    base: Placement,
+}
+
+/// Places `cells` inside `region` and returns their final positions.
+///
+/// `ext` snapshots the position estimate of every *cell* outside the
+/// region that shares a (small) net with one inside; macros and ports
+/// are resolved through `ctx.base`. `budget` is the thread budget for
+/// this subtree (see [`parallel_join`]).
+fn place_region(
+    ctx: &PlaceCtx,
+    region: Rect,
+    cells: Vec<InstId>,
+    ext: HashMap<InstId, Point>,
+    budget: usize,
+) -> Vec<(InstId, Point)> {
+    if cells.len() <= ctx.cfg.min_cells {
+        return spread(ctx, region, &cells);
+    }
+    let horizontal_split = region.width() >= region.height();
+    let Some((rect_a, rect_b, frac_a)) = split_region(ctx.fp, region, horizontal_split) else {
+        return spread(ctx, region, &cells);
+    };
+
+    // degenerate capacity: push everything to the usable side
+    let side = if frac_a < 0.02 {
+        vec![1u8; cells.len()]
+    } else if frac_a > 0.98 {
+        vec![0u8; cells.len()]
+    } else {
+        partition_cells(ctx, &ext, &cells, horizontal_split, rect_a, frac_a)
+    };
+
+    let mut cells_a = Vec::new();
+    let mut cells_b = Vec::new();
+    let mut side_of: HashMap<InstId, u8> = HashMap::with_capacity(cells.len());
+    for (k, &c) in cells.iter().enumerate() {
+        side_of.insert(c, side[k]);
+        if side[k] == 0 {
+            cells_a.push(c);
         } else {
-            partition_cells(
-                design,
-                &placement,
-                ports,
-                &inst_nets,
-                &cells,
-                region,
-                horizontal_split,
-                rect_a,
-                frac_a,
-                cfg,
-            )
-        };
-
-        let mut cells_a = Vec::new();
-        let mut cells_b = Vec::new();
-        for (k, &c) in cells.iter().enumerate() {
-            if side[k] == 0 {
-                placement.pos[c.index()] = rect_a.center();
-                cells_a.push(c);
-            } else {
-                placement.pos[c.index()] = rect_b.center();
-                cells_b.push(c);
-            }
-        }
-        if !cells_a.is_empty() {
-            stack.push((rect_a, cells_a));
-        }
-        if !cells_b.is_empty() {
-            stack.push((rect_b, cells_b));
+            cells_b.push(c);
         }
     }
+    let ext_a = child_ext(ctx, &cells_a, &side_of, 0, rect_b.center(), &ext);
+    let ext_b = child_ext(ctx, &cells_b, &side_of, 1, rect_a.center(), &ext);
 
-    placement
+    if cells_b.is_empty() {
+        return place_region(ctx, rect_a, cells_a, ext_a, budget);
+    }
+    if cells_a.is_empty() {
+        return place_region(ctx, rect_b, cells_b, ext_b, budget);
+    }
+    let (mut placed, placed_b) = parallel_join(
+        budget,
+        move |sub| place_region(ctx, rect_a, cells_a, ext_a, sub),
+        move |sub| place_region(ctx, rect_b, cells_b, ext_b, sub),
+    );
+    placed.extend(placed_b);
+    placed
+}
+
+/// Builds one child's external-estimate snapshot: cells that landed on
+/// the sibling side are pinned at the sibling region's centre, and
+/// everything farther out keeps its parent-snapshot estimate.
+fn child_ext(
+    ctx: &PlaceCtx,
+    cells: &[InstId],
+    side_of: &HashMap<InstId, u8>,
+    my_side: u8,
+    sibling_center: Point,
+    parent_ext: &HashMap<InstId, Point>,
+) -> HashMap<InstId, Point> {
+    let mut ext = HashMap::new();
+    for &c in cells {
+        for &n in &ctx.inst_nets[c.index()] {
+            for &p in &ctx.design.net(n).pins {
+                let Some(i) = p.instance() else { continue };
+                if ctx.design.is_macro(i) {
+                    continue;
+                }
+                match side_of.get(&i) {
+                    Some(&s) if s == my_side => {}
+                    Some(_) => {
+                        ext.insert(i, sibling_center);
+                    }
+                    None => {
+                        if let Some(&pt) = parent_ext.get(&i) {
+                            ext.insert(i, pt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ext
 }
 
 /// Splits a region so both halves have (approximately) equal usable
@@ -193,19 +284,15 @@ fn right_rect(region: Rect, horizontal: bool, cut: Dbu) -> Rect {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn partition_cells(
-    design: &Design,
-    placement: &Placement,
-    ports: &PortPlan,
-    inst_nets: &[Vec<NetId>],
+    ctx: &PlaceCtx,
+    ext: &HashMap<InstId, Point>,
     cells: &[InstId],
-    region: Rect,
     horizontal: bool,
     rect_a: Rect,
     frac_a: f64,
-    cfg: &GlobalPlaceConfig,
 ) -> Vec<u8> {
+    let design = ctx.design;
     // local indexing
     let mut local_of = std::collections::HashMap::with_capacity(cells.len());
     let mut areas = Vec::with_capacity(cells.len());
@@ -218,7 +305,7 @@ fn partition_cells(
     // collect incident nets once
     let mut seen = std::collections::HashSet::new();
     for &c in cells {
-        for &n in &inst_nets[c.index()] {
+        for &n in &ctx.inst_nets[c.index()] {
             if !seen.insert(n) {
                 continue;
             }
@@ -229,7 +316,7 @@ fn partition_cells(
                 match p.instance().and_then(|i| local_of.get(&i)) {
                     Some(&l) => local.push(l),
                     None => {
-                        let pt = external_pin_pos(design, placement, ports, p);
+                        let pt = external_pin_pos(ctx, ext, p);
                         let coord = if horizontal { pt.x } else { pt.y };
                         ext_sum += coord.0 as f64;
                         ext_cnt += 1;
@@ -253,54 +340,46 @@ fn partition_cells(
             builder.add_net(&local, anchor);
         }
     }
-    let _ = region;
     let hg = builder.build();
     bipartition(
         &hg,
         frac_a,
         None,
         &FmConfig {
-            passes: cfg.fm_passes,
+            passes: ctx.cfg.fm_passes,
             balance_tol: 0.08,
         },
     )
 }
 
-/// Position of a pin outside the current region: instance pins use
-/// the running placement estimate; port pins their planned edge
-/// location.
-fn external_pin_pos(
-    design: &Design,
-    placement: &Placement,
-    ports: &PortPlan,
-    pin: PinRef,
-) -> Point {
+/// Position of a pin outside the current region: cell pins use the
+/// fork-time estimate snapshot; port and macro pins their fixed
+/// locations.
+fn external_pin_pos(ctx: &PlaceCtx, ext: &HashMap<InstId, Point>, pin: PinRef) -> Point {
     match pin {
-        PinRef::Port(_) => pin_position(design, placement, ports, pin),
-        PinRef::Inst { inst, .. } => match design.inst(inst).master {
-            Master::Cell(_) => placement.pos[inst.index()],
-            Master::Macro(_) => pin_position(design, placement, ports, pin),
+        PinRef::Port(_) => pin_position(ctx.design, &ctx.base, ctx.ports, pin),
+        PinRef::Inst { inst, .. } => match ctx.design.inst(inst).master {
+            Master::Cell(_) => ext
+                .get(&inst)
+                .copied()
+                .unwrap_or_else(|| ctx.fp.die().center()),
+            Master::Macro(_) => pin_position(ctx.design, &ctx.base, ctx.ports, pin),
         },
     }
 }
 
 /// Distributes a handful of cells over a region's usable area on a
 /// small grid.
-fn spread(
-    design: &Design,
-    fp: &Floorplan,
-    placement: &mut Placement,
-    region: Rect,
-    cells: &[InstId],
-) {
-    if cells.is_empty() {
-        return;
-    }
+fn spread(ctx: &PlaceCtx, region: Rect, cells: &[InstId]) -> Vec<(InstId, Point)> {
     let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let cols = (n as f64).sqrt().ceil() as i64;
     let rows = ((n as i64) + cols - 1) / cols;
     let dx = region.width().0 / (cols + 1);
     let dy = region.height().0 / (rows + 1);
+    let mut out = Vec::with_capacity(n);
     for (k, &c) in cells.iter().enumerate() {
         let col = k as i64 % cols;
         let row = k as i64 / cols;
@@ -309,46 +388,64 @@ fn spread(
             region.lo.y + Dbu(dy * (row + 1)),
         );
         // nudge out of fully blocked spots to the nearest open point
-        let foot = placement.rect(design, c).moved_to(p);
-        if fp.is_fully_blocked(foot) {
-            p = nearest_unblocked(design, fp, placement, c, region, p).unwrap_or(p);
+        let foot = ctx.base.rect(ctx.design, c).moved_to(p);
+        if ctx.fp.is_fully_blocked(foot) {
+            p = nearest_unblocked(ctx, c, region, p).unwrap_or(p);
         }
-        placement.pos[c.index()] = p;
+        out.push((c, p));
     }
+    out
 }
 
-/// Scans a coarse grid over `region` (falling back to the whole die)
-/// for the unblocked point nearest `target`.
-fn nearest_unblocked(
-    design: &Design,
-    fp: &Floorplan,
-    placement: &Placement,
-    inst: InstId,
-    region: Rect,
-    target: Point,
-) -> Option<Point> {
-    let mut best: Option<(Dbu, Point)> = None;
-    for area in [region, fp.die()] {
+/// Finds the unblocked point nearest `target` on a coarse grid over
+/// `region` (falling back to the whole die).
+///
+/// Walks the grid in expanding rings (a spiral) from the grid point
+/// nearest the target and stops as soon as every remaining ring is
+/// provably farther than the best hit, instead of rescanning all
+/// `steps x steps` points.
+fn nearest_unblocked(ctx: &PlaceCtx, inst: InstId, region: Rect, target: Point) -> Option<Point> {
+    let foot0 = ctx.base.rect(ctx.design, inst);
+    for area in [region, ctx.fp.die()] {
         let steps = 12i64;
         let sx = (area.width().0 / (steps + 1)).max(1);
         let sy = (area.height().0 / (steps + 1)).max(1);
-        for iy in 1..=steps {
-            for ix in 1..=steps {
-                let p = Point::new(area.lo.x + Dbu(sx * ix), area.lo.y + Dbu(sy * iy));
-                let foot = placement.rect(design, inst).moved_to(p);
-                if !fp.is_fully_blocked(foot) && fp.die().contains_rect(foot) {
-                    let d = p.manhattan(target);
-                    if best.is_none_or(|(bd, _)| d < bd) {
-                        best = Some((d, p));
+        let grid =
+            |ix: i64, iy: i64| Point::new(area.lo.x + Dbu(sx * ix), area.lo.y + Dbu(sy * iy));
+        let ix0 = (((target.x - area.lo.x).0 + sx / 2) / sx).clamp(1, steps);
+        let iy0 = (((target.y - area.lo.y).0 + sy / 2) / sy).clamp(1, steps);
+        // triangle inequality through the spiral centre: a point on
+        // ring r is at least r*min(sx,sy) - d0 from the target
+        let d0 = grid(ix0, iy0).manhattan(target);
+        let smin = Dbu(sx.min(sy));
+        let mut best: Option<(Dbu, Point)> = None;
+        for r in 0..steps {
+            for iy in (iy0 - r).max(1)..=(iy0 + r).min(steps) {
+                for ix in (ix0 - r).max(1)..=(ix0 + r).min(steps) {
+                    if (ix - ix0).abs().max((iy - iy0).abs()) != r {
+                        continue;
+                    }
+                    let p = grid(ix, iy);
+                    let foot = foot0.moved_to(p);
+                    if !ctx.fp.is_fully_blocked(foot) && ctx.fp.die().contains_rect(foot) {
+                        let d = p.manhattan(target);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, p));
+                        }
                     }
                 }
             }
+            if let Some((bd, _)) = best {
+                if smin * (r + 1) - d0 > bd {
+                    break;
+                }
+            }
         }
-        if best.is_some() {
-            break;
+        if let Some((_, p)) = best {
+            return Some(p);
         }
     }
-    best.map(|(_, p)| p)
+    None
 }
 
 #[cfg(test)]

@@ -72,6 +72,115 @@ pub fn total_hpwl(design: &Design, placement: &Placement, ports: &PortPlan) -> D
         .sum()
 }
 
+/// Incremental HPWL evaluator over a tracked net subset.
+///
+/// Caches each tracked net's half-perimeter and the integer running
+/// total, so a local move costs one [`HpwlCache::update_nets`] over
+/// the nets it touches instead of a full recompute. Because spans are
+/// exact [`Dbu`] integers, [`HpwlCache::total`] always equals the sum
+/// of fresh per-net recomputes bit for bit — optimizers (annealing,
+/// detailed placement) can mix incremental and full evaluation freely.
+///
+/// Rejected moves are rolled back with the [`HpwlUndo`] record
+/// returned by `update_nets` (restore the placement, then
+/// [`HpwlCache::undo`]).
+#[derive(Clone, Debug)]
+pub struct HpwlCache {
+    /// Cached HPWL per net; `None` for untracked nets.
+    cached: Vec<Option<Dbu>>,
+    total: Dbu,
+}
+
+/// Inverse of one [`HpwlCache::update_nets`] call.
+#[derive(Clone, Debug)]
+pub struct HpwlUndo {
+    /// `(net, previous span)` in update order.
+    entries: Vec<(NetId, Dbu)>,
+}
+
+impl HpwlCache {
+    /// Builds a cache tracking every net with at least two pins.
+    pub fn new(design: &Design, placement: &Placement, ports: &PortPlan) -> Self {
+        Self::over_nets(
+            design,
+            placement,
+            ports,
+            design.net_ids().filter(|&n| design.net(n).pins.len() >= 2),
+        )
+    }
+
+    /// Builds a cache tracking only the given nets (duplicates are
+    /// tracked once). Nets with fewer than two pins are skipped.
+    pub fn over_nets(
+        design: &Design,
+        placement: &Placement,
+        ports: &PortPlan,
+        nets: impl IntoIterator<Item = NetId>,
+    ) -> Self {
+        let mut cache = HpwlCache {
+            cached: vec![None; design.num_nets()],
+            total: Dbu(0),
+        };
+        for n in nets {
+            if design.net(n).pins.len() < 2 || cache.cached[n.index()].is_some() {
+                continue;
+            }
+            let w = net_hpwl(design, placement, ports, n);
+            cache.cached[n.index()] = Some(w);
+            cache.total += w;
+        }
+        cache
+    }
+
+    /// The running total over all tracked nets.
+    #[inline]
+    pub fn total(&self) -> Dbu {
+        self.total
+    }
+
+    /// Cached span of one net (`None` if untracked).
+    #[inline]
+    pub fn net(&self, n: NetId) -> Option<Dbu> {
+        self.cached[n.index()]
+    }
+
+    /// Re-evaluates the given nets against the current placement and
+    /// returns the undo record for the whole batch. Untracked nets are
+    /// ignored; duplicates in `nets` are handled (undo replays in
+    /// reverse).
+    pub fn update_nets(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+        ports: &PortPlan,
+        nets: &[NetId],
+    ) -> HpwlUndo {
+        let mut entries = Vec::with_capacity(nets.len());
+        for &n in nets {
+            let Some(old) = self.cached[n.index()] else {
+                continue;
+            };
+            let new = net_hpwl(design, placement, ports, n);
+            if new != old {
+                self.total += new - old;
+                self.cached[n.index()] = Some(new);
+            }
+            entries.push((n, old));
+        }
+        HpwlUndo { entries }
+    }
+
+    /// Rolls back one `update_nets` batch (apply to the *matching*
+    /// state only, most recent first).
+    pub fn undo(&mut self, undo: HpwlUndo) {
+        for (n, old) in undo.entries.into_iter().rev() {
+            let cur = self.cached[n.index()].expect("undo of tracked net");
+            self.total += old - cur;
+            self.cached[n.index()] = Some(old);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +221,73 @@ mod tests {
         let pt = pin_position(&d, &p, &ports, PinRef::inst(m, 0));
         assert_eq!(pt.x, Point::from_um(10.0, 20.0).x + pin0_off.x);
         assert_eq!(pt.y, Point::from_um(10.0, 20.0).y + pin0_off.y);
+    }
+
+    #[test]
+    fn cache_tracks_total_incrementally() {
+        use macro3d_netlist::Side;
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let port = d.add_port("p", PinDir::Input, Some(Side::West));
+        let mut cells = Vec::new();
+        let mut nets = Vec::new();
+        for i in 0..6 {
+            let c = d.add_cell(format!("c{i}"), inv);
+            let n = d.add_net(format!("n{i}"));
+            d.connect(n, PinRef::inst(c, 0));
+            if let Some(&prev) = cells.last() {
+                d.connect(n, PinRef::inst(prev, 1));
+            } else {
+                d.connect(n, PinRef::Port(port));
+            }
+            cells.push(c);
+            nets.push(n);
+        }
+        let mut p = Placement::new(&d);
+        for (i, &c) in cells.iter().enumerate() {
+            p.pos[c.index()] = Point::from_um(10.0 * i as f64, 3.0 * i as f64);
+        }
+        let ports = PortPlan {
+            pos: vec![Point::from_um(0.0, 0.0)],
+        };
+
+        let mut cache = HpwlCache::new(&d, &p, &ports);
+        assert_eq!(cache.total(), total_hpwl(&d, &p, &ports));
+
+        // move a middle cell; only its two nets change
+        p.pos[cells[3].index()] = Point::from_um(55.0, 1.0);
+        let touched = [nets[3], nets[4]];
+        let undo = cache.update_nets(&d, &p, &ports, &touched);
+        assert_eq!(cache.total(), total_hpwl(&d, &p, &ports), "after update");
+
+        // rejected move: restore the placement and undo the cache
+        p.pos[cells[3].index()] = Point::from_um(30.0, 9.0);
+        cache.undo(undo);
+        assert_eq!(cache.total(), total_hpwl(&d, &p, &ports), "after undo");
+    }
+
+    #[test]
+    fn cache_subset_and_duplicates() {
+        let lib = Arc::new(n28_library(1.0));
+        let inv = lib.smallest(CellClass::Inv).expect("inv");
+        let mut d = Design::new("t", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::inst(a, 1));
+        d.connect(n, PinRef::inst(b, 0));
+        let lone = d.add_net("lone");
+        d.connect(lone, PinRef::inst(b, 1));
+        let mut p = Placement::new(&d);
+        p.pos[b.index()] = Point::from_um(20.0, 0.0);
+        let ports = PortPlan { pos: vec![] };
+
+        // duplicates tracked once; single-pin nets skipped
+        let cache = HpwlCache::over_nets(&d, &p, &ports, [n, n, lone]);
+        assert_eq!(cache.total(), net_hpwl(&d, &p, &ports, n));
+        assert_eq!(cache.net(lone), None);
+        assert_eq!(cache.net(n), Some(net_hpwl(&d, &p, &ports, n)));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod ports;
 
 pub use floorplan::{Blockage, BlockageKind, Floorplan, MacroPlacement};
 pub use global::{global_place, GlobalPlaceConfig};
-pub use hpwl::{net_hpwl, pin_position, total_hpwl};
+pub use hpwl::{net_hpwl, pin_position, total_hpwl, HpwlCache, HpwlUndo};
 pub use legalize::{legalize, LegalizeReport};
 pub use placement::Placement;
 pub use ports::PortPlan;

@@ -7,11 +7,14 @@
 //! cost (typically macro-net HPWL).
 
 use crate::floorplan::MacroPlacement;
+use crate::hpwl::HpwlCache;
+use crate::placement::Placement;
+use crate::ports::PortPlan;
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Annealing parameters.
 #[derive(Clone, Copy, Debug)]
@@ -38,10 +41,12 @@ impl Default for AnnealConfig {
 /// non-macro pins collapsed to the die centre (logic is not placed
 /// yet at floorplanning time). The standard macro-floorplanning cost.
 pub fn macro_net_hpwl(design: &Design, placements: &[MacroPlacement], die: Rect) -> f64 {
-    let pos: HashMap<InstId, Point> = placements.iter().map(|mp| (mp.inst, mp.rect.lo)).collect();
+    // ordered maps so cost bookkeeping never touches hash iteration
+    // order (a nondeterminism hazard next to the seeded annealer)
+    let pos: BTreeMap<InstId, Point> = placements.iter().map(|mp| (mp.inst, mp.rect.lo)).collect();
     let center = die.center();
 
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut total = 0.0f64;
     for mp in placements {
         for conn in &design.inst(mp.inst).conns {
@@ -55,7 +60,7 @@ pub fn macro_net_hpwl(design: &Design, placements: &[MacroPlacement], die: Rect)
     total
 }
 
-fn net_span(design: &Design, net: NetId, pos: &HashMap<InstId, Point>, center: Point) -> f64 {
+fn net_span(design: &Design, net: NetId, pos: &BTreeMap<InstId, Point>, center: Point) -> f64 {
     let mut lo: Option<Point> = None;
     let mut hi: Option<Point> = None;
     let add = |p: Point, lo: &mut Option<Point>, hi: &mut Option<Point>| {
@@ -84,6 +89,11 @@ fn net_span(design: &Design, net: NetId, pos: &HashMap<InstId, Point>, center: P
 /// of equally sized macros and small nudges, and returns the final
 /// cost. Every accepted state is legal (within `die`, same-die
 /// overlap-free with halo).
+///
+/// Cost is the macro-net HPWL of [`macro_net_hpwl`], evaluated
+/// through the shared [`HpwlCache`]: each proposal re-evaluates only
+/// the nets incident to the moved macros (delta update, undone on
+/// rejection) instead of recomputing every macro-adjacent net.
 pub fn refine_macros_sa(
     design: &Design,
     placements: &mut [MacroPlacement],
@@ -95,7 +105,46 @@ pub fn refine_macros_sa(
         return macro_net_hpwl(design, placements, die);
     }
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut cost = macro_net_hpwl(design, placements, die);
+
+    // Synthetic flat views of the floorplanning state for the shared
+    // evaluator: annealed macros sit at their placed corners, every
+    // other instance collapses to the die centre (logic is not placed
+    // yet — the same convention as `macro_net_hpwl`), ports included.
+    let center = die.center();
+    let mut flat = Placement::new(design);
+    for i in design.inst_ids() {
+        let r = flat.rect(design, i);
+        flat.pos[i.index()] = Point::new(center.x - r.width() / 2, center.y - r.height() / 2);
+    }
+    for mp in placements.iter() {
+        flat.pos[mp.inst.index()] = mp.rect.lo;
+    }
+    let ports = PortPlan {
+        pos: vec![center; design.num_ports()],
+    };
+
+    // macro-adjacent nets: tracked once overall, listed per macro so a
+    // move touches exactly its own nets
+    let mut tracked: BTreeSet<NetId> = BTreeSet::new();
+    let nets_of: Vec<Vec<NetId>> = placements
+        .iter()
+        .map(|mp| {
+            let mut mine: Vec<NetId> = design
+                .inst(mp.inst)
+                .conns
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            mine.sort_unstable();
+            mine.dedup();
+            tracked.extend(mine.iter().copied());
+            mine
+        })
+        .collect();
+    let mut cache = HpwlCache::over_nets(design, &flat, &ports, tracked);
+
+    let mut cost = cache.total().to_um();
     let t0 = (cost * cfg.t0_frac).max(1.0);
 
     for it in 0..cfg.iterations {
@@ -131,22 +180,27 @@ pub fn refine_macros_sa(
         // apply tentatively
         let saved_a = placements[a];
         let saved_b = placements[b];
-        match proposal {
+        let touched: Vec<NetId> = match proposal {
             Move::Swap(i, j) => {
                 let (pi, pj) = (placements[i].rect.lo, placements[j].rect.lo);
                 placements[i].rect = placements[i].rect.moved_to(pj);
                 placements[j].rect = placements[j].rect.moved_to(pi);
+                nets_of[i].iter().chain(&nets_of[j]).copied().collect()
             }
             Move::Nudge(i, to) => {
                 placements[i].rect = placements[i].rect.moved_to(to);
+                nets_of[i].clone()
             }
-        }
+        };
+        flat.pos[placements[a].inst.index()] = placements[a].rect.lo;
+        flat.pos[placements[b].inst.index()] = placements[b].rect.lo;
 
         let legal = legal_with_halo(placements, die, halo);
-        let new_cost = if legal {
-            macro_net_hpwl(design, placements, die)
+        let (new_cost, undo) = if legal {
+            let undo = cache.update_nets(design, &flat, &ports, &touched);
+            (cache.total().to_um(), Some(undo))
         } else {
-            f64::INFINITY
+            (f64::INFINITY, None)
         };
         let accept = legal
             && (new_cost <= cost || rng.gen_bool(((cost - new_cost) / t).exp().clamp(0.0, 1.0)));
@@ -155,6 +209,11 @@ pub fn refine_macros_sa(
         } else {
             placements[a] = saved_a;
             placements[b] = saved_b;
+            flat.pos[saved_a.inst.index()] = saved_a.rect.lo;
+            flat.pos[saved_b.inst.index()] = saved_b.rect.lo;
+            if let Some(u) = undo {
+                cache.undo(u);
+            }
         }
     }
     cost

@@ -5,8 +5,7 @@
 //! partitioning* step (the `macro3d` flows crate), which splits placed
 //! cells across the two dies of the F2F stack.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::BTreeSet;
 
 /// A hypergraph with vertex areas and optional per-net anchors.
 ///
@@ -213,8 +212,80 @@ pub fn bipartition(
     side
 }
 
+/// Bucket-list gain structure (the classic FM data structure).
+///
+/// Gains are bounded by the maximum vertex degree, so free vertices
+/// live in `2 * max_degree + 1` buckets indexed by gain. Each bucket
+/// is an ordered set so selection is deterministic: the best vertex is
+/// the one with maximum gain, ties broken toward the smallest id —
+/// exactly the order the previous lazy-heap implementation produced.
+struct GainBuckets {
+    offset: i32,
+    buckets: Vec<BTreeSet<u32>>,
+    /// Highest bucket index that may be non-empty (monotonically
+    /// repaired in [`Self::pop_best`]).
+    max_bucket: usize,
+    live: usize,
+}
+
+impl GainBuckets {
+    fn new(max_degree: usize) -> Self {
+        GainBuckets {
+            offset: max_degree as i32,
+            buckets: vec![BTreeSet::new(); 2 * max_degree + 1],
+            max_bucket: 0,
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn ix(&self, gain: i32) -> usize {
+        (gain + self.offset) as usize
+    }
+
+    fn insert(&mut self, v: u32, gain: i32) {
+        let ix = self.ix(gain);
+        self.buckets[ix].insert(v);
+        self.max_bucket = self.max_bucket.max(ix);
+        self.live += 1;
+    }
+
+    /// Moves `v` from its `old`-gain bucket to the `new` one.
+    fn update(&mut self, v: u32, old: i32, new: i32) {
+        let old_ix = self.ix(old);
+        if self.buckets[old_ix].remove(&v) {
+            let new_ix = self.ix(new);
+            self.buckets[new_ix].insert(v);
+            self.max_bucket = self.max_bucket.max(new_ix);
+        }
+    }
+
+    /// Removes and returns the best free vertex (max gain, min id).
+    fn pop_best(&mut self) -> Option<u32> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            if let Some(&v) = self.buckets[self.max_bucket].first() {
+                self.buckets[self.max_bucket].remove(&v);
+                self.live -= 1;
+                return Some(v);
+            }
+            if self.max_bucket == 0 {
+                return None;
+            }
+            self.max_bucket -= 1;
+        }
+    }
+}
+
 /// One FM pass: every vertex moved at most once; rolls back to the
 /// best prefix. Returns whether the cut improved.
+///
+/// Gains are computed once up front and *delta-updated* on each move
+/// commit (the Fiduccia–Mattheyses update rules), so a pass costs
+/// O(pins) bucket operations instead of re-deriving every touched
+/// vertex's gain from its full net list.
 fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
     let nv = hg.num_vertices();
     let nn = hg.num_nets();
@@ -234,28 +305,22 @@ fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
         area[side[v] as usize] += hg.vertex_area[v];
     }
 
-    let gain_of = |v: usize, side: &[u8], cnt: &[[i32; 2]]| -> i32 {
+    let max_degree = (0..nv).map(|v| hg.vertex_nets(v).len()).max().unwrap_or(0);
+    let mut buckets = GainBuckets::new(max_degree);
+    let mut gain = vec![0i32; nv];
+    for (v, g) in gain.iter_mut().enumerate() {
         let from = side[v] as usize;
         let to = 1 - from;
-        let mut g = 0;
         for &n in hg.vertex_nets(v) {
             let c = cnt[n as usize];
             if c[from] == 1 {
-                g += 1;
+                *g += 1;
             }
             if c[to] == 0 {
-                g -= 1;
+                *g -= 1;
             }
         }
-        g
-    };
-
-    // max-heap with lazy invalidation
-    let mut heap: BinaryHeap<(i32, Reverse<usize>)> = BinaryHeap::new();
-    let mut gain = vec![0i32; nv];
-    for (v, g) in gain.iter_mut().enumerate() {
-        *g = gain_of(v, side, &cnt);
-        heap.push((*g, Reverse(v)));
+        buckets.insert(v as u32, *g);
     }
     let mut locked = vec![false; nv];
 
@@ -264,10 +329,8 @@ fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
     let mut best_gain = 0i32;
     let mut best_len = 0usize;
 
-    while let Some((g, Reverse(v))) = heap.pop() {
-        if locked[v] || g != gain[v] {
-            continue; // stale entry
-        }
+    while let Some(v) = buckets.pop_best() {
+        let v = v as usize;
         let from = side[v] as usize;
         let to = 1 - from;
         // balance check: side-0 area must stay within target ± tol
@@ -289,25 +352,64 @@ fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
         area[from] -= hg.vertex_area[v];
         area[to] += hg.vertex_area[v];
         side[v] = to as u8;
-        cum_gain += g;
+        cum_gain += gain[v];
         moves.push(v);
         if cum_gain > best_gain {
             best_gain = cum_gain;
             best_len = moves.len();
         }
 
-        // update neighbour gains
+        // FM delta-gain updates: only pins whose gain actually changes
+        // are touched, before and after the net's side counts move.
+        let delta = |p: usize, d: i32, gain: &mut [i32], buckets: &mut GainBuckets| {
+            let new = gain[p] + d;
+            buckets.update(p as u32, gain[p], new);
+            gain[p] = new;
+        };
         for &n in hg.vertex_nets(v) {
             let n = n as usize;
+            if cnt[n][to] == 0 {
+                // the net was uncut away from `to`: every free pin now
+                // gains from no longer cutting it by leaving
+                for &p in hg.net_pins(n) {
+                    let p = p as usize;
+                    if !locked[p] {
+                        delta(p, 1, &mut gain, &mut buckets);
+                    }
+                }
+            } else if cnt[n][to] == 1 {
+                // the lone `to`-side pin loses its uncut-by-moving gain
+                for &p in hg.net_pins(n) {
+                    let p = p as usize;
+                    if p != v && side[p] as usize == to {
+                        if !locked[p] {
+                            delta(p, -1, &mut gain, &mut buckets);
+                        }
+                        break;
+                    }
+                }
+            }
             cnt[n][from] -= 1;
             cnt[n][to] += 1;
-            for &p in hg.net_pins(n) {
-                let p = p as usize;
-                if !locked[p] {
-                    let g2 = gain_of(p, side, &cnt);
-                    if g2 != gain[p] {
-                        gain[p] = g2;
-                        heap.push((g2, Reverse(p)));
+            if cnt[n][from] == 0 {
+                // the net left `from` entirely: moving a pin back would
+                // re-cut it
+                for &p in hg.net_pins(n) {
+                    let p = p as usize;
+                    if !locked[p] {
+                        delta(p, -1, &mut gain, &mut buckets);
+                    }
+                }
+            } else if cnt[n][from] == 1 {
+                // the lone remaining `from`-side pin can now uncut the
+                // net by following
+                for &p in hg.net_pins(n) {
+                    let p = p as usize;
+                    if p != v && side[p] as usize == from {
+                        if !locked[p] {
+                            delta(p, 1, &mut gain, &mut buckets);
+                        }
+                        break;
                     }
                 }
             }
@@ -324,6 +426,203 @@ fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// The pre-incremental FM pass (full `gain_of` recompute around a
+    /// lazy max-heap), kept verbatim as the reference the delta-update
+    /// implementation must match move for move.
+    fn fm_pass_reference(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
+        let nv = hg.num_vertices();
+        let nn = hg.num_nets();
+
+        let mut cnt = vec![[0i32; 2]; nn];
+        for n in 0..nn {
+            if hg.net_anchor[n] >= 0 {
+                cnt[n][hg.net_anchor[n] as usize] += 1;
+            }
+            for &p in hg.net_pins(n) {
+                cnt[n][side[p as usize] as usize] += 1;
+            }
+        }
+        let mut area = [0.0f64; 2];
+        for v in 0..nv {
+            area[side[v] as usize] += hg.vertex_area[v];
+        }
+
+        let gain_of = |v: usize, side: &[u8], cnt: &[[i32; 2]]| -> i32 {
+            let from = side[v] as usize;
+            let to = 1 - from;
+            let mut g = 0;
+            for &n in hg.vertex_nets(v) {
+                let c = cnt[n as usize];
+                if c[from] == 1 {
+                    g += 1;
+                }
+                if c[to] == 0 {
+                    g -= 1;
+                }
+            }
+            g
+        };
+
+        let mut heap: BinaryHeap<(i32, Reverse<usize>)> = BinaryHeap::new();
+        let mut gain = vec![0i32; nv];
+        for (v, g) in gain.iter_mut().enumerate() {
+            *g = gain_of(v, side, &cnt);
+            heap.push((*g, Reverse(v)));
+        }
+        let mut locked = vec![false; nv];
+
+        let mut moves: Vec<usize> = Vec::with_capacity(nv);
+        let mut cum_gain = 0i32;
+        let mut best_gain = 0i32;
+        let mut best_len = 0usize;
+
+        while let Some((g, Reverse(v))) = heap.pop() {
+            if locked[v] || g != gain[v] {
+                continue;
+            }
+            let from = side[v] as usize;
+            let to = 1 - from;
+            let new_a0 = match (from, to) {
+                (0, 1) => area[0] - hg.vertex_area[v],
+                _ => area[0] + hg.vertex_area[v],
+            };
+            let cur_dev = (area[0] - target_a).abs();
+            let new_dev = (new_a0 - target_a).abs();
+            if new_dev > tol && new_dev >= cur_dev {
+                locked[v] = true;
+                continue;
+            }
+
+            locked[v] = true;
+            area[from] -= hg.vertex_area[v];
+            area[to] += hg.vertex_area[v];
+            side[v] = to as u8;
+            cum_gain += g;
+            moves.push(v);
+            if cum_gain > best_gain {
+                best_gain = cum_gain;
+                best_len = moves.len();
+            }
+
+            for &n in hg.vertex_nets(v) {
+                let n = n as usize;
+                cnt[n][from] -= 1;
+                cnt[n][to] += 1;
+                for &p in hg.net_pins(n) {
+                    let p = p as usize;
+                    if !locked[p] {
+                        let g2 = gain_of(p, side, &cnt);
+                        if g2 != gain[p] {
+                            gain[p] = g2;
+                            heap.push((g2, Reverse(p)));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &v in &moves[best_len..] {
+            side[v] ^= 1;
+        }
+        best_gain > 0
+    }
+
+    /// `bipartition` driven by the reference pass.
+    fn bipartition_reference(hg: &Hypergraph, target_frac_a: f64, cfg: &FmConfig) -> Vec<u8> {
+        let nv = hg.num_vertices();
+        let total_area: f64 = hg.vertex_area.iter().sum();
+        let target_a = total_area * target_frac_a;
+        let tol = total_area * cfg.balance_tol;
+        let mut side = vec![1u8; nv];
+        let mut acc = 0.0;
+        for (v, sv) in side.iter_mut().enumerate() {
+            if acc < target_a {
+                *sv = 0;
+                acc += hg.vertex_area[v];
+            }
+        }
+        if nv == 0 {
+            return side;
+        }
+        for _ in 0..cfg.passes {
+            if !fm_pass_reference(hg, &mut side, target_a, tol) {
+                break;
+            }
+        }
+        side
+    }
+
+    /// A reproducible random hypergraph: `nn` nets of 2–5 pins over
+    /// `nv` vertices with mixed areas and occasional anchors.
+    fn random_hypergraph(nv: usize, nn: usize, seed: u64) -> Hypergraph {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let areas: Vec<f64> = (0..nv).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let mut b = Hypergraph::builder(areas);
+        for _ in 0..nn {
+            let deg = rng.gen_range(2..=5.min(nv));
+            let mut pins: Vec<u32> = Vec::with_capacity(deg);
+            while pins.len() < deg {
+                let v = rng.gen_range(0..nv) as u32;
+                if !pins.contains(&v) {
+                    pins.push(v);
+                }
+            }
+            let anchor = if rng.gen_bool(0.2) {
+                Some(rng.gen_range(0..2u8))
+            } else {
+                None
+            };
+            b.add_net(&pins, anchor);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn incremental_gains_match_full_recompute() {
+        for (nv, nn, seed) in [
+            (8, 12, 1u64),
+            (40, 90, 2),
+            (100, 250, 3),
+            (100, 250, 4),
+            (64, 300, 5),
+        ] {
+            let hg = random_hypergraph(nv, nn, seed);
+            for (frac, tol, passes) in [(0.5, 0.08, 2), (0.3, 0.05, 4), (0.5, 0.02, 1)] {
+                let cfg = FmConfig {
+                    passes,
+                    balance_tol: tol,
+                };
+                let fast = bipartition(&hg, frac, None, &cfg);
+                let slow = bipartition_reference(&hg, frac, &cfg);
+                assert_eq!(
+                    fast, slow,
+                    "partitions diverge for nv={nv} nn={nn} seed={seed} \
+                     frac={frac} tol={tol} passes={passes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gain_buckets_pop_max_gain_min_id() {
+        let mut b = GainBuckets::new(3);
+        b.insert(5, 1);
+        b.insert(2, 1);
+        b.insert(9, -3);
+        b.insert(7, 3);
+        assert_eq!(b.pop_best(), Some(7));
+        // ties break toward the smaller id
+        assert_eq!(b.pop_best(), Some(2));
+        b.update(9, -3, 2);
+        assert_eq!(b.pop_best(), Some(9));
+        assert_eq!(b.pop_best(), Some(5));
+        assert_eq!(b.pop_best(), None);
+    }
 
     /// Two 4-cliques joined by a single net: the optimal cut is 1.
     fn two_clusters() -> Hypergraph {

@@ -1,0 +1,71 @@
+//! Thread-count invariance of fork-join global placement.
+//!
+//! After each bisection cut the two sub-problems are independent —
+//! children see the rest of the design only through an immutable
+//! fork-time snapshot — so `global_place` must produce a bit-identical
+//! `Placement` for any thread budget.
+
+use macro3d::Parallelism;
+use macro3d_place::floorplan::die_for_area;
+use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
+use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
+
+/// The miniature tile used by the integration tests.
+fn tiny_tile() -> TileNetlist {
+    let mut cfg = TileConfig::small_cache().with_scale(32.0);
+    cfg.l3_kb = 64;
+    cfg.l2_kb = 8;
+    cfg.l1i_kb = 8;
+    cfg.l1d_kb = 8;
+    cfg.noc_width = 4;
+    cfg.core_kgates = 26.0;
+    cfg.l3_ctrl_kgates = 5.0;
+    cfg.l2_ctrl_kgates = 4.0;
+    cfg.l1i_ctrl_kgates = 3.0;
+    cfg.l1d_ctrl_kgates = 3.0;
+    cfg.noc_kgates = 2.0;
+    generate_tile(&cfg)
+}
+
+#[test]
+fn placement_is_invariant_to_thread_count() {
+    let tile = tiny_tile();
+    let design = &tile.design;
+    let lib = design.library().clone();
+
+    // a standalone cells-only floorplan large enough for the tile
+    let cell_um2: f64 = design
+        .inst_ids()
+        .filter(|&i| !design.is_macro(i))
+        .map(|i| design.inst_area_um2(i))
+        .sum();
+    let die = die_for_area(cell_um2 / 0.6, 1.0, lib.row_height(), lib.site_width());
+    let fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+    let ports = PortPlan::assign(design, die);
+
+    let place = |threads: usize| {
+        let cfg = GlobalPlaceConfig {
+            parallelism: Parallelism::threads(threads),
+            ..GlobalPlaceConfig::default()
+        };
+        global_place(design, &fp, &ports, &cfg)
+    };
+
+    let base = place(1);
+    // sanity: the serial run actually spread the cells out
+    let distinct: std::collections::BTreeSet<_> = base.pos.iter().map(|p| (p.x, p.y)).collect();
+    assert!(distinct.len() > 16, "degenerate placement");
+
+    for threads in [4, 8] {
+        let got = place(threads);
+        assert_eq!(got.pos, base.pos, "positions differ at {threads} threads");
+        assert_eq!(
+            got.orient, base.orient,
+            "orientations differ at {threads} threads"
+        );
+        assert_eq!(
+            got.die_of, base.die_of,
+            "die assignments differ at {threads} threads"
+        );
+    }
+}
