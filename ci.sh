@@ -16,7 +16,21 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> bench smoke (MACRO3D_BENCH_SMOKE=1)"
 MACRO3D_BENCH_SMOKE=1 cargo bench -p macro3d-bench --bench engines
+
+echo "==> obs smoke (full-trace flow + JSON validation)"
+./target/release/obs_smoke
+python3 -c "
+import json
+trace = json.load(open('traces/trace_smoke.json'))
+assert len(trace['traceEvents']) >= 6, trace.keys()
+metrics = json.load(open('traces/metrics_smoke.json'))
+assert 'route/overflow' in metrics['series']
+print('obs trace OK:', len(trace['traceEvents']), 'events')
+"
 
 echo "CI OK"

@@ -1,0 +1,64 @@
+//! CI smoke test for the observability subsystem: runs the Macro-3D
+//! flow on a miniature tile under full tracing, writes the Chrome
+//! trace and metrics JSON under `./traces/`, and fails unless the
+//! trace covers the expected flow stages and key metrics.
+
+use macro3d::flows::{Flow, Macro3d};
+use macro3d::{FlowConfig, ObsConfig};
+use macro3d_soc::{generate_tile, TileConfig};
+
+fn main() {
+    let mut tc = TileConfig::small_cache().with_scale(32.0);
+    tc.l3_kb = 64;
+    tc.l2_kb = 8;
+    tc.l1i_kb = 8;
+    tc.l1d_kb = 8;
+    tc.noc_width = 4;
+    tc.core_kgates = 26.0;
+    tc.l3_ctrl_kgates = 5.0;
+    tc.l2_ctrl_kgates = 4.0;
+    tc.l1i_ctrl_kgates = 3.0;
+    tc.l1d_ctrl_kgates = 3.0;
+    tc.noc_kgates = 2.0;
+    let tile = generate_tile(&tc);
+
+    let mut cfg = FlowConfig::builder()
+        .sizing_rounds(2)
+        .obs(ObsConfig::full())
+        .build()
+        .expect("valid config");
+    cfg.route.iterations = 2;
+
+    let out = Macro3d.run(&tile, &cfg);
+    let trace = out.obs.expect("full obs produces a trace");
+
+    let stages = trace.stage_names();
+    assert!(
+        stages.len() >= 6,
+        "expected >=6 instrumented stages, got {stages:?}"
+    );
+    for metric in [
+        "route/iterations",
+        "place/fm_passes",
+        "place/anneal_proposals",
+        "sta/arcs_evaluated",
+        "extract/nets",
+    ] {
+        assert!(
+            trace.metrics.counters.contains_key(metric),
+            "metric {metric} missing from {:?}",
+            trace.metrics.counters.keys().collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        trace.metrics.series.contains_key("route/overflow"),
+        "router overflow history missing"
+    );
+
+    println!("{trace}");
+    let (t, m) = trace
+        .write_files(std::path::Path::new("traces"), "smoke")
+        .expect("write trace files");
+    println!("wrote {}", t.display());
+    println!("wrote {}", m.display());
+}

@@ -6,5 +6,18 @@ fn main() {
     let t = std::time::Instant::now();
     let table = macro3d::experiments::table1(&cfg);
     println!("{}", table.render());
+    if !table.traces.is_empty() {
+        match macro3d_bench::write_traces(std::path::Path::new("traces"), &table.traces) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to write traces: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!("elapsed: {:?}", t.elapsed());
 }

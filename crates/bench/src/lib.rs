@@ -11,6 +11,9 @@
 //! * `repro_figs` — Figures 4–6 as SVG files.
 //! * `ablations` — extensions beyond the paper: F2F pitch sweep,
 //!   partial-blockage resolution sweep, C2D comparison, scale sweep.
+//! * `obs_smoke` — runs the Macro-3D flow on a miniature tile under
+//!   full tracing and checks the emitted trace/metrics (the CI gate
+//!   for the observability subsystem).
 //!
 //! Criterion benches (`cargo bench`) time the experiments and the
 //! individual engines; the binaries print the paper-style rows.
@@ -18,11 +21,14 @@
 //! All experiments accept `--scale <n>` (default 8): the
 //! instance-count compression documented in `DESIGN.md` §5. Lower
 //! scale = more instances = slower and closer to the paper's design
-//! size.
+//! size. They also accept `--obs off|summary|full` (default off):
+//! anything above `off` makes the experiment drop one Chrome trace
+//! and one metrics JSON per flow under `./traces/`.
 
 use macro3d::experiments::ExperimentConfig;
+use macro3d::{FlowTrace, ObsConfig};
 
-/// Parses `--scale <f64>` from argv, defaulting to 8.
+/// Parses `--scale <f64>` and `--obs off|summary|full` from argv.
 pub fn experiment_config_from_args() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::default();
     let args: Vec<String> = std::env::args().collect();
@@ -32,8 +38,41 @@ pub fn experiment_config_from_args() -> ExperimentConfig {
                 cfg.scale = s;
             }
         }
+        if w[0] == "--obs" {
+            cfg.flow.obs = match w[1].as_str() {
+                "summary" => ObsConfig::summary(),
+                "full" => ObsConfig::full(),
+                _ => ObsConfig::off(),
+            };
+        }
     }
     cfg
+}
+
+/// Writes each trace's Chrome-trace and metrics JSON into `out_dir`
+/// (created if needed), labelled by a filename-safe form of the flow
+/// name. Returns every path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_traces(
+    out_dir: &std::path::Path,
+    traces: &[FlowTrace],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut written = Vec::new();
+    for trace in traces {
+        let label: String = trace
+            .flow
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let (t, m) = trace.write_files(out_dir, &label)?;
+        written.push(t);
+        written.push(m);
+    }
+    Ok(written)
 }
 
 /// Writes figure SVGs into `out_dir`, creating it if needed.

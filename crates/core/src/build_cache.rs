@@ -68,9 +68,11 @@ impl BuildCache {
         if let Some(hit) = self.lock().get(&full_key) {
             let hit = Arc::clone(hit);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            record_obs(key, true);
             return hit.downcast::<T>().expect("type name is part of the key");
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        record_obs(key, false);
         let built: Arc<dyn Any + Send + Sync> = Arc::new(build());
         let stored = Arc::clone(
             self.lock()
@@ -101,6 +103,21 @@ impl BuildCache {
             .lock()
             .expect("cache mutex never poisoned: builders run outside the lock")
     }
+}
+
+/// Feeds an obs counter per artifact kind (the key prefix before the
+/// first `/`: `tile`, `stack`, `beol`, `sram`, `fp-mol`, `fp-2d`).
+/// One branch when observability is off; lookups already take the
+/// cache mutex, so the registry lookup on the slow path is in budget.
+fn record_obs(key: &str, hit: bool) {
+    if !macro3d_obs::enabled(macro3d_obs::ObsLevel::Summary) {
+        return;
+    }
+    let kind = key.split('/').next().unwrap_or(key);
+    let outcome = if hit { "hits" } else { "misses" };
+    macro3d_obs::registry()
+        .counter(&format!("cache/{kind}/{outcome}"))
+        .inc();
 }
 
 /// The process-wide cache every flow helper below goes through.

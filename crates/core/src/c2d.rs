@@ -194,18 +194,3 @@ pub(crate) fn implement(
     );
     (imp, diag)
 }
-
-/// Runs the C2D flow.
-#[deprecated(note = "use `flows::C2d` via the `Flow` trait instead")]
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> (ImplementedDesign, S2dDiagnostics) {
-    implement(tile, cfg)
-}
-
-/// Runs C2D and returns its PPA row.
-#[deprecated(note = "use `flows::C2d` via the `Flow` trait instead")]
-pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
-    let (imp, _) = implement(tile, cfg);
-    let mut ppa = crate::PpaResult::from_impl("C2D", &imp);
-    ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
-    ppa
-}

@@ -8,8 +8,10 @@
 //! flows.
 
 use crate::flow::ImplementedDesign;
+use macro3d_geom::Rect;
 use macro3d_netlist::{Master, PinRef};
 use macro3d_place::density::count_overlaps;
+use macro3d_route::RoutedDesign;
 use macro3d_tech::stack::DieRole;
 use std::fmt;
 
@@ -25,6 +27,9 @@ pub struct CheckReport {
     /// Inter-die nets whose route never crosses the F2F cut (only
     /// meaningful for combined-stack designs).
     pub missing_crossings: usize,
+    /// Routed wire segments with an endpoint outside the die bounding
+    /// box.
+    pub route_out_of_die: usize,
     /// Netlist consistency error, if any.
     pub netlist_error: Option<String>,
 }
@@ -32,11 +37,18 @@ pub struct CheckReport {
 impl CheckReport {
     /// True when nothing was flagged.
     pub fn is_clean(&self) -> bool {
-        self.cell_overlaps == 0
-            && self.out_of_die == 0
-            && self.unrouted_nets == 0
-            && self.missing_crossings == 0
-            && self.netlist_error.is_none()
+        self.total() == 0
+    }
+
+    /// Total violation count across every check (a netlist error
+    /// counts as one).
+    pub fn total(&self) -> usize {
+        self.cell_overlaps
+            + self.out_of_die
+            + self.unrouted_nets
+            + self.missing_crossings
+            + self.route_out_of_die
+            + usize::from(self.netlist_error.is_some())
     }
 }
 
@@ -44,14 +56,33 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "overlaps: {}, out-of-die: {}, unrouted: {}, missing F2F crossings: {}, netlist: {}",
+            "overlaps: {}, out-of-die: {}, unrouted: {}, missing F2F crossings: {}, \
+             route-out-of-die: {}, netlist: {} ({} total)",
             self.cell_overlaps,
             self.out_of_die,
             self.unrouted_nets,
             self.missing_crossings,
-            self.netlist_error.as_deref().unwrap_or("ok")
+            self.route_out_of_die,
+            self.netlist_error.as_deref().unwrap_or("ok"),
+            self.total()
         )
     }
+}
+
+/// Counts routed wire segments with an endpoint outside `die`. Unlike
+/// [`Rect::contains`], the die boundary itself counts as inside — a
+/// wire hugging the edge is legal.
+pub fn route_segments_outside(die: Rect, routed: &RoutedDesign) -> usize {
+    let inside = |p: macro3d_geom::Point| {
+        p.x >= die.lo.x && p.x <= die.hi.x && p.y >= die.lo.y && p.y <= die.hi.y
+    };
+    routed
+        .nets
+        .iter()
+        .flatten()
+        .flat_map(|net| &net.segments)
+        .filter(|seg| !inside(seg.from) || !inside(seg.to))
+        .count()
 }
 
 /// Runs all checks over an implemented design.
@@ -78,6 +109,8 @@ pub fn verify(imp: &ImplementedDesign) -> CheckReport {
             report.out_of_die += 1;
         }
     }
+
+    report.route_out_of_die = route_segments_outside(die, &imp.routed);
 
     let has_f2f = imp.stack.f2f_cut().is_some();
     for n in design.net_ids() {
@@ -121,6 +154,7 @@ mod tests {
     fn empty_report_is_clean() {
         let r = CheckReport::default();
         assert!(r.is_clean());
+        assert_eq!(r.total(), 0);
         assert!(r.to_string().contains("netlist: ok"));
     }
 
@@ -136,5 +170,71 @@ mod tests {
             ..CheckReport::default()
         };
         assert!(!r.is_clean());
+        let r = CheckReport {
+            route_out_of_die: 2,
+            ..CheckReport::default()
+        };
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn total_sums_every_category() {
+        let r = CheckReport {
+            cell_overlaps: 1,
+            out_of_die: 2,
+            unrouted_nets: 3,
+            missing_crossings: 4,
+            route_out_of_die: 5,
+            netlist_error: Some("boom".into()),
+        };
+        assert_eq!(r.total(), 16);
+    }
+
+    #[test]
+    fn display_renders_every_count() {
+        let r = CheckReport {
+            cell_overlaps: 1,
+            out_of_die: 2,
+            unrouted_nets: 3,
+            missing_crossings: 4,
+            route_out_of_die: 5,
+            netlist_error: None,
+        };
+        let s = r.to_string();
+        assert_eq!(
+            s,
+            "overlaps: 1, out-of-die: 2, unrouted: 3, missing F2F crossings: 4, \
+             route-out-of-die: 5, netlist: ok (15 total)"
+        );
+    }
+
+    #[test]
+    fn route_segments_outside_flags_escapes() {
+        use macro3d_geom::Point;
+        use macro3d_route::{RouteSeg, RoutedNet};
+
+        let die = macro3d_geom::Rect::from_um(0.0, 0.0, 100.0, 100.0);
+        let seg = |x0: f64, y0: f64, x1: f64, y1: f64| RouteSeg {
+            layer: 0,
+            from: Point::from_um(x0, y0),
+            to: Point::from_um(x1, y1),
+        };
+        let routed = RoutedDesign {
+            nets: vec![
+                Some(RoutedNet {
+                    // inside; on the boundary counts as inside
+                    segments: vec![seg(0.0, 0.0, 100.0, 0.0), seg(10.0, 10.0, 10.0, 90.0)],
+                    ..RoutedNet::default()
+                }),
+                None,
+                Some(RoutedNet {
+                    // one endpoint out, then both out: two violations
+                    segments: vec![seg(90.0, 90.0, 110.0, 90.0), seg(110.0, 90.0, 110.0, 120.0)],
+                    ..RoutedNet::default()
+                }),
+            ],
+            ..RoutedDesign::default()
+        };
+        assert_eq!(route_segments_outside(die, &routed), 2);
     }
 }

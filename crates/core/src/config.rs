@@ -189,6 +189,12 @@ impl FlowConfigBuilder {
         self
     }
 
+    /// Observability level for the flow run (off / summary / full).
+    pub fn obs(mut self, obs: macro3d_obs::ObsConfig) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
     /// Validates every range and returns the config.
     ///
     /// # Errors
@@ -352,5 +358,16 @@ mod tests {
         let err = FlowConfig::builder().util_logic(65.0).build().unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("util_logic") && msg.contains("65"), "{msg}");
+    }
+
+    #[test]
+    fn obs_defaults_off_and_builder_sets_it() {
+        let cfg = FlowConfig::builder().build().expect("valid");
+        assert!(cfg.obs.is_off());
+        let cfg = FlowConfig::builder()
+            .obs(macro3d_obs::ObsConfig::full())
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.obs, macro3d_obs::ObsConfig::full());
     }
 }

@@ -85,22 +85,26 @@ impl Default for ExperimentConfig {
 pub struct Table1 {
     /// Measured rows: 2D, MoL S2D, BF S2D, Macro-3D.
     pub rows: Vec<PpaResult>,
+    /// One observability trace per flow, in row order (empty when
+    /// `cfg.flow.obs` is off).
+    pub traces: Vec<macro3d_obs::FlowTrace>,
 }
 
 /// Runs Table I: max-performance PPA and cost comparison of all four
 /// flows on the small-cache system.
 pub fn table1(cfg: &ExperimentConfig) -> Table1 {
     let tile = cached_tile(&TileConfig::small_cache().with_scale(cfg.scale));
-    let rows = standard_flows()
-        .iter()
-        .map(|flow| {
-            let mut ppa = flow.run(&tile, &cfg.flow).ppa;
-            // Table I labels Macro-3D without the metal-depth suffix.
-            ppa.flow = flow.name().to_string();
-            ppa
-        })
-        .collect();
-    Table1 { rows }
+    let mut rows = Vec::new();
+    let mut traces = Vec::new();
+    for flow in standard_flows() {
+        let out = flow.run(&tile, &cfg.flow);
+        let mut ppa = out.ppa;
+        // Table I labels Macro-3D without the metal-depth suffix.
+        ppa.flow = flow.name().to_string();
+        rows.push(ppa);
+        traces.extend(out.obs);
+    }
+    Table1 { rows, traces }
 }
 
 impl Table1 {

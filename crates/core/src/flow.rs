@@ -59,6 +59,10 @@ pub struct FlowConfig {
     /// [`crate::config::FlowConfigBuilder::parallelism`] sets both.
     /// Results are identical for any thread count.
     pub parallelism: Parallelism,
+    /// Observability level for the flow run (off / summary / full
+    /// trace). When on, [`crate::FlowOutcome::obs`] carries the
+    /// recorded trace.
+    pub obs: macro3d_obs::ObsConfig,
 }
 
 impl Default for FlowConfig {
@@ -76,6 +80,7 @@ impl Default for FlowConfig {
             partial_blockage_period_um: 8.0,
             place: GlobalPlaceConfig::default(),
             parallelism: Parallelism::default(),
+            obs: macro3d_obs::ObsConfig::default(),
         }
     }
 }
@@ -183,13 +188,19 @@ pub fn pack_mol_floorplans(
     Vec<macro3d_place::MacroPlacement>,
     Vec<macro3d_place::MacroPlacement>,
 ) {
+    use macro3d_place::macro_anneal::{refine_macros_sa, AnnealConfig};
     use macro3d_place::macro_place::{pack_ring, pack_shelves};
     loop {
         let top_packed = pack_shelves(design, &top, die, halo, DieRole::Macro);
-        if let Some(tp) = top_packed {
+        if let Some(mut tp) = top_packed {
             let bottom_packed = pack_ring(design, &bottom, die, halo)
                 .or_else(|| pack_shelves(design, &bottom, die, halo, DieRole::Logic));
-            if let Some(bp) = bottom_packed {
+            if let Some(mut bp) = bottom_packed {
+                // the paper's floorplan optimization step: anneal each
+                // die's packing (seeded and serial, so deterministic;
+                // never worsens macro-net HPWL, preserves legality)
+                refine_macros_sa(design, &mut tp, die, halo, &AnnealConfig::default());
+                refine_macros_sa(design, &mut bp, die, halo, &AnnealConfig::default());
                 return (tp, bp);
             }
         }
@@ -456,10 +467,27 @@ impl std::fmt::Display for StageTimes {
 /// Records wall-clock per flow stage. [`StageTimer::mark`] closes the
 /// stage that ran since the previous mark (or construction); under
 /// `MACRO3D_VERBOSE` each mark also prints a progress line.
+///
+/// Internally each stage is a `macro3d-obs` span: `new` opens an
+/// unnamed span, `mark` closes it under the stage name and opens the
+/// next, so when an obs session is active every engine span recorded
+/// during the stage nests under it in the exported trace. The public
+/// [`StageTimes`] shape is unchanged.
 #[derive(Debug)]
 pub struct StageTimer {
     last: Instant,
     times: StageTimes,
+    span: Option<SpanGuardDebug>,
+}
+
+/// [`macro3d_obs::SpanGuard`] has no `Debug`; this thin wrapper keeps
+/// `StageTimer: Debug` without printing guard internals.
+struct SpanGuardDebug(macro3d_obs::SpanGuard);
+
+impl std::fmt::Debug for SpanGuardDebug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SpanGuard")
+    }
 }
 
 impl StageTimer {
@@ -469,6 +497,7 @@ impl StageTimer {
         StageTimer {
             last: Instant::now(),
             times: StageTimes::default(),
+            span: macro3d_obs::stage_begin().map(SpanGuardDebug),
         }
     }
 
@@ -479,10 +508,15 @@ impl StageTimer {
         if std::env::var_os("MACRO3D_VERBOSE").is_some() {
             eprintln!("  [stage] {stage}: {dt:?}");
         }
+        if let Some(span) = self.span.take() {
+            span.0.finish_named(stage);
+        }
+        self.span = macro3d_obs::stage_begin().map(SpanGuardDebug);
         self.times.push(stage, dt.as_secs_f64());
     }
 
-    /// Finishes and returns the recorded stage times.
+    /// Finishes and returns the recorded stage times. The span opened
+    /// after the last mark is discarded (it never became a stage).
     pub fn into_times(self) -> StageTimes {
         self.times
     }

@@ -56,14 +56,18 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
         cell_fraction
     );
     let placements = crate::build_cache::global().get_or_build(&fp_key, || {
-        if macro_fraction > 0.7 {
+        let mut packed = if macro_fraction > 0.7 {
             pack_bands(&design, &macros, die, halo, cell_fraction.min(0.9))
                 .or_else(|| pack_ring(&design, &macros, die, halo))
         } else {
             pack_ring(&design, &macros, die, halo)
         }
         .or_else(|| pack_shelves(&design, &macros, die, halo, DieRole::Logic))
-        .expect("macros fit the 2D die")
+        .expect("macros fit the 2D die");
+        // same floorplan-optimization step as the 3D flows
+        use macro3d_place::macro_anneal::{refine_macros_sa, AnnealConfig};
+        refine_macros_sa(&design, &mut packed, die, halo, &AnnealConfig::default());
+        packed
     });
     for &mp in placements.iter() {
         fp.add_macro(mp, DieRole::Logic, halo);
@@ -89,16 +93,4 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
         cfg.sizing_rounds,
         timer,
     )
-}
-
-/// Runs the 2D baseline flow and returns the implemented design.
-#[deprecated(note = "use `flows::Flow2d` via the `Flow` trait instead")]
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
-    implement(tile, cfg)
-}
-
-/// Runs the 2D baseline flow and returns its PPA.
-#[deprecated(note = "use `flows::Flow2d` via the `Flow` trait instead")]
-pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
-    crate::PpaResult::from_impl("2D", &implement(tile, cfg))
 }

@@ -27,6 +27,7 @@
 use crate::flow::{FlowConfig, ImplementedDesign};
 use crate::report::PpaResult;
 use crate::s2d::{S2dDiagnostics, S2dStyle};
+use macro3d_obs::{FlowTrace, Session};
 use macro3d_soc::TileNetlist;
 
 /// Everything a flow produces in one run.
@@ -38,6 +39,22 @@ pub struct FlowOutcome {
     /// Partitioning diagnostics — `Some` only for the S2D/C2D
     /// baselines, which split cells across dies after the fact.
     pub diagnostics: Option<S2dDiagnostics>,
+    /// Observability trace — `Some` when `cfg.obs` was not off.
+    pub obs: Option<FlowTrace>,
+}
+
+/// Runs `body` inside an obs session named after the flow. The obs
+/// level and metrics registry are process-global, so flows must run
+/// one at a time (they always have: every driver iterates
+/// [`standard_flows`] serially).
+fn run_observed<T>(
+    name: &str,
+    cfg: &FlowConfig,
+    body: impl FnOnce() -> T,
+) -> (T, Option<FlowTrace>) {
+    let session = Session::start(cfg.obs, name);
+    let result = body();
+    (result, session.finish())
 }
 
 /// A complete physical-design methodology, from tile netlist to
@@ -60,11 +77,13 @@ impl Flow for Flow2d {
     }
 
     fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let implemented = crate::flow2d::implement(tile, cfg);
+        let (implemented, obs) =
+            run_observed(self.name(), cfg, || crate::flow2d::implement(tile, cfg));
         FlowOutcome {
             ppa: PpaResult::from_impl(self.name(), &implemented),
             implemented,
             diagnostics: None,
+            obs,
         }
     }
 }
@@ -86,13 +105,16 @@ impl Flow for S2d {
     }
 
     fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let (implemented, diag) = crate::s2d::implement(tile, cfg, self.style);
+        let ((implemented, diag), obs) = run_observed(self.name(), cfg, || {
+            crate::s2d::implement(tile, cfg, self.style)
+        });
         let mut ppa = PpaResult::from_impl(self.name(), &implemented);
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
         FlowOutcome {
             ppa,
             implemented,
             diagnostics: Some(diag),
+            obs,
         }
     }
 }
@@ -107,13 +129,15 @@ impl Flow for C2d {
     }
 
     fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let (implemented, diag) = crate::c2d::implement(tile, cfg);
+        let ((implemented, diag), obs) =
+            run_observed(self.name(), cfg, || crate::c2d::implement(tile, cfg));
         let mut ppa = PpaResult::from_impl(self.name(), &implemented);
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
         FlowOutcome {
             ppa,
             implemented,
             diagnostics: Some(diag),
+            obs,
         }
     }
 }
@@ -130,7 +154,9 @@ impl Flow for Macro3d {
     }
 
     fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let implemented = crate::macro3d_flow::implement(tile, cfg);
+        let (implemented, obs) = run_observed(self.name(), cfg, || {
+            crate::macro3d_flow::implement(tile, cfg)
+        });
         let mut ppa = PpaResult::from_impl(
             format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
             &implemented,
@@ -141,6 +167,7 @@ impl Flow for Macro3d {
             ppa,
             implemented,
             diagnostics: None,
+            obs,
         }
     }
 }

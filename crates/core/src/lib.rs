@@ -61,5 +61,6 @@ pub use build_cache::{BuildCache, CacheStats};
 pub use config::{ConfigError, FlowConfigBuilder};
 pub use flow::{FlowConfig, ImplementedDesign, StageTimer, StageTimes};
 pub use flows::{Flow, FlowOutcome};
+pub use macro3d_obs::{FlowTrace, ObsConfig, ObsLevel};
 pub use macro3d_par::Parallelism;
 pub use report::PpaResult;

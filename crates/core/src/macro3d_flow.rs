@@ -91,23 +91,3 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
     // Step 4 (die separation) is available via crate::layout on the
     // returned ImplementedDesign.
 }
-
-/// Runs the Macro-3D flow and returns the implemented design.
-#[deprecated(note = "use `flows::Macro3d` via the `Flow` trait instead")]
-pub fn run_impl(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
-    implement(tile, cfg)
-}
-
-/// Runs the Macro-3D flow and returns its PPA. The reported metal
-/// area accounts for both dies' (possibly asymmetric) stacks.
-#[deprecated(note = "use `flows::Macro3d` via the `Flow` trait instead")]
-pub fn run(tile: &TileNetlist, cfg: &FlowConfig) -> crate::PpaResult {
-    let imp = implement(tile, cfg);
-    let mut ppa = crate::PpaResult::from_impl(
-        format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
-        &imp,
-    );
-    // per-die footprint x per-die layer counts
-    ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
-    ppa
-}

@@ -221,29 +221,6 @@ pub(crate) fn implement(
     (imp, diag)
 }
 
-/// Runs the S2D flow.
-#[deprecated(note = "use `flows::S2d` via the `Flow` trait instead")]
-pub fn run_impl(
-    tile: &TileNetlist,
-    cfg: &FlowConfig,
-    style: S2dStyle,
-) -> (ImplementedDesign, S2dDiagnostics) {
-    implement(tile, cfg, style)
-}
-
-/// Runs S2D and returns its PPA row.
-#[deprecated(note = "use `flows::S2d` via the `Flow` trait instead")]
-pub fn run(tile: &TileNetlist, cfg: &FlowConfig, style: S2dStyle) -> crate::PpaResult {
-    let label = match style {
-        S2dStyle::MemoryOnLogic => "MoL S2D",
-        S2dStyle::Balanced => "BF S2D",
-    };
-    let (imp, _) = implement(tile, cfg, style);
-    let mut ppa = crate::PpaResult::from_impl(label, &imp);
-    ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
-    ppa
-}
-
 /// The final per-die floorplan: macros block placement on their own
 /// die only (used for the post-partition legalization and reporting).
 fn final_floorplan(

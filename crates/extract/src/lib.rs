@@ -71,6 +71,7 @@ pub fn extract_net(
     sinks: &[(Point, f64)],
     corner: Corner,
 ) -> NetParasitics {
+    NETS_EXTRACTED.inc();
     let tree = RcTree::build(stack, route, corner);
     if tree.nodes.is_empty() {
         // zero-length route: purely pin-cap load
@@ -156,6 +157,7 @@ pub fn estimate_net(
     rc_scale: f64,
     corner: Corner,
 ) -> NetParasitics {
+    NETS_ESTIMATED.inc();
     // average mid-stack RC
     let mid_ix = (stack.num_layers() / 2).saturating_sub(usize::from(stack.num_layers() > 1));
     let mid = &stack.layers()[mid_ix];
@@ -260,6 +262,13 @@ impl RcTree {
         best
     }
 }
+
+/// Routed nets fully extracted (RC tree + Elmore). Called from
+/// parallel workers; the counter is commutative so totals stay
+/// thread-count independent.
+static NETS_EXTRACTED: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("extract/nets");
+/// Unrouted nets given the HPWL-based parasitic guess.
+static NETS_ESTIMATED: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("extract/est_nets");
 
 #[cfg(test)]
 mod tests {

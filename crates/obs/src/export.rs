@@ -1,0 +1,308 @@
+//! Exporters: Chrome `trace_event` JSON, flat `metrics.json`, and a
+//! human `Display` summary.
+//!
+//! All JSON is hand-rolled (this build environment cannot fetch serde)
+//! and emitted in deterministic order: spans in recording order,
+//! metrics in `BTreeMap` order, floats through Rust's shortest
+//! round-trip formatting. [`FlowTrace::tree_signature`] and
+//! [`FlowTrace::metrics_json`] are therefore bit-identical across
+//! thread counts; the Chrome trace additionally embeds wall-clock
+//! times and thread ids, which are not.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Everything one flow session observed: the stitched span forest and
+/// a snapshot of the metrics registry.
+#[derive(Clone, Debug)]
+pub struct FlowTrace {
+    /// Flow name the session was started with (e.g. `Macro-3D`).
+    pub flow: String,
+    /// Stitched span forest; a parent always precedes its children.
+    pub spans: Vec<SpanRecord>,
+    /// Metrics at session finish.
+    pub metrics: MetricsSnapshot,
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    json_escape(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite, shortest
+/// round-trip otherwise — `3`, not `3.0`, for integral values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl FlowTrace {
+    /// Chrome `trace_event` JSON: open the file in `chrome://tracing`
+    /// or <https://ui.perfetto.dev>. Spans become complete (`"X"`)
+    /// events with microsecond timestamps; thread ids are the
+    /// recording threads, so parallel stages render as parallel
+    /// tracks.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::with_capacity(self.spans.len() * 96 + 128);
+        out.push_str("{\"traceEvents\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"macro3d\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                json_str(&span.name),
+                span.start_ns as f64 / 1_000.0,
+                span.dur_ns as f64 / 1_000.0,
+                span.tid,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"flow\":{}}}}}",
+            json_str(&self.flow)
+        );
+        out
+    }
+
+    /// Flat metrics JSON: `counters` / `gauges` / `histograms` /
+    /// `series` sections straight from the snapshot plus a `derived`
+    /// section (anneal accept ratio, per-kind cache hit rates).
+    /// Bit-identical across thread counts.
+    pub fn metrics_json(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::new();
+        out.push_str("{\n  \"flow\": ");
+        out.push_str(&json_str(&self.flow));
+        out.push_str(",\n  \"counters\": {");
+        for (i, (k, v)) in m.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {}: {v}",
+                if i > 0 { "," } else { "" },
+                json_str(k)
+            );
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in m.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {}: {}",
+                if i > 0 { "," } else { "" },
+                json_str(k),
+                json_f64(*v)
+            );
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in m.histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_str(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean())
+            );
+        }
+        out.push_str("\n  },\n  \"series\": {");
+        for (i, (k, vs)) in m.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {}: [",
+                if i > 0 { "," } else { "" },
+                json_str(k)
+            );
+            for (j, v) in vs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_f64(*v));
+            }
+            out.push(']');
+        }
+        out.push_str("\n  },\n  \"derived\": {");
+        let mut first = true;
+        let mut derived = |out: &mut String, k: &str, v: f64| {
+            let _ = write!(
+                out,
+                "{}\n    {}: {}",
+                if first { "" } else { "," },
+                json_str(k),
+                json_f64(v)
+            );
+            first = false;
+        };
+        if let Some(&proposals) = m.counters.get("place/anneal_proposals") {
+            if proposals > 0 {
+                let accepts = m.counters.get("place/anneal_accepts").copied().unwrap_or(0);
+                derived(
+                    &mut out,
+                    "place/anneal_accept_ratio",
+                    accepts as f64 / proposals as f64,
+                );
+            }
+        }
+        // a kind with only misses recorded still gets its (zero) hit
+        // rate, so cold-cache runs export the same derived keys
+        let kinds: std::collections::BTreeSet<&str> = m
+            .counters
+            .keys()
+            .filter_map(|k| {
+                k.strip_suffix("/hits")
+                    .or_else(|| k.strip_suffix("/misses"))
+            })
+            .collect();
+        for kind in kinds {
+            let get = |suffix: &str| {
+                m.counters
+                    .get(&format!("{kind}/{suffix}"))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            let (hits, misses) = (get("hits"), get("misses"));
+            if hits + misses > 0 {
+                derived(
+                    &mut out,
+                    &format!("{kind}/hit_rate"),
+                    hits as f64 / (hits + misses) as f64,
+                );
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// The span forest as an indented name tree with no timing data —
+    /// the determinism fingerprint compared across thread counts.
+    pub fn tree_signature(&self) -> String {
+        // children of each span, in index (= deterministic recording) order
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots = Vec::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            match span.parent {
+                Some(p) => children[p as usize].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        // iterative DFS; spans can nest deeply under recursive bisection
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&r| (r, 0)).collect();
+        while let Some((idx, depth)) = stack.pop() {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&self.spans[idx].name);
+            out.push('\n');
+            for &c in children[idx].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Names of the top-level stage spans (direct children of the
+    /// session root), in execution order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(0))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Writes `trace_<label>.json` (Chrome trace) and
+    /// `metrics_<label>.json` into `dir`, creating it if needed.
+    /// Returns the two paths.
+    pub fn write_files(
+        &self,
+        dir: &Path,
+        label: &str,
+    ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let trace = dir.join(format!("trace_{label}.json"));
+        let metrics = dir.join(format!("metrics_{label}.json"));
+        std::fs::write(&trace, self.chrome_trace_json())?;
+        std::fs::write(&metrics, self.metrics_json())?;
+        Ok((trace, metrics))
+    }
+}
+
+impl fmt::Display for FlowTrace {
+    /// Human summary: per-stage wall-clock, then every metric.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "flow '{}': {} spans, {} counters",
+            self.flow,
+            self.spans.len(),
+            self.metrics.counters.len()
+        )?;
+        writeln!(f, "stages:")?;
+        for span in self.spans.iter().filter(|s| s.parent == Some(0)) {
+            writeln!(
+                f,
+                "  {:<24} {:>10.3} ms",
+                span.name,
+                span.dur_ns as f64 / 1e6
+            )?;
+        }
+        if !self.metrics.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &self.metrics.counters {
+                writeln!(f, "  {k:<32} {v}")?;
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (k, v) in &self.metrics.gauges {
+                writeln!(f, "  {k:<32} {v}")?;
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (k, h) in &self.metrics.histograms {
+                writeln!(
+                    f,
+                    "  {k:<32} count={} mean={:.2} min={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                )?;
+            }
+        }
+        for (k, vs) in &self.metrics.series {
+            writeln!(f, "series {k}: {vs:?}")?;
+        }
+        Ok(())
+    }
+}

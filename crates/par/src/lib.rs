@@ -15,6 +15,12 @@
 //! shared cursor and results are stitched back in input order, so the
 //! only thing threads change is wall-clock time.
 //!
+//! The same contract extends to observability: each primitive brackets
+//! its units of work in `macro3d-obs` fork/branch scopes keyed by the
+//! work decomposition (chunk start index, join arm), so spans recorded
+//! inside worker closures are stitched into a thread-count-invariant
+//! tree. This costs one atomic load per chunk when tracing is off.
+//!
 //! # Examples
 //!
 //! ```
@@ -139,15 +145,25 @@ where
     }
     let budget_b = budget / 2;
     let budget_a = budget - budget_b;
-    std::thread::scope(|scope| {
-        let handle_b = scope.spawn(move || b(budget_b));
-        let ra = a(budget_a);
+    let fork = macro3d_obs::fork();
+    let result = std::thread::scope(|scope| {
+        let fork_b = fork.clone();
+        let handle_b = scope.spawn(move || {
+            let _branch = fork_b.branch(1);
+            b(budget_b)
+        });
+        let ra = {
+            let _branch = fork.branch(0);
+            a(budget_a)
+        };
         let rb = match handle_b.join() {
             Ok(rb) => rb,
             Err(payload) => std::panic::resume_unwind(payload),
         };
         (ra, rb)
-    })
+    });
+    fork.join();
+    result
 }
 
 /// Maps `f` over `items`, in parallel, preserving input order, with a
@@ -178,6 +194,7 @@ where
     // (start index, results) per grabbed chunk; stitched afterwards
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
 
+    let fork = macro3d_obs::fork();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
@@ -188,9 +205,11 @@ where
                         break;
                     }
                     let end = (start + grab).min(items.len());
+                    let branch = fork.branch(start as u64);
                     let chunk: Vec<R> = (start..end)
                         .map(|ix| f(&mut scratch, ix, &items[ix]))
                         .collect();
+                    drop(branch);
                     parts
                         .lock()
                         .expect(
@@ -201,6 +220,7 @@ where
             });
         }
     });
+    fork.join();
 
     let mut parts = parts.into_inner().expect("workers joined");
     parts.sort_unstable_by_key(|&(start, _)| start);
@@ -250,6 +270,7 @@ where
             let grab = par.chunk_size.max(1);
             let cursor = AtomicUsize::new(0);
             let parts: Mutex<Vec<A>> = Mutex::new(Vec::new());
+            let fork = macro3d_obs::fork();
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| {
@@ -260,9 +281,11 @@ where
                                 break;
                             }
                             let end = (start + grab).min(items.len());
+                            let branch = fork.branch(start as u64);
                             for (off, item) in items[start..end].iter().enumerate() {
                                 acc = map(acc, start + off, item);
                             }
+                            drop(branch);
                         }
                         parts
                             .lock()
@@ -271,6 +294,7 @@ where
                     });
                 }
             });
+            fork.join();
             parts.into_inner().expect("workers joined")
         }
     };
@@ -373,5 +397,38 @@ mod tests {
         let par = Parallelism::default();
         assert!(par.effective_threads() >= 1);
         assert_eq!(Parallelism::serial().effective_threads(), 1);
+    }
+
+    /// Spans opened inside worker closures stitch into the same tree
+    /// for any thread count (the obs arm of the determinism
+    /// contract). One test fn: the obs session level is global.
+    #[test]
+    fn spans_stitch_identically_across_thread_counts() {
+        use macro3d_obs::{ObsConfig, Session};
+        let items: Vec<u64> = (0..100).collect();
+        let signature = |threads: usize| {
+            let session = Session::start(ObsConfig::full(), "par-test");
+            let par = Parallelism::threads(threads).with_chunk_size(9);
+            parallel_map(&items, &par, |ix, &x| {
+                let _span = macro3d_obs::span_owned(format!("item{ix}"));
+                x + 1
+            });
+            let (_, _) = parallel_join(
+                threads,
+                |_| {
+                    let _s = macro3d_obs::span("left");
+                },
+                |_| {
+                    let _s = macro3d_obs::span("right");
+                },
+            );
+            session.finish().expect("tracing on").tree_signature()
+        };
+        let serial = signature(1);
+        assert!(serial.contains("item0\n") && serial.contains("item99\n"));
+        assert!(serial.contains("left\n") && serial.contains("right\n"));
+        for threads in [2, 8] {
+            assert_eq!(signature(threads), serial, "threads={threads}");
+        }
     }
 }

@@ -115,6 +115,7 @@ pub fn global_place(
         movable,
         HashMap::new(),
         cfg.parallelism.effective_threads(),
+        0,
     );
     for (i, p) in placed {
         placement.pos[i.index()] = p;
@@ -141,14 +142,17 @@ struct PlaceCtx<'a> {
 /// `ext` snapshots the position estimate of every *cell* outside the
 /// region that shares a (small) net with one inside; macros and ports
 /// are resolved through `ctx.base`. `budget` is the thread budget for
-/// this subtree (see [`parallel_join`]).
+/// this subtree (see [`parallel_join`]); `depth` is the bisection
+/// level, used only for trace span names.
 fn place_region(
     ctx: &PlaceCtx,
     region: Rect,
     cells: Vec<InstId>,
     ext: HashMap<InstId, Point>,
     budget: usize,
+    depth: usize,
 ) -> Vec<(InstId, Point)> {
+    let _span = macro3d_obs::span_full!("bisect d{depth} n{}", cells.len());
     if cells.len() <= ctx.cfg.min_cells {
         return spread(ctx, region, &cells);
     }
@@ -181,15 +185,15 @@ fn place_region(
     let ext_b = child_ext(ctx, &cells_b, &side_of, 1, rect_a.center(), &ext);
 
     if cells_b.is_empty() {
-        return place_region(ctx, rect_a, cells_a, ext_a, budget);
+        return place_region(ctx, rect_a, cells_a, ext_a, budget, depth + 1);
     }
     if cells_a.is_empty() {
-        return place_region(ctx, rect_b, cells_b, ext_b, budget);
+        return place_region(ctx, rect_b, cells_b, ext_b, budget, depth + 1);
     }
     let (mut placed, placed_b) = parallel_join(
         budget,
-        move |sub| place_region(ctx, rect_a, cells_a, ext_a, sub),
-        move |sub| place_region(ctx, rect_b, cells_b, ext_b, sub),
+        move |sub| place_region(ctx, rect_a, cells_a, ext_a, sub, depth + 1),
+        move |sub| place_region(ctx, rect_b, cells_b, ext_b, sub, depth + 1),
     );
     placed.extend(placed_b);
     placed

@@ -121,6 +121,7 @@ impl HpwlCache {
             cached: vec![None; design.num_nets()],
             total: Dbu(0),
         };
+        let mut inits = 0u64;
         for n in nets {
             if design.net(n).pins.len() < 2 || cache.cached[n.index()].is_some() {
                 continue;
@@ -128,7 +129,9 @@ impl HpwlCache {
             let w = net_hpwl(design, placement, ports, n);
             cache.cached[n.index()] = Some(w);
             cache.total += w;
+            inits += 1;
         }
+        HPWL_CACHE_INITS.add(inits);
         cache
     }
 
@@ -167,6 +170,7 @@ impl HpwlCache {
             }
             entries.push((n, old));
         }
+        HPWL_CACHE_HITS.add(entries.len() as u64);
         HpwlUndo { entries }
     }
 
@@ -180,6 +184,14 @@ impl HpwlCache {
         }
     }
 }
+
+/// Incremental re-evaluations served by the cache (nets whose span
+/// was delta-updated instead of the whole design rescored).
+static HPWL_CACHE_HITS: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("place/hpwl_cache_hits");
+/// Nets scored from scratch when a cache is (re)built.
+static HPWL_CACHE_INITS: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("place/hpwl_cache_inits");
 
 #[cfg(test)]
 mod tests {

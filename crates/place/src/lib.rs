@@ -18,7 +18,7 @@
 //!   partitioning step;
 //! * [`global`] — recursive min-cut bisection global placement with
 //!   terminal propagation and blockage-aware capacity;
-//! * [`legalize`] — Tetris-style row legalization (reports
+//! * [`mod@legalize`] — Tetris-style row legalization (reports
 //!   displacement, the quantity that blows up when S2D unshrinks);
 //! * [`detailed`] — greedy swap refinement;
 //! * [`density`] / [`hpwl`] — utilization and wirelength metrics.

@@ -147,6 +147,9 @@ pub fn refine_macros_sa(
     let mut cost = cache.total().to_um();
     let t0 = (cost * cfg.t0_frac).max(1.0);
 
+    // batched locally; one registry add per call keeps the loop hot
+    let mut proposals = 0u64;
+    let mut accepts = 0u64;
     for it in 0..cfg.iterations {
         let t = t0 * (1.0 - it as f64 / cfg.iterations as f64).max(1e-3);
         let a = rng.gen_range(0..placements.len());
@@ -204,7 +207,9 @@ pub fn refine_macros_sa(
         };
         let accept = legal
             && (new_cost <= cost || rng.gen_bool(((cost - new_cost) / t).exp().clamp(0.0, 1.0)));
+        proposals += 1;
         if accept {
+            accepts += 1;
             cost = new_cost;
         } else {
             placements[a] = saved_a;
@@ -216,8 +221,17 @@ pub fn refine_macros_sa(
             }
         }
     }
+    ANNEAL_PROPOSALS.add(proposals);
+    ANNEAL_ACCEPTS.add(accepts);
     cost
 }
+
+/// Proposed anneal moves (the accept ratio is derived at export).
+static ANNEAL_PROPOSALS: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("place/anneal_proposals");
+/// Accepted anneal moves.
+static ANNEAL_ACCEPTS: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("place/anneal_accepts");
 
 fn legal_with_halo(placements: &[MacroPlacement], die: Rect, halo: Dbu) -> bool {
     for (i, a) in placements.iter().enumerate() {

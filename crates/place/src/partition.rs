@@ -420,8 +420,16 @@ fn fm_pass(hg: &Hypergraph, side: &mut [u8], target_a: f64, tol: f64) -> bool {
     for &v in &moves[best_len..] {
         side[v] ^= 1;
     }
+    FM_PASSES.inc();
+    FM_GAIN.add(best_gain.max(0) as u64);
     best_gain > 0
 }
+
+/// Executed FM passes across all bisection nodes (commutative, so
+/// safe under the fork-join placer).
+static FM_PASSES: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("place/fm_passes");
+/// Total cut-gain kept by those passes.
+static FM_GAIN: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("place/fm_gain");
 
 #[cfg(test)]
 mod tests {

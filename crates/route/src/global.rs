@@ -140,6 +140,8 @@ pub fn route_design(
     let mut net_edges: Vec<Vec<u32>> = vec![Vec::new(); nets.len()];
 
     for iter in 0..cfg.iterations.max(1) {
+        let _iter_span = macro3d_obs::span_full!("route/iter{iter}");
+        ROUTE_ITERATIONS.inc();
         let reroute: Vec<usize> = if iter == 0 {
             order.clone()
         } else {
@@ -154,6 +156,7 @@ pub fn route_design(
             if over.is_empty() {
                 break;
             }
+            RIPUP_ROUNDS.inc();
             let victims: Vec<usize> = order
                 .iter()
                 .copied()
@@ -173,7 +176,9 @@ pub fn route_design(
         // Batched commit: each chunk routes against the congestion
         // state frozen at its start, then usage lands serially in
         // chunk order. Identical results for any thread count.
+        NETS_REROUTED.add(reroute.len() as u64);
         for chunk in reroute.chunks(par.chunk_size.max(1)) {
+            CHUNK_NETS.record(chunk.len() as u64);
             let results: Vec<(RoutedNet, Vec<u32>)> = match serial_router.as_mut() {
                 Some(router) => chunk
                     .iter()
@@ -193,6 +198,13 @@ pub fn route_design(
                 net_edges[i] = edges;
                 routes[i] = Some(net_route);
             }
+        }
+        // serial commit section, so the per-iteration overflow history
+        // is deterministic for any thread count
+        if macro3d_obs::enabled(macro3d_obs::ObsLevel::Summary) {
+            macro3d_obs::registry()
+                .series("route/overflow")
+                .push(grid.total_overflow());
         }
     }
 
@@ -228,6 +240,17 @@ pub fn route_design(
     }
     result
 }
+
+/// Negotiation iterations executed (first pass included).
+static ROUTE_ITERATIONS: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("route/iterations");
+/// Iterations that actually ripped up overflowed nets.
+static RIPUP_ROUNDS: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("route/ripup_rounds");
+/// Nets (re)routed across all iterations.
+static NETS_REROUTED: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("route/nets_rerouted");
+/// Nets per batched-commit chunk.
+static CHUNK_NETS: macro3d_obs::SiteHistogram = macro3d_obs::SiteHistogram::new("route/chunk_nets");
 
 /// Routes one net: Steiner decomposition into 2-pin edges, each A*-
 /// routed; returns the merged route and the wire-edge indices used.

@@ -494,6 +494,9 @@ impl Propagation {
         // --- combinational propagation --------------------------------------
         let pin_net_six = &ctx.pin_net_six;
 
+        // batched locally: one registry add per propagation, nothing
+        // atomic inside the serial topological walk
+        let mut arcs_evaluated = 0u64;
         for &inst in &ctx.order {
             let Master::Cell(c) = design.inst(inst).master else {
                 continue;
@@ -517,6 +520,7 @@ impl Propagation {
                 }
                 let (in_arr, in_slew) = sink_arrival(in_net, six as usize, &net_arr, &net_slew);
                 let (d, s) = cell_arc_delay(cell, arc_ix, in_slew, load, corner);
+                arcs_evaluated += 1;
                 let cand = in_arr + d;
                 if best_arr.is_nan() || cand > best_arr {
                     best_arr = cand;
@@ -620,6 +624,8 @@ impl Propagation {
         if !has_endpoints {
             worst = f64::INFINITY;
         }
+        ARCS_EVALUATED.add(arcs_evaluated);
+        PROPAGATIONS.inc();
         Propagation {
             worst_slack: worst,
             worst_endpoint_net: worst_net,
@@ -628,6 +634,13 @@ impl Propagation {
         }
     }
 }
+
+/// Timing arcs evaluated across all propagations (the binary search
+/// in [`analyze_par`] reruns propagation per probe point).
+static ARCS_EVALUATED: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("sta/arcs_evaluated");
+/// Full arrival-time propagations executed.
+static PROPAGATIONS: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("sta/propagations");
 
 #[cfg(test)]
 mod tests {
