@@ -4,7 +4,8 @@
 //! the Macro-3D flow's per-stage wall-clock) and the placer
 //! comparison writes `BENCH_place.json` (serial-vs-parallel seconds,
 //! speedup, and cold-vs-warm build-cache setup time) for offline
-//! tracking.
+//! tracking. The STA comparison writes `BENCH_sta.json` (probe vs
+//! parametric sign-off analysis, cold vs incremental sizing loop).
 //!
 //! Set `MACRO3D_BENCH_SMOKE=1` to run a down-scaled few-sample
 //! variant (the CI smoke run; it does not overwrite the JSON dumps),
@@ -358,12 +359,211 @@ fn write_place_json(c: &Criterion, cold_s: f64, warm_s: f64) {
     }
 }
 
+/// Synthetic per-net parasitics for the STA benches: deterministic
+/// pseudo-random Elmore/caps so the timing graph has realistic spread
+/// without running place/route/extract.
+fn synthetic_parasitics(design: &macro3d_netlist::Design) -> Vec<macro3d_extract::NetParasitics> {
+    let mut x = 11u64;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (x >> 33) as f64 / (1u64 << 31) as f64
+    };
+    design
+        .net_ids()
+        .map(|n| {
+            let sinks = design.sinks(n).count();
+            let base = 40.0 * next();
+            macro3d_extract::NetParasitics {
+                wire_cap_ff: 1.0 + 3.0 * next(),
+                total_res_ohm: 30.0 + 90.0 * next(),
+                elmore_ps: (0..sinks).map(|s| base + s as f64 * 5.0 * next()).collect(),
+                driver_load_ff: 2.0 + 4.0 * next(),
+            }
+        })
+        .collect()
+}
+
+/// Probe vs parametric sign-off analysis, and the cold vs incremental
+/// sizing loop, on the small-cache tile. Dumps `BENCH_sta.json`.
+fn bench_sta_parallelism(c: &mut Criterion) {
+    use macro3d_sta::{
+        analyze_with, apply_sizing_to_parasitics, upsize_critical_path, ClockArrivals, StaInput,
+        StaMode, StaSession,
+    };
+
+    if !bench_enabled("sta_parallelism") {
+        return;
+    }
+    let tile =
+        generate_tile(&TileConfig::small_cache().with_scale(if smoke() { 64.0 } else { 16.0 }));
+    let constraints = macro3d::flow::sta_constraints(&tile);
+    let design = tile.design;
+    let parasitics = synthetic_parasitics(&design);
+    let clock = ClockArrivals::ideal(&design);
+    let par = Parallelism::default();
+    fn input<'a>(
+        d: &'a macro3d_netlist::Design,
+        p: &'a [macro3d_extract::NetParasitics],
+        constraints: &'a macro3d_sta::StaConstraints,
+        clock: &'a ClockArrivals,
+    ) -> StaInput<'a> {
+        StaInput {
+            design: d,
+            parasitics: p,
+            routed: None,
+            constraints,
+            clock,
+            corner: macro3d_tech::Corner::Ss,
+        }
+    }
+
+    let mut g = c.benchmark_group("sta_parallelism");
+    g.sample_size(if smoke() { 2 } else { 10 });
+    g.bench_function("analyze_probe", |b| {
+        b.iter(|| {
+            analyze_with(
+                &StaInput {
+                    design: &design,
+                    parasitics: &parasitics,
+                    routed: None,
+                    constraints: &constraints,
+                    clock: &clock,
+                    corner: macro3d_tech::Corner::Ss,
+                },
+                &par,
+                StaMode::Probe,
+            )
+        })
+    });
+    g.bench_function("analyze_parametric", |b| {
+        b.iter(|| {
+            analyze_with(
+                &StaInput {
+                    design: &design,
+                    parasitics: &parasitics,
+                    routed: None,
+                    constraints: &constraints,
+                    clock: &clock,
+                    corner: macro3d_tech::Corner::Ss,
+                },
+                &par,
+                StaMode::Parametric,
+            )
+        })
+    });
+    g.finish();
+
+    // the sizing loop mutates design + parasitics: time whole loops on
+    // fresh clones instead of criterion iterations
+    let rounds = 8usize;
+    let run_probe = || {
+        let mut d = design.clone();
+        let mut p = parasitics.clone();
+        let t0 = std::time::Instant::now();
+        let mut timing = analyze_with(&input(&d, &p, &constraints, &clock), &par, StaMode::Probe);
+        for _ in 0..rounds {
+            let changes = upsize_critical_path(&mut d, &timing);
+            if changes.is_empty() {
+                break;
+            }
+            apply_sizing_to_parasitics(&d, &changes, &mut p);
+            timing = analyze_with(&input(&d, &p, &constraints, &clock), &par, StaMode::Probe);
+        }
+        (t0.elapsed().as_secs_f64(), timing.min_period_ps)
+    };
+    let run_incremental = || {
+        let mut d = design.clone();
+        let mut p = parasitics.clone();
+        let t0 = std::time::Instant::now();
+        let mut session = StaSession::new(&input(&d, &p, &constraints, &clock));
+        let mut timing = session.analyze(&input(&d, &p, &constraints, &clock), &par);
+        for _ in 0..rounds {
+            let changes = upsize_critical_path(&mut d, &timing);
+            if changes.is_empty() {
+                break;
+            }
+            let touched = apply_sizing_to_parasitics(&d, &changes, &mut p);
+            timing = session.update(&input(&d, &p, &constraints, &clock), &touched, &par);
+        }
+        (t0.elapsed().as_secs_f64(), timing.min_period_ps)
+    };
+    let (probe_loop_s, probe_period) = run_probe();
+    let (incr_loop_s, incr_period) = run_incremental();
+    assert!(
+        (probe_period - incr_period).abs() <= 2.0 * macro3d_sta::PROBE_RESOLUTION_PS,
+        "sizing loops diverged: probe {probe_period} vs incremental {incr_period}"
+    );
+
+    if smoke() {
+        eprintln!(
+            "smoke mode: not overwriting BENCH_sta.json \
+             (sizing loop probe {probe_loop_s:.3}s / incremental {incr_loop_s:.3}s)"
+        );
+    } else {
+        write_sta_json(c, probe_loop_s, incr_loop_s, probe_period);
+    }
+}
+
+/// Writes `BENCH_sta.json`: probe vs parametric single-analysis
+/// measurements, the full sizing-loop comparison, and the speedups.
+fn write_sta_json(c: &Criterion, probe_loop_s: f64, incr_loop_s: f64, period_ps: f64) {
+    use std::fmt::Write as _;
+    let sta: Vec<_> = c
+        .measurements()
+        .iter()
+        .filter(|m| m.id.starts_with("sta_parallelism/"))
+        .collect();
+    let mean_of = |suffix: &str| {
+        sta.iter()
+            .find(|m| m.id.ends_with(suffix))
+            .map(|m| m.mean.as_secs_f64())
+    };
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"effective_threads\": {},",
+        Parallelism::default().effective_threads()
+    );
+    s.push_str("  \"analyze\": [\n");
+    for (k, m) in sta.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"id\": \"{}\", \"samples\": {}, \"min_s\": {:.6}, \"mean_s\": {:.6}, \"max_s\": {:.6}}}{}",
+            m.id,
+            m.samples,
+            m.min.as_secs_f64(),
+            m.mean.as_secs_f64(),
+            m.max.as_secs_f64(),
+            if k + 1 < sta.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    if let (Some(probe), Some(param)) = (mean_of("/analyze_probe"), mean_of("/analyze_parametric"))
+    {
+        let _ = writeln!(s, "  \"analyze_speedup\": {:.3},", probe / param.max(1e-12));
+    }
+    let _ = writeln!(s, "  \"sizing_loop_probe_s\": {probe_loop_s:.6},");
+    let _ = writeln!(s, "  \"sizing_loop_incremental_s\": {incr_loop_s:.6},");
+    let _ = writeln!(
+        s,
+        "  \"sizing_loop_speedup\": {:.3},",
+        probe_loop_s / incr_loop_s.max(1e-12)
+    );
+    let _ = writeln!(s, "  \"min_period_ps\": {period_ps:.3}");
+    s.push_str("}\n");
+    match std::fs::write(bench_json_path("BENCH_sta.json"), &s) {
+        Ok(()) => eprintln!("wrote BENCH_sta.json"),
+        Err(e) => eprintln!("could not write BENCH_sta.json: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_tile_generation,
     bench_global_place,
     bench_router,
     bench_route_parallelism,
-    bench_place_parallelism
+    bench_place_parallelism,
+    bench_sta_parallelism
 );
 criterion_main!(benches);

@@ -18,12 +18,14 @@ use crate::flow::{
 };
 use crate::s2d::{partition_and_finalize, S2dDiagnostics};
 use macro3d_geom::Dbu;
-use macro3d_netlist::InstId;
+use macro3d_netlist::{InstId, NetId};
 use macro3d_place::floorplan::die_for_area;
 use macro3d_place::{BlockageKind, Floorplan, PortPlan};
 use macro3d_route::route_design;
 use macro3d_soc::TileNetlist;
-use macro3d_sta::{analyze_par, clock_arrivals, upsize_critical_path, StaInput};
+use macro3d_sta::{
+    analyze_with, clock_arrivals, upsize_critical_path, StaInput, StaMode, StaSession,
+};
 use macro3d_tech::stack::DieRole;
 use macro3d_tech::Corner;
 
@@ -127,23 +129,39 @@ pub(crate) fn implement(
         p.driver_load_ff -= old_wire - p.wire_cap_ff;
     }
     let clock_stage1 = clock_arrivals(&design, &tree, &parasitics, Corner::signoff());
-    for _ in 0..cfg.sizing_rounds {
-        let t = analyze_par(
-            &StaInput {
-                design: &design,
-                parasitics: &parasitics,
-                routed: Some(&routed_stage1),
-                constraints: &constraints,
-                clock: &clock_stage1,
-                corner: Corner::signoff(),
-            },
-            &cfg.parallelism,
-        );
+    // parametric mode: one StaSession across the sizing rounds,
+    // re-timing only the cones downstream of resized gates
+    let mut session = match cfg.sta_mode {
+        StaMode::Parametric => Some(StaSession::new(&StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed_stage1),
+            constraints: &constraints,
+            clock: &clock_stage1,
+            corner: Corner::signoff(),
+        })),
+        StaMode::Probe => None,
+    };
+    let mut touched: Vec<NetId> = Vec::new();
+    for round in 0..cfg.sizing_rounds {
+        let input = StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed_stage1),
+            constraints: &constraints,
+            clock: &clock_stage1,
+            corner: Corner::signoff(),
+        };
+        let t = match &mut session {
+            Some(s) if round > 0 => s.update(&input, &touched, &cfg.parallelism),
+            Some(s) => s.analyze(&input, &cfg.parallelism),
+            None => analyze_with(&input, &cfg.parallelism, StaMode::Probe),
+        };
         let changes = upsize_critical_path(&mut design, &t);
         if changes.is_empty() {
             break;
         }
-        macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
+        touched = macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
     }
     timer.mark("c2d_stage1_sizing");
 

@@ -9,9 +9,9 @@ use macro3d_place::{global_place, legalize, Floorplan, GlobalPlaceConfig, Placem
 use macro3d_route::{route_design, RouteConfig, RoutedDesign};
 use macro3d_soc::TileNetlist;
 use macro3d_sta::{
-    analyze_par, analyze_power, check_hold, clock_arrivals, insert_repeaters,
+    analyze_power, analyze_with, check_hold, clock_arrivals, insert_repeaters,
     synthesize_clock_tree, upsize_critical_path, ClockArrivals, ClockTree, CtsConfig, HoldReport,
-    PowerInput, PowerReport, StaConstraints, StaInput, TimingReport,
+    PowerInput, PowerReport, StaConstraints, StaInput, StaMode, StaSession, TimingReport,
 };
 use macro3d_tech::stack::{DieRole, MetalStack};
 use macro3d_tech::Corner;
@@ -47,6 +47,13 @@ pub struct FlowConfig {
     pub cts: CtsConfig,
     /// Post-route sizing iterations.
     pub sizing_rounds: usize,
+    /// Minimum-period engine for every sign-off analysis.
+    /// [`StaMode::Parametric`] (the default) runs one affine
+    /// propagation plus a confirmation and lets the sizing loops
+    /// re-time only the fan-out cones of resized gates;
+    /// [`StaMode::Probe`] keeps the legacy 32-probe binary search
+    /// with a full re-analysis per sizing round.
+    pub sta_mode: StaMode,
     /// Quantization period for partial blockages in the S2D/C2D
     /// pseudo-2D stages, µm (the commercial tools' coarse spatial
     /// resolution the paper observes).
@@ -77,6 +84,7 @@ impl Default for FlowConfig {
             route: RouteConfig::default(),
             cts: CtsConfig::default(),
             sizing_rounds: 8,
+            sta_mode: StaMode::default(),
             partial_blockage_period_um: 8.0,
             place: GlobalPlaceConfig::default(),
             parallelism: Parallelism::default(),
@@ -597,6 +605,26 @@ pub fn place_pipeline(
 }
 
 /// Routes, extracts and signs a placed design off, including the
+/// Sign-off [`StaInput`] at the SS corner — the sizing loop below
+/// rebuilds this every round because `design` and `parasitics` are
+/// mutated between analyses.
+fn signoff_input<'a>(
+    design: &'a Design,
+    parasitics: &'a [NetParasitics],
+    routed: &'a RoutedDesign,
+    constraints: &'a StaConstraints,
+    clock: &'a ClockArrivals,
+) -> StaInput<'a> {
+    StaInput {
+        design,
+        parasitics,
+        routed: Some(routed),
+        constraints,
+        clock,
+        corner: Corner::signoff(),
+    }
+}
+
 /// post-route sizing loop. This is flow step 3 ("standard 2D P&R
 /// engine") plus sign-off. `timer` continues the flow's stage clock
 /// and ends up in the returned design's `stage_times`.
@@ -654,17 +682,32 @@ pub fn finish_design(
     let clock = clock_arrivals(&design, &clock_tree, &parasitics, Corner::signoff());
     timer.mark("extract");
 
-    let mut timing = analyze_par(
-        &StaInput {
-            design: &design,
-            parasitics: &parasitics,
-            routed: Some(&routed),
-            constraints: &constraints,
-            clock: &clock,
-            corner: Corner::signoff(),
-        },
-        &par,
-    );
+    // Parametric mode keeps one StaSession alive across the sizing
+    // loop: the timing graph is built once and each round re-times
+    // only the fan-out cones of the nets `apply_sizing_to_parasitics`
+    // reports as touched. Probe mode re-runs the legacy binary-search
+    // analysis from scratch every round.
+    let mut session = match cfg.sta_mode {
+        StaMode::Parametric => Some(StaSession::new(&signoff_input(
+            &design,
+            &parasitics,
+            &routed,
+            &constraints,
+            &clock,
+        ))),
+        StaMode::Probe => None,
+    };
+    let mut timing = match &mut session {
+        Some(s) => s.analyze(
+            &signoff_input(&design, &parasitics, &routed, &constraints, &clock),
+            &par,
+        ),
+        None => analyze_with(
+            &signoff_input(&design, &parasitics, &routed, &constraints, &clock),
+            &par,
+            StaMode::Probe,
+        ),
+    };
     let mut resized: HashSet<InstId> = HashSet::new();
     for _ in 0..sizing_rounds {
         let changes = upsize_critical_path(&mut design, &timing);
@@ -672,18 +715,20 @@ pub fn finish_design(
             break;
         }
         resized.extend(changes.iter().map(|(i, _)| *i));
-        macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
-        let t2 = analyze_par(
-            &StaInput {
-                design: &design,
-                parasitics: &parasitics,
-                routed: Some(&routed),
-                constraints: &constraints,
-                clock: &clock,
-                corner: Corner::signoff(),
-            },
-            &par,
-        );
+        let touched =
+            macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
+        let t2 = match &mut session {
+            Some(s) => s.update(
+                &signoff_input(&design, &parasitics, &routed, &constraints, &clock),
+                &touched,
+                &par,
+            ),
+            None => analyze_with(
+                &signoff_input(&design, &parasitics, &routed, &constraints, &clock),
+                &par,
+                StaMode::Probe,
+            ),
+        };
         if t2.min_period_ps >= timing.min_period_ps {
             break;
         }
@@ -746,17 +791,20 @@ pub fn finish_design(
                 clock: &clock,
                 corner: macro3d_tech::Corner::Ff,
             });
-            timing = analyze_par(
-                &StaInput {
-                    design: &design,
-                    parasitics: &parasitics,
-                    routed: Some(&routed),
-                    constraints: &constraints,
-                    clock: &clock,
-                    corner: Corner::signoff(),
-                },
-                &par,
-            );
+            // hold fixing added instances and nets: the parametric
+            // session notices the structural change and rebuilds its
+            // timing graph before re-solving
+            timing = match &mut session {
+                Some(s) => s.analyze(
+                    &signoff_input(&design, &parasitics, &routed, &constraints, &clock),
+                    &par,
+                ),
+                None => analyze_with(
+                    &signoff_input(&design, &parasitics, &routed, &constraints, &clock),
+                    &par,
+                    StaMode::Probe,
+                ),
+            };
         }
     }
 

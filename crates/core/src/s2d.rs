@@ -39,7 +39,9 @@ use macro3d_place::partition::{bipartition, FmConfig, Hypergraph};
 use macro3d_place::{legalize, BlockageKind, Floorplan, Placement, PortPlan};
 use macro3d_route::route_design;
 use macro3d_soc::TileNetlist;
-use macro3d_sta::{analyze_par, clock_arrivals, upsize_critical_path, ClockTree, StaInput};
+use macro3d_sta::{
+    analyze_with, clock_arrivals, upsize_critical_path, ClockTree, StaInput, StaMode, StaSession,
+};
 use macro3d_tech::libgen::n28_library;
 use macro3d_tech::stack::{n28_stack, DieRole, MetalStack};
 use macro3d_tech::{CellClass, Corner, F2fSpec};
@@ -163,24 +165,40 @@ pub(crate) fn implement(
     let clock_stage1 = clock_arrivals(&design, &tree, &parasitics, Corner::signoff());
     timer.mark("s2d_stage1_extract");
 
-    // sizing against the stage-1 (mispredicted) parasitics
-    for _ in 0..cfg.sizing_rounds {
-        let t = analyze_par(
-            &StaInput {
-                design: &design,
-                parasitics: &parasitics,
-                routed: Some(&routed_stage1),
-                constraints: &constraints,
-                clock: &clock_stage1,
-                corner: Corner::signoff(),
-            },
-            &cfg.parallelism,
-        );
+    // sizing against the stage-1 (mispredicted) parasitics; in
+    // parametric mode one StaSession carries the timing graph across
+    // rounds and re-times only the touched cones
+    let mut session = match cfg.sta_mode {
+        StaMode::Parametric => Some(StaSession::new(&StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed_stage1),
+            constraints: &constraints,
+            clock: &clock_stage1,
+            corner: Corner::signoff(),
+        })),
+        StaMode::Probe => None,
+    };
+    let mut touched: Vec<macro3d_netlist::NetId> = Vec::new();
+    for round in 0..cfg.sizing_rounds {
+        let input = StaInput {
+            design: &design,
+            parasitics: &parasitics,
+            routed: Some(&routed_stage1),
+            constraints: &constraints,
+            clock: &clock_stage1,
+            corner: Corner::signoff(),
+        };
+        let t = match &mut session {
+            Some(s) if round > 0 => s.update(&input, &touched, &cfg.parallelism),
+            Some(s) => s.analyze(&input, &cfg.parallelism),
+            None => analyze_with(&input, &cfg.parallelism, StaMode::Probe),
+        };
         let changes = upsize_critical_path(&mut design, &t);
         if changes.is_empty() {
             break;
         }
-        macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
+        touched = macro3d_sta::opt::apply_sizing_to_parasitics(&design, &changes, &mut parasitics);
     }
 
     timer.mark("s2d_stage1_sizing");

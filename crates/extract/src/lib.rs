@@ -190,6 +190,47 @@ pub fn estimate_net(
     }
 }
 
+/// Summary of what changed between two parasitics tables (same
+/// design, e.g. before/after a sizing step).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeltaReport {
+    /// Indices (by `NetId::index()`) of nets whose parasitics differ,
+    /// ascending.
+    pub changed: Vec<usize>,
+    /// Largest absolute driver-load change, fF.
+    pub max_load_delta_ff: f64,
+    /// Largest absolute Elmore change over any sink, ps.
+    pub max_elmore_delta_ps: f64,
+}
+
+/// Compares two parasitics tables net-by-net and reports which nets
+/// changed and by how much. Incremental timing consumes `changed` as
+/// its touched-net seed; the magnitudes make a cheap sanity gate
+/// ("did this step really only nudge loads?") for logs and tests.
+/// Tables of different lengths report every index beyond the common
+/// prefix as changed.
+pub fn diff_parasitics(old: &[NetParasitics], new: &[NetParasitics]) -> DeltaReport {
+    let mut rep = DeltaReport::default();
+    let common = old.len().min(new.len());
+    for (ix, (o, n)) in old.iter().zip(new.iter()).enumerate() {
+        if o == n {
+            continue;
+        }
+        rep.changed.push(ix);
+        rep.max_load_delta_ff = rep
+            .max_load_delta_ff
+            .max((o.driver_load_ff - n.driver_load_ff).abs());
+        let sinks = o.elmore_ps.len().max(n.elmore_ps.len());
+        for s in 0..sinks {
+            let eo = o.elmore_ps.get(s).copied().unwrap_or(0.0);
+            let en = n.elmore_ps.get(s).copied().unwrap_or(0.0);
+            rep.max_elmore_delta_ps = rep.max_elmore_delta_ps.max((eo - en).abs());
+        }
+    }
+    rep.changed.extend(common..old.len().max(new.len()));
+    rep
+}
+
 /// The RC tree of a routed net.
 struct RcTree {
     nodes: Vec<(u16, Point)>,
@@ -424,6 +465,37 @@ mod tests {
             Corner::Tt,
         );
         assert!(scaled.wire_cap_ff < far.wire_cap_ff);
+    }
+
+    #[test]
+    fn diff_reports_changed_nets_and_magnitudes() {
+        let base = vec![
+            NetParasitics {
+                wire_cap_ff: 2.0,
+                total_res_ohm: 100.0,
+                elmore_ps: vec![5.0, 7.0],
+                driver_load_ff: 3.0,
+            };
+            4
+        ];
+        // identical tables: clean diff
+        let rep = diff_parasitics(&base, &base);
+        assert_eq!(rep, DeltaReport::default());
+
+        // bump one load and one elmore
+        let mut new = base.clone();
+        new[1].driver_load_ff += 0.5;
+        new[3].elmore_ps[1] = 9.5;
+        let rep = diff_parasitics(&base, &new);
+        assert_eq!(rep.changed, vec![1, 3]);
+        assert!((rep.max_load_delta_ff - 0.5).abs() < 1e-12);
+        assert!((rep.max_elmore_delta_ps - 2.5).abs() < 1e-12);
+
+        // a grown table (e.g. hold-fix nets) reports the tail
+        let mut grown = base.clone();
+        grown.push(NetParasitics::default());
+        let rep = diff_parasitics(&base, &grown);
+        assert_eq!(rep.changed, vec![4]);
     }
 
     #[test]

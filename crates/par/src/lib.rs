@@ -301,6 +301,56 @@ where
     partials.into_iter().fold(identity, reduce)
 }
 
+/// Deterministic parallel argmin over a keyed slice: returns the
+/// `(index, key)` of the smallest key, breaking ties toward the
+/// lowest index — the element a serial first-strictly-smaller scan
+/// would keep — so the result is bit-identical for any thread count.
+/// Items for which `key` returns `None` are skipped; returns `None`
+/// when every item is skipped. `key` must not return NaN.
+///
+/// This is the reduction shape the parametric STA endpoint folds use
+/// (worst slack, binding period); it is generally useful whenever a
+/// "first worst element" must be selected reproducibly in parallel.
+pub fn parallel_argmin<T, K>(items: &[T], par: &Parallelism, key: K) -> Option<(usize, f64)>
+where
+    T: Sync,
+    K: Fn(usize, &T) -> Option<f64> + Sync,
+{
+    #[derive(Clone, Copy)]
+    struct Acc {
+        key: f64,
+        ix: usize,
+    }
+    let better =
+        |key: f64, ix: usize, than: &Acc| key < than.key || (key == than.key && ix < than.ix);
+    let acc = parallel_fold(
+        items,
+        par,
+        Acc {
+            key: f64::INFINITY,
+            ix: usize::MAX,
+        },
+        |mut acc, ix, item| {
+            if let Some(k) = key(ix, item) {
+                debug_assert!(!k.is_nan(), "parallel_argmin keys must not be NaN");
+                if better(k, ix, &acc) {
+                    acc.key = k;
+                    acc.ix = ix;
+                }
+            }
+            acc
+        },
+        |a, b| {
+            if better(b.key, b.ix, &a) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+    (acc.ix != usize::MAX).then_some((acc.ix, acc.key))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +394,25 @@ mod tests {
             let got = parallel_fold(&items, &par, 0u64, |acc, _ix, &x| acc + x, |a, b| a + b);
             assert_eq!(got, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn argmin_breaks_ties_toward_lowest_index_any_thread_count() {
+        // duplicate minima at indices 3 and 7; index 3 must win
+        let items = vec![5.0, 2.0, 9.0, 1.0, 4.0, 8.0, 6.0, 1.0];
+        let expect = Some((3, 1.0));
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::threads(threads).with_chunk_size(1);
+            let got = parallel_argmin(&items, &par, |_, &k| Some(k));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        // skipped items never win; all-skipped returns None
+        let got = parallel_argmin(&items, &Parallelism::serial(), |ix, &k| {
+            (ix != 3 && ix != 7).then_some(k)
+        });
+        assert_eq!(got, Some((1, 2.0)));
+        let none = parallel_argmin(&items, &Parallelism::serial(), |_, _| None::<f64>);
+        assert_eq!(none, None);
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl StaContext {
         // flatten the per-endpoint setup checks once: the propagation
         // passes (34 per analyze) then scan a plain slice instead of
         // re-walking cells, macro defs and pin maps every time
-        let lib = design.library().clone();
+        let lib = design.library();
         let mut endpoint_checks = Vec::new();
         for inst in design.inst_ids() {
             match design.inst(inst).master {
@@ -155,6 +155,22 @@ impl StaContext {
     }
 }
 
+/// Selects the minimum-period engine of [`analyze_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StaMode {
+    /// Legacy probe engine: 32-step binary search over the period
+    /// window, one full arrival propagation per probe (~34 per
+    /// analyze). Kept as the reference the parametric engine is
+    /// equivalence-tested against.
+    Probe,
+    /// Parametric engine: one affine propagation plus a confirmation
+    /// pass, min period in closed form (see [`crate::parametric`]).
+    /// Agrees with [`StaMode::Probe`] to within
+    /// [`crate::parametric::PROBE_RESOLUTION_PS`].
+    #[default]
+    Parametric,
+}
+
 /// Finds the maximum frequency and reports the critical path.
 ///
 /// # Panics
@@ -165,15 +181,33 @@ pub fn analyze(input: &StaInput<'_>) -> TimingReport {
     analyze_par(input, &Parallelism::serial())
 }
 
-/// [`analyze`] with the per-endpoint setup checks of every
-/// propagation pass fanned out over `par` worker threads. The report
-/// is identical to the serial one for any thread count.
+/// [`analyze`] with endpoint folds fanned out over `par` worker
+/// threads, using the default engine ([`StaMode::Parametric`]). The
+/// report is identical to the serial one for any thread count.
 ///
 /// # Panics
 ///
 /// Panics if the design has no timing endpoints (no registers, macros
 /// or output ports).
 pub fn analyze_par(input: &StaInput<'_>, par: &Parallelism) -> TimingReport {
+    analyze_with(input, par, StaMode::default())
+}
+
+/// [`analyze_par`] with an explicit engine selection.
+///
+/// # Panics
+///
+/// Panics if the design has no timing endpoints (no registers, macros
+/// or output ports).
+pub fn analyze_with(input: &StaInput<'_>, par: &Parallelism, mode: StaMode) -> TimingReport {
+    match mode {
+        StaMode::Probe => analyze_probe(input, par),
+        StaMode::Parametric => crate::parametric::analyze_parametric(input, par),
+    }
+}
+
+/// The probe engine behind [`StaMode::Probe`].
+fn analyze_probe(input: &StaInput<'_>, par: &Parallelism) -> TimingReport {
     // binary search the minimum feasible period
     let mut lo = 10.0f64;
     let mut hi = 20.0e6;
@@ -243,7 +277,7 @@ pub struct HoldReport {
 /// data-path delay.
 pub fn check_hold(input: &StaInput<'_>) -> HoldReport {
     let design = input.design;
-    let lib = design.library().clone();
+    let lib = design.library();
     let corner = Corner::Ff;
     let ctx = StaContext::build(design, input.constraints.clock_net);
     let nn = design.num_nets();
@@ -292,7 +326,7 @@ pub fn check_hold(input: &StaInput<'_>) -> HoldReport {
                 }
             }
             Master::Macro(m) => {
-                let def = design.macro_master(m).clone();
+                let def = design.macro_master(m);
                 let access = def.access_ps * corner.delay_derate();
                 for (p, pin) in def.pins.iter().enumerate() {
                     if pin.dir != PinDir::Output {
@@ -393,7 +427,7 @@ struct Propagation {
 impl Propagation {
     fn run(input: &StaInput<'_>, ctx: &StaContext, period: f64, par: &Parallelism) -> Propagation {
         let design = input.design;
-        let lib = design.library().clone();
+        let lib = design.library();
         let corner = input.corner;
         let nn = design.num_nets();
 
@@ -473,7 +507,7 @@ impl Propagation {
                     }
                 }
                 Master::Macro(m) => {
-                    let def = design.macro_master(m).clone();
+                    let def = design.macro_master(m);
                     let access = def.access_ps * corner.delay_derate();
                     for (p, pin) in def.pins.iter().enumerate() {
                         if pin.dir != PinDir::Output {
@@ -611,11 +645,17 @@ impl Propagation {
                 continue;
             }
             has_endpoints = true;
-            // the port is one of the net's sinks
-            let six = design
-                .sinks(net)
-                .position(|s| s == PinRef::Port(pid))
-                .unwrap_or(0);
+            // the port must be one of the net's sinks; a port that is
+            // not would silently be timed at sink 0's Elmore, so skip
+            // it instead (unreachable through the public netlist API,
+            // which keeps port.net and net.pins in lockstep)
+            let Some(six) = crate::graph::sink_index_of(design, net, PinRef::Port(pid)) else {
+                debug_assert!(
+                    false,
+                    "output port {pid:?} listed on net {net:?} but absent from its sinks"
+                );
+                continue;
+            };
             let (arr, _) = sink_arrival(net, six, &net_arr, &net_slew);
             let required = input.constraints.required_frac(pid) * period + input.clock.insertion_ps;
             check(arr, required, net, &mut worst, &mut worst_net);
@@ -635,12 +675,14 @@ impl Propagation {
     }
 }
 
-/// Timing arcs evaluated across all propagations (the binary search
-/// in [`analyze_par`] reruns propagation per probe point).
-static ARCS_EVALUATED: macro3d_obs::SiteCounter =
+/// Timing arcs evaluated across all propagations (the probe engine
+/// reruns propagation per probe point; the parametric engine counts
+/// its passes and incremental cone evaluations here too).
+pub(crate) static ARCS_EVALUATED: macro3d_obs::SiteCounter =
     macro3d_obs::SiteCounter::new("sta/arcs_evaluated");
-/// Full arrival-time propagations executed.
-static PROPAGATIONS: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("sta/propagations");
+/// Full arrival-time propagations executed (probe or parametric).
+pub(crate) static PROPAGATIONS: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("sta/propagations");
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,10 @@
 //! * [`cts`] — clock-tree synthesis by recursive geometric clustering
 //!   with clock buffers, reporting tree depth (a Table II row) and
 //!   per-sink insertion delays used for skew-aware setup checks;
+//! * [`parametric`] — the default minimum-period engine: affine
+//!   arrival propagation with closed-form endpoint solves (one pass
+//!   plus a confirmation instead of a 32-probe binary search) and the
+//!   incremental [`StaSession`] the sizing loops re-time cones with;
 //! * [`opt`] — pre-route repeater insertion on long nets and
 //!   post-route critical-path gate sizing;
 //! * [`power`] — switching/internal/leakage/macro power at the TT
@@ -22,14 +26,19 @@ pub mod analysis;
 pub mod constraints;
 pub mod cts;
 pub mod dcalc;
+mod graph;
 pub mod opt;
+pub mod parametric;
 pub mod power;
 pub mod report;
 
-pub use analysis::{analyze, analyze_par, check_hold, HoldReport, StaInput, TimingReport};
+pub use analysis::{
+    analyze, analyze_par, analyze_with, check_hold, HoldReport, StaInput, StaMode, TimingReport,
+};
 pub use constraints::StaConstraints;
 pub use cts::{clock_arrivals, synthesize_clock_tree, ClockArrivals, ClockTree, CtsConfig};
 pub use macro3d_par::Parallelism;
-pub use opt::{fix_hold, insert_repeaters, upsize_critical_path};
+pub use opt::{apply_sizing_to_parasitics, fix_hold, insert_repeaters, upsize_critical_path};
+pub use parametric::{StaSession, PROBE_RESOLUTION_PS};
 pub use power::{analyze_power, PowerInput, PowerReport};
 pub use report::format_critical_path;

@@ -22,12 +22,25 @@ pub fn insert_repeaters(
     max_len_um: f64,
     skip: &HashSet<NetId>,
 ) -> Vec<InstId> {
-    let lib = design.library().clone();
-    let buffers = lib.buffers();
-    let buf_cell = buffers[1.min(buffers.len() - 1)]; // X2: repeater strength without the area blow-up
-    let buf = lib.cell(buf_cell);
-    let buf_in = buf.data_input_pins().next().expect("buffer input") as u16;
-    let buf_out = buf.output_pin() as u16;
+    // scoped borrow: only the buffer's id and pin indices survive, so
+    // the design stays mutable below without cloning the library
+    let (buf_cell, buf_in, buf_out) = {
+        let lib = design.library();
+        let buffers = lib.buffers();
+        if buffers.is_empty() {
+            // a heterogeneous tile library may lack buffers entirely;
+            // long nets then stay unsplit rather than panicking
+            NO_BUFFERS.inc();
+            return Vec::new();
+        }
+        let buf_cell = buffers[1.min(buffers.len() - 1)]; // X2: repeater strength without the area blow-up
+        let buf = lib.cell(buf_cell);
+        (
+            buf_cell,
+            buf.data_input_pins().next().expect("buffer input") as u16,
+            buf.output_pin() as u16,
+        )
+    };
 
     let mut inserted = Vec::new();
     let original_nets: Vec<NetId> = design.net_ids().collect();
@@ -35,29 +48,34 @@ pub fn insert_repeaters(
         if skip.contains(&net) {
             continue;
         }
-        let pins = design.net(net).pins.clone();
-        if pins.len() < 2 || pins.len() > 64 {
+        let n_pins = design.net(net).pins.len();
+        if !(2..=64).contains(&n_pins) {
             continue;
         }
         // Multi-sink nets driven by a repeater are not split again:
         // the buffer already sits at the sink centroid, and another
         // level cannot shrink the sink spread. Two-pin segments keep
         // splitting until they fit the threshold.
-        if pins.len() > 2 {
+        if n_pins > 2 {
             if let Some(PinRef::Inst { inst, .. }) = design.driver(net) {
                 if design.inst(inst).name.starts_with("rep_") {
                     continue;
                 }
             }
         }
-        // bounding box over the pins
-        let mut lo = pin_position(design, placement, ports, pins[0]);
-        let mut hi = lo;
-        for &p in &pins[1..] {
-            let pt = pin_position(design, placement, ports, p);
-            lo = lo.min(pt);
-            hi = hi.max(pt);
-        }
+        // bounding box over the pins (borrowed: nothing mutates until
+        // the split below)
+        let (lo, hi) = {
+            let pins = &design.net(net).pins;
+            let mut lo = pin_position(design, placement, ports, pins[0]);
+            let mut hi = lo;
+            for &p in &pins[1..] {
+                let pt = pin_position(design, placement, ports, p);
+                lo = lo.min(pt);
+                hi = hi.max(pt);
+            }
+            (lo, hi)
+        };
         if lo.manhattan(hi).to_um() <= max_len_um {
             continue;
         }
@@ -144,12 +162,23 @@ pub fn fix_hold(
     report: &crate::analysis::HoldReport,
     max_endpoints: usize,
 ) -> Vec<InstId> {
-    let lib = design.library().clone();
-    let buf_cell = lib.buffers()[0]; // weakest buffer = most delay per area
-    let buf = lib.cell(buf_cell);
-    let buf_in = buf.data_input_pins().next().expect("buffer input") as u16;
-    let buf_out = buf.output_pin() as u16;
-    let (d_min, _) = crate::dcalc::cell_arc_delay(buf, 0, 30.0, 2.0, macro3d_tech::Corner::Ff);
+    let (buf_cell, buf_in, buf_out, d_min) = {
+        let lib = design.library();
+        let buffers = lib.buffers();
+        if buffers.is_empty() {
+            NO_BUFFERS.inc();
+            return Vec::new();
+        }
+        let buf_cell = buffers[0]; // weakest buffer = most delay per area
+        let buf = lib.cell(buf_cell);
+        let (d_min, _) = crate::dcalc::cell_arc_delay(buf, 0, 30.0, 2.0, macro3d_tech::Corner::Ff);
+        (
+            buf_cell,
+            buf.data_input_pins().next().expect("buffer input") as u16,
+            buf.output_pin() as u16,
+            d_min,
+        )
+    };
 
     let mut inserted = Vec::new();
     for &(inst, pin, shortfall) in report.endpoints.iter().take(max_endpoints) {
@@ -179,11 +208,19 @@ pub fn fix_hold(
 /// Applies pin-capacitance deltas from sizing to the parasitics
 /// table: every net driving a resized instance's input sees its
 /// driver load grow.
+///
+/// Returns the nets whose timing changed — the fanin nets (driver
+/// load grew) and the output net (the resized drive changes its
+/// delay) of every resized instance, deduplicated in first-touch
+/// order — exactly the seed set [`crate::StaSession::update`] needs
+/// to re-time the affected cone incrementally.
 pub fn apply_sizing_to_parasitics(
     design: &Design,
     changes: &[(InstId, f64)],
     parasitics: &mut [macro3d_extract::NetParasitics],
-) {
+) -> Vec<NetId> {
+    let mut touched = Vec::new();
+    let mut seen = HashSet::new();
     for &(inst, delta) in changes {
         let Master::Cell(c) = design.inst(inst).master else {
             continue;
@@ -194,10 +231,23 @@ pub fn apply_sizing_to_parasitics(
                 if let Some(par) = parasitics.get_mut(net.index()) {
                     par.driver_load_ff += delta;
                 }
+                if seen.insert(net) {
+                    touched.push(net);
+                }
+            }
+        }
+        if let Some(net) = design.inst(inst).conns[cell.output_pin()] {
+            if seen.insert(net) {
+                touched.push(net);
             }
         }
     }
+    touched
 }
+
+/// Optimization steps skipped because the cell library offers no
+/// buffers (repeater insertion and hold fixing both need one).
+static NO_BUFFERS: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("opt/no_buffers");
 
 #[cfg(test)]
 mod tests {
@@ -283,9 +333,72 @@ mod tests {
         assert!(delta > 0.0);
         // applying to parasitics bumps the fanin net's load
         let mut parasitics = vec![macro3d_extract::NetParasitics::default(); d.num_nets()];
-        apply_sizing_to_parasitics(&d, &changes, &mut parasitics);
+        let touched = apply_sizing_to_parasitics(&d, &changes, &mut parasitics);
         // net "pn" (a's input) grew
         let pn = d.net_ids().find(|&x| d.net(x).name == "pn").expect("pn");
         assert!(parasitics[pn.index()].driver_load_ff > 0.0);
+        // touched set = fanin net (load changed) + output net (drive
+        // changed), deduplicated
+        assert!(touched.contains(&pn), "fanin net reported: {touched:?}");
+        assert!(touched.contains(&n), "output net reported: {touched:?}");
+        assert_eq!(touched.len(), 2);
+    }
+
+    /// The n28 library minus its buffers: repeater insertion and hold
+    /// fixing must degrade to no-ops instead of panicking on
+    /// `buffers()[..]`.
+    fn bufferless_long_net_design() -> (Design, Placement, PortPlan) {
+        let full = n28_library(1.0);
+        let cells: Vec<macro3d_tech::LibCell> = full
+            .cells()
+            .iter()
+            .filter(|c| c.class != CellClass::Buf)
+            .cloned()
+            .collect();
+        let lib = Arc::new(macro3d_tech::CellLibrary::new(
+            "n28-nobuf",
+            cells,
+            full.row_height(),
+            full.site_width(),
+            full.voltage(),
+        ));
+        let inv = lib.smallest(CellClass::Inv).expect("inv survives filter");
+        let mut d = Design::new("t", lib);
+        let a = d.add_cell("a", inv);
+        let b = d.add_cell("b", inv);
+        let n = d.add_net("n");
+        d.connect(n, PinRef::inst(a, 1));
+        d.connect(n, PinRef::inst(b, 0));
+        let p = d.add_port("in", PinDir::Input, None);
+        let pn = d.add_net("pn");
+        d.connect(pn, PinRef::Port(p));
+        d.connect(pn, PinRef::inst(a, 0));
+        let mut pl = Placement::new(&d);
+        pl.pos[b.index()] = Point::from_um(500.0, 0.0);
+        (
+            d,
+            pl,
+            PortPlan {
+                pos: vec![Point::ORIGIN],
+            },
+        )
+    }
+
+    #[test]
+    fn no_buffers_in_library_is_a_noop_not_a_panic() {
+        let (mut d, mut pl, ports) = bufferless_long_net_design();
+        let before = d.num_insts();
+        let ins = insert_repeaters(&mut d, &mut pl, &ports, 200.0, &HashSet::new());
+        assert!(ins.is_empty(), "no buffer to insert: {ins:?}");
+        assert_eq!(d.num_insts(), before, "design untouched");
+
+        let hold = crate::analysis::HoldReport {
+            worst_slack_ps: -50.0,
+            violations: 1,
+            endpoints: vec![(macro3d_netlist::InstId(0), 0, 50.0)],
+        };
+        let fixed = fix_hold(&mut d, &mut pl, &hold, 8);
+        assert!(fixed.is_empty());
+        assert_eq!(d.num_insts(), before);
     }
 }
