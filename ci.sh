@@ -21,6 +21,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> bench smoke (MACRO3D_BENCH_SMOKE=1)"
 MACRO3D_BENCH_SMOKE=1 cargo bench -p macro3d-bench --bench engines
+python3 -c "
+import json
+r = json.load(open('target/BENCH_route_smoke.json'))
+ids = {m['id'] for m in r['route']}
+assert 'route_parallelism/serial' in ids, ids
+assert 'route_parallelism/incremental' in ids, ids
+assert r['macro3d_stage_seconds'], 'missing stage times'
+print('route bench smoke OK:', sorted(ids))
+"
 
 echo "==> obs smoke (full-trace flow + JSON validation)"
 ./target/release/obs_smoke

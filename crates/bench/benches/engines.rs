@@ -8,15 +8,17 @@
 //! parametric sign-off analysis, cold vs incremental sizing loop).
 //!
 //! Set `MACRO3D_BENCH_SMOKE=1` to run a down-scaled few-sample
-//! variant (the CI smoke run; it does not overwrite the JSON dumps),
-//! and `MACRO3D_BENCH_ONLY=<name>[,<name>...]` to run a subset of
-//! the bench functions (e.g. `place_parallelism`).
+//! variant (the CI smoke run; it leaves the tracked JSON dumps alone
+//! — the route bench writes `target/BENCH_route_smoke.json` instead
+//! so CI can validate the shape), and
+//! `MACRO3D_BENCH_ONLY=<name>[,<name>...]` to run a subset of the
+//! bench functions (e.g. `place_parallelism`).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use macro3d::flows::{Flow, Macro3d};
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::NetId;
 use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
-use macro3d_route::{route_design, Parallelism, RouteConfig};
+use macro3d_route::{Parallelism, RouteConfig, RouteRequest, Router};
 use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
 use macro3d_tech::stack::{n28_stack, DieRole};
 
@@ -94,7 +96,19 @@ fn bench_router(c: &mut Criterion) {
     let mut g = c.benchmark_group("route");
     g.sample_size(10);
     g.bench_function("global_route_2k_nets", |b| {
-        b.iter(|| route_design(die, &stack, &[], &nets, 2_000, &RouteConfig::default()))
+        b.iter(|| {
+            Router::new(
+                &RouteRequest {
+                    die,
+                    stack: &stack,
+                    obstacles: &[],
+                    nets: &nets,
+                    num_nets: 2_000,
+                },
+                &RouteConfig::default(),
+            )
+            .route()
+        })
     });
     g.finish();
     let _ = Dbu(0);
@@ -133,9 +147,10 @@ fn mol_bench_floorplan(
     (fp, ports)
 }
 
-/// Serial vs batched-parallel `route_design` on the large-cache tile
-/// (the macro-heavy configuration with the most routing work), plus a
-/// JSON dump for offline comparison.
+/// Serial vs batched-parallel `Router` sessions on the large-cache
+/// tile (the macro-heavy configuration with the most routing work),
+/// plus the incremental `update()` path and a JSON dump for offline
+/// comparison.
 fn bench_route_parallelism(c: &mut Criterion) {
     if !bench_enabled("route_parallelism") {
         return;
@@ -157,6 +172,13 @@ fn bench_route_parallelism(c: &mut Criterion) {
         stack.num_layers(),
         false,
     );
+    let request = RouteRequest {
+        die,
+        stack: &stack,
+        obstacles: &[],
+        nets: &nets,
+        num_nets: tile.design.num_nets(),
+    };
 
     let mut g = c.benchmark_group("route_parallelism");
     g.sample_size(if smoke() { 1 } else { 5 });
@@ -166,18 +188,36 @@ fn bench_route_parallelism(c: &mut Criterion) {
     ] {
         let mut rc = cfg.route;
         rc.parallelism = par;
-        g.bench_function(name, |b| {
-            b.iter(|| route_design(die, &stack, &[], &nets, tile.design.num_nets(), &rc))
-        });
+        g.bench_function(name, |b| b.iter(|| Router::new(&request, &rc).route()));
     }
+    // the incremental path a DSE loop would take: a live session
+    // absorbing a 1%-of-nets perturbation (pins shifted one GCell)
+    // without re-routing the rest of the design
+    let perturbed: Vec<_> = nets
+        .iter()
+        .step_by(100)
+        .map(|(id, pins)| {
+            let shift = Point::from_um(cfg.route.gcell_um, 0.0) - Point::ORIGIN;
+            let moved = pins
+                .iter()
+                .map(|&(p, l)| ((p + shift).min(die.hi).max(die.lo), l))
+                .collect();
+            (*id, moved)
+        })
+        .collect();
+    let mut session = Router::new(&request, &cfg.route);
+    session.route();
+    g.bench_function("incremental", |b| b.iter(|| session.update(&perturbed)));
     g.finish();
 
     // per-stage wall-clock of one full Macro-3D run on the same tile
     let stage_times = Macro3d.run(&tile, &cfg).implemented.stage_times;
     if smoke() {
-        eprintln!("smoke mode: not overwriting BENCH_route.json");
+        // the CI smoke run validates shape, not numbers: write to
+        // target/ so the tracked BENCH_route.json keeps real samples
+        write_route_json(c, &stage_times, "target/BENCH_route_smoke.json");
     } else {
-        write_route_json(c, &stage_times);
+        write_route_json(c, &stage_times, "BENCH_route.json");
     }
 }
 
@@ -189,9 +229,10 @@ fn bench_json_path(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
-/// Writes `BENCH_route.json`: the route_parallelism measurements and
-/// the flow's per-stage seconds.
-fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes) {
+/// Writes the route JSON dump (`BENCH_route.json`, or a target/ copy
+/// in smoke mode): the route_parallelism measurements and the flow's
+/// per-stage seconds.
+fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes, name: &str) {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
     let _ = writeln!(
@@ -226,9 +267,13 @@ fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes) {
         );
     }
     s.push_str("  ]\n}\n");
-    match std::fs::write(bench_json_path("BENCH_route.json"), &s) {
-        Ok(()) => eprintln!("wrote BENCH_route.json"),
-        Err(e) => eprintln!("could not write BENCH_route.json: {e}"),
+    let path = bench_json_path(name);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &s) {
+        Ok(()) => eprintln!("wrote {name}"),
+        Err(e) => eprintln!("could not write {name}: {e}"),
     }
 }
 

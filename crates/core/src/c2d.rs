@@ -21,7 +21,7 @@ use macro3d_geom::Dbu;
 use macro3d_netlist::{InstId, NetId};
 use macro3d_place::floorplan::die_for_area;
 use macro3d_place::{BlockageKind, Floorplan, PortPlan};
-use macro3d_route::route_design;
+use macro3d_route::{RouteRequest, Router};
 use macro3d_soc::TileNetlist;
 use macro3d_sta::{
     analyze_with, clock_arrivals, upsize_critical_path, StaInput, StaMode, StaSession,
@@ -98,14 +98,17 @@ pub(crate) fn implement(
         stack_2d.num_layers(),
         false,
     );
-    let routed_stage1 = route_design(
-        die_2x,
-        &stack_2d,
-        &obstacles,
-        &nets,
-        design.num_nets(),
+    let routed_stage1 = Router::new(
+        &RouteRequest {
+            die: die_2x,
+            stack: &stack_2d,
+            obstacles: &obstacles,
+            nets: &nets,
+            num_nets: design.num_nets(),
+        },
         &cfg.route,
-    );
+    )
+    .route();
     timer.mark("c2d_stage1_route");
     let mut parasitics = crate::flow::extract_all(
         &design,

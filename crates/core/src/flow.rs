@@ -6,7 +6,7 @@ use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
 use macro3d_par::{parallel_map, Parallelism};
 use macro3d_place::{global_place, legalize, Floorplan, GlobalPlaceConfig, Placement, PortPlan};
-use macro3d_route::{route_design, RouteConfig, RoutedDesign};
+use macro3d_route::{RouteConfig, RouteRequest, RoutedDesign, Router};
 use macro3d_soc::TileNetlist;
 use macro3d_sta::{
     analyze_power, analyze_with, check_hold, clock_arrivals, insert_repeaters,
@@ -660,14 +660,17 @@ pub fn finish_design(
         stack.num_layers(),
         macro_pins_projected,
     );
-    let routed = route_design(
-        die,
-        &stack,
-        &obstacles,
-        &nets,
-        design.num_nets(),
+    let routed = Router::new(
+        &RouteRequest {
+            die,
+            stack: &stack,
+            obstacles: &obstacles,
+            nets: &nets,
+            num_nets: design.num_nets(),
+        },
         &cfg.route,
-    );
+    )
+    .route();
     timer.mark("route");
     let mut parasitics = extract_all(
         &design,

@@ -63,5 +63,6 @@ pub use flow::{FlowConfig, ImplementedDesign, StageTimer, StageTimes};
 pub use flows::{Flow, FlowOutcome};
 pub use macro3d_obs::{FlowTrace, ObsConfig, ObsLevel};
 pub use macro3d_par::Parallelism;
+pub use macro3d_route::{RouteConfig, RouteConfigBuilder, RouteConfigError, RouteRequest, Router};
 pub use macro3d_sta::StaMode;
 pub use report::PpaResult;

@@ -37,7 +37,7 @@ use macro3d_place::floorplan::die_for_area;
 use macro3d_place::macro_place::pack_balanced;
 use macro3d_place::partition::{bipartition, FmConfig, Hypergraph};
 use macro3d_place::{legalize, BlockageKind, Floorplan, Placement, PortPlan};
-use macro3d_route::route_design;
+use macro3d_route::{RouteRequest, Router};
 use macro3d_soc::TileNetlist;
 use macro3d_sta::{
     analyze_with, clock_arrivals, upsize_critical_path, ClockTree, StaInput, StaMode, StaSession,
@@ -143,14 +143,17 @@ pub(crate) fn implement(
         stack_2d.num_layers(),
         false,
     );
-    let routed_stage1 = route_design(
-        die,
-        &stack_2d,
-        &obstacles,
-        &nets,
-        design.num_nets(),
+    let routed_stage1 = Router::new(
+        &RouteRequest {
+            die,
+            stack: &stack_2d,
+            obstacles: &obstacles,
+            nets: &nets,
+            num_nets: design.num_nets(),
+        },
         &cfg.route,
-    );
+    )
+    .route();
     timer.mark("s2d_stage1_route");
     let mut parasitics = crate::flow::extract_all(
         &design,

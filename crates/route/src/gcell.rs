@@ -1,4 +1,16 @@
-//! The GCell routing grid: per-layer capacities and usage.
+//! The GCell routing grid: per-layer capacities, usage, and the dense
+//! per-edge cost model the windowed A* search reads.
+//!
+//! The grid is stored structure-of-arrays, one contiguous block per
+//! layer (`[horizontal edges][vertical edges]`), so the search touches
+//! a single `f32` load per candidate step. Costs are *maintained*, not
+//! recomputed: every usage or history mutation goes through
+//! `RouteGrid::commit` / `RouteGrid::release` /
+//! `RouteGrid::accumulate_history`, which update the affected edge's
+//! cost and its overflow bit in place. The per-iteration overflow scan
+//! the first-generation router did (rebuilding a `HashSet` of
+//! overflowed edges) is gone; overflow membership is a dense bitset
+//! kept current by the same mutators.
 
 use macro3d_geom::{BinGrid, BinIx, Dbu, Point, Rect};
 use macro3d_tech::stack::{Direction, MetalStack};
@@ -25,6 +37,17 @@ pub struct RouteGrid {
     pub(crate) usage: Vec<f32>,
     /// congestion history per wire edge (negotiated congestion).
     pub(crate) history: Vec<f32>,
+    /// total search cost per wire edge: congestion multiplier × layer
+    /// cost, `f32::INFINITY` for blocked edges. Maintained by
+    /// `commit`/`release`/`accumulate_history`.
+    cost: Vec<f32>,
+    /// per-layer wire cost factor (upper, lower-resistance metals are
+    /// cheaper, pulling long nets up the stack).
+    layer_cost: Vec<f32>,
+    /// dense overflow-membership bitset over wire edges.
+    overflow_bits: Vec<u64>,
+    /// number of set bits in `overflow_bits`.
+    overflowed: usize,
     h_edges_per_layer: usize,
     v_edges_per_layer: usize,
 }
@@ -65,15 +88,37 @@ impl RouteGrid {
             }
         }
 
-        RouteGrid {
+        // upper (thicker, lower-R) metals are cheaper per GCell, so
+        // long nets are pulled up the stack as real global routers do
+        let r_max = stack
+            .layers()
+            .iter()
+            .map(|l| l.r_per_um)
+            .fold(f64::MIN, f64::max);
+        let layer_cost: Vec<f32> = stack
+            .layers()
+            .iter()
+            .map(|l| (0.55 + 0.45 * (l.r_per_um / r_max)) as f32)
+            .collect();
+
+        let n = per_layer * layers;
+        let mut g = RouteGrid {
             grid,
             layers,
-            usage: vec![0.0; per_layer * layers],
-            history: vec![0.0; per_layer * layers],
+            usage: vec![0.0; n],
+            history: vec![0.0; n],
+            cost: vec![0.0; n],
+            layer_cost,
+            overflow_bits: vec![0; n.div_ceil(64)],
+            overflowed: 0,
             cap,
             h_edges_per_layer,
             v_edges_per_layer,
+        };
+        for e in 0..n {
+            g.cost[e] = g.compute_cost(e);
         }
+        g
     }
 
     /// The underlying bin grid.
@@ -100,6 +145,12 @@ impl RouteGrid {
         self.h_edges_per_layer + self.v_edges_per_layer
     }
 
+    /// Per-layer wire cost factors (each ≥ the minimum the search
+    /// heuristic uses).
+    pub(crate) fn layer_costs(&self) -> &[f32] {
+        &self.layer_cost
+    }
+
     /// Edge between `(x,y)` and the next GCell in +x (horizontal) or
     /// +y (vertical) on `layer`; `None` at the grid boundary.
     pub(crate) fn edge_ix(
@@ -124,9 +175,109 @@ impl RouteGrid {
         }
     }
 
+    /// Horizontal edge `(x,y)→(x+1,y)` on `layer`; bounds unchecked
+    /// (the windowed search guarantees in-grid coordinates).
+    #[inline]
+    pub(crate) fn h_edge(&self, layer: usize, x: usize, y: usize) -> usize {
+        debug_assert!(x + 1 < self.grid.nx() as usize && y < self.grid.ny() as usize);
+        layer * self.per_layer() + y * (self.grid.nx() as usize - 1) + x
+    }
+
+    /// Vertical edge `(x,y)→(x,y+1)` on `layer`; bounds unchecked.
+    #[inline]
+    pub(crate) fn v_edge(&self, layer: usize, x: usize, y: usize) -> usize {
+        debug_assert!(y + 1 < self.grid.ny() as usize && x < self.grid.nx() as usize);
+        layer * self.per_layer() + self.h_edges_per_layer + y * self.grid.nx() as usize + x
+    }
+
     /// Capacity of a wire edge.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn capacity(&self, e: usize) -> f32 {
         self.cap[e]
+    }
+
+    /// Maintained search cost of a wire edge (`INFINITY` when
+    /// blocked).
+    #[inline]
+    pub(crate) fn cost(&self, e: usize) -> f32 {
+        self.cost[e]
+    }
+
+    /// Wire-step cost: congestion multiplier (the marginal cost of
+    /// one more track through this edge, steep once over capacity,
+    /// plus accumulated negotiation history) times the layer factor.
+    fn compute_cost(&self, e: usize) -> f32 {
+        let c = self.cap[e];
+        if c <= 0.0 {
+            return f32::INFINITY;
+        }
+        let u = self.usage[e];
+        let h = self.history[e];
+        let base = if u + 1.0 > c {
+            (4.0 + 4.0 * (u + 1.0 - c)).min(16.0)
+        } else {
+            1.0 + 0.3 * (u / c)
+        };
+        (base + h).min(24.0) * self.layer_cost[e / self.per_layer()]
+    }
+
+    #[inline]
+    fn set_overflow_bit(&mut self, e: usize) {
+        let (w, b) = (e / 64, e % 64);
+        if self.overflow_bits[w] & (1 << b) == 0 {
+            self.overflow_bits[w] |= 1 << b;
+            self.overflowed += 1;
+        }
+    }
+
+    #[inline]
+    fn clear_overflow_bit(&mut self, e: usize) {
+        let (w, b) = (e / 64, e % 64);
+        if self.overflow_bits[w] & (1 << b) != 0 {
+            self.overflow_bits[w] &= !(1 << b);
+            self.overflowed -= 1;
+        }
+    }
+
+    /// Whether committing one more track would push the edge over
+    /// capacity — the pattern-route acceptance test.
+    #[inline]
+    pub(crate) fn would_overflow(&self, e: usize) -> bool {
+        self.usage[e] + 1.0 > self.cap[e]
+    }
+
+    /// Whether a wire edge is currently overflowed (usage beyond
+    /// capacity), from the maintained bitset.
+    #[inline]
+    pub(crate) fn is_overflowed(&self, e: usize) -> bool {
+        self.overflow_bits[e / 64] & (1 << (e % 64)) != 0
+    }
+
+    /// Number of currently overflowed wire edges (maintained).
+    pub(crate) fn overflow_count(&self) -> usize {
+        self.overflowed
+    }
+
+    /// Adds one track of usage to a wire edge and refreshes its cost
+    /// and overflow bit.
+    #[inline]
+    pub(crate) fn commit(&mut self, e: usize) {
+        self.usage[e] += 1.0;
+        self.cost[e] = self.compute_cost(e);
+        if self.usage[e] > self.cap[e] {
+            self.set_overflow_bit(e);
+        }
+    }
+
+    /// Removes one track of usage from a wire edge (rip-up) and
+    /// refreshes its cost and overflow bit.
+    #[inline]
+    pub(crate) fn release(&mut self, e: usize) {
+        self.usage[e] -= 1.0;
+        self.cost[e] = self.compute_cost(e);
+        if self.usage[e] <= self.cap[e] {
+            self.clear_overflow_bit(e);
+        }
     }
 
     /// Reduces capacity under an obstacle on `layer` (macro internal
@@ -149,6 +300,10 @@ impl RouteGrid {
                 for horiz in [true, false] {
                     if let Some(e) = self.edge_ix(layer, x as usize, y as usize, horiz) {
                         self.cap[e] = (self.cap[e] * (1.0 - frac)).max(0.0);
+                        self.cost[e] = self.compute_cost(e);
+                        if self.usage[e] > self.cap[e] {
+                            self.set_overflow_bit(e);
+                        }
                     }
                 }
             }
@@ -166,11 +321,7 @@ impl RouteGrid {
 
     /// Number of overflowed edges.
     pub fn overflowed_edges(&self) -> usize {
-        self.usage
-            .iter()
-            .zip(&self.cap)
-            .filter(|&(&u, &c)| u > c)
-            .count()
+        self.overflowed
     }
 
     /// Maximum edge utilization (usage / capacity) over edges with
@@ -194,11 +345,18 @@ impl RouteGrid {
             .map(|(&u, &c)| (u, c))
     }
 
-    /// Accumulates congestion history from current overflow.
+    /// Accumulates congestion history from current overflow. Only
+    /// overflowed edges (tracked by the bitset) are visited; each
+    /// one's cost is refreshed in place.
     pub(crate) fn accumulate_history(&mut self, weight: f32) {
-        for ((h, &u), &c) in self.history.iter_mut().zip(&self.usage).zip(&self.cap) {
-            if u > c {
-                *h += weight * (u - c + 1.0);
+        for w in 0..self.overflow_bits.len() {
+            let mut bits = self.overflow_bits[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let e = w * 64 + b;
+                self.history[e] += weight * (self.usage[e] - self.cap[e] + 1.0);
+                self.cost[e] = self.compute_cost(e);
             }
         }
     }
@@ -227,12 +385,15 @@ mod tests {
         // M1 has no vertical capacity
         let ev = g.edge_ix(0, 0, 0, false).expect("edge");
         assert_eq!(g.capacity(ev), 0.0);
+        assert_eq!(g.cost(ev), f32::INFINITY, "no capacity means blocked");
         // M2 vertical has capacity
         let e2 = g.edge_ix(1, 0, 0, false).expect("edge");
         assert!(g.capacity(e2) > 0.0);
         // M5 has fewer tracks than M1 (bigger pitch)
         let e5 = g.edge_ix(4, 0, 0, true).expect("edge");
         assert!(g.capacity(e5) < g.capacity(e));
+        // ... but a cheaper per-gcell cost (lower resistance)
+        assert!(g.cost(e5) < g.cost(e));
     }
 
     #[test]
@@ -257,15 +418,44 @@ mod tests {
     }
 
     #[test]
-    fn overflow_accounting() {
+    fn overflow_accounting_tracks_commits() {
         let mut g = grid();
         assert_eq!(g.total_overflow(), 0.0);
         let e = g.edge_ix(0, 0, 0, true).expect("edge");
-        g.usage[e] = g.capacity(e) + 3.0;
+        let cap = g.capacity(e) as usize;
+        for _ in 0..cap + 3 {
+            g.commit(e);
+        }
         assert!((g.total_overflow() - 3.0).abs() < 1e-3);
         assert_eq!(g.overflowed_edges(), 1);
+        assert!(g.is_overflowed(e));
         assert!(g.max_utilization() > 1.0);
         g.accumulate_history(1.0);
         assert!(g.history[e] > 0.0);
+        // releasing back below capacity clears the bit
+        for _ in 0..4 {
+            g.release(e);
+        }
+        assert_eq!(g.overflowed_edges(), 0);
+        assert!(!g.is_overflowed(e));
+        assert_eq!(g.total_overflow(), 0.0);
+    }
+
+    #[test]
+    fn cost_rises_with_usage_and_history() {
+        let mut g = grid();
+        let e = g.edge_ix(0, 1, 1, true).expect("edge");
+        let c0 = g.cost(e);
+        g.commit(e);
+        let c1 = g.cost(e);
+        assert!(c1 > c0, "usage raises cost: {c0} -> {c1}");
+        // saturate beyond capacity: cost jumps to the overflow regime
+        let cap = g.capacity(e) as usize;
+        for _ in 0..cap {
+            g.commit(e);
+        }
+        assert!(g.cost(e) > 4.0 * c0);
+        g.accumulate_history(1.0);
+        assert!(g.cost(e) > c1, "history raises cost further");
     }
 }

@@ -1,9 +1,18 @@
-//! Negotiated-congestion global routing (PathFinder-style), with a
-//! batched-commit parallel inner loop.
+//! Negotiated-congestion global routing (PathFinder-style) as an
+//! incremental [`Router`] session with a batched-commit parallel
+//! inner loop.
+//!
+//! The session is constructed once from a [`RouteRequest`] and keeps
+//! everything that survives between routing calls: the GCell grid
+//! with its maintained per-edge cost array and overflow bitset, the
+//! per-net Steiner topologies, and the committed paths. The first
+//! [`Router::route`] pays full cost; [`Router::update`] rips up only
+//! the nets whose pins changed and renegotiates from the existing
+//! committed state — the same shape `StaSession` gave static timing.
 //!
 //! Each rip-up iteration partitions its nets into fixed-size chunks.
 //! A chunk is routed against a *frozen* congestion snapshot — workers
-//! search in parallel, each reusing its own A* scratch buffers — and
+//! search in parallel, each borrowing pooled A* scratch buffers — and
 //! then usage is committed serially in chunk order before the next
 //! chunk starts. Because the chunk partition and commit order depend
 //! only on [`RouteConfig`] (never on the thread count), the routed
@@ -11,13 +20,15 @@
 
 use crate::gcell::RouteGrid;
 use crate::routed::{RouteSeg, RoutedDesign, RoutedNet, Via};
+use crate::search::{route_leg, ScratchPool, SearchShared};
 use crate::steiner::steiner_edges;
 use macro3d_geom::{BinIx, Dbu, Point, Rect};
 use macro3d_netlist::NetId;
 use macro3d_par::{parallel_map_with, Parallelism};
-use macro3d_tech::stack::{Direction, MetalStack};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use macro3d_tech::stack::MetalStack;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Router configuration.
 #[derive(Clone, Copy, Debug)]
@@ -56,19 +67,551 @@ impl Default for RouteConfig {
     }
 }
 
+impl RouteConfig {
+    /// Starts a validating builder from the defaults (the router
+    /// sibling of `FlowConfig::builder`).
+    pub fn builder() -> RouteConfigBuilder {
+        RouteConfigBuilder {
+            cfg: RouteConfig::default(),
+        }
+    }
+}
+
+/// A rejected [`RouteConfig`] field (see [`RouteConfigBuilder::build`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouteConfigError {
+    /// A length that must be strictly positive was not.
+    NonPositive {
+        /// Offending field.
+        field: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// `utilization` fell outside `(0, 1]`.
+    Utilization {
+        /// Rejected value.
+        value: f64,
+    },
+    /// `iterations` was zero (the router must run at least one pass).
+    ZeroIterations,
+}
+
+impl fmt::Display for RouteConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be > 0, got {value}")
+            }
+            RouteConfigError::Utilization { value } => {
+                write!(f, "utilization must be in (0, 1], got {value}")
+            }
+            RouteConfigError::ZeroIterations => {
+                write!(f, "iterations must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteConfigError {}
+
+/// Builds a [`RouteConfig`] with range validation. Obtain one via
+/// [`RouteConfig::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_route::RouteConfig;
+///
+/// let cfg = RouteConfig::builder()
+///     .gcell_um(5.0)
+///     .iterations(4)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.iterations, 4);
+///
+/// assert!(RouteConfig::builder().utilization(1.5).build().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouteConfigBuilder {
+    cfg: RouteConfig,
+}
+
+impl RouteConfigBuilder {
+    /// GCell pitch, µm.
+    pub fn gcell_um(mut self, um: f64) -> Self {
+        self.cfg.gcell_um = um;
+        self
+    }
+
+    /// Fraction of raw tracks available to global routing, `(0, 1]`.
+    pub fn utilization(mut self, u: f64) -> Self {
+        self.cfg.utilization = u;
+        self
+    }
+
+    /// Rip-up and re-route iterations (at least 1).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.cfg.iterations = n;
+        self
+    }
+
+    /// Cost of one via transition, in GCell-step units.
+    pub fn via_cost(mut self, cost: f64) -> Self {
+        self.cfg.via_cost = cost;
+        self
+    }
+
+    /// Maximum routed net degree (bigger nets are skipped).
+    pub fn max_net_degree(mut self, degree: usize) -> Self {
+        self.cfg.max_net_degree = degree;
+        self
+    }
+
+    /// F2F bond pitch for the bump-density check (`None` disables).
+    pub fn f2f_pitch_um(mut self, pitch: Option<f64>) -> Self {
+        self.cfg.f2f_pitch_um = pitch;
+        self
+    }
+
+    /// Worker threads and commit chunk size.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.cfg.parallelism = par;
+        self
+    }
+
+    /// Validates every range and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RouteConfigError`] encountered: a
+    /// non-positive (or NaN) `gcell_um`, a `utilization` outside
+    /// `(0, 1]`, or zero `iterations`.
+    pub fn build(self) -> Result<RouteConfig, RouteConfigError> {
+        let cfg = self.cfg;
+        if cfg.gcell_um.is_nan() || cfg.gcell_um <= 0.0 {
+            return Err(RouteConfigError::NonPositive {
+                field: "gcell_um",
+                value: cfg.gcell_um,
+            });
+        }
+        if !(cfg.utilization > 0.0 && cfg.utilization <= 1.0) {
+            return Err(RouteConfigError::Utilization {
+                value: cfg.utilization,
+            });
+        }
+        if cfg.iterations == 0 {
+            return Err(RouteConfigError::ZeroIterations);
+        }
+        Ok(cfg)
+    }
+}
+
 /// A pin handed to the router: location plus routing-stack layer.
 pub type RoutePin = (Point, u16);
 
-/// Routes a set of nets over a die and stack.
+/// Everything the router needs to start a session.
 ///
 /// `nets` carries, per net, its pins with their layer in the given
 /// stack (the flows map macro-die pins to `_MD` layers here).
 /// `obstacles` are (layer, rect) capacity reductions (macro internal
 /// routing). `num_nets` sizes the result's per-net table.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteRequest<'a> {
+    /// Die (routing area) outline.
+    pub die: Rect,
+    /// The metal stack routed over (single-die or combined F2F).
+    pub stack: &'a MetalStack,
+    /// Capacity reductions: (layer, rect) pairs.
+    pub obstacles: &'a [(usize, Rect)],
+    /// The nets to route, each with its pins.
+    pub nets: &'a [(NetId, Vec<RoutePin>)],
+    /// Size of the result's per-net table (`>= max NetId + 1`).
+    pub num_nets: usize,
+}
+
+/// One leg of a net's Steiner topology: two (GCell, layer) endpoints.
+type Leg = ((BinIx, u16), (BinIx, u16));
+
+/// An incremental global-routing session.
+///
+/// Construct once with [`Router::new`], then call [`Router::route`]
+/// for the initial result. After the caller perturbs some nets (pin
+/// moves from sizing, repeater or hold-fix insertion, a DSE step),
+/// [`Router::update`] re-routes only those nets — every other net
+/// keeps its committed path, and the negotiation loop then rips up
+/// just what overflows. Grid, costs, congestion history, Steiner
+/// topologies, and search scratch all persist across calls.
+///
+/// Every net is guaranteed a route (possibly through overflowed
+/// edges, reported in the result).
+///
+/// # Examples
+///
+/// ```
+/// use macro3d_geom::{Point, Rect};
+/// use macro3d_netlist::NetId;
+/// use macro3d_route::{RouteConfig, RouteRequest, Router};
+/// use macro3d_tech::stack::{n28_stack, DieRole};
+///
+/// let stack = n28_stack(6, DieRole::Logic);
+/// let nets = vec![(
+///     NetId(0),
+///     vec![(Point::from_um(10.0, 10.0), 0), (Point::from_um(90.0, 50.0), 0)],
+/// )];
+/// let mut router = Router::new(
+///     &RouteRequest {
+///         die: Rect::from_um(0.0, 0.0, 100.0, 100.0),
+///         stack: &stack,
+///         obstacles: &[],
+///         nets: &nets,
+///         num_nets: 1,
+///     },
+///     &RouteConfig::default(),
+/// );
+/// let first = router.route();
+/// assert!(first.net(NetId(0)).is_some());
+///
+/// // move a pin and re-route just that net
+/// let moved = vec![(
+///     NetId(0),
+///     vec![(Point::from_um(10.0, 10.0), 0), (Point::from_um(50.0, 90.0), 0)],
+/// )];
+/// let second = router.update(&moved);
+/// assert!(second.net(NetId(0)).is_some());
+/// ```
+pub struct Router {
+    cfg: RouteConfig,
+    grid: RouteGrid,
+    f2f_cut: Option<usize>,
+    shared: Arc<SearchShared>,
+    pool: ScratchPool,
+    /// owned copy of the request's nets (pins are replaced by
+    /// `update`).
+    nets: Vec<(NetId, Vec<RoutePin>)>,
+    /// `NetId` → index into the parallel per-net tables.
+    index: HashMap<NetId, usize>,
+    num_nets: usize,
+    /// routable nets sorted by bounding-box span (short first — they
+    /// have the least flexibility).
+    order: Vec<usize>,
+    /// cached Steiner decomposition per net (empty for skipped nets).
+    topo: Vec<Vec<Leg>>,
+    routes: Vec<Option<RoutedNet>>,
+    /// wire edges committed by each net's current route.
+    net_edges: Vec<Vec<u32>>,
+    /// nets awaiting (re-)routing in the next negotiation.
+    pending: Vec<bool>,
+}
+
+impl Router {
+    /// Builds the session: grid, obstacles, search constants, and the
+    /// Steiner topology of every routable net.
+    pub fn new(req: &RouteRequest<'_>, cfg: &RouteConfig) -> Self {
+        let mut grid = RouteGrid::new(
+            req.die,
+            req.stack,
+            Dbu::from_um(cfg.gcell_um),
+            cfg.utilization,
+        );
+        for &(layer, rect) in req.obstacles {
+            grid.add_obstacle(layer, rect);
+        }
+        // per-cut via costs: the F2F hybrid bond is electrically
+        // trivial (44 mOhm / 1 fF), so crossing it costs far less than
+        // a regular via stack — this is what lets the router use the
+        // macro die's thick metals for logic-die nets (paper Sec. III:
+        // "routing paths starting and ending in the same die but still
+        // traversing the other die to avoid congestions")
+        let via_costs: Vec<f32> = req
+            .stack
+            .vias()
+            .iter()
+            .map(|v| if v.is_f2f { 0.6 } else { cfg.via_cost as f32 })
+            .collect();
+        let dirs = req.stack.layers().iter().map(|l| l.direction).collect();
+        let shared = Arc::new(SearchShared::new(
+            &grid,
+            dirs,
+            via_costs,
+            cfg.via_cost as f32,
+        ));
+
+        let nets: Vec<(NetId, Vec<RoutePin>)> = req.nets.to_vec();
+        let index = nets
+            .iter()
+            .enumerate()
+            .map(|(k, (id, _))| (*id, k))
+            .collect();
+        let topo = nets
+            .iter()
+            .map(|(_, pins)| {
+                if routable(pins, cfg.max_net_degree) {
+                    topo_of(&grid, pins)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let n = nets.len();
+        let mut router = Router {
+            cfg: *cfg,
+            grid,
+            f2f_cut: req.stack.f2f_cut(),
+            shared,
+            pool: ScratchPool::new(),
+            nets,
+            index,
+            num_nets: req.num_nets,
+            order: Vec::new(),
+            topo,
+            routes: vec![None; n],
+            net_edges: vec![Vec::new(); n],
+            pending: vec![false; n],
+        };
+        router.rebuild_order();
+        router
+    }
+
+    /// Routes every net that does not yet have a committed path, then
+    /// runs the negotiation loop over whatever overflows. The first
+    /// call routes the whole design; calling it again is cheap when
+    /// nothing is pending and nothing overflows.
+    pub fn route(&mut self) -> RoutedDesign {
+        for &i in &self.order {
+            if self.routes[i].is_none() {
+                self.pending[i] = true;
+            }
+        }
+        self.negotiate();
+        self.assemble()
+    }
+
+    /// Replaces the pins of `changed` nets (new `NetId`s are added to
+    /// the session), rips up exactly those nets, and renegotiates
+    /// incrementally: every unaffected net keeps its committed path
+    /// unless a later iteration finds it crossing an overflowed edge.
+    pub fn update(&mut self, changed: &[(NetId, Vec<RoutePin>)]) -> RoutedDesign {
+        INCREMENTAL_UPDATES.inc();
+        NETS_UPDATED.add(changed.len() as u64);
+        for (id, pins) in changed {
+            let k = match self.index.get(id) {
+                Some(&k) => k,
+                None => {
+                    let k = self.nets.len();
+                    self.nets.push((*id, Vec::new()));
+                    self.topo.push(Vec::new());
+                    self.routes.push(None);
+                    self.net_edges.push(Vec::new());
+                    self.pending.push(false);
+                    self.index.insert(*id, k);
+                    k
+                }
+            };
+            for &e in &self.net_edges[k] {
+                self.grid.release(e as usize);
+            }
+            self.net_edges[k].clear();
+            self.routes[k] = None;
+            self.nets[k].1.clone_from(pins);
+            if routable(pins, self.cfg.max_net_degree) {
+                self.topo[k] = topo_of(&self.grid, pins);
+                self.pending[k] = true;
+            } else {
+                self.topo[k] = Vec::new();
+                self.pending[k] = false;
+            }
+            self.num_nets = self.num_nets.max(id.index() + 1);
+        }
+        self.rebuild_order();
+        self.negotiate();
+        self.assemble()
+    }
+
+    /// The congestion grid (for reporting, e.g.
+    /// [`crate::CongestionReport::from_grid`]).
+    pub fn grid(&self) -> &RouteGrid {
+        &self.grid
+    }
+
+    fn rebuild_order(&mut self) {
+        let nets = &self.nets;
+        let cfg_degree = self.cfg.max_net_degree;
+        let mut order: Vec<usize> = (0..nets.len())
+            .filter(|&i| routable(&nets[i].1, cfg_degree))
+            .collect();
+        order.sort_by_key(|&i| {
+            let pins = &nets[i].1;
+            let mut lo = pins[0].0;
+            let mut hi = pins[0].0;
+            for p in pins {
+                lo = lo.min(p.0);
+                hi = hi.max(p.0);
+            }
+            lo.manhattan(hi)
+        });
+        self.order = order;
+    }
+
+    /// The PathFinder loop: iteration 0 routes pending nets, later
+    /// iterations rip up and re-route whatever crosses an overflowed
+    /// edge (found via the grid's maintained bitset). Chunked batched
+    /// commit keeps results thread-count invariant.
+    fn negotiate(&mut self) {
+        let par = self.cfg.parallelism;
+        for iter in 0..self.cfg.iterations.max(1) {
+            let _iter_span = macro3d_obs::span_full!("route/iter{iter}");
+            ROUTE_ITERATIONS.inc();
+            let reroute: Vec<usize> = if iter == 0 {
+                self.order
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.pending[i])
+                    .collect()
+            } else {
+                if self.grid.overflow_count() == 0 {
+                    break;
+                }
+                RIPUP_ROUNDS.inc();
+                let victims: Vec<usize> = self
+                    .order
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.net_edges[i]
+                            .iter()
+                            .any(|&e| self.grid.is_overflowed(e as usize))
+                    })
+                    .collect();
+                self.grid.accumulate_history(1.0);
+                for &i in &victims {
+                    for &e in &self.net_edges[i] {
+                        self.grid.release(e as usize);
+                    }
+                    self.net_edges[i].clear();
+                    self.routes[i] = None;
+                }
+                victims
+            };
+
+            // Batched commit: each chunk routes against the congestion
+            // state frozen at its start, then usage lands serially in
+            // chunk order. Identical results for any thread count.
+            NETS_REROUTED.add(reroute.len() as u64);
+            for chunk in reroute.chunks(par.chunk_size.max(1)) {
+                CHUNK_NETS.record(chunk.len() as u64);
+                let grid = &self.grid;
+                let shared = &*self.shared;
+                let topo = &self.topo;
+                let pool = &self.pool;
+                let f2f_cut = self.f2f_cut;
+                let results: Vec<(RoutedNet, Vec<u32>)> = parallel_map_with(
+                    chunk,
+                    &par,
+                    || pool.checkout(shared),
+                    |scratch, _k, &i| route_legs(shared, grid, scratch.get(), &topo[i], f2f_cut),
+                );
+                for (&i, (net_route, edges)) in chunk.iter().zip(results) {
+                    for &e in &edges {
+                        self.grid.commit(e as usize);
+                    }
+                    self.net_edges[i] = edges;
+                    self.routes[i] = Some(net_route);
+                }
+            }
+            // serial commit section, so the per-iteration overflow
+            // history is deterministic for any thread count
+            if macro3d_obs::enabled(macro3d_obs::ObsLevel::Summary) {
+                macro3d_obs::registry()
+                    .series("route/overflow")
+                    .push(self.grid.total_overflow());
+            }
+        }
+        self.pending.iter_mut().for_each(|p| *p = false);
+    }
+
+    /// Snapshots the session state into a [`RoutedDesign`] indexed by
+    /// `NetId`.
+    fn assemble(&self) -> RoutedDesign {
+        let mut result = RoutedDesign {
+            nets: vec![None; self.num_nets],
+            ..Default::default()
+        };
+        for (k, (net_id, _)) in self.nets.iter().enumerate() {
+            if let Some(r) = &self.routes[k] {
+                result.total_wirelength_um += r.wirelength_um();
+                result.f2f_bumps += r.f2f_crossings as u64;
+                result.nets[net_id.index()] = Some(r.clone());
+            }
+        }
+        result.overflow = self.grid.total_overflow();
+        result.overflowed_edges = self.grid.overflowed_edges();
+        result.max_utilization = self.grid.max_utilization();
+        // bump-density check: crossings per GCell vs the pitch budget
+        if let (Some(pitch), Some(cut)) = (self.cfg.f2f_pitch_um, self.f2f_cut) {
+            let per_gcell = (self.cfg.gcell_um / pitch).max(1.0).powi(2) as u32;
+            let mut counts: HashMap<(i64, i64), u32> = HashMap::new();
+            for r in result.nets.iter().flatten() {
+                for v in &r.vias {
+                    if v.layer as usize == cut {
+                        let b = self.grid.gcell_of(v.at);
+                        *counts.entry((b.x as i64, b.y as i64)).or_insert(0) += 1;
+                    }
+                }
+            }
+            result.f2f_overcrowded_gcells = counts.values().filter(|&&c| c > per_gcell).count();
+        }
+        result
+    }
+}
+
+/// Whether the router handles a net (2 pins up to the degree cap;
+/// pre-CTS clock nets are routed by CTS instead).
+fn routable(pins: &[RoutePin], max_net_degree: usize) -> bool {
+    pins.len() >= 2 && pins.len() <= max_net_degree
+}
+
+/// Decomposes a net into routed legs: Steiner topology over the pin
+/// locations, each edge annotated with its endpoints' layers (Steiner
+/// points introduced by the decomposition route from layer 0).
+fn topo_of(grid: &RouteGrid, pins: &[RoutePin]) -> Vec<Leg> {
+    let points: Vec<Point> = pins.iter().map(|p| p.0).collect();
+    let layer_of = |pt: Point| -> u16 { pins.iter().find(|p| p.0 == pt).map(|p| p.1).unwrap_or(0) };
+    steiner_edges(&points)
+        .into_iter()
+        .map(|(a, b)| {
+            (
+                (grid.gcell_of(a), layer_of(a)),
+                (grid.gcell_of(b), layer_of(b)),
+            )
+        })
+        .collect()
+}
+
+/// Routes one net's cached legs; returns the merged route and the
+/// wire-edge indices used.
+fn route_legs(
+    shared: &SearchShared,
+    grid: &RouteGrid,
+    scratch: &mut crate::search::SearchScratch,
+    legs: &[Leg],
+    f2f_cut: Option<usize>,
+) -> (RoutedNet, Vec<u32>) {
+    let mut net = RoutedNet::default();
+    let mut edges = Vec::new();
+    for &(src, dst) in legs {
+        let path = route_leg(shared, grid, scratch, src, dst);
+        append_path(grid, &path, &mut net, &mut edges, f2f_cut);
+    }
+    (net, edges)
+}
+
+/// Routes a set of nets over a die and stack in one shot.
 ///
 /// Every net is guaranteed a route (possibly through overflowed
 /// edges, reported in the result); the negotiated-congestion loop
 /// spreads overflow across iterations.
+#[deprecated(note = "build a `Router` from a `RouteRequest` and call `route()`; \
+            the session also supports incremental `update()`")]
 pub fn route_design(
     die: Rect,
     stack: &MetalStack,
@@ -77,168 +620,17 @@ pub fn route_design(
     num_nets: usize,
     cfg: &RouteConfig,
 ) -> RoutedDesign {
-    let mut grid = RouteGrid::new(die, stack, Dbu::from_um(cfg.gcell_um), cfg.utilization);
-    for &(layer, rect) in obstacles {
-        grid.add_obstacle(layer, rect);
-    }
-    let f2f_cut = stack.f2f_cut();
-    let dirs: Vec<Direction> = stack.layers().iter().map(|l| l.direction).collect();
-    // upper (thicker, lower-R) metals are cheaper per GCell, so long
-    // nets are pulled up the stack as real global routers do
-    let r_max = stack
-        .layers()
-        .iter()
-        .map(|l| l.r_per_um)
-        .fold(f64::MIN, f64::max);
-    let layer_cost: Vec<f64> = stack
-        .layers()
-        .iter()
-        .map(|l| 0.55 + 0.45 * (l.r_per_um / r_max))
-        .collect();
-
-    // per-cut via costs: the F2F hybrid bond is electrically trivial
-    // (44 mOhm / 1 fF), so crossing it costs far less than a regular
-    // via stack — this is what lets the router use the macro die's
-    // thick metals for logic-die nets (paper Sec. III: "routing paths
-    // starting and ending in the same die but still traversing the
-    // other die to avoid congestions")
-    let via_costs: Vec<f64> = stack
-        .vias()
-        .iter()
-        .map(|v| if v.is_f2f { 0.6 } else { cfg.via_cost })
-        .collect();
-    let par = cfg.parallelism;
-    let new_router = |g: &RouteGrid| {
-        AStar::new(
-            g,
-            dirs.clone(),
-            layer_cost.clone(),
-            via_costs.clone(),
-            cfg.via_cost,
-        )
-    };
-    // Serial runs keep one router for the whole design (scratch reuse
-    // across chunks); parallel runs build one per worker per chunk.
-    let mut serial_router = (par.effective_threads() <= 1).then(|| new_router(&grid));
-
-    // order: short nets first (they have the least flexibility)
-    let mut order: Vec<usize> = (0..nets.len())
-        .filter(|&i| nets[i].1.len() >= 2 && nets[i].1.len() <= cfg.max_net_degree)
-        .collect();
-    order.sort_by_key(|&i| {
-        let pins = &nets[i].1;
-        let mut lo = pins[0].0;
-        let mut hi = pins[0].0;
-        for p in pins {
-            lo = lo.min(p.0);
-            hi = hi.max(p.0);
-        }
-        lo.manhattan(hi)
-    });
-
-    let mut routes: Vec<Option<RoutedNet>> = vec![None; nets.len()];
-    let mut net_edges: Vec<Vec<u32>> = vec![Vec::new(); nets.len()];
-
-    for iter in 0..cfg.iterations.max(1) {
-        let _iter_span = macro3d_obs::span_full!("route/iter{iter}");
-        ROUTE_ITERATIONS.inc();
-        let reroute: Vec<usize> = if iter == 0 {
-            order.clone()
-        } else {
-            // rip up nets crossing overflowed edges
-            let over: std::collections::HashSet<u32> = grid
-                .usage
-                .iter()
-                .enumerate()
-                .filter(|&(e, &u)| u > grid.capacity(e))
-                .map(|(e, _)| e as u32)
-                .collect();
-            if over.is_empty() {
-                break;
-            }
-            RIPUP_ROUNDS.inc();
-            let victims: Vec<usize> = order
-                .iter()
-                .copied()
-                .filter(|&i| net_edges[i].iter().any(|e| over.contains(e)))
-                .collect();
-            grid.accumulate_history(1.0);
-            for &i in &victims {
-                for &e in &net_edges[i] {
-                    grid.usage[e as usize] -= 1.0;
-                }
-                net_edges[i].clear();
-                routes[i] = None;
-            }
-            victims
-        };
-
-        // Batched commit: each chunk routes against the congestion
-        // state frozen at its start, then usage lands serially in
-        // chunk order. Identical results for any thread count.
-        NETS_REROUTED.add(reroute.len() as u64);
-        for chunk in reroute.chunks(par.chunk_size.max(1)) {
-            CHUNK_NETS.record(chunk.len() as u64);
-            let results: Vec<(RoutedNet, Vec<u32>)> = match serial_router.as_mut() {
-                Some(router) => chunk
-                    .iter()
-                    .map(|&i| route_net(router, &grid, &nets[i].1, f2f_cut))
-                    .collect(),
-                None => parallel_map_with(
-                    chunk,
-                    &par,
-                    || new_router(&grid),
-                    |router, _k, &i| route_net(router, &grid, &nets[i].1, f2f_cut),
-                ),
-            };
-            for (&i, (net_route, edges)) in chunk.iter().zip(results) {
-                for &e in &edges {
-                    grid.usage[e as usize] += 1.0;
-                }
-                net_edges[i] = edges;
-                routes[i] = Some(net_route);
-            }
-        }
-        // serial commit section, so the per-iteration overflow history
-        // is deterministic for any thread count
-        if macro3d_obs::enabled(macro3d_obs::ObsLevel::Summary) {
-            macro3d_obs::registry()
-                .series("route/overflow")
-                .push(grid.total_overflow());
-        }
-    }
-
-    // assemble result indexed by NetId
-    let mut result = RoutedDesign {
-        nets: vec![None; num_nets],
-        ..Default::default()
-    };
-    for (k, (net_id, _)) in nets.iter().enumerate() {
-        if let Some(r) = routes[k].take() {
-            result.total_wirelength_um += r.wirelength_um();
-            result.f2f_bumps += r.f2f_crossings as u64;
-            result.nets[net_id.index()] = Some(r);
-        }
-    }
-    result.overflow = grid.total_overflow();
-    result.overflowed_edges = grid.overflowed_edges();
-    result.max_utilization = grid.max_utilization();
-    // bump-density check: crossings per GCell vs the pitch budget
-    if let (Some(pitch), Some(cut)) = (cfg.f2f_pitch_um, f2f_cut) {
-        let per_gcell = (cfg.gcell_um / pitch).max(1.0).powi(2) as u32;
-        let mut counts: std::collections::HashMap<(i64, i64), u32> =
-            std::collections::HashMap::new();
-        for r in result.nets.iter().flatten() {
-            for v in &r.vias {
-                if v.layer as usize == cut {
-                    let b = grid.gcell_of(v.at);
-                    *counts.entry((b.x as i64, b.y as i64)).or_insert(0) += 1;
-                }
-            }
-        }
-        result.f2f_overcrowded_gcells = counts.values().filter(|&&c| c > per_gcell).count();
-    }
-    result
+    Router::new(
+        &RouteRequest {
+            die,
+            stack,
+            obstacles,
+            nets,
+            num_nets,
+        },
+        cfg,
+    )
+    .route()
 }
 
 /// Negotiation iterations executed (first pass included).
@@ -251,27 +643,11 @@ static NETS_REROUTED: macro3d_obs::SiteCounter =
     macro3d_obs::SiteCounter::new("route/nets_rerouted");
 /// Nets per batched-commit chunk.
 static CHUNK_NETS: macro3d_obs::SiteHistogram = macro3d_obs::SiteHistogram::new("route/chunk_nets");
-
-/// Routes one net: Steiner decomposition into 2-pin edges, each A*-
-/// routed; returns the merged route and the wire-edge indices used.
-fn route_net(
-    router: &mut AStar,
-    grid: &RouteGrid,
-    pins: &[RoutePin],
-    f2f_cut: Option<usize>,
-) -> (RoutedNet, Vec<u32>) {
-    let points: Vec<Point> = pins.iter().map(|p| p.0).collect();
-    let layer_of = |pt: Point| -> u16 { pins.iter().find(|p| p.0 == pt).map(|p| p.1).unwrap_or(0) };
-    let mut net = RoutedNet::default();
-    let mut edges = Vec::new();
-    for (a, b) in steiner_edges(&points) {
-        let src = (grid.gcell_of(a), layer_of(a));
-        let dst = (grid.gcell_of(b), layer_of(b));
-        let path = router.search(grid, src, dst);
-        append_path(grid, &path, &mut net, &mut edges, f2f_cut);
-    }
-    (net, edges)
-}
+/// `Router::update` calls served by a live session.
+static INCREMENTAL_UPDATES: macro3d_obs::SiteCounter =
+    macro3d_obs::SiteCounter::new("route/incremental_updates");
+/// Nets handed to `Router::update` across all calls.
+static NETS_UPDATED: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("route/nets_updated");
 
 /// Converts a node path into merged segments, vias and edge usage.
 fn append_path(
@@ -345,271 +721,6 @@ fn flush_segment(
     });
 }
 
-/// Reusable A* state over the (layer, x, y) graph.
-struct AStar {
-    nx: usize,
-    ny: usize,
-    layers: usize,
-    dirs: Vec<Direction>,
-    layer_cost: Vec<f64>,
-    /// cost of crossing cut `i` (between layers i and i+1)
-    via_costs: Vec<f64>,
-    /// minimum via cost (admissible heuristic term)
-    via_cost: f64,
-    dist: Vec<f32>,
-    parent: Vec<u32>,
-    stamp: Vec<u32>,
-    epoch: u32,
-}
-
-impl AStar {
-    fn new(
-        grid: &RouteGrid,
-        dirs: Vec<Direction>,
-        layer_cost: Vec<f64>,
-        via_costs: Vec<f64>,
-        default_via_cost: f64,
-    ) -> Self {
-        let nx = grid.bins().nx() as usize;
-        let ny = grid.bins().ny() as usize;
-        let n = nx * ny * grid.layers();
-        let min_via = via_costs.iter().fold(default_via_cost, |a, &b| a.min(b));
-        AStar {
-            nx,
-            ny,
-            layers: grid.layers(),
-            dirs,
-            layer_cost,
-            via_costs,
-            via_cost: min_via,
-            dist: vec![0.0; n],
-            parent: vec![u32::MAX; n],
-            stamp: vec![0; n],
-            epoch: 0,
-        }
-    }
-
-    #[inline]
-    fn node(&self, l: usize, x: usize, y: usize) -> usize {
-        (l * self.ny + y) * self.nx + x
-    }
-
-    #[inline]
-    fn unpack(&self, n: usize) -> (u16, u16, u16) {
-        let x = n % self.nx;
-        let y = (n / self.nx) % self.ny;
-        let l = n / (self.nx * self.ny);
-        (l as u16, x as u16, y as u16)
-    }
-
-    /// Wire-step congestion cost multiplier for an edge.
-    #[inline]
-    fn edge_cost(&self, grid: &RouteGrid, e: usize) -> f64 {
-        let u = grid.usage[e];
-        let c = grid.capacity(e);
-        let h = grid.history[e];
-        debug_assert!(c > 0.0, "blocked edges are filtered before costing");
-        let base = if u + 1.0 > c {
-            (4.0 + 4.0 * (u + 1.0 - c) as f64).min(16.0)
-        } else {
-            1.0 + 0.3 * (u / c) as f64
-        };
-        (base + h as f64).min(24.0)
-    }
-
-    /// A* from `(gcell, layer)` to `(gcell, layer)`. Returns the node
-    /// path (start to goal inclusive).
-    fn search(
-        &mut self,
-        grid: &RouteGrid,
-        src: (BinIx, u16),
-        dst: (BinIx, u16),
-    ) -> Vec<(u16, u16, u16)> {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        let start = self.node(
-            (src.1 as usize).min(self.layers - 1),
-            src.0.x as usize,
-            src.0.y as usize,
-        );
-        let goal = self.node(
-            (dst.1 as usize).min(self.layers - 1),
-            dst.0.x as usize,
-            dst.0.y as usize,
-        );
-        let (gl, gx, gy) = self.unpack(goal);
-
-        let min_layer_cost = self.layer_cost.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-        // Weighted A* (epsilon = 1.25): bounded suboptimality for a
-        // large reduction in explored nodes under congestion — the
-        // standard engineering trade in global routers.
-        const EPSILON: f64 = 1.25;
-        let h = move |s: &Self, n: usize| -> f64 {
-            let (l, x, y) = s.unpack(n);
-            let dx = (x as i64 - gx as i64).abs() as f64;
-            let dy = (y as i64 - gy as i64).abs() as f64;
-            let dl = (l as i64 - gl as i64).abs() as f64;
-            ((dx + dy) * min_layer_cost + dl * s.via_cost) * EPSILON
-        };
-
-        let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
-        self.dist[start] = 0.0;
-        self.stamp[start] = epoch;
-        self.parent[start] = u32::MAX;
-        heap.push((Reverse(to_millis(h(self, start))), start as u32));
-
-        let mut explored = 0usize;
-        // exploration budget proportional to the path length: stuck
-        // searches fall back to an L-route whose overflow is reported
-        let (sl, sx, sy) = self.unpack(start);
-        let span = (sx as i64 - gx as i64).abs()
-            + (sy as i64 - gy as i64).abs()
-            + (sl as i64 - gl as i64).abs();
-        let explore_cap = ((span as usize + 24) * 512).min(self.nx * self.ny * self.layers);
-        while let Some((Reverse(f), n)) = heap.pop() {
-            let n = n as usize;
-            if self.stamp[n] != epoch {
-                continue;
-            }
-            let g = self.dist[n];
-            let _ = f;
-            let _ = g;
-            if n == goal {
-                return self.reconstruct(goal);
-            }
-            explored += 1;
-            if explored > explore_cap {
-                break;
-            }
-            let (l, x, y) = self.unpack(n);
-            let (l, x, y) = (l as usize, x as usize, y as usize);
-
-            // wire steps along the preferred direction
-            let steps: [(i64, i64); 2] = match self.dirs[l] {
-                Direction::Horizontal => [(-1, 0), (1, 0)],
-                Direction::Vertical => [(0, -1), (0, 1)],
-            };
-            for (dx, dy) in steps {
-                let nx2 = x as i64 + dx;
-                let ny2 = y as i64 + dy;
-                if nx2 < 0 || ny2 < 0 || nx2 >= self.nx as i64 || ny2 >= self.ny as i64 {
-                    continue;
-                }
-                let horizontal = dy == 0;
-                let (ex, ey) = ((x as i64).min(nx2) as usize, (y as i64).min(ny2) as usize);
-                let Some(e) = grid.edge_ix(l, ex, ey, horizontal) else {
-                    continue;
-                };
-                if grid.capacity(e) <= 0.0 {
-                    // fully blocked (macro internal routing): climb the
-                    // stack or detour; vias remain available
-                    continue;
-                }
-                let cost = self.edge_cost(grid, e) * self.layer_cost[l];
-                self.relax(
-                    n,
-                    self.node(l, nx2 as usize, ny2 as usize),
-                    g as f64 + cost,
-                    epoch,
-                    &mut heap,
-                    &h,
-                );
-            }
-            // via steps (per-cut costs; the F2F bond is cheap)
-            if l + 1 < self.layers {
-                let c = self.via_costs.get(l).copied().unwrap_or(self.via_cost);
-                self.relax(
-                    n,
-                    self.node(l + 1, x, y),
-                    g as f64 + c,
-                    epoch,
-                    &mut heap,
-                    &h,
-                );
-            }
-            if l > 0 {
-                let c = self.via_costs.get(l - 1).copied().unwrap_or(self.via_cost);
-                self.relax(
-                    n,
-                    self.node(l - 1, x, y),
-                    g as f64 + c,
-                    epoch,
-                    &mut heap,
-                    &h,
-                );
-            }
-        }
-        // fallback: direct L path on the src layer pair (router always
-        // produces a connection)
-        self.l_fallback(src, dst)
-    }
-
-    #[inline]
-    #[allow(clippy::too_many_arguments)]
-    fn relax(
-        &mut self,
-        from: usize,
-        to: usize,
-        g: f64,
-        epoch: u32,
-        heap: &mut BinaryHeap<(Reverse<u64>, u32)>,
-        h: &impl Fn(&Self, usize) -> f64,
-    ) {
-        if self.stamp[to] != epoch || (g as f32) < self.dist[to] {
-            self.stamp[to] = epoch;
-            self.dist[to] = g as f32;
-            self.parent[to] = from as u32;
-            heap.push((Reverse(to_millis(g + h(self, to))), to as u32));
-        }
-    }
-
-    fn reconstruct(&self, goal: usize) -> Vec<(u16, u16, u16)> {
-        let mut path = Vec::new();
-        let mut n = goal;
-        loop {
-            path.push(self.unpack(n));
-            let p = self.parent[n];
-            if p == u32::MAX {
-                break;
-            }
-            n = p as usize;
-        }
-        path.reverse();
-        path
-    }
-
-    /// Degenerate L-shaped fallback path (x then y on the source
-    /// layer, then via stack to the goal layer).
-    fn l_fallback(&self, src: (BinIx, u16), dst: (BinIx, u16)) -> Vec<(u16, u16, u16)> {
-        let mut path = Vec::new();
-        let l0 = src.1;
-        let (x0, y0) = (src.0.x as i64, src.0.y as i64);
-        let (x1, y1) = (dst.0.x as i64, dst.0.y as i64);
-        let mut x = x0;
-        let mut y = y0;
-        path.push((l0, x as u16, y as u16));
-        while x != x1 {
-            x += (x1 - x).signum();
-            path.push((l0, x as u16, y as u16));
-        }
-        while y != y1 {
-            y += (y1 - y).signum();
-            path.push((l0, x as u16, y as u16));
-        }
-        let mut l = l0 as i64;
-        while l != dst.1 as i64 {
-            l += (dst.1 as i64 - l).signum();
-            path.push((l as u16, x as u16, y as u16));
-        }
-        path
-    }
-}
-
-#[inline]
-fn to_millis(c: f64) -> u64 {
-    (c * 1024.0) as u64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +729,27 @@ mod tests {
 
     fn die() -> Rect {
         Rect::from_um(0.0, 0.0, 200.0, 200.0)
+    }
+
+    fn route_once(
+        die: Rect,
+        stack: &MetalStack,
+        obstacles: &[(usize, Rect)],
+        nets: &[(NetId, Vec<RoutePin>)],
+        num_nets: usize,
+        cfg: &RouteConfig,
+    ) -> RoutedDesign {
+        Router::new(
+            &RouteRequest {
+                die,
+                stack,
+                obstacles,
+                nets,
+                num_nets,
+            },
+            cfg,
+        )
+        .route()
     }
 
     fn two_pin_net(a: (f64, f64, u16), b: (f64, f64, u16)) -> Vec<(NetId, Vec<RoutePin>)> {
@@ -634,7 +766,7 @@ mod tests {
     fn routes_simple_net() {
         let stack = n28_stack(6, DieRole::Logic);
         let nets = two_pin_net((10.0, 10.0, 0), (150.0, 150.0, 0));
-        let r = route_design(die(), &stack, &[], &nets, 1, &RouteConfig::default());
+        let r = route_once(die(), &stack, &[], &nets, 1, &RouteConfig::default());
         let net = r.net(NetId(0)).expect("routed");
         // manhattan distance is 280um; routed length must be at least
         // that (minus one gcell of quantization) and not wildly more
@@ -646,6 +778,150 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_wrapper_matches_session() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let nets = two_pin_net((10.0, 10.0, 0), (150.0, 150.0, 0));
+        let cfg = RouteConfig::default();
+        let session = route_once(die(), &stack, &[], &nets, 1, &cfg);
+        #[allow(deprecated)]
+        let wrapper = route_design(die(), &stack, &[], &nets, 1, &cfg);
+        assert_eq!(
+            session.total_wirelength_um.to_bits(),
+            wrapper.total_wirelength_um.to_bits()
+        );
+        assert_eq!(session.overflow.to_bits(), wrapper.overflow.to_bits());
+        assert_eq!(session.f2f_bumps, wrapper.f2f_bumps);
+        for (a, b) in session.nets.iter().zip(&wrapper.nets) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn builder_validates_ranges() {
+        assert!(RouteConfig::builder().build().is_ok());
+        let cfg = RouteConfig::builder()
+            .gcell_um(5.0)
+            .utilization(0.25)
+            .iterations(7)
+            .via_cost(1.0)
+            .max_net_degree(64)
+            .f2f_pitch_um(None)
+            .parallelism(Parallelism::serial())
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.gcell_um, 5.0);
+        assert_eq!(cfg.iterations, 7);
+        assert_eq!(cfg.max_net_degree, 64);
+        assert!(cfg.f2f_pitch_um.is_none());
+
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                RouteConfig::builder().gcell_um(bad).build().unwrap_err(),
+                RouteConfigError::NonPositive {
+                    field: "gcell_um",
+                    ..
+                }
+            ));
+        }
+        for bad in [0.0, -0.5, 1.01, f64::NAN] {
+            assert!(matches!(
+                RouteConfig::builder().utilization(bad).build().unwrap_err(),
+                RouteConfigError::Utilization { .. }
+            ));
+        }
+        assert_eq!(
+            RouteConfig::builder().iterations(0).build().unwrap_err(),
+            RouteConfigError::ZeroIterations
+        );
+        // errors render the offending field/value
+        let msg = RouteConfig::builder()
+            .gcell_um(-2.0)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("gcell_um") && msg.contains("-2"), "{msg}");
+    }
+
+    #[test]
+    fn update_reroutes_changed_net_and_keeps_others() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let mut nets = Vec::new();
+        for i in 0..20u32 {
+            let y = 5.0 + i as f64 * 9.0;
+            nets.push((
+                NetId(i),
+                vec![
+                    (Point::from_um(10.0, y), 0u16),
+                    (Point::from_um(190.0, y), 0u16),
+                ],
+            ));
+        }
+        let mut router = Router::new(
+            &RouteRequest {
+                die: die(),
+                stack: &stack,
+                obstacles: &[],
+                nets: &nets,
+                num_nets: 20,
+            },
+            &RouteConfig::default(),
+        );
+        let first = router.route();
+        let wl0 = first.net(NetId(0)).expect("routed").wirelength_um();
+
+        // move net 0's sink much closer; everyone else is untouched
+        let changed = vec![(
+            NetId(0),
+            vec![
+                (Point::from_um(10.0, 5.0), 0u16),
+                (Point::from_um(50.0, 5.0), 0u16),
+            ],
+        )];
+        let second = router.update(&changed);
+        let wl1 = second.net(NetId(0)).expect("rerouted").wirelength_um();
+        assert!(
+            wl1 < wl0 / 2.0,
+            "shorter pins give a shorter route: {wl1} vs {wl0}"
+        );
+        for i in 1..20u32 {
+            assert_eq!(
+                first.net(NetId(i)),
+                second.net(NetId(i)),
+                "unchanged net {i} keeps its committed path"
+            );
+        }
+        assert!(second.total_wirelength_um < first.total_wirelength_um);
+    }
+
+    #[test]
+    fn update_accepts_new_nets() {
+        let stack = n28_stack(6, DieRole::Logic);
+        let nets = two_pin_net((10.0, 10.0, 0), (150.0, 150.0, 0));
+        let mut router = Router::new(
+            &RouteRequest {
+                die: die(),
+                stack: &stack,
+                obstacles: &[],
+                nets: &nets,
+                num_nets: 1,
+            },
+            &RouteConfig::default(),
+        );
+        router.route();
+        let added = vec![(
+            NetId(5),
+            vec![
+                (Point::from_um(20.0, 180.0), 0u16),
+                (Point::from_um(180.0, 20.0), 0u16),
+            ],
+        )];
+        let r = router.update(&added);
+        assert!(r.nets.len() >= 6, "table grew to hold the new NetId");
+        assert!(r.net(NetId(5)).is_some(), "new net routed");
+        assert!(r.net(NetId(0)).is_some(), "original net kept");
+    }
+
+    #[test]
     fn f2f_crossings_counted_in_combined_stack() {
         let combined = CombinedBeol::build(
             &n28_stack(6, DieRole::Logic),
@@ -654,7 +930,7 @@ mod tests {
         );
         // pin on logic M1 to pin on macro-die M4_MD (layer 9)
         let nets = two_pin_net((10.0, 10.0, 0), (100.0, 100.0, 9));
-        let r = route_design(
+        let r = route_once(
             die(),
             combined.stack(),
             &[],
@@ -686,7 +962,7 @@ mod tests {
             utilization: 0.02,
             ..RouteConfig::default()
         };
-        let r = route_design(die(), &stack, &[], &nets, 40, &cfg);
+        let r = route_once(die(), &stack, &[], &nets, 40, &cfg);
         // all nets routed
         assert!(r.nets.iter().filter(|n| n.is_some()).count() == 40);
         assert!(r.total_wirelength_um >= 40.0 * 180.0);
@@ -699,7 +975,7 @@ mod tests {
         // wall blocks M1..M4 fully
         let obstacles: Vec<(usize, Rect)> = (0..4).map(|l| (l, wall)).collect();
         let nets = two_pin_net((10.0, 100.0, 0), (190.0, 100.0, 0));
-        let r = route_design(die(), &stack, &obstacles, &nets, 1, &RouteConfig::default());
+        let r = route_once(die(), &stack, &obstacles, &nets, 1, &RouteConfig::default());
         let net = r.net(NetId(0)).expect("routed");
         // must hop to M5/M6 to cross the wall
         let by_layer = net.wirelength_by_layer(6);
@@ -721,7 +997,7 @@ mod tests {
                     .collect(),
             ), // oversized
         ];
-        let r = route_design(die(), &stack, &[], &nets, 2, &RouteConfig::default());
+        let r = route_once(die(), &stack, &[], &nets, 2, &RouteConfig::default());
         assert!(r.net(NetId(0)).is_none());
         assert!(r.net(NetId(1)).is_none());
     }
@@ -749,7 +1025,7 @@ mod tests {
             f2f_pitch_um: Some(5.0),
             ..RouteConfig::default()
         };
-        let r = route_design(die(), combined.stack(), &[], &nets, 300, &cfg);
+        let r = route_once(die(), combined.stack(), &[], &nets, 300, &cfg);
         assert!(r.f2f_bumps >= 300);
         assert!(
             r.f2f_overcrowded_gcells > 0,
@@ -757,7 +1033,7 @@ mod tests {
         );
         // with the real 1um pitch the same pattern fits
         cfg.f2f_pitch_um = Some(1.0);
-        let r2 = route_design(die(), combined.stack(), &[], &nets, 300, &cfg);
+        let r2 = route_once(die(), combined.stack(), &[], &nets, 300, &cfg);
         assert!(r2.f2f_overcrowded_gcells <= r.f2f_overcrowded_gcells);
     }
 
@@ -783,10 +1059,10 @@ mod tests {
             parallelism: Parallelism::serial().with_chunk_size(8),
             ..RouteConfig::default()
         };
-        let reference = route_design(die(), &stack, &[], &nets, 120, &cfg);
+        let reference = route_once(die(), &stack, &[], &nets, 120, &cfg);
         for threads in [2, 4, 8] {
             cfg.parallelism = Parallelism::threads(threads).with_chunk_size(8);
-            let got = route_design(die(), &stack, &[], &nets, 120, &cfg);
+            let got = route_once(die(), &stack, &[], &nets, 120, &cfg);
             assert_eq!(got.total_wirelength_um, reference.total_wirelength_um);
             assert_eq!(got.overflow, reference.overflow);
             for (a, b) in got.nets.iter().zip(reference.nets.iter()) {
@@ -805,7 +1081,7 @@ mod tests {
             .map(|&(x, y)| (Point::from_um(x, y), 0u16))
             .collect();
         let nets = vec![(NetId(0), pins)];
-        let r = route_design(die(), &stack, &[], &nets, 1, &RouteConfig::default());
+        let r = route_once(die(), &stack, &[], &nets, 1, &RouteConfig::default());
         let net = r.net(NetId(0)).expect("routed");
         // spanning 3 edges worth of wire
         assert!(net.wirelength_um() > 300.0);

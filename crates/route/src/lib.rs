@@ -16,19 +16,30 @@
 //!   then a per-die re-route after tier partitioning.
 //!
 //! Multi-pin nets are decomposed into two-pin edges over a rectilinear
-//! Steiner topology ([`steiner`]); each edge is routed by A* with
-//! congestion history ([`global`]); overflowed edges trigger rip-up
-//! and re-route.
+//! Steiner topology ([`steiner`]); each edge is routed by a windowed,
+//! guided A* over a dense per-edge cost grid (`search`); overflowed
+//! edges trigger rip-up and re-route.
+//!
+//! The entry point is the incremental [`Router`] session ([`global`]):
+//! build it once from a [`RouteRequest`], call [`Router::route`] for
+//! the initial result, and [`Router::update`] to re-route only the
+//! nets a caller perturbed. The old one-shot [`route_design`] free
+//! function survives as a deprecated wrapper.
 
 pub mod congestion;
 pub mod gcell;
 pub mod global;
 pub mod routed;
+mod search;
 pub mod steiner;
 
 pub use congestion::{CongestionReport, LayerCongestion};
 pub use gcell::RouteGrid;
-pub use global::{route_design, RouteConfig};
+#[allow(deprecated)]
+pub use global::route_design;
+pub use global::{
+    RouteConfig, RouteConfigBuilder, RouteConfigError, RoutePin, RouteRequest, Router,
+};
 pub use macro3d_par::Parallelism;
 pub use routed::{RouteSeg, RoutedDesign, RoutedNet, Via};
 pub use steiner::{steiner_edges, steiner_length};

@@ -2,12 +2,27 @@
 
 use macro3d_geom::{Point, Rect};
 use macro3d_netlist::NetId;
-use macro3d_route::{route_design, steiner_length, RouteConfig};
+use macro3d_route::{steiner_length, RouteConfig, RoutePin, RouteRequest, RoutedDesign, Router};
+use macro3d_tech::stack::MetalStack;
 use macro3d_tech::stack::{n28_stack, DieRole};
 use proptest::prelude::*;
 
 fn die() -> Rect {
     Rect::from_um(0.0, 0.0, 300.0, 300.0)
+}
+
+fn route(stack: &MetalStack, nets: &[(NetId, Vec<RoutePin>)], cfg: &RouteConfig) -> RoutedDesign {
+    Router::new(
+        &RouteRequest {
+            die: die(),
+            stack,
+            obstacles: &[],
+            nets,
+            num_nets: nets.len(),
+        },
+        cfg,
+    )
+    .route()
 }
 
 proptest! {
@@ -26,7 +41,7 @@ proptest! {
         let b = Point::from_um(x1, y1);
         let nets = vec![(NetId(0), vec![(a, 0u16), (b, 0u16)])];
         let cfg = RouteConfig::default();
-        let r = route_design(die(), &stack, &[], &nets, 1, &cfg);
+        let r = route(&stack, &nets, &cfg);
         let net = r.net(NetId(0)).expect("routed");
         let manhattan = a.manhattan(b).to_um();
         let quant = 2.0 * cfg.gcell_um; // endpoint quantization slack
@@ -52,7 +67,7 @@ proptest! {
         let net_pins: Vec<(Point, u16)> =
             pins.iter().map(|&(x, y)| (Point::from_um(x, y), 0u16)).collect();
         let nets = vec![(NetId(0), net_pins)];
-        let r = route_design(die(), &stack, &[], &nets, 1, &RouteConfig::default());
+        let r = route(&stack, &nets, &RouteConfig::default());
         let net = r.net(NetId(0)).expect("routed");
         for s in &net.segments {
             prop_assert!((s.layer as usize) < stack.num_layers());

@@ -1,0 +1,186 @@
+//! Incremental rip-up-and-reroute equivalence.
+//!
+//! A `Router` session that absorbs a pin perturbation through
+//! `update()` keeps the committed paths of every unchanged net and
+//! re-routes only the changed ones. A from-scratch router sees the
+//! perturbed netlist with no history at all and routes everything in
+//! span order. In the convergent (zero-overflow) regime the
+//! negotiated-congestion scheme drives both to the same fixed point:
+//! identical total wirelength, overflow, and F2F bump counts. A
+//! seeded LCG picks which nets move so the perturbation is
+//! reproducible.
+//!
+//! The demand is subsampled to keep both routers in that regime: at
+//! the tiles' native congestion the two histories legitimately settle
+//! on different (equally legal) detours and only approximate equality
+//! would hold, which is exactly the kind of assertion that rots.
+
+use macro3d::flow::route_pins;
+use macro3d_geom::Dbu;
+use macro3d_netlist::NetId;
+use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
+use macro3d_route::{RoutePin, RouteRequest, RoutedDesign, Router};
+use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
+use macro3d_tech::stack::DieRole;
+
+/// Splitmix-style seeded generator — the same idiom the other
+/// workspace property tests use for reproducible randomness.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Floorplan + global placement + route pins for a tile, without the
+/// full flow (mirrors the route bench's setup).
+fn tile_nets(tile: &TileNetlist) -> (macro3d_geom::Rect, Vec<(NetId, Vec<RoutePin>)>) {
+    let cfg = macro3d::FlowConfig::default();
+    let lib = tile.design.library().clone();
+    let budget = macro3d::flow::area_budget(&tile.design, &cfg);
+    let die = macro3d_place::floorplan::die_for_area(
+        4.0 * budget.a3d_um2,
+        1.0,
+        lib.row_height(),
+        lib.site_width(),
+    );
+    let mut fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+    let halo = Dbu::from_um(cfg.halo_um);
+    let mol = macro3d::build_cache::cached_mol_floorplan(
+        &tile.design,
+        die,
+        halo,
+        cfg.util_macro,
+        cfg.halo_um,
+    );
+    for &mp in mol.0.iter().chain(mol.1.iter()) {
+        fp.add_macro(mp, DieRole::Logic, halo);
+    }
+    let ports = PortPlan::assign(&tile.design, die);
+    let placement = global_place(&tile.design, &fp, &ports, &GlobalPlaceConfig::default());
+    let stack = macro3d_tech::stack::n28_stack(cfg.logic_metals, DieRole::Logic);
+    let nets = route_pins(
+        &tile.design,
+        &placement,
+        &ports,
+        cfg.logic_metals,
+        stack.num_layers(),
+        false,
+    );
+    (die, nets)
+}
+
+fn totals(r: &RoutedDesign) -> (u64, u64, u64) {
+    (
+        r.total_wirelength_um.to_bits(),
+        r.overflow.to_bits(),
+        r.f2f_bumps,
+    )
+}
+
+fn check_equivalence(tile_cfg: TileConfig, seed: u64) {
+    let cfg = macro3d::FlowConfig::default();
+    let tile = generate_tile(&tile_cfg);
+    let (die, all_nets) = tile_nets(&tile);
+    // every 6th net + full-capacity tracks: low enough demand that
+    // negotiation converges to zero overflow from either history
+    let nets: Vec<(NetId, Vec<RoutePin>)> = all_nets
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| k % 6 == 0)
+        .map(|(_, n)| n.clone())
+        .collect();
+    let stack = macro3d_tech::stack::n28_stack(cfg.logic_metals, DieRole::Logic);
+    let rc = macro3d_route::RouteConfig::builder()
+        .utilization(1.0)
+        .iterations(8)
+        .build()
+        .expect("valid route config");
+    let request = RouteRequest {
+        die,
+        stack: &stack,
+        obstacles: &[],
+        nets: &nets,
+        num_nets: tile.design.num_nets(),
+    };
+
+    // seeded perturbation: ~5% of nets get every pin shifted by one
+    // gcell in a direction drawn from the LCG, clamped to the die
+    let mut rng = Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
+    let gcell = Dbu::from_um(cfg.route.gcell_um);
+    let changed: Vec<(NetId, Vec<RoutePin>)> = nets
+        .iter()
+        .filter_map(|(id, pins)| {
+            if !rng.next().is_multiple_of(20) {
+                return None;
+            }
+            let (dx, dy) = match rng.next() % 4 {
+                0 => (gcell, Dbu(0)),
+                1 => (Dbu(0) - gcell, Dbu(0)),
+                2 => (Dbu(0), gcell),
+                _ => (Dbu(0), Dbu(0) - gcell),
+            };
+            let moved = pins
+                .iter()
+                .map(|&(p, l)| {
+                    let q = macro3d_geom::Point::new(p.x + dx, p.y + dy);
+                    (q.min(die.hi).max(die.lo), l)
+                })
+                .collect();
+            Some((*id, moved))
+        })
+        .collect();
+    assert!(!changed.is_empty(), "seed produced no perturbation");
+
+    // incremental: route once, then absorb the perturbation
+    let mut session = Router::new(&request, &rc);
+    session.route();
+    let incremental = session.update(&changed);
+
+    // from-scratch: the perturbed netlist routed with no history
+    let mut perturbed = nets.clone();
+    for (id, pins) in &changed {
+        let k = perturbed.iter().position(|(n, _)| n == id).expect("known");
+        perturbed[k].1.clone_from(pins);
+    }
+    let scratch = Router::new(
+        &RouteRequest {
+            nets: &perturbed,
+            ..request
+        },
+        &rc,
+    )
+    .route();
+
+    eprintln!(
+        "inc: wl {} ov {} edges {} | scr: wl {} ov {} edges {}",
+        incremental.total_wirelength_um,
+        incremental.overflow,
+        incremental.overflowed_edges,
+        scratch.total_wirelength_um,
+        scratch.overflow,
+        scratch.overflowed_edges
+    );
+    assert_eq!(
+        totals(&incremental),
+        totals(&scratch),
+        "incremental update and from-scratch reroute diverged \
+         (wirelength_bits, overflow_bits, f2f_bumps)"
+    );
+    assert!(incremental.total_wirelength_um > 0.0);
+}
+
+#[test]
+fn small_cache_incremental_matches_scratch() {
+    check_equivalence(TileConfig::small_cache().with_scale(32.0), 7);
+}
+
+#[test]
+fn large_cache_incremental_matches_scratch() {
+    check_equivalence(TileConfig::large_cache().with_scale(32.0), 11);
+}
