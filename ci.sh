@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> fault-injection smoke (typed errors, budgets, degradation)"
+cargo test -q --test fault_injection
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -27,6 +30,7 @@ r = json.load(open('target/BENCH_route_smoke.json'))
 ids = {m['id'] for m in r['route']}
 assert 'route_parallelism/serial' in ids, ids
 assert 'route_parallelism/incremental' in ids, ids
+assert 'route_parallelism/budgeted' in ids, ids
 assert r['macro3d_stage_seconds'], 'missing stage times'
 print('route bench smoke OK:', sorted(ids))
 "

@@ -190,6 +190,24 @@ fn bench_route_parallelism(c: &mut Criterion) {
         rc.parallelism = par;
         g.bench_function(name, |b| b.iter(|| Router::new(&request, &rc).route()));
     }
+    // budget-checkpoint overhead: the identical parallel route inside
+    // an active BudgetScope whose caps never fire, so every rip-up
+    // iteration pays the checkpoint probe. Compare `budgeted` against
+    // `parallel` in BENCH_route.json — the delta is the cooperative-
+    // checkpoint tax on the route stage (well under 1%).
+    {
+        let mut rc = cfg.route;
+        rc.parallelism = Parallelism::default();
+        let budget = macro3d::FlowBudget::unlimited().with_cap("route/iterations", u64::MAX);
+        g.bench_function("budgeted", |b| {
+            b.iter(|| {
+                let scope = macro3d_par::BudgetScope::begin(&budget, None);
+                let routed = Router::new(&request, &rc).route();
+                let report = scope.finish();
+                (routed, report)
+            })
+        });
+    }
     // the incremental path a DSE loop would take: a live session
     // absorbing a 1%-of-nets perturbation (pins shifted one GCell)
     // without re-routing the rest of the design

@@ -26,6 +26,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// A memory-on-logic macro floorplan pair: `(logic-die placements,
+/// macro-die placements)` — the cached artifact shared by the
+/// Macro-3D, MoL S2D and Compact-2D flows.
+pub type MolFloorplans = (Vec<MacroPlacement>, Vec<MacroPlacement>);
+
 /// Hit/miss counters and entry count of a [`BuildCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -59,6 +64,9 @@ impl BuildCache {
     /// The builder runs *outside* the cache lock; if two threads race
     /// on the same cold key both build, the first insert wins, and
     /// both receive the winning value.
+    // INVARIANT: the stored type's name is embedded in the key, so
+    // every downcast below retrieves the type that was inserted.
+    #[allow(clippy::expect_used)]
     pub fn get_or_build<T, F>(&self, key: &str, build: F) -> Arc<T>
     where
         T: Any + Send + Sync,
@@ -73,6 +81,10 @@ impl BuildCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         record_obs(key, false);
+        // Cached artifacts are shared by later runs in the process, so
+        // they must not depend on any single run's budget or fault
+        // plan: budget checkpoints are inert while a builder runs.
+        let _budget_inert = macro3d_par::RegionGuard::enter();
         let built: Arc<dyn Any + Send + Sync> = Arc::new(build());
         let stored = Arc::clone(
             self.lock()
@@ -82,6 +94,43 @@ impl BuildCache {
         stored
             .downcast::<T>()
             .expect("type name is part of the key")
+    }
+
+    /// Fallible [`Self::get_or_build`]: the builder may fail, and
+    /// failures are returned to the caller instead of cached (a
+    /// deterministic failure simply recomputes — it is rare and
+    /// cheap relative to poisoning the cache with error values).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error on a cache miss.
+    // INVARIANT: same type-in-key downcast guarantee as `get_or_build`
+    #[allow(clippy::expect_used)]
+    pub fn try_get_or_build<T, E, F>(&self, key: &str, build: F) -> Result<Arc<T>, E>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Result<T, E>,
+    {
+        let full_key = format!("{}\u{1f}{key}", std::any::type_name::<T>());
+        if let Some(hit) = self.lock().get(&full_key) {
+            let hit = Arc::clone(hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            record_obs(key, true);
+            return Ok(hit.downcast::<T>().expect("type name is part of the key"));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        record_obs(key, false);
+        // same budget-inert region as `get_or_build`
+        let _budget_inert = macro3d_par::RegionGuard::enter();
+        let built: Arc<dyn Any + Send + Sync> = Arc::new(build()?);
+        let stored = Arc::clone(
+            self.lock()
+                .entry(full_key)
+                .or_insert_with(|| Arc::clone(&built)),
+        );
+        Ok(stored
+            .downcast::<T>()
+            .expect("type name is part of the key"))
     }
 
     /// Drops every entry (counters keep running).
@@ -99,9 +148,11 @@ impl BuildCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<dyn Any + Send + Sync>>> {
+        // builders run outside the lock, so the critical sections
+        // cannot panic; tolerate poisoning anyway rather than abort
         self.entries
             .lock()
-            .expect("cache mutex never poisoned: builders run outside the lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -174,25 +225,48 @@ pub fn cached_sram(
 /// die and packing knobs. Macro-3D, MoL S2D and Compact-2D all pack
 /// the same macros on the same 3D-footprint die, so one build serves
 /// all three flows.
+///
+/// The pair is `(logic-die placements, macro-die placements)`.
 pub fn cached_mol_floorplan(
     design: &Design,
     die: Rect,
     halo: Dbu,
     util_macro: f64,
     halo_um: f64,
-) -> Arc<(Vec<MacroPlacement>, Vec<MacroPlacement>)> {
+) -> Arc<MolFloorplans> {
+    match try_cached_mol_floorplan(design, die, halo, util_macro, halo_um) {
+        Ok(fp) => fp,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`cached_mol_floorplan`]: packing failures surface as a
+/// typed [`FlowError`](crate::error::FlowError) instead of a panic
+/// (and are not cached — see [`BuildCache::try_get_or_build`]).
+///
+/// # Errors
+///
+/// Returns [`crate::error::FlowError::Floorplan`] when the macros
+/// cannot be packed on `die`.
+pub fn try_cached_mol_floorplan(
+    design: &Design,
+    die: Rect,
+    halo: Dbu,
+    util_macro: f64,
+    halo_um: f64,
+) -> Result<Arc<MolFloorplans>, crate::error::FlowError> {
     let key = format!(
         "fp-mol/{:016x}/{die:?}/{halo:?}/{util_macro}/{halo_um}",
         design_fingerprint(design)
     );
-    global().get_or_build(&key, || {
+    global().try_get_or_build(&key, || {
         let cfg = crate::flow::FlowConfig {
             util_macro,
             halo_um,
             ..crate::flow::FlowConfig::default()
         };
         let (top, bottom) = crate::flow::assign_macros_mol(design, die.area_um2(), &cfg);
-        crate::flow::pack_mol_floorplans(design, die, halo, top, bottom)
+        crate::flow::try_pack_mol_floorplans(design, die, halo, top, bottom)
     })
 }
 

@@ -11,7 +11,8 @@
 //! partitioning / overlap fixing / via planning / re-route tail as
 //! S2D — plus the post-tier-partitioning optimization C2D adds.
 
-use crate::build_cache::{cached_combined_beol, cached_mol_floorplan, cached_stack};
+use crate::build_cache::{cached_combined_beol, cached_stack, try_cached_mol_floorplan};
+use crate::error::{flow_gate, FlowError};
 use crate::flow::{
     area_budget, finish_design, macro_obstacles, route_pins, sta_constraints, FlowConfig,
     ImplementedDesign, StageTimer,
@@ -31,13 +32,15 @@ use macro3d_tech::Corner;
 
 /// Runs the C2D flow.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if macro packing fails.
+/// Returns [`FlowError::Floorplan`] if macro packing fails and
+/// [`FlowError::Injected`] when the active fault plan injects an
+/// error at a flow gate.
 pub(crate) fn implement(
     tile: &TileNetlist,
     cfg: &FlowConfig,
-) -> (ImplementedDesign, S2dDiagnostics) {
+) -> Result<(ImplementedDesign, S2dDiagnostics), FlowError> {
     let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
@@ -56,7 +59,8 @@ pub(crate) fn implement(
 
     // macro floorplans in the target (3D) space, MoL assignment
     // (shared with Macro-3D and MoL S2D through the build cache)
-    let mol = cached_mol_floorplan(&design, die_3d, halo, cfg.util_macro, cfg.halo_um);
+    flow_gate("flow/floorplan")?;
+    let mol = try_cached_mol_floorplan(&design, die_3d, halo, cfg.util_macro, cfg.halo_um)?;
     let mut macro_placements = mol.0.clone();
     macro_placements.extend_from_slice(&mol.1);
 
@@ -73,6 +77,7 @@ pub(crate) fn implement(
 
     let ports_2x = PortPlan::assign(&design, die_2x);
     timer.mark("floorplan");
+    flow_gate("flow/place")?;
     let (mut placement, tree) = crate::flow::place_pipeline(
         &mut design,
         &fp_2x,
@@ -147,6 +152,19 @@ pub(crate) fn implement(
     };
     let mut touched: Vec<NetId> = Vec::new();
     for round in 0..cfg.sizing_rounds {
+        // budget checkpoint: stopping keeps the current valid sizing
+        if let macro3d_par::Checkpoint::Stop(reason) = macro3d_par::checkpoint("sta/sizing_rounds")
+        {
+            macro3d_par::note_degradation(
+                "sta/sizing_rounds",
+                reason,
+                format!(
+                    "stopped after {round} of {} sizing rounds",
+                    cfg.sizing_rounds
+                ),
+            );
+            break;
+        }
         let input = StaInput {
             design: &design,
             parasitics: &parasitics,
@@ -212,6 +230,6 @@ pub(crate) fn implement(
         true,
         cfg.sizing_rounds, // post-partition optimization (C2D's addition)
         timer,
-    );
-    (imp, diag)
+    )?;
+    Ok((imp, diag))
 }

@@ -8,7 +8,7 @@
 //! [`ConfigError`] naming the offending field instead.
 
 use crate::flow::FlowConfig;
-use macro3d_par::Parallelism;
+use macro3d_par::{FaultPlan, FlowBudget, Parallelism};
 use macro3d_place::GlobalPlaceConfig;
 use macro3d_route::RouteConfig;
 use macro3d_sta::{CtsConfig, StaMode};
@@ -199,6 +199,21 @@ impl FlowConfigBuilder {
     /// Observability level for the flow run (off / summary / full).
     pub fn obs(mut self, obs: macro3d_obs::ObsConfig) -> Self {
         self.cfg.obs = obs;
+        self
+    }
+
+    /// Stage budget: wall-clock deadline and per-site iteration caps.
+    /// Exhaustion degrades gracefully (best-so-far results, reported
+    /// in `FlowOutcome::degradation`) — it never errors.
+    pub fn budget(mut self, budget: FlowBudget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Deterministic fault plan for robustness testing: injects
+    /// exhaustion or errors at named budget checkpoints.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
         self
     }
 

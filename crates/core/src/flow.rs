@@ -4,7 +4,9 @@
 use macro3d_extract::{extract_net, NetParasitics};
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
-use macro3d_par::{parallel_map, Parallelism};
+use macro3d_par::{
+    checkpoint, note_degradation, parallel_map, Checkpoint, FaultPlan, FlowBudget, Parallelism,
+};
 use macro3d_place::{global_place, legalize, Floorplan, GlobalPlaceConfig, Placement, PortPlan};
 use macro3d_route::{RouteConfig, RouteRequest, RoutedDesign, Router};
 use macro3d_soc::TileNetlist;
@@ -70,6 +72,15 @@ pub struct FlowConfig {
     /// trace). When on, [`crate::FlowOutcome::obs`] carries the
     /// recorded trace.
     pub obs: macro3d_obs::ObsConfig,
+    /// Stage budget (wall-clock deadline + per-site iteration caps).
+    /// On exhaustion the engine loops return best-so-far state and
+    /// [`crate::FlowOutcome::degradation`] records what was cut
+    /// short. Unlimited by default.
+    pub budget: FlowBudget,
+    /// Deterministic fault-injection plan for robustness testing:
+    /// forces errors or budget exhaustion at chosen checkpoint sites.
+    /// `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for FlowConfig {
@@ -89,6 +100,8 @@ impl Default for FlowConfig {
             place: GlobalPlaceConfig::default(),
             parallelism: Parallelism::default(),
             obs: macro3d_obs::ObsConfig::default(),
+            budget: FlowBudget::default(),
+            fault_plan: None,
         }
     }
 }
@@ -158,8 +171,7 @@ pub fn assign_macros_mol(
     macros.sort_by(|&a, &b| {
         design
             .inst_area_um2(b)
-            .partial_cmp(&design.inst_area_um2(a))
-            .expect("finite areas")
+            .total_cmp(&design.inst_area_um2(a))
             .then(a.cmp(&b))
     });
     let budget = die_area_um2 * cfg.util_macro;
@@ -182,20 +194,24 @@ pub fn assign_macros_mol(
 /// until both dies pack geometrically (shelf packing wastes some area
 /// versus the pure area budget).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if even an empty macro die cannot host the logic-die
-/// macros (die far too small — not reachable from [`area_budget`]).
-pub fn pack_mol_floorplans(
+/// Returns [`crate::FlowError::Floorplan`] when even an empty macro die
+/// cannot host the logic-die macros (die far too small — not
+/// reachable from [`area_budget`] with validated configs).
+pub fn try_pack_mol_floorplans(
     design: &Design,
     die: Rect,
     halo: Dbu,
     mut top: Vec<InstId>,
     mut bottom: Vec<InstId>,
-) -> (
-    Vec<macro3d_place::MacroPlacement>,
-    Vec<macro3d_place::MacroPlacement>,
-) {
+) -> Result<
+    (
+        Vec<macro3d_place::MacroPlacement>,
+        Vec<macro3d_place::MacroPlacement>,
+    ),
+    crate::error::FlowError,
+> {
     use macro3d_place::macro_anneal::{refine_macros_sa, AnnealConfig};
     use macro3d_place::macro_place::{pack_ring, pack_shelves};
     loop {
@@ -209,14 +225,47 @@ pub fn pack_mol_floorplans(
                 // never worsens macro-net HPWL, preserves legality)
                 refine_macros_sa(design, &mut tp, die, halo, &AnnealConfig::default());
                 refine_macros_sa(design, &mut bp, die, halo, &AnnealConfig::default());
-                return (tp, bp);
+                return Ok((tp, bp));
             }
         }
         // demote the smallest top-die macro and retry
         match top.pop() {
             Some(m) => bottom.push(m),
-            None => panic!("logic-die macros do not fit the die"),
+            None => {
+                return Err(crate::error::FlowError::Floorplan {
+                    stage: "mol/dual_pack",
+                    detail: format!(
+                        "{} logic-die macros do not fit the {:.0}x{:.0}um die",
+                        bottom.len(),
+                        die.width().to_um(),
+                        die.height().to_um()
+                    ),
+                });
+            }
         }
+    }
+}
+
+/// Infallible wrapper over [`try_pack_mol_floorplans`] for callers
+/// that know their configuration packs (benches, tests).
+///
+/// # Panics
+///
+/// Panics with the underlying [`FlowError`](crate::error::FlowError)
+/// message if packing fails.
+pub fn pack_mol_floorplans(
+    design: &Design,
+    die: Rect,
+    halo: Dbu,
+    top: Vec<InstId>,
+    bottom: Vec<InstId>,
+) -> (
+    Vec<macro3d_place::MacroPlacement>,
+    Vec<macro3d_place::MacroPlacement>,
+) {
+    match try_pack_mol_floorplans(design, die, halo, top, bottom) {
+        Ok(packed) => packed,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -628,6 +677,14 @@ fn signoff_input<'a>(
 /// post-route sizing loop. This is flow step 3 ("standard 2D P&R
 /// engine") plus sign-off. `timer` continues the flow's stage clock
 /// and ends up in the returned design's `stage_times`.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Injected`](crate::error::FlowError::Injected)
+/// when the active fault plan injects an error at one of the
+/// `flow/route`, `flow/extract` or `flow/sta` gates. Budget
+/// exhaustion does not error: the sizing loop stops at its checkpoint
+/// and the run completes degraded.
 #[allow(clippy::too_many_arguments)]
 pub fn finish_design(
     mut design: Design,
@@ -642,9 +699,10 @@ pub fn finish_design(
     macro_pins_projected: bool,
     sizing_rounds: usize,
     mut timer: StageTimer,
-) -> ImplementedDesign {
+) -> Result<ImplementedDesign, crate::error::FlowError> {
     let par = cfg.parallelism;
     let die = fp.die();
+    crate::error::flow_gate("flow/route")?;
     let obstacles = macro_obstacles(
         &design,
         &fp,
@@ -672,6 +730,7 @@ pub fn finish_design(
     )
     .route();
     timer.mark("route");
+    crate::error::flow_gate("flow/extract")?;
     let mut parasitics = extract_all(
         &design,
         &placement,
@@ -684,6 +743,7 @@ pub fn finish_design(
     );
     let clock = clock_arrivals(&design, &clock_tree, &parasitics, Corner::signoff());
     timer.mark("extract");
+    crate::error::flow_gate("flow/sta")?;
 
     // Parametric mode keeps one StaSession alive across the sizing
     // loop: the timing graph is built once and each round re-times
@@ -712,7 +772,17 @@ pub fn finish_design(
         ),
     };
     let mut resized: HashSet<InstId> = HashSet::new();
-    for _ in 0..sizing_rounds {
+    for round in 0..sizing_rounds {
+        // cooperative budget checkpoint: on exhaustion keep the
+        // current (valid, already-analyzed) timing and stop sizing
+        if let Checkpoint::Stop(reason) = checkpoint("sta/sizing_rounds") {
+            note_degradation(
+                "sta/sizing_rounds",
+                reason,
+                format!("stopped after {round} of {sizing_rounds} sizing rounds"),
+            );
+            break;
+        }
         let changes = upsize_critical_path(&mut design, &timing);
         if changes.is_empty() {
             break;
@@ -833,7 +903,7 @@ pub fn finish_design(
     });
 
     timer.mark("hold+power");
-    ImplementedDesign {
+    Ok(ImplementedDesign {
         design,
         placement,
         ports,
@@ -849,7 +919,7 @@ pub fn finish_design(
         power,
         logic_metals,
         stage_times: timer.into_times(),
-    }
+    })
 }
 
 /// Total standard-cell area of a design, mm².

@@ -7,6 +7,7 @@
 //! footprint (equal total silicon, per the paper's fairness rule).
 
 use crate::build_cache::{cached_stack, design_fingerprint};
+use crate::error::{flow_gate, FlowError};
 use crate::flow::{
     area_budget, finish_design, place_pipeline, sta_constraints, FlowConfig, ImplementedDesign,
     StageTimer,
@@ -20,12 +21,16 @@ use macro3d_tech::stack::DieRole;
 
 /// Runs the 2D baseline flow and returns the implemented design.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the macros cannot be packed on the computed die (cannot
-/// happen for the paper's configurations with default utilization
-/// targets).
-pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+/// Returns [`FlowError::Floorplan`] if the macros cannot be packed on
+/// the computed die (cannot happen for the paper's configurations
+/// with default utilization targets) and [`FlowError::Injected`] when
+/// the active fault plan injects an error at a flow gate.
+pub(crate) fn implement(
+    tile: &TileNetlist,
+    cfg: &FlowConfig,
+) -> Result<ImplementedDesign, FlowError> {
     let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
@@ -55,7 +60,8 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
         macro_fraction,
         cell_fraction
     );
-    let placements = crate::build_cache::global().get_or_build(&fp_key, || {
+    flow_gate("flow/floorplan")?;
+    let placements = crate::build_cache::global().try_get_or_build(&fp_key, || {
         let mut packed = if macro_fraction > 0.7 {
             pack_bands(&design, &macros, die, halo, cell_fraction.min(0.9))
                 .or_else(|| pack_ring(&design, &macros, die, halo))
@@ -63,18 +69,27 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
             pack_ring(&design, &macros, die, halo)
         }
         .or_else(|| pack_shelves(&design, &macros, die, halo, DieRole::Logic))
-        .expect("macros fit the 2D die");
+        .ok_or_else(|| FlowError::Floorplan {
+            stage: "2d/macro_pack",
+            detail: format!(
+                "{} macros do not fit the {:.0}x{:.0}um 2D die",
+                macros.len(),
+                die.width().to_um(),
+                die.height().to_um()
+            ),
+        })?;
         // same floorplan-optimization step as the 3D flows
         use macro3d_place::macro_anneal::{refine_macros_sa, AnnealConfig};
         refine_macros_sa(&design, &mut packed, die, halo, &AnnealConfig::default());
-        packed
-    });
+        Ok::<_, FlowError>(packed)
+    })?;
     for &mp in placements.iter() {
         fp.add_macro(mp, DieRole::Logic, halo);
     }
 
     let ports = PortPlan::assign(&design, die);
     timer.mark("floorplan");
+    flow_gate("flow/place")?;
     let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg, &mut timer);
 
     let stack = (*cached_stack(cfg.logic_metals, DieRole::Logic)).clone();

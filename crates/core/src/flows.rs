@@ -24,10 +24,12 @@
 //! and — for the S2D/C2D baselines — the partitioning diagnostics the
 //! paper blames for their quality loss.
 
+use crate::error::FlowError;
 use crate::flow::{FlowConfig, ImplementedDesign};
 use crate::report::PpaResult;
 use crate::s2d::{S2dDiagnostics, S2dStyle};
 use macro3d_obs::{FlowTrace, Session};
+use macro3d_par::{BudgetScope, DegradationReport};
 use macro3d_soc::TileNetlist;
 
 /// Everything a flow produces in one run.
@@ -41,20 +43,30 @@ pub struct FlowOutcome {
     pub diagnostics: Option<S2dDiagnostics>,
     /// Observability trace — `Some` when `cfg.obs` was not off.
     pub obs: Option<FlowTrace>,
+    /// What the stage budget (or fault plan) cut short, plus residual
+    /// violations (non-convergent routing, unplaceable F2F bumps).
+    /// Empty for a clean run; see [`DegradationReport::is_degraded`].
+    pub degradation: DegradationReport,
 }
 
-/// Runs `body` inside an obs session named after the flow. The obs
-/// level and metrics registry are process-global, so flows must run
-/// one at a time (they always have: every driver iterates
-/// [`standard_flows`] serially).
+/// Runs `body` inside an obs session named after the flow, with the
+/// config's budget (and fault plan) installed for the flow thread.
+/// The obs level and metrics registry are process-global, so flows
+/// must run one at a time (they always have: every driver iterates
+/// [`standard_flows`] serially). The obs session and budget scope are
+/// torn down on the error path too, so a failed flow never leaks
+/// global state into the next run.
 fn run_observed<T>(
     name: &str,
     cfg: &FlowConfig,
-    body: impl FnOnce() -> T,
-) -> (T, Option<FlowTrace>) {
+    body: impl FnOnce() -> Result<T, FlowError>,
+) -> Result<(T, DegradationReport, Option<FlowTrace>), FlowError> {
     let session = Session::start(cfg.obs, name);
+    let scope = BudgetScope::begin(&cfg.budget, cfg.fault_plan.as_ref());
     let result = body();
-    (result, session.finish())
+    let degradation = scope.finish();
+    let obs = session.finish();
+    Ok((result?, degradation, obs))
 }
 
 /// A complete physical-design methodology, from tile netlist to
@@ -63,8 +75,30 @@ pub trait Flow {
     /// Stable flow label (used as the PPA column header).
     fn name(&self) -> &str;
 
-    /// Implements the tile under `cfg` and signs it off.
-    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome;
+    /// Implements the tile under `cfg` and signs it off — the primary
+    /// entry point. A budget-exhausted run *succeeds* with a
+    /// populated [`FlowOutcome::degradation`]; only unrecoverable
+    /// failures (unpackable floorplans, injected errors) return
+    /// `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] naming the failed stage and context.
+    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError>;
+
+    /// Infallible wrapper over [`Self::try_run`] for drivers that
+    /// treat any flow failure as fatal (the experiment binaries,
+    /// benches, and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the flow name and the underlying [`FlowError`].
+    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
+        match self.try_run(tile, cfg) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("flow '{}' failed: {e}", self.name()),
+        }
+    }
 }
 
 /// The conventional 2D flow (see [`crate::flow2d`]).
@@ -76,15 +110,16 @@ impl Flow for Flow2d {
         "2D"
     }
 
-    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let (implemented, obs) =
-            run_observed(self.name(), cfg, || crate::flow2d::implement(tile, cfg));
-        FlowOutcome {
+    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+        let (implemented, degradation, obs) =
+            run_observed(self.name(), cfg, || crate::flow2d::implement(tile, cfg))?;
+        Ok(FlowOutcome {
             ppa: PpaResult::from_impl(self.name(), &implemented),
             implemented,
             diagnostics: None,
             obs,
-        }
+            degradation,
+        })
     }
 }
 
@@ -104,18 +139,19 @@ impl Flow for S2d {
         }
     }
 
-    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let ((implemented, diag), obs) = run_observed(self.name(), cfg, || {
+    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+        let ((implemented, diag), degradation, obs) = run_observed(self.name(), cfg, || {
             crate::s2d::implement(tile, cfg, self.style)
-        });
+        })?;
         let mut ppa = PpaResult::from_impl(self.name(), &implemented);
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
-        FlowOutcome {
+        Ok(FlowOutcome {
             ppa,
             implemented,
             diagnostics: Some(diag),
             obs,
-        }
+            degradation,
+        })
     }
 }
 
@@ -128,17 +164,18 @@ impl Flow for C2d {
         "C2D"
     }
 
-    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let ((implemented, diag), obs) =
-            run_observed(self.name(), cfg, || crate::c2d::implement(tile, cfg));
+    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+        let ((implemented, diag), degradation, obs) =
+            run_observed(self.name(), cfg, || crate::c2d::implement(tile, cfg))?;
         let mut ppa = PpaResult::from_impl(self.name(), &implemented);
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
-        FlowOutcome {
+        Ok(FlowOutcome {
             ppa,
             implemented,
             diagnostics: Some(diag),
             obs,
-        }
+            degradation,
+        })
     }
 }
 
@@ -153,22 +190,23 @@ impl Flow for Macro3d {
         "Macro-3D"
     }
 
-    fn run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> FlowOutcome {
-        let (implemented, obs) = run_observed(self.name(), cfg, || {
+    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+        let (implemented, degradation, obs) = run_observed(self.name(), cfg, || {
             crate::macro3d_flow::implement(tile, cfg)
-        });
+        })?;
         let mut ppa = PpaResult::from_impl(
             format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
             &implemented,
         );
         // per-die footprint x per-die layer counts
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
-        FlowOutcome {
+        Ok(FlowOutcome {
             ppa,
             implemented,
             diagnostics: None,
             obs,
-        }
+            degradation,
+        })
     }
 }
 

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Macro-3D: physical design flows for face-to-face-stacked
 //! heterogeneous 3D ICs (DATE 2020 reproduction).
 //!
@@ -47,6 +48,7 @@ pub mod build_cache;
 pub mod c2d;
 pub mod check;
 pub mod config;
+pub mod error;
 pub mod experiments;
 pub mod flow;
 pub mod flow2d;
@@ -59,10 +61,13 @@ pub mod via_plan;
 
 pub use build_cache::{BuildCache, CacheStats};
 pub use config::{ConfigError, FlowConfigBuilder};
+pub use error::FlowError;
 pub use flow::{FlowConfig, ImplementedDesign, StageTimer, StageTimes};
 pub use flows::{Flow, FlowOutcome};
 pub use macro3d_obs::{FlowTrace, ObsConfig, ObsLevel};
-pub use macro3d_par::Parallelism;
+pub use macro3d_par::{
+    DegradationReport, FaultAction, FaultPlan, FlowBudget, Parallelism, StopReason, STANDARD_SITES,
+};
 pub use macro3d_route::{RouteConfig, RouteConfigBuilder, RouteConfigError, RouteRequest, Router};
 pub use macro3d_sta::StaMode;
 pub use report::PpaResult;

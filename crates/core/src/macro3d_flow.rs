@@ -22,7 +22,8 @@
 //! 4. **Die separation.** The layout splits back into per-die GDS
 //!    (see [`crate::layout`]); the F2F via layer appears in both.
 
-use crate::build_cache::{cached_combined_beol, cached_mol_floorplan};
+use crate::build_cache::{cached_combined_beol, try_cached_mol_floorplan};
+use crate::error::{flow_gate, FlowError};
 use crate::flow::{
     area_budget, finish_design, place_pipeline, sta_constraints, FlowConfig, ImplementedDesign,
     StageTimer,
@@ -38,11 +39,16 @@ use macro3d_tech::stack::DieRole;
 /// `cfg.macro_metals` selects the macro-die BEOL depth (6 for the
 /// main results, 4 for Table III's heterogeneous-stack experiment).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if macro packing fails (cannot happen for the paper's
-/// configurations with default utilization targets).
-pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesign {
+/// Returns [`FlowError::Floorplan`] if macro packing fails (cannot
+/// happen for the paper's configurations with default utilization
+/// targets) and [`FlowError::Injected`] when the active fault plan
+/// injects an error at a flow gate.
+pub(crate) fn implement(
+    tile: &TileNetlist,
+    cfg: &FlowConfig,
+) -> Result<ImplementedDesign, FlowError> {
     let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
@@ -54,7 +60,8 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
 
     // Step 1: dual floorplans (the MoL seed is shared with the S2D
     // and C2D flows through the build cache).
-    let mol = cached_mol_floorplan(&design, die, halo, cfg.util_macro, cfg.halo_um);
+    flow_gate("flow/floorplan")?;
+    let mol = try_cached_mol_floorplan(&design, die, halo, cfg.util_macro, cfg.halo_um)?;
     let (top_placements, bottom_placements) = (&mol.0, &mol.1);
 
     // Step 2: projection — macro-die macros add pins/obstacles but no
@@ -72,6 +79,7 @@ pub(crate) fn implement(tile: &TileNetlist, cfg: &FlowConfig) -> ImplementedDesi
     // Step 3: unmodified 2D P&R over the combined stack.
     let ports = PortPlan::assign(&design, die);
     timer.mark("floorplan");
+    flow_gate("flow/place")?;
     let (placement, tree) = place_pipeline(&mut design, &fp, &ports, &constraints, cfg, &mut timer);
 
     finish_design(

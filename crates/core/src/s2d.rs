@@ -25,7 +25,8 @@
 //! Table I's "BF S2D", which trades away the manufacturing advantages
 //! of MoL stacking).
 
-use crate::build_cache::{cached_combined_beol, cached_mol_floorplan, cached_stack};
+use crate::build_cache::{cached_combined_beol, cached_stack, try_cached_mol_floorplan};
+use crate::error::{flow_gate, FlowError};
 use crate::flow::{
     area_budget, finish_design, macro_obstacles, route_pins, sta_constraints, FlowConfig,
     ImplementedDesign, StageTimer,
@@ -71,14 +72,16 @@ pub struct S2dDiagnostics {
 
 /// Runs the S2D flow.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if macro packing fails for the chosen style.
+/// Returns [`FlowError::Floorplan`] if macro packing fails for the
+/// chosen style and [`FlowError::Injected`] when the active fault
+/// plan injects an error at a flow gate.
 pub(crate) fn implement(
     tile: &TileNetlist,
     cfg: &FlowConfig,
     style: S2dStyle,
-) -> (ImplementedDesign, S2dDiagnostics) {
+) -> Result<(ImplementedDesign, S2dDiagnostics), FlowError> {
     let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
     let constraints = sta_constraints(tile);
@@ -94,17 +97,25 @@ pub(crate) fn implement(
     let halo = Dbu::from_um(cfg.halo_um);
 
     // --- macro floorplans on both dies --------------------------------
+    flow_gate("flow/floorplan")?;
     let macro_placements = match style {
         S2dStyle::MemoryOnLogic => {
             // same MoL seed as Macro-3D and C2D, via the build cache
-            let mol = cached_mol_floorplan(&design, die, halo, cfg.util_macro, cfg.halo_um);
+            let mol = try_cached_mol_floorplan(&design, die, halo, cfg.util_macro, cfg.halo_um)?;
             let mut v = mol.0.clone();
             v.extend_from_slice(&mol.1);
             v
         }
         S2dStyle::Balanced => {
             let macros: Vec<InstId> = design.inst_ids().filter(|&i| design.is_macro(i)).collect();
-            pack_balanced(&design, &macros, die, halo).expect("balanced packing fits")
+            pack_balanced(&design, &macros, die, halo).ok_or_else(|| FlowError::Floorplan {
+                stage: "s2d/balanced_pack",
+                detail: format!(
+                    "balanced packing does not fit the {:.0}x{:.0}um die",
+                    die.width().to_um(),
+                    die.height().to_um()
+                ),
+            })?
         }
     };
 
@@ -123,6 +134,7 @@ pub(crate) fn implement(
 
     let ports = PortPlan::assign(&design, die);
     timer.mark("floorplan");
+    flow_gate("flow/place")?;
     let (mut placement, tree) =
         crate::flow::place_pipeline(&mut design, &fp_s2d, &ports, &constraints, cfg, &mut timer);
 
@@ -184,6 +196,20 @@ pub(crate) fn implement(
     };
     let mut touched: Vec<macro3d_netlist::NetId> = Vec::new();
     for round in 0..cfg.sizing_rounds {
+        // budget checkpoint: the stage-1 sizing already holds a valid
+        // (mispredicted-parasitics) design, so stopping early is safe
+        if let macro3d_par::Checkpoint::Stop(reason) = macro3d_par::checkpoint("sta/sizing_rounds")
+        {
+            macro3d_par::note_degradation(
+                "sta/sizing_rounds",
+                reason,
+                format!(
+                    "stopped after {round} of {} sizing rounds",
+                    cfg.sizing_rounds
+                ),
+            );
+            break;
+        }
         let input = StaInput {
             design: &design,
             parasitics: &parasitics,
@@ -238,8 +264,8 @@ pub(crate) fn implement(
         true,
         0,
         timer,
-    );
-    (imp, diag)
+    )?;
+    Ok((imp, diag))
 }
 
 /// The final per-die floorplan: macros block placement on their own
@@ -411,6 +437,16 @@ pub(crate) fn partition_and_finalize(
         }
     }
     let plan = plan_bumps(die, &F2fSpec::hybrid_bond_n28(), &requests);
+    if plan.failed > 0 {
+        // a full bump grid is a residual violation: the re-route still
+        // runs, but the outcome names the nets left without a bump
+        // (the planner's outward spiral gave up — its ring cap)
+        macro3d_par::note_degradation(
+            "flow/via_plan",
+            macro3d_par::StopReason::IterationCap,
+            plan.failure_detail(),
+        );
+    }
 
     S2dDiagnostics {
         overlap_fix_mean_disp_um: mean_disp,

@@ -18,6 +18,11 @@ pub struct ViaPlan {
     pub bumps: Vec<(NetId, Point)>,
     /// Crossings that could not be placed on the grid (die full).
     pub failed: usize,
+    /// The nets whose crossings could not be placed, in request
+    /// order — surfaced in the flow's degradation report so a full
+    /// bump grid is a named, diagnosable condition rather than a bare
+    /// count in obs metrics.
+    pub failed_nets: Vec<NetId>,
     /// Mean displacement from the requested location, µm.
     pub mean_displacement_um: f64,
 }
@@ -26,6 +31,24 @@ impl ViaPlan {
     /// Number of placed bumps.
     pub fn count(&self) -> u64 {
         self.bumps.len() as u64
+    }
+
+    /// A short human-readable summary of the planning failures,
+    /// naming the offending nets (truncated past 8).
+    pub fn failure_detail(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{} inter-die crossings without a bump site: nets",
+            self.failed
+        );
+        for (k, n) in self.failed_nets.iter().enumerate() {
+            if k == 8 {
+                let _ = write!(s, " … (+{})", self.failed_nets.len() - 8);
+                break;
+            }
+            let _ = write!(s, " {}", n.0);
+        }
+        s
     }
 }
 
@@ -38,7 +61,7 @@ pub fn plan_bumps(die: Rect, f2f: &F2fSpec, requests: &[(NetId, Point)]) -> ViaP
     let pitch = f2f.pitch;
     let mut occupied: HashSet<(i64, i64)> = HashSet::new();
     let mut bumps = Vec::with_capacity(requests.len());
-    let mut failed = 0usize;
+    let mut failed_nets: Vec<NetId> = Vec::new();
     let mut total_disp = 0.0f64;
 
     let nx = (die.width() / pitch).max(1);
@@ -74,7 +97,7 @@ pub fn plan_bumps(die: Rect, f2f: &F2fSpec, requests: &[(NetId, Point)]) -> ViaP
                 total_disp += want.manhattan(at).to_um();
                 bumps.push((net, at));
             }
-            None => failed += 1,
+            None => failed_nets.push(net),
         }
     }
 
@@ -85,7 +108,8 @@ pub fn plan_bumps(die: Rect, f2f: &F2fSpec, requests: &[(NetId, Point)]) -> ViaP
     };
     ViaPlan {
         bumps,
-        failed,
+        failed: failed_nets.len(),
+        failed_nets,
         mean_displacement_um: mean,
     }
 }
@@ -130,6 +154,28 @@ mod tests {
         let plan = plan_bumps(die, &f2f, &reqs);
         assert_eq!(plan.count() as usize + plan.failed, 10);
         assert!(plan.failed > 0);
+        // failures are named, not just counted
+        assert_eq!(plan.failed_nets.len(), plan.failed);
+        let detail = plan.failure_detail();
+        let first = plan.failed_nets[0].0;
+        assert!(detail.contains(&format!(" {first}")), "{detail}");
+    }
+
+    #[test]
+    fn failure_detail_truncates_long_lists() {
+        let die = Rect::from_um(0.0, 0.0, 3.0, 1.0);
+        let f2f = F2fSpec::hybrid_bond_n28();
+        let reqs: Vec<(NetId, Point)> = (0..40)
+            .map(|i| (NetId(i), Point::from_um(1.0, 0.5)))
+            .collect();
+        let plan = plan_bumps(die, &f2f, &reqs);
+        assert!(plan.failed > 8, "{}", plan.failed);
+        let detail = plan.failure_detail();
+        assert!(detail.contains('…'), "{detail}");
+        assert!(
+            detail.contains(&format!("+{}", plan.failed - 8)),
+            "{detail}"
+        );
     }
 
     #[test]

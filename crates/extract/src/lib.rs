@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Parasitic extraction: RC trees and Elmore delays from routed nets.
 //!
 //! The original flow extracts parasitics with a commercial engine

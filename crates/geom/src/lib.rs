@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Geometry substrate for the Macro-3D physical-design reproduction.
 //!
 //! All physical-design engines in this workspace (floorplanning,

@@ -304,7 +304,9 @@ impl Design {
     ///
     /// # Panics
     ///
-    /// Panics if the pin is not connected to `net`.
+    /// Panics if the pin is not connected to `net` — the asserts
+    /// above guarantee the net's pin list agrees with the slot.
+    #[allow(clippy::expect_used)]
     pub fn disconnect(&mut self, net: NetId, pin: PinRef) {
         match pin {
             PinRef::Inst { inst, pin: p } => {

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Gate-level netlist substrate for the Macro-3D reproduction.
 //!
 //! A [`Design`] is a flat gate-level netlist: standard-cell and macro

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Flow-wide observability for the Macro-3D reproduction: hierarchical
 //! spans, a typed metrics registry, and Chrome-trace/JSON exporters.
 //!

@@ -126,7 +126,7 @@ impl Series {
     pub fn push(&self, v: f64) {
         self.0
             .lock()
-            .expect("obs series mutex never poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(v);
     }
 
@@ -134,7 +134,7 @@ impl Series {
     pub fn values(&self) -> Vec<f64> {
         self.0
             .lock()
-            .expect("obs series mutex never poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 }
@@ -161,7 +161,10 @@ pub fn registry() -> &'static Registry {
 impl Registry {
     /// Returns (creating if needed) the counter called `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().expect("obs registry mutex");
+        let mut map = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_owned())
             .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
             .clone()
@@ -169,7 +172,10 @@ impl Registry {
 
     /// Returns (creating if needed) the gauge called `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().expect("obs registry mutex");
+        let mut map = self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_owned())
             .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
             .clone()
@@ -177,7 +183,10 @@ impl Registry {
 
     /// Returns (creating if needed) the histogram called `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.histograms.lock().expect("obs registry mutex");
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_owned())
             .or_insert_with(|| {
                 Histogram(Arc::new(HistInner {
@@ -192,7 +201,10 @@ impl Registry {
 
     /// Returns (creating if needed) the series called `name`.
     pub fn series(&self, name: &str) -> Series {
-        let mut map = self.series.lock().expect("obs registry mutex");
+        let mut map = self
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_owned())
             .or_insert_with(|| Series(Arc::new(Mutex::new(Vec::new()))))
             .clone()
@@ -200,20 +212,42 @@ impl Registry {
 
     /// Zeroes every instrument without removing it (session start).
     pub fn reset(&self) {
-        for c in self.counters.lock().expect("obs registry mutex").values() {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             c.0.store(0, Ordering::Relaxed);
         }
-        for g in self.gauges.lock().expect("obs registry mutex").values() {
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             g.0.store(0f64.to_bits(), Ordering::Relaxed);
         }
-        for h in self.histograms.lock().expect("obs registry mutex").values() {
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             h.0.count.store(0, Ordering::Relaxed);
             h.0.sum.store(0, Ordering::Relaxed);
             h.0.min.store(u64::MAX, Ordering::Relaxed);
             h.0.max.store(0, Ordering::Relaxed);
         }
-        for s in self.series.lock().expect("obs registry mutex").values() {
-            s.0.lock().expect("obs series mutex never poisoned").clear();
+        for s in self
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            s.0.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
         }
     }
 
@@ -223,28 +257,28 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .expect("obs registry mutex")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .expect("obs registry mutex")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .expect("obs registry mutex")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
             series: self
                 .series
                 .lock()
-                .expect("obs registry mutex")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.values()))
                 .collect(),

@@ -239,7 +239,7 @@ impl ForkPoint {
             &mut *inner
                 .branches
                 .lock()
-                .expect("obs fork mutex never poisoned"),
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
         branches.sort_by_key(|&(key, _)| key);
         TLS.with(|t| {
@@ -283,7 +283,7 @@ impl Drop for BranchGuard {
             self.inner
                 .branches
                 .lock()
-                .expect("obs fork mutex never poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push((self.key, nodes));
         }
     }

@@ -1,0 +1,211 @@
+//! Deterministic, seeded fault injection for flow robustness tests.
+//!
+//! A [`FaultPlan`] maps checkpoint site names (the same keys the
+//! budget module and the `macro3d-obs` site counters use) to an
+//! [`InjectedFault`]: after a chosen number of visits the site's
+//! [`checkpoint`](crate::budget::checkpoint) reports an injected stop.
+//! Because checkpoints fire at thread-count-invariant points (see the
+//! budget module docs), an injected fault triggers at a bit-identical
+//! place in the computation for any thread count — which is what lets
+//! property tests drive whole flows under randomized plans and still
+//! assert determinism.
+//!
+//! Plans are either built explicitly ([`FaultPlan::with_fault`]) or
+//! derived from a seed over a site list ([`FaultPlan::random`]) using
+//! a hand-rolled splitmix64 — no external RNG dependency, stable
+//! across platforms and releases of this crate.
+
+use crate::budget::StopReason;
+
+/// What an injected fault forces the checkpoint to report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Report [`StopReason::InjectedExhaust`]: the loop winds down as
+    /// if its budget ran out, exercising the graceful-degradation
+    /// path.
+    Exhaust,
+    /// Report [`StopReason::InjectedError`]: loop checkpoints degrade;
+    /// the fallible flow gates in `macro3d-core` convert this into a
+    /// typed `FlowError`, exercising the error path.
+    Error,
+}
+
+impl FaultAction {
+    /// The stop reason this action makes a checkpoint report.
+    pub fn stop_reason(self) -> StopReason {
+        match self {
+            FaultAction::Exhaust => StopReason::InjectedExhaust,
+            FaultAction::Error => StopReason::InjectedError,
+        }
+    }
+}
+
+/// One planted fault: fires the first time its site's visit count
+/// reaches `at_visit`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The 1-based visit count at which the fault triggers.
+    pub at_visit: u64,
+    /// What the checkpoint reports when it triggers.
+    pub action: FaultAction,
+}
+
+/// A deterministic set of planted faults, keyed by checkpoint site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<(String, InjectedFault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns self with a fault planted at `site`, triggering once
+    /// the site's visit count reaches `at_visit` (1-based; clamped to
+    /// at least 1). Re-planting a site replaces its fault.
+    #[must_use]
+    pub fn with_fault(mut self, site: &str, at_visit: u64, action: FaultAction) -> Self {
+        let fault = InjectedFault {
+            at_visit: at_visit.max(1),
+            action,
+        };
+        if let Some(entry) = self.faults.iter_mut().find(|(s, _)| s == site) {
+            entry.1 = fault;
+        } else {
+            self.faults.push((site.to_string(), fault));
+        }
+        self
+    }
+
+    /// Derives a plan from `seed` over `sites`: each site
+    /// independently receives a fault with probability ~1/2, with a
+    /// trigger visit in `1..=4` and an action drawn from both
+    /// variants. The same seed and site list always produce the same
+    /// plan, on every platform.
+    pub fn random(seed: u64, sites: &[&str]) -> Self {
+        let mut state = seed;
+        let mut plan = FaultPlan::new();
+        for &site in sites {
+            let r = splitmix64(&mut state);
+            if r & 1 == 0 {
+                continue; // this site stays healthy
+            }
+            let at_visit = 1 + ((r >> 1) & 0x3);
+            let action = if (r >> 3) & 1 == 0 {
+                FaultAction::Exhaust
+            } else {
+                FaultAction::Error
+            };
+            plan = plan.with_fault(site, at_visit, action);
+        }
+        plan
+    }
+
+    /// The fault to report when `site` is at `visits` total visits, if
+    /// the plan plants one there and it is due. (Stickiness — keeping
+    /// the site stopped after the trigger — is the budget scope's job.)
+    pub fn fault_at(&self, site: &str, visits: u64) -> Option<FaultAction> {
+        self.faults
+            .iter()
+            .find(|(s, _)| s == site)
+            .filter(|&&(_, f)| visits >= f.at_visit)
+            .map(|&(_, f)| f.action)
+    }
+
+    /// The planted faults as `(site, fault)` pairs, in plan order.
+    pub fn faults(&self) -> &[(String, InjectedFault)] {
+        &self.faults
+    }
+
+    /// True when the plan plants no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// splitmix64 step: the canonical 64-bit mixing sequence (public
+/// domain constants), used here so fault plans need no external RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The checkpoint sites instrumented across the engines and flow
+/// gates, for driving [`FaultPlan::random`] over everything at once.
+/// Kept in sync with the engines by the fault-injection integration
+/// tests (a plan over all of these must exercise every stage).
+pub const STANDARD_SITES: &[&str] = &[
+    "flow/floorplan",
+    "flow/place",
+    "flow/route",
+    "flow/extract",
+    "flow/sta",
+    "route/iterations",
+    "place/anneal_proposals",
+    "place/fm_passes",
+    "sta/sizing_rounds",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(42, STANDARD_SITES);
+        let b = FaultPlan::random(42, STANDARD_SITES);
+        assert_eq!(a, b);
+        // different seeds eventually differ
+        let distinct = (0..16).any(|s| FaultPlan::random(s, STANDARD_SITES) != a);
+        assert!(distinct);
+    }
+
+    #[test]
+    fn random_plans_cover_both_actions_and_spare_some_sites() {
+        let mut saw_exhaust = false;
+        let mut saw_error = false;
+        let mut saw_empty_site = false;
+        for seed in 0..32 {
+            let plan = FaultPlan::random(seed, STANDARD_SITES);
+            saw_empty_site |= plan.faults().len() < STANDARD_SITES.len();
+            for (_, f) in plan.faults() {
+                match f.action {
+                    FaultAction::Exhaust => saw_exhaust = true,
+                    FaultAction::Error => saw_error = true,
+                }
+                assert!((1..=4).contains(&f.at_visit));
+            }
+        }
+        assert!(saw_exhaust && saw_error && saw_empty_site);
+    }
+
+    #[test]
+    fn fault_at_respects_trigger_visit() {
+        let plan = FaultPlan::new().with_fault("x", 3, FaultAction::Error);
+        assert_eq!(plan.fault_at("x", 1), None);
+        assert_eq!(plan.fault_at("x", 2), None);
+        assert_eq!(plan.fault_at("x", 3), Some(FaultAction::Error));
+        assert_eq!(plan.fault_at("x", 9), Some(FaultAction::Error));
+        assert_eq!(plan.fault_at("y", 9), None);
+    }
+
+    #[test]
+    fn with_fault_replaces_and_clamps() {
+        let plan = FaultPlan::new()
+            .with_fault("x", 0, FaultAction::Error)
+            .with_fault("x", 2, FaultAction::Exhaust);
+        assert_eq!(plan.faults().len(), 1);
+        assert_eq!(plan.fault_at("x", 2), Some(FaultAction::Exhaust));
+        let clamped = FaultPlan::new().with_fault("y", 0, FaultAction::Error);
+        assert_eq!(
+            clamped.fault_at("y", 1),
+            Some(FaultAction::Error),
+            "clamped to 1"
+        );
+    }
+}

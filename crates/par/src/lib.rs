@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Deterministic data-parallel kernels for the Macro-3D engines.
 //!
 //! The hot engine loops (batched global routing, per-net extraction,
@@ -21,6 +22,14 @@
 //! inside worker closures are stitched into a thread-count-invariant
 //! tree. This costs one atomic load per chunk when tracing is off.
 //!
+//! It also extends to fault tolerance: the [`budget`] module provides
+//! cooperative stage budgets (wall-clock deadline + per-site iteration
+//! caps) with a [`DegradationReport`] for best-effort early exits, and
+//! the [`fault`] module a seeded deterministic fault-injection harness
+//! over the same checkpoint sites. Every primitive here marks a
+//! *parallel region* on all execution paths so budget checkpoints fire
+//! at thread-count-invariant points only.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,6 +50,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod budget;
+pub mod fault;
+
+pub use budget::{
+    checkpoint, note_degradation, site_visits, BudgetScope, Checkpoint, DegradationReport,
+    FlowBudget, RegionGuard, StageDegradation, StopReason,
+};
+pub use fault::{FaultAction, FaultPlan, InjectedFault, STANDARD_SITES};
 
 /// Degree-of-parallelism knob threaded through the engine configs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,6 +158,10 @@ where
     FA: FnOnce(usize) -> RA + Send,
     FB: FnOnce(usize) -> RB + Send,
 {
+    // every path marks a parallel region so budget checkpoints inside
+    // the closures stay inert regardless of where they execute (see
+    // the `budget` module's determinism rules)
+    let _region = budget::RegionGuard::enter();
     if budget < 2 {
         return (a(1), b(1));
     }
@@ -179,6 +201,9 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    // serial fallback and threaded path both count as a parallel
+    // region: checkpoint firing must not depend on the thread count
+    let _region = budget::RegionGuard::enter();
     let threads = par.effective_threads().min(items.len().max(1));
     if threads <= 1 {
         let mut scratch = init();
@@ -212,9 +237,7 @@ where
                     drop(branch);
                     parts
                         .lock()
-                        .expect(
-                            "result mutex never poisoned: workers do not panic while holding it",
-                        )
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .push((start, chunk));
                 }
             });
@@ -222,7 +245,9 @@ where
     });
     fork.join();
 
-    let mut parts = parts.into_inner().expect("workers joined");
+    let mut parts = parts
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     parts.sort_unstable_by_key(|&(start, _)| start);
     let mut out = Vec::with_capacity(items.len());
     for (_, chunk) in parts {
@@ -260,6 +285,7 @@ where
     RD: Fn(A, A) -> A,
 {
     let partials = {
+        let _region = budget::RegionGuard::enter();
         let threads = par.effective_threads().min(items.len().max(1));
         if threads <= 1 {
             vec![items
@@ -289,13 +315,15 @@ where
                         }
                         parts
                             .lock()
-                            .expect("result mutex never poisoned: workers do not panic while holding it")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push(acc);
                     });
                 }
             });
             fork.join();
-            parts.into_inner().expect("workers joined")
+            parts
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
         }
     };
     partials.into_iter().fold(identity, reduce)
@@ -466,6 +494,48 @@ mod tests {
         let par = Parallelism::default();
         assert!(par.effective_threads() >= 1);
         assert_eq!(Parallelism::serial().effective_threads(), 1);
+    }
+
+    /// Checkpoints inside primitive closures must be inert for ANY
+    /// thread count — including the serial fallbacks that run worker
+    /// closures on the calling thread — so budget/fault firing stays
+    /// a pure function of the work decomposition.
+    #[test]
+    fn checkpoints_inside_primitives_are_inert_for_any_thread_count() {
+        use budget::{checkpoint, site_visits, BudgetScope, Checkpoint, FlowBudget};
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let budget = FlowBudget::unlimited().with_cap("t", 1);
+            let scope = BudgetScope::begin(&budget, None);
+            let par = Parallelism::threads(threads).with_chunk_size(5);
+            parallel_map(&items, &par, |_, &x| {
+                assert_eq!(checkpoint("t"), Checkpoint::Continue);
+                x
+            });
+            parallel_fold(
+                &items,
+                &par,
+                0u32,
+                |acc, _, &x| {
+                    assert_eq!(checkpoint("t"), Checkpoint::Continue);
+                    acc + x
+                },
+                |a, b| a + b,
+            );
+            let (_, _) = parallel_join(
+                threads,
+                |_| assert_eq!(checkpoint("t"), Checkpoint::Continue),
+                |_| assert_eq!(checkpoint("t"), Checkpoint::Continue),
+            );
+            assert_eq!(site_visits("t"), 0, "threads={threads}");
+            // outside the primitives the cap still applies normally
+            assert_eq!(checkpoint("t"), Checkpoint::Continue);
+            assert_eq!(
+                checkpoint("t"),
+                Checkpoint::Stop(budget::StopReason::IterationCap)
+            );
+            drop(scope);
+        }
     }
 
     /// Spans opened inside worker closures stitch into the same tree

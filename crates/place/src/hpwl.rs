@@ -176,6 +176,9 @@ impl HpwlCache {
 
     /// Rolls back one `update_nets` batch (apply to the *matching*
     /// state only, most recent first).
+    // INVARIANT: an `HpwlUndo` only holds nets the cache tracked when
+    // it was produced, and tracked nets are never evicted.
+    #[allow(clippy::expect_used)]
     pub fn undo(&mut self, undo: HpwlUndo) {
         for (n, old) in undo.entries.into_iter().rev() {
             let cur = self.cached[n.index()].expect("undo of tracked net");

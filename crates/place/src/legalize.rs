@@ -60,7 +60,9 @@ impl RowSpace {
     ///
     /// # Panics
     ///
-    /// Panics if the span is not currently free.
+    /// Panics if the span is not currently free — callers only pass
+    /// spans returned by [`Self::nearest_fit`] on this row state.
+    #[allow(clippy::expect_used)]
     fn occupy(&mut self, x: Dbu, width: Dbu) {
         let pos = self
             .free

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Floorplanning and standard-cell placement engine.
 //!
 //! This crate is the "2D P&R engine" front half that every flow in the

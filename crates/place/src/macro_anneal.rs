@@ -150,7 +150,23 @@ pub fn refine_macros_sa(
     // batched locally; one registry add per call keeps the loop hot
     let mut proposals = 0u64;
     let mut accepts = 0u64;
+    // best-so-far snapshot, restored if the budget stops the anneal
+    // mid-schedule (the current state may sit on an uphill excursion)
+    let mut best_cost = cost;
+    let mut best: Vec<MacroPlacement> = placements.to_vec();
+    let mut stopped = false;
     for it in 0..cfg.iterations {
+        if let macro3d_par::Checkpoint::Stop(reason) =
+            macro3d_par::checkpoint("place/anneal_proposals")
+        {
+            macro3d_par::note_degradation(
+                "place/anneal_proposals",
+                reason,
+                format!("stopped after {it} of {} anneal proposals", cfg.iterations),
+            );
+            stopped = true;
+            break;
+        }
         let t = t0 * (1.0 - it as f64 / cfg.iterations as f64).max(1e-3);
         let a = rng.gen_range(0..placements.len());
         let b = rng.gen_range(0..placements.len());
@@ -211,6 +227,10 @@ pub fn refine_macros_sa(
         if accept {
             accepts += 1;
             cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best.copy_from_slice(placements);
+            }
         } else {
             placements[a] = saved_a;
             placements[b] = saved_b;
@@ -223,6 +243,10 @@ pub fn refine_macros_sa(
     }
     ANNEAL_PROPOSALS.add(proposals);
     ANNEAL_ACCEPTS.add(accepts);
+    if stopped && best_cost < cost {
+        placements.copy_from_slice(&best);
+        return best_cost;
+    }
     cost
 }
 

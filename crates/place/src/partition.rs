@@ -118,7 +118,7 @@ impl HypergraphBuilder {
         for i in 0..nv {
             vert_offsets[i + 1] = vert_offsets[i] + counts[i];
         }
-        let mut vert_nets = vec![0u32; *vert_offsets.last().expect("nv+1 offsets") as usize];
+        let mut vert_nets = vec![0u32; vert_offsets[nv] as usize];
         let mut cursor = vert_offsets.clone();
         for (n, net) in self.nets.iter().enumerate() {
             for &v in net {
@@ -203,7 +203,18 @@ pub fn bipartition(
         return side;
     }
 
-    for _ in 0..cfg.passes {
+    for pass in 0..cfg.passes {
+        // budget checkpoint: an early stop keeps the current (always
+        // balanced) assignment — each completed pass only improves the
+        // cut, so best-so-far is the state as it stands
+        if let macro3d_par::Checkpoint::Stop(reason) = macro3d_par::checkpoint("place/fm_passes") {
+            macro3d_par::note_degradation(
+                "place/fm_passes",
+                reason,
+                format!("stopped after {pass} of {} FM passes", cfg.passes),
+            );
+            break;
+        }
         let improved = fm_pass(hg, &mut side, target_a, tol);
         if !improved {
             break;

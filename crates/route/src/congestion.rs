@@ -57,7 +57,7 @@ impl CongestionReport {
         self.layers
             .iter()
             .filter(|l| l.overflow > 0.0)
-            .max_by(|a, b| a.overflow.partial_cmp(&b.overflow).expect("finite"))
+            .max_by(|a, b| a.overflow.total_cmp(&b.overflow))
             .map(|l| l.layer)
     }
 }

@@ -24,7 +24,7 @@ use crate::search::{route_leg, ScratchPool, SearchShared};
 use crate::steiner::steiner_edges;
 use macro3d_geom::{BinIx, Dbu, Point, Rect};
 use macro3d_netlist::NetId;
-use macro3d_par::{parallel_map_with, Parallelism};
+use macro3d_par::{checkpoint, note_degradation, parallel_map_with, Checkpoint, Parallelism};
 use macro3d_tech::stack::MetalStack;
 use std::collections::HashMap;
 use std::fmt;
@@ -458,7 +458,23 @@ impl Router {
     /// commit keeps results thread-count invariant.
     fn negotiate(&mut self) {
         let par = self.cfg.parallelism;
-        for iter in 0..self.cfg.iterations.max(1) {
+        let max_iters = self.cfg.iterations.max(1);
+        for iter in 0..max_iters {
+            // budget checkpoint: stopping keeps every committed route
+            // (best-so-far); the residual overflow is reported by
+            // `assemble`
+            if let Checkpoint::Stop(reason) = checkpoint("route/iterations") {
+                note_degradation(
+                    "route/iterations",
+                    reason,
+                    format!(
+                        "stopped at rip-up iteration {iter} of {max_iters} \
+                         with overflow {}",
+                        self.grid.total_overflow()
+                    ),
+                );
+                break;
+            }
             let _iter_span = macro3d_obs::span_full!("route/iter{iter}");
             ROUTE_ITERATIONS.inc();
             let reroute: Vec<usize> = if iter == 0 {
@@ -546,6 +562,41 @@ impl Router {
         result.overflow = self.grid.total_overflow();
         result.overflowed_edges = self.grid.overflowed_edges();
         result.max_utilization = self.grid.max_utilization();
+        // Non-convergent routing is an explicit, named condition: any
+        // residual overflow after the negotiation loop gave up (cap,
+        // deadline, or plain iteration limit) lands in the flow's
+        // degradation report with the nets still crossing overflowed
+        // edges.
+        if result.overflow > 0.0 {
+            use std::fmt::Write as _;
+            let offenders: Vec<NetId> = self
+                .nets
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| {
+                    self.net_edges[*k]
+                        .iter()
+                        .any(|&e| self.grid.is_overflowed(e as usize))
+                })
+                .map(|(_, (net_id, _))| *net_id)
+                .collect();
+            let mut detail = format!(
+                "routing left residual overflow {} on {} edges: nets",
+                result.overflow, result.overflowed_edges
+            );
+            for (k, n) in offenders.iter().enumerate() {
+                if k == 8 {
+                    let _ = write!(detail, " … (+{})", offenders.len() - 8);
+                    break;
+                }
+                let _ = write!(detail, " {}", n.0);
+            }
+            note_degradation(
+                "route/iterations",
+                macro3d_par::StopReason::IterationCap,
+                detail,
+            );
+        }
         // bump-density check: crossings per GCell vs the pitch budget
         if let (Some(pitch), Some(cut)) = (self.cfg.f2f_pitch_um, self.f2f_cut) {
             let per_gcell = (self.cfg.gcell_um / pitch).max(1.0).powi(2) as u32;

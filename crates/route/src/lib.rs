@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Layer-aware global routing engine.
 //!
 //! The back half of the shared "2D P&R engine": a negotiated-

@@ -191,7 +191,7 @@ impl ScratchPool {
         let scratch = self
             .free
             .lock()
-            .expect("scratch pool mutex never poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_else(|| SearchScratch::new(shared));
         PooledScratch {
@@ -208,6 +208,9 @@ pub(crate) struct PooledScratch<'p> {
 }
 
 impl PooledScratch<'_> {
+    // INVARIANT: `scratch` is `Some` from construction until `drop`
+    // takes it back to the pool; `get` cannot run after `drop`.
+    #[allow(clippy::expect_used)]
     pub fn get(&mut self) -> &mut SearchScratch {
         self.scratch.as_mut().expect("present until drop")
     }
@@ -219,7 +222,7 @@ impl Drop for PooledScratch<'_> {
             self.pool
                 .free
                 .lock()
-                .expect("scratch pool mutex never poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(s);
         }
     }

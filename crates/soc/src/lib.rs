@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! OpenPiton-like tile netlist generator.
 //!
 //! The paper's benchmark is an OpenPiton tile: a 64-bit out-of-order

@@ -118,6 +118,8 @@ pub fn generate_tile(config: &TileConfig) -> TileNetlist {
     };
 
     let subs = config.core_submodules();
+    // INVARIANT: lookups below only use names `core_submodules` emits.
+    #[allow(clippy::expect_used)]
     let budget = |name: &str| -> f64 {
         subs.iter()
             .find(|(n, _)| *n == name)

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Analytic SRAM/sensor macro compiler for the Macro-3D reproduction.
 //!
 //! The original flow consumes memory-compiler macros (LEF abstract +

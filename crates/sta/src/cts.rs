@@ -64,11 +64,15 @@ pub fn synthesize_clock_tree(
     cfg: &CtsConfig,
 ) -> ClockTree {
     let lib = design.library().clone();
+    // INVARIANT: generated libraries always provide clock buffers
+    // with an input pin (CTS is unusable without them).
+    #[allow(clippy::expect_used)]
     let buf_cell = *lib
         .clock_buffers()
         .first()
         .expect("library provides clock buffers");
     let buf = lib.cell(buf_cell);
+    #[allow(clippy::expect_used)]
     let buf_in = buf
         .data_input_pins()
         .next()

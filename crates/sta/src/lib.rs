@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Static timing analysis, clock-tree synthesis, optimization and
 //! power analysis.
 //!

@@ -23,7 +23,9 @@ pub fn insert_repeaters(
     skip: &HashSet<NetId>,
 ) -> Vec<InstId> {
     // scoped borrow: only the buffer's id and pin indices survive, so
-    // the design stays mutable below without cloning the library
+    // the design stays mutable below without cloning the library.
+    // INVARIANT: generated buffer cells always expose an input pin.
+    #[allow(clippy::expect_used)]
     let (buf_cell, buf_in, buf_out) = {
         let lib = design.library();
         let buffers = lib.buffers();
@@ -162,6 +164,8 @@ pub fn fix_hold(
     report: &crate::analysis::HoldReport,
     max_endpoints: usize,
 ) -> Vec<InstId> {
+    // INVARIANT: generated buffer cells always expose an input pin.
+    #[allow(clippy::expect_used)]
     let (buf_cell, buf_in, buf_out, d_min) = {
         let lib = design.library();
         let buffers = lib.buffers();

@@ -543,10 +543,12 @@ impl StaSession {
         touched: &[NetId],
         par: &Parallelism,
     ) -> TimingReport {
-        if self.graph.is_stale(input.design) || self.state.is_none() {
+        if self.graph.is_stale(input.design) {
             return self.analyze(input, par);
         }
-        let (mut st, _) = self.state.take().expect("state checked above");
+        let Some((mut st, _)) = self.state.take() else {
+            return self.analyze(input, par);
+        };
         let graph = &self.graph;
         let ctx = PassCtx {
             input,

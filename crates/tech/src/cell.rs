@@ -170,6 +170,7 @@ impl LibCell {
     ///
     /// Panics if the cell has no output pin (never holds for
     /// generated libraries).
+    #[allow(clippy::expect_used)]
     pub fn output_pin(&self) -> usize {
         self.pins
             .iter()

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Synthetic 28 nm-class technology substrate for the Macro-3D
 //! reproduction.
 //!
