@@ -32,10 +32,19 @@ assert 'route_parallelism/serial' in ids, ids
 assert 'route_parallelism/incremental' in ids, ids
 assert 'route_parallelism/budgeted' in ids, ids
 assert r['macro3d_stage_seconds'], 'missing stage times'
+assert 'host_cpus' in r and 'effective_threads' in r, r.keys()
 print('route bench smoke OK:', sorted(ids))
+p = json.load(open('target/BENCH_place_smoke.json'))
+ids = {m['id'] for m in p['place']}
+assert 'place_parallelism/serial' in ids, ids
+assert 'place_parallelism/analytical_serial' in ids, ids
+assert 'place_parallelism/analytical_parallel' in ids, ids
+assert 'host_cpus' in p and 'effective_threads' in p, p.keys()
+assert p['hpwl_bisection_um'] > 0 and p['hpwl_analytical_um'] > 0, p
+print('place bench smoke OK:', sorted(ids), 'hpwl_ratio', p['hpwl_ratio'])
 "
 
-echo "==> obs smoke (full-trace flow + JSON validation)"
+echo "==> obs smoke (full-trace flows, both placer backends + JSON validation)"
 ./target/release/obs_smoke
 python3 -c "
 import json
@@ -44,6 +53,10 @@ assert len(trace['traceEvents']) >= 6, trace.keys()
 metrics = json.load(open('traces/metrics_smoke.json'))
 assert 'route/overflow' in metrics['series']
 print('obs trace OK:', len(trace['traceEvents']), 'events')
+metrics = json.load(open('traces/metrics_smoke_analytical.json'))
+assert 'place/nesterov_iters' in metrics['counters'], metrics['counters'].keys()
+assert 'place/overflow' in metrics['series'], metrics['series'].keys()
+print('analytical obs trace OK:', metrics['counters']['place/nesterov_iters'], 'nesterov iters')
 "
 
 echo "CI OK"

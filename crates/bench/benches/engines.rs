@@ -17,7 +17,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use macro3d::flows::{Flow, Macro3d};
 use macro3d_geom::{Dbu, Point, Rect};
 use macro3d_netlist::NetId;
-use macro3d_place::{global_place, Floorplan, GlobalPlaceConfig, PortPlan};
+use macro3d_place::{
+    global_place, legalize, legalize_abacus, total_hpwl, Floorplan, GlobalPlaceConfig,
+    PlacerBackend, PortPlan,
+};
 use macro3d_route::{Parallelism, RouteConfig, RouteRequest, Router};
 use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
 use macro3d_tech::stack::{n28_stack, DieRole};
@@ -247,17 +250,29 @@ fn bench_json_path(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
+/// The host header every bench JSON dump starts with: physical CPU
+/// budget and the thread count `Parallelism::default()` resolves to.
+fn push_host_header(s: &mut String) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        s,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        s,
+        "  \"effective_threads\": {},",
+        Parallelism::default().effective_threads()
+    );
+}
+
 /// Writes the route JSON dump (`BENCH_route.json`, or a target/ copy
 /// in smoke mode): the route_parallelism measurements and the flow's
 /// per-stage seconds.
 fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes, name: &str) {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
-    let _ = writeln!(
-        s,
-        "  \"effective_threads\": {},",
-        Parallelism::default().effective_threads()
-    );
+    push_host_header(&mut s);
     s.push_str("  \"route\": [\n");
     let route: Vec<_> = c
         .measurements()
@@ -295,9 +310,11 @@ fn write_route_json(c: &Criterion, stages: &macro3d::StageTimes, name: &str) {
     }
 }
 
-/// Serial vs fork-join `global_place` on the large-cache tile, plus
-/// the build-cache cold/warm setup comparison, dumped to
-/// `BENCH_place.json`.
+/// Serial vs fork-join `global_place` on the large-cache tile — for
+/// *both* backends (bisection and the analytical electrostatic
+/// placer) — plus the analytical-vs-bisection HPWL comparison on the
+/// Table-1 small-cache tile and the build-cache cold/warm setup
+/// comparison, dumped to `BENCH_place.json`.
 fn bench_place_parallelism(c: &mut Criterion) {
     if !bench_enabled("place_parallelism") {
         return;
@@ -309,9 +326,15 @@ fn bench_place_parallelism(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("place_parallelism");
     g.sample_size(if smoke() { 2 } else { 5 });
-    for (name, threads) in [("serial", 1), ("parallel8", 8)] {
+    for (name, threads, backend) in [
+        ("serial", 1, PlacerBackend::Bisection),
+        ("parallel8", 8, PlacerBackend::Bisection),
+        ("analytical_serial", 1, PlacerBackend::Analytical),
+        ("analytical_parallel", 8, PlacerBackend::Analytical),
+    ] {
         let pcfg = GlobalPlaceConfig {
             parallelism: Parallelism::threads(threads),
+            backend,
             ..GlobalPlaceConfig::default()
         };
         g.bench_function(name, |b| {
@@ -320,14 +343,53 @@ fn bench_place_parallelism(c: &mut Criterion) {
     }
     g.finish();
 
+    // QoR: legalized HPWL of both backends on the Table-1 small-cache
+    // tile (each backend goes through its own legalizer, exactly like
+    // the flow's place pipeline)
+    let qor_tile =
+        generate_tile(&TileConfig::small_cache().with_scale(if smoke() { 64.0 } else { 16.0 }));
+    let (qfp, qports) = mol_bench_floorplan(&qor_tile, &cfg, 2.0);
+    let hpwl_um_of = |backend: PlacerBackend| {
+        let pcfg = GlobalPlaceConfig {
+            backend,
+            ..GlobalPlaceConfig::default()
+        };
+        let mut p = global_place(&qor_tile.design, &qfp, &qports, &pcfg);
+        let movable: Vec<_> = qor_tile
+            .design
+            .inst_ids()
+            .filter(|&i| !qor_tile.design.is_macro(i))
+            .collect();
+        match backend {
+            PlacerBackend::Bisection => legalize(&qor_tile.design, &qfp, &mut p, &movable),
+            PlacerBackend::Analytical => legalize_abacus(&qor_tile.design, &qfp, &mut p, &movable),
+        };
+        total_hpwl(&qor_tile.design, &p, &qports).to_um()
+    };
+    let hpwl_bisection = hpwl_um_of(PlacerBackend::Bisection);
+    let hpwl_analytical = hpwl_um_of(PlacerBackend::Analytical);
+
     let (cold_s, warm_s) = time_flow_setup(&tile_cfg, &cfg);
     if smoke() {
-        eprintln!(
-            "smoke mode: not overwriting BENCH_place.json \
-             (setup cold {cold_s:.3}s / warm {warm_s:.6}s)"
+        // shape-validation copy for CI; the tracked BENCH_place.json
+        // keeps real samples
+        write_place_json(
+            c,
+            cold_s,
+            warm_s,
+            hpwl_bisection,
+            hpwl_analytical,
+            "target/BENCH_place_smoke.json",
         );
     } else {
-        write_place_json(c, cold_s, warm_s);
+        write_place_json(
+            c,
+            cold_s,
+            warm_s,
+            hpwl_bisection,
+            hpwl_analytical,
+            "BENCH_place.json",
+        );
     }
 }
 
@@ -369,9 +431,18 @@ fn time_flow_setup(tile_cfg: &TileConfig, cfg: &macro3d::FlowConfig) -> (f64, f6
     (cold, warm)
 }
 
-/// Writes `BENCH_place.json`: serial/parallel global_place seconds,
-/// the measured speedup, and the build-cache setup comparison.
-fn write_place_json(c: &Criterion, cold_s: f64, warm_s: f64) {
+/// Writes the place JSON dump (`BENCH_place.json`, or a target/ copy
+/// in smoke mode): per-backend serial/parallel global_place seconds,
+/// the measured speedups, the analytical-vs-bisection legalized HPWL
+/// on the Table-1 tile, and the build-cache setup comparison.
+fn write_place_json(
+    c: &Criterion,
+    cold_s: f64,
+    warm_s: f64,
+    hpwl_bisection_um: f64,
+    hpwl_analytical_um: f64,
+    name: &str,
+) {
     use std::fmt::Write as _;
     let place: Vec<_> = c
         .measurements()
@@ -385,16 +456,7 @@ fn write_place_json(c: &Criterion, cold_s: f64, warm_s: f64) {
             .map(|m| m.mean.as_secs_f64())
     };
     let mut s = String::from("{\n");
-    let _ = writeln!(
-        s,
-        "  \"host_cpus\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
-    let _ = writeln!(
-        s,
-        "  \"effective_threads\": {},",
-        Parallelism::default().effective_threads()
-    );
+    push_host_header(&mut s);
     s.push_str("  \"place\": [\n");
     for (k, m) in place.iter().enumerate() {
         let _ = writeln!(
@@ -412,13 +474,34 @@ fn write_place_json(c: &Criterion, cold_s: f64, warm_s: f64) {
     if let (Some(serial), Some(par)) = (mean_of("/serial"), mean_of("/parallel8")) {
         let _ = writeln!(s, "  \"speedup_8t\": {:.3},", serial / par.max(1e-12));
     }
+    if let (Some(serial), Some(par)) = (
+        mean_of("/analytical_serial"),
+        mean_of("/analytical_parallel"),
+    ) {
+        let _ = writeln!(
+            s,
+            "  \"analytical_speedup_8t\": {:.3},",
+            serial / par.max(1e-12)
+        );
+    }
+    let _ = writeln!(s, "  \"hpwl_bisection_um\": {hpwl_bisection_um:.3},");
+    let _ = writeln!(s, "  \"hpwl_analytical_um\": {hpwl_analytical_um:.3},");
+    let _ = writeln!(
+        s,
+        "  \"hpwl_ratio\": {:.4},",
+        hpwl_analytical_um / hpwl_bisection_um.max(1e-12)
+    );
     let _ = writeln!(s, "  \"setup_cold_s\": {cold_s:.6},");
     let _ = writeln!(s, "  \"setup_warm_s\": {warm_s:.6},");
     let _ = writeln!(s, "  \"setup_speedup\": {:.1}", cold_s / warm_s.max(1e-12));
     s.push_str("}\n");
-    match std::fs::write(bench_json_path("BENCH_place.json"), &s) {
-        Ok(()) => eprintln!("wrote BENCH_place.json"),
-        Err(e) => eprintln!("could not write BENCH_place.json: {e}"),
+    let path = bench_json_path(name);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &s) {
+        Ok(()) => eprintln!("wrote {name}"),
+        Err(e) => eprintln!("could not write {name}: {e}"),
     }
 }
 
@@ -582,11 +665,7 @@ fn write_sta_json(c: &Criterion, probe_loop_s: f64, incr_loop_s: f64, period_ps:
             .map(|m| m.mean.as_secs_f64())
     };
     let mut s = String::from("{\n");
-    let _ = writeln!(
-        s,
-        "  \"effective_threads\": {},",
-        Parallelism::default().effective_threads()
-    );
+    push_host_header(&mut s);
     s.push_str("  \"analyze\": [\n");
     for (k, m) in sta.iter().enumerate() {
         let _ = writeln!(

@@ -1,10 +1,11 @@
 //! CI smoke test for the observability subsystem: runs the Macro-3D
-//! flow on a miniature tile under full tracing, writes the Chrome
-//! trace and metrics JSON under `./traces/`, and fails unless the
-//! trace covers the expected flow stages and key metrics.
+//! flow on a miniature tile under full tracing — once per placer
+//! backend — writes the Chrome trace and metrics JSON under
+//! `./traces/`, and fails unless the trace covers the expected flow
+//! stages and key metrics.
 
 use macro3d::flows::{Flow, Macro3d};
-use macro3d::{FlowConfig, ObsConfig};
+use macro3d::{FlowConfig, ObsConfig, PlacerBackend};
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
@@ -58,6 +59,37 @@ fn main() {
     println!("{trace}");
     let (t, m) = trace
         .write_files(std::path::Path::new("traces"), "smoke")
+        .expect("write trace files");
+    println!("wrote {}", t.display());
+    println!("wrote {}", m.display());
+
+    // same flow through the analytical placer backend: the Nesterov
+    // loop must surface its iteration counter and per-iteration
+    // overflow/HPWL/step-size series
+    let mut acfg = FlowConfig::builder()
+        .sizing_rounds(2)
+        .placer(PlacerBackend::Analytical)
+        .obs(ObsConfig::full())
+        .build()
+        .expect("valid config");
+    acfg.route.iterations = 2;
+    let out = Macro3d.run(&tile, &acfg);
+    let trace = out.obs.expect("full obs produces a trace");
+    assert!(
+        trace.metrics.counters.contains_key("place/nesterov_iters"),
+        "analytical backend must count Nesterov iterations, got {:?}",
+        trace.metrics.counters.keys().collect::<Vec<_>>()
+    );
+    for series in ["place/overflow", "place/hpwl_um", "place/step_size"] {
+        assert!(
+            trace.metrics.series.contains_key(series),
+            "analytical series {series} missing from {:?}",
+            trace.metrics.series.keys().collect::<Vec<_>>()
+        );
+    }
+    println!("{trace}");
+    let (t, m) = trace
+        .write_files(std::path::Path::new("traces"), "smoke_analytical")
         .expect("write trace files");
     println!("wrote {}", t.display());
     println!("wrote {}", m.display());

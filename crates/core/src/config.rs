@@ -176,6 +176,15 @@ impl FlowConfigBuilder {
         self
     }
 
+    /// Selects the global-placement backend: recursive bisection
+    /// (default) or the ePlace-style analytical placer. The analytical
+    /// backend also switches base legalization from Tetris first-fit
+    /// to Abacus cluster collapse.
+    pub fn placer(mut self, backend: macro3d_place::PlacerBackend) -> Self {
+        self.cfg.place.backend = backend;
+        self
+    }
+
     /// Sets the parallelism knob for *every* engine: extraction and
     /// STA (`FlowConfig::parallelism`), the batched router
     /// (`RouteConfig::parallelism`), and the fork-join placer

@@ -599,9 +599,19 @@ pub fn place_pipeline(
     let mut placement = global_place(design, fp, ports, &cfg.place);
     timer.mark("global_place");
 
-    // legalize the base cells first so buffering sees real locations
+    // legalize the base cells first so buffering sees real locations;
+    // the analytical backend's smooth overlapping spread goes through
+    // Abacus cluster collapse, bisection's sparse output through
+    // Tetris first-fit
     let base_cells: Vec<InstId> = design.inst_ids().filter(|&i| !design.is_macro(i)).collect();
-    let base_rep = legalize(design, fp, &mut placement, &base_cells);
+    let base_rep = match cfg.place.backend {
+        macro3d_place::PlacerBackend::Bisection => {
+            legalize(design, fp, &mut placement, &base_cells)
+        }
+        macro3d_place::PlacerBackend::Analytical => {
+            macro3d_place::legalize_abacus(design, fp, &mut placement, &base_cells)
+        }
+    };
     if std::env::var_os("MACRO3D_VERBOSE").is_some() {
         eprintln!(
             "  [legalize base] failed={} mean_disp={:.1}um",

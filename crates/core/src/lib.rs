@@ -68,6 +68,7 @@ pub use macro3d_obs::{FlowTrace, ObsConfig, ObsLevel};
 pub use macro3d_par::{
     DegradationReport, FaultAction, FaultPlan, FlowBudget, Parallelism, StopReason, STANDARD_SITES,
 };
+pub use macro3d_place::{AnalyticalConfig, GlobalPlaceConfig, PlacerBackend};
 pub use macro3d_route::{RouteConfig, RouteConfigBuilder, RouteConfigError, RouteRequest, Router};
 pub use macro3d_sta::StaMode;
 pub use report::PpaResult;

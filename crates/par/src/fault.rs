@@ -148,6 +148,7 @@ pub const STANDARD_SITES: &[&str] = &[
     "route/iterations",
     "place/anneal_proposals",
     "place/fm_passes",
+    "place/nesterov_iters",
     "sta/sizing_rounds",
 ];
 

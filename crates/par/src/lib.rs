@@ -117,10 +117,18 @@ impl Default for Parallelism {
 }
 
 /// The machine's available parallelism (1 if unknown).
+///
+/// Cached after the first call: every primitive resolves
+/// [`Parallelism::effective_threads`] on entry, and on single-core
+/// hosts the serial fall-through must not pay a syscall per kernel
+/// invocation.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs two closures as a fork-join pair and returns both results.

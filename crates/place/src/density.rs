@@ -1,9 +1,20 @@
-//! Utilization maps and overlap checking.
+//! Utilization maps, overlap checking, and the electrostatic density
+//! model behind the analytical placer.
+//!
+//! The [`ElectroGrid`] implements the ePlace charge model: movable
+//! cell area is deposited onto a uniform bin grid, blocked area enters
+//! as fixed charge scaled to the target density, and the potential is
+//! obtained from the Poisson equation `∇²ψ = −ρ'` (mean-subtracted
+//! density, Neumann boundaries) via an FFT-free geometric multigrid
+//! solver — weighted-Jacobi smoothing is order-independent, so the
+//! solve is exactly reproducible. The negative potential gradient is
+//! the electric field that pushes cells out of dense bins.
 
 use crate::floorplan::Floorplan;
 use crate::placement::Placement;
 use macro3d_geom::{BinGrid, Dbu, Rect, RectIndex};
 use macro3d_netlist::{Design, InstId};
+use macro3d_par::{parallel_map, Parallelism};
 
 /// Per-bin standard-cell utilization (cell area / usable bin area).
 ///
@@ -72,6 +83,342 @@ pub fn count_overlaps(design: &Design, placement: &Placement, insts: &[InstId]) 
     overlaps
 }
 
+/// Cells are deposited in fixed index chunks of this many cells, one
+/// partial bin array per chunk, merged serially in chunk order. The
+/// decomposition is independent of the thread count, so the f64 sums
+/// see the same addition order for any [`Parallelism`].
+const DENSITY_CHUNK: usize = 2048;
+
+/// Jacobi damping factor (2/3 is the classic multigrid choice).
+const JACOBI_OMEGA: f64 = 2.0 / 3.0;
+
+/// The electrostatic bin grid of the analytical placer.
+///
+/// Uniform `nx × ny` bins over the die (power-of-two counts so the
+/// multigrid hierarchy coarsens evenly). Bin geometry is kept in f64
+/// µm: the solver never quantizes to [`Dbu`], positions are only
+/// rounded once at the end of global placement.
+#[derive(Clone, Debug)]
+pub struct ElectroGrid {
+    nx: usize,
+    ny: usize,
+    lo_x: f64,
+    lo_y: f64,
+    hx: f64,
+    hy: f64,
+    /// Usable (unblocked) area per bin, µm².
+    usable: Vec<f64>,
+    /// Fixed charge per bin: blocked area scaled by the target
+    /// density, so a placement at exactly the target density over the
+    /// free area produces a constant total density and zero field.
+    fixed: Vec<f64>,
+    /// Target density: 2× (movable area / usable area), clamped to
+    /// `[0.15, 1.0]` — see [`ElectroGrid::build`].
+    target: f64,
+    /// Total movable cell area, µm² (overflow normalizer).
+    total_movable: f64,
+}
+
+impl ElectroGrid {
+    /// Builds the grid for a floorplan and movable-area total. Bin
+    /// counts scale with `n_cells` (a handful of cells per bin) and
+    /// are clamped to `[8, 64]` per axis.
+    pub fn build(fp: &Floorplan, n_cells: usize, total_movable_um2: f64) -> Self {
+        let side = ((n_cells as f64).sqrt() / 2.0).max(1.0) as usize;
+        let side = side.next_power_of_two().clamp(8, 64);
+        let die = fp.die();
+        let (lo_x, lo_y) = (die.lo.x.to_um(), die.lo.y.to_um());
+        let hx = die.width().to_um() / side as f64;
+        let hy = die.height().to_um() / side as f64;
+        let mut usable = Vec::with_capacity(side * side);
+        for j in 0..side {
+            for i in 0..side {
+                let r = Rect::from_um(
+                    lo_x + i as f64 * hx,
+                    lo_y + j as f64 * hy,
+                    lo_x + (i + 1) as f64 * hx,
+                    lo_y + (j + 1) as f64 * hy,
+                );
+                usable.push(fp.usable_area_um2(r).max(0.0));
+            }
+        }
+        let total_usable: f64 = usable.iter().sum();
+        // Target density is *twice* the raw utilization (floored):
+        // demanding bins at exactly the utilization would require a
+        // perfectly uniform spread, which bin-granular density can
+        // never reach on low-utilization designs — overflow would
+        // plateau at the Poisson fluctuation level and the density
+        // weight would grow without bound. Doubling gives each bin
+        // headroom for natural clustering while still forcing the
+        // placement apart.
+        let target = if total_usable > 0.0 {
+            (2.0 * total_movable_um2 / total_usable).clamp(0.15, 1.0)
+        } else {
+            1.0
+        };
+        let bin_area = hx * hy;
+        let fixed = usable
+            .iter()
+            .map(|&u| target * (bin_area - u).max(0.0))
+            .collect();
+        ElectroGrid {
+            nx: side,
+            ny: side,
+            lo_x,
+            lo_y,
+            hx,
+            hy,
+            usable,
+            fixed,
+            target,
+            total_movable: total_movable_um2,
+        }
+    }
+
+    /// Bins per axis.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Nominal bin width, µm.
+    pub fn bin_w_um(&self) -> f64 {
+        self.hx
+    }
+
+    /// Nominal bin height, µm.
+    pub fn bin_h_um(&self) -> f64 {
+        self.hy
+    }
+
+    /// Target density (movable area over usable area, clamped).
+    pub fn target_density(&self) -> f64 {
+        self.target
+    }
+
+    /// Deposits movable cell area into the bins. `pos` interleaves
+    /// cell centres as `[x0, y0, x1, y1, …]` µm; `w`/`h` are the cell
+    /// footprints, µm. Chunk decomposition and merge order are fixed
+    /// (2048-cell chunks, partial bin arrays merged serially in
+    /// chunk order), so the result is bit-identical for any thread
+    /// count.
+    pub fn accumulate(&self, w: &[f64], h: &[f64], pos: &[f64], par: &Parallelism) -> Vec<f64> {
+        let n = w.len();
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(DENSITY_CHUNK)
+            .map(|s| (s, (s + DENSITY_CHUNK).min(n)))
+            .collect();
+        let partials = parallel_map(&chunks, par, |_, &(start, end)| {
+            let mut bins = vec![0.0f64; self.nx * self.ny];
+            for k in start..end {
+                self.deposit(&mut bins, pos[2 * k], pos[2 * k + 1], w[k], h[k]);
+            }
+            bins
+        });
+        let mut bins = vec![0.0f64; self.nx * self.ny];
+        for part in partials {
+            for (b, p) in bins.iter_mut().zip(part) {
+                *b += p;
+            }
+        }
+        bins
+    }
+
+    /// Splats one cell's exact rectangle overlap over the bins it
+    /// touches (cells are small relative to bins, so this is 1–4
+    /// bins in practice).
+    fn deposit(&self, bins: &mut [f64], cx: f64, cy: f64, w: f64, h: f64) {
+        let (x0, x1) = (cx - w / 2.0 - self.lo_x, cx + w / 2.0 - self.lo_x);
+        let (y0, y1) = (cy - h / 2.0 - self.lo_y, cy + h / 2.0 - self.lo_y);
+        let i0 = ((x0 / self.hx).floor().max(0.0) as usize).min(self.nx - 1);
+        let i1 = ((x1 / self.hx).floor().max(0.0) as usize).min(self.nx - 1);
+        let j0 = ((y0 / self.hy).floor().max(0.0) as usize).min(self.ny - 1);
+        let j1 = ((y1 / self.hy).floor().max(0.0) as usize).min(self.ny - 1);
+        for j in j0..=j1 {
+            let oy = (y1.min((j + 1) as f64 * self.hy) - y0.max(j as f64 * self.hy)).max(0.0);
+            for i in i0..=i1 {
+                let ox = (x1.min((i + 1) as f64 * self.hx) - x0.max(i as f64 * self.hx)).max(0.0);
+                bins[j * self.nx + i] += ox * oy;
+            }
+        }
+    }
+
+    /// Density overflow: movable area beyond `target × usable` summed
+    /// over bins, normalized by the total movable area. `0` means the
+    /// placement fits everywhere; `~1` means everything is piled up.
+    pub fn overflow(&self, movable: &[f64]) -> f64 {
+        if self.total_movable <= 0.0 {
+            return 0.0;
+        }
+        let over: f64 = movable
+            .iter()
+            .zip(&self.usable)
+            .map(|(&m, &u)| (m - self.target * u).max(0.0))
+            .sum();
+        over / self.total_movable
+    }
+
+    /// Solves `∇²ψ = −ρ'` for the potential, where `ρ` is the total
+    /// (movable + fixed) density and `ρ'` its mean-subtracted version
+    /// (the Neumann compatibility condition). Returns `ψ` per bin.
+    pub fn potential(&self, movable: &[f64]) -> Vec<f64> {
+        let bin_area = self.hx * self.hy;
+        let mut rhs: Vec<f64> = movable
+            .iter()
+            .zip(&self.fixed)
+            .map(|(&m, &f)| (m + f) / bin_area)
+            .collect();
+        let mean = rhs.iter().sum::<f64>() / rhs.len() as f64;
+        for r in &mut rhs {
+            *r -= mean;
+        }
+        let mut psi = vec![0.0f64; rhs.len()];
+        for _ in 0..2 {
+            vcycle(&mut psi, &rhs, self.nx, self.ny, self.hx, self.hy);
+        }
+        let mean = psi.iter().sum::<f64>() / psi.len() as f64;
+        for p in &mut psi {
+            *p -= mean;
+        }
+        psi
+    }
+
+    /// Electric field `E = −∇ψ` per bin (central differences inside,
+    /// one-sided at the boundary).
+    pub fn field(&self, psi: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut ex = vec![0.0f64; nx * ny];
+        let mut ey = vec![0.0f64; nx * ny];
+        for j in 0..ny {
+            for i in 0..nx {
+                let at = j * nx + i;
+                let (w, e, dx) = match i {
+                    0 => (at, at + 1, self.hx),
+                    _ if i == nx - 1 => (at - 1, at, self.hx),
+                    _ => (at - 1, at + 1, 2.0 * self.hx),
+                };
+                ex[at] = -(psi[e] - psi[w]) / dx;
+                let (s, n, dy) = match j {
+                    0 => (at, at + nx, self.hy),
+                    _ if j == ny - 1 => (at - nx, at, self.hy),
+                    _ => (at - nx, at + nx, 2.0 * self.hy),
+                };
+                ey[at] = -(psi[n] - psi[s]) / dy;
+            }
+        }
+        (ex, ey)
+    }
+
+    /// Bilinear interpolation of a bin-centred scalar map at a point.
+    pub fn sample(&self, map: &[f64], x: f64, y: f64) -> f64 {
+        let gx = ((x - self.lo_x) / self.hx - 0.5).clamp(0.0, (self.nx - 1) as f64);
+        let gy = ((y - self.lo_y) / self.hy - 0.5).clamp(0.0, (self.ny - 1) as f64);
+        let i0 = (gx as usize).min(self.nx.saturating_sub(2));
+        let j0 = (gy as usize).min(self.ny.saturating_sub(2));
+        let i1 = (i0 + 1).min(self.nx - 1);
+        let j1 = (j0 + 1).min(self.ny - 1);
+        let (fx, fy) = (gx - i0 as f64, gy - j0 as f64);
+        let v00 = map[j0 * self.nx + i0];
+        let v10 = map[j0 * self.nx + i1];
+        let v01 = map[j1 * self.nx + i0];
+        let v11 = map[j1 * self.nx + i1];
+        v00 * (1.0 - fx) * (1.0 - fy)
+            + v10 * fx * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v11 * fx * fy
+    }
+}
+
+/// One multigrid V-cycle for `∇²ψ = −rhs`… expressed as the residual
+/// equation `A ψ = rhs` with `A = −∇²` (SPD up to the Neumann null
+/// space, which the mean subtraction removes).
+fn vcycle(psi: &mut [f64], rhs: &[f64], nx: usize, ny: usize, hx: f64, hy: f64) {
+    if nx <= 4 || ny <= 4 {
+        smooth(psi, rhs, nx, ny, hx, hy, 64);
+        return;
+    }
+    smooth(psi, rhs, nx, ny, hx, hy, 4);
+    let res = residual(psi, rhs, nx, ny, hx, hy);
+    let coarse_rhs = restrict(&res, nx, ny);
+    let mut coarse = vec![0.0f64; coarse_rhs.len()];
+    vcycle(&mut coarse, &coarse_rhs, nx / 2, ny / 2, hx * 2.0, hy * 2.0);
+    prolong_add(psi, &coarse, nx, ny);
+    smooth(psi, rhs, nx, ny, hx, hy, 4);
+}
+
+/// Mirrored-ghost (Neumann) neighbour lookup.
+#[inline]
+fn at(v: &[f64], nx: usize, ny: usize, i: isize, j: isize) -> f64 {
+    let i = i.clamp(0, nx as isize - 1) as usize;
+    let j = j.clamp(0, ny as isize - 1) as usize;
+    v[j * nx + i]
+}
+
+/// `sweeps` damped-Jacobi iterations. Jacobi reads only the previous
+/// iterate, so the result is independent of traversal order — the
+/// property that makes the whole solve deterministic.
+fn smooth(psi: &mut [f64], rhs: &[f64], nx: usize, ny: usize, hx: f64, hy: f64, sweeps: usize) {
+    let (cx, cy) = (1.0 / (hx * hx), 1.0 / (hy * hy));
+    let diag = 2.0 * (cx + cy);
+    let mut next = vec![0.0f64; psi.len()];
+    for _ in 0..sweeps {
+        for j in 0..ny as isize {
+            for i in 0..nx as isize {
+                let k = j as usize * nx + i as usize;
+                let nb = cx * (at(psi, nx, ny, i - 1, j) + at(psi, nx, ny, i + 1, j))
+                    + cy * (at(psi, nx, ny, i, j - 1) + at(psi, nx, ny, i, j + 1));
+                let jacobi = (nb + rhs[k]) / diag;
+                next[k] = psi[k] + JACOBI_OMEGA * (jacobi - psi[k]);
+            }
+        }
+        psi.copy_from_slice(&next);
+    }
+}
+
+/// Residual `rhs − A ψ` with `A = −∇²` under mirrored boundaries.
+fn residual(psi: &[f64], rhs: &[f64], nx: usize, ny: usize, hx: f64, hy: f64) -> Vec<f64> {
+    let (cx, cy) = (1.0 / (hx * hx), 1.0 / (hy * hy));
+    let diag = 2.0 * (cx + cy);
+    let mut res = vec![0.0f64; psi.len()];
+    for j in 0..ny as isize {
+        for i in 0..nx as isize {
+            let k = j as usize * nx + i as usize;
+            let nb = cx * (at(psi, nx, ny, i - 1, j) + at(psi, nx, ny, i + 1, j))
+                + cy * (at(psi, nx, ny, i, j - 1) + at(psi, nx, ny, i, j + 1));
+            res[k] = rhs[k] - (diag * psi[k] - nb);
+        }
+    }
+    res
+}
+
+/// Full-weighting restriction: each coarse bin averages its 2×2 fine
+/// children (dims are powers of two, so the split is exact).
+fn restrict(fine: &[f64], nx: usize, ny: usize) -> Vec<f64> {
+    let (cnx, cny) = (nx / 2, ny / 2);
+    let mut coarse = vec![0.0f64; cnx * cny];
+    for j in 0..cny {
+        for i in 0..cnx {
+            let f = |di: usize, dj: usize| fine[(2 * j + dj) * nx + 2 * i + di];
+            coarse[j * cnx + i] = 0.25 * (f(0, 0) + f(1, 0) + f(0, 1) + f(1, 1));
+        }
+    }
+    coarse
+}
+
+/// Piecewise-constant prolongation (injection): each coarse value is
+/// added to its 2×2 fine children; the post-smooth irons out the
+/// blockiness.
+fn prolong_add(fine: &mut [f64], coarse: &[f64], nx: usize, _ny: usize) {
+    let cnx = nx / 2;
+    for (k, &c) in coarse.iter().enumerate() {
+        let (i, j) = (k % cnx, k / cnx);
+        for dj in 0..2 {
+            for di in 0..2 {
+                fine[(2 * j + dj) * nx + 2 * i + di] += c;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +443,111 @@ mod tests {
         p.pos[insts[1].index()] = Point::from_um(10.0, 0.0);
         p.pos[insts[2].index()] = Point::from_um(20.0, 0.0);
         assert_eq!(count_overlaps(&d, &p, &insts), 0);
+    }
+
+    #[test]
+    fn electro_field_pushes_away_from_pile() {
+        let fp = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 64.0, 64.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        // 1000 unit cells piled in the lower-left corner
+        let n = 1000usize;
+        let (w, h): (Vec<f64>, Vec<f64>) = (vec![1.0; n], vec![1.0; n]);
+        let mut pos = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            pos.push(8.0 + (k % 10) as f64 * 0.1);
+            pos.push(8.0 + (k / 10) as f64 * 0.01);
+        }
+        let grid = ElectroGrid::build(&fp, n, n as f64);
+        let bins = grid.accumulate(&w, &h, &pos, &Parallelism::serial());
+        assert!((bins.iter().sum::<f64>() - n as f64).abs() < 1e-6);
+        assert!(grid.overflow(&bins) > 0.5, "pile should overflow");
+        let psi = grid.potential(&bins);
+        let (ex, ey) = grid.field(&psi);
+        // the field at a point right of the pile points further right
+        // (away from the charge), and up above it points further up
+        assert!(grid.sample(&ex, 30.0, 8.0) > 0.0);
+        assert!(grid.sample(&ey, 8.0, 30.0) > 0.0);
+        // uniform spread at target density ⇒ (near) zero overflow
+        let mut spread = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            spread.push(64.0 * ((k % 32) as f64 + 0.5) / 32.0);
+            spread.push(64.0 * ((k / 32) as f64 + 0.5) / 32.0);
+        }
+        let bins = grid.accumulate(&w, &h, &spread, &Parallelism::serial());
+        assert!(grid.overflow(&bins) < 0.05);
+    }
+
+    #[test]
+    fn electro_accumulate_thread_count_invariant() {
+        let fp = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 100.0, 50.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        let n = 5000usize;
+        let (w, h): (Vec<f64>, Vec<f64>) = (vec![0.7; n], vec![1.2; n]);
+        let mut x = 99u64;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pos: Vec<f64> = (0..2 * n)
+            .map(|k| next() * if k % 2 == 0 { 100.0 } else { 50.0 })
+            .collect();
+        let grid = ElectroGrid::build(&fp, n, 0.84 * n as f64);
+        let serial = grid.accumulate(&w, &h, &pos, &Parallelism::serial());
+        for threads in [2, 8] {
+            let par = Parallelism::threads(threads);
+            let got = grid.accumulate(&w, &h, &pos, &par);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}: density bins differ bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_recovers_smooth_potential() {
+        // A smooth separable density on a square grid: the multigrid
+        // solution must drive the residual far below the RHS norm.
+        let fp = Floorplan::new(
+            Rect::from_um(0.0, 0.0, 32.0, 32.0),
+            Dbu::from_um(1.2),
+            Dbu::from_um(0.2),
+        );
+        let grid = ElectroGrid::build(&fp, 4096, 100.0);
+        let (nx, ny) = grid.dims();
+        let mut rhs = vec![0.0f64; nx * ny];
+        for j in 0..ny {
+            for i in 0..nx {
+                let fx = (i as f64 + 0.5) / nx as f64;
+                let fy = (j as f64 + 0.5) / ny as f64;
+                rhs[j * nx + i] =
+                    (std::f64::consts::PI * fx).cos() * (std::f64::consts::PI * fy).cos();
+            }
+        }
+        let mean = rhs.iter().sum::<f64>() / rhs.len() as f64;
+        for r in &mut rhs {
+            *r -= mean;
+        }
+        let mut psi = vec![0.0f64; rhs.len()];
+        for _ in 0..4 {
+            vcycle(&mut psi, &rhs, nx, ny, grid.bin_w_um(), grid.bin_h_um());
+        }
+        let res = residual(&psi, &rhs, nx, ny, grid.bin_w_um(), grid.bin_h_um());
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(
+            norm(&res) < 0.05 * norm(&rhs),
+            "residual {} vs rhs {}",
+            norm(&res),
+            norm(&rhs)
+        );
     }
 
     #[test]

@@ -26,6 +26,21 @@ use macro3d_netlist::{Design, InstId, Master, NetId, PinRef};
 use macro3d_par::{parallel_join, Parallelism};
 use std::collections::HashMap;
 
+/// Which global-placement engine runs (both honour the same
+/// determinism contract and the same [`GlobalPlaceConfig`] fields
+/// they share).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlacerBackend {
+    /// Recursive min-cut bisection with terminal propagation (this
+    /// module) — the legacy engine and the QoR reference.
+    #[default]
+    Bisection,
+    /// ePlace-style electrostatic analytical placement
+    /// ([`crate::analytical`]): data-parallel gradient/density
+    /// kernels, Nesterov descent, Abacus legalization handoff.
+    Analytical,
+}
+
 /// Global-placement configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct GlobalPlaceConfig {
@@ -39,6 +54,10 @@ pub struct GlobalPlaceConfig {
     /// Thread budget for the fork-join bisection tree. Output is
     /// bit-identical for any setting.
     pub parallelism: Parallelism,
+    /// Which engine places the cells.
+    pub backend: PlacerBackend,
+    /// Knobs of the analytical backend (ignored by bisection).
+    pub analytical: crate::analytical::AnalyticalConfig,
 }
 
 impl Default for GlobalPlaceConfig {
@@ -48,20 +67,36 @@ impl Default for GlobalPlaceConfig {
             fm_passes: 2,
             max_net_degree: 64,
             parallelism: Parallelism::default(),
+            backend: PlacerBackend::default(),
+            analytical: crate::analytical::AnalyticalConfig::default(),
         }
     }
 }
 
 /// Runs global placement of all standard cells of `design` inside the
-/// floorplan. Macros take their positions from `fp.macros`; cells end
-/// up spread over the usable area (overlapping; run
-/// [`crate::legalize::legalize`] next).
+/// floorplan, dispatching on [`GlobalPlaceConfig::backend`]. Macros
+/// take their positions from `fp.macros`; cells end up spread over
+/// the usable area (overlapping; run [`crate::legalize::legalize`] or
+/// [`crate::legalize::legalize_abacus`] next).
 ///
 /// # Panics
 ///
 /// Panics if a macro in `fp.macros` references an out-of-range
 /// instance.
 pub fn global_place(
+    design: &Design,
+    fp: &Floorplan,
+    ports: &PortPlan,
+    cfg: &GlobalPlaceConfig,
+) -> Placement {
+    match cfg.backend {
+        PlacerBackend::Bisection => bisection_place(design, fp, ports, cfg),
+        PlacerBackend::Analytical => crate::analytical::analytical_place(design, fp, ports, cfg),
+    }
+}
+
+/// The recursive min-cut bisection engine (see the module docs).
+pub(crate) fn bisection_place(
     design: &Design,
     fp: &Floorplan,
     ports: &PortPlan,

@@ -17,13 +17,25 @@
 //! * [`partition`] — Fiduccia–Mattheyses bipartitioning, used both by
 //!   recursive-bisection global placement and by the S2D/C2D tier
 //!   partitioning step;
-//! * [`global`] — recursive min-cut bisection global placement with
-//!   terminal propagation and blockage-aware capacity;
-//! * [`mod@legalize`] — Tetris-style row legalization (reports
-//!   displacement, the quantity that blows up when S2D unshrinks);
+//! * [`global`] — global placement dispatch over two backends:
+//!   recursive min-cut bisection with terminal propagation and
+//!   blockage-aware capacity, and the ePlace-style
+//!   [`analytical`] electrostatic placer;
+//! * [`analytical`] / [`nesterov`] — analytical global placement:
+//!   weighted-average wirelength with analytic gradients, a
+//!   multigrid-Poisson charge-density field ([`density`]), and a
+//!   Nesterov solver with Lipschitz step estimation — every hot
+//!   kernel runs through `macro3d-par` and is bit-identical for any
+//!   thread count;
+//! * [`mod@legalize`] — row legalization: Tetris-style first-fit
+//!   (reports displacement, the quantity that blows up when S2D
+//!   unshrinks) and Abacus-style cluster collapse for the analytical
+//!   backend's smooth spreads;
 //! * [`detailed`] — greedy swap refinement;
-//! * [`density`] / [`hpwl`] — utilization and wirelength metrics.
+//! * [`density`] / [`hpwl`] — utilization, the electrostatic bin
+//!   grid, and wirelength metrics.
 
+pub mod analytical;
 pub mod density;
 pub mod detailed;
 pub mod floorplan;
@@ -32,13 +44,16 @@ pub mod hpwl;
 pub mod legalize;
 pub mod macro_anneal;
 pub mod macro_place;
+pub mod nesterov;
 pub mod partition;
 pub mod placement;
 pub mod ports;
 
+pub use analytical::{analytical_place, AnalyticalConfig};
+pub use density::ElectroGrid;
 pub use floorplan::{Blockage, BlockageKind, Floorplan, MacroPlacement};
-pub use global::{global_place, GlobalPlaceConfig};
+pub use global::{global_place, GlobalPlaceConfig, PlacerBackend};
 pub use hpwl::{net_hpwl, pin_position, total_hpwl, HpwlCache, HpwlUndo};
-pub use legalize::{legalize, LegalizeReport};
+pub use legalize::{legalize, legalize_abacus, LegalizeReport};
 pub use placement::Placement;
 pub use ports::PortPlan;

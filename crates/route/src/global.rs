@@ -656,34 +656,6 @@ fn route_legs(
     (net, edges)
 }
 
-/// Routes a set of nets over a die and stack in one shot.
-///
-/// Every net is guaranteed a route (possibly through overflowed
-/// edges, reported in the result); the negotiated-congestion loop
-/// spreads overflow across iterations.
-#[deprecated(note = "build a `Router` from a `RouteRequest` and call `route()`; \
-            the session also supports incremental `update()`")]
-pub fn route_design(
-    die: Rect,
-    stack: &MetalStack,
-    obstacles: &[(usize, Rect)],
-    nets: &[(NetId, Vec<RoutePin>)],
-    num_nets: usize,
-    cfg: &RouteConfig,
-) -> RoutedDesign {
-    Router::new(
-        &RouteRequest {
-            die,
-            stack,
-            obstacles,
-            nets,
-            num_nets,
-        },
-        cfg,
-    )
-    .route()
-}
-
 /// Negotiation iterations executed (first pass included).
 static ROUTE_ITERATIONS: macro3d_obs::SiteCounter =
     macro3d_obs::SiteCounter::new("route/iterations");
@@ -826,25 +798,6 @@ mod tests {
         assert!(!net.vias.is_empty(), "needs layer changes to go diagonal");
         assert_eq!(net.f2f_crossings, 0);
         assert_eq!(r.f2f_bumps, 0);
-    }
-
-    #[test]
-    fn deprecated_wrapper_matches_session() {
-        let stack = n28_stack(6, DieRole::Logic);
-        let nets = two_pin_net((10.0, 10.0, 0), (150.0, 150.0, 0));
-        let cfg = RouteConfig::default();
-        let session = route_once(die(), &stack, &[], &nets, 1, &cfg);
-        #[allow(deprecated)]
-        let wrapper = route_design(die(), &stack, &[], &nets, 1, &cfg);
-        assert_eq!(
-            session.total_wirelength_um.to_bits(),
-            wrapper.total_wirelength_um.to_bits()
-        );
-        assert_eq!(session.overflow.to_bits(), wrapper.overflow.to_bits());
-        assert_eq!(session.f2f_bumps, wrapper.f2f_bumps);
-        for (a, b) in session.nets.iter().zip(&wrapper.nets) {
-            assert_eq!(a, b);
-        }
     }
 
     #[test]

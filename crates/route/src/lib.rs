@@ -24,8 +24,7 @@
 //! The entry point is the incremental [`Router`] session ([`global`]):
 //! build it once from a [`RouteRequest`], call [`Router::route`] for
 //! the initial result, and [`Router::update`] to re-route only the
-//! nets a caller perturbed. The old one-shot [`route_design`] free
-//! function survives as a deprecated wrapper.
+//! nets a caller perturbed.
 
 pub mod congestion;
 pub mod gcell;
@@ -36,8 +35,6 @@ pub mod steiner;
 
 pub use congestion::{CongestionReport, LayerCongestion};
 pub use gcell::RouteGrid;
-#[allow(deprecated)]
-pub use global::route_design;
 pub use global::{
     RouteConfig, RouteConfigBuilder, RouteConfigError, RoutePin, RouteRequest, Router,
 };
