@@ -10,8 +10,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -32,6 +32,7 @@ assert 'route_parallelism/serial' in ids, ids
 assert 'route_parallelism/incremental' in ids, ids
 assert 'route_parallelism/budgeted' in ids, ids
 assert r['macro3d_stage_seconds'], 'missing stage times'
+assert r['schema_version'] == 1, r.keys()
 assert 'host_cpus' in r and 'effective_threads' in r, r.keys()
 print('route bench smoke OK:', sorted(ids))
 p = json.load(open('target/BENCH_place_smoke.json'))
@@ -39,9 +40,16 @@ ids = {m['id'] for m in p['place']}
 assert 'place_parallelism/serial' in ids, ids
 assert 'place_parallelism/analytical_serial' in ids, ids
 assert 'place_parallelism/analytical_parallel' in ids, ids
+assert p['schema_version'] == 1, p.keys()
 assert 'host_cpus' in p and 'effective_threads' in p, p.keys()
 assert p['hpwl_bisection_um'] > 0 and p['hpwl_analytical_um'] > 0, p
 print('place bench smoke OK:', sorted(ids), 'hpwl_ratio', p['hpwl_ratio'])
+d = json.load(open('target/BENCH_dse_smoke.json'))
+assert d['schema_version'] == 1 and d['bench'] == 'dse_service', d
+assert d['fingerprints_identical'] is True, d
+assert d['warm_cache_hits'] > 0 and d['warm_flows_executed'] == 0, d
+assert 'host_cpus' in d and 'effective_threads' in d, d.keys()
+print('dse bench smoke OK: %d points, %.0fx warm speedup' % (d['points'], d['speedup']))
 "
 
 echo "==> obs smoke (full-trace flows, both placer backends + JSON validation)"
@@ -57,6 +65,57 @@ metrics = json.load(open('traces/metrics_smoke_analytical.json'))
 assert 'place/nesterov_iters' in metrics['counters'], metrics['counters'].keys()
 assert 'place/overflow' in metrics['series'], metrics['series'].keys()
 print('analytical obs trace OK:', metrics['counters']['place/nesterov_iters'], 'nesterov iters')
+"
+
+echo "==> dse smoke (NDJSON server cold/warm sweep + persisted-cache validation)"
+DSE_CACHE=target/dse_smoke_cache
+rm -rf "$DSE_CACHE"
+DSE_REQ='{"cmd":"ping"}
+{"cmd":"sweep","spec":{"flow":"Macro-3D","tile":"mini","knobs":{"sizing_rounds":"1","route_iterations":"1"}},"axes":[{"knob":"macro_metals","values":["4","6"]},{"knob":"util_logic","values":["0.55","0.65"]}]}
+{"cmd":"stats"}
+{"cmd":"shutdown"}'
+printf '%s\n' "$DSE_REQ" | ./target/release/dse_server --workers 2 --cache-dir "$DSE_CACHE" \
+  > target/dse_smoke_cold.ndjson
+printf '%s\n' "$DSE_REQ" | ./target/release/dse_server --workers 2 --cache-dir "$DSE_CACHE" \
+  > target/dse_smoke_warm.ndjson
+python3 -c "
+import json
+def load(path):
+    return [json.loads(l) for l in open(path) if l.strip()]
+cold, warm = load('target/dse_smoke_cold.ndjson'), load('target/dse_smoke_warm.ndjson')
+for name, lines in (('cold', cold), ('warm', warm)):
+    assert all(l['ok'] for l in lines), (name, lines)
+    points = [l for l in lines if 'point' in l]
+    assert len(points) == 4, (name, len(points))
+    done = [l for l in lines if l.get('sweep_done')]
+    assert len(done) == 1 and done[0]['points'] == 4, (name, done)
+    assert done[0]['stats']['schema_version'] == 1, done[0]['stats']
+cold_fp = [l['fingerprint'] for l in cold if 'point' in l]
+warm_fp = [l['fingerprint'] for l in warm if 'point' in l]
+assert cold_fp == warm_fp, 'cold/warm fingerprints differ'
+stats = [l for l in warm if l.get('sweep_done')][0]['stats']
+assert stats['cache_hits'] > 0, stats
+assert stats['disk_hits'] > 0, stats
+assert stats['flows_executed'] == 0, stats
+print('dse server smoke OK: 4 points, warm cache hits', stats['cache_hits'])
+"
+
+echo "==> dse sweep CLI (cold+warm bench over the persisted cache)"
+rm -rf target/dse_sweep_cache
+./target/release/dse_sweep --flow Macro-3D --tile mini \
+  --set sizing_rounds=1 --set route_iterations=1 \
+  --axis macro_metals=4,6 --axis util_logic=0.55,0.65 \
+  --cache-dir target/dse_sweep_cache \
+  --out target/dse_sweep_table.txt --bench-out target/BENCH_dse_ci.json
+python3 -c "
+import json
+b = json.load(open('target/BENCH_dse_ci.json'))
+assert b['schema_version'] == 1 and b['bench'] == 'dse_service', b
+assert b['points'] == 4 and b['fingerprints_identical'] is True, b
+assert b['warm_cache_hits'] > 0 and b['warm_flows_executed'] == 0, b
+assert b['speedup'] > 1.0, b
+print('dse sweep bench OK: %.0fx warm speedup, %.1f cold jobs/s'
+      % (b['speedup'], b['cold_jobs_per_s']))
 "
 
 echo "CI OK"

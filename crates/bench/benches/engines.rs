@@ -250,10 +250,12 @@ fn bench_json_path(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
-/// The host header every bench JSON dump starts with: physical CPU
-/// budget and the thread count `Parallelism::default()` resolves to.
+/// The host header every bench JSON dump starts with: schema stamp,
+/// physical CPU budget and the thread count `Parallelism::default()`
+/// resolves to.
 fn push_host_header(s: &mut String) {
     use std::fmt::Write as _;
+    let _ = writeln!(s, "  \"schema_version\": {},", macro3d_dse::SCHEMA_VERSION);
     let _ = writeln!(
         s,
         "  \"host_cpus\": {},",
@@ -699,6 +701,116 @@ fn write_sta_json(c: &Criterion, probe_loop_s: f64, incr_loop_s: f64, period_ps:
     }
 }
 
+/// Cold-vs-warm throughput of the DSE job service over a small sweep.
+/// Not a sampled criterion measurement: one cold pass against a fresh
+/// persisted cache and one warm pass from a fresh service over the
+/// same cache directory — the interesting numbers are jobs/sec at
+/// each temperature and the persisted-cache speedup. Asserts the
+/// determinism contract (cold and warm fingerprints bit-identical)
+/// while it is at it.
+fn bench_dse_service(_c: &mut Criterion) {
+    if !bench_enabled("dse_service") {
+        return;
+    }
+    use macro3d_dse::sweep::{run_sweep, SweepAxis, SweepSpec};
+    use macro3d_dse::{DseConfig, DseService, DseStats, JobSpec, SweepOutcome};
+
+    let cache_dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("bench_dse_cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut base = JobSpec::new("Macro-3D", TileConfig::mini());
+    base.config.sizing_rounds = 1;
+    base.config.route.iterations = 1;
+    let sweep = SweepSpec {
+        base,
+        axes: vec![
+            SweepAxis::new("macro_metals", &["4", "6"]),
+            SweepAxis::new("util_logic", &["0.55", "0.65"]),
+        ],
+    };
+
+    let pass = || -> (SweepOutcome, DseStats, usize) {
+        let service = DseService::start(DseConfig {
+            workers: 0,
+            cache_dir: Some(cache_dir.clone()),
+            ..DseConfig::default()
+        })
+        .expect("dse service start");
+        let workers = service.workers();
+        let outcome = run_sweep(&service.client(), &sweep, |_| {}).expect("dse sweep");
+        let stats = service.client().stats();
+        service.shutdown();
+        (outcome, stats, workers)
+    };
+    let cold = pass();
+    let warm = pass();
+
+    let fingerprints = |o: &SweepOutcome| -> Vec<Option<u64>> {
+        o.points
+            .iter()
+            .map(|p| p.ok().map(|r| macro3d::jsonio::ppa_fingerprint(&r.ppa)))
+            .collect()
+    };
+    let identical = fingerprints(&cold.0) == fingerprints(&warm.0);
+    assert!(identical, "cold and warm sweep fingerprints diverged");
+    assert!(warm.1.cache.hits > 0, "warm pass saw no cache hits");
+    write_dse_json(&cold, &warm, identical);
+}
+
+/// Writes `BENCH_dse.json` (or a target/ copy in smoke mode): service
+/// throughput cold vs warm, same shape as `dse_sweep --bench-out`.
+fn write_dse_json(
+    cold: &(macro3d_dse::SweepOutcome, macro3d_dse::DseStats, usize),
+    warm: &(macro3d_dse::SweepOutcome, macro3d_dse::DseStats, usize),
+    identical: bool,
+) {
+    use macro3d_json::Json;
+    let points = cold.0.points.len();
+    let (cold_s, warm_s) = (cold.0.wall_s, warm.0.wall_s);
+    let per_s = |n: usize, s: f64| if s > 0.0 { n as f64 / s } else { f64::NAN };
+    let json = Json::obj()
+        .field(
+            "schema_version",
+            Json::from_u64(macro3d_dse::SCHEMA_VERSION),
+        )
+        .field("bench", Json::str("dse_service"))
+        .field("crate_version", Json::str(macro3d_dse::crate_version()))
+        .field(
+            "host_cpus",
+            Json::from_usize(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        )
+        .field("effective_threads", Json::from_usize(cold.2))
+        .field("points", Json::from_usize(points))
+        .field("cold_s", Json::from_f64(cold_s))
+        .field("warm_s", Json::from_f64(warm_s))
+        .field(
+            "speedup",
+            Json::from_f64(if warm_s > 0.0 {
+                cold_s / warm_s
+            } else {
+                f64::NAN
+            }),
+        )
+        .field("cold_jobs_per_s", Json::from_f64(per_s(points, cold_s)))
+        .field("warm_jobs_per_s", Json::from_f64(per_s(points, warm_s)))
+        .field("cold_flows_executed", Json::from_u64(cold.1.flows_executed))
+        .field("warm_flows_executed", Json::from_u64(warm.1.flows_executed))
+        .field("warm_cache_hits", Json::from_u64(warm.1.cache.hits))
+        .field("warm_disk_hits", Json::from_u64(warm.1.cache.disk_hits))
+        .field("fingerprints_identical", Json::Bool(identical));
+    let name = if smoke() {
+        "target/BENCH_dse_smoke.json"
+    } else {
+        "BENCH_dse.json"
+    };
+    let mut text = json.emit();
+    text.push('\n');
+    match std::fs::write(bench_json_path(name), text) {
+        Ok(()) => eprintln!("wrote {name}"),
+        Err(e) => eprintln!("could not write {name}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_tile_generation,
@@ -706,6 +818,7 @@ criterion_group!(
     bench_router,
     bench_route_parallelism,
     bench_place_parallelism,
-    bench_sta_parallelism
+    bench_sta_parallelism,
+    bench_dse_service
 );
 criterion_main!(benches);

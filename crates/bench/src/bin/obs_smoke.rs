@@ -9,19 +9,7 @@ use macro3d::{FlowConfig, ObsConfig, PlacerBackend};
 use macro3d_soc::{generate_tile, TileConfig};
 
 fn main() {
-    let mut tc = TileConfig::small_cache().with_scale(32.0);
-    tc.l3_kb = 64;
-    tc.l2_kb = 8;
-    tc.l1i_kb = 8;
-    tc.l1d_kb = 8;
-    tc.noc_width = 4;
-    tc.core_kgates = 26.0;
-    tc.l3_ctrl_kgates = 5.0;
-    tc.l2_ctrl_kgates = 4.0;
-    tc.l1i_ctrl_kgates = 3.0;
-    tc.l1d_ctrl_kgates = 3.0;
-    tc.noc_kgates = 2.0;
-    let tile = generate_tile(&tc);
+    let tile = generate_tile(&TileConfig::mini());
 
     let mut cfg = FlowConfig::builder()
         .sizing_rounds(2)

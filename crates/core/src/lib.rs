@@ -53,6 +53,7 @@ pub mod experiments;
 pub mod flow;
 pub mod flow2d;
 pub mod flows;
+pub mod jsonio;
 pub mod layout;
 pub mod macro3d_flow;
 pub mod report;
@@ -64,6 +65,11 @@ pub use config::{ConfigError, FlowConfigBuilder};
 pub use error::FlowError;
 pub use flow::{FlowConfig, ImplementedDesign, StageTimer, StageTimes};
 pub use flows::{Flow, FlowOutcome};
+pub use jsonio::{
+    degradation_from_json, degradation_to_json, flow_config_from_json, flow_config_to_json,
+    fnv1a_64, ppa_fingerprint, ppa_from_json, ppa_to_json, tile_config_from_json,
+    tile_config_to_json, CodecError,
+};
 pub use macro3d_obs::{FlowTrace, ObsConfig, ObsLevel};
 pub use macro3d_par::{
     DegradationReport, FaultAction, FaultPlan, FlowBudget, Parallelism, StopReason, STANDARD_SITES,

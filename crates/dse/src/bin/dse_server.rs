@@ -1,0 +1,78 @@
+//! The DSE job service over stdin/stdout: one NDJSON request per
+//! input line, responses on stdout (see `macro3d_dse::server` for the
+//! protocol). Intended to sit behind a pipe or a socket wrapper:
+//!
+//! ```text
+//! printf '%s\n' '{"cmd":"ping"}' | dse_server --workers 4 --cache-dir .dse-cache
+//! ```
+
+use macro3d_dse::server::serve;
+use macro3d_dse::{DseConfig, DseService};
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dse_server [--workers N] [--queue N] [--cache-dir PATH]
+  --workers N     worker threads (default 1; 0 = one per hardware thread)
+  --queue N       queue capacity, submits block when full (default 64)
+  --cache-dir P   persist results under P (default: in-memory only)";
+
+fn parse_args() -> Result<DseConfig, String> {
+    let mut cfg = DseConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number".to_string())?;
+            }
+            "--queue" => {
+                let capacity: usize = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: not a number".to_string())?;
+                if capacity == 0 {
+                    return Err("--queue must be >= 1".to_string());
+                }
+                cfg.queue_capacity = capacity;
+            }
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match DseService::start(cfg) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("dse_server: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let client = service.client();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout().lock();
+    let outcome = serve(BufReader::new(stdin.lock()), &mut stdout, &client);
+    service.shutdown();
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dse_server: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! One-shot design-space sweep CLI.
+//!
+//! Expands a knob grid over a base spec, runs every point through the
+//! DSE service, and prints a results table with the Pareto front
+//! marked. With `--bench-out` it runs the sweep **twice** against the
+//! same persisted cache — cold, restart, warm — verifies per-point
+//! fingerprints are bit-identical, and writes a `BENCH_dse.json`
+//! style throughput report.
+//!
+//! ```text
+//! dse_sweep --flow Macro-3D --tile mini --set sizing_rounds=1 \
+//!           --axis l2_kb=8,16 --axis macro_metals=4,6 \
+//!           --workers 4 --cache-dir .dse-cache
+//! ```
+
+use macro3d::jsonio;
+use macro3d_dse::sweep::{run_sweep, SweepAxis, SweepSpec};
+use macro3d_dse::{
+    tile_preset, DseConfig, DseService, DseStats, JobSpec, SweepOutcome, SCHEMA_VERSION,
+};
+use macro3d_json::Json;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dse_sweep [options]
+  --flow NAME       flow to run (default Macro-3D)
+  --tile PRESET     mini | small_cache | large_cache (default mini)
+  --set K=V         set one base knob (repeatable)
+  --axis K=V1,V2..  sweep one knob over values (repeatable)
+  --workers N       worker threads (default 0 = one per hardware thread)
+  --cache-dir P     persist results under P
+  --out FILE        write the table to FILE instead of stdout
+  --bench-out FILE  run cold+warm passes, write throughput JSON to FILE
+                    (requires --cache-dir)";
+
+struct Args {
+    sweep: SweepSpec,
+    service: DseConfig,
+    out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut flow = "Macro-3D".to_string();
+    let mut tile = "mini".to_string();
+    let mut sets: Vec<(String, String)> = Vec::new();
+    let mut axes: Vec<SweepAxis> = Vec::new();
+    let mut service = DseConfig {
+        workers: 0,
+        ..DseConfig::default()
+    };
+    let mut out = None;
+    let mut bench_out = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--flow" => flow = value("--flow")?,
+            "--tile" => tile = value("--tile")?,
+            "--set" => {
+                let kv = value("--set")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set wants K=V, got '{kv}'"))?;
+                sets.push((k.to_string(), v.to_string()));
+            }
+            "--axis" => {
+                let kv = value("--axis")?;
+                let (k, vs) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--axis wants K=V1,V2,…, got '{kv}'"))?;
+                axes.push(SweepAxis {
+                    knob: k.to_string(),
+                    values: vs.split(',').map(str::to_string).collect(),
+                });
+            }
+            "--workers" => {
+                service.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number".to_string())?;
+            }
+            "--cache-dir" => service.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--bench-out" => bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+
+    if bench_out.is_some() && service.cache_dir.is_none() {
+        return Err("--bench-out requires --cache-dir (the warm pass reads it)".to_string());
+    }
+    let tile =
+        tile_preset(&tile).ok_or_else(|| format!("unknown tile preset '{tile}'\n{USAGE}"))?;
+    let mut base = JobSpec::new(flow, tile);
+    for (knob, value) in &sets {
+        macro3d_dse::sweep::apply_knob(&mut base, knob, value).map_err(|e| e.to_string())?;
+    }
+    Ok(Args {
+        sweep: SweepSpec { base, axes },
+        service,
+        out,
+        bench_out,
+    })
+}
+
+/// One full pass: fresh service, run sweep (streaming progress to
+/// stderr), shut the service down, return the outcome + stats.
+fn run_pass(args: &Args, tag: &str) -> Result<(SweepOutcome, DseStats, usize), String> {
+    let service =
+        DseService::start(args.service.clone()).map_err(|e| format!("service start: {e}"))?;
+    let workers = service.workers();
+    let client = service.client();
+    let outcome = run_sweep(&client, &args.sweep, |point| match &point.result {
+        Ok(r) => eprintln!(
+            "[{tag}] {}: fclk {:.1} MHz, {} ({:.2}s)",
+            point.label,
+            r.ppa.fclk_mhz,
+            if r.cache_hit { "cache hit" } else { "cold run" },
+            r.wall_s
+        ),
+        Err(e) => eprintln!("[{tag}] {}: FAILED: {e}", point.label),
+    })
+    .map_err(|e| e.to_string())?;
+    let stats = client.stats();
+    service.shutdown();
+    Ok((outcome, stats, workers))
+}
+
+fn fingerprints(outcome: &SweepOutcome) -> Vec<Option<u64>> {
+    outcome
+        .points
+        .iter()
+        .map(|p| p.ok().map(|r| jsonio::ppa_fingerprint(&r.ppa)))
+        .collect()
+}
+
+fn write_table(outcome: &SweepOutcome, mut sink: impl Write) -> std::io::Result<()> {
+    writeln!(
+        sink,
+        "{:<40} {:>10} {:>12} {:>10} {:>8} {:>6}  pareto",
+        "point", "fclk_mhz", "emean_fj", "fp_mm2", "wl_m", "hit"
+    )?;
+    for (i, point) in outcome.points.iter().enumerate() {
+        match &point.result {
+            Ok(r) => writeln!(
+                sink,
+                "{:<40} {:>10.1} {:>12.1} {:>10.4} {:>8.4} {:>6}  {}",
+                point.label,
+                r.ppa.fclk_mhz,
+                r.ppa.emean_fj,
+                r.ppa.footprint_mm2,
+                r.ppa.total_wirelength_m,
+                if r.cache_hit { "yes" } else { "no" },
+                if outcome.pareto.contains(&i) { "*" } else { "" }
+            )?,
+            Err(e) => writeln!(sink, "{:<40} FAILED: {e}", point.label)?,
+        }
+    }
+    writeln!(
+        sink,
+        "\n{} points, {} on the Pareto front, {:.2}s wall",
+        outcome.points.len(),
+        outcome.pareto.len(),
+        outcome.wall_s
+    )
+}
+
+fn bench_json(
+    points: usize,
+    cold: &(SweepOutcome, DseStats, usize),
+    warm: &(SweepOutcome, DseStats, usize),
+    identical: bool,
+) -> Json {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (cold_s, warm_s) = (cold.0.wall_s, warm.0.wall_s);
+    Json::obj()
+        .field("schema_version", Json::from_u64(SCHEMA_VERSION))
+        .field("bench", Json::str("dse_service"))
+        .field("crate_version", Json::str(macro3d_dse::crate_version()))
+        .field("host_cpus", Json::from_usize(host_cpus))
+        .field("effective_threads", Json::from_usize(cold.2))
+        .field("points", Json::from_usize(points))
+        .field("cold_s", Json::from_f64(cold_s))
+        .field("warm_s", Json::from_f64(warm_s))
+        .field(
+            "speedup",
+            Json::from_f64(if warm_s > 0.0 {
+                cold_s / warm_s
+            } else {
+                f64::NAN
+            }),
+        )
+        .field(
+            "cold_jobs_per_s",
+            Json::from_f64(if cold_s > 0.0 {
+                points as f64 / cold_s
+            } else {
+                f64::NAN
+            }),
+        )
+        .field(
+            "warm_jobs_per_s",
+            Json::from_f64(if warm_s > 0.0 {
+                points as f64 / warm_s
+            } else {
+                f64::NAN
+            }),
+        )
+        .field("cold_flows_executed", Json::from_u64(cold.1.flows_executed))
+        .field("warm_flows_executed", Json::from_u64(warm.1.flows_executed))
+        .field("warm_cache_hits", Json::from_u64(warm.1.cache.hits))
+        .field("warm_disk_hits", Json::from_u64(warm.1.cache.disk_hits))
+        .field("fingerprints_identical", Json::Bool(identical))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let cold = run_pass(&args, "cold")?;
+
+    let bench = if let Some(bench_path) = &args.bench_out {
+        // warm pass: a *fresh* service against the same cache dir —
+        // only what persisted to disk can answer
+        let warm = run_pass(&args, "warm")?;
+        let identical = fingerprints(&cold.0) == fingerprints(&warm.0);
+        if !identical {
+            return Err("cold and warm fingerprints differ — determinism broken".to_string());
+        }
+        if warm.1.cache.hits == 0 {
+            return Err("warm pass had zero cache hits — persistence broken".to_string());
+        }
+        let json = bench_json(cold.0.points.len(), &cold, &warm, identical);
+        let mut text = json.emit();
+        text.push('\n');
+        std::fs::write(bench_path, text).map_err(|e| format!("write {bench_path:?}: {e}"))?;
+        eprintln!(
+            "[bench] cold {:.2}s, warm {:.2}s ({:.1}x), wrote {}",
+            cold.0.wall_s,
+            warm.0.wall_s,
+            cold.0.wall_s / warm.0.wall_s.max(1e-9),
+            bench_path.display()
+        );
+        Some(warm)
+    } else {
+        None
+    };
+    // report the warm pass when we ran one (same numbers, hit flags on)
+    let reported = bench.as_ref().unwrap_or(&cold);
+
+    match &args.out {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+            write_table(&reported.0, std::io::BufWriter::new(file))
+                .map_err(|e| format!("write table: {e}"))?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_table(&reported.0, stdout.lock()).map_err(|e| format!("write table: {e}"))?;
+        }
+    }
+
+    let failed = reported
+        .0
+        .points
+        .iter()
+        .filter(|p| p.ok().is_none())
+        .count();
+    if failed > 0 {
+        return Err(format!("{failed} sweep point(s) failed"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,659 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+//! Dependency-free JSON for the Macro-3D reproduction.
+//!
+//! This build environment cannot fetch serde, so every crate that
+//! needs JSON hand-rolls emission (`macro3d-obs`, the bench writers).
+//! The DSE service additionally needs *parsing* — client requests,
+//! persisted result-cache records — so this crate provides the one
+//! shared [`Json`] value type with:
+//!
+//! * a recursive-descent parser ([`Json::parse`]) covering the full
+//!   JSON grammar (escapes, `\uXXXX` with surrogate pairs, nesting
+//!   depth capped at [`MAX_DEPTH`]);
+//! * a deterministic compact writer ([`Json::emit`]): object members
+//!   in insertion order, numbers emitted as their stored token — so
+//!   `parse(emit(v)) == v` byte-for-byte, which is what the
+//!   content-keyed result cache hashes;
+//! * typed accessors (`as_f64`, `as_u64`, `get`, …) that make decoder
+//!   code short without panicking.
+//!
+//! # Numbers
+//!
+//! [`Json::Num`] stores the *raw token*, not an `f64`: `u64` values
+//! round-trip exactly (no 2^53 precision cliff), and `f64` values are
+//! formatted once via Rust's shortest-round-trip `format!("{v}")` and
+//! never reformatted. Non-finite floats encode as `null`, matching
+//! the existing `macro3d-obs` exporters.
+//!
+//! # Examples
+//!
+//! ```
+//! use macro3d_json::Json;
+//!
+//! let v = Json::obj()
+//!     .field("flow", Json::str("Macro-3D"))
+//!     .field("fclk_mhz", Json::from_f64(812.5))
+//!     .field("bumps", Json::from_u64(1312));
+//! let text = v.emit();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("bumps").and_then(Json::as_u64), Some(1312));
+//! assert_eq!(back.emit(), text);
+//! ```
+
+use std::fmt;
+
+/// Maximum container nesting depth [`Json::parse`] accepts.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed or constructed JSON value (see the crate docs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also the encoding of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw grammar-valid token (e.g. `"42"`,
+    /// `"-1.5e-3"`). Construct via [`Json::from_f64`] /
+    /// [`Json::from_u64`] / [`Json::from_i64`] so the token is always
+    /// valid; [`Json::emit`] writes it verbatim.
+    Num(String),
+    /// A string (unescaped content; escaping happens at emit time).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: members in insertion order, preserved by the writer
+    /// (deterministic emission is part of the cache-key contract).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A rejected input with the byte offset the parser gave up at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What was expected or violated.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    // ---- constructors ----
+
+    /// An empty object (extend with [`Json::field`]).
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number from an `f64` (shortest round-trip token; `null` for
+    /// non-finite values).
+    pub fn from_f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// A number from a `u64` (exact).
+    pub fn from_u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number from an `i64` (exact).
+    pub fn from_i64(v: i64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number from a `usize` (exact).
+    pub fn from_usize(v: usize) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Appends a member to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object — field chains start from
+    /// [`Json::obj`], so this is a programming error, not a data one.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(members) => members.push((key.into(), value)),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    // ---- accessors ----
+
+    /// Member `key` of an object (`None` for other kinds or a missing
+    /// key; first match wins on duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// True for [`Json::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The boolean value, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, if this is a non-negative integer token.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    // ---- writer ----
+
+    /// Compact deterministic emission (see the crate docs).
+    pub fn emit(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(tok) => out.push_str(tok),
+            Json::Str(s) => emit_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    emit_str(out, k);
+                    out.push(':');
+                    v.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // ---- parser ----
+
+    /// Parses one JSON document (surrounding whitespace allowed,
+    /// trailing non-whitespace rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] locating the first grammar violation.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.emit())
+    }
+}
+
+fn emit_str(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // advance one full UTF-8 scalar (input is &str, so
+                    // boundaries are valid)
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0b1100_0000 == 0b1000_0000) {
+                        self.pos += 1;
+                    }
+                    // INVARIANT: [start, pos) is a char boundary slice
+                    // of the original &str
+                    #[allow(clippy::expect_used)]
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input came from &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // surrogate pair: require the low half
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.err("expected low surrogate"))?;
+                        let lo = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                    } else {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                } else if (0xdc00..0xe000).contains(&hi) {
+                    return Err(self.err("unpaired low surrogate"));
+                } else {
+                    hi
+                };
+                char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?
+            }
+            other => {
+                return Err(self.err(format!("invalid escape '\\{}'", other as char)));
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // integer part: "0" or [1-9][0-9]*
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // INVARIANT: the token is ASCII digits/sign/dot/exponent only
+        #[allow(clippy::expect_used)]
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(Json::Num(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1", "3.25", "1e-3", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.emit(), text, "token preserved verbatim");
+        }
+        assert_eq!(Json::parse("1e-3").unwrap().as_f64(), Some(0.001));
+    }
+
+    #[test]
+    fn numbers_preserve_precision() {
+        // above 2^53: an f64 path would corrupt this
+        let big = u64::MAX - 1;
+        let v = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(big));
+        assert_eq!(v.emit(), big.to_string());
+        // shortest round-trip f64
+        let f = 0.1 + 0.2;
+        let v = Json::from_f64(f);
+        assert_eq!(v.as_f64(), Some(f), "exact f64 round trip");
+        assert!(Json::from_f64(f64::NAN).is_null());
+        assert!(Json::from_f64(f64::INFINITY).is_null());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\te\u{8}\u{1f}écrit 🚀";
+        let v = Json::Str(s.to_string());
+        let text = v.emit();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s));
+        // explicit \u escapes, including a surrogate pair
+        let v = Json::parse("\"\\u00e9\\ud83d\\ude80\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("é🚀A"));
+    }
+
+    #[test]
+    fn containers_round_trip_in_order() {
+        let text = "{\"b\":[1,2,{\"x\":null}],\"a\":true,\"c\":\"s\"}";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.emit(), text, "member order preserved");
+        assert_eq!(v.get("a").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_and_normalized() {
+        let v = Json::parse(" {\n \"k\" :\t[ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.emit(), "{\"k\":[1,2]}");
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let v = Json::obj()
+            .field("flow", Json::str("2D"))
+            .field("n", Json::from_usize(3))
+            .field("x", Json::from_f64(1.5))
+            .field("flags", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        let text = v.emit();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(
+            text,
+            "{\"flow\":\"2D\",\"n\":3,\"x\":1.5,\"flags\":[true,null]}"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "nul",
+            "\"\\q\"",
+            "\"unterminated",
+            "[1] trailing",
+            "\"\\ud800\"",
+            "{a:1}",
+            "\"ctrl \u{1}\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.msg.contains("deep"), "{err}");
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = Json::parse("{\"a\": nope}").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(err.to_string().contains("byte 6"), "{err}");
+    }
+}

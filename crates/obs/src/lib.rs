@@ -179,6 +179,33 @@ impl Session {
     }
 }
 
+/// Process-wide exclusivity token for observability sessions.
+///
+/// The level, metrics registry and span store behind [`Session`] are
+/// global: two concurrent obs-*enabled* sessions would interleave
+/// their traces. Single-flow callers never notice (one flow, one
+/// session), but a multi-tenant host like the DSE executor runs many
+/// flows at once — it takes a permit around each obs-enabled job so
+/// enabled sessions serialize while obs-off jobs (whose sessions are
+/// inert) keep running concurrently.
+pub struct SessionPermit {
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+static SESSION_PERMIT: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Blocks until this thread holds the process's one observability
+/// permit; the permit releases on drop. A panic while holding the
+/// permit poisons nothing user-visible — the next caller recovers the
+/// lock.
+pub fn session_permit() -> SessionPermit {
+    SessionPermit {
+        _guard: SESSION_PERMIT
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

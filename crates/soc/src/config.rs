@@ -96,6 +96,31 @@ impl TileConfig {
         }
     }
 
+    /// A heavily shrunk tile for tests, smoke gates and service
+    /// benchmarks: small caches, high compression scale, trimmed gate
+    /// budgets. Full flows over it finish in well under a second while
+    /// still exercising every stage (macros, NoCs, F2F vias, CTS).
+    pub fn mini() -> Self {
+        TileConfig {
+            name: "openpiton_tile_mini".to_string(),
+            l1i_kb: 8,
+            l1d_kb: 8,
+            l2_kb: 8,
+            l3_kb: 64,
+            scale: 32.0,
+            noc_width: 4,
+            num_nocs: 3,
+            seed: 0x3d_1c5,
+            n40_memory_die: false,
+            core_kgates: 26.0,
+            l1i_ctrl_kgates: 3.0,
+            l1d_ctrl_kgates: 3.0,
+            l2_ctrl_kgates: 4.0,
+            l3_ctrl_kgates: 5.0,
+            noc_kgates: 2.0,
+        }
+    }
+
     /// Returns the configuration with a different compression scale.
     ///
     /// # Panics

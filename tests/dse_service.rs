@@ -1,0 +1,329 @@
+//! Integration tests for the DSE job service: concurrent-submission
+//! determinism, fault/budget isolation between tenants, persisted-
+//! cache restarts, and the NDJSON protocol.
+
+use macro3d::{ppa_fingerprint, ppa_to_json, FaultAction, FaultPlan, StopReason};
+use macro3d_dse::server::serve;
+use macro3d_dse::sweep::{run_sweep, SweepAxis, SweepSpec};
+use macro3d_dse::{DseConfig, DseService, JobError, JobSpec};
+use macro3d_json::Json;
+use macro3d_soc::TileConfig;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spec fast enough to run many times in a debug-mode test.
+fn fast_spec() -> JobSpec {
+    let mut spec = JobSpec::new("Macro-3D", TileConfig::mini());
+    spec.config.sizing_rounds = 1;
+    spec.config.route.iterations = 1;
+    spec
+}
+
+/// The headline determinism contract: N identical jobs racing in from
+/// several tenant threads produce bit-identical fingerprints, execute
+/// the flow exactly once, and the fingerprint does not depend on the
+/// worker count.
+#[test]
+fn concurrent_identical_jobs_execute_once_and_agree() {
+    let mut fingerprint_by_workers = Vec::new();
+    for workers in [1usize, 8] {
+        let service = DseService::start(DseConfig {
+            workers,
+            queue_capacity: 64,
+            cache_dir: None,
+        })
+        .unwrap();
+        let client = service.client();
+        let results: Vec<_> = (0..3)
+            .map(|_| {
+                let client = client.clone();
+                thread::spawn(move || {
+                    (0..2)
+                        .map(|_| {
+                            let id = client.submit(fast_spec()).unwrap();
+                            client.wait(id).unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(results.len(), 6);
+
+        let fingerprints: Vec<u64> = results.iter().map(|r| ppa_fingerprint(&r.ppa)).collect();
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "all tenants must see the same result at workers={workers}"
+        );
+        let cold = results.iter().filter(|r| !r.cache_hit).count();
+        assert_eq!(cold, 1, "exactly one cold execution at workers={workers}");
+        assert_eq!(client.stats().flows_executed, 1);
+        fingerprint_by_workers.push(fingerprints[0]);
+        service.shutdown();
+    }
+    assert_eq!(
+        fingerprint_by_workers[0], fingerprint_by_workers[1],
+        "worker count must not change the result"
+    );
+}
+
+/// One tenant's failure or degradation never leaks into another's
+/// job, and the service keeps serving afterwards.
+#[test]
+fn faulty_jobs_are_isolated_from_siblings() {
+    let service = DseService::start(DseConfig {
+        workers: 2,
+        ..DseConfig::default()
+    })
+    .unwrap();
+    let client = service.client();
+
+    // a budget-exhausted job: completes Done with a degradation
+    let mut exhausted = fast_spec();
+    exhausted.config.fault_plan =
+        Some(FaultPlan::new().with_fault("route/iterations", 1, FaultAction::Exhaust));
+    // an injected hard error: fails
+    let mut broken = fast_spec();
+    broken.config.fault_plan =
+        Some(FaultPlan::new().with_fault("flow/place", 1, FaultAction::Error));
+    // an untouched sibling
+    let clean = fast_spec();
+
+    let id_exhausted = client.submit(exhausted).unwrap();
+    let id_broken = client.submit(broken).unwrap();
+    let id_clean = client.submit(clean).unwrap();
+
+    let injected = |reason: StopReason| {
+        matches!(
+            reason,
+            StopReason::InjectedExhaust | StopReason::InjectedError
+        )
+    };
+    let degraded = client.wait(id_exhausted).unwrap();
+    assert!(
+        degraded
+            .degradation
+            .stages
+            .iter()
+            .any(|s| injected(s.reason)),
+        "exhaust fault must surface in the degradation report: {}",
+        degraded.degradation
+    );
+    match client.wait(id_broken) {
+        Err(JobError::Failed(msg)) => assert!(msg.contains("injected"), "{msg}"),
+        other => panic!("injected error must fail the job, got {other:?}"),
+    }
+    // the sibling may carry organic degradations (route.iterations is
+    // turned way down for test speed) but no injected ones
+    let clean_result = client.wait(id_clean).unwrap();
+    assert!(
+        !clean_result
+            .degradation
+            .stages
+            .iter()
+            .any(|s| injected(s.reason)),
+        "sibling job must not see a neighbor's faults: {}",
+        clean_result.degradation
+    );
+
+    // service is still healthy: a fresh submit completes
+    let id_again = client.submit(fast_spec()).unwrap();
+    assert!(client.wait(id_again).is_ok());
+    // the failure was not cached: resubmitting the broken spec retries
+    // (and fails again, deterministically)
+    let mut broken_again = fast_spec();
+    broken_again.config.fault_plan =
+        Some(FaultPlan::new().with_fault("flow/place", 1, FaultAction::Error));
+    let id_retry = client.submit(broken_again).unwrap();
+    assert!(matches!(client.wait(id_retry), Err(JobError::Failed(_))));
+    assert_eq!(client.stats().jobs_failed, 2);
+    service.shutdown();
+}
+
+/// Results persist across service restarts and come back bit-exact.
+#[test]
+fn persisted_cache_survives_restart_bit_exactly() {
+    let dir = scratch("dse_restart");
+    let cold_ppa_json;
+    {
+        let service = DseService::start(DseConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let client = service.client();
+        let id = client.submit(fast_spec()).unwrap();
+        let result = client.wait(id).unwrap();
+        assert!(!result.cache_hit);
+        cold_ppa_json = ppa_to_json(&result.ppa).emit();
+        service.shutdown();
+    }
+    // a brand-new service over the same directory: only the disk
+    // layer can answer
+    let service = DseService::start(DseConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: Some(dir),
+    })
+    .unwrap();
+    let client = service.client();
+    let id = client.submit(fast_spec()).unwrap();
+    let warm = client.wait(id).unwrap();
+    assert!(warm.cache_hit, "restarted service must hit the disk layer");
+    assert_eq!(client.stats().cache.disk_hits, 1);
+    assert_eq!(client.stats().flows_executed, 0, "warm hit skips the flow");
+    assert_eq!(
+        ppa_to_json(&warm.ppa).emit(),
+        cold_ppa_json,
+        "persisted result must be bit-identical to the cold run"
+    );
+    service.shutdown();
+}
+
+/// Sweep results stream in grid order and the cache dedups the grid's
+/// shared points across two sweeps within one service.
+#[test]
+fn sweep_streams_points_and_dedups_repeats() {
+    let service = DseService::start(DseConfig {
+        workers: 4,
+        ..DseConfig::default()
+    })
+    .unwrap();
+    let client = service.client();
+    let sweep = SweepSpec {
+        base: fast_spec(),
+        axes: vec![
+            SweepAxis::new("macro_metals", &["4", "6"]),
+            SweepAxis::new("util_logic", &["0.55", "0.65"]),
+        ],
+    };
+    let mut streamed = Vec::new();
+    let first = run_sweep(&client, &sweep, |p| streamed.push(p.label.clone())).unwrap();
+    assert_eq!(streamed.len(), 4);
+    assert_eq!(streamed[0], "macro_metals=4,util_logic=0.55");
+    assert!(first.points.iter().all(|p| p.ok().is_some()));
+    assert!(!first.pareto.is_empty());
+    assert_eq!(client.stats().flows_executed, 4);
+
+    // identical sweep again: all hits, no new executions
+    let second = run_sweep(&client, &sweep, |_| {}).unwrap();
+    assert!(second
+        .points
+        .iter()
+        .all(|p| p.ok().is_some_and(|r| r.cache_hit)));
+    assert_eq!(client.stats().flows_executed, 4);
+    // per-point fingerprints bit-identical cold vs warm
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(
+            a.ok().map(|r| ppa_fingerprint(&r.ppa)),
+            b.ok().map(|r| ppa_fingerprint(&r.ppa))
+        );
+    }
+    service.shutdown();
+}
+
+/// The NDJSON protocol end-to-end over in-memory buffers.
+#[test]
+fn ndjson_protocol_round_trip() {
+    let service = DseService::start(DseConfig::default()).unwrap();
+    let client = service.client();
+    let requests = concat!(
+        r#"{"cmd":"ping"}"#,
+        "\n",
+        r#"{"cmd":"submit","spec":{"flow":"2D","tile":"mini","knobs":{"sizing_rounds":"1","route_iterations":"1"}}}"#,
+        "\n",
+        r#"{"cmd":"wait","job":1}"#,
+        "\n",
+        r#"{"cmd":"status","job":1}"#,
+        "\n",
+        r#"{"cmd":"sweep","spec":{"flow":"2D","tile":"mini","knobs":{"sizing_rounds":"1","route_iterations":"1"}},"axes":[{"knob":"macro_metals","values":["4","6"]}]}"#,
+        "\n",
+        r#"{"cmd":"stats"}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"cmd":"shutdown"}"#,
+        "\n",
+        r#"{"cmd":"ping"}"#,
+        "\n",
+    );
+    let mut out = Vec::new();
+    serve(Cursor::new(requests), &mut out, &client).unwrap();
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+
+    // ping, submit, wait, status, 2 sweep points + summary, stats,
+    // bad-json error, shutdown — and nothing after shutdown
+    assert_eq!(lines.len(), 10);
+    assert_eq!(lines[0].get("reply").and_then(Json::as_str), Some("pong"));
+    assert_eq!(lines[1].get("job").and_then(Json::as_u64), Some(1));
+    let wait = &lines[2];
+    assert_eq!(wait.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(wait.get("ppa").is_some(), "wait returns the full PPA");
+    assert_eq!(
+        wait.get("fingerprint").and_then(Json::as_str).map(str::len),
+        Some(16)
+    );
+    assert_eq!(lines[3].get("status").and_then(Json::as_str), Some("done"));
+    // sweep: two point lines then the summary
+    assert_eq!(
+        lines[4].get("point").and_then(Json::as_str),
+        Some("macro_metals=4")
+    );
+    assert_eq!(
+        lines[5].get("point").and_then(Json::as_str),
+        Some("macro_metals=6")
+    );
+    assert_eq!(
+        lines[6].get("sweep_done").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(lines[6].get("points").and_then(Json::as_u64), Some(2));
+    let stats = lines[7].get("stats").expect("stats payload");
+    assert!(stats.get("flows_executed").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(lines[8].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(lines[9].get("bye").and_then(Json::as_bool), Some(true));
+    service.shutdown();
+}
+
+/// Submissions survive queue-full backpressure without deadlock or
+/// loss: more jobs than queue slots, all complete.
+#[test]
+fn bounded_queue_applies_backpressure_without_loss() {
+    let service = DseService::start(DseConfig {
+        workers: 2,
+        queue_capacity: 2,
+        cache_dir: None,
+    })
+    .unwrap();
+    let client = service.client();
+    let ids: Vec<_> = (0..10)
+        .map(|i| {
+            let mut spec = fast_spec();
+            // pairs of identical specs, mixing cold runs and cache
+            // hits through the tiny queue
+            spec.config.util_logic = 0.55 + 0.01 * f64::from(i / 2);
+            client.submit(spec).unwrap()
+        })
+        .collect();
+    let results: Vec<Arc<_>> = ids.into_iter().map(|id| client.wait(id).unwrap()).collect();
+    assert_eq!(results.len(), 10);
+    assert_eq!(client.stats().flows_executed, 5, "5 distinct specs");
+    // each pair's second job is served without a flow run, whether it
+    // hit the cache or joined the leader in flight
+    assert_eq!(results.iter().filter(|r| r.cache_hit).count(), 5);
+    service.shutdown();
+}

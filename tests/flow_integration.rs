@@ -9,19 +9,7 @@ use macro3d_soc::{generate_tile, TileConfig, TileNetlist};
 
 /// A miniature tile that keeps debug-mode tests fast.
 fn tiny_tile() -> TileNetlist {
-    let mut cfg = TileConfig::small_cache().with_scale(32.0);
-    cfg.l3_kb = 64;
-    cfg.l2_kb = 8;
-    cfg.l1i_kb = 8;
-    cfg.l1d_kb = 8;
-    cfg.noc_width = 4;
-    cfg.core_kgates = 26.0;
-    cfg.l3_ctrl_kgates = 5.0;
-    cfg.l2_ctrl_kgates = 4.0;
-    cfg.l1i_ctrl_kgates = 3.0;
-    cfg.l1d_ctrl_kgates = 3.0;
-    cfg.noc_kgates = 2.0;
-    generate_tile(&cfg)
+    generate_tile(&TileConfig::mini())
 }
 
 fn fast_flow_cfg() -> FlowConfig {
