@@ -49,7 +49,11 @@ assert d['schema_version'] == 1 and d['bench'] == 'dse_service', d
 assert d['fingerprints_identical'] is True, d
 assert d['warm_cache_hits'] > 0 and d['warm_flows_executed'] == 0, d
 assert 'host_cpus' in d and 'effective_threads' in d, d.keys()
-print('dse bench smoke OK: %d points, %.0fx warm speedup' % (d['points'], d['speedup']))
+assert max(d['reuse_depths']) == 4, d['reuse_depths']
+assert d['reuse_fingerprints_identical'] is True, d
+assert d['reuse_stage_hits'] > 0, d
+print('dse bench smoke OK: %d points, %.0fx warm speedup, reuse depths %s'
+      % (d['points'], d['speedup'], d['reuse_depths']))
 "
 
 echo "==> obs smoke (full-trace flows, both placer backends + JSON validation)"
@@ -114,8 +118,38 @@ assert b['schema_version'] == 1 and b['bench'] == 'dse_service', b
 assert b['points'] == 4 and b['fingerprints_identical'] is True, b
 assert b['warm_cache_hits'] > 0 and b['warm_flows_executed'] == 0, b
 assert b['speedup'] > 1.0, b
+assert len(b['reuse_depths']) == 4 and len(b['fingerprints']) == 4, b
 print('dse sweep bench OK: %.0fx warm speedup, %.1f cold jobs/s'
       % (b['speedup'], b['cold_jobs_per_s']))
+"
+
+echo "==> sweep-reuse gate (stage-graph prefix reuse, depth + determinism)"
+# 2-axis mini sweep on one worker: util_logic changes the floorplan
+# key (two cold prefixes), sizing_rounds only the STA key (one depth-4
+# re-entry per prefix). The scratch run (reuse off) must be all-cold
+# and bit-identical.
+./target/release/dse_sweep --flow Macro-3D --tile mini --set route_iterations=2 \
+  --axis util_logic=0.55,0.6 --axis sizing_rounds=1,2 --workers 1 \
+  --out target/sweep_reuse_on.txt
+./target/release/dse_sweep --flow Macro-3D --tile mini --set route_iterations=2 \
+  --axis util_logic=0.55,0.6 --axis sizing_rounds=1,2 --workers 1 \
+  --no-stage-reuse --out target/sweep_reuse_off.txt
+python3 -c "
+def rows(path):
+    out = {}
+    for line in open(path):
+        parts = line.split()
+        if parts and parts[0].count('=') >= 2:  # 'util_logic=..,sizing_rounds=..'
+            out[parts[0]] = (int(parts[6]), parts[7])  # (reuse depth, fingerprint)
+    return out
+on, off = rows('target/sweep_reuse_on.txt'), rows('target/sweep_reuse_off.txt')
+assert len(on) == 4 and len(off) == 4, (on, off)
+depths = sorted(d for d, _ in on.values())
+assert depths == [0, 0, 4, 4], 'one cold + one depth-4 point per util_logic prefix: %s' % on
+assert all(d == 0 for d, _ in off.values()), 'reuse off must run everything cold: %s' % off
+for label in on:
+    assert on[label][1] == off[label][1], 'fingerprint mismatch at %s' % label
+print('sweep-reuse gate OK: depths %s, fingerprints bit-identical to scratch run' % depths)
 "
 
 echo "CI OK"

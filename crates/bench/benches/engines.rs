@@ -754,7 +754,94 @@ fn bench_dse_service(_c: &mut Criterion) {
     let identical = fingerprints(&cold.0) == fingerprints(&warm.0);
     assert!(identical, "cold and warm sweep fingerprints diverged");
     assert!(warm.1.cache.hits > 0, "warm pass saw no cache hits");
-    write_dse_json(&cold, &warm, identical);
+
+    // --- stage-graph prefix reuse (DESIGN.md §17) ------------------
+    // A sweep varying only the STA-stage knob shares its whole
+    // floorplan/place/route/extract prefix, so every point after the
+    // first re-enters the flow at the STA stage on one worker. The
+    // scratch pass (stage reuse off) gives the per-point cold
+    // baseline; per-point speedup is warm wall vs cold wall of the
+    // *same* point, and fingerprints must match bit-exactly.
+    let mut reuse_base = JobSpec::new("Macro-3D", TileConfig::mini());
+    reuse_base.config.sizing_rounds = 1;
+    let rounds: &[&str] = if smoke() {
+        &["0", "1"]
+    } else {
+        &["0", "1", "2", "3"]
+    };
+    let reuse_sweep = SweepSpec {
+        base: reuse_base,
+        axes: vec![SweepAxis::new("sizing_rounds", rounds)],
+    };
+    let reuse_pass = |stage_reuse: bool| -> (SweepOutcome, DseStats) {
+        let service = DseService::start(DseConfig {
+            workers: 1,
+            stage_reuse,
+            ..DseConfig::default()
+        })
+        .expect("dse service start");
+        let outcome = run_sweep(&service.client(), &reuse_sweep, |_| {}).expect("reuse sweep");
+        let stats = service.client().stats();
+        service.shutdown();
+        (outcome, stats)
+    };
+    let scratch = reuse_pass(false);
+    let reused = reuse_pass(true);
+    assert_eq!(
+        fingerprints(&scratch.0),
+        fingerprints(&reused.0),
+        "stage-reuse fingerprints diverged from the scratch run"
+    );
+    let depths: Vec<usize> = reused
+        .0
+        .points
+        .iter()
+        .map(|p| p.ok().map_or(0, |r| r.reuse_depth))
+        .collect();
+    assert!(
+        depths.contains(&4),
+        "an STA-only sweep must re-enter at the STA stage, got {depths:?}"
+    );
+    // per-point speedup over the reused points only
+    let speedups: Vec<f64> = reused
+        .0
+        .points
+        .iter()
+        .zip(&scratch.0.points)
+        .filter(|(r, _)| r.ok().is_some_and(|r| r.reuse_depth > 0))
+        .filter_map(|(r, s)| {
+            let (r, s) = (r.ok()?, s.ok()?);
+            (r.wall_s > 0.0).then(|| s.wall_s / r.wall_s)
+        })
+        .collect();
+    let min_speedup = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    if !smoke() {
+        assert!(
+            min_speedup >= 3.0,
+            "prefix reuse must be >= 3x faster per reused point, got {speedups:?}"
+        );
+    }
+    write_dse_json(
+        &cold,
+        &warm,
+        identical,
+        &ReuseReport {
+            depths,
+            speedups,
+            scratch_s: scratch.0.wall_s,
+            reused_s: reused.0.wall_s,
+            stage_hits: reused.1.stage_hits,
+        },
+    );
+}
+
+/// The stage-reuse experiment's numbers for `BENCH_dse.json`.
+struct ReuseReport {
+    depths: Vec<usize>,
+    speedups: Vec<f64>,
+    scratch_s: f64,
+    reused_s: f64,
+    stage_hits: u64,
 }
 
 /// Writes `BENCH_dse.json` (or a target/ copy in smoke mode): service
@@ -763,6 +850,7 @@ fn write_dse_json(
     cold: &(macro3d_dse::SweepOutcome, macro3d_dse::DseStats, usize),
     warm: &(macro3d_dse::SweepOutcome, macro3d_dse::DseStats, usize),
     identical: bool,
+    reuse: &ReuseReport,
 ) {
     use macro3d_json::Json;
     let points = cold.0.points.len();
@@ -797,7 +885,23 @@ fn write_dse_json(
         .field("warm_flows_executed", Json::from_u64(warm.1.flows_executed))
         .field("warm_cache_hits", Json::from_u64(warm.1.cache.hits))
         .field("warm_disk_hits", Json::from_u64(warm.1.cache.disk_hits))
-        .field("fingerprints_identical", Json::Bool(identical));
+        .field("fingerprints_identical", Json::Bool(identical))
+        .field(
+            "reuse_depths",
+            Json::Arr(reuse.depths.iter().map(|&d| Json::from_usize(d)).collect()),
+        )
+        .field(
+            "reuse_point_speedups",
+            Json::Arr(reuse.speedups.iter().map(|&s| Json::from_f64(s)).collect()),
+        )
+        .field("reuse_min_point_speedup", {
+            let min = reuse.speedups.iter().copied().fold(f64::INFINITY, f64::min);
+            Json::from_f64(if min.is_finite() { min } else { 0.0 })
+        })
+        .field("reuse_scratch_s", Json::from_f64(reuse.scratch_s))
+        .field("reuse_warm_s", Json::from_f64(reuse.reused_s))
+        .field("reuse_stage_hits", Json::from_u64(reuse.stage_hits))
+        .field("reuse_fingerprints_identical", Json::Bool(true));
     let name = if smoke() {
         "target/BENCH_dse_smoke.json"
     } else {

@@ -32,6 +32,11 @@ use macro3d_tech::Corner;
 
 /// Runs the C2D flow.
 ///
+/// `reuse` is forwarded to the shared [`finish_design`] tail; like
+/// S2D, C2D's stage-1 pseudo-2D run consumes the route/STA knobs, so
+/// its stage keys are coarse and prefix reuse only triggers for
+/// fully-identical upstream state (see `crate::stage`).
+///
 /// # Errors
 ///
 /// Returns [`FlowError::Floorplan`] if macro packing fails and
@@ -40,6 +45,7 @@ use macro3d_tech::Corner;
 pub(crate) fn implement(
     tile: &TileNetlist,
     cfg: &FlowConfig,
+    reuse: Option<&mut crate::stage::StageReuse<'_>>,
 ) -> Result<(ImplementedDesign, S2dDiagnostics), FlowError> {
     let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
@@ -230,6 +236,7 @@ pub(crate) fn implement(
         true,
         cfg.sizing_rounds, // post-partition optimization (C2D's addition)
         timer,
+        reuse,
     )?;
     Ok((imp, diag))
 }

@@ -688,13 +688,22 @@ fn signoff_input<'a>(
 /// engine") plus sign-off. `timer` continues the flow's stage clock
 /// and ends up in the returned design's `stage_times`.
 ///
+/// `reuse` is the per-worker stage-artifact view (see
+/// [`crate::stage`]): when the matched key prefix covers the route
+/// and/or extract boundaries, those stages restore a deep clone of
+/// the previous run's snapshot instead of recomputing, and a cold
+/// stage stores its boundary snapshot for the next run. Restored
+/// artifacts were snapshotted at the exact same program point of a
+/// cold run, so warm results are bit-identical.
+///
 /// # Errors
 ///
 /// Returns [`FlowError::Injected`](crate::error::FlowError::Injected)
 /// when the active fault plan injects an error at one of the
 /// `flow/route`, `flow/extract` or `flow/sta` gates. Budget
 /// exhaustion does not error: the sizing loop stops at its checkpoint
-/// and the run completes degraded.
+/// and the run completes degraded. (Stage reuse is disabled whenever
+/// a budget or fault plan is active — `reuse` arrives as `None`.)
 #[allow(clippy::too_many_arguments)]
 pub fn finish_design(
     mut design: Design,
@@ -709,49 +718,78 @@ pub fn finish_design(
     macro_pins_projected: bool,
     sizing_rounds: usize,
     mut timer: StageTimer,
+    mut reuse: Option<&mut crate::stage::StageReuse<'_>>,
 ) -> Result<ImplementedDesign, crate::error::FlowError> {
     let par = cfg.parallelism;
     let die = fp.die();
     crate::error::flow_gate("flow/route")?;
-    let obstacles = macro_obstacles(
-        &design,
-        &fp,
-        logic_metals,
-        stack.num_layers(),
-        macro_pins_projected,
-    );
-    let nets = route_pins(
-        &design,
-        &placement,
-        &ports,
-        logic_metals,
-        stack.num_layers(),
-        macro_pins_projected,
-    );
-    let routed = Router::new(
-        &RouteRequest {
-            die,
-            stack: &stack,
-            obstacles: &obstacles,
-            nets: &nets,
-            num_nets: design.num_nets(),
-        },
-        &cfg.route,
-    )
-    .route();
+    let routed = match reuse
+        .as_deref()
+        .and_then(crate::stage::StageReuse::route_snap)
+    {
+        Some(snap) => snap.routed.clone(),
+        None => {
+            let obstacles = macro_obstacles(
+                &design,
+                &fp,
+                logic_metals,
+                stack.num_layers(),
+                macro_pins_projected,
+            );
+            let nets = route_pins(
+                &design,
+                &placement,
+                &ports,
+                logic_metals,
+                stack.num_layers(),
+                macro_pins_projected,
+            );
+            let mut router = Router::new(
+                &RouteRequest {
+                    die,
+                    stack: &stack,
+                    obstacles: &obstacles,
+                    nets: &nets,
+                    num_nets: design.num_nets(),
+                },
+                &cfg.route,
+            );
+            let routed = router.route();
+            if let Some(r) = reuse.as_deref_mut() {
+                r.store_route(router, &routed);
+            }
+            routed
+        }
+    };
     timer.mark("route");
     crate::error::flow_gate("flow/extract")?;
-    let mut parasitics = extract_all(
-        &design,
-        &placement,
-        &ports,
-        &stack,
-        &routed,
-        &constraints,
-        Corner::signoff(),
-        &par,
-    );
-    let clock = clock_arrivals(&design, &clock_tree, &parasitics, Corner::signoff());
+    let (mut parasitics, clock, cached_session) = match reuse
+        .as_deref()
+        .and_then(crate::stage::StageReuse::extract_snap)
+    {
+        Some(snap) => (
+            snap.parasitics.clone(),
+            snap.clock.clone(),
+            snap.session.clone(),
+        ),
+        None => {
+            let parasitics = extract_all(
+                &design,
+                &placement,
+                &ports,
+                &stack,
+                &routed,
+                &constraints,
+                Corner::signoff(),
+                &par,
+            );
+            let clock = clock_arrivals(&design, &clock_tree, &parasitics, Corner::signoff());
+            if let Some(r) = reuse.as_deref_mut() {
+                r.store_extract(&parasitics, &clock);
+            }
+            (parasitics, clock, None)
+        }
+    };
     timer.mark("extract");
     crate::error::flow_gate("flow/sta")?;
 
@@ -759,15 +797,26 @@ pub fn finish_design(
     // loop: the timing graph is built once and each round re-times
     // only the fan-out cones of the nets `apply_sizing_to_parasitics`
     // reports as touched. Probe mode re-runs the legacy binary-search
-    // analysis from scratch every round.
+    // analysis from scratch every round. A reused session is a copy
+    // taken right after graph build (no converged state), so it is
+    // indistinguishable from the freshly-built one it replaces.
     let mut session = match cfg.sta_mode {
-        StaMode::Parametric => Some(StaSession::new(&signoff_input(
-            &design,
-            &parasitics,
-            &routed,
-            &constraints,
-            &clock,
-        ))),
+        StaMode::Parametric => {
+            let s = match cached_session {
+                Some(s) => s,
+                None => StaSession::new(&signoff_input(
+                    &design,
+                    &parasitics,
+                    &routed,
+                    &constraints,
+                    &clock,
+                )),
+            };
+            if let Some(r) = reuse {
+                r.attach_session(&s);
+            }
+            Some(s)
+        }
         StaMode::Probe => None,
     };
     let mut timing = match &mut session {

@@ -28,6 +28,7 @@ use crate::error::FlowError;
 use crate::flow::{FlowConfig, ImplementedDesign};
 use crate::report::PpaResult;
 use crate::s2d::{S2dDiagnostics, S2dStyle};
+use crate::stage::StageReuse;
 use macro3d_obs::{FlowTrace, Session};
 use macro3d_par::{BudgetScope, DegradationReport};
 use macro3d_soc::TileNetlist;
@@ -47,6 +48,11 @@ pub struct FlowOutcome {
     /// violations (non-convergent routing, unplaceable F2F bumps).
     /// Empty for a clean run; see [`DegradationReport::is_degraded`].
     pub degradation: DegradationReport,
+    /// How many leading flow stages were restored from the worker's
+    /// stage cache instead of recomputed (`0` = fully cold, `4` =
+    /// only STA+sizing ran; see [`crate::stage`]). Always `0` when
+    /// the run was given no [`StageReuse`].
+    pub reuse_depth: usize,
 }
 
 /// Runs `body` inside an obs session named after the flow, with the
@@ -75,6 +81,23 @@ pub trait Flow {
     /// Stable flow label (used as the PPA column header).
     fn name(&self) -> &str;
 
+    /// Like [`Flow::try_run`], threading a stage-reuse view through
+    /// the flow: with `Some(reuse)`, stages whose chained content
+    /// keys match the worker's [`crate::stage::StageCache`] restore
+    /// deep clones of the previous run's boundary artifacts, and
+    /// cold stages store theirs for the next run.
+    /// [`FlowOutcome::reuse_depth`] reports the matched prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] naming the failed stage and context.
+    fn try_run_reusing(
+        &self,
+        tile: &TileNetlist,
+        cfg: &FlowConfig,
+        reuse: Option<&mut StageReuse<'_>>,
+    ) -> Result<FlowOutcome, FlowError>;
+
     /// Implements the tile under `cfg` and signs it off — the primary
     /// entry point. A budget-exhausted run *succeeds* with a
     /// populated [`FlowOutcome::degradation`]; only unrecoverable
@@ -84,7 +107,9 @@ pub trait Flow {
     /// # Errors
     ///
     /// Returns a [`FlowError`] naming the failed stage and context.
-    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError>;
+    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+        self.try_run_reusing(tile, cfg, None)
+    }
 
     /// Infallible wrapper over [`Self::try_run`] for drivers that
     /// treat any flow failure as fatal (the experiment binaries,
@@ -110,15 +135,23 @@ impl Flow for Flow2d {
         "2D"
     }
 
-    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
-        let (implemented, degradation, obs) =
-            run_observed(self.name(), cfg, || crate::flow2d::implement(tile, cfg))?;
+    fn try_run_reusing(
+        &self,
+        tile: &TileNetlist,
+        cfg: &FlowConfig,
+        reuse: Option<&mut StageReuse<'_>>,
+    ) -> Result<FlowOutcome, FlowError> {
+        let reuse_depth = reuse.as_deref().map_or(0, StageReuse::start_stage);
+        let (implemented, degradation, obs) = run_observed(self.name(), cfg, || {
+            crate::flow2d::implement(tile, cfg, reuse)
+        })?;
         Ok(FlowOutcome {
             ppa: PpaResult::from_impl(self.name(), &implemented),
             implemented,
             diagnostics: None,
             obs,
             degradation,
+            reuse_depth,
         })
     }
 }
@@ -139,9 +172,15 @@ impl Flow for S2d {
         }
     }
 
-    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    fn try_run_reusing(
+        &self,
+        tile: &TileNetlist,
+        cfg: &FlowConfig,
+        reuse: Option<&mut StageReuse<'_>>,
+    ) -> Result<FlowOutcome, FlowError> {
+        let reuse_depth = reuse.as_deref().map_or(0, StageReuse::start_stage);
         let ((implemented, diag), degradation, obs) = run_observed(self.name(), cfg, || {
-            crate::s2d::implement(tile, cfg, self.style)
+            crate::s2d::implement(tile, cfg, self.style, reuse)
         })?;
         let mut ppa = PpaResult::from_impl(self.name(), &implemented);
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
@@ -151,6 +190,7 @@ impl Flow for S2d {
             diagnostics: Some(diag),
             obs,
             degradation,
+            reuse_depth,
         })
     }
 }
@@ -164,9 +204,15 @@ impl Flow for C2d {
         "C2D"
     }
 
-    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    fn try_run_reusing(
+        &self,
+        tile: &TileNetlist,
+        cfg: &FlowConfig,
+        reuse: Option<&mut StageReuse<'_>>,
+    ) -> Result<FlowOutcome, FlowError> {
+        let reuse_depth = reuse.as_deref().map_or(0, StageReuse::start_stage);
         let ((implemented, diag), degradation, obs) =
-            run_observed(self.name(), cfg, || crate::c2d::implement(tile, cfg))?;
+            run_observed(self.name(), cfg, || crate::c2d::implement(tile, cfg, reuse))?;
         let mut ppa = PpaResult::from_impl(self.name(), &implemented);
         ppa.metal_area_mm2 = ppa.footprint_mm2 * (cfg.logic_metals + cfg.macro_metals) as f64;
         Ok(FlowOutcome {
@@ -175,6 +221,7 @@ impl Flow for C2d {
             diagnostics: Some(diag),
             obs,
             degradation,
+            reuse_depth,
         })
     }
 }
@@ -190,9 +237,15 @@ impl Flow for Macro3d {
         "Macro-3D"
     }
 
-    fn try_run(&self, tile: &TileNetlist, cfg: &FlowConfig) -> Result<FlowOutcome, FlowError> {
+    fn try_run_reusing(
+        &self,
+        tile: &TileNetlist,
+        cfg: &FlowConfig,
+        reuse: Option<&mut StageReuse<'_>>,
+    ) -> Result<FlowOutcome, FlowError> {
+        let reuse_depth = reuse.as_deref().map_or(0, StageReuse::start_stage);
         let (implemented, degradation, obs) = run_observed(self.name(), cfg, || {
-            crate::macro3d_flow::implement(tile, cfg)
+            crate::macro3d_flow::implement(tile, cfg, reuse)
         })?;
         let mut ppa = PpaResult::from_impl(
             format!("Macro-3D M{}-M{}", cfg.logic_metals, cfg.macro_metals),
@@ -206,6 +259,7 @@ impl Flow for Macro3d {
             diagnostics: None,
             obs,
             degradation,
+            reuse_depth,
         })
     }
 }

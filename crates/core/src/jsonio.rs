@@ -533,7 +533,9 @@ fn power_from_json(v: &Json) -> Result<PowerReport, CodecError> {
     })
 }
 
-fn stage_times_to_json(s: &StageTimes) -> Json {
+/// Serializes per-stage wall-clock as `[[name, seconds], …]` — also
+/// used standalone by the DSE server's per-job telemetry.
+pub fn stage_times_to_json(s: &StageTimes) -> Json {
     Json::Arr(
         s.stages
             .iter()

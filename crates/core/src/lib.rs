@@ -58,6 +58,7 @@ pub mod layout;
 pub mod macro3d_flow;
 pub mod report;
 pub mod s2d;
+pub mod stage;
 pub mod via_plan;
 
 pub use build_cache::{BuildCache, CacheStats};
@@ -78,3 +79,4 @@ pub use macro3d_place::{AnalyticalConfig, GlobalPlaceConfig, PlacerBackend};
 pub use macro3d_route::{RouteConfig, RouteConfigBuilder, RouteConfigError, RouteRequest, Router};
 pub use macro3d_sta::StaMode;
 pub use report::PpaResult;
+pub use stage::{stage_keys, Stage, StageCache, StageKeys, StageReuse};

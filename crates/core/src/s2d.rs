@@ -72,6 +72,13 @@ pub struct S2dDiagnostics {
 
 /// Runs the S2D flow.
 ///
+/// `reuse` is forwarded to the shared [`finish_design`] tail. S2D's
+/// stage graph is deliberately coarse (see `crate::stage`): its
+/// pseudo-2D stage consumes the route and STA knobs, so the stage
+/// keys fold them into the place super-stage and prefix reuse only
+/// triggers for fully-identical upstream state — honest, if rarely
+/// profitable, for this baseline.
+///
 /// # Errors
 ///
 /// Returns [`FlowError::Floorplan`] if macro packing fails for the
@@ -81,6 +88,7 @@ pub(crate) fn implement(
     tile: &TileNetlist,
     cfg: &FlowConfig,
     style: S2dStyle,
+    reuse: Option<&mut crate::stage::StageReuse<'_>>,
 ) -> Result<(ImplementedDesign, S2dDiagnostics), FlowError> {
     let mut timer = StageTimer::new();
     let mut design = tile.design.clone();
@@ -264,6 +272,7 @@ pub(crate) fn implement(
         true,
         0,
         timer,
+        reuse,
     )?;
     Ok((imp, diag))
 }

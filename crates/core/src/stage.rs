@@ -1,0 +1,624 @@
+//! Stage-graph reuse: prefix-keyed incremental flow execution.
+//!
+//! Every flow decomposes into the same five-stage graph:
+//!
+//! ```text
+//! floorplan → place → route → extract → sta
+//! ```
+//!
+//! Each stage **declares** which `TileConfig` / [`FlowConfig`] fields
+//! feed its content key (the tables in [`stage_keys`]; the FNV-1a
+//! discipline is shared with `BuildCache` and the DSE `ResultCache`).
+//! Keys are *chained*: stage *i*'s key hashes stage *i−1*'s key
+//! together with stage *i*'s own payload, so a key match at stage *i*
+//! proves the whole prefix `0..=i` ran under identical inputs.
+//!
+//! A worker holds one [`StageCache`] — the artifacts the previous
+//! flow run left at each stage boundary, tagged with that run's
+//! chained keys. The next run compares its own keys against the
+//! cache ([`StageReuse::start_stage`]), deep-clones the artifacts of
+//! the longest matching prefix, and re-enters the flow at the first
+//! stage whose key changed. Because reuse restores a *clone* of a
+//! boundary snapshot that was itself taken at the same point of a
+//! cold run, a warm run is bit-identical to a cold one by
+//! construction — the determinism contract the DSE sweep tests and
+//! the `sweep-reuse` CI gate hold.
+//!
+//! ## Reuse / invalidation tables
+//!
+//! For the fine-grained flows (`2D`, `Macro-3D`), the per-stage key
+//! payloads are:
+//!
+//! | stage     | key fields |
+//! |-----------|------------|
+//! | floorplan | flow name, full `TileConfig`, crate version, budget, fault plan, `logic_metals`, `macro_metals`¹, `util_logic`, `util_macro`, `halo_um` |
+//! | place     | `place` (all fields + chunk size), `cts`, `repeater_max_len_um` |
+//! | route     | `route` (all fields + chunk size) |
+//! | extract   | — (inputs fully determined by the prefix) |
+//! | sta       | `sizing_rounds`, `sta_mode` |
+//!
+//! ¹ `macro_metals` keys the 2D floorplan stage too only through the
+//! base payload ordering below — the 2D flow never reads it, but the
+//! S2D/C2D/Macro-3D flows that share a worker do.
+//!
+//! The pseudo-2D baselines (`MoL S2D`, `BF S2D`, `C2D`) consume the
+//! route/STA knobs *inside* their stage-1 pseudo-2D implementation,
+//! so their "place" super-stage keys additionally include `route`,
+//! `sizing_rounds`, `sta_mode` and `partial_blockage_period_um` —
+//! honest but coarse: for those flows, any late-stage knob change
+//! re-enters at placement, and stage reuse degenerates to what the
+//! spec-level `ResultCache` already provides.
+//!
+//! **Excluded everywhere:** `parallelism.threads` (all three copies)
+//! and `obs`. Results are thread-count-invariant per the `macro3d-par`
+//! contract, so a sweep over `threads` reuses the full prefix;
+//! `chunk_size` *is* keyed because the router's batched negotiation
+//! commits per chunk ("chunk size changes routing results; the thread
+//! count never does").
+//!
+//! **Safety guard:** stage caching is disabled outright
+//! ([`StageReuse::begin`] returns `None`) when the config carries a
+//! stage budget or a fault plan — wall-clock deadlines fire
+//! nondeterministically and degradation notes would not replay on a
+//! warm run. Both still feed every stage key (via the base payload),
+//! so a budget/fault sweep point can never hit a clean run's
+//! artifacts by accident.
+
+use crate::flow::FlowConfig;
+use macro3d_extract::NetParasitics;
+use macro3d_netlist::Design;
+use macro3d_place::{Floorplan, GlobalPlaceConfig, Placement, PortPlan};
+use macro3d_route::{RouteConfig, RoutedDesign, Router};
+use macro3d_soc::TileConfig;
+use macro3d_sta::{ClockArrivals, ClockTree, StaMode, StaSession};
+use macro3d_tech::stack::MetalStack;
+use std::sync::Arc;
+
+/// Number of stages in the flow graph.
+pub const NUM_STAGES: usize = 5;
+
+/// One stage of the flow graph, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Floorplan + macro packing + port assignment + stack build.
+    Floorplan = 0,
+    /// Global place, repeaters, CTS, legalization, detailed place.
+    /// For the pseudo-2D baselines this is the whole stage-1 +
+    /// partition super-stage.
+    Place = 1,
+    /// Global routing over the final stack.
+    Route = 2,
+    /// Parasitic extraction + clock arrivals at the sign-off corner.
+    Extract = 3,
+    /// STA + sizing + hold fixing + power. Never cached (it is the
+    /// terminal stage; identical specs are the `ResultCache`'s job).
+    Sta = 4,
+}
+
+impl Stage {
+    /// Stable stage label (obs counters, telemetry, docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Floorplan => "floorplan",
+            Stage::Place => "place",
+            Stage::Route => "route",
+            Stage::Extract => "extract",
+            Stage::Sta => "sta",
+        }
+    }
+
+    /// All stages in execution order.
+    pub fn all() -> [Stage; NUM_STAGES] {
+        [
+            Stage::Floorplan,
+            Stage::Place,
+            Stage::Route,
+            Stage::Extract,
+            Stage::Sta,
+        ]
+    }
+}
+
+/// The chained per-stage content keys of one `(flow, tile, config)`
+/// triple. `prefix[i]` covers stages `0..=i`: equal `prefix[i]` ⇒
+/// identical inputs for the whole prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageKeys {
+    /// Chained FNV-1a keys, one per [`Stage`].
+    pub prefix: [u64; NUM_STAGES],
+}
+
+impl StageKeys {
+    /// The key covering stages `0..=stage`.
+    pub fn key(&self, stage: Stage) -> u64 {
+        self.prefix[stage as usize]
+    }
+}
+
+fn chain(prev: u64, payload: &str) -> u64 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&prev.to_le_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    crate::jsonio::fnv1a_64(&buf)
+}
+
+/// `chunk_size` only — `threads` is deliberately excluded from every
+/// stage key (see the module docs).
+fn par_payload(chunk_size: usize) -> String {
+    format!("chunk={chunk_size}")
+}
+
+fn route_payload(r: &RouteConfig) -> String {
+    format!(
+        "gcell={};util={};iters={};via={};deg={};f2f={:?};{}",
+        r.gcell_um,
+        r.utilization,
+        r.iterations,
+        r.via_cost,
+        r.max_net_degree,
+        r.f2f_pitch_um,
+        par_payload(r.parallelism.chunk_size)
+    )
+}
+
+fn place_payload(p: &GlobalPlaceConfig) -> String {
+    format!(
+        "min={};fm={};deg={};backend={:?};ana={},{},{};{}",
+        p.min_cells,
+        p.fm_passes,
+        p.max_net_degree,
+        p.backend,
+        p.analytical.max_iters,
+        p.analytical.target_overflow,
+        p.analytical.lambda_growth,
+        par_payload(p.parallelism.chunk_size)
+    )
+}
+
+/// Computes the chained stage keys for one job. The per-stage field
+/// tables live here — this is the single place a stage declares what
+/// invalidates it.
+pub fn stage_keys(flow: &str, tile: &TileConfig, cfg: &FlowConfig) -> StageKeys {
+    // Base payload (seeds the floorplan key): anything that
+    // invalidates *every* stage — the flow identity, the tile, the
+    // crate version, and the budget/fault plan (kept in the key even
+    // though caching is disabled when they are active, so their sweep
+    // points can never alias a clean prefix).
+    let base = format!(
+        "{}\u{1f}{}\u{1f}{}\u{1f}budget={}\u{1f}faults={}",
+        env!("CARGO_PKG_VERSION"),
+        flow,
+        crate::jsonio::tile_config_to_json(tile).emit(),
+        crate::jsonio::flow_config_to_json(cfg)
+            .get("budget")
+            .map_or_else(String::new, macro3d_json::Json::emit),
+        crate::jsonio::flow_config_to_json(cfg)
+            .get("fault_plan")
+            .map_or_else(String::new, macro3d_json::Json::emit),
+    );
+    let pseudo2d = matches!(flow, "MoL S2D" | "BF S2D" | "C2D");
+
+    let floorplan_payload = format!(
+        "lm={};mm={};ul={};um={};halo={}",
+        cfg.logic_metals, cfg.macro_metals, cfg.util_logic, cfg.util_macro, cfg.halo_um
+    );
+    let mut place_stage = format!(
+        "{};cts={},{};rep={}",
+        place_payload(&cfg.place),
+        cfg.cts.max_fanout,
+        cfg.cts.repeater_spacing_um,
+        cfg.repeater_max_len_um
+    );
+    if pseudo2d {
+        // the pseudo-2D stage consumes these before the final P&R
+        place_stage.push_str(&format!(
+            ";s1route={};s1sr={};s1mode={:?};pbp={}",
+            route_payload(&cfg.route),
+            cfg.sizing_rounds,
+            cfg.sta_mode,
+            cfg.partial_blockage_period_um
+        ));
+    }
+    let sta_mode = match cfg.sta_mode {
+        StaMode::Probe => "probe",
+        StaMode::Parametric => "parametric",
+    };
+
+    let k0 = chain(crate::jsonio::fnv1a_64(base.as_bytes()), &floorplan_payload);
+    let k1 = chain(k0, &place_stage);
+    let k2 = chain(k1, &route_payload(&cfg.route));
+    let k3 = chain(k2, "extract");
+    let k4 = chain(k3, &format!("sr={};mode={sta_mode}", cfg.sizing_rounds));
+    StageKeys {
+        prefix: [k0, k1, k2, k3, k4],
+    }
+}
+
+/// Floorplan-boundary artifacts: everything `place_pipeline` needs
+/// that is not re-derived from the tile. The design itself is *not*
+/// stored — placement mutates it, so a warm run re-clones the
+/// pristine `tile.design` exactly as a cold run does.
+#[derive(Clone)]
+pub struct FloorplanSnap {
+    /// The floorplan (die, macro placements, blockages).
+    pub fp: Floorplan,
+    /// Port assignment.
+    pub ports: PortPlan,
+    /// The metal stack the flow routes over.
+    pub stack: MetalStack,
+}
+
+/// Place-boundary artifacts: the design *after* repeater/CTS/buffer
+/// insertion together with the legalized placement and clock tree,
+/// plus the floorplan-boundary state (self-contained, so a place hit
+/// never needs the floorplan slot).
+#[derive(Clone)]
+pub struct PlaceSnap {
+    /// Design with repeaters and clock buffers inserted.
+    pub design: Design,
+    /// See [`FloorplanSnap::fp`].
+    pub fp: Floorplan,
+    /// See [`FloorplanSnap::ports`].
+    pub ports: PortPlan,
+    /// See [`FloorplanSnap::stack`].
+    pub stack: MetalStack,
+    /// Legalized placement.
+    pub placement: Placement,
+    /// Synthesized clock tree.
+    pub tree: ClockTree,
+}
+
+/// Route-boundary artifacts. The [`Router`] session (committed paths,
+/// congestion history, Steiner topologies) is kept alive so future
+/// incremental re-entry points can drive `Router::update`; the
+/// routed design is what the downstream stages consume today.
+pub struct RouteSnap {
+    /// The full negotiation session, resumable via `Router::update`.
+    pub router: Router,
+    /// The assembled routing result.
+    pub routed: RoutedDesign,
+}
+
+/// Extract-boundary artifacts. `session` is the parametric STA
+/// session snapshotted right after graph build (before any analysis),
+/// so restoring it is indistinguishable from building it fresh —
+/// `None` when the cold run used [`StaMode::Probe`].
+pub struct ExtractSnap {
+    /// Sign-off-corner parasitics for every net.
+    pub parasitics: Vec<NetParasitics>,
+    /// Clock arrival times under the extracted tree.
+    pub clock: ClockArrivals,
+    /// Freshly-built timing session (graph only, no converged state).
+    pub session: Option<StaSession>,
+}
+
+enum Artifact {
+    Floorplan(Arc<FloorplanSnap>),
+    Place(Arc<PlaceSnap>),
+    Route(Arc<RouteSnap>),
+    Extract(Arc<ExtractSnap>),
+}
+
+/// One worker's stage-boundary artifact store: the last run's
+/// snapshot per stage, tagged with the chained key it was produced
+/// under. Purely in-memory and single-owner (each DSE worker owns
+/// one); nothing here is ever persisted.
+#[derive(Default)]
+pub struct StageCache {
+    slots: [Option<(u64, Artifact)>; NUM_STAGES],
+}
+
+impl StageCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StageCache::default()
+    }
+
+    /// Drops every stored artifact.
+    pub fn clear(&mut self) {
+        self.slots = Default::default();
+    }
+}
+
+// obs counters: reuse accounting per worker-run
+static REUSE_RUNS: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("stage/reuse_runs");
+static REUSE_DEPTH: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("stage/reuse_depth");
+static STAGE_HITS: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("stage/hits");
+static STAGE_MISSES: macro3d_obs::SiteCounter = macro3d_obs::SiteCounter::new("stage/misses");
+
+/// One run's view of a [`StageCache`]: the expected chained keys plus
+/// the matched prefix depth. Created per job by [`StageReuse::begin`]
+/// and threaded through the flow as `Option<&mut StageReuse>`.
+pub struct StageReuse<'a> {
+    cache: &'a mut StageCache,
+    keys: StageKeys,
+    start: usize,
+}
+
+impl<'a> StageReuse<'a> {
+    /// Prepares reuse for one run, or `None` when stage caching is
+    /// unsafe for this config (active budget or fault plan — see the
+    /// module docs). Computes the matched prefix depth up front and
+    /// bumps the obs counters.
+    pub fn begin(
+        cache: &'a mut StageCache,
+        flow: &str,
+        tile: &TileConfig,
+        cfg: &FlowConfig,
+    ) -> Option<StageReuse<'a>> {
+        if !cfg.budget.is_unlimited() || cfg.fault_plan.is_some() {
+            return None;
+        }
+        let keys = stage_keys(flow, tile, cfg);
+        // the longest prefix of slots whose stored chained keys match
+        // this run's expected keys (the Sta slot is never stored)
+        let mut start = 0;
+        for (i, slot) in cache.slots.iter().enumerate().take(NUM_STAGES - 1) {
+            match slot {
+                Some((key, _)) if *key == keys.prefix[i] => start = i + 1,
+                _ => break,
+            }
+        }
+        REUSE_RUNS.inc();
+        REUSE_DEPTH.add(start as u64);
+        STAGE_HITS.add(start as u64);
+        STAGE_MISSES.add((NUM_STAGES - start) as u64);
+        Some(StageReuse { cache, keys, start })
+    }
+
+    /// The first stage this run must execute — equivalently the
+    /// number of stages whose artifacts can be reused (the run's
+    /// *reuse depth*, `0..=4`).
+    pub fn start_stage(&self) -> usize {
+        self.start
+    }
+
+    /// This run's chained keys.
+    pub fn keys(&self) -> &StageKeys {
+        &self.keys
+    }
+
+    fn snap<T, F: Fn(&Artifact) -> Option<&Arc<T>>>(
+        &self,
+        stage: Stage,
+        pick: F,
+    ) -> Option<Arc<T>> {
+        if self.start <= stage as usize {
+            return None;
+        }
+        self.cache.slots[stage as usize]
+            .as_ref()
+            .and_then(|(_, a)| pick(a))
+            .map(Arc::clone)
+    }
+
+    /// Floorplan-boundary snapshot, when the matched prefix covers it.
+    pub fn floorplan_snap(&self) -> Option<Arc<FloorplanSnap>> {
+        self.snap(Stage::Floorplan, |a| match a {
+            Artifact::Floorplan(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Place-boundary snapshot, when the matched prefix covers it.
+    pub fn place_snap(&self) -> Option<Arc<PlaceSnap>> {
+        self.snap(Stage::Place, |a| match a {
+            Artifact::Place(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Route-boundary snapshot, when the matched prefix covers it.
+    pub fn route_snap(&self) -> Option<Arc<RouteSnap>> {
+        self.snap(Stage::Route, |a| match a {
+            Artifact::Route(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Extract-boundary snapshot, when the matched prefix covers it.
+    pub fn extract_snap(&self) -> Option<Arc<ExtractSnap>> {
+        self.snap(Stage::Extract, |a| match a {
+            Artifact::Extract(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    fn store(&mut self, stage: Stage, artifact: Artifact) {
+        self.cache.slots[stage as usize] = Some((self.keys.prefix[stage as usize], artifact));
+    }
+
+    /// Stores the floorplan-boundary snapshot (call at stage exit).
+    pub fn store_floorplan(&mut self, snap: FloorplanSnap) {
+        self.store(Stage::Floorplan, Artifact::Floorplan(Arc::new(snap)));
+    }
+
+    /// Stores the place-boundary snapshot.
+    pub fn store_place(&mut self, snap: PlaceSnap) {
+        self.store(Stage::Place, Artifact::Place(Arc::new(snap)));
+    }
+
+    /// Stores the route-boundary snapshot (takes the live router).
+    pub fn store_route(&mut self, router: Router, routed: &RoutedDesign) {
+        self.store(
+            Stage::Route,
+            Artifact::Route(Arc::new(RouteSnap {
+                router,
+                routed: routed.clone(),
+            })),
+        );
+    }
+
+    /// Stores the extract-boundary snapshot (without a session; see
+    /// [`StageReuse::attach_session`]).
+    pub fn store_extract(&mut self, parasitics: &[NetParasitics], clock: &ClockArrivals) {
+        self.store(
+            Stage::Extract,
+            Artifact::Extract(Arc::new(ExtractSnap {
+                parasitics: parasitics.to_vec(),
+                clock: clock.clone(),
+                session: None,
+            })),
+        );
+    }
+
+    /// Backfills the freshly-built STA session into the extract slot
+    /// (the session only exists once the STA stage begins). No-op if
+    /// the slot was not stored by this run.
+    pub fn attach_session(&mut self, session: &StaSession) {
+        let slot = &mut self.cache.slots[Stage::Extract as usize];
+        if let Some((key, Artifact::Extract(snap))) = slot {
+            if *key == self.keys.prefix[Stage::Extract as usize] {
+                *slot = Some((
+                    *key,
+                    Artifact::Extract(Arc::new(ExtractSnap {
+                        parasitics: snap.parasitics.clone(),
+                        clock: snap.clock.clone(),
+                        session: Some(session.clone()),
+                    })),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(f: impl FnOnce(&mut FlowConfig)) -> StageKeys {
+        let mut cfg = FlowConfig::default();
+        f(&mut cfg);
+        stage_keys("Macro-3D", &TileConfig::mini(), &cfg)
+    }
+
+    #[test]
+    fn keys_chain_downstream() {
+        let base = keys(|_| {});
+        // a route-only knob: floorplan/place keys unchanged, route and
+        // everything after invalidated
+        let routed = keys(|c| c.route.iterations += 1);
+        assert_eq!(base.key(Stage::Floorplan), routed.key(Stage::Floorplan));
+        assert_eq!(base.key(Stage::Place), routed.key(Stage::Place));
+        assert_ne!(base.key(Stage::Route), routed.key(Stage::Route));
+        assert_ne!(base.key(Stage::Extract), routed.key(Stage::Extract));
+        assert_ne!(base.key(Stage::Sta), routed.key(Stage::Sta));
+
+        // an STA-only knob: only the terminal key moves
+        let sized = keys(|c| c.sizing_rounds += 1);
+        assert_eq!(base.key(Stage::Extract), sized.key(Stage::Extract));
+        assert_ne!(base.key(Stage::Sta), sized.key(Stage::Sta));
+
+        // a floorplan knob: everything moves
+        let fp = keys(|c| c.util_logic += 0.01);
+        for s in Stage::all() {
+            assert_ne!(base.key(s), fp.key(s), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn threads_and_obs_never_key_stages() {
+        let base = keys(|_| {});
+        let threaded = keys(|c| {
+            c.parallelism.threads = 8;
+            c.route.parallelism.threads = 8;
+            c.place.parallelism.threads = 8;
+            c.obs = macro3d_obs::ObsConfig::summary();
+        });
+        assert_eq!(base, threaded, "thread/obs knobs must not invalidate");
+        // …but chunk size does (router batching changes results)
+        let chunked = keys(|c| c.route.parallelism.chunk_size += 1);
+        assert_eq!(base.key(Stage::Place), chunked.key(Stage::Place));
+        assert_ne!(base.key(Stage::Route), chunked.key(Stage::Route));
+    }
+
+    #[test]
+    fn budget_and_fault_key_every_stage_and_disable_caching() {
+        let base = keys(|_| {});
+        let budgeted = keys(|c| {
+            c.budget = macro3d_par::FlowBudget::unlimited()
+                .with_wall_clock(std::time::Duration::from_secs(3600));
+        });
+        let faulted = keys(|c| {
+            c.fault_plan = Some(macro3d_par::FaultPlan::new().with_fault(
+                "sta/sizing_rounds",
+                3,
+                macro3d_par::FaultAction::Exhaust,
+            ));
+        });
+        for s in Stage::all() {
+            assert_ne!(base.key(s), budgeted.key(s), "budget keys {}", s.name());
+            assert_ne!(base.key(s), faulted.key(s), "fault keys {}", s.name());
+        }
+        let mut cache = StageCache::new();
+        let cfg = FlowConfig {
+            budget: macro3d_par::FlowBudget::unlimited().with_cap("route/iterations", 1),
+            ..FlowConfig::default()
+        };
+        assert!(
+            StageReuse::begin(&mut cache, "Macro-3D", &TileConfig::mini(), &cfg).is_none(),
+            "caching must be off under a budget"
+        );
+    }
+
+    #[test]
+    fn flows_and_tiles_never_share_prefixes() {
+        let cfg = FlowConfig::default();
+        let tile = TileConfig::mini();
+        let a = stage_keys("Macro-3D", &tile, &cfg);
+        let b = stage_keys("2D", &tile, &cfg);
+        assert_ne!(a.key(Stage::Floorplan), b.key(Stage::Floorplan));
+        let big = stage_keys("Macro-3D", &TileConfig::small_cache(), &cfg);
+        assert_ne!(a.key(Stage::Floorplan), big.key(Stage::Floorplan));
+    }
+
+    #[test]
+    fn pseudo2d_place_super_stage_keys_late_knobs() {
+        let cfg = FlowConfig::default();
+        let mut sized = cfg.clone();
+        sized.sizing_rounds += 1;
+        let tile = TileConfig::mini();
+        // S2D: sizing_rounds feeds the stage-1 pseudo-2D run
+        let a = stage_keys("MoL S2D", &tile, &cfg);
+        let b = stage_keys("MoL S2D", &tile, &sized);
+        assert_eq!(a.key(Stage::Floorplan), b.key(Stage::Floorplan));
+        assert_ne!(a.key(Stage::Place), b.key(Stage::Place));
+        // Macro-3D: it only feeds the terminal stage
+        let c = stage_keys("Macro-3D", &tile, &cfg);
+        let d = stage_keys("Macro-3D", &tile, &sized);
+        assert_eq!(c.key(Stage::Extract), d.key(Stage::Extract));
+    }
+
+    #[test]
+    fn matched_depth_follows_stored_slots() {
+        let mut cache = StageCache::new();
+        let cfg = FlowConfig::default();
+        let tile = TileConfig::mini();
+        {
+            let r = StageReuse::begin(&mut cache, "Macro-3D", &tile, &cfg).unwrap();
+            assert_eq!(r.start_stage(), 0, "cold cache");
+        }
+        {
+            let mut r = StageReuse::begin(&mut cache, "Macro-3D", &tile, &cfg).unwrap();
+            let lib = std::sync::Arc::new(macro3d_tech::libgen::n28_library(1.0));
+            let die = macro3d_geom::Rect::from_um(0.0, 0.0, 10.0, 10.0);
+            let design = Design::new("t", lib.clone());
+            let fp = Floorplan::new(die, lib.row_height(), lib.site_width());
+            let ports = PortPlan::assign(&design, die);
+            let stack = macro3d_tech::stack::n28_stack(2, macro3d_tech::stack::DieRole::Logic);
+            r.store_floorplan(FloorplanSnap { fp, ports, stack });
+        }
+        {
+            let r = StageReuse::begin(&mut cache, "Macro-3D", &tile, &cfg).unwrap();
+            assert_eq!(r.start_stage(), 1, "floorplan slot matches");
+            assert!(r.floorplan_snap().is_some());
+            assert!(r.place_snap().is_none());
+        }
+        // a floorplan knob invalidates the stored slot
+        let mut moved = cfg.clone();
+        moved.halo_um += 1.0;
+        let r = StageReuse::begin(&mut cache, "Macro-3D", &tile, &moved).unwrap();
+        assert_eq!(r.start_stage(), 0);
+        assert!(r.floorplan_snap().is_none());
+    }
+}

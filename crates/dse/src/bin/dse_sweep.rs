@@ -30,6 +30,7 @@ const USAGE: &str = "usage: dse_sweep [options]
   --axis K=V1,V2..  sweep one knob over values (repeatable)
   --workers N       worker threads (default 0 = one per hardware thread)
   --cache-dir P     persist results under P
+  --no-stage-reuse  disable the workers' stage caches (every point cold)
   --out FILE        write the table to FILE instead of stdout
   --bench-out FILE  run cold+warm passes, write throughput JSON to FILE
                     (requires --cache-dir)";
@@ -85,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--workers: not a number".to_string())?;
             }
             "--cache-dir" => service.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-stage-reuse" => service.stage_reuse = false,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--bench-out" => bench_out = Some(PathBuf::from(value("--bench-out")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -143,20 +145,22 @@ fn fingerprints(outcome: &SweepOutcome) -> Vec<Option<u64>> {
 fn write_table(outcome: &SweepOutcome, mut sink: impl Write) -> std::io::Result<()> {
     writeln!(
         sink,
-        "{:<40} {:>10} {:>12} {:>10} {:>8} {:>6}  pareto",
-        "point", "fclk_mhz", "emean_fj", "fp_mm2", "wl_m", "hit"
+        "{:<40} {:>10} {:>12} {:>10} {:>8} {:>6} {:>5} {:>16}  pareto",
+        "point", "fclk_mhz", "emean_fj", "fp_mm2", "wl_m", "hit", "reuse", "fingerprint"
     )?;
     for (i, point) in outcome.points.iter().enumerate() {
         match &point.result {
             Ok(r) => writeln!(
                 sink,
-                "{:<40} {:>10.1} {:>12.1} {:>10.4} {:>8.4} {:>6}  {}",
+                "{:<40} {:>10.1} {:>12.1} {:>10.4} {:>8.4} {:>6} {:>5} {:>16}  {}",
                 point.label,
                 r.ppa.fclk_mhz,
                 r.ppa.emean_fj,
                 r.ppa.footprint_mm2,
                 r.ppa.total_wirelength_m,
                 if r.cache_hit { "yes" } else { "no" },
+                r.reuse_depth,
+                format!("{:016x}", jsonio::ppa_fingerprint(&r.ppa)),
                 if outcome.pareto.contains(&i) { "*" } else { "" }
             )?,
             Err(e) => writeln!(sink, "{:<40} FAILED: {e}", point.label)?,
@@ -216,6 +220,33 @@ fn bench_json(
         .field("warm_flows_executed", Json::from_u64(warm.1.flows_executed))
         .field("warm_cache_hits", Json::from_u64(warm.1.cache.hits))
         .field("warm_disk_hits", Json::from_u64(warm.1.cache.disk_hits))
+        .field("cold_stage_hits", Json::from_u64(cold.1.stage_hits))
+        .field("cold_stage_misses", Json::from_u64(cold.1.stage_misses))
+        .field(
+            "reuse_depths",
+            Json::Arr(
+                cold.0
+                    .points
+                    .iter()
+                    .map(|p| Json::from_usize(p.ok().map_or(0, |r| r.reuse_depth)))
+                    .collect(),
+            ),
+        )
+        .field(
+            "fingerprints",
+            Json::Arr(
+                cold.0
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::str(p.ok().map_or_else(
+                            || "failed".to_string(),
+                            |r| format!("{:016x}", jsonio::ppa_fingerprint(&r.ppa)),
+                        ))
+                    })
+                    .collect(),
+            ),
+        )
         .field("fingerprints_identical", Json::Bool(identical))
 }
 

@@ -49,6 +49,12 @@ pub struct DseConfig {
     pub queue_capacity: usize,
     /// Persist results here; `None` keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Give each worker a [`macro3d::StageCache`] so consecutive jobs
+    /// sharing a stage-key prefix re-enter the flow mid-way (see
+    /// `macro3d::stage`). Off = every job runs fully cold. Results
+    /// are bit-identical either way; this only trades memory for
+    /// wall-clock.
+    pub stage_reuse: bool,
 }
 
 impl Default for DseConfig {
@@ -57,6 +63,7 @@ impl Default for DseConfig {
             workers: 1,
             queue_capacity: 64,
             cache_dir: None,
+            stage_reuse: true,
         }
     }
 }
@@ -126,6 +133,10 @@ pub struct JobResult {
     pub cache_hit: bool,
     /// Wall-clock seconds this job took inside the worker.
     pub wall_s: f64,
+    /// Leading flow stages restored from the worker's stage cache
+    /// (`0` = fully cold; see [`macro3d::stage`]). Always `0` for a
+    /// result-cache hit — the whole flow was skipped, not re-entered.
+    pub reuse_depth: usize,
 }
 
 /// Why `submit` refused a spec.
@@ -184,6 +195,12 @@ pub struct DseStats {
     pub jobs_failed: u64,
     /// Jobs withdrawn while queued.
     pub jobs_cancelled: u64,
+    /// Flow stages restored from worker stage caches, summed over
+    /// every executed job (a depth-3 re-entry adds 3).
+    pub stage_hits: u64,
+    /// Cacheable flow stages executed cold (the STA stage is never
+    /// cached and never counted).
+    pub stage_misses: u64,
 }
 
 enum JobState {
@@ -238,13 +255,23 @@ impl InflightCell {
 }
 
 struct QueueState {
-    jobs: VecDeque<(u64, JobSpec)>,
+    /// One deque per worker. `submit` routes each spec to the queue
+    /// of its affinity worker (place-stage key modulo worker count),
+    /// so same-prefix sweep points land on the same worker's stage
+    /// cache; an idle worker steals from the *back* of the longest
+    /// other queue, which is the job least likely to extend that
+    /// worker's current prefix run. Affinity is best-effort — results
+    /// are identical wherever a job runs.
+    queues: Vec<VecDeque<(u64, JobSpec)>>,
+    /// Total queued jobs across all deques (capacity accounting).
+    queued: usize,
     shutdown: bool,
 }
 
 struct Inner {
     cfg: DseConfig,
     cache: ResultCache,
+    workers: usize,
     queue: Mutex<QueueState>,
     /// Workers sleep here when the queue is empty.
     queue_cv: Condvar,
@@ -259,6 +286,8 @@ struct Inner {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_cancelled: AtomicU64,
+    stage_hits: AtomicU64,
+    stage_misses: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -294,8 +323,10 @@ impl DseService {
         let inner = Arc::new(Inner {
             cfg,
             cache,
+            workers,
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                queued: 0,
                 shutdown: false,
             }),
             queue_cv: Condvar::new(),
@@ -308,13 +339,15 @@ impl DseService {
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            stage_hits: AtomicU64::new(0),
+            stage_misses: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("dse-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
             })
             .collect::<io::Result<Vec<_>>>()?;
         Ok(DseService {
@@ -370,6 +403,10 @@ impl DseClient {
         if flow_by_name(&spec.flow).is_none() {
             return Err(SubmitError::UnknownFlow(spec.flow));
         }
+        // route the job to the worker whose stage cache its place-key
+        // prefix maps to; stage 1 covers floorplan+place, the
+        // expensive reusable prefix
+        let slot = (spec.stage_keys().prefix[1] % self.inner.workers as u64) as usize;
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut q = lock(&self.inner.queue);
@@ -377,7 +414,7 @@ impl DseClient {
                 if q.shutdown {
                     return Err(SubmitError::ShuttingDown);
                 }
-                if q.jobs.len() < self.inner.cfg.queue_capacity {
+                if q.queued < self.inner.cfg.queue_capacity {
                     break;
                 }
                 q = self
@@ -386,7 +423,8 @@ impl DseClient {
                     .wait(q)
                     .unwrap_or_else(PoisonError::into_inner);
             }
-            q.jobs.push_back((id, spec));
+            q.queues[slot].push_back((id, spec));
+            q.queued += 1;
         }
         lock(&self.inner.states).insert(id, JobState::Queued);
         self.inner.queue_cv.notify_one();
@@ -432,9 +470,12 @@ impl DseClient {
     pub fn cancel(&self, id: JobId) -> bool {
         let removed = {
             let mut q = lock(&self.inner.queue);
-            let before = q.jobs.len();
-            q.jobs.retain(|(queued_id, _)| *queued_id != id.0);
-            q.jobs.len() != before
+            let before = q.queued;
+            for queue in &mut q.queues {
+                queue.retain(|(queued_id, _)| *queued_id != id.0);
+            }
+            q.queued = q.queues.iter().map(VecDeque::len).sum();
+            q.queued != before
         };
         if removed {
             self.inner.space_cv.notify_one();
@@ -453,16 +494,31 @@ impl DseClient {
             jobs_done: self.inner.jobs_done.load(Ordering::Relaxed),
             jobs_failed: self.inner.jobs_failed.load(Ordering::Relaxed),
             jobs_cancelled: self.inner.jobs_cancelled.load(Ordering::Relaxed),
+            stage_hits: self.inner.stage_hits.load(Ordering::Relaxed),
+            stage_misses: self.inner.stage_misses.load(Ordering::Relaxed),
         }
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, me: usize) {
+    // worker-local stage cache: one previous run's boundary artifacts,
+    // keyed by chained stage keys (see macro3d::stage)
+    let mut stage_cache = macro3d::StageCache::new();
     loop {
         let (id, spec) = {
             let mut q = lock(&inner.queue);
             loop {
-                if let Some(job) = q.jobs.pop_front() {
+                let job = q.queues[me].pop_front().or_else(|| {
+                    // own queue dry: steal the back of the longest
+                    // other queue (least likely to extend that
+                    // worker's prefix run)
+                    (0..q.queues.len())
+                        .filter(|&i| i != me && !q.queues[i].is_empty())
+                        .max_by_key(|&i| q.queues[i].len())
+                        .and_then(|i| q.queues[i].pop_back())
+                });
+                if let Some(job) = job {
+                    q.queued -= 1;
                     inner.space_cv.notify_one();
                     break job;
                 }
@@ -476,7 +532,7 @@ fn worker_loop(inner: &Inner) {
             }
         };
         lock(&inner.states).insert(id, JobState::Running);
-        let outcome = run_one(inner, &spec);
+        let outcome = run_one(inner, &spec, &mut stage_cache);
         let mut states = lock(&inner.states);
         match outcome {
             Ok(result) => {
@@ -495,7 +551,11 @@ fn worker_loop(inner: &Inner) {
 
 /// Executes one job to a shareable outcome: cache lookup, then
 /// single-flight leader election, then the flow itself.
-fn run_one(inner: &Inner, spec: &JobSpec) -> Result<Arc<JobResult>, String> {
+fn run_one(
+    inner: &Inner,
+    spec: &JobSpec,
+    stage_cache: &mut macro3d::StageCache,
+) -> Result<Arc<JobResult>, String> {
     let key = spec.spec_key();
     if let Some(cached) = inner.cache.lookup(&key) {
         return Ok(Arc::new(JobResult {
@@ -505,6 +565,7 @@ fn run_one(inner: &Inner, spec: &JobSpec) -> Result<Arc<JobResult>, String> {
             obs: None,
             cache_hit: true,
             wall_s: 0.0,
+            reuse_depth: 0,
         }));
     }
 
@@ -526,12 +587,13 @@ fn run_one(inner: &Inner, spec: &JobSpec) -> Result<Arc<JobResult>, String> {
                 cache_hit: true,
                 obs: None,
                 wall_s: 0.0,
+                reuse_depth: 0,
                 ..(*result).clone()
             })
         });
     }
 
-    let outcome = execute_flow(inner, spec, &key);
+    let outcome = execute_flow(inner, spec, &key, stage_cache);
     if let Ok(result) = &outcome {
         inner.cache.insert(
             &key,
@@ -547,8 +609,16 @@ fn run_one(inner: &Inner, spec: &JobSpec) -> Result<Arc<JobResult>, String> {
 }
 
 /// The cold path: generate the tile and run the flow, isolated by
-/// `catch_unwind` and serialized against other obs-enabled jobs.
-fn execute_flow(inner: &Inner, spec: &JobSpec, key: &str) -> Result<Arc<JobResult>, String> {
+/// `catch_unwind` and serialized against other obs-enabled jobs. The
+/// worker's stage cache (when enabled) lets the flow re-enter after
+/// its longest key-matched stage prefix; a panic mid-run is safe —
+/// cache slots are only written at completed stage boundaries.
+fn execute_flow(
+    inner: &Inner,
+    spec: &JobSpec,
+    key: &str,
+    stage_cache: &mut macro3d::StageCache,
+) -> Result<Arc<JobResult>, String> {
     let flow = flow_by_name(&spec.flow).ok_or_else(|| format!("unknown flow '{}'", spec.flow))?;
     // the obs registry/level are process-global: hold the process's
     // one session permit for the whole obs-enabled execution
@@ -558,21 +628,37 @@ fn execute_flow(inner: &Inner, spec: &JobSpec, key: &str) -> Result<Arc<JobResul
         Some(macro3d_obs::session_permit())
     };
     inner.flows_executed.fetch_add(1, Ordering::Relaxed);
+    let stage_reuse = inner.cfg.stage_reuse;
     let started = Instant::now();
     let run = catch_unwind(AssertUnwindSafe(|| {
         let tile = generate_tile(&spec.tile);
-        flow.try_run(&tile, &spec.config)
+        let mut reuse = if stage_reuse {
+            macro3d::StageReuse::begin(stage_cache, &spec.flow, &spec.tile, &spec.config)
+        } else {
+            None
+        };
+        flow.try_run_reusing(&tile, &spec.config, reuse.as_mut())
     }));
     let wall_s = started.elapsed().as_secs_f64();
     match run {
-        Ok(Ok(outcome)) => Ok(Arc::new(JobResult {
-            spec_key: key.to_string(),
-            ppa: outcome.ppa,
-            degradation: outcome.degradation,
-            obs: outcome.obs,
-            cache_hit: false,
-            wall_s,
-        })),
+        Ok(Ok(outcome)) => {
+            let cacheable = macro3d::stage::NUM_STAGES - 1; // STA never cached
+            inner
+                .stage_hits
+                .fetch_add(outcome.reuse_depth as u64, Ordering::Relaxed);
+            inner
+                .stage_misses
+                .fetch_add((cacheable - outcome.reuse_depth) as u64, Ordering::Relaxed);
+            Ok(Arc::new(JobResult {
+                spec_key: key.to_string(),
+                ppa: outcome.ppa,
+                degradation: outcome.degradation,
+                obs: outcome.obs,
+                cache_hit: false,
+                wall_s,
+                reuse_depth: outcome.reuse_depth,
+            }))
+        }
         Ok(Err(flow_err)) => Err(flow_err.to_string()),
         Err(panic) => Err(format!("flow panicked: {}", panic_message(&panic))),
     }

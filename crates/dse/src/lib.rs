@@ -121,6 +121,15 @@ impl JobSpec {
         let payload = format!("{}\u{1f}{}", crate_version(), self.to_json().emit());
         format!("{:016x}", jsonio::fnv1a_64(payload.as_bytes()))
     }
+
+    /// The chained per-stage content keys of this spec (see
+    /// [`macro3d::stage`]). Two specs sharing a key prefix share that
+    /// prefix of flow work; the executor routes same-prefix specs to
+    /// the same worker and the sweep planner orders submissions to
+    /// maximize shared prefixes.
+    pub fn stage_keys(&self) -> macro3d::StageKeys {
+        macro3d::stage_keys(&self.flow, &self.tile, &self.config)
+    }
 }
 
 /// Looks up a flow implementation by its public name.

@@ -277,6 +277,11 @@ fn result_json(id: JobId, result: &Arc<JobResult>) -> Json {
             Json::str(format!("{:016x}", jsonio::ppa_fingerprint(&result.ppa))),
         )
         .field("wall_s", Json::from_f64(result.wall_s))
+        .field("reuse_depth", Json::from_usize(result.reuse_depth))
+        .field(
+            "stage_times",
+            jsonio::stage_times_to_json(&result.ppa.stage_times),
+        )
         .field("ppa", jsonio::ppa_to_json(&result.ppa))
         .field(
             "degradation",
@@ -291,6 +296,7 @@ fn point_json(point: &PointResult) -> Json {
             .field("point", Json::str(point.label.clone()))
             .field("spec_key", Json::str(result.spec_key.clone()))
             .field("cache_hit", Json::Bool(result.cache_hit))
+            .field("reuse_depth", Json::from_usize(result.reuse_depth))
             .field(
                 "fingerprint",
                 Json::str(format!("{:016x}", jsonio::ppa_fingerprint(&result.ppa))),
@@ -321,4 +327,6 @@ fn stats_json(client: &DseClient) -> Json {
         .field("jobs_done", Json::from_u64(stats.jobs_done))
         .field("jobs_failed", Json::from_u64(stats.jobs_failed))
         .field("jobs_cancelled", Json::from_u64(stats.jobs_cancelled))
+        .field("stage_hits", Json::from_u64(stats.stage_hits))
+        .field("stage_misses", Json::from_u64(stats.stage_misses))
 }

@@ -13,7 +13,7 @@
 
 use crate::executor::{DseClient, JobError, JobResult, SubmitError};
 use crate::{flow_by_name, tile_preset, JobSpec};
-use macro3d::{PlacerBackend, StaMode};
+use macro3d::{FaultAction, FaultPlan, PlacerBackend, StaMode};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -139,6 +139,28 @@ pub fn apply_knob(spec: &mut JobSpec, knob: &str, value: &str) -> Result<(), Kno
             spec.config.route.parallelism.threads = threads;
             spec.config.place.parallelism.threads = threads;
         }
+        "budget_wall_s" => {
+            // budgets key every stage and disable stage reuse (see
+            // macro3d::stage); `none` restores the unlimited default
+            spec.config.budget.wall_clock = if value == "none" {
+                None
+            } else {
+                let secs: f64 = num(knob, value)?;
+                if secs <= 0.0 {
+                    return Err(bad("budget_wall_s must be > 0 (or 'none')"));
+                }
+                Some(std::time::Duration::from_secs_f64(secs))
+            };
+        }
+        "fault_site" => {
+            // plant a deterministic budget-exhaust fault at a
+            // checkpoint site; the run completes degraded, not failed
+            spec.config.fault_plan = if value == "none" {
+                None
+            } else {
+                Some(FaultPlan::new().with_fault(value, 1, FaultAction::Exhaust))
+            };
+        }
         _ => return Err(bad(format!("unknown knob '{knob}'"))),
     }
     Ok(())
@@ -249,11 +271,20 @@ pub fn run_sweep(
     let points = expand(sweep)?;
     let started = Instant::now();
     // submit everything first: the bounded queue gives backpressure,
-    // and workers overlap point execution with this loop
-    let ids = points
-        .iter()
-        .map(|p| client.submit(p.spec.clone()))
-        .collect::<Result<Vec<_>, _>>()?;
+    // and workers overlap point execution with this loop. Points go
+    // in stage-key order (late-stage knobs vary fastest within a
+    // shared prefix), so consecutive submissions to the same worker
+    // maximize stage-cache prefix reuse; results are still collected
+    // in grid order below, and the order never changes any result.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let keys: Vec<[u64; macro3d::stage::NUM_STAGES]> =
+        points.iter().map(|p| p.spec.stage_keys().prefix).collect();
+    order.sort_by_key(|&i| (keys[i], i));
+    let mut ids = vec![None; points.len()];
+    for &i in &order {
+        ids[i] = Some(client.submit(points[i].spec.clone())?);
+    }
+    let ids: Vec<_> = ids.into_iter().flatten().collect();
     let mut results = Vec::with_capacity(points.len());
     for (point, id) in points.iter().zip(ids) {
         let result = match client.wait(id) {

@@ -96,12 +96,19 @@ impl Parallelism {
         self
     }
 
-    /// The worker count after normalizing `0` to the hardware.
+    /// The worker count after normalizing `0` to the hardware and
+    /// clamping explicit requests to it. Oversubscribing a host never
+    /// helps these CPU-bound kernels — on a single-core machine an
+    /// explicit `threads(8)` used to pay scoped-thread spawn and
+    /// scratch setup for every primitive call while still running one
+    /// chunk at a time; clamping makes every primitive take its true
+    /// serial fall-through instead. Results are unaffected either way
+    /// (the crate determinism contract).
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
             available_threads()
         } else {
-            self.threads
+            self.threads.min(available_threads())
         }
     }
 }

@@ -303,6 +303,31 @@ pub struct Router {
     pending: Vec<bool>,
 }
 
+/// Cloning snapshots the whole session — grid usage/history, committed
+/// routes, pending set — so a cached router can be deep-copied and
+/// driven forward (e.g. `update`) without disturbing the original.
+/// The scratch pool is per-clone (its contents never affect results);
+/// the immutable search constants are shared by `Arc`.
+impl Clone for Router {
+    fn clone(&self) -> Self {
+        Router {
+            cfg: self.cfg,
+            grid: self.grid.clone(),
+            f2f_cut: self.f2f_cut,
+            shared: Arc::clone(&self.shared),
+            pool: ScratchPool::new(),
+            nets: self.nets.clone(),
+            index: self.index.clone(),
+            num_nets: self.num_nets,
+            order: self.order.clone(),
+            topo: self.topo.clone(),
+            routes: self.routes.clone(),
+            net_edges: self.net_edges.clone(),
+            pending: self.pending.clone(),
+        }
+    }
+}
+
 impl Router {
     /// Builds the session: grid, obstacles, search constants, and the
     /// Steiner topology of every routable net.

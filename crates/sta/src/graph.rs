@@ -106,6 +106,9 @@ pub(crate) struct GraphEndpoint {
 ///
 /// Built once per design revision; every propagation (probe or
 /// parametric) and every incremental cone update walks these arrays.
+/// `Clone` deep-copies the arrays so a cached session can be
+/// snapshotted and resumed independently.
+#[derive(Clone)]
 pub(crate) struct TimingGraph {
     /// Evaluation nodes in topological order.
     pub nodes: Vec<GraphNode>,

@@ -124,6 +124,7 @@ fn clamp_t(t: f64) -> f64 {
 /// One converged parametric pass: per-net affine arrivals/slews/preds
 /// and per-endpoint affine slacks, all valid for the policy chosen at
 /// `t_cmp`.
+#[derive(Clone)]
 pub(crate) struct ParamState {
     arr: Vec<Affine>,
     slew: Vec<f64>,
@@ -499,6 +500,12 @@ pub(crate) fn analyze_parametric(input: &StaInput<'_>, par: &Parallelism) -> Tim
 /// the sizing loops can re-time only the fan-out cone of the nets an
 /// optimization step touched. In-place resizing needs no rebuild;
 /// structural edits are detected and trigger a cold re-analysis.
+///
+/// `Clone` deep-copies the graph and converged state, so a session
+/// snapshotted at a flow-stage boundary can be resumed by a later run
+/// without disturbing the original — the stage-reuse machinery in
+/// `macro3d-core` relies on this.
+#[derive(Clone)]
 pub struct StaSession {
     graph: TimingGraph,
     state: Option<(ParamState, f64)>,

@@ -38,7 +38,7 @@ fn concurrent_identical_jobs_execute_once_and_agree() {
         let service = DseService::start(DseConfig {
             workers,
             queue_capacity: 64,
-            cache_dir: None,
+            ..DseConfig::default()
         })
         .unwrap();
         let client = service.client();
@@ -160,6 +160,7 @@ fn persisted_cache_survives_restart_bit_exactly() {
             workers: 1,
             queue_capacity: 8,
             cache_dir: Some(dir.clone()),
+            ..DseConfig::default()
         })
         .unwrap();
         let client = service.client();
@@ -175,6 +176,7 @@ fn persisted_cache_survives_restart_bit_exactly() {
         workers: 1,
         queue_capacity: 8,
         cache_dir: Some(dir),
+        ..DseConfig::default()
     })
     .unwrap();
     let client = service.client();
@@ -306,7 +308,7 @@ fn bounded_queue_applies_backpressure_without_loss() {
     let service = DseService::start(DseConfig {
         workers: 2,
         queue_capacity: 2,
-        cache_dir: None,
+        ..DseConfig::default()
     })
     .unwrap();
     let client = service.client();

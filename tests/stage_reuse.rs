@@ -1,0 +1,230 @@
+//! The stage-graph reuse determinism contract (DESIGN.md §17):
+//! a flow re-entered from a worker's stage cache must produce a PPA
+//! fingerprint bit-identical to a fully cold run — across worker
+//! counts, across sweep-point submission orderings, and with reuse
+//! disabled outright. Budget and fault-plan knobs must key every
+//! stage and turn stage caching off entirely.
+
+use macro3d::ppa_fingerprint;
+use macro3d_dse::sweep::{apply_knob, run_sweep, SweepAxis, SweepSpec};
+use macro3d_dse::{DseConfig, DseService, JobSpec, SweepOutcome};
+use macro3d_soc::TileConfig;
+
+/// A spec fast enough to run many times in a debug-mode test.
+fn fast_spec() -> JobSpec {
+    let mut spec = JobSpec::new("Macro-3D", TileConfig::mini());
+    spec.config.sizing_rounds = 1;
+    spec.config.route.iterations = 1;
+    spec
+}
+
+fn service(workers: usize, stage_reuse: bool) -> DseService {
+    DseService::start(DseConfig {
+        workers,
+        stage_reuse,
+        ..DseConfig::default()
+    })
+    .unwrap()
+}
+
+/// Runs the sweep on a fresh service and returns the outcome plus the
+/// service's stage-cache hit counter.
+fn run_fresh(sweep: &SweepSpec, workers: usize, stage_reuse: bool) -> (SweepOutcome, u64) {
+    let service = service(workers, stage_reuse);
+    let client = service.client();
+    let outcome = run_sweep(&client, sweep, |_| {}).unwrap();
+    let stage_hits = client.stats().stage_hits;
+    service.shutdown();
+    (outcome, stage_hits)
+}
+
+fn fingerprints(outcome: &SweepOutcome) -> Vec<u64> {
+    outcome
+        .points
+        .iter()
+        .map(|p| ppa_fingerprint(&p.ok().expect("point succeeded").ppa))
+        .collect()
+}
+
+fn reuse_depths(outcome: &SweepOutcome) -> Vec<usize> {
+    outcome
+        .points
+        .iter()
+        .map(|p| p.ok().expect("point succeeded").reuse_depth)
+        .collect()
+}
+
+/// The headline contract: a grid over late-stage knobs (route + STA)
+/// shares its floorplan/place prefix, so warm points re-enter the
+/// flow mid-way — and every fingerprint matches the cold scratch run,
+/// at one worker and at eight.
+#[test]
+fn warm_prefix_fingerprints_match_cold_across_worker_counts() {
+    let sweep = SweepSpec {
+        base: fast_spec(),
+        axes: vec![
+            SweepAxis::new("route_iterations", &["1", "2"]),
+            SweepAxis::new("sizing_rounds", &["0", "1"]),
+        ],
+    };
+    let (serial, serial_hits) = run_fresh(&sweep, 1, true);
+    let (wide, _) = run_fresh(&sweep, 8, true);
+    let (cold, cold_hits) = run_fresh(&sweep, 1, false);
+
+    assert!(
+        serial_hits > 0,
+        "a route/STA-only grid on one worker must reuse the place prefix"
+    );
+    assert_eq!(cold_hits, 0, "reuse off means no stage hits");
+    assert!(
+        reuse_depths(&serial).iter().any(|&d| d >= 2),
+        "varying only route/STA knobs must re-enter after place, got {:?}",
+        reuse_depths(&serial)
+    );
+    assert!(reuse_depths(&cold).iter().all(|&d| d == 0));
+
+    let fp_cold = fingerprints(&cold);
+    assert_eq!(
+        fingerprints(&serial),
+        fp_cold,
+        "warm results must be bit-identical to the cold scratch run"
+    );
+    assert_eq!(
+        fingerprints(&wide),
+        fp_cold,
+        "worker count must not change any result"
+    );
+}
+
+/// Submission order is a pure scheduling concern: a grid submitted in
+/// reversed grid order (different cache temperatures per point)
+/// produces the same per-point fingerprints.
+#[test]
+fn point_ordering_never_changes_results() {
+    let axes = vec![
+        SweepAxis::new("sizing_rounds", &["0", "1"]),
+        SweepAxis::new("util_logic", &["0.55", "0.6"]),
+    ];
+    let forward = SweepSpec {
+        base: fast_spec(),
+        axes: axes.clone(),
+    };
+    let reversed = SweepSpec {
+        base: fast_spec(),
+        axes: axes
+            .into_iter()
+            .map(|a| SweepAxis {
+                knob: a.knob,
+                values: a.values.into_iter().rev().collect(),
+            })
+            .collect(),
+    };
+    let (f, _) = run_fresh(&forward, 2, true);
+    let (r, _) = run_fresh(&reversed, 2, true);
+    // same grid, mirrored labels: compare point-by-point via label
+    let mut by_label: Vec<(String, u64)> = f
+        .points
+        .iter()
+        .zip(fingerprints(&f))
+        .map(|(p, fp)| (p.label.clone(), fp))
+        .collect();
+    by_label.sort();
+    let mut by_label_rev: Vec<(String, u64)> = r
+        .points
+        .iter()
+        .zip(fingerprints(&r))
+        .map(|(p, fp)| (p.label.clone(), fp))
+        .collect();
+    by_label_rev.sort();
+    assert_eq!(by_label, by_label_rev);
+}
+
+/// Budget and fault-plan knobs key every stage (no accidental prefix
+/// sharing with unbudgeted runs) and disable stage caching for the
+/// runs that carry them — a budgeted stage can cut work short, so its
+/// boundary artifacts must never seed an unbudgeted run.
+#[test]
+fn budget_and_fault_knobs_key_stages_and_disable_reuse() {
+    let base = fast_spec();
+    let mut budgeted = fast_spec();
+    apply_knob(&mut budgeted, "budget_wall_s", "10000").unwrap();
+    let mut faulted = fast_spec();
+    apply_knob(&mut faulted, "fault_site", "sta/sizing_rounds").unwrap();
+
+    let kb = base.stage_keys();
+    for other in [&budgeted, &faulted] {
+        let ko = other.stage_keys();
+        for stage in 0..macro3d::stage::NUM_STAGES {
+            assert_ne!(
+                kb.prefix[stage], ko.prefix[stage],
+                "budget/fault must change the key of stage {stage}"
+            );
+        }
+    }
+
+    // two budgeted points sharing every upstream knob would reuse the
+    // place prefix if caching were allowed; assert it is not
+    let sweep = SweepSpec {
+        base: budgeted,
+        axes: vec![SweepAxis::new("sizing_rounds", &["0", "1"])],
+    };
+    let (outcome, stage_hits) = run_fresh(&sweep, 1, true);
+    assert_eq!(stage_hits, 0, "budgeted runs must not use the stage cache");
+    assert!(reuse_depths(&outcome).iter().all(|&d| d == 0));
+
+    // a fault-exhaust point completes degraded, deterministically,
+    // and never seeds the cache for its healthy sibling
+    let sweep = SweepSpec {
+        base: fast_spec(),
+        axes: vec![SweepAxis::new("fault_site", &["sta/sizing_rounds", "none"])],
+    };
+    let (with_reuse, _) = run_fresh(&sweep, 1, true);
+    let (no_reuse, _) = run_fresh(&sweep, 1, false);
+    assert_eq!(fingerprints(&with_reuse), fingerprints(&no_reuse));
+    assert_eq!(reuse_depths(&with_reuse)[0], 0, "faulted point stays cold");
+}
+
+/// Seeded pseudo-random grids (splitmix64, no external RNG): random
+/// knob combinations submitted against a warm stage cache match a
+/// scratch service point-for-point. Covers the 2D baseline too, so
+/// both flow families exercise snapshot restore.
+#[test]
+fn random_knob_grids_are_reuse_invariant() {
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    let mut state = 0xc0ffee_u64;
+    for flow in ["Macro-3D", "2D"] {
+        // a small random grid biased toward shared prefixes: one
+        // early-stage knob (util_logic), two late-stage knobs
+        let r = splitmix64(&mut state);
+        let util = ["0.55", "0.6"][(r & 1) as usize];
+        let rounds: Vec<&str> = match (r >> 1) & 1 {
+            0 => vec!["0", "1"],
+            _ => vec!["1", "2"],
+        };
+        let mut base = fast_spec();
+        base.flow = flow.to_string();
+        apply_knob(&mut base, "util_logic", util).unwrap();
+        let sweep = SweepSpec {
+            base,
+            axes: vec![
+                SweepAxis::new("sizing_rounds", &rounds),
+                SweepAxis::new("sta_mode", &["probe", "parametric"]),
+            ],
+        };
+        let (warm, hits) = run_fresh(&sweep, 1, true);
+        let (cold, _) = run_fresh(&sweep, 1, false);
+        assert!(hits > 0, "{flow}: grid must hit the stage cache");
+        assert_eq!(
+            fingerprints(&warm),
+            fingerprints(&cold),
+            "{flow}: warm grid diverged from scratch run"
+        );
+    }
+}
